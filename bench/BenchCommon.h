@@ -1,0 +1,100 @@
+//===- bench/BenchCommon.h - Shared experiment harness ----------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the experiment binaries: run a configuration over
+/// benchmark instances with a per-instance timeout, collect (status, time)
+/// rows, and emit CSV. Each table/figure binary layers its own presentation
+/// on top.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_BENCH_BENCHCOMMON_H
+#define MUCYC_BENCH_BENCHCOMMON_H
+
+#include "bench_suite/Suite.h"
+#include "solver/ChcSolve.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace mucyc {
+namespace bench {
+
+struct RunRow {
+  std::string Instance;
+  std::string Family;
+  std::string Config;
+  ChcStatus Expected;
+  ChcStatus Got;
+  double Seconds;
+  int Depth;
+  uint64_t SmtChecks;
+
+  bool correct() const { return Got == Expected; }
+  bool wrong() const {
+    return Got != ChcStatus::Unknown && Got != Expected;
+  }
+};
+
+inline RunRow runInstance(const BenchInstance &B, const std::string &Config,
+                          uint64_t TimeoutMs) {
+  TermContext C;
+  NormalizedChc N = B.Build(C);
+  auto Opts = SolverOptions::parse(Config);
+  if (!Opts) {
+    std::fprintf(stderr, "bad config: %s\n", Config.c_str());
+    std::abort();
+  }
+  Opts->TimeoutMs = TimeoutMs;
+  ChcSolver S(C, N, *Opts);
+  SolverResult R = S.solve();
+  return RunRow{B.Name,     B.Family,  Config,          B.Expected,
+                R.Status,   R.Seconds, R.Depth,         R.Stats.SmtChecks};
+}
+
+struct CommonArgs {
+  uint64_t TimeoutMs = 1000;
+  std::string CsvPath;
+  bool WithQe = false;
+
+  static CommonArgs parse(int Argc, char **Argv) {
+    CommonArgs A;
+    for (int I = 1; I < Argc; ++I) {
+      if (!std::strcmp(Argv[I], "--timeout-ms") && I + 1 < Argc)
+        A.TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+      else if (!std::strcmp(Argv[I], "--csv") && I + 1 < Argc)
+        A.CsvPath = Argv[++I];
+      else if (!std::strcmp(Argv[I], "--with-qe"))
+        A.WithQe = true;
+    }
+    return A;
+  }
+};
+
+inline void writeCsv(const std::string &Path,
+                     const std::vector<RunRow> &Rows) {
+  if (Path.empty())
+    return;
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return;
+  std::fprintf(F, "instance,family,config,expected,got,seconds,depth,smt\n");
+  for (const RunRow &R : Rows)
+    std::fprintf(F, "%s,%s,\"%s\",%s,%s,%.4f,%d,%llu\n", R.Instance.c_str(),
+                 R.Family.c_str(), R.Config.c_str(),
+                 chcStatusName(R.Expected), chcStatusName(R.Got), R.Seconds,
+                 R.Depth, static_cast<unsigned long long>(R.SmtChecks));
+  std::fclose(F);
+  std::printf("(csv written to %s)\n", Path.c_str());
+}
+
+} // namespace bench
+} // namespace mucyc
+
+#endif // MUCYC_BENCH_BENCHCOMMON_H

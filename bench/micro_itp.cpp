@@ -1,0 +1,86 @@
+//===- bench/micro_itp.cpp - Interpolation microbenchmarks ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Cost of the Conflict step's interpolation (the only lemma source in the
+// refinement procedures) as the blocked cube and the A-side frame grow:
+// cube generalization (unsat-core-guided dropping) vs the QE-strongest
+// interpolant vs the trivial weakest one.
+//
+//===----------------------------------------------------------------------===//
+
+#include "itp/Interpolate.h"
+
+#include "smt/SmtSolver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mucyc;
+
+namespace {
+
+/// A(x..) = bounded box reachable region; B = not(bad cube) with Lits
+/// literals of which only one is necessary.
+struct ItpWorkload {
+  TermContext C;
+  TermRef A, B;
+
+  explicit ItpWorkload(int CubeLits) {
+    TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+    A = C.mkAnd({C.mkGe(X, C.mkIntConst(0)), C.mkLe(X, C.mkIntConst(50)),
+                 C.mkEq(Y, C.mkAdd(X, C.mkIntConst(1)))});
+    std::vector<TermRef> Cube{C.mkGe(Y, C.mkIntConst(100))}; // The blocker.
+    for (int I = 1; I < CubeLits; ++I)
+      Cube.push_back(C.mkLe(Y, C.mkIntConst(1000 + I))); // Droppable.
+    B = C.mkNot(C.mkAnd(Cube));
+  }
+};
+
+void BM_ItpCubeGeneralize(benchmark::State &State) {
+  ItpWorkload W(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    TermRef R = interpolate(W.C, W.A, W.B, ItpMode::CubeGeneralize);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ItpCubeGeneralize)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_ItpQeStrongest(benchmark::State &State) {
+  ItpWorkload W(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    TermRef R = interpolate(W.C, W.A, W.B, ItpMode::QeStrongest);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ItpQeStrongest)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_ItpWeakest(benchmark::State &State) {
+  ItpWorkload W(static_cast<int>(State.range(0)));
+  for (auto _ : State) {
+    TermRef R = interpolate(W.C, W.A, W.B, ItpMode::WeakestB);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_ItpWeakest)->Arg(2)->Arg(6)->Arg(12);
+
+void BM_GeneralizeBlockedCube(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  TermContext C;
+  TermRef X = C.mkVar("gx", Sort::Int);
+  TermRef A = C.mkAnd(C.mkGe(X, C.mkIntConst(0)),
+                      C.mkLe(X, C.mkIntConst(9)));
+  std::vector<TermRef> Cube{C.mkGe(X, C.mkIntConst(100))};
+  for (int I = 1; I < N; ++I)
+    Cube.push_back(C.mkLe(X, C.mkIntConst(200 + I)));
+  for (auto _ : State) {
+    auto R = generalizeBlockedCube(C, A, Cube);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_GeneralizeBlockedCube)->Arg(2)->Arg(8)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+//===- bench/micro_smt.cpp - SMT substrate microbenchmarks ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the substrate underneath every refinement loop: CDCL SAT
+// on pigeonhole instances, simplex feasibility chains, integer equality
+// elimination with divisibility, and whole SMT checks of the shape the
+// refinement procedures issue (phi_L /\ phi_R /\ tau /\ not alpha).
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace mucyc;
+
+namespace {
+
+void BM_SatPigeonhole(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0)); // N+1 pigeons, N holes: unsat.
+  for (auto _ : State) {
+    SatSolver S;
+    std::vector<std::vector<uint32_t>> P(N + 1, std::vector<uint32_t>(N));
+    for (auto &Row : P)
+      for (uint32_t &V : Row)
+        V = S.newVar();
+    for (auto &Row : P) {
+      std::vector<SatLit> C;
+      for (uint32_t V : Row)
+        C.push_back(SatLit(V, false));
+      S.addClause(C);
+    }
+    for (int H = 0; H < N; ++H)
+      for (int I = 0; I <= N; ++I)
+        for (int J = I + 1; J <= N; ++J)
+          S.addClause({SatLit(P[I][H], true), SatLit(P[J][H], true)});
+    benchmark::DoNotOptimize(S.solve());
+  }
+}
+BENCHMARK(BM_SatPigeonhole)->Arg(4)->Arg(6)->Arg(7);
+
+void BM_SmtDiamondEqualities(benchmark::State &State) {
+  // Chains x0 = x1 +- 1, ..., with a final parity clash: exercises the
+  // boolean search plus the integer equality elimination.
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    TermContext C;
+    SmtSolver S(C);
+    TermRef Prev = C.mkVar("d0", Sort::Int);
+    S.assertFormula(C.mkEq(Prev, C.mkIntConst(0)));
+    for (int I = 1; I <= N; ++I) {
+      TermRef Cur = C.mkVar("d" + std::to_string(I), Sort::Int);
+      S.assertFormula(
+          C.mkOr(C.mkEq(Cur, C.mkAdd(Prev, C.mkIntConst(1))),
+                 C.mkEq(Cur, C.mkSub(Prev, C.mkIntConst(1)))));
+      Prev = Cur;
+    }
+    // Parity violation: after N steps the value has parity of N.
+    S.assertFormula(C.mkEq(Prev, C.mkIntConst(N % 2 == 0 ? 1 : 0)));
+    benchmark::DoNotOptimize(S.check());
+  }
+}
+BENCHMARK(BM_SmtDiamondEqualities)->Arg(4)->Arg(8)->Arg(12);
+
+void BM_SmtRefinementShapedQuery(benchmark::State &State) {
+  // The hot query of Algorithm 5's outer loop: frame(x) /\ frame(y) /\
+  // tau(x,y,z) /\ not(alpha(z)), with frames of growing conjunction size.
+  int Lemmas = static_cast<int>(State.range(0));
+  TermContext C;
+  TermRef X = C.mkVar("qx", Sort::Int), Y = C.mkVar("qy", Sort::Int),
+          Z = C.mkVar("qz", Sort::Int);
+  std::vector<TermRef> FrameX, FrameY;
+  for (int I = 0; I < Lemmas; ++I) {
+    FrameX.push_back(C.mkGe(X, C.mkIntConst(-I - 1)));
+    FrameX.push_back(C.mkLe(X, C.mkIntConst(100 + I)));
+    FrameY.push_back(C.mkGe(Y, C.mkIntConst(-I - 1)));
+  }
+  TermRef Tau = C.mkEq(Z, C.mkAdd(X, Y));
+  TermRef NotAlpha = C.mkGt(Z, C.mkIntConst(400));
+  for (auto _ : State) {
+    auto M = SmtSolver::quickCheck(
+        C, {C.mkAnd(FrameX), C.mkAnd(FrameY), Tau, NotAlpha});
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_SmtRefinementShapedQuery)->Arg(2)->Arg(8)->Arg(24);
+
+void BM_SmtDivisibilityStack(benchmark::State &State) {
+  int N = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    TermContext C;
+    SmtSolver S(C);
+    TermRef X = C.mkVar("vx", Sort::Int);
+    for (int I = 0; I < N; ++I)
+      S.assertFormula(C.mkDivides(BigInt(2 + I), X));
+    S.assertFormula(C.mkGe(X, C.mkIntConst(1)));
+    S.assertFormula(C.mkLe(X, C.mkIntConst(100000)));
+    benchmark::DoNotOptimize(S.check());
+  }
+}
+BENCHMARK(BM_SmtDivisibilityStack)->Arg(2)->Arg(4)->Arg(6);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+//===- bench/rc_tricks.cpp - Section 7.2.1-7.2.3 comparisons --------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Focused reproduction of the textual claims in Sections 7.2.1-7.2.3:
+//
+//  7.2.1  Model vs MBP(0) vs MBP(1) vs MBP(2): MBP beats Model; for Ret,
+//         F+MBP(2) loses progress while T+MBP(2) restores it; accumulation
+//         (T) costs a little on SAT and helps UNSAT.
+//  7.2.2  Yld(T,_) vs Yld(F,_): query weakening via interpolation helps.
+//  7.2.3  Optimizations: Ind helps; Cex helps UNSAT; Que/Mon do not help.
+//
+// Each block prints the relevant configuration pairs side by side over the
+// full suite so the direction of every comparison is visible.
+//
+// Usage: rc_tricks [--timeout-ms N]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mucyc;
+using namespace mucyc::bench;
+
+namespace {
+struct Score {
+  size_t Sat = 0, Unsat = 0;
+  double TotalTime = 0;
+};
+
+Score scoreConfig(const std::vector<BenchInstance> &Suite,
+                  const std::string &Cfg, uint64_t TimeoutMs) {
+  Score Sc;
+  for (const BenchInstance &B : Suite) {
+    RunRow Row = runInstance(B, Cfg, TimeoutMs);
+    if (Row.correct()) {
+      (Row.Got == ChcStatus::Sat ? Sc.Sat : Sc.Unsat) += 1;
+      Sc.TotalTime += Row.Seconds;
+    } else {
+      Sc.TotalTime += static_cast<double>(TimeoutMs) / 1000.0;
+    }
+  }
+  return Sc;
+}
+
+void block(const char *Title, const std::vector<std::string> &Configs,
+           const std::vector<BenchInstance> &Suite, uint64_t TimeoutMs) {
+  std::printf("\n== %s\n%-24s %5s %7s %10s\n", Title, "configuration", "sat",
+              "unsat", "time(s)");
+  for (const std::string &Cfg : Configs) {
+    Score Sc = scoreConfig(Suite, Cfg, TimeoutMs);
+    std::printf("%-24s %5zu %7zu %10.1f\n", Cfg.c_str(), Sc.Sat, Sc.Unsat,
+                Sc.TotalTime);
+    std::fflush(stdout);
+  }
+}
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommonArgs Args = CommonArgs::parse(Argc, Argv);
+  std::vector<BenchInstance> Suite = buildSuite();
+  std::printf("RC-trick experiments over %zu instances, timeout %llu ms\n",
+              Suite.size(), static_cast<unsigned long long>(Args.TimeoutMs));
+
+  block("7.2.1 cex method (Ret)",
+        {"Ret(F,Model)", "Ret(F,MBP(0))", "Ret(F,MBP(1))", "Ret(F,MBP(2))",
+         "Ret(T,MBP(1))", "Ret(T,MBP(2))"},
+        Suite, Args.TimeoutMs);
+  block("7.2.1 cex method (Yld)",
+        {"Yld(T,Model)", "Yld(T,MBP(0))", "Yld(T,MBP(1))", "Yld(T,MBP(2))"},
+        Suite, Args.TimeoutMs);
+  block("7.2.2 query weakening",
+        {"Yld(F,MBP(1))", "Yld(T,MBP(1))", "Yld(F,MBP(0))", "Yld(T,MBP(0))"},
+        Suite, Args.TimeoutMs);
+  block("7.2.3 optimizations on Ret(F,MBP(0))",
+        {"Ret(F,MBP(0))", "Ind(Ret(F,MBP(0)))", "Cex(Ret(F,MBP(0)))",
+         "Que(Ret(F,MBP(0)))", "Mon(Ret(F,MBP(0)))"},
+        Suite, Args.TimeoutMs);
+  block("7.2.3 optimizations on Yld(T,MBP(1))",
+        {"Yld(T,MBP(1))", "Ind(Yld(T,MBP(1)))", "Cex(Yld(T,MBP(1)))",
+         "Que(Yld(T,MBP(1)))", "Mon(Yld(T,MBP(1)))"},
+        Suite, Args.TimeoutMs);
+  return 0;
+}

@@ -1,0 +1,91 @@
+//===- bench/scatter.cpp - Reproduction of Figures 3-14 -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Appendix B of the paper (Figures 3-14): pairwise scatter plots of solve
+// times between configurations. One CSV block per figure with the paper's
+// exact pairings, plus a win/loss summary per pair (points above/below the
+// diagonal) which is the shape the paper reads off the plots.
+//
+// Usage: scatter [--timeout-ms N] [--csv out.csv]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include <map>
+
+using namespace mucyc;
+using namespace mucyc::bench;
+
+namespace {
+struct FigurePair {
+  const char *Figure;
+  const char *XConfig; // X axis.
+  const char *YConfig; // Y axis.
+};
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommonArgs Args = CommonArgs::parse(Argc, Argv);
+  // The pairings of Figures 3-14 (Appendix B).
+  FigurePair Pairs[] = {
+      {"fig3", "Ret(F,MBP(0))", "Ret(F,Model)"},
+      {"fig4", "Yld(T,MBP(0))", "Yld(T,Model)"},
+      {"fig5", "Ret(F,MBP(0))", "Ret(F,MBP(2))"},
+      {"fig6", "Yld(T,MBP(0))", "Yld(T,MBP(2))"},
+      {"fig7", "Ret(F,MBP(0))", "Ret(F,MBP(1))"},
+      {"fig8", "Yld(T,MBP(0))", "Yld(T,MBP(1))"},
+      {"fig9", "Yld(T,MBP(1))", "Ret(F,MBP(0))"},
+      {"fig10", "Ind(Yld(T,MBP(1)))", "Ind(Ret(F,MBP(0)))"},
+      {"fig11", "Yld(T,MBP(1))", "Yld(F,MBP(1))"},
+      {"fig12", "Ind(Yld(T,MBP(1)))", "Yld(T,MBP(1))"},
+      {"fig13", "Ind(Yld(T,MBP(1)))", "Ret(F,Model)"},      // Eldarica stand-in.
+      {"fig14", "Ind(Yld(T,MBP(1)))", "SpacerTS(fig1)"},    // Spacer stand-in.
+  };
+
+  std::vector<BenchInstance> Suite = buildSuite();
+  double TimeoutSec = static_cast<double>(Args.TimeoutMs) / 1000.0;
+
+  // Run each distinct configuration once.
+  std::map<std::string, std::map<std::string, double>> TimeOf; // cfg->inst.
+  std::vector<RunRow> AllRows;
+  for (const FigurePair &P : Pairs)
+    for (const char *Cfg : {P.XConfig, P.YConfig})
+      if (!TimeOf.count(Cfg))
+        for (const BenchInstance &B : Suite) {
+          RunRow Row = runInstance(B, Cfg, Args.TimeoutMs);
+          AllRows.push_back(Row);
+          TimeOf[Cfg][B.Name] = Row.correct() ? Row.Seconds : TimeoutSec;
+        }
+
+  std::printf("Figures 3-14 reproduction: scatter data over %zu instances, "
+              "timeout %.1fs\n\n",
+              Suite.size(), TimeoutSec);
+  std::printf("figure,x_config,y_config,instance,x_seconds,y_seconds\n");
+  for (const FigurePair &P : Pairs)
+    for (const BenchInstance &B : Suite)
+      std::printf("%s,\"%s\",\"%s\",%s,%.4f,%.4f\n", P.Figure, P.XConfig,
+                  P.YConfig, B.Name.c_str(), TimeOf[P.XConfig][B.Name],
+                  TimeOf[P.YConfig][B.Name]);
+
+  std::printf("\nwin/loss summary (x faster / y faster / within 10%%):\n");
+  for (const FigurePair &P : Pairs) {
+    int XWins = 0, YWins = 0, Ties = 0;
+    for (const BenchInstance &B : Suite) {
+      double X = TimeOf[P.XConfig][B.Name], Y = TimeOf[P.YConfig][B.Name];
+      if (X < Y * 0.9)
+        ++XWins;
+      else if (Y < X * 0.9)
+        ++YWins;
+      else
+        ++Ties;
+    }
+    std::printf("%-6s %-22s vs %-22s : %3d / %3d / %3d\n", P.Figure,
+                P.XConfig, P.YConfig, XWins, YWins, Ties);
+  }
+  writeCsv(Args.CsvPath, AllRows);
+  return 0;
+}

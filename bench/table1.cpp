@@ -1,0 +1,74 @@
+//===- bench/table1.cpp - Reproduction of Table 1 -------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Table 1 of the paper: solved SAT / UNSAT counts for the 24 MuCyc
+// configurations — Ret/Yld with b in {T, F} and cex in {Model, MBP(0..2)},
+// plus the four optimizations applied to the two reference configurations
+// Ret(F,MBP(0)) (closest to Spacer) and Yld(T,MBP(1)) (best RC config).
+//
+// The paper's workload is 1,972 preprocessed CHC-COMP instances; ours is
+// the deterministic synthetic suite (see DESIGN.md for the substitution).
+// Absolute counts differ; the claims to check are relative:
+//   * MBP columns beat Model columns,
+//   * Ret(F,MBP(2)) trails Ret(T,MBP(2)) (progress loss),
+//   * Ind(...) improves the reference configs, Que does not.
+//
+// Usage: table1 [--timeout-ms N] [--csv out.csv] [--with-qe]
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace mucyc;
+using namespace mucyc::bench;
+
+int main(int Argc, char **Argv) {
+  CommonArgs Args = CommonArgs::parse(Argc, Argv);
+  std::vector<std::string> Configs;
+  for (const char *Eng : {"Ret", "Yld"})
+    for (const char *B : {"F", "T"})
+      for (const char *Cex : {"Model", "MBP(0)", "MBP(1)", "MBP(2)"})
+        Configs.push_back(std::string(Eng) + "(" + B + "," + Cex + ")");
+  for (const char *Opt : {"Ind", "Cex", "Que", "Mon"}) {
+    Configs.push_back(std::string(Opt) + "(Ret(F,MBP(0)))");
+    Configs.push_back(std::string(Opt) + "(Yld(T,MBP(1)))");
+  }
+  if (Args.WithQe) {
+    Configs.push_back("Ret(F,QE)");
+    Configs.push_back("Yld(T,QE)");
+  }
+
+  std::vector<BenchInstance> Suite = buildSuite();
+  size_t TotalSat = 0, TotalUnsat = 0;
+  for (const BenchInstance &B : Suite)
+    (B.Expected == ChcStatus::Sat ? TotalSat : TotalUnsat) += 1;
+
+  std::printf("Table 1 reproduction: %zu instances (%zu sat, %zu unsat), "
+              "timeout %llu ms per instance\n\n",
+              Suite.size(), TotalSat, TotalUnsat,
+              static_cast<unsigned long long>(Args.TimeoutMs));
+  std::printf("%-24s %5s %7s %7s\n", "configuration", "sat", "unsat",
+              "wrong");
+
+  std::vector<RunRow> AllRows;
+  for (const std::string &Cfg : Configs) {
+    size_t Sat = 0, Unsat = 0, Wrong = 0;
+    for (const BenchInstance &B : Suite) {
+      RunRow Row = runInstance(B, Cfg, Args.TimeoutMs);
+      AllRows.push_back(Row);
+      if (Row.wrong())
+        ++Wrong;
+      else if (Row.Got == ChcStatus::Sat)
+        ++Sat;
+      else if (Row.Got == ChcStatus::Unsat)
+        ++Unsat;
+    }
+    std::printf("%-24s %5zu %7zu %7zu\n", Cfg.c_str(), Sat, Unsat, Wrong);
+    std::fflush(stdout);
+  }
+  writeCsv(Args.CsvPath, AllRows);
+  return 0;
+}

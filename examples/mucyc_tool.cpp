@@ -1,0 +1,127 @@
+//===- examples/mucyc_tool.cpp - Command-line CHC solver ------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The `mucyc` command-line solver: reads an SMT-LIB2 HORN problem, runs a
+// configuration (paper names, default Ret(T,MBP(1))), and prints sat/unsat
+// plus the witness.
+//
+//   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
+//         [--print-solution] [--verify] [--stats]
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Parser.h"
+#include "solver/ChcSolve.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace mucyc;
+
+static void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mucyc <file.smt2> [--config NAME] [--timeout-ms N]\n"
+      "             [--no-preprocess] [--print-solution] [--verify] "
+      "[--stats]\n"
+      "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
+      "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
+      "         Ind(...) Cex(...) Que(...) Mon(...);\n"
+      "         b in {T,F}, cex in {Model, QE, MBP(0|1|2)}\n");
+}
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string Path;
+  std::string Config = "Ret(T,MBP(1))";
+  uint64_t TimeoutMs = 600000;
+  bool Preprocess = true, PrintSolution = false, Verify = false,
+       Stats = false;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--config" && I + 1 < Argc)
+      Config = Argv[++I];
+    else if (A == "--timeout-ms" && I + 1 < Argc)
+      TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--no-preprocess")
+      Preprocess = false;
+    else if (A == "--print-solution")
+      PrintSolution = true;
+    else if (A == "--verify")
+      Verify = true;
+    else if (A == "--stats")
+      Stats = true;
+    else if (A == "--help") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", A.c_str());
+      return 2;
+    } else {
+      Path = A;
+    }
+  }
+  if (Path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 2;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  TermContext Ctx;
+  ParseResult PR = parseChc(Ctx, Buf.str());
+  if (!PR.Ok) {
+    std::fprintf(stderr, "error: parse failed. %s\n", PR.Error.c_str());
+    return 2;
+  }
+
+  auto Opts = SolverOptions::parse(Config);
+  if (!Opts) {
+    std::fprintf(stderr, "error: unknown configuration '%s'\n",
+                 Config.c_str());
+    usage();
+    return 2;
+  }
+  Opts->TimeoutMs = TimeoutMs;
+  Opts->VerifyResult = Verify;
+
+  ChcSolution Sol;
+  SolverResult R = solveChcSystem(*PR.System, *Opts, Preprocess,
+                                  PrintSolution ? &Sol : nullptr);
+  std::printf("%s\n", chcStatusName(R.Status));
+  if (PrintSolution && R.Status == ChcStatus::Sat) {
+    for (const auto &[Pred, Def] : Sol) {
+      std::printf("(define-fun %s (",
+                  PR.System->pred(Pred).Name.c_str());
+      for (size_t I = 0; I < Def.Params.size(); ++I)
+        std::printf("%s(%s %s)", I ? " " : "",
+                    Ctx.varInfo(Def.Params[I]).Name.c_str(),
+                    sortName(Ctx.varInfo(Def.Params[I]).S));
+      std::printf(") Bool %s)\n", Ctx.toString(Def.Body).c_str());
+    }
+  }
+  if (Stats)
+    std::fprintf(stderr,
+                 "; depth=%d time=%.3fs smt=%llu mbp=%llu itp=%llu "
+                 "refines=%llu\n",
+                 R.Depth, R.Seconds,
+                 static_cast<unsigned long long>(R.Stats.SmtChecks),
+                 static_cast<unsigned long long>(R.Stats.MbpCalls),
+                 static_cast<unsigned long long>(R.Stats.ItpCalls),
+                 static_cast<unsigned long long>(R.Stats.RefineCalls));
+  return R.Status == ChcStatus::Unknown ? 1 : 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure of the paper reproduction in one sweep.
+# Usage: scripts/run_experiments.sh [build-dir] [timeout-ms]
+set -u
+BUILD=${1:-build}
+TMO=${2:-1000}
+OUT=experiments_out
+mkdir -p "$OUT"
+"$BUILD"/bench/table1      --timeout-ms "$TMO" --csv "$OUT/table1.csv"   | tee "$OUT/table1.txt"
+"$BUILD"/bench/fig2_cactus --timeout-ms "$TMO" --csv "$OUT/fig2.csv"     | tee "$OUT/fig2.txt"
+"$BUILD"/bench/scatter     --timeout-ms "$TMO" --csv "$OUT/scatter.csv"  | tee "$OUT/scatter.txt"
+"$BUILD"/bench/divergence                                                | tee "$OUT/divergence.txt"
+"$BUILD"/bench/rc_tricks   --timeout-ms "$TMO"                           | tee "$OUT/rc_tricks.txt"
+"$BUILD"/bench/micro_mbp   --benchmark_min_time=0.05s                    | tee "$OUT/micro_mbp.txt"
+"$BUILD"/bench/micro_smt   --benchmark_min_time=0.05s                    | tee "$OUT/micro_smt.txt"
+"$BUILD"/bench/micro_itp   --benchmark_min_time=0.05s                    | tee "$OUT/micro_itp.txt"
+echo "all experiment outputs in $OUT/"

@@ -1,0 +1,411 @@
+//===- bench_suite/Suite.cpp - Synthetic CHC benchmark suite --------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+
+using namespace mucyc;
+
+namespace {
+
+/// Fresh state tuples (x, y, z) of the given sorts.
+struct Tuples {
+  std::vector<VarId> X, Y, Z;
+  std::vector<TermRef> Xt, Yt, Zt;
+};
+
+Tuples mkTuples(TermContext &C, const std::vector<Sort> &Sorts) {
+  Tuples T;
+  auto Mk = [&](const char *P, std::vector<VarId> &Ids,
+                std::vector<TermRef> &Ts) {
+    for (Sort S : Sorts) {
+      TermRef V = C.mkFreshVar(std::string("bm!") + P, S);
+      Ids.push_back(C.node(V).Var);
+      Ts.push_back(V);
+    }
+  };
+  Mk("x", T.X, T.Xt);
+  Mk("y", T.Y, T.Yt);
+  Mk("z", T.Z, T.Zt);
+  return T;
+}
+
+/// Builds a linear system (the y tuple is unconstrained in tau, which gives
+/// the same least model as the linear CHC because the reachable set is
+/// non-empty).
+NormalizedChc linear1(TermContext &C, const std::function<TermRef(TermRef)> &Init,
+                      const std::function<TermRef(TermRef, TermRef)> &Trans,
+                      const std::function<TermRef(TermRef)> &Bad,
+                      Sort S = Sort::Int) {
+  Tuples T = mkTuples(C, {S});
+  return makeNormalized(C, T.X, T.Y, T.Z, Init(T.Zt[0]),
+                        Trans(T.Xt[0], T.Zt[0]), Bad(T.Zt[0]));
+}
+
+NormalizedChc linear2(TermContext &C,
+                      const std::function<TermRef(TermRef, TermRef)> &Init,
+                      const std::function<TermRef(TermRef, TermRef, TermRef,
+                                                  TermRef)> &Trans,
+                      const std::function<TermRef(TermRef, TermRef)> &Bad) {
+  Tuples T = mkTuples(C, {Sort::Int, Sort::Int});
+  return makeNormalized(C, T.X, T.Y, T.Z, Init(T.Zt[0], T.Zt[1]),
+                        Trans(T.Xt[0], T.Xt[1], T.Zt[0], T.Zt[1]),
+                        Bad(T.Zt[0], T.Zt[1]));
+}
+
+NormalizedChc binary1(TermContext &C, const std::function<TermRef(TermRef)> &Init,
+                      const std::function<TermRef(TermRef, TermRef, TermRef)>
+                          &Trans,
+                      const std::function<TermRef(TermRef)> &Bad) {
+  Tuples T = mkTuples(C, {Sort::Int});
+  return makeNormalized(C, T.X, T.Y, T.Z, Init(T.Zt[0]),
+                        Trans(T.Xt[0], T.Yt[0], T.Zt[0]), Bad(T.Zt[0]));
+}
+
+TermRef icst(TermContext &C, int64_t V) { return C.mkIntConst(V); }
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// Paper systems
+//===----------------------------------------------------------------------===
+
+NormalizedChc mucyc::paperExample5(TermContext &C) {
+  return linear1(
+      C,
+      [&](TermRef Z) {
+        return C.mkAnd(C.mkGe(Z, icst(C, 2)), C.mkLe(Z, icst(C, 8)));
+      },
+      [&](TermRef X, TermRef Z) { return C.mkEq(Z, C.mkMul(Rational(2), X)); },
+      [&](TermRef Z) { return C.mkLt(Z, icst(C, -5)); });
+}
+
+NormalizedChc mucyc::paperExample4(TermContext &C) {
+  return linear1(
+      C,
+      [&](TermRef Z) {
+        return C.mkAnd(C.mkGe(Z, icst(C, 2)), C.mkLe(Z, icst(C, 8)));
+      },
+      [&](TermRef X, TermRef Z) {
+        return C.mkEq(Z, C.mkSub(C.mkMul(Rational(2), X), icst(C, 3)));
+      },
+      [&](TermRef Z) { return C.mkLt(Z, icst(C, -5)); });
+}
+
+NormalizedChc mucyc::paperExample10(TermContext &C, int64_t Bound) {
+  return binary1(
+      C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 3)); },
+      [&](TermRef X, TermRef Y, TermRef Z) {
+        TermRef D = C.mkSub(X, Y);
+        return C.mkOr(C.mkAnd(C.mkGe(D, icst(C, 0)), C.mkEq(Z, D)),
+                      C.mkAnd(C.mkLt(D, icst(C, 0)), C.mkEq(Z, C.mkNeg(D))));
+      },
+      [&](TermRef Z) { return C.mkGt(Z, icst(C, Bound)); });
+}
+
+NormalizedChc mucyc::appendixCSystem(TermContext &C) {
+  // P(-1), H(0), H(x) => H(x +- 1), P(x) /\ H(x) => R(x), R(x) => false.
+  // State: (tag, v) with tag 1 = P, 2 = H, 3 = R.
+  Tuples T = mkTuples(C, {Sort::Int, Sort::Int});
+  TermRef Zt = T.Zt[0], Zv = T.Zt[1];
+  TermRef Xt = T.Xt[0], Xv = T.Xt[1];
+  TermRef Yt = T.Yt[0], Yv = T.Yt[1];
+  TermRef Init = C.mkOr(
+      C.mkAnd(C.mkEq(Zt, icst(C, 1)), C.mkEq(Zv, icst(C, -1))),
+      C.mkAnd(C.mkEq(Zt, icst(C, 2)), C.mkEq(Zv, icst(C, 0))));
+  // H step (linear: the y child is unconstrained) and the P /\ H join.
+  TermRef HStep = C.mkAnd(
+      {C.mkEq(Xt, icst(C, 2)), C.mkEq(Zt, icst(C, 2)),
+       C.mkOr(C.mkEq(Zv, C.mkAdd(Xv, icst(C, 1))),
+              C.mkEq(Zv, C.mkSub(Xv, icst(C, 1))))});
+  TermRef Join = C.mkAnd({C.mkEq(Xt, icst(C, 1)), C.mkEq(Yt, icst(C, 2)),
+                          C.mkEq(Xv, Yv), C.mkEq(Zt, icst(C, 3)),
+                          C.mkEq(Zv, Xv)});
+  TermRef Trans = C.mkOr(HStep, Join);
+  TermRef Bad = C.mkEq(Zt, icst(C, 3));
+  return makeNormalized(C, T.X, T.Y, T.Z, Init, Trans, Bad);
+}
+
+NormalizedChc mucyc::mcCarthy91(TermContext &C) {
+  // P(n, r): mccarthy91(n) = r.
+  //   n > 100                      => P(n, n - 10)
+  //   n <= 100 /\ P(n+11, r1) /\ P(r1, r) => P(n, r)
+  //   P(n, r) /\ n <= 100 /\ r != 91 => false
+  Tuples T = mkTuples(C, {Sort::Int, Sort::Int});
+  TermRef Zn = T.Zt[0], Zr = T.Zt[1];
+  TermRef Xn = T.Xt[0], Xr = T.Xt[1];
+  TermRef Yn = T.Yt[0], Yr = T.Yt[1];
+  TermRef Init = C.mkAnd(C.mkGt(Zn, icst(C, 100)),
+                         C.mkEq(Zr, C.mkSub(Zn, icst(C, 10))));
+  TermRef Trans = C.mkAnd({C.mkLe(Zn, icst(C, 100)),
+                           C.mkEq(Xn, C.mkAdd(Zn, icst(C, 11))),
+                           C.mkEq(Yn, Xr), C.mkEq(Zr, Yr)});
+  TermRef Bad = C.mkAnd(C.mkLe(Zn, icst(C, 100)),
+                        C.mkNot(C.mkEq(Zr, icst(C, 91))));
+  return makeNormalized(C, T.X, T.Y, T.Z, Init, Trans, Bad);
+}
+
+//===----------------------------------------------------------------------===
+// Suite
+//===----------------------------------------------------------------------===
+
+std::vector<BenchInstance> mucyc::buildSuite() {
+  std::vector<BenchInstance> Out;
+  auto Add = [&](std::string Name, std::string Family, bool Linear,
+                 ChcStatus Exp,
+                 std::function<NormalizedChc(TermContext &)> B) {
+    Out.push_back(BenchInstance{std::move(Name), std::move(Family), Linear,
+                                Exp, std::move(B)});
+  };
+
+  // counter: z = 0; z' = z + 1 while z < N.
+  for (int64_t N : {3, 6, 10}) {
+    Add("counter_safe_" + std::to_string(N), "counter", true, ChcStatus::Sat,
+        [N](TermContext &C) {
+          return linear1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+              [&](TermRef X, TermRef Z) {
+                return C.mkAnd(C.mkLt(X, icst(C, N)),
+                               C.mkEq(Z, C.mkAdd(X, icst(C, 1))));
+              },
+              [&](TermRef Z) { return C.mkGt(Z, icst(C, N)); });
+        });
+    Add("counter_unsafe_" + std::to_string(N), "counter", true,
+        ChcStatus::Unsat, [N](TermContext &C) {
+          return linear1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+              [&](TermRef X, TermRef Z) {
+                return C.mkEq(Z, C.mkAdd(X, icst(C, 1)));
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, N)); });
+        });
+  }
+
+  // parity: z = 0; z' = z + 2. Odd targets unreachable.
+  for (int64_t N : {4, 8}) {
+    Add("parity_safe_" + std::to_string(N), "parity", true, ChcStatus::Sat,
+        [N](TermContext &C) {
+          return linear1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+              [&](TermRef X, TermRef Z) {
+                return C.mkEq(Z, C.mkAdd(X, icst(C, 2)));
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, 2 * N + 1)); });
+        });
+    Add("parity_unsafe_" + std::to_string(N), "parity", true,
+        ChcStatus::Unsat, [N](TermContext &C) {
+          return linear1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+              [&](TermRef X, TermRef Z) {
+                return C.mkEq(Z, C.mkAdd(X, icst(C, 2)));
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, 2 * N)); });
+        });
+  }
+
+  // Paper examples.
+  Add("paper_ex5", "paper", true, ChcStatus::Sat,
+      [](TermContext &C) { return paperExample5(C); });
+  Add("paper_ex4", "paper", true, ChcStatus::Unsat,
+      [](TermContext &C) { return paperExample4(C); });
+  for (int64_t B : {2, 5}) {
+    Add("absdiff_" + std::to_string(B), "paper", false,
+        B >= 3 ? ChcStatus::Sat : ChcStatus::Unsat,
+        [B](TermContext &C) { return paperExample10(C, B); });
+  }
+  Add("appendixC", "paper", false, ChcStatus::Unsat,
+      [](TermContext &C) { return appendixCSystem(C); });
+  Add("mccarthy91", "paper", false, ChcStatus::Sat,
+      [](TermContext &C) { return mcCarthy91(C); });
+
+  // two_counter: lockstep increments, a == b invariant.
+  for (int64_t N : {5, 12}) {
+    Add("twocounter_safe_" + std::to_string(N), "twocounter", true,
+        ChcStatus::Sat, [N](TermContext &C) {
+          return linear2(
+              C,
+              [&](TermRef A, TermRef B) {
+                return C.mkAnd(C.mkEq(A, icst(C, 0)), C.mkEq(B, icst(C, 0)));
+              },
+              [&](TermRef XA, TermRef XB, TermRef ZA, TermRef ZB) {
+                return C.mkAnd({C.mkLt(XA, icst(C, N)),
+                                C.mkEq(ZA, C.mkAdd(XA, icst(C, 1))),
+                                C.mkEq(ZB, C.mkAdd(XB, icst(C, 1)))});
+              },
+              [&](TermRef A, TermRef B) { return C.mkNot(C.mkEq(A, B)); });
+        });
+    // drift: a gains 2, b gains 1; difference eventually exceeds N.
+    Add("drift_unsafe_" + std::to_string(N), "twocounter", true,
+        ChcStatus::Unsat, [N](TermContext &C) {
+          return linear2(
+              C,
+              [&](TermRef A, TermRef B) {
+                return C.mkAnd(C.mkEq(A, icst(C, 0)), C.mkEq(B, icst(C, 0)));
+              },
+              [&](TermRef XA, TermRef XB, TermRef ZA, TermRef ZB) {
+                return C.mkAnd(C.mkEq(ZA, C.mkAdd(XA, icst(C, 2))),
+                               C.mkEq(ZB, C.mkAdd(XB, icst(C, 1))));
+              },
+              [&](TermRef A, TermRef B) {
+                return C.mkGt(C.mkSub(A, B), icst(C, N));
+              });
+        });
+  }
+
+  // Real arithmetic.
+  Add("real_half_safe", "real", true, ChcStatus::Sat, [](TermContext &C) {
+    return linear1(
+        C,
+        [&](TermRef Z) {
+          return C.mkAnd(C.mkGe(Z, C.mkRealConst(Rational(0))),
+                         C.mkLe(Z, C.mkRealConst(Rational(1))));
+        },
+        [&](TermRef X, TermRef Z) {
+          return C.mkEq(Z, C.mkMul(Rational(1, 2), X));
+        },
+        [&](TermRef Z) { return C.mkLt(Z, C.mkRealConst(Rational(-1))); },
+        Sort::Real);
+  });
+  for (int64_t N : {8, 64}) {
+    Add("real_grow_unsafe_" + std::to_string(N), "real", true,
+        ChcStatus::Unsat, [N](TermContext &C) {
+          return linear1(
+              C,
+              [&](TermRef Z) {
+                return C.mkAnd(C.mkGe(Z, C.mkRealConst(Rational(1))),
+                               C.mkLe(Z, C.mkRealConst(Rational(2))));
+              },
+              [&](TermRef X, TermRef Z) {
+                return C.mkEq(Z, C.mkMul(Rational(2), X));
+              },
+              [&](TermRef Z) {
+                return C.mkGt(Z, C.mkRealConst(Rational(N)));
+              },
+              Sort::Real);
+        });
+  }
+  Add("real_contract_safe", "real", true, ChcStatus::Sat, [](TermContext &C) {
+    // z' = z/2 + 1 from [0, 1]: fixpoint 2, invariant [0, 2].
+    return linear1(
+        C,
+        [&](TermRef Z) {
+          return C.mkAnd(C.mkGe(Z, C.mkRealConst(Rational(0))),
+                         C.mkLe(Z, C.mkRealConst(Rational(1))));
+        },
+        [&](TermRef X, TermRef Z) {
+          return C.mkEq(Z, C.mkAdd(C.mkMul(Rational(1, 2), X),
+                                   C.mkRealConst(Rational(1))));
+        },
+        [&](TermRef Z) { return C.mkGt(Z, C.mkRealConst(Rational(3))); },
+        Sort::Real);
+  });
+
+  // fib_sum: z = 1; z = x + y (tree recursion).
+  Add("fibsum_safe", "tree", false, ChcStatus::Sat, [](TermContext &C) {
+    return binary1(
+        C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 1)); },
+        [&](TermRef X, TermRef Y, TermRef Z) {
+          return C.mkEq(Z, C.mkAdd(X, Y));
+        },
+        [&](TermRef Z) { return C.mkLt(Z, icst(C, 1)); });
+  });
+  for (int64_t B : {7, 14}) {
+    Add("fibsum_unsafe_" + std::to_string(B), "tree", false, ChcStatus::Unsat,
+        [B](TermContext &C) {
+          return binary1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 1)); },
+              [&](TermRef X, TermRef Y, TermRef Z) {
+                return C.mkEq(Z, C.mkAdd(X, Y));
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, B)); });
+        });
+  }
+
+  // tree_max: z = max(x, y) + 1 from 0.
+  Add("treemax_safe", "tree", false, ChcStatus::Sat, [](TermContext &C) {
+    return binary1(
+        C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+        [&](TermRef X, TermRef Y, TermRef Z) {
+          return C.mkOr(
+              C.mkAnd(C.mkGe(X, Y), C.mkEq(Z, C.mkAdd(X, icst(C, 1)))),
+              C.mkAnd(C.mkLt(X, Y), C.mkEq(Z, C.mkAdd(Y, icst(C, 1)))));
+        },
+        [&](TermRef Z) { return C.mkLt(Z, icst(C, 0)); });
+  });
+  for (int64_t B : {6, 14}) {
+    Add("treemax_unsafe_" + std::to_string(B), "tree", false,
+        ChcStatus::Unsat, [B](TermContext &C) {
+          return binary1(
+              C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+              [&](TermRef X, TermRef Y, TermRef Z) {
+                return C.mkOr(
+                    C.mkAnd(C.mkGe(X, Y), C.mkEq(Z, C.mkAdd(X, icst(C, 1)))),
+                    C.mkAnd(C.mkLt(X, Y), C.mkEq(Z, C.mkAdd(Y, icst(C, 1)))));
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, B)); });
+        });
+  }
+
+  // mixed_guard: z = x + y with both children bounded; reach = [0, 2N].
+  for (int64_t N : {4, 9}) {
+    Add("mixed_safe_" + std::to_string(N), "mixed", false, ChcStatus::Sat,
+        [N](TermContext &C) {
+          return binary1(
+              C,
+              [&](TermRef Z) {
+                return C.mkAnd(C.mkGe(Z, icst(C, 0)), C.mkLe(Z, icst(C, 1)));
+              },
+              [&](TermRef X, TermRef Y, TermRef Z) {
+                return C.mkAnd({C.mkLe(X, icst(C, N)), C.mkLe(Y, icst(C, N)),
+                                C.mkEq(Z, C.mkAdd(X, Y))});
+              },
+              [&](TermRef Z) { return C.mkGt(Z, icst(C, 2 * N)); });
+        });
+    Add("mixed_unsafe_" + std::to_string(N), "mixed", false, ChcStatus::Unsat,
+        [N](TermContext &C) {
+          return binary1(
+              C,
+              [&](TermRef Z) {
+                return C.mkAnd(C.mkGe(Z, icst(C, 0)), C.mkLe(Z, icst(C, 1)));
+              },
+              [&](TermRef X, TermRef Y, TermRef Z) {
+                return C.mkAnd({C.mkLe(X, icst(C, N)), C.mkLe(Y, icst(C, N)),
+                                C.mkEq(Z, C.mkAdd(X, Y))});
+              },
+              [&](TermRef Z) { return C.mkEq(Z, icst(C, 2 * N)); });
+        });
+  }
+
+  // Boolean/finite-state: a toggled bit reached only on even rounds, plus a
+  // mod-3 counter encoded over Int with divisibility-friendly steps.
+  Add("mod3_safe", "finite", true, ChcStatus::Sat, [](TermContext &C) {
+    return linear1(
+        C, [&](TermRef Z) { return C.mkEq(Z, icst(C, 0)); },
+        [&](TermRef X, TermRef Z) {
+          // z' = (x + 1) mod 3, encoded with a case split.
+          return C.mkOr(
+              C.mkAnd(C.mkLt(X, icst(C, 2)), C.mkEq(Z, C.mkAdd(X, icst(C, 1)))),
+              C.mkAnd(C.mkGe(X, icst(C, 2)), C.mkEq(Z, icst(C, 0))));
+        },
+        [&](TermRef Z) { return C.mkGt(Z, icst(C, 2)); });
+  });
+
+  return Out;
+}
+
+std::vector<BenchInstance> mucyc::buildSmallSuite() {
+  std::vector<BenchInstance> All = buildSuite();
+  std::vector<BenchInstance> Small;
+  for (BenchInstance &B : All) {
+    if (B.Name == "counter_safe_3" || B.Name == "counter_unsafe_3" ||
+        B.Name == "paper_ex5" || B.Name == "paper_ex4" ||
+        B.Name == "absdiff_2" || B.Name == "absdiff_5" ||
+        B.Name == "parity_safe_4" || B.Name == "parity_unsafe_4" ||
+        B.Name == "real_half_safe" || B.Name == "fibsum_safe" ||
+        B.Name == "appendixC" || B.Name == "mod3_safe")
+      Small.push_back(B);
+  }
+  return Small;
+}

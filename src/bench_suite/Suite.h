@@ -1,0 +1,56 @@
+//===- bench_suite/Suite.h - Synthetic CHC benchmark suite ------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The benchmark suite standing in for the CHC-COMP LIA-lin / LIA-nonlin
+/// instances used in the paper's evaluation (Section 7.2), which are not
+/// available offline. Families are deterministic and parameterized, each
+/// instance labeled with its ground-truth status; they cover linear and
+/// tree-shaped (nonlinear) recursion over LIA, LRA and Bool, and include
+/// every example system from the paper (Examples 4, 5, 10, the Appendix C
+/// system, McCarthy 91).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_BENCH_SUITE_SUITE_H
+#define MUCYC_BENCH_SUITE_SUITE_H
+
+#include "chc/Normalize.h"
+#include "solver/ChcSolve.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mucyc {
+
+/// One benchmark instance. The normalized system is built lazily into the
+/// caller's TermContext so instances stay cheap to enumerate.
+struct BenchInstance {
+  std::string Name;
+  std::string Family;
+  bool Linear;            ///< Linear CHC (single body atom) before encoding.
+  ChcStatus Expected;     ///< Ground truth.
+  std::function<NormalizedChc(TermContext &)> Build;
+};
+
+/// The full deterministic suite.
+std::vector<BenchInstance> buildSuite();
+
+/// Subsets used by the experiments.
+std::vector<BenchInstance> buildSmallSuite(); ///< Fast instances for tests.
+
+/// Individual paper systems (used by tests, examples, and the divergence
+/// experiment).
+NormalizedChc paperExample4(TermContext &Ctx);  ///< UNSAT (x' = 2x - 3).
+NormalizedChc paperExample5(TermContext &Ctx);  ///< SAT (x' = 2x).
+NormalizedChc paperExample10(TermContext &Ctx, int64_t Bound); ///< |x-y|.
+NormalizedChc appendixCSystem(TermContext &Ctx); ///< UNSAT via H(x+-1).
+NormalizedChc mcCarthy91(TermContext &Ctx);      ///< SAT.
+
+} // namespace mucyc
+
+#endif // MUCYC_BENCH_SUITE_SUITE_H

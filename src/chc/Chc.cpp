@@ -1,0 +1,135 @@
+//===- chc/Chc.cpp - Constrained Horn clause systems ----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Chc.h"
+
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace mucyc;
+
+PredId ChcSystem::addPred(const std::string &Name,
+                          std::vector<Sort> ArgSorts) {
+  assert(!findPred(Name) && "duplicate predicate name");
+  Preds.push_back(PredDecl{Name, std::move(ArgSorts)});
+  return static_cast<PredId>(Preds.size() - 1);
+}
+
+std::optional<PredId> ChcSystem::findPred(const std::string &Name) const {
+  for (PredId P = 0; P < Preds.size(); ++P)
+    if (Preds[P].Name == Name)
+      return P;
+  return std::nullopt;
+}
+
+void ChcSystem::addClause(Clause C) {
+#ifndef NDEBUG
+  auto CheckApp = [&](const PredApp &App) {
+    assert(App.Pred < Preds.size() && "unknown predicate");
+    const PredDecl &D = Preds[App.Pred];
+    assert(App.Args.size() == D.ArgSorts.size() && "arity mismatch");
+    for (size_t I = 0; I < App.Args.size(); ++I)
+      assert(Ctx->sort(App.Args[I]) == D.ArgSorts[I] && "arg sort mismatch");
+  };
+  for (const PredApp &App : C.Body)
+    CheckApp(App);
+  if (C.Head)
+    CheckApp(*C.Head);
+  assert(Ctx->sort(C.Constraint) == Sort::Bool);
+#endif
+  Clauses.push_back(std::move(C));
+}
+
+bool ChcSystem::isLinear() const {
+  return std::all_of(Clauses.begin(), Clauses.end(),
+                     [](const Clause &C) { return C.isLinear(); });
+}
+
+std::vector<std::vector<PredId>> ChcSystem::dependencyGraph() const {
+  std::vector<std::vector<PredId>> G(Preds.size());
+  for (const Clause &C : Clauses) {
+    if (!C.Head)
+      continue;
+    for (const PredApp &B : C.Body) {
+      auto &Out = G[C.Head->Pred];
+      if (std::find(Out.begin(), Out.end(), B.Pred) == Out.end())
+        Out.push_back(B.Pred);
+    }
+  }
+  return G;
+}
+
+TermRef mucyc::applyDef(TermContext &Ctx, const PredDef &Def,
+                        const PredApp &App) {
+  assert(Def.Params.size() == App.Args.size() && "arity mismatch");
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < Def.Params.size(); ++I)
+    Map.emplace(Def.Params[I], App.Args[I]);
+  return Ctx.substitute(Def.Body, Map);
+}
+
+TermRef ChcSystem::clauseFormula(const Clause &C,
+                                 const ChcSolution &Sol) const {
+  std::vector<TermRef> Ante{C.Constraint};
+  for (const PredApp &B : C.Body) {
+    auto It = Sol.find(B.Pred);
+    assert(It != Sol.end() && "solution misses a predicate");
+    Ante.push_back(applyDef(*Ctx, It->second, B));
+  }
+  TermRef Lhs = Ctx->mkAnd(std::move(Ante));
+  TermRef Rhs = Ctx->mkFalse();
+  if (C.Head) {
+    auto It = Sol.find(C.Head->Pred);
+    assert(It != Sol.end() && "solution misses the head predicate");
+    Rhs = applyDef(*Ctx, It->second, *C.Head);
+  }
+  return Ctx->mkImplies(Lhs, Rhs);
+}
+
+bool ChcSystem::checkSolution(const ChcSolution &Sol) const {
+  for (const Clause &C : Clauses) {
+    TermRef F = clauseFormula(C, Sol);
+    if (SmtSolver::quickCheck(*Ctx, {Ctx->mkNot(F)}).has_value())
+      return false;
+  }
+  return true;
+}
+
+std::string ChcSystem::toString() const {
+  std::ostringstream OS;
+  auto PrintApp = [&](const PredApp &App) {
+    OS << Preds[App.Pred].Name << "(";
+    for (size_t I = 0; I < App.Args.size(); ++I) {
+      if (I)
+        OS << ", ";
+      OS << Ctx->toString(App.Args[I]);
+    }
+    OS << ")";
+  };
+  for (const Clause &C : Clauses) {
+    bool First = true;
+    for (const PredApp &B : C.Body) {
+      if (!First)
+        OS << " /\\ ";
+      First = false;
+      PrintApp(B);
+    }
+    if (Ctx->kind(C.Constraint) != Kind::True || C.Body.empty()) {
+      if (!First)
+        OS << " /\\ ";
+      OS << Ctx->toString(C.Constraint);
+    }
+    OS << " => ";
+    if (C.Head)
+      PrintApp(*C.Head);
+    else
+      OS << "false";
+    OS << "\n";
+  }
+  return OS.str();
+}

@@ -1,0 +1,108 @@
+//===- chc/Chc.h - Constrained Horn clause systems --------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Constrained Horn clauses (Section 2.1 of the paper): clauses
+///     P1(t1) /\ ... /\ Pn(tn) /\ phi  =>  Q(s)      (definite)
+///     P1(t1) /\ ... /\ Pn(tn) /\ phi  =>  false     (query)
+/// over a constraint language of quantifier-free Bool+LIA+LRA formulas.
+/// A solution assigns each predicate a formula over its parameters making
+/// every clause valid; the satisfiability problem asks whether one exists.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_CHC_H
+#define MUCYC_CHC_CHC_H
+
+#include "term/Term.h"
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mucyc {
+
+using PredId = uint32_t;
+
+/// Declared (uninterpreted) predicate symbol.
+struct PredDecl {
+  std::string Name;
+  std::vector<Sort> ArgSorts;
+};
+
+/// An application P(t1, ..., tk) of a predicate to terms.
+struct PredApp {
+  PredId Pred;
+  std::vector<TermRef> Args;
+};
+
+/// One constrained Horn clause. Head is empty for query clauses (=> false).
+struct Clause {
+  std::vector<PredApp> Body;
+  TermRef Constraint;
+  std::optional<PredApp> Head;
+
+  bool isQuery() const { return !Head.has_value(); }
+  bool isFact() const { return Body.empty() && Head.has_value(); }
+  /// Linear in the paper's sense: at most one body atom.
+  bool isLinear() const { return Body.size() <= 1; }
+};
+
+/// Interpretation of one predicate: a formula over its parameter variables.
+struct PredDef {
+  std::vector<VarId> Params;
+  TermRef Body;
+};
+
+/// A candidate solution: interpretations for every predicate.
+using ChcSolution = std::map<PredId, PredDef>;
+
+/// A CHC system over a shared TermContext.
+class ChcSystem {
+public:
+  explicit ChcSystem(TermContext &Ctx) : Ctx(&Ctx) {}
+
+  TermContext &ctx() const { return *Ctx; }
+
+  PredId addPred(const std::string &Name, std::vector<Sort> ArgSorts);
+  const PredDecl &pred(PredId P) const { return Preds[P]; }
+  size_t numPreds() const { return Preds.size(); }
+  std::optional<PredId> findPred(const std::string &Name) const;
+
+  void addClause(Clause C);
+  const std::vector<Clause> &clauses() const { return Clauses; }
+
+  /// True if every clause is linear.
+  bool isLinear() const;
+
+  /// Predicate dependency edges: head -> body (P depends on Q when some
+  /// clause has head P and Q in the body), per Section 3.1.
+  std::vector<std::vector<PredId>> dependencyGraph() const;
+
+  /// Instantiates the clause as the Boolean formula
+  ///   body-interpretations /\ constraint => head-interpretation
+  /// under \p Sol, returning the implication whose validity must hold.
+  TermRef clauseFormula(const Clause &C, const ChcSolution &Sol) const;
+
+  /// Checks that \p Sol makes every clause valid (SMT-backed).
+  bool checkSolution(const ChcSolution &Sol) const;
+
+  std::string toString() const;
+
+private:
+  TermContext *Ctx;
+  std::vector<PredDecl> Preds;
+  std::vector<Clause> Clauses;
+};
+
+/// Substitutes a predicate definition at an application site:
+/// Def.Body[Params := App.Args].
+TermRef applyDef(TermContext &Ctx, const PredDef &Def, const PredApp &App);
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_CHC_H

@@ -1,0 +1,54 @@
+//===- chc/Export.cpp - Re-exporting normalized systems -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Export.h"
+
+#include "chc/Parser.h"
+
+using namespace mucyc;
+
+ChcSystem mucyc::chcFromNormalized(TermContext &Ctx, const NormalizedChc &N,
+                                   const std::string &PredName) {
+  ChcSystem Sys(Ctx);
+  std::vector<Sort> Sorts;
+  for (VarId V : N.Z)
+    Sorts.push_back(Ctx.varInfo(V).S);
+  PredId P = Sys.addPred(PredName, Sorts);
+
+  auto Tuple = [&](const std::vector<VarId> &Vars) {
+    std::vector<TermRef> Args;
+    for (VarId V : Vars)
+      Args.push_back(Ctx.varTerm(V));
+    return Args;
+  };
+
+  // iota(z) => P(z).
+  Clause Init;
+  Init.Constraint = N.Init;
+  Init.Head = PredApp{P, Tuple(N.Z)};
+  Sys.addClause(Init);
+
+  // P(x) /\ P(y) /\ tau(x, y, z) => P(z).
+  Clause Step;
+  Step.Body.push_back(PredApp{P, Tuple(N.X)});
+  Step.Body.push_back(PredApp{P, Tuple(N.Y)});
+  Step.Constraint = N.Trans;
+  Step.Head = PredApp{P, Tuple(N.Z)};
+  Sys.addClause(Step);
+
+  // P(z) /\ beta(z) => false.
+  Clause Query;
+  Query.Body.push_back(PredApp{P, Tuple(N.Z)});
+  Query.Constraint = N.Bad;
+  Sys.addClause(Query);
+  return Sys;
+}
+
+std::string mucyc::exportSmtLib(TermContext &Ctx, const NormalizedChc &N,
+                                const std::string &PredName) {
+  ChcSystem Sys = chcFromNormalized(Ctx, N, PredName);
+  return printSmtLib(Sys);
+}

@@ -1,0 +1,34 @@
+//===- chc/Export.h - Re-exporting normalized systems -----------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse direction of normalization: a NormalizedChc (the paper's
+/// {iota => P, P /\ P /\ tau => P, P /\ beta => false} form) rendered back
+/// as a three-clause ChcSystem, and from there as SMT-LIB2 HORN text. Used
+/// to materialize the benchmark suite as .smt2 files and to round-trip the
+/// frontend in tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_EXPORT_H
+#define MUCYC_CHC_EXPORT_H
+
+#include "chc/Normalize.h"
+
+namespace mucyc {
+
+/// Builds the explicit three-clause system for \p N over a predicate named
+/// \p PredName.
+ChcSystem chcFromNormalized(TermContext &Ctx, const NormalizedChc &N,
+                            const std::string &PredName = "P");
+
+/// Renders \p N as SMT-LIB2 HORN text.
+std::string exportSmtLib(TermContext &Ctx, const NormalizedChc &N,
+                         const std::string &PredName = "P");
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_EXPORT_H

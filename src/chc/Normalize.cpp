@@ -1,0 +1,378 @@
+//===- chc/Normalize.cpp - Normalization to the paper's form --------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Normalize.h"
+
+#include "mbp/Qe.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace mucyc;
+
+TermRef NormalizedChc::zToX(TermContext &Ctx, TermRef F) const {
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < Z.size(); ++I)
+    Map.emplace(Z[I], Ctx.varTerm(X[I]));
+  return Ctx.substitute(F, Map);
+}
+
+TermRef NormalizedChc::zToY(TermContext &Ctx, TermRef F) const {
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < Z.size(); ++I)
+    Map.emplace(Z[I], Ctx.varTerm(Y[I]));
+  return Ctx.substitute(F, Map);
+}
+
+NormalizedChc mucyc::makeNormalized(TermContext &Ctx, std::vector<VarId> X,
+                                    std::vector<VarId> Y, std::vector<VarId> Z,
+                                    TermRef Init, TermRef Trans, TermRef Bad) {
+  assert(X.size() == Y.size() && Y.size() == Z.size());
+#ifndef NDEBUG
+  for (size_t I = 0; I < X.size(); ++I) {
+    assert(Ctx.varInfo(X[I]).S == Ctx.varInfo(Z[I]).S);
+    assert(Ctx.varInfo(Y[I]).S == Ctx.varInfo(Z[I]).S);
+  }
+#else
+  (void)Ctx;
+#endif
+  NormalizedChc N;
+  N.X = std::move(X);
+  N.Y = std::move(Y);
+  N.Z = std::move(Z);
+  N.Init = Init;
+  N.Trans = Trans;
+  N.Bad = Bad;
+  return N;
+}
+
+namespace {
+
+/// Slot pool: combined-state positions with fixed sorts, allocated greedily
+/// per "shape" (sequence of sorts). Shapes are independent because only one
+/// tag is live in a state at a time.
+class SlotPool {
+public:
+  std::vector<size_t> allocate(const std::vector<Sort> &Shape) {
+    std::vector<size_t> Mapping;
+    std::vector<bool> Used(Sorts.size(), false);
+    for (Sort S : Shape) {
+      size_t Pos = Sorts.size();
+      for (size_t I = 0; I < Sorts.size(); ++I)
+        if (!Used[I] && Sorts[I] == S) {
+          Pos = I;
+          break;
+        }
+      if (Pos == Sorts.size())
+        Sorts.push_back(S);
+      Used.resize(Sorts.size(), false);
+      Used[Pos] = true;
+      Mapping.push_back(Pos);
+    }
+    return Mapping;
+  }
+
+  const std::vector<Sort> &sorts() const { return Sorts; }
+
+private:
+  std::vector<Sort> Sorts;
+};
+
+/// A clause with every atom argument replaced by a distinct fresh variable;
+/// the bindings move into the constraint.
+struct FlatClause {
+  std::vector<PredId> BodyPreds;
+  std::vector<std::vector<VarId>> BodyArgs;
+  std::optional<PredId> HeadPred;
+  std::vector<VarId> HeadArgs;
+  TermRef Constraint;
+};
+
+FlatClause flattenClause(ChcSystem &Sys, const Clause &C, size_t Index) {
+  TermContext &Ctx = Sys.ctx();
+  FlatClause F;
+  std::vector<TermRef> Conj{C.Constraint};
+  auto FreshTuple = [&](PredId P, const char *Role, size_t AtomIdx) {
+    const PredDecl &D = Sys.pred(P);
+    std::vector<VarId> Vars;
+    for (size_t I = 0; I < D.ArgSorts.size(); ++I) {
+      TermRef V = Ctx.mkFreshVar("norm!c" + std::to_string(Index) + Role +
+                                     std::to_string(AtomIdx) + "a" +
+                                     std::to_string(I),
+                                 D.ArgSorts[I]);
+      Vars.push_back(Ctx.node(V).Var);
+    }
+    return Vars;
+  };
+  for (size_t BI = 0; BI < C.Body.size(); ++BI) {
+    const PredApp &App = C.Body[BI];
+    F.BodyPreds.push_back(App.Pred);
+    std::vector<VarId> Vars = FreshTuple(App.Pred, "b", BI);
+    for (size_t I = 0; I < Vars.size(); ++I)
+      Conj.push_back(Ctx.mkEq(Ctx.varTerm(Vars[I]), App.Args[I]));
+    F.BodyArgs.push_back(std::move(Vars));
+  }
+  if (C.Head) {
+    F.HeadPred = C.Head->Pred;
+    F.HeadArgs = FreshTuple(C.Head->Pred, "h", 0);
+    for (size_t I = 0; I < F.HeadArgs.size(); ++I)
+      Conj.push_back(
+          Ctx.mkEq(Ctx.varTerm(F.HeadArgs[I]), C.Head->Args[I]));
+  }
+  F.Constraint = Ctx.mkAnd(std::move(Conj));
+  return F;
+}
+
+/// Eliminates from \p F every variable not in \p Keep (complete QE).
+TermRef projectOnto(TermContext &Ctx, TermRef F,
+                    const std::vector<VarId> &Keep) {
+  std::vector<VarId> Elim;
+  for (VarId V : Ctx.freeVars(F))
+    if (std::find(Keep.begin(), Keep.end(), V) == Keep.end())
+      Elim.push_back(V);
+  return qeExists(Ctx, Elim, F);
+}
+
+} // namespace
+
+NormalizeResult mucyc::normalize(ChcSystem &Sys) {
+  TermContext &Ctx = Sys.ctx();
+  NormalizeResult R;
+
+  // 1. Slot layout for every predicate.
+  SlotPool Pool;
+  for (PredId P = 0; P < Sys.numPreds(); ++P) {
+    NormalizeResult::PredLayout L;
+    L.Tag = static_cast<int64_t>(P) + 1;
+    L.Slots = Pool.allocate(Sys.pred(P).ArgSorts);
+    R.Layout.emplace(P, std::move(L));
+  }
+  int64_t NextTag = static_cast<int64_t>(Sys.numPreds()) + 1;
+
+  // 2. Flatten clauses and allocate intermediate layouts for folds.
+  struct Piece {
+    int64_t XTag = -1, YTag = -1, ZTag = -1; // -1: not a transition piece.
+    std::vector<std::pair<size_t, VarId>> XBind, YBind, ZBind; // slot, var.
+    TermRef Local; ///< Constraint over bound variables (QE-projected later).
+  };
+  std::vector<Piece> InitPieces, TransPieces, BadPieces;
+
+  for (size_t CI = 0; CI < Sys.clauses().size(); ++CI) {
+    FlatClause F = flattenClause(Sys, Sys.clauses()[CI], CI);
+    size_t K = F.BodyPreds.size();
+
+    // Stacked layouts for intermediate joins of body positions [0, i).
+    // Intermediate i (2 <= i < K) packs the first i atoms' tuples.
+    std::vector<std::vector<size_t>> StackMap(K + 1);
+    std::vector<int64_t> StackTag(K + 1, -1);
+    if (K > 2) {
+      for (size_t I = 2; I < K; ++I) {
+        std::vector<Sort> Shape;
+        std::vector<VarId> Flat;
+        for (size_t J = 0; J < I; ++J)
+          for (VarId V : F.BodyArgs[J]) {
+            Shape.push_back(Ctx.varInfo(V).S);
+            Flat.push_back(V);
+          }
+        StackMap[I] = Pool.allocate(Shape);
+        StackTag[I] = NextTag++;
+      }
+    }
+
+    auto PredBind = [&](PredId P, const std::vector<VarId> &Args) {
+      std::vector<std::pair<size_t, VarId>> B;
+      const auto &L = R.Layout.at(P);
+      for (size_t I = 0; I < Args.size(); ++I)
+        B.emplace_back(L.Slots[I], Args[I]);
+      return B;
+    };
+    auto StackBind = [&](size_t I) {
+      std::vector<std::pair<size_t, VarId>> B;
+      size_t Pos = 0;
+      for (size_t J = 0; J < I; ++J)
+        for (VarId V : F.BodyArgs[J])
+          B.emplace_back(StackMap[I][Pos++], V);
+      return B;
+    };
+
+    // Pure-copy folds building the intermediates.
+    for (size_t I = 2; I < K; ++I) {
+      Piece P;
+      P.XTag = I == 2 ? R.Layout.at(F.BodyPreds[0]).Tag : StackTag[I - 1];
+      P.XBind = I == 2 ? PredBind(F.BodyPreds[0], F.BodyArgs[0])
+                       : StackBind(I - 1);
+      P.YTag = R.Layout.at(F.BodyPreds[I - 1]).Tag;
+      P.YBind = PredBind(F.BodyPreds[I - 1], F.BodyArgs[I - 1]);
+      P.ZTag = StackTag[I];
+      P.ZBind = StackBind(I);
+      P.Local = Ctx.mkTrue();
+      TransPieces.push_back(std::move(P));
+    }
+
+    // The final (or only) piece carrying the clause constraint.
+    Piece P;
+    P.Local = F.Constraint;
+    if (K == 0) {
+      if (F.HeadPred) {
+        P.ZTag = R.Layout.at(*F.HeadPred).Tag;
+        P.ZBind = PredBind(*F.HeadPred, F.HeadArgs);
+        InitPieces.push_back(std::move(P));
+      } else {
+        // Ground query: bad at the unit state.
+        P.ZTag = 0;
+        BadPieces.push_back(std::move(P));
+      }
+      continue;
+    }
+    if (K == 1) {
+      P.XTag = R.Layout.at(F.BodyPreds[0]).Tag;
+      P.XBind = PredBind(F.BodyPreds[0], F.BodyArgs[0]);
+      P.YTag = 0; // Unit partner.
+    } else {
+      P.XTag = K == 2 ? R.Layout.at(F.BodyPreds[0]).Tag : StackTag[K - 1];
+      P.XBind = K == 2 ? PredBind(F.BodyPreds[0], F.BodyArgs[0])
+                       : StackBind(K - 1);
+      P.YTag = R.Layout.at(F.BodyPreds[K - 1]).Tag;
+      P.YBind = PredBind(F.BodyPreds[K - 1], F.BodyArgs[K - 1]);
+    }
+    if (F.HeadPred) {
+      P.ZTag = R.Layout.at(*F.HeadPred).Tag;
+      P.ZBind = PredBind(*F.HeadPred, F.HeadArgs);
+      TransPieces.push_back(std::move(P));
+    } else if (K == 1) {
+      // Unary query: a bad-state piece over Z directly. Clear the X/Y
+      // transition roles set above — beta must be a Z-only formula.
+      P.ZTag = R.Layout.at(F.BodyPreds[0]).Tag;
+      P.ZBind = P.XBind;
+      P.XTag = -1;
+      P.XBind.clear();
+      P.YTag = -1;
+      P.YBind.clear();
+      BadPieces.push_back(std::move(P));
+    } else {
+      // Multi-atom query: route through a dedicated bad tag.
+      int64_t BadTag = NextTag++;
+      P.ZTag = BadTag;
+      TransPieces.push_back(std::move(P));
+      Piece B;
+      B.ZTag = BadTag;
+      B.Local = Ctx.mkTrue();
+      BadPieces.push_back(std::move(B));
+    }
+  }
+
+  // 3. Materialize the combined tuples.
+  NormalizedChc &N = R.Sys;
+  auto MakeTuple = [&](const char *Prefix) {
+    std::vector<VarId> T;
+    TermRef Tag = Ctx.mkFreshVar(std::string(Prefix) + "!tag", Sort::Int);
+    T.push_back(Ctx.node(Tag).Var);
+    for (size_t I = 0; I < Pool.sorts().size(); ++I) {
+      TermRef V = Ctx.mkFreshVar(std::string(Prefix) + "!s" +
+                                     std::to_string(I),
+                                 Pool.sorts()[I]);
+      T.push_back(Ctx.node(V).Var);
+    }
+    return T;
+  };
+  N.Z = MakeTuple("norm!z");
+  N.X = MakeTuple("norm!x");
+  N.Y = MakeTuple("norm!y");
+
+  // 4. Render pieces as formulas. Binding a piece substitutes its clause
+  // variables by tuple slots after projecting away everything else.
+  auto Render = [&](const Piece &P) {
+    std::vector<VarId> Keep;
+    for (const auto &[S, V] : P.XBind)
+      Keep.push_back(V);
+    for (const auto &[S, V] : P.YBind)
+      Keep.push_back(V);
+    for (const auto &[S, V] : P.ZBind)
+      Keep.push_back(V);
+    TermRef Proj = projectOnto(Ctx, P.Local, Keep);
+    // A clause variable bound to several tuple positions (the pure-copy
+    // fold pieces bind each stacked variable in both the source tuple and
+    // the packed Z tuple) induces equality constraints between those
+    // positions; the first binding becomes the substitution target.
+    std::unordered_map<VarId, TermRef> Map;
+    std::vector<TermRef> Conj;
+    auto Bind = [&](VarId V, TermRef Slot) {
+      auto [It, Inserted] = Map.emplace(V, Slot);
+      if (!Inserted)
+        Conj.push_back(Ctx.mkEq(It->second, Slot));
+    };
+    for (const auto &[S, V] : P.XBind)
+      Bind(V, Ctx.varTerm(N.X[S + 1]));
+    for (const auto &[S, V] : P.YBind)
+      Bind(V, Ctx.varTerm(N.Y[S + 1]));
+    for (const auto &[S, V] : P.ZBind)
+      Bind(V, Ctx.varTerm(N.Z[S + 1]));
+    Conj.push_back(Ctx.substitute(Proj, Map));
+    auto TagEq = [&](VarId TagVar, int64_t Tag) {
+      return Ctx.mkEq(Ctx.varTerm(TagVar), Ctx.mkIntConst(Tag));
+    };
+    if (P.XTag >= 0)
+      Conj.push_back(TagEq(N.X[0], P.XTag));
+    if (P.YTag >= 0)
+      Conj.push_back(TagEq(N.Y[0], P.YTag));
+    if (P.ZTag >= 0)
+      Conj.push_back(TagEq(N.Z[0], P.ZTag));
+    return Ctx.mkAnd(std::move(Conj));
+  };
+
+  std::vector<TermRef> Init{
+      Ctx.mkEq(Ctx.varTerm(N.Z[0]), Ctx.mkIntConst(0))}; // Unit state.
+  for (const Piece &P : InitPieces)
+    Init.push_back(Render(P));
+  N.Init = Ctx.mkOr(std::move(Init));
+
+  std::vector<TermRef> Trans;
+  for (const Piece &P : TransPieces)
+    Trans.push_back(Render(P));
+  N.Trans = Ctx.mkOr(std::move(Trans));
+
+  std::vector<TermRef> Bad;
+  for (const Piece &P : BadPieces)
+    Bad.push_back(Render(P));
+  N.Bad = Ctx.mkOr(std::move(Bad));
+
+  return R;
+}
+
+ChcSolution NormalizeResult::liftSolution(ChcSystem &Orig,
+                                          TermRef PhiZ) const {
+  TermContext &Ctx = Orig.ctx();
+  ChcSolution Sol;
+  for (PredId P = 0; P < Orig.numPreds(); ++P) {
+    const PredDecl &D = Orig.pred(P);
+    const PredLayout &L = Layout.at(P);
+    PredDef Def;
+    // Fresh parameter variables.
+    for (size_t I = 0; I < D.ArgSorts.size(); ++I) {
+      TermRef V = Ctx.mkFreshVar(D.Name + "!p" + std::to_string(I),
+                                 D.ArgSorts[I]);
+      Def.Params.push_back(Ctx.node(V).Var);
+    }
+    // phi(z) /\ tag = tag_P, slots substituted by parameters, everything
+    // else projected away.
+    TermRef F = Ctx.mkAnd(
+        PhiZ, Ctx.mkEq(Ctx.varTerm(Sys.Z[0]), Ctx.mkIntConst(L.Tag)));
+    std::unordered_map<VarId, TermRef> Map;
+    std::vector<VarId> Keep;
+    for (size_t I = 0; I < L.Slots.size(); ++I) {
+      Map.emplace(Sys.Z[L.Slots[I] + 1], Ctx.varTerm(Def.Params[I]));
+      Keep.push_back(Sys.Z[L.Slots[I] + 1]);
+    }
+    std::vector<VarId> Elim;
+    for (VarId V : Ctx.freeVars(F))
+      if (std::find(Keep.begin(), Keep.end(), V) == Keep.end())
+        Elim.push_back(V);
+    TermRef Proj = qeExists(Ctx, Elim, F);
+    Def.Body = Ctx.substitute(Proj, Map);
+    Sol.emplace(P, std::move(Def));
+  }
+  return Sol;
+}

@@ -1,0 +1,83 @@
+//===- chc/Normalize.h - Normalization to the paper's form ------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "mild condition" transformation of Section 2.1: any CHC system is
+/// rewritten, preserving satisfiability, into
+///
+///     iota(z)  =>  P(z),
+///     P(x) /\ P(y) /\ tau(x, y, z)  =>  P(z),
+///     P(z) /\ beta(z)  =>  false,
+///
+/// with a single predicate P over a fixed tuple. The encoding:
+///
+///  * The combined state is [tag : Int, slots...] where the slots are the
+///    concatenation of every original predicate's parameters. tag = 0 is a
+///    distinguished always-reachable "unit" state used to binarize clauses
+///    with fewer than two body atoms; intermediate tags are introduced to
+///    fold clauses with more than two body atoms, carrying several
+///    predicates' slot groups at once (the groups are disjoint, so a packed
+///    pair needs no extra slots).
+///  * Clause-local variables that cannot be expressed over the slots are
+///    eliminated with (complete) quantifier elimination.
+///
+/// The least-model correspondence: a combined state (tag_p, ..., v_p, ...)
+/// is reachable iff v_p is in the least model of the original system at
+/// predicate p, so satisfiability is preserved in both directions, and a
+/// solution of the normalized system projects back to one of the original.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_NORMALIZE_H
+#define MUCYC_CHC_NORMALIZE_H
+
+#include "chc/Chc.h"
+
+namespace mucyc {
+
+/// The paper's normalized system over variable tuples X, Y, Z of equal
+/// sorts. Init and Bad are over Z; Trans is over X ++ Y ++ Z.
+struct NormalizedChc {
+  std::vector<VarId> X, Y, Z;
+  TermRef Init;  ///< iota(z).
+  TermRef Trans; ///< tau(x, y, z).
+  TermRef Bad;   ///< beta(z); the assertion is alpha = not beta.
+
+  /// Renames a Z-formula to the X tuple (or Y).
+  TermRef zToX(TermContext &Ctx, TermRef F) const;
+  TermRef zToY(TermContext &Ctx, TermRef F) const;
+};
+
+/// Result of normalization: the system plus the mapping needed to read a
+/// solution of the normalized system back as a solution of the original.
+struct NormalizeResult {
+  NormalizedChc Sys;
+  /// For each original predicate: the tag value and the slot positions of
+  /// its parameters inside Z.
+  struct PredLayout {
+    int64_t Tag;
+    std::vector<size_t> Slots;
+  };
+  std::map<PredId, PredLayout> Layout;
+
+  /// Projects a solution formula phi(z) of the normalized system (an
+  /// invariant containing Init and closed under Trans, disjoint from Bad)
+  /// back to a ChcSolution of the original system.
+  ChcSolution liftSolution(ChcSystem &Orig, TermRef PhiZ) const;
+};
+
+/// Normalizes an arbitrary CHC system. Requires at least one predicate.
+NormalizeResult normalize(ChcSystem &Sys);
+
+/// Builds a NormalizedChc directly from iota/tau/beta formulas over given
+/// tuples (the fast path for systems authored in normal form).
+NormalizedChc makeNormalized(TermContext &Ctx, std::vector<VarId> X,
+                             std::vector<VarId> Y, std::vector<VarId> Z,
+                             TermRef Init, TermRef Trans, TermRef Bad);
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_NORMALIZE_H

@@ -1,0 +1,568 @@
+//===- chc/Parser.cpp - SMT-LIB2 HORN frontend ----------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Parser.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace mucyc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// S-expressions
+//===----------------------------------------------------------------------===
+
+struct Sexp {
+  bool IsAtom = false;
+  std::string Atom;
+  std::vector<Sexp> Kids;
+};
+
+class Lexer {
+public:
+  explicit Lexer(const std::string &Text) : Text(Text) {}
+
+  /// Returns the next token, or empty at end of input.
+  std::string next() {
+    skipSpace();
+    if (Pos >= Text.size())
+      return "";
+    char C = Text[Pos];
+    if (C == '(' || C == ')') {
+      ++Pos;
+      return std::string(1, C);
+    }
+    if (C == '|') { // Quoted symbol.
+      size_t End = Text.find('|', Pos + 1);
+      if (End == std::string::npos)
+        End = Text.size() - 1;
+      std::string Tok = Text.substr(Pos + 1, End - Pos - 1);
+      Pos = End + 1;
+      return Tok.empty() ? "|" : Tok;
+    }
+    size_t Start = Pos;
+    while (Pos < Text.size() && !isspace(static_cast<unsigned char>(Text[Pos])) &&
+           Text[Pos] != '(' && Text[Pos] != ')' && Text[Pos] != ';')
+      ++Pos;
+    return Text.substr(Start, Pos - Start);
+  }
+
+private:
+  void skipSpace() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == ';') {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+        continue;
+      }
+      if (!isspace(static_cast<unsigned char>(C)))
+        break;
+      ++Pos;
+    }
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+};
+
+bool readSexp(Lexer &Lex, const std::string &First, Sexp &Out,
+              std::string &Err) {
+  if (First.empty()) {
+    Err = "unexpected end of input";
+    return false;
+  }
+  if (First == "(") {
+    Out.IsAtom = false;
+    while (true) {
+      std::string Tok = Lex.next();
+      if (Tok == ")")
+        return true;
+      Sexp Kid;
+      if (!readSexp(Lex, Tok, Kid, Err))
+        return false;
+      Out.Kids.push_back(std::move(Kid));
+    }
+  }
+  if (First == ")") {
+    Err = "unexpected ')'";
+    return false;
+  }
+  Out.IsAtom = true;
+  Out.Atom = First;
+  return true;
+}
+
+//===----------------------------------------------------------------------===
+// Command interpretation
+//===----------------------------------------------------------------------===
+
+struct ParserState {
+  TermContext &Ctx;
+  ChcSystem Sys;
+  std::string Err;
+
+  explicit ParserState(TermContext &Ctx) : Ctx(Ctx), Sys(Ctx) {}
+
+  bool fail(const std::string &Msg) {
+    if (Err.empty())
+      Err = Msg;
+    return false;
+  }
+};
+
+/// Binding environment for quantified and let-bound names. Predicate
+/// applications are collected on the side: during clause parsing a predicate
+/// application evaluates to a fresh Bool placeholder recorded in Apps.
+struct Env {
+  std::map<std::string, TermRef> Names;
+};
+
+std::optional<Sort> parseSort(const Sexp &S) {
+  if (!S.IsAtom)
+    return std::nullopt;
+  if (S.Atom == "Bool")
+    return Sort::Bool;
+  if (S.Atom == "Int")
+    return Sort::Int;
+  if (S.Atom == "Real")
+    return Sort::Real;
+  return std::nullopt;
+}
+
+bool isNumeral(const std::string &S) {
+  if (S.empty())
+    return false;
+  size_t I = 0;
+  bool Digit = false, Dot = false;
+  for (; I < S.size(); ++I) {
+    if (S[I] >= '0' && S[I] <= '9') {
+      Digit = true;
+      continue;
+    }
+    if (S[I] == '.' && !Dot) {
+      Dot = true;
+      continue;
+    }
+    return false;
+  }
+  return Digit;
+}
+
+/// Parsed atom-or-application in clause position: either a constraint term
+/// or a predicate application.
+struct BodyItem {
+  std::optional<PredApp> App;
+  TermRef Term;
+};
+
+/// Term parser. \p Apps collects predicate applications encountered in
+/// positive positions (body conjunctions); applications elsewhere are an
+/// error for HORN.
+class TermParser {
+public:
+  TermParser(ParserState &PS) : PS(PS), Ctx(PS.Ctx) {}
+
+  /// Parses a constraint-only term (no predicate applications allowed).
+  std::optional<TermRef> parseTerm(const Sexp &S, Env &E) {
+    if (S.IsAtom)
+      return parseAtomToken(S.Atom, E);
+    if (S.Kids.empty()) {
+      PS.fail("empty application");
+      return std::nullopt;
+    }
+    const Sexp &Head = S.Kids[0];
+    if (!Head.IsAtom) {
+      PS.fail("non-symbol in operator position");
+      return std::nullopt;
+    }
+    const std::string &Op = Head.Atom;
+
+    if (Op == "let") {
+      if (S.Kids.size() != 3 || Head.IsAtom == false) {
+        PS.fail("malformed let");
+        return std::nullopt;
+      }
+      Env E2 = E;
+      for (const Sexp &B : S.Kids[1].Kids) {
+        if (B.IsAtom || B.Kids.size() != 2 || !B.Kids[0].IsAtom) {
+          PS.fail("malformed let binding");
+          return std::nullopt;
+        }
+        auto V = parseTerm(B.Kids[1], E);
+        if (!V)
+          return std::nullopt;
+        E2.Names[B.Kids[0].Atom] = *V;
+      }
+      return parseTerm(S.Kids[2], E2);
+    }
+
+    std::vector<TermRef> Args;
+    for (size_t I = 1; I < S.Kids.size(); ++I) {
+      auto A = parseTerm(S.Kids[I], E);
+      if (!A)
+        return std::nullopt;
+      Args.push_back(*A);
+    }
+    return apply(Op, Args);
+  }
+
+  std::optional<TermRef> apply(const std::string &Op,
+                               std::vector<TermRef> Args) {
+    auto Arity = [&](size_t N) {
+      if (Args.size() == N)
+        return true;
+      PS.fail("operator '" + Op + "' expects " + std::to_string(N) +
+              " arguments");
+      return false;
+    };
+    if (Op == "and")
+      return Ctx.mkAnd(std::move(Args));
+    if (Op == "or")
+      return Ctx.mkOr(std::move(Args));
+    if (Op == "not")
+      return Arity(1) ? std::optional(Ctx.mkNot(Args[0])) : std::nullopt;
+    if (Op == "=>") {
+      if (Args.size() < 2)
+        return Arity(2) ? std::optional(TermRef()) : std::nullopt;
+      TermRef R = Args.back();
+      for (size_t I = Args.size() - 1; I-- > 0;)
+        R = Ctx.mkImplies(Args[I], R);
+      return R;
+    }
+    if (Op == "ite")
+      return Arity(3) ? std::optional(Ctx.mkIte(Args[0], Args[1], Args[2]))
+                      : std::nullopt;
+    if (Op == "=") {
+      if (!Arity(2))
+        return std::nullopt;
+      return Ctx.mkEq(Args[0], Args[1]);
+    }
+    if (Op == "<=")
+      return Arity(2) ? std::optional(Ctx.mkLe(Args[0], Args[1]))
+                      : std::nullopt;
+    if (Op == "<")
+      return Arity(2) ? std::optional(Ctx.mkLt(Args[0], Args[1]))
+                      : std::nullopt;
+    if (Op == ">=")
+      return Arity(2) ? std::optional(Ctx.mkGe(Args[0], Args[1]))
+                      : std::nullopt;
+    if (Op == ">")
+      return Arity(2) ? std::optional(Ctx.mkGt(Args[0], Args[1]))
+                      : std::nullopt;
+    if (Op == "+")
+      return Ctx.mkAdd(std::move(Args));
+    if (Op == "-") {
+      if (Args.size() == 1)
+        return Ctx.mkNeg(Args[0]);
+      if (!Arity(2))
+        return std::nullopt;
+      return Ctx.mkSub(Args[0], Args[1]);
+    }
+    if (Op == "*") {
+      if (!Arity(2))
+        return std::nullopt;
+      // One side must be a constant (linear arithmetic).
+      if (Ctx.kind(Args[0]) == Kind::Const)
+        return Ctx.mkMul(Ctx.node(Args[0]).Val, Args[1]);
+      if (Ctx.kind(Args[1]) == Kind::Const)
+        return Ctx.mkMul(Ctx.node(Args[1]).Val, Args[0]);
+      PS.fail("non-linear multiplication");
+      return std::nullopt;
+    }
+    // Predicate application in constraint position?
+    if (PS.Sys.findPred(Op)) {
+      PS.fail("predicate '" + Op + "' used outside Horn body/head position");
+      return std::nullopt;
+    }
+    PS.fail("unknown operator '" + Op + "'");
+    return std::nullopt;
+  }
+
+  std::optional<TermRef> parseAtomToken(const std::string &Tok, Env &E) {
+    auto It = E.Names.find(Tok);
+    if (It != E.Names.end())
+      return It->second;
+    if (Tok == "true")
+      return Ctx.mkTrue();
+    if (Tok == "false")
+      return Ctx.mkFalse();
+    if (isNumeral(Tok)) {
+      Rational V = Rational::fromString(Tok);
+      // Sort by syntax: decimals are Real, plain numerals Int.
+      bool IsReal = Tok.find('.') != std::string::npos;
+      return Ctx.mkConst(V, IsReal ? Sort::Real : Sort::Int);
+    }
+    if (auto P = PS.Sys.findPred(Tok)) {
+      if (PS.Sys.pred(*P).ArgSorts.empty())
+        return std::nullopt; // Handled by the clause parser.
+      PS.fail("predicate '" + Tok + "' used as a term");
+      return std::nullopt;
+    }
+    PS.fail("unbound symbol '" + Tok + "'");
+    return std::nullopt;
+  }
+
+  ParserState &PS;
+  TermContext &Ctx;
+};
+
+/// Clause-structure parser: walks the Horn skeleton (forall / => / and)
+/// splitting predicate applications from constraints.
+class ClauseParser {
+public:
+  explicit ClauseParser(ParserState &PS) : PS(PS), TP(PS) {}
+
+  bool parseAssert(const Sexp &S) {
+    Env E;
+    return parseQuantified(S, E);
+  }
+
+private:
+  ParserState &PS;
+  TermParser TP;
+
+  bool parseQuantified(const Sexp &S, Env &E) {
+    if (!S.IsAtom && !S.Kids.empty() && S.Kids[0].IsAtom &&
+        S.Kids[0].Atom == "forall") {
+      if (S.Kids.size() != 3)
+        return PS.fail("malformed forall");
+      Env E2 = E;
+      for (const Sexp &B : S.Kids[1].Kids) {
+        if (B.IsAtom || B.Kids.size() != 2 || !B.Kids[0].IsAtom)
+          return PS.fail("malformed binder");
+        auto Srt = parseSort(B.Kids[1]);
+        if (!Srt)
+          return PS.fail("unknown sort in binder");
+        // Quantified names are clause-local: freshen to avoid capture
+        // across clauses while keeping the display name readable.
+        TermRef V = PS.Ctx.mkFreshVar(B.Kids[0].Atom, *Srt);
+        E2.Names[B.Kids[0].Atom] = V;
+      }
+      return parseQuantified(S.Kids[2], E2);
+    }
+    return parseImplication(S, E);
+  }
+
+  bool parseImplication(const Sexp &S, Env &E) {
+    Clause C;
+    C.Constraint = PS.Ctx.mkTrue();
+    if (!S.IsAtom && !S.Kids.empty() && S.Kids[0].IsAtom &&
+        S.Kids[0].Atom == "=>" && S.Kids.size() == 3) {
+      if (!parseBody(S.Kids[1], E, C))
+        return false;
+      return parseHead(S.Kids[2], E, C);
+    }
+    // (not body) is sugar for body => false; bare head is a fact.
+    if (!S.IsAtom && !S.Kids.empty() && S.Kids[0].IsAtom &&
+        S.Kids[0].Atom == "not" && S.Kids.size() == 2) {
+      if (!parseBody(S.Kids[1], E, C))
+        return false;
+      C.Head = std::nullopt;
+      PS.Sys.addClause(std::move(C));
+      return true;
+    }
+    return parseHead(S, E, C);
+  }
+
+  bool parseBody(const Sexp &S, Env &E, Clause &C) {
+    // Body: conjunction of predicate applications and constraints.
+    if (!S.IsAtom && !S.Kids.empty() && S.Kids[0].IsAtom &&
+        S.Kids[0].Atom == "and") {
+      for (size_t I = 1; I < S.Kids.size(); ++I)
+        if (!parseBody(S.Kids[I], E, C))
+          return false;
+      return true;
+    }
+    if (auto App = tryPredApp(S, E)) {
+      C.Body.push_back(std::move(*App));
+      return true;
+    }
+    if (!PS.Err.empty())
+      return false;
+    auto T = TP.parseTerm(S, E);
+    if (!T)
+      return false;
+    C.Constraint = PS.Ctx.mkAnd(C.Constraint, *T);
+    return true;
+  }
+
+  bool parseHead(const Sexp &S, Env &E, Clause &C) {
+    if (S.IsAtom && S.Atom == "false") {
+      C.Head = std::nullopt;
+      PS.Sys.addClause(std::move(C));
+      return true;
+    }
+    if (auto App = tryPredApp(S, E)) {
+      C.Head = std::move(*App);
+      PS.Sys.addClause(std::move(C));
+      return true;
+    }
+    if (!PS.Err.empty())
+      return false;
+    return PS.fail("clause head is neither a predicate nor false");
+  }
+
+  std::optional<PredApp> tryPredApp(const Sexp &S, Env &E) {
+    std::string Name;
+    const std::vector<Sexp> *ArgSexps = nullptr;
+    static const std::vector<Sexp> NoArgs;
+    if (S.IsAtom) {
+      Name = S.Atom;
+      ArgSexps = &NoArgs;
+    } else if (!S.Kids.empty() && S.Kids[0].IsAtom) {
+      Name = S.Kids[0].Atom;
+      ArgSexps = nullptr;
+    } else {
+      return std::nullopt;
+    }
+    auto P = PS.Sys.findPred(Name);
+    if (!P)
+      return std::nullopt;
+    PredApp App;
+    App.Pred = *P;
+    if (!ArgSexps) {
+      for (size_t I = 1; I < S.Kids.size(); ++I) {
+        auto T = TP.parseTerm(S.Kids[I], E);
+        if (!T) {
+          PS.fail("bad argument to predicate '" + Name + "'");
+          return std::nullopt;
+        }
+        App.Args.push_back(*T);
+      }
+    }
+    if (App.Args.size() != PS.Sys.pred(*P).ArgSorts.size()) {
+      PS.fail("arity mismatch for predicate '" + Name + "'");
+      return std::nullopt;
+    }
+    return App;
+  }
+};
+
+} // namespace
+
+ParseResult mucyc::parseChc(TermContext &Ctx, const std::string &Text) {
+  ParseResult R;
+  ParserState PS(Ctx);
+  Lexer Lex(Text);
+  while (true) {
+    std::string Tok = Lex.next();
+    if (Tok.empty())
+      break;
+    Sexp Cmd;
+    std::string Err;
+    if (!readSexp(Lex, Tok, Cmd, Err)) {
+      R.Error = Err;
+      return R;
+    }
+    if (Cmd.IsAtom || Cmd.Kids.empty() || !Cmd.Kids[0].IsAtom) {
+      R.Error = "malformed command";
+      return R;
+    }
+    const std::string &Name = Cmd.Kids[0].Atom;
+    if (Name == "set-logic" || Name == "set-info" || Name == "set-option" ||
+        Name == "check-sat" || Name == "get-model" || Name == "exit")
+      continue;
+    if (Name == "declare-fun") {
+      if (Cmd.Kids.size() != 4 || !Cmd.Kids[1].IsAtom) {
+        R.Error = "malformed declare-fun";
+        return R;
+      }
+      auto Ret = parseSort(Cmd.Kids[3]);
+      if (!Ret || *Ret != Sort::Bool) {
+        R.Error = "declare-fun must return Bool in HORN";
+        return R;
+      }
+      std::vector<Sort> ArgSorts;
+      for (const Sexp &A : Cmd.Kids[2].Kids) {
+        auto S = parseSort(A);
+        if (!S) {
+          R.Error = "unknown argument sort in declare-fun";
+          return R;
+        }
+        ArgSorts.push_back(*S);
+      }
+      PS.Sys.addPred(Cmd.Kids[1].Atom, std::move(ArgSorts));
+      continue;
+    }
+    if (Name == "assert") {
+      if (Cmd.Kids.size() != 2) {
+        R.Error = "malformed assert";
+        return R;
+      }
+      ClauseParser CP(PS);
+      if (!CP.parseAssert(Cmd.Kids[1])) {
+        R.Error = PS.Err.empty() ? "failed to parse assertion" : PS.Err;
+        return R;
+      }
+      continue;
+    }
+    R.Error = "unsupported command '" + Name + "'";
+    return R;
+  }
+  R.Ok = true;
+  R.System = std::move(PS.Sys);
+  return R;
+}
+
+std::string mucyc::printSmtLib(const ChcSystem &Sys) {
+  const TermContext &Ctx = Sys.ctx();
+  std::ostringstream OS;
+  OS << "(set-logic HORN)\n";
+  for (PredId P = 0; P < Sys.numPreds(); ++P) {
+    const PredDecl &D = Sys.pred(P);
+    OS << "(declare-fun " << D.Name << " (";
+    for (size_t I = 0; I < D.ArgSorts.size(); ++I)
+      OS << (I ? " " : "") << sortName(D.ArgSorts[I]);
+    OS << ") Bool)\n";
+  }
+  for (const Clause &C : Sys.clauses()) {
+    // Collect free variables for the forall binder.
+    std::vector<VarId> Vars;
+    auto AddVars = [&](TermRef T) {
+      for (VarId V : const_cast<TermContext &>(Ctx).freeVars(T))
+        if (std::find(Vars.begin(), Vars.end(), V) == Vars.end())
+          Vars.push_back(V);
+    };
+    AddVars(C.Constraint);
+    for (const PredApp &B : C.Body)
+      for (TermRef A : B.Args)
+        AddVars(A);
+    if (C.Head)
+      for (TermRef A : C.Head->Args)
+        AddVars(A);
+
+    auto AppStr = [&](const PredApp &App) {
+      std::string S;
+      if (App.Args.empty())
+        return Sys.pred(App.Pred).Name;
+      S = "(" + Sys.pred(App.Pred).Name;
+      for (TermRef A : App.Args)
+        S += " " + Ctx.toString(A);
+      return S + ")";
+    };
+
+    OS << "(assert ";
+    if (!Vars.empty()) {
+      OS << "(forall (";
+      for (size_t I = 0; I < Vars.size(); ++I)
+        OS << (I ? " " : "") << "(" << Ctx.varInfo(Vars[I]).Name << " "
+           << sortName(Ctx.varInfo(Vars[I]).S) << ")";
+      OS << ") ";
+    }
+    OS << "(=> (and " << Ctx.toString(C.Constraint);
+    for (const PredApp &B : C.Body)
+      OS << " " << AppStr(B);
+    OS << ") " << (C.Head ? AppStr(*C.Head) : "false") << ")";
+    if (!Vars.empty())
+      OS << ")";
+    OS << ")\n";
+  }
+  OS << "(check-sat)\n";
+  return OS.str();
+}

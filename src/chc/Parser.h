@@ -1,0 +1,44 @@
+//===- chc/Parser.h - SMT-LIB2 HORN frontend --------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the SMT-LIB2 subset used by CHC-COMP benchmarks:
+/// (set-logic HORN), (declare-fun P (sorts) Bool), and assertions of the
+/// forms
+///     (assert (forall (vars) (=> body head)))
+///     (assert (forall (vars) head))            ; facts
+///     (assert (=> body head)), (assert head)   ; ground clauses
+/// where head is a predicate application or false, and body is a
+/// conjunction of predicate applications and constraints. Supports let,
+/// and/or/not/=>/ite, =, <=, <, >=, >, +, -, *, div-free LIA/LRA literals,
+/// and Bool/Int/Real sorts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_PARSER_H
+#define MUCYC_CHC_PARSER_H
+
+#include "chc/Chc.h"
+
+namespace mucyc {
+
+/// Result of parsing; Error is empty on success.
+struct ParseResult {
+  bool Ok = false;
+  std::string Error;
+  /// Valid when Ok.
+  std::optional<ChcSystem> System;
+};
+
+/// Parses SMT-LIB2 HORN text into a CHC system over \p Ctx.
+ParseResult parseChc(TermContext &Ctx, const std::string &Text);
+
+/// Renders a CHC system back to SMT-LIB2 HORN (round-trip printable).
+std::string printSmtLib(const ChcSystem &Sys);
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_PARSER_H

@@ -1,0 +1,246 @@
+//===- chc/Preprocess.cpp - CHC preprocessing -----------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Preprocess.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+namespace {
+
+/// Renames all clause-local variables of \p C to fresh ones.
+Clause freshenClause(ChcSystem &Sys, const Clause &C) {
+  TermContext &Ctx = Sys.ctx();
+  std::unordered_map<VarId, TermRef> Map;
+  auto Freshen = [&](TermRef T) {
+    for (VarId V : Ctx.freeVars(T))
+      if (!Map.count(V))
+        Map.emplace(V, Ctx.mkFreshVar(Ctx.varInfo(V).Name, Ctx.varInfo(V).S));
+    return Ctx.substitute(T, Map);
+  };
+  Clause Out;
+  Out.Constraint = Freshen(C.Constraint);
+  for (const PredApp &B : C.Body) {
+    PredApp NB{B.Pred, {}};
+    for (TermRef A : B.Args)
+      NB.Args.push_back(Freshen(A));
+    Out.Body.push_back(std::move(NB));
+  }
+  if (C.Head) {
+    PredApp NH{C.Head->Pred, {}};
+    for (TermRef A : C.Head->Args)
+      NH.Args.push_back(Freshen(A));
+    Out.Head = std::move(NH);
+  }
+  return Out;
+}
+
+bool isRecursive(const ChcSystem &Sys, PredId P) {
+  for (const Clause &C : Sys.clauses()) {
+    if (!C.Head || C.Head->Pred != P)
+      continue;
+    for (const PredApp &B : C.Body)
+      if (B.Pred == P)
+        return true;
+  }
+  return false;
+}
+
+/// Total occurrences of variable \p V across the whole clause.
+size_t occurrences(TermContext &Ctx, const Clause &C, VarId V) {
+  size_t N = 0;
+  // freeVars deduplicates, so count occurrences structurally.
+  std::vector<TermRef> Work;
+  auto Push = [&](TermRef T) { Work.push_back(T); };
+  Push(C.Constraint);
+  for (const PredApp &B : C.Body)
+    for (TermRef A : B.Args)
+      Push(A);
+  if (C.Head)
+    for (TermRef A : C.Head->Args)
+      Push(A);
+  while (!Work.empty()) {
+    TermRef T = Work.back();
+    Work.pop_back();
+    const TermNode &Node = Ctx.node(T);
+    if (Node.K == Kind::Var && Node.Var == V)
+      ++N;
+    for (TermRef Kid : Node.Kids)
+      Work.push_back(Kid);
+  }
+  return N;
+}
+
+} // namespace
+
+bool mucyc::unfoldPredicate(ChcSystem &Sys, PredId P, ChcSystem &Out) {
+  if (isRecursive(Sys, P))
+    return false;
+  TermContext &Ctx = Sys.ctx();
+
+  std::vector<const Clause *> Defs;
+  for (const Clause &C : Sys.clauses())
+    if (C.Head && C.Head->Pred == P)
+      Defs.push_back(&C);
+
+  for (const Clause &C : Sys.clauses()) {
+    if (C.Head && C.Head->Pred == P)
+      continue; // Definition clause: dropped.
+    // Expand use sites left to right; each expansion may be the cartesian
+    // product over definitions.
+    std::vector<Clause> Pending{C};
+    std::vector<Clause> Done;
+    while (!Pending.empty()) {
+      Clause Cur = std::move(Pending.back());
+      Pending.pop_back();
+      size_t Use = Cur.Body.size();
+      for (size_t I = 0; I < Cur.Body.size(); ++I)
+        if (Cur.Body[I].Pred == P) {
+          Use = I;
+          break;
+        }
+      if (Use == Cur.Body.size()) {
+        Done.push_back(std::move(Cur));
+        continue;
+      }
+      for (const Clause *DefC : Defs) {
+        Clause D = freshenClause(Sys, *DefC);
+        Clause Merged;
+        Merged.Head = Cur.Head;
+        std::vector<TermRef> Conj{Cur.Constraint, D.Constraint};
+        const PredApp &UseApp = Cur.Body[Use];
+        for (size_t I = 0; I < UseApp.Args.size(); ++I)
+          Conj.push_back(Ctx.mkEq(D.Head->Args[I], UseApp.Args[I]));
+        Merged.Constraint = Ctx.mkAnd(std::move(Conj));
+        for (size_t I = 0; I < Cur.Body.size(); ++I)
+          if (I != Use)
+            Merged.Body.push_back(Cur.Body[I]);
+        for (const PredApp &B : D.Body)
+          Merged.Body.push_back(B);
+        Pending.push_back(std::move(Merged));
+      }
+    }
+    for (Clause &DC : Done)
+      Out.addClause(std::move(DC));
+  }
+  return true;
+}
+
+ChcSystem mucyc::filterArguments(ChcSystem &Sys, size_t *NumFiltered) {
+  TermContext &Ctx = Sys.ctx();
+  // Safe redundancy criterion (a restriction of Leuschel-Sorensen RAF): an
+  // argument position (P, i) may be erased if in EVERY application of P in
+  // the system, the argument is a variable occurring exactly once in its
+  // clause. Such arguments carry no information, so erasing them preserves
+  // satisfiability in both directions.
+  std::vector<std::vector<bool>> Erasable(Sys.numPreds());
+  for (PredId P = 0; P < Sys.numPreds(); ++P)
+    Erasable[P].assign(Sys.pred(P).ArgSorts.size(), true);
+
+  for (const Clause &C : Sys.clauses()) {
+    auto Scan = [&](const PredApp &App) {
+      for (size_t I = 0; I < App.Args.size(); ++I) {
+        if (!Erasable[App.Pred][I])
+          continue;
+        const TermNode &N = Ctx.node(App.Args[I]);
+        if (N.K != Kind::Var || occurrences(Ctx, C, N.Var) != 1)
+          Erasable[App.Pred][I] = false;
+      }
+    };
+    for (const PredApp &B : C.Body)
+      Scan(B);
+    if (C.Head)
+      Scan(*C.Head);
+  }
+
+  size_t Filtered = 0;
+  for (PredId P = 0; P < Sys.numPreds(); ++P)
+    Filtered += std::count(Erasable[P].begin(), Erasable[P].end(), true);
+  if (NumFiltered)
+    *NumFiltered = Filtered;
+
+  ChcSystem Out(Ctx);
+  for (PredId P = 0; P < Sys.numPreds(); ++P) {
+    std::vector<Sort> Sorts;
+    for (size_t I = 0; I < Sys.pred(P).ArgSorts.size(); ++I)
+      if (!Erasable[P][I])
+        Sorts.push_back(Sys.pred(P).ArgSorts[I]);
+    Out.addPred(Sys.pred(P).Name, std::move(Sorts));
+  }
+  for (const Clause &C : Sys.clauses()) {
+    Clause NC;
+    NC.Constraint = C.Constraint;
+    auto FilterApp = [&](const PredApp &App) {
+      PredApp NA{App.Pred, {}};
+      for (size_t I = 0; I < App.Args.size(); ++I)
+        if (!Erasable[App.Pred][I])
+          NA.Args.push_back(App.Args[I]);
+      return NA;
+    };
+    for (const PredApp &B : C.Body)
+      NC.Body.push_back(FilterApp(B));
+    if (C.Head)
+      NC.Head = FilterApp(*C.Head);
+    Out.addClause(std::move(NC));
+  }
+  return Out;
+}
+
+ChcSystem mucyc::preprocess(ChcSystem &Sys, PreprocessStats *Stats) {
+  PreprocessStats S;
+  S.ClausesBefore = Sys.clauses().size();
+
+  ChcSystem Cur = Sys;
+  bool Changed = true;
+  size_t Round = 0;
+  while (Changed) {
+    Changed = false;
+    for (PredId P = 0; P < Cur.numPreds(); ++P) {
+      if (isRecursive(Cur, P))
+        continue;
+      // Cost heuristic: unfold only when it does not grow the clause count.
+      size_t Defs = 0, Uses = 0;
+      for (const Clause &C : Cur.clauses()) {
+        if (C.Head && C.Head->Pred == P)
+          ++Defs;
+        for (const PredApp &B : C.Body)
+          Uses += B.Pred == P ? 1 : 0;
+      }
+      if (Defs == 0 && Uses == 0)
+        continue;
+      if (Defs * Uses > Defs + Uses)
+        continue;
+      ChcSystem Next(Cur.ctx());
+      for (PredId Q = 0; Q < Cur.numPreds(); ++Q)
+        Next.addPred(Cur.pred(Q).Name + "!u" + std::to_string(Round),
+                     Cur.pred(Q).ArgSorts);
+      if (!unfoldPredicate(Cur, P, Next))
+        continue;
+      Cur = std::move(Next);
+      ++S.PredsEliminated;
+      ++Round;
+      Changed = true;
+      break;
+    }
+  }
+
+  // Argument filtering to a fixpoint: erasing dead arguments can expose
+  // more dead arguments.
+  while (true) {
+    size_t Filtered = 0;
+    ChcSystem Next = filterArguments(Cur, &Filtered);
+    S.ArgsFiltered += Filtered;
+    Cur = std::move(Next);
+    if (Filtered == 0)
+      break;
+  }
+
+  S.ClausesAfter = Cur.clauses().size();
+  if (Stats)
+    *Stats = S;
+  return Cur;
+}

@@ -1,0 +1,44 @@
+//===- chc/Preprocess.h - CHC preprocessing ---------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preprocessing pipeline of Section 7.2: repeated resolution to
+/// eliminate redundant predicate symbols, plus redundant-argument filtering
+/// in the style of Leuschel & Sorensen (1997). Both transformations
+/// preserve satisfiability; resolution additionally preserves solutions of
+/// the remaining predicates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_PREPROCESS_H
+#define MUCYC_CHC_PREPROCESS_H
+
+#include "chc/Chc.h"
+
+namespace mucyc {
+
+struct PreprocessStats {
+  size_t PredsEliminated = 0;
+  size_t ArgsFiltered = 0;
+  size_t ClausesBefore = 0;
+  size_t ClausesAfter = 0;
+};
+
+/// Unfolds a non-recursive predicate: every use of \p P in clause bodies is
+/// replaced by the bodies of P's defining clauses (with fresh variables).
+/// \returns false if P is recursive or is used in its own definition.
+bool unfoldPredicate(ChcSystem &Sys, PredId P, ChcSystem &Out);
+
+/// Applies the full pipeline: eliminate predicates whose unfolding does not
+/// grow the system, then filter unused argument positions to a fixpoint.
+ChcSystem preprocess(ChcSystem &Sys, PreprocessStats *Stats = nullptr);
+
+/// Redundant-argument filtering only.
+ChcSystem filterArguments(ChcSystem &Sys, size_t *NumFiltered = nullptr);
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_PREPROCESS_H

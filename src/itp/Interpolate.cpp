@@ -1,0 +1,111 @@
+//===- itp/Interpolate.cpp - Craig interpolation --------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "itp/Interpolate.h"
+
+#include "mbp/Qe.h"
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+std::vector<TermRef>
+mucyc::generalizeBlockedCube(TermContext &Ctx, TermRef A,
+                             const std::vector<TermRef> &Lits) {
+  SmtSolver S(Ctx);
+  S.assertFormula(A);
+  SmtStatus St = S.check(Lits);
+  assert(St == SmtStatus::Unsat && "cube is not blocked by A");
+  if (St != SmtStatus::Unsat)
+    return Lits;
+  // Start from the solver's core, then greedily try to drop literals.
+  std::vector<TermRef> Core = S.unsatCore();
+  for (size_t I = 0; I < Core.size();) {
+    std::vector<TermRef> Trial;
+    Trial.reserve(Core.size() - 1);
+    for (size_t J = 0; J < Core.size(); ++J)
+      if (J != I)
+        Trial.push_back(Core[J]);
+    if (S.check(Trial) == SmtStatus::Unsat) {
+      // Adopt the (possibly even smaller) refreshed core.
+      Core = S.unsatCore();
+      // Restart scanning: indices shifted.
+      I = 0;
+      continue;
+    }
+    ++I;
+  }
+  return Core;
+}
+
+namespace {
+
+/// If F is (syntactically) the negation of a cube, returns the cube's
+/// literals: F = not(l1 /\ ... /\ ln) or F = (not l1 \/ ... \/ not ln).
+std::optional<std::vector<TermRef>> negatedCube(TermContext &Ctx, TermRef F) {
+  const TermNode &N = Ctx.node(F);
+  std::vector<TermRef> Lits;
+  if (N.K == Kind::Not && Ctx.kind(N.Kids[0]) == Kind::And) {
+    for (TermRef Kid : Ctx.node(N.Kids[0]).Kids) {
+      if (!Ctx.isLiteral(Kid))
+        return std::nullopt;
+      Lits.push_back(Kid);
+    }
+    return Lits;
+  }
+  if (N.K == Kind::Or) {
+    for (TermRef Kid : N.Kids) {
+      if (!Ctx.isLiteral(Kid))
+        return std::nullopt;
+      Lits.push_back(Ctx.mkNot(Kid));
+    }
+    return Lits;
+  }
+  if (Ctx.isLiteral(F))
+    return std::vector<TermRef>{Ctx.mkNot(F)};
+  return std::nullopt;
+}
+
+} // namespace
+
+TermRef mucyc::interpolate(TermContext &Ctx, TermRef A, TermRef B,
+                           ItpMode Mode) {
+  assert(SmtSolver::implies(Ctx, A, B) && "Itp precondition A => B violated");
+  switch (Mode) {
+  case ItpMode::WeakestB:
+    return B;
+  case ItpMode::QeStrongest: {
+    std::vector<VarId> BVars = Ctx.freeVars(B);
+    std::vector<VarId> Elim;
+    for (VarId V : Ctx.freeVars(A))
+      if (!std::binary_search(BVars.begin(), BVars.end(), V))
+        Elim.push_back(V);
+    return qeExists(Ctx, Elim, A);
+  }
+  case ItpMode::CubeGeneralize: {
+    // Decompose B into conjuncts and generalize the clause-like ones.
+    std::vector<TermRef> Conjuncts;
+    if (Ctx.kind(B) == Kind::And)
+      Conjuncts = Ctx.node(B).Kids;
+    else
+      Conjuncts = {B};
+    std::vector<TermRef> Out;
+    Out.reserve(Conjuncts.size());
+    for (TermRef Bj : Conjuncts) {
+      if (auto Cube = negatedCube(Ctx, Bj)) {
+        std::vector<TermRef> Small = generalizeBlockedCube(Ctx, A, *Cube);
+        Out.push_back(Ctx.mkNot(Ctx.mkAnd(std::move(Small))));
+      } else {
+        Out.push_back(Bj); // Valid since A => B => Bj.
+      }
+    }
+    return Ctx.mkAnd(std::move(Out));
+  }
+  }
+  assert(false && "unknown interpolation mode");
+  return B;
+}

@@ -1,0 +1,55 @@
+//===- itp/Interpolate.h - Craig interpolation ------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interpolation Itp(A, B) in the paper's sense (Section 2.1): given
+/// |= A => B, produce theta with |= A => theta, |= theta => B, and the free
+/// variables of theta contained in those of B. (The paper additionally
+/// requires containment in vars(A); the refinement procedures only ever call
+/// Itp with vars(B) a subset of the shared tuple, so the B-side containment
+/// is the binding one. We check the A-side containment where it matters —
+/// never, in practice — via the Strict flag in tests.)
+///
+/// mucyc has no proof-producing SMT core, so interpolants come from two
+/// sources that together cover every call site:
+///
+///  * CubeGeneralize (default): decompose B into conjuncts. A conjunct that
+///    is the negation of a cube — which is exactly what the refinement
+///    queries look like, since queries are MBP outputs — is generalized by
+///    unsat-core-guided literal dropping: find a minimal subcube c of the
+///    blocked cube with A /\ c unsatisfiable and emit not(c). This is the
+///    classical PDR lemma generalization. Other conjuncts pass through
+///    unchanged (sound because A => B).
+///  * QeStrongest: the strongest interpolant, QE(exists (vars(A)\vars(B)). A).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_ITP_INTERPOLATE_H
+#define MUCYC_ITP_INTERPOLATE_H
+
+#include "term/Term.h"
+
+namespace mucyc {
+
+enum class ItpMode {
+  CubeGeneralize, ///< PDR-style lemma generalization (default).
+  QeStrongest,    ///< Strongest interpolant via quantifier elimination.
+  WeakestB,       ///< Returns B itself (weakest valid interpolant).
+};
+
+/// Computes an interpolant of A and B. Requires |= A => B (checked in debug
+/// builds).
+TermRef interpolate(TermContext &Ctx, TermRef A, TermRef B,
+                    ItpMode Mode = ItpMode::CubeGeneralize);
+
+/// Generalizes a blocked cube: given |= A => not(/\ Lits), returns a subset
+/// S of Lits with |= A => not(/\ S), as small as greedy core-shrinking gets.
+std::vector<TermRef> generalizeBlockedCube(TermContext &Ctx, TermRef A,
+                                           const std::vector<TermRef> &Lits);
+
+} // namespace mucyc
+
+#endif // MUCYC_ITP_INTERPOLATE_H

@@ -1,0 +1,81 @@
+//===- mbp/Cube.cpp - Implicant cube extraction ---------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cube of a model: fixing the truth value of every atom of phi to its
+/// value under M yields a conjunction that (a) contains M and (b) entails
+/// phi, because any model agreeing with M on all atoms evaluates phi
+/// identically. Negative arithmetic literals are strengthened into positive
+/// atoms chosen by the model so projection never deals with negation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Mbp.h"
+
+#include "term/Linear.h"
+
+using namespace mucyc;
+
+std::vector<TermRef> mucyc::implicantCube(TermContext &Ctx, TermRef Phi,
+                                          const Model &M) {
+  assert(M.holds(Ctx, Phi) && "implicant cube requires M |= Phi");
+  std::vector<TermRef> Cube;
+  for (TermRef Atom : Ctx.collectAtoms(Phi)) {
+    bool Truth = M.holds(Ctx, Atom);
+    const TermNode &N = Ctx.node(Atom);
+    if (Truth) {
+      Cube.push_back(Atom);
+      continue;
+    }
+    switch (N.K) {
+    case Kind::Var:
+      Cube.push_back(Ctx.mkNot(Atom));
+      break;
+    case Kind::Le:
+      // not (L <= K) canonicalizes to K < L; still a positive atom.
+      Cube.push_back(Ctx.mkNot(Atom));
+      break;
+    case Kind::Lt:
+      Cube.push_back(Ctx.mkNot(Atom));
+      break;
+    case Kind::EqA: {
+      // Model split: strengthen (L != K) to the side M chose.
+      Rational L = M.eval(Ctx, N.Kids[0]).R;
+      Rational K = M.eval(Ctx, N.Kids[1]).R;
+      assert(L != K);
+      Cube.push_back(L < K ? Ctx.mkLt(N.Kids[0], N.Kids[1])
+                           : Ctx.mkLt(N.Kids[1], N.Kids[0]));
+      break;
+    }
+    case Kind::Divides: {
+      // Model split: not (d | t) with M(t) mod d = r0 != 0 is strengthened
+      // to (d | t - r0).
+      assert(N.Val.isInt());
+      BigInt D = N.Val.num();
+      Rational TV = M.eval(Ctx, N.Kids[0]).R;
+      assert(TV.isInt());
+      BigInt R0 = TV.num().euclidMod(D);
+      assert(!R0.isZero());
+      TermRef Shifted =
+          Ctx.mkSub(N.Kids[0], Ctx.mkConst(Rational(R0), Sort::Int));
+      Cube.push_back(Ctx.mkDivides(D, Shifted));
+      break;
+    }
+    default:
+      assert(false && "unexpected atom kind");
+    }
+  }
+  // Drop literals that canonicalized to true; none may be false under M.
+  std::vector<TermRef> Out;
+  for (TermRef L : Cube) {
+    if (Ctx.kind(L) == Kind::True)
+      continue;
+    assert(Ctx.kind(L) != Kind::False && "false literal in implicant cube");
+    assert(M.holds(Ctx, L) && "cube literal not satisfied by the model");
+    Out.push_back(L);
+  }
+  return Out;
+}

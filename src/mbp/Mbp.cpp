@@ -1,0 +1,126 @@
+//===- mbp/Mbp.cpp - MBP strategy dispatch --------------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Mbp.h"
+
+#include "mbp/Qe.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+const char *mucyc::mbpStrategyName(MbpStrategy S) {
+  switch (S) {
+  case MbpStrategy::LazyProject:
+    return "MBP";
+  case MbpStrategy::ModelDiagram:
+    return "Model";
+  case MbpStrategy::FullQe:
+    return "QE";
+  }
+  assert(false && "unknown strategy");
+  return "?";
+}
+
+namespace {
+
+TermRef projectCube(TermContext &Ctx, const std::vector<VarId> &Elim,
+                    TermRef Phi, const Model &M) {
+  std::vector<TermRef> Cube = implicantCube(Ctx, Phi, M);
+  for (VarId V : Elim) {
+    switch (Ctx.varInfo(V).S) {
+    case Sort::Bool: {
+      // Boolean literals over V are exactly V / not V; drop them.
+      std::vector<TermRef> Kept;
+      for (TermRef L : Cube) {
+        const TermNode &N = Ctx.node(L);
+        TermRef AtomT = N.K == Kind::Not ? N.Kids[0] : L;
+        const TermNode &AN = Ctx.node(AtomT);
+        if (AN.K == Kind::Var && AN.Var == V)
+          continue;
+        Kept.push_back(L);
+      }
+      Cube = std::move(Kept);
+      break;
+    }
+    case Sort::Int:
+      eliminateIntVar(Ctx, V, Cube, M);
+      break;
+    case Sort::Real:
+      eliminateRealVar(Ctx, V, Cube, M);
+      break;
+    }
+    // Canonicalization may fold literals to true; drop them eagerly.
+    std::vector<TermRef> Kept;
+    for (TermRef L : Cube) {
+      if (Ctx.kind(L) == Kind::True)
+        continue;
+      assert(Ctx.kind(L) != Kind::False && "projection produced false");
+      Kept.push_back(L);
+    }
+    Cube = std::move(Kept);
+  }
+  return Ctx.mkAnd(std::move(Cube));
+}
+
+TermRef modelDiagram(TermContext &Ctx, const std::vector<VarId> &Elim,
+                     TermRef Phi, const Model &M) {
+  std::vector<TermRef> Conj;
+  for (VarId V : Ctx.freeVars(Phi)) {
+    if (std::find(Elim.begin(), Elim.end(), V) != Elim.end())
+      continue;
+    Value Val = M.value(Ctx, V);
+    if (Val.S == Sort::Bool) {
+      TermRef VT = Ctx.varTerm(V);
+      Conj.push_back(Val.B ? VT : Ctx.mkNot(VT));
+    } else {
+      Conj.push_back(
+          Ctx.mkEq(Ctx.varTerm(V), Ctx.mkConst(Val.R, Val.S)));
+    }
+  }
+  return Ctx.mkAnd(std::move(Conj));
+}
+
+TermRef fullQePick(TermContext &Ctx, const std::vector<VarId> &Elim,
+                   TermRef Phi, const Model &M) {
+  TermRef Psi = qeExists(Ctx, Elim, Phi);
+  // Pick the disjunct satisfied by M (Example 3 of the paper).
+  const TermNode &N = Ctx.node(Psi);
+  if (N.K == Kind::Or) {
+    for (TermRef D : N.Kids)
+      if (M.holds(Ctx, D))
+        return D;
+    assert(false && "no disjunct satisfied; QE is incorrect");
+  }
+  return Psi;
+}
+
+} // namespace
+
+TermRef mucyc::mbp(TermContext &Ctx, MbpStrategy Strategy,
+                   const std::vector<VarId> &Elim, TermRef Phi,
+                   const Model &M) {
+  assert(M.holds(Ctx, Phi) && "MBP requires M |= Phi");
+  TermRef R;
+  switch (Strategy) {
+  case MbpStrategy::LazyProject:
+    R = projectCube(Ctx, Elim, Phi, M);
+    break;
+  case MbpStrategy::ModelDiagram:
+    R = modelDiagram(Ctx, Elim, Phi, M);
+    break;
+  case MbpStrategy::FullQe:
+    R = fullQePick(Ctx, Elim, Phi, M);
+    break;
+  }
+  assert(M.holds(Ctx, R) && "MBP result not satisfied by the model");
+#ifndef NDEBUG
+  for (VarId V : Ctx.freeVars(R))
+    assert(std::find(Elim.begin(), Elim.end(), V) == Elim.end() &&
+           "eliminated variable survives in MBP result");
+#endif
+  return R;
+}

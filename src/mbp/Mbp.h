@@ -1,0 +1,66 @@
+//===- mbp/Mbp.h - Model-based projection -----------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-based projection (Definition 1 of the paper): given phi(x, y), the
+/// variables x to eliminate, and a model M |= phi, produce a quantifier-free
+/// psi(y) with  M |= psi,  psi => exists x. phi,  and (for the proper
+/// strategies) a finite image over all models of a fixed phi. The last
+/// property — image finiteness — is exactly what separates Spacer from GPDR
+/// (Remark 17) and underpins every termination proof in the paper.
+///
+/// Strategies:
+///  * LazyProject — the real thing: implicant cube extraction followed by
+///    per-variable virtual substitution (Loos–Weispfenning for Real,
+///    model-based Cooper with divisibility residues for Int). Image-finite.
+///  * ModelDiagram — GPDR's "diagram": conjunction of y_i = M(y_i). Satisfies
+///    every MBP condition except image finiteness.
+///  * FullQe — Example 3: run full quantifier elimination (itself implemented
+///    with the MBP loop of Algorithm 1) and return the disjunct satisfied by
+///    M. Deterministic but expensive; the paper reports it degrades
+///    performance, which bench/micro_mbp reproduces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_MBP_MBP_H
+#define MUCYC_MBP_MBP_H
+
+#include "smt/Model.h"
+#include "term/Term.h"
+
+#include <vector>
+
+namespace mucyc {
+
+enum class MbpStrategy { LazyProject, ModelDiagram, FullQe };
+
+const char *mbpStrategyName(MbpStrategy S);
+
+/// Projects \p Elim out of \p Phi under \p M. Requires M |= Phi (checked in
+/// debug builds); guarantees M |= result and result => exists Elim. Phi.
+TermRef mbp(TermContext &Ctx, MbpStrategy Strategy,
+            const std::vector<VarId> &Elim, TermRef Phi, const Model &M);
+
+/// Extracts an implicant cube of \p Phi containing \p M: a conjunctive set
+/// of positive-atom literals L with M |= L and (/\ L) => Phi. Negated
+/// equalities and divisibilities are strengthened into positive atoms using
+/// the model (the "model split"), so downstream projection only ever sees
+/// Le/Lt/EqA/Divides atoms plus Boolean literals.
+std::vector<TermRef> implicantCube(TermContext &Ctx, TermRef Phi,
+                                   const Model &M);
+
+/// Eliminates one Real variable from a cube in place (Loos–Weispfenning
+/// virtual substitution guided by the model).
+void eliminateRealVar(TermContext &Ctx, VarId V, std::vector<TermRef> &Cube,
+                      const Model &M);
+
+/// Eliminates one Int variable from a cube in place (model-based Cooper).
+void eliminateIntVar(TermContext &Ctx, VarId V, std::vector<TermRef> &Cube,
+                     const Model &M);
+
+} // namespace mucyc
+
+#endif // MUCYC_MBP_MBP_H

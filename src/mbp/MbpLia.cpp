@@ -1,0 +1,227 @@
+//===- mbp/MbpLia.cpp - Model-based Cooper projection for Int vars --------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-guided Cooper elimination for one Int variable over a cube of
+/// positive literals (Le/EqA/Divides; strict atoms do not exist over Int).
+/// The classical Cooper disjunction branches on (a) an equality definition,
+/// (b) the minus-infinity case with a residue class, or (c) a greatest lower
+/// bound plus a bounded offset r in [0, a*D); the model picks the branch and
+/// the offset, so the output is a single cube and the image is finite.
+///
+/// For the glb branch with lower bound a*v >= s and offset r the emitted
+/// constraints describe the virtual witness v0 = (s + r)/a:
+///     a | s + r,
+///     a_i*(s + r) >= a*s_i          for every other lower bound,
+///     b_j*(s + r) <= a*t_j          for every upper bound,
+///     a*d_k | e_k*(s + r) + a*u_k   for every divisibility.
+/// Under M, v0 lies between the glb and M(v) and is congruent to M(v) mod
+/// every divisor, which makes each emitted literal model-true; conversely
+/// the literals force v0 to witness the eliminated conjunction.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Mbp.h"
+
+#include "term/Linear.h"
+
+using namespace mucyc;
+
+namespace {
+
+Rational evalLin(const TermContext &Ctx, const LinExpr &E, const Model &M) {
+  Rational R = E.Const;
+  for (const auto &[V, C] : E.Coeffs) {
+    Value Val = M.value(Ctx, V);
+    assert(Val.S != Sort::Bool);
+    R += C * Val.R;
+  }
+  return R;
+}
+
+/// a*v >= S (lower) or a*v <= S (upper), with a > 0 integral.
+struct ScaledBound {
+  BigInt A;
+  LinExpr S;
+};
+
+/// d | E*v + U.
+struct DivLit {
+  BigInt D;
+  BigInt E;
+  LinExpr U;
+};
+
+LinExpr linConst(const BigInt &C) {
+  LinExpr E;
+  E.Const = Rational(C);
+  return E;
+}
+
+} // namespace
+
+void mucyc::eliminateIntVar(TermContext &Ctx, VarId V,
+                            std::vector<TermRef> &Cube, const Model &M) {
+  std::vector<TermRef> Rest;
+  std::vector<ScaledBound> Lowers, Uppers;
+  std::optional<ScaledBound> EqDef; // a*v = S.
+  std::vector<DivLit> Divs;
+
+  for (TermRef Lit : Cube) {
+    const TermNode &N = Ctx.node(Lit);
+    if (N.K == Kind::Divides) {
+      LinExpr E = LinExpr::fromTerm(Ctx, N.Kids[0]);
+      Rational C = E.coeff(V);
+      if (C.isZero()) {
+        Rest.push_back(Lit);
+        continue;
+      }
+      assert(C.isInt() && N.Val.isInt());
+      LinExpr U = E;
+      U.Coeffs.erase(V);
+      Divs.push_back(DivLit{N.Val.num(), C.num(), U});
+      continue;
+    }
+    if (N.K != Kind::Le && N.K != Kind::EqA) {
+      Rest.push_back(Lit);
+      continue;
+    }
+    LinAtom A = LinAtom::fromAtomTerm(Ctx, Lit);
+    Rational C = A.Expr.coeff(V);
+    if (C.isZero()) {
+      Rest.push_back(Lit);
+      continue;
+    }
+    assert(C.isInt());
+    // C*v + R <rel> 0.
+    LinExpr R = A.Expr;
+    R.Coeffs.erase(V);
+    if (N.K == Kind::EqA) {
+      // C*v = -R; normalize the coefficient positive.
+      ScaledBound B;
+      if (C.sgn() > 0) {
+        B.A = C.num();
+        B.S = R.scaled(Rational(-1));
+      } else {
+        B.A = -C.num();
+        B.S = R;
+      }
+      if (!EqDef) {
+        EqDef = B;
+      } else {
+        // Consistency of two definitions: B.A * EqDef.S = EqDef.A * B.S.
+        LinExpr L = EqDef->S.scaled(Rational(B.A));
+        LinExpr Rr = B.S.scaled(Rational(EqDef->A));
+        Rest.push_back(Ctx.mkEq(L.toTerm(Ctx, Sort::Int),
+                                Rr.toTerm(Ctx, Sort::Int)));
+      }
+      continue;
+    }
+    // Le: C*v <= -R.
+    if (C.sgn() > 0)
+      Uppers.push_back(ScaledBound{C.num(), R.scaled(Rational(-1))});
+    else
+      Lowers.push_back(ScaledBound{-C.num(), R});
+  }
+
+  Rational MV = M.value(Ctx, V).R;
+  assert(MV.isInt());
+
+  if (EqDef) {
+    const BigInt &A = EqDef->A;
+    const LinExpr &S = EqDef->S;
+    // a | S, and substitute a*v := S everywhere (multiplying through by a).
+    Rest.push_back(Ctx.mkDivides(A, S.toTerm(Ctx, Sort::Int)));
+    for (const ScaledBound &L : Lowers) {
+      // a_i*v >= s_i  ==>  a_i*S >= a*s_i.
+      LinExpr Lhs = L.S.scaled(Rational(A));
+      LinExpr Rhs = S.scaled(Rational(L.A));
+      Rest.push_back(Ctx.mkLe(Lhs.toTerm(Ctx, Sort::Int),
+                              Rhs.toTerm(Ctx, Sort::Int)));
+    }
+    for (const ScaledBound &U : Uppers) {
+      LinExpr Lhs = S.scaled(Rational(U.A));
+      LinExpr Rhs = U.S.scaled(Rational(A));
+      Rest.push_back(Ctx.mkLe(Lhs.toTerm(Ctx, Sort::Int),
+                              Rhs.toTerm(Ctx, Sort::Int)));
+    }
+    for (const DivLit &D : Divs) {
+      // d | e*v + u  ==>  a*d | e*S + a*u.
+      LinExpr Body = S.scaled(Rational(D.E));
+      Body.add(D.U, Rational(A));
+      Rest.push_back(Ctx.mkDivides(A * D.D, Body.toTerm(Ctx, Sort::Int)));
+    }
+    Cube = std::move(Rest);
+    return;
+  }
+
+  // Common divisibility period.
+  BigInt Period(1);
+  for (const DivLit &D : Divs)
+    Period = BigInt::lcm(Period, D.D);
+
+  if (Lowers.empty() || Uppers.empty()) {
+    // -inf (or +inf) branch: bounds on one side only are always satisfiable
+    // for some v in the residue class of M(v) mod Period.
+    BigInt Rho = MV.num().euclidMod(Period);
+    for (const DivLit &D : Divs) {
+      LinExpr Body = D.U;
+      Body.add(linConst(D.E * Rho));
+      Rest.push_back(Ctx.mkDivides(D.D, Body.toTerm(Ctx, Sort::Int)));
+    }
+    Cube = std::move(Rest);
+    return;
+  }
+
+  // Greatest lower bound under M: maximize s_i / a_i.
+  size_t G = 0;
+  Rational GVal = evalLin(Ctx, Lowers[0].S, M) / Rational(Lowers[0].A);
+  for (size_t I = 1; I < Lowers.size(); ++I) {
+    Rational IV = evalLin(Ctx, Lowers[I].S, M) / Rational(Lowers[I].A);
+    if (IV > GVal) {
+      G = I;
+      GVal = IV;
+    }
+  }
+  const BigInt &A = Lowers[G].A;
+  const LinExpr &S = Lowers[G].S;
+
+  // Offset r = (a*M(v) - M(S)) mod (a*Period); the virtual witness is
+  // v0 = (S + r)/a, which satisfies glb <= v0 <= M(v) under M.
+  Rational SM = evalLin(Ctx, S, M);
+  assert(SM.isInt());
+  BigInt RawR = A * MV.num() - SM.num();
+  assert(!RawR.isNeg() && "model below its own greatest lower bound");
+  BigInt Mod = A * Period;
+  BigInt R = RawR.euclidMod(Mod);
+  LinExpr SR = S; // S + r.
+  SR.add(linConst(R));
+
+  Rest.push_back(Ctx.mkDivides(A, SR.toTerm(Ctx, Sort::Int)));
+  for (size_t I = 0; I < Lowers.size(); ++I) {
+    if (I == G)
+      continue;
+    // a_i*(S + r) >= a*s_i.
+    LinExpr Lhs = Lowers[I].S.scaled(Rational(A));
+    LinExpr Rhs = SR.scaled(Rational(Lowers[I].A));
+    Rest.push_back(
+        Ctx.mkLe(Lhs.toTerm(Ctx, Sort::Int), Rhs.toTerm(Ctx, Sort::Int)));
+  }
+  for (const ScaledBound &U : Uppers) {
+    // b_j*(S + r) <= a*t_j.
+    LinExpr Lhs = SR.scaled(Rational(U.A));
+    LinExpr Rhs = U.S.scaled(Rational(A));
+    Rest.push_back(
+        Ctx.mkLe(Lhs.toTerm(Ctx, Sort::Int), Rhs.toTerm(Ctx, Sort::Int)));
+  }
+  for (const DivLit &D : Divs) {
+    // a*d | e*(S + r) + a*u.
+    LinExpr Body = SR.scaled(Rational(D.E));
+    Body.add(D.U, Rational(A));
+    Rest.push_back(Ctx.mkDivides(A * D.D, Body.toTerm(Ctx, Sort::Int)));
+  }
+  Cube = std::move(Rest);
+}

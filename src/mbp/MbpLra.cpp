@@ -1,0 +1,135 @@
+//===- mbp/MbpLra.cpp - Loos-Weispfenning projection for Real vars --------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Model-guided virtual substitution for one Real variable over a cube of
+/// positive literals. The model selects the branch of the classical
+/// Loos-Weispfenning disjunction: an equality definition if one exists,
+/// otherwise the greatest lower bound (with an epsilon offset when strict),
+/// otherwise minus infinity. Each branch has a quantifier-free effect on the
+/// remaining literals, and the number of branches is bounded by the literal
+/// set, giving image finiteness.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Mbp.h"
+
+#include "term/Linear.h"
+
+using namespace mucyc;
+
+namespace {
+
+/// A bound v >= T / v > T (lower) or v <= T / v < T (upper), or v = T.
+struct VBound {
+  LinExpr T; ///< The bounding expression (v-free).
+  bool Strict = false;
+};
+
+Rational evalLin(const TermContext &Ctx, const LinExpr &E, const Model &M) {
+  Rational R = E.Const;
+  for (const auto &[V, C] : E.Coeffs) {
+    Value Val = M.value(Ctx, V);
+    assert(Val.S != Sort::Bool);
+    R += C * Val.R;
+  }
+  return R;
+}
+
+TermRef cmpTerm(TermContext &Ctx, const LinExpr &A, const LinExpr &B,
+                bool Strict) {
+  TermRef TA = A.toTerm(Ctx, Sort::Real);
+  TermRef TB = B.toTerm(Ctx, Sort::Real);
+  return Strict ? Ctx.mkLt(TA, TB) : Ctx.mkLe(TA, TB);
+}
+
+} // namespace
+
+void mucyc::eliminateRealVar(TermContext &Ctx, VarId V,
+                             std::vector<TermRef> &Cube, const Model &M) {
+  std::vector<TermRef> Rest;
+  std::vector<VBound> Lowers, Uppers;
+  std::optional<LinExpr> EqDef;
+
+  for (TermRef Lit : Cube) {
+    const TermNode &N = Ctx.node(Lit);
+    if (N.K != Kind::Le && N.K != Kind::Lt && N.K != Kind::EqA) {
+      Rest.push_back(Lit);
+      continue;
+    }
+    LinAtom A = LinAtom::fromAtomTerm(Ctx, Lit);
+    Rational C = A.Expr.coeff(V);
+    if (C.isZero()) {
+      Rest.push_back(Lit);
+      continue;
+    }
+    // Solved form: C*v + R <rel> 0  ==>  v <rel'> -R/C.
+    LinExpr T = A.Expr;
+    T.Coeffs.erase(V);
+    T = T.scaled(-C.inverse());
+    bool CoeffPos = C.sgn() > 0;
+    switch (A.Rel) {
+    case LinRel::Eq:
+      if (!EqDef)
+        EqDef = T;
+      else
+        // Second definition: emit equality of the two definitions.
+        Rest.push_back(Ctx.mkEq(T.toTerm(Ctx, Sort::Real),
+                                EqDef->toTerm(Ctx, Sort::Real)));
+      break;
+    case LinRel::Le:
+      (CoeffPos ? Uppers : Lowers).push_back(VBound{T, false});
+      break;
+    case LinRel::Lt:
+      (CoeffPos ? Uppers : Lowers).push_back(VBound{T, true});
+      break;
+    }
+  }
+
+  if (EqDef) {
+    // v := EqDef in every remaining bound.
+    for (const VBound &L : Lowers)
+      Rest.push_back(cmpTerm(Ctx, L.T, *EqDef, L.Strict));
+    for (const VBound &U : Uppers)
+      Rest.push_back(cmpTerm(Ctx, *EqDef, U.T, U.Strict));
+    Cube = std::move(Rest);
+    return;
+  }
+
+  if (Lowers.empty() || Uppers.empty()) {
+    // Virtual -inf or +inf: the one-sided bounds are always satisfiable.
+    Cube = std::move(Rest);
+    return;
+  }
+
+  // Greatest lower bound under M; prefer a strict bound on ties (it is the
+  // tighter constraint and keeps the emitted comparisons model-true).
+  size_t G = 0;
+  Rational GVal = evalLin(Ctx, Lowers[0].T, M);
+  for (size_t I = 1; I < Lowers.size(); ++I) {
+    Rational IV = evalLin(Ctx, Lowers[I].T, M);
+    if (IV > GVal || (IV == GVal && Lowers[I].Strict && !Lowers[G].Strict)) {
+      G = I;
+      GVal = IV;
+    }
+  }
+  const VBound &Glb = Lowers[G];
+
+  for (size_t I = 0; I < Lowers.size(); ++I) {
+    if (I == G)
+      continue;
+    // Virtual v := Glb (+ eps if strict): other lower l_i <= Glb, strictly
+    // when l_i is strict and the glb is not.
+    bool Strict = Lowers[I].Strict && !Glb.Strict;
+    Rest.push_back(cmpTerm(Ctx, Lowers[I].T, Glb.T, Strict));
+  }
+  for (const VBound &U : Uppers) {
+    // Glb <= u_j; strict when either side is strict.
+    bool Strict = U.Strict || Glb.Strict;
+    Rest.push_back(cmpTerm(Ctx, Glb.T, U.T, Strict));
+  }
+  Cube = std::move(Rest);
+}

@@ -1,0 +1,35 @@
+//===- mbp/Qe.h - Quantifier elimination via MBP ----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 1 of the paper: quantifier elimination as saturation of
+/// model-based projections. Iterate "find M |= phi and not psi; add
+/// Mbp(phi, M) to psi" until unsatisfiable; image finiteness of the proper
+/// MBP guarantees termination.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_MBP_QE_H
+#define MUCYC_MBP_QE_H
+
+#include "term/Term.h"
+
+#include <vector>
+
+namespace mucyc {
+
+/// Computes a quantifier-free equivalent of (exists Elim. Phi) as a
+/// disjunction of projection cubes.
+TermRef qeExists(TermContext &Ctx, const std::vector<VarId> &Elim,
+                 TermRef Phi);
+
+/// Computes (forall Elim. Phi) by duality.
+TermRef qeForall(TermContext &Ctx, const std::vector<VarId> &Elim,
+                 TermRef Phi);
+
+} // namespace mucyc
+
+#endif // MUCYC_MBP_QE_H

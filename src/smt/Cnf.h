@@ -1,0 +1,63 @@
+//===- smt/Cnf.h - Tseitin CNF encoding -------------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tseitin transformation from Boolean term DAGs to SAT clauses. Every
+/// theory atom gets a dedicated SAT variable; the mapping is exposed so the
+/// lazy SMT loop can extract theory literals from propositional models.
+///
+/// Arithmetic equalities additionally get a "split" clause
+/// (a \/ lhs<rhs \/ lhs>rhs) at encoding time, which lets the theory checker
+/// ignore negated equalities entirely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SMT_CNF_H
+#define MUCYC_SMT_CNF_H
+
+#include "smt/SatSolver.h"
+#include "term/Term.h"
+
+#include <unordered_map>
+
+namespace mucyc {
+
+/// Incremental Tseitin encoder bound to one SatSolver.
+class Tseitin {
+public:
+  Tseitin(TermContext &Ctx, SatSolver &Sat) : Ctx(Ctx), Sat(Sat) {}
+
+  /// Encodes a Boolean formula and returns its defining literal. Gate
+  /// clauses are added to the solver as a side effect; results are cached.
+  SatLit encode(TermRef F);
+
+  /// Atom term associated with a SAT variable (invalid TermRef for gate and
+  /// constant variables).
+  TermRef atomOf(uint32_t SatVar) const {
+    auto It = AtomBySatVar.find(SatVar);
+    return It == AtomBySatVar.end() ? TermRef() : It->second;
+  }
+
+  /// All registered theory atoms with their SAT variables.
+  const std::vector<std::pair<TermRef, uint32_t>> &atoms() const {
+    return Atoms;
+  }
+
+private:
+  SatLit encodeAtom(TermRef A);
+  SatLit trueLit();
+
+  TermContext &Ctx;
+  SatSolver &Sat;
+  std::unordered_map<uint32_t, SatLit> Cache; // TermRef.Idx -> literal.
+  std::unordered_map<uint32_t, TermRef> AtomBySatVar;
+  std::vector<std::pair<TermRef, uint32_t>> Atoms;
+  SatLit True;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SMT_CNF_H

@@ -1,0 +1,50 @@
+//===- smt/Model.cpp - First-order models ---------------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/Model.h"
+
+#include <sstream>
+
+using namespace mucyc;
+
+Value Model::value(const TermContext &Ctx, VarId V) const {
+  auto It = Assign.find(V);
+  if (It != Assign.end())
+    return It->second;
+  Sort S = Ctx.varInfo(V).S;
+  if (S == Sort::Bool)
+    return Value::boolean(false);
+  return Value::number(Rational(0), S);
+}
+
+Value Model::eval(const TermContext &Ctx, TermRef T) const {
+  // Complete the assignment over the free variables of T with defaults.
+  Assignment Full = Assign;
+  for (VarId V : const_cast<TermContext &>(Ctx).freeVars(T))
+    if (!Full.count(V))
+      Full.emplace(V, value(Ctx, V));
+  return evalTerm(Ctx, T, Full);
+}
+
+bool Model::holds(const TermContext &Ctx, TermRef T) const {
+  Value V = eval(Ctx, T);
+  assert(V.S == Sort::Bool);
+  return V.B;
+}
+
+std::string Model::toString(const TermContext &Ctx) const {
+  std::ostringstream OS;
+  OS << "{";
+  bool First = true;
+  for (const auto &[V, Val] : Assign) {
+    if (!First)
+      OS << ", ";
+    First = false;
+    OS << Ctx.varInfo(V).Name << " = " << Val.toString();
+  }
+  OS << "}";
+  return OS.str();
+}

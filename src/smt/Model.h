@@ -1,0 +1,47 @@
+//===- smt/Model.h - First-order models -------------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model is a finite assignment of ground values to term variables. Models
+/// are produced by SmtSolver and consumed by the MBP procedures (whose
+/// contract in Definition 1 of the paper is "for every M |= phi ...").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SMT_MODEL_H
+#define MUCYC_SMT_MODEL_H
+
+#include "term/Eval.h"
+
+namespace mucyc {
+
+/// Finite variable assignment with defaulting for unconstrained variables.
+class Model {
+public:
+  Model() = default;
+  explicit Model(Assignment A) : Assign(std::move(A)) {}
+
+  void set(VarId V, Value Val) { Assign[V] = std::move(Val); }
+  bool has(VarId V) const { return Assign.count(V) != 0; }
+
+  /// Value of \p V, defaulting to false/0 at the variable's sort.
+  Value value(const TermContext &Ctx, VarId V) const;
+
+  /// Evaluates a term, defaulting unassigned variables.
+  Value eval(const TermContext &Ctx, TermRef T) const;
+  bool holds(const TermContext &Ctx, TermRef T) const;
+
+  const Assignment &assignment() const { return Assign; }
+
+  std::string toString(const TermContext &Ctx) const;
+
+private:
+  Assignment Assign;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SMT_MODEL_H

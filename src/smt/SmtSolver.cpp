@@ -1,0 +1,177 @@
+//===- smt/SmtSolver.cpp - Lazy DPLL(T) solver ----------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace mucyc;
+
+TermRef SmtSolver::eliminateDivides(TermRef F) {
+  const TermNode &N = Ctx.node(F);
+  switch (N.K) {
+  case Kind::Divides: {
+    auto It = DividesRewrite.find(F.Idx);
+    if (It != DividesRewrite.end())
+      return It->second;
+    // (d | t)  becomes  (r = 0)  with fresh q, r constrained by
+    // t = d*q + r  and  0 <= r <= d-1. The witnesses exist for any t, so
+    // this is an equisatisfiable conservative extension under both
+    // polarities of the atom.
+    assert(N.Val.isInt());
+    TermRef T = N.Kids[0];
+    TermRef Q = Ctx.mkFreshVar("div!q", Sort::Int);
+    TermRef R = Ctx.mkFreshVar("div!r", Sort::Int);
+    TermRef D = Ctx.mkConst(N.Val, Sort::Int);
+    TermRef Def =
+        Ctx.mkEq(T, Ctx.mkAdd(Ctx.mkMul(N.Val, Q), R));
+    TermRef Range = Ctx.mkAnd(Ctx.mkGe(R, Ctx.mkIntConst(0)),
+                              Ctx.mkLt(R, D));
+    assertFormula(Ctx.mkAnd(Def, Range));
+    TermRef Repl = Ctx.mkEq(R, Ctx.mkIntConst(0));
+    DividesRewrite.emplace(F.Idx, Repl);
+    return Repl;
+  }
+  case Kind::Not:
+    return Ctx.mkNot(eliminateDivides(N.Kids[0]));
+  case Kind::And:
+  case Kind::Or: {
+    std::vector<TermRef> Kids;
+    Kids.reserve(N.Kids.size());
+    for (TermRef Kid : N.Kids)
+      Kids.push_back(eliminateDivides(Kid));
+    return N.K == Kind::And ? Ctx.mkAnd(std::move(Kids))
+                            : Ctx.mkOr(std::move(Kids));
+  }
+  default:
+    return F;
+  }
+}
+
+void SmtSolver::assertFormula(TermRef F) {
+  F = eliminateDivides(F);
+  if (Ctx.kind(F) == Kind::True)
+    return;
+  if (Ctx.kind(F) == Kind::False) {
+    TriviallyUnsat = true;
+    return;
+  }
+  if (!Sat.addClause({Enc.encode(F)}))
+    TriviallyUnsat = true;
+}
+
+SmtStatus SmtSolver::check(const std::vector<TermRef> &Assumptions) {
+  Core.clear();
+  if (TriviallyUnsat)
+    return SmtStatus::Unsat;
+
+  // Encode assumptions to literals; remember the mapping for the core.
+  std::vector<SatLit> AsmLits;
+  std::vector<std::pair<SatLit, TermRef>> AsmMap;
+  for (TermRef A : Assumptions) {
+    TermRef E = eliminateDivides(A);
+    if (Ctx.kind(E) == Kind::True)
+      continue;
+    if (Ctx.kind(E) == Kind::False) {
+      Core = {A};
+      return SmtStatus::Unsat;
+    }
+    SatLit L = Enc.encode(E);
+    AsmLits.push_back(L);
+    AsmMap.emplace_back(L, A);
+  }
+
+  for (uint64_t Iter = 0; Iter < LemmaBudget; ++Iter) {
+    if (Sat.solve(AsmLits) == SatSolver::Result::Unsat) {
+      for (SatLit L : Sat.conflictCore())
+        for (const auto &[AL, AT] : AsmMap)
+          if (AL == L && std::find(Core.begin(), Core.end(), AT) == Core.end())
+            Core.push_back(AT);
+      return SmtStatus::Unsat;
+    }
+
+    // Extract theory literals from the propositional model.
+    std::vector<TheoryLit> Lits;
+    std::vector<SatLit> LitSat;
+    for (const auto &[Atom, SatVar] : Enc.atoms()) {
+      if (Ctx.kind(Atom) == Kind::Var)
+        continue; // Boolean variable: no theory content.
+      bool Pos = Sat.modelValue(SatVar);
+      Lits.push_back(TheoryLit{Atom, Pos});
+      LitSat.push_back(SatLit(SatVar, /*Negated=*/!Pos));
+    }
+
+    ArithChecker::Outcome Out = Checker.check(Lits);
+    switch (Out.St) {
+    case ArithChecker::Status::Feasible: {
+      Assignment Assign = Checker.arithModel();
+      for (const auto &[Atom, SatVar] : Enc.atoms()) {
+        const TermNode &N = Ctx.node(Atom);
+        if (N.K == Kind::Var)
+          Assign[N.Var] = Value::boolean(Sat.modelValue(SatVar));
+      }
+      LastModel = Model(std::move(Assign));
+      return SmtStatus::Sat;
+    }
+    case ArithChecker::Status::Infeasible: {
+      // Block this theory-inconsistent combination.
+      std::vector<SatLit> Blocking;
+      Blocking.reserve(Out.Core.size());
+      for (size_t I : Out.Core)
+        Blocking.push_back(~LitSat[I]);
+#ifndef NDEBUG
+      if (std::getenv("MUCYC_VERIFY_CORES")) {
+        static bool InVerify = false;
+        if (!InVerify) {
+          InVerify = true;
+          std::vector<TermRef> CoreTerms;
+          for (size_t I : Out.Core)
+            CoreTerms.push_back(Lits[I].Pos ? Lits[I].Atom
+                                            : Ctx.mkNot(Lits[I].Atom));
+          if (quickCheck(Ctx, CoreTerms)) {
+            std::fprintf(stderr, "[smt] BOGUS theory core:\n");
+            for (TermRef T : CoreTerms)
+              std::fprintf(stderr, "  %s\n", Ctx.toString(T).c_str());
+            assert(false && "satisfiable theory core");
+          }
+          InVerify = false;
+        }
+      }
+#endif
+      if (!Sat.addClause(std::move(Blocking))) {
+        TriviallyUnsat = true;
+        return SmtStatus::Unsat;
+      }
+      break;
+    }
+    case ArithChecker::Status::Unknown:
+      return SmtStatus::Unknown;
+    }
+  }
+  return SmtStatus::Unknown;
+}
+
+std::optional<Model> SmtSolver::quickCheck(TermContext &Ctx,
+                                           const std::vector<TermRef> &Conj) {
+  SmtSolver S(Ctx);
+  for (TermRef F : Conj)
+    S.assertFormula(F);
+  SmtStatus St = S.check();
+  assert(St != SmtStatus::Unknown && "lemma budget exhausted in quickCheck");
+  if (St == SmtStatus::Sat)
+    return S.model();
+  return std::nullopt;
+}
+
+bool SmtSolver::implies(TermContext &Ctx, TermRef A, TermRef B) {
+  return !quickCheck(Ctx, {A, Ctx.mkNot(B)}).has_value();
+}
+
+bool SmtSolver::equivalent(TermContext &Ctx, TermRef F, TermRef G) {
+  return implies(Ctx, F, G) && implies(Ctx, G, F);
+}

@@ -1,0 +1,93 @@
+//===- smt/SmtSolver.h - Lazy DPLL(T) solver --------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SMT entry point for QF Bool + linear Int/Real arithmetic: a lazy
+/// DPLL(T) loop combining the CDCL SAT core with the simplex-based theory
+/// checker. Supports incremental assertion, assumption-based checking with
+/// unsat cores, and model extraction — the full contract the paper's
+/// procedures need ("exists M. M |= phi", Mbp's model argument, Itp's cores).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SMT_SMTSOLVER_H
+#define MUCYC_SMT_SMTSOLVER_H
+
+#include "smt/Cnf.h"
+#include "smt/Model.h"
+#include "smt/SatSolver.h"
+#include "smt/TheoryLia.h"
+
+#include <optional>
+
+namespace mucyc {
+
+enum class SmtStatus { Sat, Unsat, Unknown };
+
+/// Incremental SMT solver. Assert formulas, then check (optionally under
+/// assumptions); repeat. Divisibility atoms are eliminated on assertion by
+/// introducing quotient/remainder witnesses.
+class SmtSolver {
+public:
+  explicit SmtSolver(TermContext &Ctx)
+      : Ctx(Ctx), Enc(Ctx, Sat), Checker(Ctx) {}
+
+  /// Conjoins \p F to the assertion set.
+  void assertFormula(TermRef F);
+
+  /// Checks satisfiability of the assertions plus \p Assumptions (each a
+  /// Boolean term).
+  SmtStatus check(const std::vector<TermRef> &Assumptions = {});
+
+  /// After Sat: the model.
+  const Model &model() const { return LastModel; }
+
+  /// After Unsat under assumptions: a subset of the assumptions that is
+  /// jointly inconsistent with the assertions.
+  const std::vector<TermRef> &unsatCore() const { return Core; }
+
+  /// Debugging access to the propositional core (used by self-check
+  /// harnesses and tests).
+  SatSolver &satCore() { return Sat; }
+
+  /// Caps the number of theory-lemma iterations (branch-and-bound splits and
+  /// blocking clauses) before returning Unknown.
+  void setLemmaBudget(uint64_t B) { LemmaBudget = B; }
+
+  //===--------------------------------------------------------------------===
+  // One-shot conveniences
+  //===--------------------------------------------------------------------===
+
+  /// Satisfiability of a conjunction; returns the model if Sat, nullopt if
+  /// Unsat. Asserts on Unknown (callers control budgets via instances).
+  static std::optional<Model> quickCheck(TermContext &Ctx,
+                                         const std::vector<TermRef> &Conj);
+
+  /// Is `A => B` valid?
+  static bool implies(TermContext &Ctx, TermRef A, TermRef B);
+
+  /// Is \p F equivalent to \p G?
+  static bool equivalent(TermContext &Ctx, TermRef F, TermRef G);
+
+private:
+  /// Replaces divisibility atoms by remainder-variable equalities, asserting
+  /// the defining side constraints.
+  TermRef eliminateDivides(TermRef F);
+
+  TermContext &Ctx;
+  SatSolver Sat;
+  Tseitin Enc;
+  ArithChecker Checker;
+  Model LastModel;
+  std::vector<TermRef> Core;
+  uint64_t LemmaBudget = 2000000;
+  std::unordered_map<uint32_t, TermRef> DividesRewrite; // Atom -> (r = 0).
+  bool TriviallyUnsat = false;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SMT_SMTSOLVER_H

@@ -1,0 +1,800 @@
+//===- smt/TheoryLia.cpp - Arithmetic theory checker ----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conjunction-level feasibility for linear arithmetic literals. Atoms are
+/// sort-pure, so the conjunction splits into an independent real part
+/// (decided completely by the general simplex with delta-rationals) and an
+/// integer part, decided by the pipeline
+///
+///   1. Omega-style equality elimination (Pugh 1991): unit substitution,
+///      gcd test, symmetric-modulus transformation; opposing inequality
+///      pairs are promoted to equalities; gcd tightening normalizes
+///      inequalities.
+///   2. Branch & bound over the simplex relaxation (fast path, budgeted).
+///   3. The Omega test (real shadow / dark shadow / splinters) as a
+///      complete fallback when branch & bound exceeds its budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "smt/TheoryLia.h"
+
+#include "smt/Simplex.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+using namespace mucyc;
+
+namespace {
+
+/// Internal linear constraint over "local" variables: E + C <rel> 0.
+struct Constraint {
+  enum Rel { Le, Lt, Eq } R;
+  std::map<uint32_t, Rational> E; ///< Local variable -> coefficient.
+  Rational C;
+  std::vector<int> Reasons; ///< Literal indices that produced it.
+};
+
+void addInto(std::map<uint32_t, Rational> &Dst,
+             const std::map<uint32_t, Rational> &Src, const Rational &Scale) {
+  for (const auto &[V, C] : Src) {
+    Rational &Slot = Dst[V];
+    Slot += C * Scale;
+    if (Slot.isZero())
+      Dst.erase(V);
+  }
+}
+
+void mergeReasons(std::vector<int> &Dst, const std::vector<int> &Src) {
+  for (int R : Src)
+    if (std::find(Dst.begin(), Dst.end(), R) == Dst.end())
+      Dst.push_back(R);
+}
+
+/// Symmetric modulus in (-m/2, m/2].
+BigInt symMod(const BigInt &A, const BigInt &M) {
+  BigInt R = A.euclidMod(M);
+  if (R + R > M)
+    R -= M;
+  return R;
+}
+
+/// Substitution record: Var := E + C (over locals live after this step).
+struct SubStep {
+  uint32_t Var;
+  std::map<uint32_t, Rational> E;
+  Rational C;
+};
+
+enum class IntStatus { Sat, Unsat, Unknown };
+
+/// Shared state of the integer decision pipeline.
+struct IntSolver {
+  uint32_t NumLocals; ///< Grows when sigma variables are introduced.
+  std::vector<SubStep> Subs;
+  std::vector<int> ConflictReasons;
+  uint64_t BnbBudget;
+  uint64_t OmegaBudget = 4000;
+
+  uint32_t freshLocal() { return NumLocals++; }
+
+  /// GCD tightening: E + C <= 0 with gcd(E) = g > 1 becomes
+  /// E/g <= floor(-C/g).
+  static void tighten(Constraint &C) {
+    if (C.R != Constraint::Le || C.E.empty())
+      return;
+    BigInt G;
+    for (const auto &[V, Cf] : C.E) {
+      assert(Cf.isInt());
+      G = BigInt::gcd(G, Cf.num());
+    }
+    if (G.isOne())
+      return;
+    Rational Inv = Rational(BigInt(1), G);
+    std::map<uint32_t, Rational> Scaled;
+    addInto(Scaled, C.E, Inv);
+    C.E = std::move(Scaled);
+    C.C = -Rational((C.C * Inv * Rational(-1)).floor());
+  }
+
+  /// Drops constant constraints; fills ConflictReasons and returns false on
+  /// a violated one. Also applies tightening to every constraint.
+  bool simplify(std::vector<Constraint> &Cons) {
+    std::vector<Constraint> Kept;
+    for (Constraint &C : Cons) {
+      if (!C.E.empty()) {
+        tighten(C);
+        Kept.push_back(std::move(C));
+        continue;
+      }
+      bool Violated = C.R == Constraint::Eq   ? !C.C.isZero()
+                      : C.R == Constraint::Le ? C.C.sgn() > 0
+                                              : C.C.sgn() >= 0;
+      if (Violated) {
+        ConflictReasons = C.Reasons;
+        return false;
+      }
+    }
+    Cons = std::move(Kept);
+    return true;
+  }
+
+  void substituteVar(std::vector<Constraint> &Cons, uint32_t Var,
+                     const std::map<uint32_t, Rational> &E, const Rational &C0,
+                     const std::vector<int> &Reasons) {
+    for (Constraint &Con : Cons) {
+      auto It = Con.E.find(Var);
+      if (It == Con.E.end())
+        continue;
+      Rational B = It->second;
+      Con.E.erase(It);
+      addInto(Con.E, E, B);
+      Con.C += C0 * B;
+      mergeReasons(Con.Reasons, Reasons);
+    }
+    Subs.push_back(SubStep{Var, E, C0});
+  }
+
+  /// Value of a local under the witness, resolving variables eliminated by
+  /// substitution on demand (deeper recursion levels push their SubSteps
+  /// before outer witnesses are extended, so chains resolve bottom-up).
+  Rational resolveValue(uint32_t V, std::map<uint32_t, Rational> &Values) {
+    auto It = Values.find(V);
+    if (It != Values.end())
+      return It->second;
+    for (auto SIt = Subs.rbegin(); SIt != Subs.rend(); ++SIt) {
+      if (SIt->Var != V)
+        continue;
+      Rational R = SIt->C;
+      // Copy the expression: recursion may invalidate iterators into Subs
+      // only if it pushed (it does not), but keep it simple and safe.
+      std::map<uint32_t, Rational> Expr = SIt->E;
+      for (const auto &[W, Cf] : Expr)
+        R += Cf * resolveValue(W, Values);
+      Values.emplace(V, R);
+      return R;
+    }
+    Values.emplace(V, Rational(0));
+    return Rational(0);
+  }
+
+  /// Equality elimination + pair promotion to a fixpoint. Returns false on
+  /// conflict (ConflictReasons set).
+  bool eqElim(std::vector<Constraint> &Cons) {
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      if (!simplify(Cons))
+        return false;
+
+      for (size_t CI = 0; CI < Cons.size(); ++CI) {
+        Constraint &C = Cons[CI];
+        if (C.R != Constraint::Eq || C.E.empty())
+          continue;
+        BigInt G;
+        for (const auto &[V, Cf] : C.E)
+          G = BigInt::gcd(G, Cf.num());
+        assert(C.C.isInt());
+        if (!C.C.num().euclidMod(G).isZero()) {
+          ConflictReasons = C.Reasons; // gcd test.
+          return false;
+        }
+        if (!G.isOne()) {
+          Rational Inv = Rational(BigInt(1), G);
+          std::map<uint32_t, Rational> Scaled;
+          addInto(Scaled, C.E, Inv);
+          C.E = std::move(Scaled);
+          C.C *= Inv;
+        }
+        uint32_t UnitVar = UINT32_MAX;
+        Rational UnitCoeff;
+        for (const auto &[V, Cf] : C.E)
+          if (Cf.num().abs().isOne()) {
+            UnitVar = V;
+            UnitCoeff = Cf;
+            break;
+          }
+        if (UnitVar != UINT32_MAX) {
+          std::map<uint32_t, Rational> Def;
+          Rational Scale = -UnitCoeff.inverse();
+          for (const auto &[V, Cf] : C.E)
+            if (V != UnitVar)
+              Def.emplace(V, Cf * Scale);
+          Rational DefC = C.C * Scale;
+          std::vector<int> Reasons = C.Reasons;
+          Cons.erase(Cons.begin() + CI);
+          substituteVar(Cons, UnitVar, Def, DefC, Reasons);
+          Changed = true;
+          break;
+        }
+        // Symmetric-modulus transformation: produce an implied congruence
+        // equality whose coefficient on the min-|a| variable is a unit, and
+        // substitute through it immediately.
+        uint32_t K = 0;
+        BigInt BestAbs;
+        bool First = true;
+        for (const auto &[V, Cf] : C.E) {
+          BigInt A = Cf.num().abs();
+          if (First || A < BestAbs) {
+            K = V;
+            BestAbs = A;
+            First = false;
+          }
+        }
+        BigInt M = BestAbs + BigInt(1);
+        uint32_t Sigma = freshLocal();
+        std::map<uint32_t, Rational> NewE;
+        for (const auto &[V, Cf] : C.E) {
+          BigInt SM = symMod(Cf.num(), M);
+          if (!SM.isZero())
+            NewE.emplace(V, Rational(SM));
+        }
+        Rational NewC{symMod(C.C.num(), M)};
+        NewE.emplace(Sigma, Rational(-M));
+        auto KIt = NewE.find(K);
+        assert(KIt != NewE.end() && KIt->second.num().abs().isOne() &&
+               "symmetric modulus did not produce a unit coefficient");
+        Rational Scale = -KIt->second.inverse();
+        std::map<uint32_t, Rational> Def;
+        for (const auto &[V, Cf] : NewE)
+          if (V != K)
+            Def.emplace(V, Cf * Scale);
+        Rational DefC = NewC * Scale;
+        std::vector<int> Reasons = C.Reasons;
+        substituteVar(Cons, K, Def, DefC, Reasons);
+        Changed = true;
+        break;
+      }
+      if (Changed)
+        continue;
+
+      // Promote opposing inequality pairs to an equality.
+      for (size_t I = 0; I < Cons.size() && !Changed; ++I) {
+        if (Cons[I].R != Constraint::Le || Cons[I].E.empty())
+          continue;
+        for (size_t J = I + 1; J < Cons.size(); ++J) {
+          if (Cons[J].R != Constraint::Le ||
+              Cons[J].E.size() != Cons[I].E.size())
+            continue;
+          if (Cons[I].C + Cons[J].C != Rational(0))
+            continue;
+          std::map<uint32_t, Rational> Neg;
+          addInto(Neg, Cons[I].E, Rational(-1));
+          if (Neg != Cons[J].E)
+            continue;
+          Cons[I].R = Constraint::Eq;
+          mergeReasons(Cons[I].Reasons, Cons[J].Reasons);
+          Cons.erase(Cons.begin() + J);
+          Changed = true;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  //===------------------------------------------------------------------===
+  // Branch & bound (fast path)
+  //===------------------------------------------------------------------===
+
+  /// Runs simplex + branch & bound on integer-only Le constraints. Values
+  /// for every local occurring in Cons are stored into \p Values.
+  IntStatus bnb(const std::vector<Constraint> &Cons,
+                std::map<uint32_t, Rational> &Values) {
+    Simplex Base;
+    std::map<uint32_t, Simplex::VarIdx> SpxOf;
+    std::vector<std::vector<int>> ReasonSets;
+    auto SpxVar = [&](uint32_t L) {
+      auto It = SpxOf.find(L);
+      if (It != SpxOf.end())
+        return It->second;
+      Simplex::VarIdx V = Base.addVar();
+      SpxOf.emplace(L, V);
+      return V;
+    };
+    for (const Constraint &C : Cons) {
+      assert(C.R == Constraint::Le && !C.E.empty());
+      Simplex::VarIdx Subject;
+      Rational Scale(1);
+      if (C.E.size() == 1) {
+        Subject = SpxVar(C.E.begin()->first);
+        Scale = C.E.begin()->second;
+      } else {
+        std::map<Simplex::VarIdx, Rational> Row;
+        for (const auto &[V, Cf] : C.E)
+          Row.emplace(SpxVar(V), Cf);
+        Subject = Base.addRowVar(Row);
+      }
+      Rational Bound = -C.C / Scale;
+      bool Flip = Scale.sgn() < 0;
+      int Tag = static_cast<int>(ReasonSets.size());
+      ReasonSets.push_back(C.Reasons);
+      if (!Base.assertBound(Subject, Flip, DeltaRational(Bound), Tag)) {
+        ConflictReasons.clear();
+        for (int T : Base.explanation())
+          if (T >= 0)
+            mergeReasons(ConflictReasons, ReasonSets[T]);
+        return IntStatus::Unsat;
+      }
+    }
+    std::vector<std::pair<uint32_t, Simplex::VarIdx>> IntLocals(
+        SpxOf.begin(), SpxOf.end());
+
+    uint64_t Nodes = 0;
+    std::vector<int> Core;
+    std::vector<Simplex> Work;
+    Work.push_back(std::move(Base));
+    while (!Work.empty()) {
+      if (++Nodes > BnbBudget)
+        return IntStatus::Unknown;
+      Simplex Spx = std::move(Work.back());
+      Work.pop_back();
+      if (!Spx.check()) {
+        for (int T : Spx.explanation())
+          if (T >= 0)
+            mergeReasons(Core, ReasonSets[T]);
+        continue;
+      }
+      const std::pair<uint32_t, Simplex::VarIdx> *Frac = nullptr;
+      for (const auto &P : IntLocals) {
+        const DeltaRational &DV = Spx.value(P.second);
+        assert(DV.delta().isZero());
+        if (!DV.real().isInt()) {
+          Frac = &P;
+          break;
+        }
+      }
+      if (!Frac) {
+        for (const auto &[L, V] : SpxOf)
+          Values[L] = Spx.value(V).real();
+        return IntStatus::Sat;
+      }
+      BigInt Fl = Spx.value(Frac->second).real().floor();
+      Simplex Left = Spx;
+      if (Left.assertBound(Frac->second, false, DeltaRational(Rational(Fl)),
+                           -1))
+        Work.push_back(std::move(Left));
+      else
+        for (int T : Left.explanation())
+          if (T >= 0)
+            mergeReasons(Core, ReasonSets[T]);
+      Simplex Right = std::move(Spx);
+      if (Right.assertBound(Frac->second, true,
+                            DeltaRational(Rational(Fl + BigInt(1))), -1))
+        Work.push_back(std::move(Right));
+      else
+        for (int T : Right.explanation())
+          if (T >= 0)
+            mergeReasons(Core, ReasonSets[T]);
+    }
+    ConflictReasons = Core;
+    return IntStatus::Unsat;
+  }
+
+  //===------------------------------------------------------------------===
+  // Omega test (complete fallback)
+  //===------------------------------------------------------------------===
+
+  /// Decides a system of integer Le constraints (equalities must have been
+  /// eliminated) and produces witness values on Sat. Complete up to the
+  /// recursion budget.
+  IntStatus omega(std::vector<Constraint> Cons,
+                  std::map<uint32_t, Rational> &Values) {
+    // Substitutions from abandoned branches must not leak into the final
+    // back-substitution chain: roll back on anything but Sat.
+    size_t SubsMark = Subs.size();
+    IntStatus R = omegaImpl(std::move(Cons), Values);
+    if (R != IntStatus::Sat)
+      Subs.resize(SubsMark);
+    return R;
+  }
+
+  IntStatus omegaImpl(std::vector<Constraint> Cons,
+                      std::map<uint32_t, Rational> &Values) {
+    if (OmegaBudget == 0)
+      return IntStatus::Unknown;
+    --OmegaBudget;
+    if (!eqElim(Cons))
+      return IntStatus::Unsat;
+    if (Cons.empty())
+      return IntStatus::Sat;
+
+    // Choose the variable minimizing the shadow blowup.
+    std::map<uint32_t, std::pair<size_t, size_t>> Count; // lowers, uppers.
+    for (const Constraint &C : Cons)
+      for (const auto &[V, Cf] : C.E)
+        (Cf.sgn() < 0 ? Count[V].first : Count[V].second) += 1;
+    uint32_t X = Count.begin()->first;
+    size_t BestCost = SIZE_MAX;
+    for (const auto &[V, LU] : Count) {
+      size_t Cost = LU.first * LU.second;
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        X = V;
+      }
+    }
+
+    // Partition on X: lowers a*x >= s (a > 0), uppers b*x <= t (b > 0).
+    struct Bnd {
+      BigInt A;
+      std::map<uint32_t, Rational> T; ///< The bounding expression.
+      Rational TC;
+      std::vector<int> Reasons;
+    };
+    std::vector<Bnd> Lowers, Uppers;
+    std::vector<Constraint> Rest;
+    for (const Constraint &C : Cons) {
+      auto It = C.E.find(X);
+      if (It == C.E.end()) {
+        Rest.push_back(C);
+        continue;
+      }
+      // c*x + R + k <= 0.
+      Bnd B;
+      Rational Coeff = It->second;
+      B.Reasons = C.Reasons;
+      B.T = C.E;
+      B.T.erase(X);
+      B.TC = C.C;
+      if (Coeff.sgn() > 0) {
+        // c*x <= -(R + k): upper with b = c, t = -(R + k).
+        B.A = Coeff.num();
+        std::map<uint32_t, Rational> Neg;
+        addInto(Neg, B.T, Rational(-1));
+        B.T = std::move(Neg);
+        B.TC = -B.TC;
+        Uppers.push_back(std::move(B));
+      } else {
+        // c*x + R + k <= 0 with c < 0: (-c)*x >= R + k.
+        B.A = (-Coeff).num();
+        Lowers.push_back(std::move(B));
+      }
+    }
+
+    auto ExtendWitness = [&](std::map<uint32_t, Rational> &W) {
+      auto Eval = [&](const Bnd &B) {
+        Rational R = B.TC;
+        for (const auto &[V, Cf] : B.T)
+          R += Cf * resolveValue(V, W);
+        return R;
+      };
+      if (!Lowers.empty()) {
+        // x := max_i ceil(s_i / a_i).
+        bool First = true;
+        BigInt Best;
+        for (const Bnd &L : Lowers) {
+          BigInt Cand = (Eval(L) / Rational(L.A)).ceil();
+          if (First || Cand > Best) {
+            Best = Cand;
+            First = false;
+          }
+        }
+        W[X] = Rational(Best);
+      } else if (!Uppers.empty()) {
+        bool First = true;
+        BigInt Best;
+        for (const Bnd &U : Uppers) {
+          BigInt Cand = (Eval(U) / Rational(U.A)).floor();
+          if (First || Cand < Best) {
+            Best = Cand;
+            First = false;
+          }
+        }
+        W[X] = Rational(Best);
+      } else {
+        W[X] = Rational(0);
+      }
+    };
+
+    // Unbounded on one side: drop X entirely.
+    if (Lowers.empty() || Uppers.empty()) {
+      IntStatus R = omega(Rest, Values);
+      if (R == IntStatus::Sat)
+        ExtendWitness(Values);
+      return R;
+    }
+
+    // Shadows. Real: a*t - b*s >= 0; dark: a*t - b*s >= (a-1)(b-1). When
+    // a == 1 or b == 1 the two coincide (exact projection).
+    bool Exact = true;
+    for (const Bnd &L : Lowers)
+      for (const Bnd &U : Uppers)
+        if (!L.A.isOne() && !U.A.isOne())
+          Exact = false;
+    auto Shadow = [&](bool Dark) {
+      std::vector<Constraint> S = Rest;
+      for (const Bnd &L : Lowers)
+        for (const Bnd &U : Uppers) {
+          // b*s - a*t + slack <= 0.
+          Constraint C;
+          C.R = Constraint::Le;
+          addInto(C.E, L.T, Rational(U.A));
+          addInto(C.E, U.T, -Rational(L.A));
+          C.C = L.TC * Rational(U.A) - U.TC * Rational(L.A);
+          if (Dark)
+            C.C += Rational((L.A - BigInt(1)) * (U.A - BigInt(1)));
+          C.Reasons = L.Reasons;
+          mergeReasons(C.Reasons, U.Reasons);
+          S.push_back(std::move(C));
+        }
+      return S;
+    };
+
+    if (Exact) {
+      IntStatus R = omega(Shadow(false), Values);
+      if (R == IntStatus::Sat)
+        ExtendWitness(Values);
+      return R;
+    }
+
+    IntStatus Dark = omega(Shadow(true), Values);
+    if (Dark == IntStatus::Sat) {
+      ExtendWitness(Values);
+      return IntStatus::Sat;
+    }
+    if (Dark == IntStatus::Unknown)
+      return Dark;
+
+    // Splinters: exists x iff dark-shadow solution or x pinned near some
+    // lower bound: a*x = s + i for 0 <= i <= (a*bmax - a - bmax)/bmax.
+    BigInt BMax(1);
+    for (const Bnd &U : Uppers)
+      if (U.A > BMax)
+        BMax = U.A;
+    for (const Bnd &L : Lowers) {
+      BigInt Num = L.A * BMax - L.A - BMax;
+      if (Num.isNeg())
+        continue;
+      BigInt MaxI = Num / BMax;
+      for (BigInt I(0); I <= MaxI; I += BigInt(1)) {
+        std::vector<Constraint> S = Cons;
+        Constraint Eq;
+        Eq.R = Constraint::Eq;
+        Eq.E.emplace(X, Rational(L.A));
+        addInto(Eq.E, L.T, Rational(-1));
+        Eq.C = -L.TC - Rational(I);
+        Eq.Reasons = L.Reasons;
+        S.push_back(std::move(Eq));
+        IntStatus R = omega(std::move(S), Values);
+        if (R != IntStatus::Unsat)
+          return R;
+      }
+    }
+    // No branch feasible: conservatively blame everything involved.
+    ConflictReasons.clear();
+    for (const Constraint &C : Cons)
+      mergeReasons(ConflictReasons, C.Reasons);
+    return IntStatus::Unsat;
+  }
+};
+
+struct LocalVar {
+  bool IsInt;
+  VarId Term = UINT32_MAX; ///< Term variable, or UINT32_MAX for sigma vars.
+};
+
+} // namespace
+
+ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
+  std::vector<LocalVar> Locals;
+  std::map<VarId, uint32_t> LocalOf;
+  auto GetLocal = [&](VarId V) {
+    auto It = LocalOf.find(V);
+    if (It != LocalOf.end())
+      return It->second;
+    uint32_t L = static_cast<uint32_t>(Locals.size());
+    Locals.push_back(LocalVar{Ctx.varInfo(V).S == Sort::Int, V});
+    LocalOf.emplace(V, L);
+    return L;
+  };
+
+  Outcome Out;
+  auto LiteralCore = [&](const std::vector<int> &Reasons) {
+    Out.St = Status::Infeasible;
+    Out.Core.clear();
+    for (int R : Reasons)
+      if (R >= 0)
+        Out.Core.push_back(static_cast<size_t>(R));
+    std::sort(Out.Core.begin(), Out.Core.end());
+    Out.Core.erase(std::unique(Out.Core.begin(), Out.Core.end()),
+                   Out.Core.end());
+    return Out;
+  };
+
+  //===--------------------------------------------------------------------===
+  // Parse literals into int and real constraint systems.
+  //===--------------------------------------------------------------------===
+  std::vector<Constraint> IntCons, RealCons;
+  for (size_t I = 0; I < Lits.size(); ++I) {
+    const TheoryLit &TL = Lits[I];
+    const TermNode &N = Ctx.node(TL.Atom);
+    assert(N.K == Kind::Le || N.K == Kind::Lt || N.K == Kind::EqA);
+    if (N.K == Kind::EqA && !TL.Pos)
+      continue; // Covered by the CNF-level split clause.
+
+    Sort S = atomArithSort(Ctx, TL.Atom);
+    LinExpr Sum = LinExpr::fromTerm(Ctx, N.Kids[0]);
+    Rational K = Ctx.node(N.Kids[1]).Val;
+
+    Constraint C;
+    C.Reasons = {static_cast<int>(I)};
+    for (const auto &[V, Cf] : Sum.Coeffs)
+      C.E.emplace(GetLocal(V), Cf);
+    C.C = Sum.Const - K;
+    auto Negate = [&]() {
+      std::map<uint32_t, Rational> Neg;
+      addInto(Neg, C.E, Rational(-1));
+      C.E = std::move(Neg);
+    };
+    switch (N.K) {
+    case Kind::EqA:
+      C.R = Constraint::Eq;
+      break;
+    case Kind::Le:
+      if (TL.Pos) {
+        C.R = Constraint::Le;
+      } else if (S == Sort::Int) {
+        Negate();
+        C.C = K + Rational(1) - Sum.Const;
+        C.R = Constraint::Le;
+      } else {
+        Negate();
+        C.C = K - Sum.Const;
+        C.R = Constraint::Lt;
+      }
+      break;
+    case Kind::Lt:
+      if (TL.Pos) {
+        C.R = Constraint::Lt;
+      } else {
+        Negate();
+        C.C = K - Sum.Const;
+        C.R = Constraint::Le;
+      }
+      break;
+    default:
+      break;
+    }
+    (S == Sort::Int ? IntCons : RealCons).push_back(std::move(C));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Real part: complete via the general simplex.
+  //===--------------------------------------------------------------------===
+  Assignment Assign;
+  if (!RealCons.empty()) {
+    Simplex Spx;
+    std::map<uint32_t, Simplex::VarIdx> SpxOf;
+    std::vector<std::vector<int>> ReasonSets;
+    auto SpxVar = [&](uint32_t L) {
+      auto It = SpxOf.find(L);
+      if (It != SpxOf.end())
+        return It->second;
+      Simplex::VarIdx V = Spx.addVar();
+      SpxOf.emplace(L, V);
+      return V;
+    };
+    auto Fail = [&](const std::vector<int> &Expl) {
+      std::vector<int> Rs;
+      for (int T : Expl)
+        if (T >= 0)
+          mergeReasons(Rs, ReasonSets[T]);
+      return LiteralCore(Rs);
+    };
+    for (const Constraint &C : RealCons) {
+      assert(!C.E.empty() && "ground real constraint survived parsing");
+      Simplex::VarIdx Subject;
+      Rational Scale(1);
+      if (C.E.size() == 1) {
+        Subject = SpxVar(C.E.begin()->first);
+        Scale = C.E.begin()->second;
+      } else {
+        std::map<Simplex::VarIdx, Rational> Row;
+        for (const auto &[V, Cf] : C.E)
+          Row.emplace(SpxVar(V), Cf);
+        Subject = Spx.addRowVar(Row);
+      }
+      Rational Bound = -C.C / Scale;
+      bool Flip = Scale.sgn() < 0;
+      int Tag = static_cast<int>(ReasonSets.size());
+      ReasonSets.push_back(C.Reasons);
+      bool Ok = true;
+      switch (C.R) {
+      case Constraint::Eq:
+        Ok = Spx.assertBound(Subject, true, DeltaRational(Bound), Tag) &&
+             Spx.assertBound(Subject, false, DeltaRational(Bound), Tag);
+        break;
+      case Constraint::Le:
+        Ok = Spx.assertBound(Subject, Flip, DeltaRational(Bound), Tag);
+        break;
+      case Constraint::Lt: {
+        DeltaRational B(Bound, Flip ? Rational(1) : Rational(-1));
+        Ok = Spx.assertBound(Subject, Flip, B, Tag);
+        break;
+      }
+      }
+      if (!Ok)
+        return Fail(Spx.explanation());
+    }
+    if (!Spx.check())
+      return Fail(Spx.explanation());
+    Rational Eps = Spx.suitableEpsilon();
+    for (const auto &[L, V] : SpxOf)
+      Assign.emplace(Locals[L].Term,
+                     Value::number(Spx.value(V).materialize(Eps), Sort::Real));
+  }
+
+  //===--------------------------------------------------------------------===
+  // Integer part: equality elimination, branch & bound, Omega fallback.
+  //===--------------------------------------------------------------------===
+  std::map<uint32_t, Rational> IntValues;
+  if (!IntCons.empty()) {
+    std::vector<Constraint> OrigInt = IntCons; // For the model self-check.
+    IntSolver IS;
+    IS.NumLocals = static_cast<uint32_t>(Locals.size());
+    IS.BnbBudget = NodeBudget;
+    if (!IS.eqElim(IntCons))
+      return LiteralCore(IS.ConflictReasons);
+
+    IntStatus St = IS.bnb(IntCons, IntValues);
+    if (St == IntStatus::Unknown) {
+      if (std::getenv("MUCYC_DEBUG_ARITH"))
+        std::fprintf(stderr, "[arith] bnb budget exceeded; omega fallback "
+                             "(%zu constraints)\n",
+                     IntCons.size());
+      IntValues.clear();
+      St = IS.omega(IntCons, IntValues);
+    }
+    if (St == IntStatus::Unsat)
+      return LiteralCore(IS.ConflictReasons);
+    if (St == IntStatus::Unknown) {
+      Out.St = Status::Unknown;
+      return Out;
+    }
+    // Back-substitute the eliminated variables (reverse order).
+    auto ValueOf = [&](uint32_t L) {
+      auto It = IntValues.find(L);
+      return It == IntValues.end() ? Rational(0) : It->second;
+    };
+    for (auto It = IS.Subs.rbegin(); It != IS.Subs.rend(); ++It) {
+      Rational V = It->C;
+      for (const auto &[W, Cf] : It->E)
+        V += Cf * ValueOf(W);
+      IntValues[It->Var] = V;
+    }
+#ifndef NDEBUG
+    // Self-check: the witness must satisfy every original constraint.
+    for (const Constraint &C : OrigInt) {
+      Rational S = C.C;
+      for (const auto &[V, Cf] : C.E)
+        S += Cf * ValueOf(V);
+      bool Holds = C.R == Constraint::Eq ? S.isZero() : S.sgn() <= 0;
+      if (!Holds && std::getenv("MUCYC_DEBUG_ARITH"))
+        std::fprintf(stderr, "[arith] witness violates constraint (rel=%d, "
+                             "residual=%s)\n",
+                     static_cast<int>(C.R), S.toString().c_str());
+      assert(Holds && "integer witness violates an input constraint");
+    }
+#endif
+  }
+
+  for (uint32_t L = 0; L < Locals.size(); ++L) {
+    if (Locals[L].Term == UINT32_MAX || !Locals[L].IsInt)
+      continue;
+    auto It = IntValues.find(L);
+    Rational V = It == IntValues.end() ? Rational(0) : It->second;
+    assert(V.isInt() && "non-integral Int model value");
+    Assign.emplace(Locals[L].Term, Value::number(V, Sort::Int));
+  }
+
+  ArithAssign = std::move(Assign);
+  Out.St = Status::Feasible;
+  return Out;
+}

@@ -1,0 +1,71 @@
+//===- smt/TheoryLia.h - Arithmetic theory checker --------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Conjunction-level feasibility checking for linear integer/real arithmetic
+/// literals. The pipeline is:
+///
+///   1. Parse literals into linear constraints with reason tracking.
+///   2. Integer equality elimination a la the Omega test (Pugh 1991):
+///      unit-coefficient substitution, gcd infeasibility, and the symmetric-
+///      modulus transformation for non-unit coefficients. Opposing
+///      inequality pairs over the same form are promoted to equalities so
+///      that parity-style infeasibilities (which defeat plain branch &
+///      bound on unbounded integers) are caught structurally.
+///   3. General simplex on the residue, with internal branch & bound on the
+///      remaining integer variables (bounded by a node budget).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SMT_THEORYLIA_H
+#define MUCYC_SMT_THEORYLIA_H
+
+#include "smt/Model.h"
+#include "term/Linear.h"
+
+#include <vector>
+
+namespace mucyc {
+
+/// A theory literal: an atom with its propositional polarity.
+struct TheoryLit {
+  TermRef Atom;
+  bool Pos;
+};
+
+/// One-shot checker for a conjunction of arithmetic literals.
+class ArithChecker {
+public:
+  explicit ArithChecker(TermContext &Ctx) : Ctx(Ctx) {}
+
+  enum class Status { Feasible, Infeasible, Unknown };
+
+  struct Outcome {
+    Status St;
+    /// Infeasible: indices into the literal vector forming a conflict.
+    std::vector<size_t> Core;
+  };
+
+  /// Checks the conjunction. Negated equalities are ignored (the CNF layer
+  /// guarantees a strict-inequality split atom covers them); divisibility
+  /// atoms must have been eliminated before CNF conversion.
+  Outcome check(const std::vector<TheoryLit> &Lits);
+
+  /// After Feasible: values for every arithmetic variable that occurred.
+  const Assignment &arithModel() const { return ArithAssign; }
+
+  /// Branch & bound node budget per check (Unknown when exceeded).
+  void setNodeBudget(uint64_t B) { NodeBudget = B; }
+
+private:
+  TermContext &Ctx;
+  Assignment ArithAssign;
+  uint64_t NodeBudget = 20000;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SMT_THEORYLIA_H

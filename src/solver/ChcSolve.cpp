@@ -1,0 +1,195 @@
+//===- solver/ChcSolve.cpp - Top-level CHC solving ------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/ChcSolve.h"
+
+#include "chc/Preprocess.h"
+#include "mbp/Qe.h"
+#include "solver/Refiner.h"
+#include "solver/SolveBaseline.h"
+#include "solver/SpacerTs.h"
+#include "solver/Verify.h"
+
+#include <chrono>
+
+using namespace mucyc;
+
+const char *mucyc::chcStatusName(ChcStatus S) {
+  switch (S) {
+  case ChcStatus::Sat:
+    return "sat";
+  case ChcStatus::Unsat:
+    return "unsat";
+  case ChcStatus::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+std::unique_ptr<Refiner> mucyc::makeRefiner(EngineContext &E) {
+  switch (E.Opts.Engine) {
+  case EngineKind::Naive:
+    return std::make_unique<NaiveRefiner>(E);
+  case EngineKind::NaiveMbp:
+    return std::make_unique<NaiveMbpRefiner>(E);
+  case EngineKind::Ret:
+    return std::make_unique<IndSpacerRefiner>(E);
+  case EngineKind::Yld:
+    return std::make_unique<YieldRefiner>(E);
+  default:
+    assert(false && "engine without a refiner");
+    return nullptr;
+  }
+}
+
+SolverResult ChcSolver::solveInductive() {
+  SolverResult R;
+  EngineContext E(F, N, Opts);
+  std::unique_ptr<Refiner> Ref = makeRefiner(E);
+  Trace T(F);
+  TermRef Alpha = F.mkNot(N.Bad);
+
+  while (true) {
+    // Algorithm 2 line 4: unfold.
+    T.unfold();
+    ++E.Stats.Unfolds;
+    if (Opts.OptInduction && T.depth() >= 1)
+      (void)0; // Unfold-time induction runs inside the refiners.
+
+    // Line 5: refine against the assertion. Any counterexample piece
+    // witnesses a reachable bad state, so UNSAT follows immediately.
+    std::optional<TermRef> Gamma = Ref->refine(T, 0, Alpha);
+    if (E.Aborted)
+      break;
+    if (Gamma) {
+      R.Status = ChcStatus::Unsat;
+      R.CexPiece = *Gamma;
+      break;
+    }
+
+    // Lines 9-11: invariant extraction. Inv_i = /\_{j<=i} cell[j]; it is a
+    // solution when it implies the next level.
+    std::vector<TermRef> Prefix;
+    bool Found = false;
+    for (int I = 0; I + 1 <= T.depth() && !Found; ++I) {
+      Prefix.push_back(T.formula(I));
+      TermRef Inv = F.mkAnd(Prefix);
+      if (E.implies(Inv, T.formula(I + 1))) {
+        R.Status = ChcStatus::Sat;
+        R.Invariant = Inv;
+        Found = true;
+      }
+      if (E.Aborted)
+        break;
+    }
+    // Depth-0 corner: a single cell that already excludes bad states and is
+    // closed (no transitions can occur from an empty system) is handled by
+    // the general check above once depth >= 1.
+    if (Found || E.Aborted)
+      break;
+    if (Opts.MaxDepth && T.depth() >= Opts.MaxDepth)
+      break;
+  }
+  R.Depth = T.depth();
+  R.Stats = E.Stats;
+  return R;
+}
+
+SolverResult ChcSolver::solve() {
+  auto Start = std::chrono::steady_clock::now();
+  SolverResult R;
+  switch (Opts.Engine) {
+  case EngineKind::SpacerTs:
+    R = runSpacerTs(F, N, Opts);
+    break;
+  case EngineKind::Solve:
+    R = runSolveBaseline(F, N, Opts);
+    break;
+  default:
+    R = solveInductive();
+    break;
+  }
+  R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            Start)
+                  .count();
+  if (Opts.VerifyResult) {
+    if (R.Status == ChcStatus::Sat &&
+        !verifyInvariant(F, N, R.Invariant))
+      R.Status = ChcStatus::Unknown;
+    if (R.Status == ChcStatus::Unsat &&
+        !verifyCexPiece(F, N, R.CexPiece, R.Depth + 2))
+      R.Status = ChcStatus::Unknown;
+  }
+  return R;
+}
+
+SolverResult mucyc::solveChcSystem(ChcSystem &Sys, const SolverOptions &Opts,
+                                   bool Preprocess, ChcSolution *SolutionOut) {
+  ChcSystem Work = Preprocess ? preprocess(Sys) : Sys;
+  NormalizeResult NR = normalize(Work);
+  ChcSolver Solver(Sys.ctx(), NR.Sys, Opts);
+  SolverResult R = Solver.solve();
+  if (R.Status == ChcStatus::Sat && SolutionOut) {
+    // Lift through the preprocessed system's layout; predicates eliminated
+    // by preprocessing have no definition here (they were resolved away).
+    *SolutionOut = NR.liftSolution(Work, R.Invariant);
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===
+// Ground truth
+//===----------------------------------------------------------------------===
+
+namespace {
+/// Accumulates \p New into the disjunct set, skipping disjuncts already
+/// implied by the union (keeps the exact-reach formulas from ballooning).
+void addDisjuncts(TermContext &F, std::vector<TermRef> &Disjuncts,
+                  TermRef New) {
+  std::vector<TermRef> Parts = F.kind(New) == Kind::Or
+                                   ? F.node(New).Kids
+                                   : std::vector<TermRef>{New};
+  for (TermRef P : Parts) {
+    if (SmtSolver::implies(F, P, F.mkOr(Disjuncts)))
+      continue;
+    Disjuncts.push_back(P);
+  }
+}
+} // namespace
+
+TermRef mucyc::boundedReach(TermContext &F, const NormalizedChc &N, int K) {
+  // R_1 = iota; R_{h+1} = iota \/ QE(exists xy. R_h(x) /\ R_h(y) /\ tau),
+  // maintained as a subsumption-pruned disjunct set.
+  std::vector<TermRef> Disjuncts{N.Init};
+  std::vector<VarId> Elim = EngineContext::concat(N.X, N.Y);
+  for (int H = 1; H < K; ++H) {
+    TermRef R = F.mkOr(Disjuncts);
+    TermRef Step = F.mkAnd({N.zToX(F, R), N.zToY(F, R), N.Trans});
+    TermRef Post = qeExists(F, Elim, Step);
+    size_t Before = Disjuncts.size();
+    addDisjuncts(F, Disjuncts, Post);
+    if (Disjuncts.size() == Before)
+      return R; // Fixed point.
+  }
+  return F.mkOr(Disjuncts);
+}
+
+ChcStatus mucyc::bmcStatus(TermContext &F, const NormalizedChc &N, int MaxK) {
+  std::vector<TermRef> Disjuncts{N.Init};
+  std::vector<VarId> Elim = EngineContext::concat(N.X, N.Y);
+  for (int H = 1; H <= MaxK; ++H) {
+    TermRef R = F.mkOr(Disjuncts);
+    if (SmtSolver::quickCheck(F, {R, N.Bad}))
+      return ChcStatus::Unsat;
+    TermRef Step = F.mkAnd({N.zToX(F, R), N.zToY(F, R), N.Trans});
+    TermRef Post = qeExists(F, Elim, Step);
+    size_t Before = Disjuncts.size();
+    addDisjuncts(F, Disjuncts, Post);
+    if (Disjuncts.size() == Before)
+      return ChcStatus::Sat; // Converged safely.
+  }
+  return ChcStatus::Unknown;
+}

@@ -1,0 +1,87 @@
+//===- solver/ChcSolve.h - Top-level CHC solving ----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 2: the outer loop that unfolds approximations, refines traces,
+/// and extracts invariants — dispatching to the configured refinement
+/// engine (Algorithms 3-6), the Fig. 1/15 transition system, or the Solve
+/// baseline. This is the public solving entry point; see also
+/// solveChcSystem() which runs the full pipeline (preprocess, normalize,
+/// solve, lift the solution).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_CHCSOLVE_H
+#define MUCYC_SOLVER_CHCSOLVE_H
+
+#include "chc/Normalize.h"
+#include "solver/Engine.h"
+#include "solver/Trace.h"
+
+namespace mucyc {
+
+enum class ChcStatus { Sat, Unsat, Unknown };
+
+const char *chcStatusName(ChcStatus S);
+
+struct SolverResult {
+  ChcStatus Status = ChcStatus::Unknown;
+  /// Sat: an inductive invariant phi(z) with iota => phi, phi closed under
+  /// tau, and phi /\ beta unsatisfiable.
+  TermRef Invariant;
+  /// Unsat: a non-empty region gamma(z) of reachable bad states.
+  TermRef CexPiece;
+  /// Depth of the approximation at which the answer was found.
+  int Depth = 0;
+  SolveStats Stats;
+  double Seconds = 0;
+};
+
+/// Solver for systems in the paper's normalized form.
+class ChcSolver {
+public:
+  ChcSolver(TermContext &F, const NormalizedChc &N, SolverOptions Opts)
+      : F(F), N(N), Opts(std::move(Opts)) {}
+
+  SolverResult solve();
+
+private:
+  SolverResult solveInductive();
+
+  TermContext &F;
+  NormalizedChc N;
+  SolverOptions Opts;
+};
+
+/// Full pipeline on a general CHC system: preprocess (optional), normalize,
+/// solve, and (for Sat) lift the invariant back to per-predicate
+/// definitions in \p SolutionOut when non-null.
+SolverResult solveChcSystem(ChcSystem &Sys, const SolverOptions &Opts,
+                            bool Preprocess = true,
+                            ChcSolution *SolutionOut = nullptr);
+
+//===----------------------------------------------------------------------===
+// Ground-truth utilities (used by Verify and the test-suite)
+//===----------------------------------------------------------------------===
+
+/// Exact states reachable by derivation trees of height <= K (QE-based).
+TermRef boundedReach(TermContext &F, const NormalizedChc &N, int K);
+
+/// Bounded model checking: Unsat if a bad state is derivable within height
+/// MaxK, Sat if the exact reach set converges safely first, else Unknown.
+ChcStatus bmcStatus(TermContext &F, const NormalizedChc &N, int MaxK);
+
+/// Checks that \p Inv is an inductive safe invariant for \p N.
+bool verifyInvariant(TermContext &F, const NormalizedChc &N, TermRef Inv);
+
+/// Checks that some state of \p Gamma is reachable (within \p MaxK) and
+/// bad.
+bool verifyCexPiece(TermContext &F, const NormalizedChc &N, TermRef Gamma,
+                    int MaxK);
+
+} // namespace mucyc
+
+#endif // MUCYC_SOLVER_CHCSOLVE_H

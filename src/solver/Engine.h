@@ -1,0 +1,148 @@
+//===- solver/Engine.h - Shared refinement-engine context ------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plumbing shared by every refinement procedure: the normalized system and
+/// its variable tuples, renaming between X/Y/Z forms, satisfiability and
+/// projection helpers with statistics, and deadline/budget tracking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_ENGINE_H
+#define MUCYC_SOLVER_ENGINE_H
+
+#include "chc/Normalize.h"
+#include "itp/Interpolate.h"
+#include "mbp/Mbp.h"
+#include "smt/SmtSolver.h"
+#include "solver/Options.h"
+
+#include <chrono>
+
+namespace mucyc {
+
+/// Counters reported with every solver result.
+struct SolveStats {
+  uint64_t SmtChecks = 0;
+  uint64_t MbpCalls = 0;
+  uint64_t ItpCalls = 0;
+  uint64_t RefineCalls = 0;
+  uint64_t Unfolds = 0;
+};
+
+/// Shared state for one solving run.
+class EngineContext {
+public:
+  EngineContext(TermContext &F, const NormalizedChc &N,
+                const SolverOptions &Opts)
+      : F(F), N(N), Opts(Opts) {
+    if (Opts.TimeoutMs > 0) {
+      HasDeadline = true;
+      Deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(Opts.TimeoutMs);
+    }
+  }
+
+  TermContext &F;
+  const NormalizedChc &N;
+  SolverOptions Opts;
+  SolveStats Stats;
+  bool Aborted = false;
+
+  /// Checks resource limits; sets and returns Aborted when exhausted.
+  bool expired() {
+    if (Aborted)
+      return true;
+    if (Opts.MaxRefineSteps && Stats.SmtChecks > Opts.MaxRefineSteps)
+      Aborted = true;
+    else if (HasDeadline && std::chrono::steady_clock::now() > Deadline)
+      Aborted = true;
+    return Aborted;
+  }
+
+  /// Satisfiability of a conjunction; nullopt means unsat OR aborted
+  /// (distinguish via Aborted).
+  std::optional<Model> sat(const std::vector<TermRef> &Conj) {
+    if (expired())
+      return std::nullopt;
+    ++Stats.SmtChecks;
+    SmtSolver S(F);
+    for (TermRef T : Conj)
+      S.assertFormula(T);
+    switch (S.check()) {
+    case SmtStatus::Sat:
+      return S.model();
+    case SmtStatus::Unsat:
+      return std::nullopt;
+    case SmtStatus::Unknown:
+      Aborted = true;
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  bool implies(TermRef A, TermRef B) {
+    return !sat({A, F.mkNot(B)}).has_value() && !Aborted;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Tuple renamings
+  //===--------------------------------------------------------------------===
+
+  TermRef zToX(TermRef T) { return rename(T, N.Z, N.X); }
+  TermRef zToY(TermRef T) { return rename(T, N.Z, N.Y); }
+  TermRef xToZ(TermRef T) { return rename(T, N.X, N.Z); }
+  TermRef yToZ(TermRef T) { return rename(T, N.Y, N.Z); }
+
+  TermRef rename(TermRef T, const std::vector<VarId> &From,
+                 const std::vector<VarId> &To) {
+    std::unordered_map<VarId, TermRef> Map;
+    for (size_t I = 0; I < From.size(); ++I)
+      Map.emplace(From[I], F.varTerm(To[I]));
+    return F.substitute(T, Map);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Projection and interpolation with statistics
+  //===--------------------------------------------------------------------===
+
+  /// Projects the X and Z tuples out of Phi (result over Y), etc.
+  TermRef projectToY(TermRef Phi, const Model &M) {
+    return project(concat(N.X, N.Z), Phi, M);
+  }
+  TermRef projectToX(TermRef Phi, const Model &M) {
+    return project(concat(N.Y, N.Z), Phi, M);
+  }
+  TermRef projectToZ(TermRef Phi, const Model &M) {
+    return project(concat(N.X, N.Y), Phi, M);
+  }
+
+  TermRef project(const std::vector<VarId> &Elim, TermRef Phi,
+                  const Model &M) {
+    ++Stats.MbpCalls;
+    return mbp(F, Opts.mbpStrategy(), Elim, Phi, M);
+  }
+
+  TermRef itp(TermRef A, TermRef B) {
+    ++Stats.ItpCalls;
+    return interpolate(F, A, B, Opts.Itp);
+  }
+
+  static std::vector<VarId> concat(const std::vector<VarId> &A,
+                                   const std::vector<VarId> &B) {
+    std::vector<VarId> R = A;
+    R.insert(R.end(), B.begin(), B.end());
+    return R;
+  }
+
+private:
+  bool HasDeadline = false;
+  std::chrono::steady_clock::time_point Deadline;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SOLVER_ENGINE_H

@@ -1,0 +1,171 @@
+//===- solver/IndSpacer.cpp - Algorithm 5 (the Spacer-like procedure) -----===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 5 of the paper: the lazy, early-returning refinement procedure
+/// that is "almost Spacer". Correspondence to Fig. 1 (Section 5.1):
+///   * outer loop + line 9  <->  (DecideMay)
+///   * middle loop + line 13 <-> (DecideMust), with gamma_R playing U
+///   * inner check + line 16 <->  (Successor)
+///   * lines 18-19           <->  (Conflict)
+///
+/// Configuration knobs (Section 7):
+///   * MbpMode (MBP(n)): n=2 snapshots phi_L at entry (line 7), n=1
+///     additionally refreshes the snapshot at middle-loop body entry
+///     (Remark 16), n=0 uses the live frame — the non-RC Spacer behaviour.
+///   * Accumulate (Ret(b,_)): line 11's accumulation of gamma_R into
+///     Gamma_R; disabling it together with MBP(2) loses the progress
+///     property (Section 7.2.1).
+///   * OptCexShare: replaces the local gamma_L/gamma_R by the cumulative
+///     union of all counterexamples found (Section 5.3) — the Komuravelli
+///     2015 behaviour that breaks the finiteness argument.
+///   * OptQueryReuse: re-poses resolved queries at the adjacent level.
+///   * OptInduction / OptMonotone as in Section 5.3.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Refiner.h"
+
+using namespace mucyc;
+
+std::optional<TermRef> IndSpacerRefiner::refine(Trace &T, int Level,
+                                                TermRef Alpha) {
+  ++E.Stats.RefineCalls;
+  TermContext &F = E.F;
+  if (E.expired())
+    return std::nullopt;
+  if (!GlobalCex.isValid())
+    GlobalCex = F.mkFalse();
+
+  // Line 2.
+  if (Level > T.depth() || E.implies(T.formula(Level), Alpha))
+    return std::nullopt;
+
+  // Lines 4-6: an initial state violates alpha.
+  if (E.sat({E.N.Init, F.mkNot(Alpha)})) {
+    TermRef Gamma = F.mkAnd(E.N.Init, F.mkNot(Alpha));
+    if (E.Opts.OptCexShare) {
+      GlobalCex = F.mkOr(GlobalCex, Gamma);
+      return GlobalCex;
+    }
+    return Gamma;
+  }
+
+  TermRef NotAlpha = F.mkNot(Alpha);
+
+  // Leaf view: only iota constrains the cell; the check above makes the
+  // Conflict step applicable immediately.
+  if (Level + 1 > T.depth()) {
+    if (E.expired())
+      return std::nullopt;
+    TermRef NewRoot = E.itp(E.N.Init, F.mkAnd(T.formula(Level), Alpha));
+    if (E.Opts.OptMonotone)
+      T.strengthen(Level, NewRoot, true);
+    else
+      T.replaceCell(Level, NewRoot);
+    return std::nullopt;
+  }
+
+  TermRef GammaR = F.mkFalse(); // Accumulator Gamma_R (line 3).
+  // Line 7: const phi_{L,0}.
+  TermRef PhiL0 = E.zToX(T.formula(Level + 1));
+
+  // Outer loop (line 8).
+  while (!E.expired()) {
+    TermRef PhiL = E.zToX(T.formula(Level + 1));
+    TermRef PhiR = E.zToY(T.formula(Level + 1));
+    auto MR = E.sat({PhiL, PhiR, E.N.Trans, NotAlpha});
+    if (!MR)
+      break;
+
+    // Line 9 (DecideMay): project onto the right child. MBP(0) uses the
+    // live frame; the model satisfies either argument because cells only
+    // strengthen.
+    TermRef ArgX = E.Opts.MbpMode == 0 ? PhiL : PhiL0;
+    TermRef PsiRy = E.projectToY(F.mkAnd({ArgX, E.N.Trans, NotAlpha}), *MR);
+    TermRef PsiR = E.yToZ(PsiRy);
+
+    // Line 10.
+    std::optional<TermRef> PieceR =
+        refine(T, Level + 1, F.mkOr(F.mkNot(PsiR), GammaR));
+    if (E.expired())
+      return std::nullopt;
+    if (!PieceR)
+      continue; // Right child refined; retry the outer check.
+    // Line 11: accumulation (Ret(T, _)).
+    if (E.Opts.Accumulate)
+      GammaR = F.mkOr(GammaR, *PieceR);
+    TermRef GammaRCur = E.Opts.OptCexShare ? GlobalCex : *PieceR;
+    TermRef GammaRy = E.zToY(GammaRCur);
+
+    // Middle loop (line 12).
+    while (!E.expired()) {
+      TermRef PhiLCur = E.zToX(T.formula(Level + 1));
+      auto ML = E.sat({PhiLCur, GammaRy, E.N.Trans, NotAlpha});
+      if (!ML)
+        break;
+      // Remark 16: MBP(1) refreshes the snapshot at middle-loop body entry
+      // without losing the termination measure.
+      if (E.Opts.MbpMode == 1)
+        PhiL0 = PhiLCur;
+
+      // Line 13 (DecideMust). MBP(0) additionally conjoins the live frame,
+      // mirroring Fig. 1's non-invariant argument.
+      std::vector<TermRef> Arg{GammaRy, E.N.Trans, NotAlpha};
+      if (E.Opts.MbpMode == 0)
+        Arg.insert(Arg.begin(), PhiLCur);
+      TermRef PsiLx = E.projectToX(F.mkAnd(Arg), *ML);
+      TermRef PsiL = E.xToZ(PsiLx);
+
+      // Line 14.
+      std::optional<TermRef> PieceL = refine(T, Level + 1, F.mkNot(PsiL));
+      if (E.expired())
+        return std::nullopt;
+      if (!PieceL) {
+        // Query resolved. Optional query reuse (Section 5.3).
+        if (E.Opts.OptQueryReuse)
+          (void)refine(T, Level + 1, F.mkNot(PsiL));
+        if (E.Opts.OptInduction)
+          applyInduction(T, Level);
+        continue;
+      }
+      TermRef GammaLCur = E.Opts.OptCexShare ? GlobalCex : *PieceL;
+      TermRef GammaLx = E.zToX(GammaLCur);
+
+      // Lines 15-17 (Successor): one reachable bad joint step suffices.
+      if (auto M = E.sat({GammaLx, GammaRy, E.N.Trans, NotAlpha})) {
+        TermRef Piece =
+            E.projectToZ(F.mkAnd({GammaLx, GammaRy, E.N.Trans}), *M);
+        if (E.Opts.OptCexShare) {
+          GlobalCex = F.mkOr(GlobalCex, Piece);
+          return GlobalCex;
+        }
+        return Piece;
+      }
+      if (E.expired())
+        return std::nullopt;
+    }
+    // End of an outer iteration: optional query reuse and induction.
+    if (E.Opts.OptQueryReuse)
+      (void)refine(T, Level + 1, F.mkOr(F.mkNot(PsiR), GammaR));
+    if (E.Opts.OptInduction)
+      applyInduction(T, Level);
+  }
+
+  if (E.expired())
+    return std::nullopt;
+  // Lines 18-19 (Conflict).
+  TermRef PhiL = E.zToX(T.formula(Level + 1));
+  TermRef PhiR = E.zToY(T.formula(Level + 1));
+  TermRef A = F.mkOr(E.N.Init, F.mkAnd({PhiL, PhiR, E.N.Trans}));
+  TermRef B = F.mkAnd(T.formula(Level), Alpha);
+  TermRef NewRoot = E.itp(A, B);
+  if (E.Opts.OptMonotone)
+    T.strengthen(Level, NewRoot, true);
+  else
+    T.replaceCell(Level, NewRoot);
+  return std::nullopt;
+}

@@ -1,0 +1,125 @@
+//===- solver/Options.cpp - Solver configuration --------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Options.h"
+
+using namespace mucyc;
+
+std::string SolverOptions::name() const {
+  std::string Inner;
+  switch (Engine) {
+  case EngineKind::Naive:
+    Inner = "Naive";
+    break;
+  case EngineKind::NaiveMbp:
+    Inner = "NaiveMbp";
+    break;
+  case EngineKind::Solve:
+    Inner = "Solve";
+    break;
+  case EngineKind::SpacerTs:
+    Inner = std::string("SpacerTS(") + (SpacerFig15 ? "fig15" : "fig1") +
+            (SpacerULevels ? ",Ulev" : "") + ")";
+    break;
+  case EngineKind::Ret:
+  case EngineKind::Yld: {
+    std::string CexStr;
+    switch (Cex) {
+    case CexMethod::Model:
+      CexStr = "Model";
+      break;
+    case CexMethod::Qe:
+      CexStr = "QE";
+      break;
+    case CexMethod::Mbp:
+      CexStr = "MBP(" + std::to_string(MbpMode) + ")";
+      break;
+    }
+    bool B = Engine == EngineKind::Ret ? Accumulate : QueryWeaken;
+    Inner = std::string(Engine == EngineKind::Ret ? "Ret(" : "Yld(") +
+            (B ? "T" : "F") + "," + CexStr + ")";
+    break;
+  }
+  }
+  if (OptMonotone)
+    Inner = "Mon(" + Inner + ")";
+  if (OptQueryReuse)
+    Inner = "Que(" + Inner + ")";
+  if (OptCexShare)
+    Inner = "Cex(" + Inner + ")";
+  if (OptInduction)
+    Inner = "Ind(" + Inner + ")";
+  return Inner;
+}
+
+std::optional<SolverOptions> SolverOptions::parse(const std::string &Name) {
+  SolverOptions O;
+  O.Accumulate = false;
+  O.QueryWeaken = false;
+  std::string S = Name;
+  auto StripWrap = [&](const char *Tag, bool &Flag) {
+    std::string Prefix = std::string(Tag) + "(";
+    if (S.rfind(Prefix, 0) == 0 && !S.empty() && S.back() == ')') {
+      S = S.substr(Prefix.size(), S.size() - Prefix.size() - 1);
+      Flag = true;
+      return true;
+    }
+    return false;
+  };
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    Progress |= StripWrap("Ind", O.OptInduction);
+    Progress |= StripWrap("Cex", O.OptCexShare);
+    Progress |= StripWrap("Que", O.OptQueryReuse);
+    Progress |= StripWrap("Mon", O.OptMonotone);
+  }
+  if (S == "Solve") {
+    O.Engine = EngineKind::Solve;
+    return O;
+  }
+  if (S == "Naive") {
+    O.Engine = EngineKind::Naive;
+    return O;
+  }
+  if (S == "NaiveMbp") {
+    O.Engine = EngineKind::NaiveMbp;
+    return O;
+  }
+  if (S.rfind("SpacerTS", 0) == 0) {
+    O.Engine = EngineKind::SpacerTs;
+    O.SpacerFig15 = S.find("fig15") != std::string::npos;
+    O.SpacerULevels = S.find("Ulev") != std::string::npos;
+    return O;
+  }
+  bool IsRet = S.rfind("Ret(", 0) == 0;
+  bool IsYld = S.rfind("Yld(", 0) == 0;
+  if ((!IsRet && !IsYld) || S.back() != ')')
+    return std::nullopt;
+  O.Engine = IsRet ? EngineKind::Ret : EngineKind::Yld;
+  std::string Body = S.substr(4, S.size() - 5);
+  size_t Comma = Body.find(',');
+  if (Comma == std::string::npos)
+    return std::nullopt;
+  std::string B = Body.substr(0, Comma);
+  std::string CexStr = Body.substr(Comma + 1);
+  if (B != "T" && B != "F")
+    return std::nullopt;
+  (IsRet ? O.Accumulate : O.QueryWeaken) = B == "T";
+  if (CexStr == "Model") {
+    O.Cex = CexMethod::Model;
+  } else if (CexStr == "QE") {
+    O.Cex = CexMethod::Qe;
+  } else if (CexStr.rfind("MBP(", 0) == 0 && CexStr.back() == ')') {
+    O.Cex = CexMethod::Mbp;
+    O.MbpMode = CexStr[4] - '0';
+    if (O.MbpMode < 0 || O.MbpMode > 2)
+      return std::nullopt;
+  } else {
+    return std::nullopt;
+  }
+  return O;
+}

@@ -1,0 +1,104 @@
+//===- solver/Options.h - Solver configuration ------------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration space of the paper's Section 7: engines Ret (Algorithm 5),
+/// Yld (Algorithm 6), the Spacer abstract transition system (Fig. 1 /
+/// Fig. 15), and the Solve baseline; counterexample methods QE / MBP(n) /
+/// Model; and the optimizations Ind / Cex / Que / Mon of Section 5.3.
+/// Configuration names follow the paper, e.g. "Ind(Yld(T,MBP(1)))".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_OPTIONS_H
+#define MUCYC_SOLVER_OPTIONS_H
+
+#include "itp/Interpolate.h"
+#include "mbp/Mbp.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mucyc {
+
+enum class EngineKind {
+  Ret,      ///< Algorithm 5 (IndSpacer, early return).
+  Yld,      ///< Algorithm 6 (coroutine with yield).
+  Naive,    ///< Algorithm 3 (quantifier elimination).
+  NaiveMbp, ///< Algorithm 4 (MBP with full counterexample computation).
+  SpacerTs, ///< Fig. 1 / Fig. 15 abstract transition system.
+  Solve,    ///< Unno-Kobayashi-style unroll-and-check baseline.
+};
+
+/// How projections are computed; mirrors the paper's cex parameter.
+enum class CexMethod {
+  Mbp,   ///< Proper model-based projection (image-finite).
+  Model, ///< GPDR's model diagram (not image-finite; Remark 17).
+  Qe,    ///< Example 3: full QE, pick the satisfied disjunct.
+};
+
+struct SolverOptions {
+  EngineKind Engine = EngineKind::Ret;
+  CexMethod Cex = CexMethod::Mbp;
+
+  /// MBP(n): 0 = use the live frame/query in projection arguments (loses
+  /// refutational completeness), 1 = snapshot with the Remark 16 refresh,
+  /// 2 = strict snapshot.
+  int MbpMode = 1;
+
+  /// Ret(b, _): enable counterexample accumulation (line 11 of Alg. 5).
+  bool Accumulate = true;
+  /// Yld(b, _): enable query weakening via interpolation (lines 21/23 of
+  /// Alg. 6).
+  bool QueryWeaken = true;
+
+  // Section 5.3 optimizations.
+  bool OptInduction = false;
+  bool OptCexShare = false;
+  bool OptQueryReuse = false;
+  bool OptMonotone = false;
+
+  /// Fig. 15 variant of the transition system (projection arguments without
+  /// the frame / query, still with cumulative U). Only for SpacerTs.
+  bool SpacerFig15 = false;
+  /// Manage the under-approximation U by level as in the original Spacer
+  /// (Komuravelli et al. 2014/2016) rather than cumulatively.
+  bool SpacerULevels = false;
+
+  ItpMode Itp = ItpMode::CubeGeneralize;
+
+  /// Resource limits (0 = unlimited).
+  uint64_t TimeoutMs = 0;
+  int MaxDepth = 0;
+  uint64_t MaxRefineSteps = 0;
+
+  /// Verify SAT answers against the clauses and UNSAT answers by bounded
+  /// reachability before returning.
+  bool VerifyResult = false;
+
+  /// Paper-style configuration name, e.g. "Ind(Ret(F,MBP(0)))".
+  std::string name() const;
+
+  /// Parses a paper-style name; returns nullopt on malformed input.
+  static std::optional<SolverOptions> parse(const std::string &Name);
+
+  MbpStrategy mbpStrategy() const {
+    switch (Cex) {
+    case CexMethod::Mbp:
+      return MbpStrategy::LazyProject;
+    case CexMethod::Model:
+      return MbpStrategy::ModelDiagram;
+    case CexMethod::Qe:
+      return MbpStrategy::FullQe;
+    }
+    return MbpStrategy::LazyProject;
+  }
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SOLVER_OPTIONS_H

@@ -1,0 +1,141 @@
+//===- solver/RefineNaive.cpp - Algorithm 3 and shared refiner code -------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The naive generalized-refinement procedure (Algorithm 3). Every
+/// quantified formula is eliminated exactly with QE, so each recursive call
+/// happens exactly once per direction and no loops are needed: after the
+/// recursive refinements the assertion has been weakened by the precise
+/// counterexample and the Conflict interpolation is applicable.
+///
+/// Also hosts the Refiner base-class pieces shared by all engines: the
+/// refineFull accumulation wrapper and the Induction optimization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Qe.h"
+#include "solver/Refiner.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+TermRef Refiner::refineFull(Trace &T, int Level, TermRef Alpha) {
+  // The (*) wrapper of Algorithm 5 / Theorem 15.
+  TermRef Gamma = E.F.mkFalse();
+  while (!E.expired()) {
+    std::optional<TermRef> Piece = refine(T, Level, E.F.mkOr(Alpha, Gamma));
+    if (!Piece)
+      break;
+    Gamma = E.F.mkOr(Gamma, *Piece);
+  }
+  return Gamma;
+}
+
+void Refiner::applyInduction(Trace &T, int Level) {
+  // Section 5.3 "Induction Rule": a lemma psi of the child cell is promoted
+  // to this cell when iota => psi and the child frame steps into psi:
+  //   cell[L+1](x) /\ cell[L+1](y) /\ tau => psi(z).
+  if (Level + 1 > T.depth() || E.expired())
+    return;
+  TermContext &F = E.F;
+  TermRef ChildZ = T.formula(Level + 1);
+  TermRef ChildX = E.zToX(ChildZ);
+  TermRef ChildY = E.zToY(ChildZ);
+  for (TermRef Psi : T.lemmas(Level + 1)) {
+    if (E.expired())
+      return;
+    const std::vector<TermRef> &Here = T.lemmas(Level);
+    if (std::find(Here.begin(), Here.end(), Psi) != Here.end())
+      continue;
+    if (!E.implies(E.N.Init, Psi))
+      continue;
+    TermRef Step = F.mkAnd({ChildX, ChildY, E.N.Trans});
+    if (!E.implies(Step, Psi))
+      continue;
+    T.strengthen(Level, Psi, E.Opts.OptMonotone);
+  }
+}
+
+std::optional<TermRef> NaiveRefiner::refine(Trace &T, int Level,
+                                            TermRef Alpha) {
+  TermRef Gamma = refineFull(T, Level, Alpha);
+  if (E.F.kind(Gamma) == Kind::False)
+    return std::nullopt;
+  return Gamma;
+}
+
+TermRef NaiveRefiner::refineFull(Trace &T, int Level, TermRef Alpha) {
+  ++E.Stats.RefineCalls;
+  TermContext &F = E.F;
+  if (E.expired())
+    return F.mkFalse();
+
+  // Line 2: trivial success.
+  if (Level > T.depth() || E.implies(T.formula(Level), Alpha))
+    return F.mkFalse();
+
+  TermRef Gamma = F.mkFalse();
+  // Lines 4-6: initial states violating alpha join the counterexample.
+  if (E.sat({E.N.Init, F.mkNot(Alpha)})) {
+    Gamma = F.mkAnd(E.N.Init, F.mkNot(Alpha));
+    Alpha = F.mkOr(Alpha, Gamma);
+  }
+
+  // A view at the maximal depth has no children: the only constraint on the
+  // cell is iota => cell, so the initial-state handling above was complete.
+  if (Level + 1 > T.depth()) {
+    TermRef NewRoot = E.itp(E.N.Init, F.mkAnd(T.formula(Level), Alpha));
+    T.replaceCell(Level, NewRoot);
+    return Gamma;
+  }
+
+  TermRef PhiL = E.zToX(T.formula(Level + 1));
+  TermRef PhiR = E.zToY(T.formula(Level + 1));
+  // Line 7: do the children need refinement at all?
+  if (E.sat({PhiL, PhiR, E.N.Trans, F.mkNot(Alpha)})) {
+    // Line 8: weakest condition on the right child keeping the step safe.
+    TermRef PsiRy = qeExists(
+        F, EngineContext::concat(E.N.X, E.N.Z),
+        F.mkAnd({PhiL, E.N.Trans, F.mkNot(Alpha)}));
+    TermRef PsiR = E.yToZ(PsiRy);
+    TermRef GammaR = refineFull(T, Level + 1, F.mkNot(PsiR));
+    if (F.kind(GammaR) != Kind::False) {
+      // Lines 11-12: refine the left child against the found right cex.
+      TermRef GammaRy = E.zToY(GammaR);
+      TermRef PsiLx = qeExists(
+          F, EngineContext::concat(E.N.Y, E.N.Z),
+          F.mkAnd({GammaRy, E.N.Trans, F.mkNot(Alpha)}));
+      TermRef PsiL = E.xToZ(PsiLx);
+      TermRef GammaL = refineFull(T, Level + 1, F.mkNot(PsiL));
+      if (F.kind(GammaL) != Kind::False) {
+        // Lines 14-15: exact new counterexample states.
+        TermRef Step = F.mkAnd({E.zToX(GammaL), GammaRy, E.N.Trans,
+                                F.mkNot(Alpha)});
+        TermRef NewCex =
+            qeExists(F, EngineContext::concat(E.N.X, E.N.Y), Step);
+        Gamma = F.mkOr(Gamma, NewCex);
+        Alpha = F.mkOr(Alpha, Gamma);
+      }
+    }
+  }
+  if (E.expired())
+    return Gamma;
+
+  // Lines 16-17: Conflict. The children are now strong enough; recompute
+  // the root as an interpolant.
+  TermRef PhiLNew = E.zToX(T.formula(Level + 1));
+  TermRef PhiRNew = E.zToY(T.formula(Level + 1));
+  TermRef A =
+      F.mkOr(E.N.Init, F.mkAnd({PhiLNew, PhiRNew, E.N.Trans}));
+  TermRef B = F.mkAnd(T.formula(Level), Alpha);
+  TermRef NewRoot = E.itp(A, B);
+  if (E.Opts.OptMonotone)
+    T.strengthen(Level, NewRoot, /*Monotone=*/true);
+  else
+    T.replaceCell(Level, NewRoot);
+  return Gamma;
+}

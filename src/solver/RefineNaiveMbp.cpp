@@ -1,0 +1,115 @@
+//===- solver/RefineNaiveMbp.cpp - Algorithm 4 ----------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 4: the naive procedure with quantifier elimination replaced by
+/// model-based projection. The three nested loops enumerate projections; the
+/// termination twist (line 7 of the paper's listing) is that the projection
+/// arguments snapshot phi_L and alpha, making them loop invariants so image
+/// finiteness applies.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Refiner.h"
+
+using namespace mucyc;
+
+std::optional<TermRef> NaiveMbpRefiner::refine(Trace &T, int Level,
+                                               TermRef Alpha) {
+  TermRef Gamma = refineFull(T, Level, Alpha);
+  if (E.F.kind(Gamma) == Kind::False)
+    return std::nullopt;
+  return Gamma;
+}
+
+TermRef NaiveMbpRefiner::refineFull(Trace &T, int Level, TermRef Alpha) {
+  ++E.Stats.RefineCalls;
+  TermContext &F = E.F;
+  if (E.expired())
+    return F.mkFalse();
+
+  if (Level > T.depth() || E.implies(T.formula(Level), Alpha))
+    return F.mkFalse();
+
+  TermRef Gamma = F.mkFalse();
+  if (E.sat({E.N.Init, F.mkNot(Alpha)}))
+    Gamma = F.mkAnd(E.N.Init, F.mkNot(Alpha));
+
+  if (Level + 1 > T.depth()) {
+    if (E.expired())
+      return Gamma;
+    TermRef NewRoot =
+        E.itp(E.N.Init, F.mkAnd(T.formula(Level), F.mkOr(Alpha, Gamma)));
+    T.replaceCell(Level, NewRoot);
+    return Gamma;
+  }
+
+  TermRef NotAlpha = F.mkNot(Alpha);
+  // Line 7: snapshot of phi_L; the projection argument must be a loop
+  // invariant for the termination proof (Theorem 14).
+  TermRef PhiL0 = E.zToX(T.formula(Level + 1));
+
+  // Outer loop (lines 8-16).
+  while (!E.expired()) {
+    TermRef PhiL = E.zToX(T.formula(Level + 1));
+    TermRef PhiR = E.zToY(T.formula(Level + 1));
+    auto MR = E.sat({PhiL, PhiR, E.N.Trans, NotAlpha, F.mkNot(Gamma)});
+    if (!MR)
+      break;
+    // Line 9.
+    TermRef PsiRy = E.projectToY(F.mkAnd({PhiL0, E.N.Trans, NotAlpha}), *MR);
+    TermRef PsiR = E.yToZ(PsiRy);
+    // Line 10.
+    TermRef GammaR = refineFull(T, Level + 1, F.mkNot(PsiR));
+    if (F.kind(GammaR) == Kind::False)
+      continue;
+    TermRef GammaRy = E.zToY(GammaR);
+
+    // Middle loop (lines 11-13).
+    while (!E.expired()) {
+      TermRef PhiLCur = E.zToX(T.formula(Level + 1));
+      auto ML = E.sat({PhiLCur, GammaRy, E.N.Trans, NotAlpha, F.mkNot(Gamma)});
+      if (!ML)
+        break;
+      // Line 12.
+      TermRef PsiLx =
+          E.projectToX(F.mkAnd({GammaRy, E.N.Trans, NotAlpha}), *ML);
+      TermRef PsiL = E.xToZ(PsiLx);
+      // Line 13.
+      TermRef GammaL = refineFull(T, Level + 1, F.mkNot(PsiL));
+      if (F.kind(GammaL) == Kind::False)
+        continue;
+      TermRef GammaLx = E.zToX(GammaL);
+
+      // Inner loop (lines 14-16).
+      while (!E.expired()) {
+        auto M =
+            E.sat({GammaLx, GammaRy, E.N.Trans, NotAlpha, F.mkNot(Gamma)});
+        if (!M)
+          break;
+        // Line 15: note the argument omits alpha — the projection covers
+        // reachable states, the model guarantees a bad one among them.
+        TermRef Piece =
+            E.projectToZ(F.mkAnd({GammaLx, GammaRy, E.N.Trans}), *M);
+        Gamma = F.mkOr(Gamma, Piece);
+      }
+    }
+  }
+
+  if (E.expired())
+    return Gamma;
+  // Line 17: Conflict.
+  TermRef PhiL = E.zToX(T.formula(Level + 1));
+  TermRef PhiR = E.zToY(T.formula(Level + 1));
+  TermRef A = F.mkOr(E.N.Init, F.mkAnd({PhiL, PhiR, E.N.Trans}));
+  TermRef B = F.mkAnd(T.formula(Level), F.mkOr(Alpha, Gamma));
+  TermRef NewRoot = E.itp(A, B);
+  if (E.Opts.OptMonotone)
+    T.strengthen(Level, NewRoot, /*Monotone=*/true);
+  else
+    T.replaceCell(Level, NewRoot);
+  return Gamma;
+}

@@ -1,0 +1,97 @@
+//===- solver/Refiner.h - Refinement procedure interface --------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Common interface of the paper's refinement procedures (Algorithms 3-6).
+/// refine() strengthens the trace view rooted at a level against an
+/// assertion alpha(z) and either succeeds (returns nullopt; afterwards
+/// root => alpha) or returns a counterexample piece gamma(z) in the weak
+/// sense of Definition 11: gamma /\ not(alpha) is satisfiable and gamma is
+/// an under-approximation of the states reachable by the subtree.
+///
+/// refineFull() implements the generalized refinement problem: it
+/// accumulates pieces (the (*) wrapper around Algorithm 5, the Theorem 18
+/// wrapper around Algorithm 6) and returns the whole counterexample, false
+/// if none.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_REFINER_H
+#define MUCYC_SOLVER_REFINER_H
+
+#include "solver/Engine.h"
+#include "solver/Trace.h"
+
+#include <memory>
+
+namespace mucyc {
+
+class Refiner {
+public:
+  explicit Refiner(EngineContext &E) : E(E) {}
+  virtual ~Refiner() = default;
+
+  /// One refinement round; see the file comment.
+  virtual std::optional<TermRef> refine(Trace &T, int Level,
+                                        TermRef Alpha) = 0;
+
+  /// Generalized refinement: loop refine(), weakening alpha by each piece,
+  /// until no piece remains. Returns the accumulated counterexample
+  /// (mkFalse when the refinement succeeded outright).
+  virtual TermRef refineFull(Trace &T, int Level, TermRef Alpha);
+
+  EngineContext &ctx() { return E; }
+
+protected:
+  /// Shared "Induction" optimization (Section 5.3): promote lemmas of the
+  /// child cell to the cell at \p Level when they are initial and inductive
+  /// across one step.
+  void applyInduction(Trace &T, int Level);
+
+  EngineContext &E;
+};
+
+/// Algorithm 3: quantifier-elimination-based generalized refinement.
+class NaiveRefiner : public Refiner {
+public:
+  using Refiner::Refiner;
+  std::optional<TermRef> refine(Trace &T, int Level, TermRef Alpha) override;
+  TermRef refineFull(Trace &T, int Level, TermRef Alpha) override;
+};
+
+/// Algorithm 4: MBP-based, computes the full counterexample eagerly.
+class NaiveMbpRefiner : public Refiner {
+public:
+  using Refiner::Refiner;
+  std::optional<TermRef> refine(Trace &T, int Level, TermRef Alpha) override;
+  TermRef refineFull(Trace &T, int Level, TermRef Alpha) override;
+};
+
+/// Algorithm 5: the Spacer-like procedure with early return (Ret configs).
+class IndSpacerRefiner : public Refiner {
+public:
+  using Refiner::Refiner;
+  std::optional<TermRef> refine(Trace &T, int Level, TermRef Alpha) override;
+
+private:
+  /// Cumulative counterexample union for the Cex(...) optimization.
+  TermRef GlobalCex;
+};
+
+/// Algorithm 6: the coroutine procedure (Yld configs).
+class YieldRefiner : public Refiner {
+public:
+  using Refiner::Refiner;
+  std::optional<TermRef> refine(Trace &T, int Level, TermRef Alpha) override;
+  TermRef refineFull(Trace &T, int Level, TermRef Alpha) override;
+};
+
+/// Creates the refiner for Ret/Yld/Naive/NaiveMbp engines.
+std::unique_ptr<Refiner> makeRefiner(EngineContext &E);
+
+} // namespace mucyc
+
+#endif // MUCYC_SOLVER_REFINER_H

@@ -1,0 +1,47 @@
+//===- solver/Trace.cpp - Traces of approximations ------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Trace.h"
+
+using namespace mucyc;
+
+TermRef Trace::formula(int Level) const {
+  assert(Level >= 0 && Level <= depth());
+  return Ctx->mkAnd(Cells[Level].Lemmas);
+}
+
+void Trace::strengthen(int Level, TermRef Lemma, bool Monotone) {
+  assert(Level >= 0 && Level <= depth());
+  if (Ctx->kind(Lemma) == Kind::True)
+    return;
+  int Last = Monotone ? depth() : Level;
+  for (int L = Level; L <= Last; ++L) {
+    Cell &C = Cells[L];
+    // Conjoin lemma conjuncts individually so Present-deduplication works.
+    std::vector<TermRef> Parts = Ctx->kind(Lemma) == Kind::And
+                                     ? Ctx->node(Lemma).Kids
+                                     : std::vector<TermRef>{Lemma};
+    for (TermRef P : Parts)
+      if (C.Present.insert(P).second)
+        C.Lemmas.push_back(P);
+  }
+}
+
+void Trace::replaceCell(int Level, TermRef F) {
+  assert(Level >= 0 && Level <= depth());
+  Cell &C = Cells[Level];
+  C.Lemmas.clear();
+  C.Present.clear();
+  std::vector<TermRef> Parts = Ctx->kind(F) == Kind::And
+                                   ? Ctx->node(F).Kids
+                                   : std::vector<TermRef>{F};
+  for (TermRef P : Parts) {
+    if (Ctx->kind(P) == Kind::True)
+      continue;
+    if (C.Present.insert(P).second)
+      C.Lemmas.push_back(P);
+  }
+}

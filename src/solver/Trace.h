@@ -1,0 +1,80 @@
+//===- solver/Trace.h - Traces of approximations ----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace (Section 3.2) is an assignment of formulas to the nodes of the
+/// k-th approximation S^(k) satisfying every constraint except the root
+/// assertion. mucyc always uses predicate sharing (Section 5.3 / 7.1): all
+/// nodes at the same depth share one cell, so the trace is a vector of
+/// cells indexed by depth from the root; the subtraces Phi_L and Phi_R of a
+/// view rooted at depth d are both the view rooted at d+1.
+///
+/// Cells store sets of conjunct lemmas over the Z tuple. Invariants
+/// maintained by the refinement engines:
+///   iota(z) => cell[d](z)                                 for all d,
+///   cell[d+1](x) /\ cell[d+1](y) /\ tau(x,y,z) => cell[d](z).
+/// In monotone mode additionally cell[d+1] => cell[d].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_TRACE_H
+#define MUCYC_SOLVER_TRACE_H
+
+#include "term/Term.h"
+
+#include <deque>
+#include <set>
+#include <vector>
+
+namespace mucyc {
+
+/// Level-shared trace for the current approximation depth.
+class Trace {
+public:
+  explicit Trace(TermContext &Ctx) : Ctx(&Ctx) {}
+
+  /// Deepest level index; the trace has cells for levels 0..depth(). A
+  /// freshly constructed trace has depth -1 (empty dom).
+  int depth() const { return static_cast<int>(Cells.size()) - 1; }
+
+  /// Algorithm 2 line 4: pushes a fresh top-true root; old level d becomes
+  /// level d+1.
+  void unfold() { Cells.emplace_front(); }
+
+  /// Formula of the cell at \p Level (conjunction of its lemmas).
+  TermRef formula(int Level) const;
+
+  /// Lemmas of a cell.
+  const std::vector<TermRef> &lemmas(int Level) const {
+    assert(Level >= 0 && Level <= depth());
+    return Cells[Level].Lemmas;
+  }
+
+  /// Conjoins \p Lemma to the cell at \p Level; with \p Monotone, also to
+  /// every deeper cell (keeping cell[d+1] => cell[d]).
+  void strengthen(int Level, TermRef Lemma, bool Monotone = false);
+
+  /// Replaces the cell at \p Level with the conjuncts of \p F (used by the
+  /// Conflict step, which recomputes the root formula as an interpolant).
+  void replaceCell(int Level, TermRef F);
+
+  /// True if cell[Level] syntactically contains every lemma of
+  /// cell[Level+1] (quick monotonicity witness used by invariant checks).
+  bool lemmaCount(int Level) const { return Cells[Level].Lemmas.size(); }
+
+private:
+  struct Cell {
+    std::vector<TermRef> Lemmas;
+    std::set<TermRef> Present;
+  };
+
+  TermContext *Ctx;
+  std::deque<Cell> Cells;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SOLVER_TRACE_H

@@ -1,0 +1,42 @@
+//===- solver/Verify.cpp - Independent answer checking --------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Verify.h"
+
+using namespace mucyc;
+
+bool mucyc::verifyInvariant(TermContext &F, const NormalizedChc &N,
+                            TermRef Inv) {
+  if (!Inv.isValid())
+    return false;
+  // iota => Inv.
+  if (!SmtSolver::implies(F, N.Init, Inv))
+    return false;
+  // Inv(x) /\ Inv(y) /\ tau => Inv(z).
+  TermRef Step = F.mkAnd({N.zToX(F, Inv), N.zToY(F, Inv), N.Trans});
+  if (!SmtSolver::implies(F, Step, Inv))
+    return false;
+  // Inv /\ beta unsat.
+  return !SmtSolver::quickCheck(F, {Inv, N.Bad}).has_value();
+}
+
+bool mucyc::verifyCexPiece(TermContext &F, const NormalizedChc &N,
+                           TermRef Gamma, int MaxK) {
+  if (!Gamma.isValid())
+    return false;
+  // Some state in Gamma must be bad...
+  if (!SmtSolver::quickCheck(F, {Gamma, N.Bad}))
+    return false;
+  // ...and Gamma /\ Bad must be reachable. Unroll incrementally (one exact
+  // post-image per round) and stop at the first height that witnesses the
+  // intersection or at a fixed point.
+  for (int K = 1; K <= MaxK; ++K) {
+    TermRef Reach = boundedReach(F, N, K);
+    if (SmtSolver::quickCheck(F, {Reach, Gamma, N.Bad}).has_value())
+      return true;
+  }
+  return false;
+}

@@ -1,0 +1,20 @@
+//===- solver/Verify.h - Independent answer checking ------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent verification of solver answers: SAT answers are checked as
+/// inductive invariants with three SMT queries; UNSAT answers are replayed
+/// against the exact bounded reachability sets. Declarations live in
+/// ChcSolve.h; this header re-exports them for discoverability.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SOLVER_VERIFY_H
+#define MUCYC_SOLVER_VERIFY_H
+
+#include "solver/ChcSolve.h"
+
+#endif // MUCYC_SOLVER_VERIFY_H

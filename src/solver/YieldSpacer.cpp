@@ -1,0 +1,310 @@
+//===- solver/YieldSpacer.cpp - Algorithm 6 (coroutines) ------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algorithm 6: the terminating procedure using coroutines. A refinement
+/// coroutine yields counterexample pieces one at a time; the caller resumes
+/// it with a weakened assertion (alpha := yield gamma), so the suspended
+/// continuation is never discarded — this is what makes cross-level
+/// counterexample sharing compatible with termination (Section 6).
+///
+/// The paper's OCaml implementation uses effect handlers; here the same
+/// control structure is a C++20 coroutine whose next(alpha) resumes the body
+/// with the weakened assertion, and whose completion plays StopIteration.
+///
+/// Query weakening (lines 21/23, the Yld(T,_) switch) is interpolation
+/// Itp(gamma, (partner /\ tau) => alpha); since gammas are projection cubes,
+/// the interpolant is computed by unsat-core cube generalization.
+///
+//===----------------------------------------------------------------------===//
+
+#include "solver/Refiner.h"
+
+#include <coroutine>
+
+using namespace mucyc;
+
+namespace {
+
+void applyIndHook(EngineContext &E, Trace &T, int Level);
+
+/// A resumable refinement: yields counterexample pieces; completion means
+/// the trace view was refined (StopIteration).
+class McrCoro {
+public:
+  struct promise_type {
+    TermRef Yielded;
+    TermRef ResumeAlpha;
+
+    McrCoro get_return_object() {
+      return McrCoro(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { std::terminate(); }
+
+    auto yield_value(TermRef Gamma) {
+      struct Awaiter {
+        promise_type *P;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<>) const noexcept {}
+        TermRef await_resume() const noexcept { return P->ResumeAlpha; }
+      };
+      Yielded = Gamma;
+      return Awaiter{this};
+    }
+  };
+
+  explicit McrCoro(std::coroutine_handle<promise_type> H) : H(H) {}
+  McrCoro(McrCoro &&O) noexcept : H(O.H) { O.H = nullptr; }
+  McrCoro &operator=(McrCoro &&O) noexcept {
+    if (H)
+      H.destroy();
+    H = O.H;
+    O.H = nullptr;
+    return *this;
+  }
+  McrCoro(const McrCoro &) = delete;
+  McrCoro &operator=(const McrCoro &) = delete;
+  ~McrCoro() {
+    if (H)
+      H.destroy();
+  }
+
+  /// Resumes with the (possibly weakened) assertion; returns the next piece
+  /// or nullopt on completion.
+  std::optional<TermRef> next(TermRef Alpha) {
+    assert(H && !H.done());
+    H.promise().ResumeAlpha = Alpha;
+    H.resume();
+    if (H.done())
+      return std::nullopt;
+    return H.promise().Yielded;
+  }
+
+private:
+  std::coroutine_handle<promise_type> H;
+};
+
+/// Interpolant Itp(GammaCube, (Partner /\ tau) => Alpha) over GammaCube's
+/// tuple, by cube generalization: the weakest subcube of GammaCube still
+/// blocked by Partner /\ tau /\ not(alpha). Requires that conjunction to be
+/// unsatisfiable (the caller has just exhausted it).
+TermRef weakenItp(EngineContext &E, TermRef GammaCube, TermRef Blocker) {
+  TermContext &F = E.F;
+  std::vector<TermRef> Lits;
+  TermRef Body = GammaCube;
+  if (F.kind(Body) == Kind::And) {
+    for (TermRef L : F.node(Body).Kids) {
+      if (!F.isLiteral(L))
+        return GammaCube; // Not a cube: fall back to the trivial itp.
+      Lits.push_back(L);
+    }
+  } else if (F.isLiteral(Body)) {
+    Lits.push_back(Body);
+  } else {
+    return GammaCube;
+  }
+  ++E.Stats.ItpCalls;
+  std::vector<TermRef> Small = generalizeBlockedCube(F, Blocker, Lits);
+  return F.mkAnd(std::move(Small));
+}
+
+/// The Algorithm 6 body. Shares cells through the trace exactly like the
+/// other engines; "Phi_R := Phi'" on StopIteration is implicit.
+McrCoro mcr(EngineContext &E, Trace &T, int Level, TermRef Alpha) {
+  TermContext &F = E.F;
+  ++E.Stats.RefineCalls;
+
+  // Line 2.
+  if (Level > T.depth() || E.implies(T.formula(Level), Alpha) || E.expired())
+    co_return;
+
+  // Lines 3-5. Re-check after every resume: the Conflict interpolation at
+  // the end requires iota => alpha, which each acceptable resume restores.
+  while (E.sat({E.N.Init, F.mkNot(Alpha)})) {
+    TermRef Gamma = F.mkAnd(E.N.Init, F.mkNot(Alpha));
+    Alpha = co_yield Gamma;
+    if (E.expired())
+      co_return;
+  }
+  if (E.expired())
+    co_return;
+
+  // Leaf view: the initial states are the only derivations.
+  if (Level + 1 > T.depth()) {
+    TermRef NewRoot = E.itp(E.N.Init, F.mkAnd(T.formula(Level), Alpha));
+    if (E.Opts.OptMonotone)
+      T.strengthen(Level, NewRoot, true);
+    else
+      T.replaceCell(Level, NewRoot);
+    co_return;
+  }
+
+  // Line 6: saved frame and query.
+  TermRef PhiL0 = E.zToX(T.formula(Level + 1));
+  TermRef Alpha0 = Alpha;
+
+  // Outer loop (line 7).
+  while (!E.expired()) {
+    TermRef PhiL = E.zToX(T.formula(Level + 1));
+    TermRef PhiR = E.zToY(T.formula(Level + 1));
+    auto MR = E.sat({PhiL, PhiR, E.N.Trans, F.mkNot(Alpha)});
+    if (!MR)
+      break;
+
+    // Line 8: MBP(0) uses the live frame and query; MBP(1/2) the saved ones.
+    TermRef ArgX = E.Opts.MbpMode == 0 ? PhiL : PhiL0;
+    TermRef ArgA = E.Opts.MbpMode == 0 ? Alpha : Alpha0;
+    TermRef PsiRy =
+        E.projectToY(F.mkAnd({ArgX, E.N.Trans, F.mkNot(ArgA)}), *MR);
+    TermRef PsiR = E.yToZ(PsiRy);
+
+    // Line 9.
+    McrCoro CorR = mcr(E, T, Level + 1, F.mkNot(PsiR));
+    // Try-loop (lines 10-24).
+    while (!E.expired()) {
+      // Line 11.
+      std::optional<TermRef> GR = CorR.next(F.mkNot(PsiR));
+      if (!GR)
+        break; // StopIteration: Phi_R updated in place (line 24).
+      TermRef GammaR = *GR;
+      TermRef GammaRy = E.zToY(GammaR);
+      // Line 12.
+      TermRef Alpha1 = Alpha;
+
+      // Middle loop (line 13).
+      while (!E.expired()) {
+        TermRef PhiLCur = E.zToX(T.formula(Level + 1));
+        auto ML = E.sat({PhiLCur, GammaRy, E.N.Trans, F.mkNot(Alpha)});
+        if (!ML)
+          break;
+        if (E.Opts.MbpMode == 1)
+          PhiL0 = PhiLCur; // Remark 16 refresh.
+
+        // Line 14.
+        TermRef ArgA1 = E.Opts.MbpMode == 0 ? Alpha : Alpha1;
+        std::vector<TermRef> Arg{GammaRy, E.N.Trans, F.mkNot(ArgA1)};
+        if (E.Opts.MbpMode == 0)
+          Arg.insert(Arg.begin(), PhiLCur);
+        TermRef PsiLx = E.projectToX(F.mkAnd(Arg), *ML);
+        TermRef PsiL = E.xToZ(PsiLx);
+
+        // Line 15.
+        McrCoro CorL = mcr(E, T, Level + 1, F.mkNot(PsiL));
+        // Try-loop (lines 16-22).
+        while (!E.expired()) {
+          // Line 17.
+          std::optional<TermRef> GL = CorL.next(F.mkNot(PsiL));
+          if (!GL)
+            break; // StopIteration (line 22).
+          TermRef GammaLx = E.zToX(*GL);
+
+          // Lines 18-20.
+          while (!E.expired()) {
+            auto M =
+                E.sat({GammaLx, GammaRy, E.N.Trans, F.mkNot(Alpha)});
+            if (!M)
+              break;
+            TermRef Piece =
+                E.projectToZ(F.mkAnd({GammaLx, GammaRy, E.N.Trans}), *M);
+            Alpha = co_yield Piece;
+          }
+          if (E.expired())
+            co_return;
+
+          // Line 21: query weakening. Every dialogue must be acceptable
+          // (Theorem 18): the resumed assertion covers the yielded piece.
+          // Yld(T,_) generalizes the piece by interpolation before
+          // weakening; Yld(F,_) weakens by the bare piece.
+          if (E.Opts.QueryWeaken) {
+            TermRef Blocker =
+                F.mkAnd({GammaRy, E.N.Trans, F.mkNot(Alpha)});
+            TermRef Theta = weakenItp(E, GammaLx, Blocker);
+            PsiL = F.mkAnd(PsiL, F.mkNot(E.xToZ(Theta)));
+          } else {
+            PsiL = F.mkAnd(PsiL, F.mkNot(E.xToZ(GammaLx)));
+          }
+        }
+        if (E.Opts.OptInduction)
+          applyIndHook(E, T, Level);
+      }
+
+      // Line 23: weaken the right query (same split as line 21).
+      if (E.Opts.QueryWeaken && !E.expired()) {
+        TermRef PhiLLive = E.zToX(T.formula(Level + 1));
+        TermRef Blocker =
+            F.mkAnd({PhiLLive, E.N.Trans, F.mkNot(Alpha)});
+        if (!E.sat({Blocker, GammaRy})) {
+          if (E.expired())
+            co_return;
+          TermRef Theta = weakenItp(E, GammaRy, Blocker);
+          PsiR = F.mkAnd(PsiR, F.mkNot(E.yToZ(Theta)));
+        } else {
+          PsiR = F.mkAnd(PsiR, F.mkNot(E.yToZ(GammaRy)));
+        }
+      } else if (!E.expired()) {
+        PsiR = F.mkAnd(PsiR, F.mkNot(E.yToZ(GammaRy)));
+      }
+    }
+    if (E.Opts.OptInduction)
+      applyIndHook(E, T, Level);
+  }
+
+  if (E.expired())
+    co_return;
+  // Line 25: Conflict.
+  TermRef PhiL = E.zToX(T.formula(Level + 1));
+  TermRef PhiR = E.zToY(T.formula(Level + 1));
+  TermRef A = F.mkOr(E.N.Init, F.mkAnd({PhiL, PhiR, E.N.Trans}));
+  TermRef B = F.mkAnd(T.formula(Level), Alpha);
+  TermRef NewRoot = E.itp(A, B);
+  if (E.Opts.OptMonotone)
+    T.strengthen(Level, NewRoot, true);
+  else
+    T.replaceCell(Level, NewRoot);
+  co_return;
+}
+
+// The Induction hook needs access to Refiner::applyInduction, which is
+// protected; expose it through a tiny local subclass.
+struct IndHook : Refiner {
+  using Refiner::Refiner;
+  std::optional<TermRef> refine(Trace &, int, TermRef) override {
+    return std::nullopt;
+  }
+  void run(Trace &T, int Level) { applyInduction(T, Level); }
+};
+
+void applyIndHook(EngineContext &E, Trace &T, int Level) {
+  IndHook H(E);
+  H.run(T, Level);
+}
+
+} // namespace
+
+std::optional<TermRef> YieldRefiner::refine(Trace &T, int Level,
+                                            TermRef Alpha) {
+  McrCoro Cor = mcr(E, T, Level, Alpha);
+  return Cor.next(Alpha);
+}
+
+TermRef YieldRefiner::refineFull(Trace &T, int Level, TermRef Alpha) {
+  // Theorem 18 wrapper: keep resuming the same coroutine so the suspended
+  // continuations are preserved.
+  TermContext &F = E.F;
+  TermRef Gamma = F.mkFalse();
+  McrCoro Cor = mcr(E, T, Level, Alpha);
+  while (!E.expired()) {
+    std::optional<TermRef> Piece = Cor.next(F.mkOr(Alpha, Gamma));
+    if (!Piece)
+      break;
+    Gamma = F.mkOr(Gamma, *Piece);
+  }
+  return Gamma;
+}

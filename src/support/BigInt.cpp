@@ -1,0 +1,300 @@
+//===- support/BigInt.cpp - Arbitrary-precision integers ------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+BigInt::BigInt(int64_t V) {
+  Negative = V < 0;
+  // Avoid UB on INT64_MIN by widening through unsigned arithmetic.
+  uint64_t U = Negative ? ~static_cast<uint64_t>(V) + 1 : static_cast<uint64_t>(V);
+  while (U != 0) {
+    Mag.push_back(static_cast<uint32_t>(U & 0xffffffffu));
+    U >>= 32;
+  }
+  trim();
+}
+
+void BigInt::trim() {
+  while (!Mag.empty() && Mag.back() == 0)
+    Mag.pop_back();
+  if (Mag.empty())
+    Negative = false;
+}
+
+int BigInt::compareMag(const std::vector<uint32_t> &A,
+                       const std::vector<uint32_t> &B) {
+  if (A.size() != B.size())
+    return A.size() < B.size() ? -1 : 1;
+  for (size_t I = A.size(); I-- > 0;)
+    if (A[I] != B[I])
+      return A[I] < B[I] ? -1 : 1;
+  return 0;
+}
+
+std::vector<uint32_t> BigInt::addMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  const std::vector<uint32_t> &Big = A.size() >= B.size() ? A : B;
+  const std::vector<uint32_t> &Small = A.size() >= B.size() ? B : A;
+  std::vector<uint32_t> R;
+  R.reserve(Big.size() + 1);
+  uint64_t Carry = 0;
+  for (size_t I = 0; I < Big.size(); ++I) {
+    uint64_t Sum = Carry + Big[I] + (I < Small.size() ? Small[I] : 0);
+    R.push_back(static_cast<uint32_t>(Sum & 0xffffffffu));
+    Carry = Sum >> 32;
+  }
+  if (Carry)
+    R.push_back(static_cast<uint32_t>(Carry));
+  return R;
+}
+
+std::vector<uint32_t> BigInt::subMag(const std::vector<uint32_t> &A,
+                                     const std::vector<uint32_t> &B) {
+  assert(compareMag(A, B) >= 0 && "subMag requires |A| >= |B|");
+  std::vector<uint32_t> R;
+  R.reserve(A.size());
+  int64_t Borrow = 0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    int64_t Diff = static_cast<int64_t>(A[I]) - Borrow -
+                   (I < B.size() ? static_cast<int64_t>(B[I]) : 0);
+    Borrow = 0;
+    if (Diff < 0) {
+      Diff += int64_t(1) << 32;
+      Borrow = 1;
+    }
+    R.push_back(static_cast<uint32_t>(Diff));
+  }
+  assert(Borrow == 0 && "underflow in subMag");
+  while (!R.empty() && R.back() == 0)
+    R.pop_back();
+  return R;
+}
+
+int BigInt::compare(const BigInt &RHS) const {
+  if (Negative != RHS.Negative)
+    return Negative ? -1 : 1;
+  int C = compareMag(Mag, RHS.Mag);
+  return Negative ? -C : C;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt R = *this;
+  if (!R.isZero())
+    R.Negative = !R.Negative;
+  return R;
+}
+
+BigInt BigInt::operator+(const BigInt &RHS) const {
+  BigInt R;
+  if (Negative == RHS.Negative) {
+    R.Negative = Negative;
+    R.Mag = addMag(Mag, RHS.Mag);
+  } else {
+    int C = compareMag(Mag, RHS.Mag);
+    if (C == 0)
+      return BigInt();
+    if (C > 0) {
+      R.Negative = Negative;
+      R.Mag = subMag(Mag, RHS.Mag);
+    } else {
+      R.Negative = RHS.Negative;
+      R.Mag = subMag(RHS.Mag, Mag);
+    }
+  }
+  R.trim();
+  return R;
+}
+
+BigInt BigInt::operator-(const BigInt &RHS) const { return *this + (-RHS); }
+
+BigInt BigInt::operator*(const BigInt &RHS) const {
+  if (isZero() || RHS.isZero())
+    return BigInt();
+  BigInt R;
+  R.Negative = Negative != RHS.Negative;
+  R.Mag.assign(Mag.size() + RHS.Mag.size(), 0);
+  for (size_t I = 0; I < Mag.size(); ++I) {
+    uint64_t Carry = 0;
+    for (size_t J = 0; J < RHS.Mag.size(); ++J) {
+      uint64_t Cur = R.Mag[I + J] +
+                     static_cast<uint64_t>(Mag[I]) * RHS.Mag[J] + Carry;
+      R.Mag[I + J] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+    }
+    size_t K = I + RHS.Mag.size();
+    while (Carry) {
+      uint64_t Cur = R.Mag[K] + Carry;
+      R.Mag[K] = static_cast<uint32_t>(Cur & 0xffffffffu);
+      Carry = Cur >> 32;
+      ++K;
+    }
+  }
+  R.trim();
+  return R;
+}
+
+void BigInt::divMod(const BigInt &LHS, const BigInt &RHS, BigInt &Quot,
+                    BigInt &Rem) {
+  assert(!RHS.isZero() && "division by zero");
+  // Magnitude long division in base 2 over base-2^32 limbs. Simple and
+  // correct; the numbers flowing through mucyc are small enough that the
+  // O(bits * limbs) cost is irrelevant next to SMT search.
+  int C = compareMag(LHS.Mag, RHS.Mag);
+  if (C < 0) {
+    Quot = BigInt();
+    Rem = LHS;
+    return;
+  }
+  std::vector<uint32_t> Q(LHS.Mag.size(), 0);
+  std::vector<uint32_t> R; // Current remainder magnitude.
+  size_t Bits = LHS.Mag.size() * 32;
+  for (size_t BitIdx = Bits; BitIdx-- > 0;) {
+    // R = R*2 + bit.
+    uint32_t CarryBit = (LHS.Mag[BitIdx / 32] >> (BitIdx % 32)) & 1;
+    uint32_t Carry = CarryBit;
+    for (size_t I = 0; I < R.size(); ++I) {
+      uint32_t Hi = R[I] >> 31;
+      R[I] = (R[I] << 1) | Carry;
+      Carry = Hi;
+    }
+    if (Carry)
+      R.push_back(Carry);
+    if (compareMag(R, RHS.Mag) >= 0) {
+      R = subMag(R, RHS.Mag);
+      Q[BitIdx / 32] |= (uint32_t(1) << (BitIdx % 32));
+    }
+  }
+  Quot.Mag = std::move(Q);
+  Quot.Negative = LHS.Negative != RHS.Negative;
+  Quot.trim();
+  Rem.Mag = std::move(R);
+  Rem.Negative = LHS.Negative; // Truncated division: remainder follows LHS.
+  Rem.trim();
+}
+
+BigInt BigInt::operator/(const BigInt &RHS) const {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return Q;
+}
+
+BigInt BigInt::operator%(const BigInt &RHS) const {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  return R;
+}
+
+BigInt BigInt::floorDiv(const BigInt &RHS) const {
+  BigInt Q, R;
+  divMod(*this, RHS, Q, R);
+  // Truncation equals floor unless signs differ and division was inexact.
+  if (!R.isZero() && (isNeg() != RHS.isNeg()))
+    Q -= BigInt(1);
+  return Q;
+}
+
+BigInt BigInt::euclidMod(const BigInt &RHS) const {
+  BigInt R = *this % RHS;
+  if (R.isNeg())
+    R += RHS.abs();
+  return R;
+}
+
+BigInt BigInt::abs() const {
+  BigInt R = *this;
+  R.Negative = false;
+  return R;
+}
+
+BigInt BigInt::gcd(BigInt A, BigInt B) {
+  A.Negative = false;
+  B.Negative = false;
+  while (!B.isZero()) {
+    BigInt T = A % B;
+    A = std::move(B);
+    B = std::move(T);
+  }
+  return A;
+}
+
+BigInt BigInt::lcm(const BigInt &A, const BigInt &B) {
+  if (A.isZero() || B.isZero())
+    return BigInt();
+  return (A * B).abs() / gcd(A, B);
+}
+
+bool BigInt::toInt64(int64_t &Out) const {
+  if (Mag.size() > 2)
+    return false;
+  uint64_t U = 0;
+  if (Mag.size() >= 1)
+    U = Mag[0];
+  if (Mag.size() == 2)
+    U |= static_cast<uint64_t>(Mag[1]) << 32;
+  if (Negative) {
+    if (U > static_cast<uint64_t>(INT64_MAX) + 1)
+      return false;
+    Out = U == static_cast<uint64_t>(INT64_MAX) + 1
+              ? INT64_MIN
+              : -static_cast<int64_t>(U);
+    return true;
+  }
+  if (U > static_cast<uint64_t>(INT64_MAX))
+    return false;
+  Out = static_cast<int64_t>(U);
+  return true;
+}
+
+BigInt BigInt::fromString(const std::string &S) {
+  assert(!S.empty() && "empty numeral");
+  size_t I = 0;
+  bool Neg = false;
+  if (S[0] == '-') {
+    Neg = true;
+    I = 1;
+  }
+  assert(I < S.size() && "sign without digits");
+  BigInt R;
+  BigInt Ten(10);
+  for (; I < S.size(); ++I) {
+    assert(S[I] >= '0' && S[I] <= '9' && "non-digit in numeral");
+    R = R * Ten + BigInt(S[I] - '0');
+  }
+  if (Neg)
+    R = -R;
+  return R;
+}
+
+std::string BigInt::toString() const {
+  if (isZero())
+    return "0";
+  BigInt N = abs();
+  std::string Digits;
+  BigInt Ten(10);
+  while (!N.isZero()) {
+    BigInt Q, R;
+    divMod(N, Ten, Q, R);
+    int64_t D = 0;
+    R.toInt64(D);
+    Digits.push_back(static_cast<char>('0' + D));
+    N = std::move(Q);
+  }
+  if (Negative)
+    Digits.push_back('-');
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
+}
+
+size_t BigInt::hash() const {
+  size_t H = Negative ? 0x9e3779b97f4a7c15ull : 0x517cc1b727220a95ull;
+  for (uint32_t Limb : Mag)
+    H = (H ^ Limb) * 0x100000001b3ull;
+  return H;
+}

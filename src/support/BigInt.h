@@ -1,0 +1,120 @@
+//===- support/BigInt.h - Arbitrary-precision integers ----------*- C++ -*-===//
+//
+// Part of the mucyc project, a C++ reproduction of "Inductive Approach to
+// Spacer" (Tsukada & Unno, PLDI 2024). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sign-and-magnitude arbitrary-precision integers. Coefficients produced by
+/// simplex pivoting, Cooper-style projection and branch-and-bound can exceed
+/// 64 bits, so every ground arithmetic value in mucyc is a BigInt (or a
+/// Rational built from two of them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SUPPORT_BIGINT_H
+#define MUCYC_SUPPORT_BIGINT_H
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace mucyc {
+
+/// Arbitrary-precision signed integer.
+///
+/// Representation: little-endian base-2^32 magnitude with a sign flag.
+/// Zero is canonical (empty magnitude, non-negative sign). All operations
+/// keep the value normalized, so equality is structural.
+class BigInt {
+public:
+  /// Constructs zero.
+  BigInt() = default;
+
+  /// Constructs from a machine integer.
+  BigInt(int64_t V);
+
+  /// Parses a decimal string with optional leading '-'. Asserts on malformed
+  /// input; use this only on trusted or pre-validated text.
+  static BigInt fromString(const std::string &S);
+
+  bool isZero() const { return Mag.empty(); }
+  bool isNeg() const { return Negative; }
+  bool isOne() const { return !Negative && Mag.size() == 1 && Mag[0] == 1; }
+
+  /// Returns -1, 0, or 1.
+  int sgn() const { return isZero() ? 0 : (Negative ? -1 : 1); }
+
+  /// Three-way comparison: negative, zero, or positive as *this <=> RHS.
+  int compare(const BigInt &RHS) const;
+
+  bool operator==(const BigInt &RHS) const {
+    return Negative == RHS.Negative && Mag == RHS.Mag;
+  }
+  bool operator!=(const BigInt &RHS) const { return !(*this == RHS); }
+  bool operator<(const BigInt &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const BigInt &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const BigInt &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const BigInt &RHS) const { return compare(RHS) >= 0; }
+
+  BigInt operator-() const;
+  BigInt operator+(const BigInt &RHS) const;
+  BigInt operator-(const BigInt &RHS) const;
+  BigInt operator*(const BigInt &RHS) const;
+
+  BigInt &operator+=(const BigInt &RHS) { return *this = *this + RHS; }
+  BigInt &operator-=(const BigInt &RHS) { return *this = *this - RHS; }
+  BigInt &operator*=(const BigInt &RHS) { return *this = *this * RHS; }
+
+  /// Truncated division (C semantics: quotient rounds toward zero).
+  /// \p RHS must be nonzero.
+  static void divMod(const BigInt &LHS, const BigInt &RHS, BigInt &Quot,
+                     BigInt &Rem);
+
+  /// Quotient of truncated division.
+  BigInt operator/(const BigInt &RHS) const;
+  /// Remainder of truncated division (sign follows the dividend).
+  BigInt operator%(const BigInt &RHS) const;
+
+  /// Floor division: largest Q with Q*RHS <= *this (for positive RHS).
+  BigInt floorDiv(const BigInt &RHS) const;
+  /// Euclidean remainder in [0, |RHS|).
+  BigInt euclidMod(const BigInt &RHS) const;
+
+  BigInt abs() const;
+
+  /// Greatest common divisor (non-negative; gcd(0,0) = 0).
+  static BigInt gcd(BigInt A, BigInt B);
+  /// Least common multiple (non-negative).
+  static BigInt lcm(const BigInt &A, const BigInt &B);
+
+  /// Returns true and sets \p Out if the value fits in int64_t.
+  bool toInt64(int64_t &Out) const;
+
+  std::string toString() const;
+
+  /// FNV-style hash suitable for unordered containers.
+  size_t hash() const;
+
+private:
+  /// Drops leading zero limbs and canonicalizes the sign of zero.
+  void trim();
+  /// Magnitude comparison ignoring sign: -1, 0, or 1.
+  static int compareMag(const std::vector<uint32_t> &A,
+                        const std::vector<uint32_t> &B);
+  static std::vector<uint32_t> addMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+  /// Requires |A| >= |B|.
+  static std::vector<uint32_t> subMag(const std::vector<uint32_t> &A,
+                                      const std::vector<uint32_t> &B);
+
+  bool Negative = false;
+  std::vector<uint32_t> Mag;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SUPPORT_BIGINT_H

@@ -1,0 +1,95 @@
+//===- support/Rational.cpp - Exact rational arithmetic -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+using namespace mucyc;
+
+Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
+  assert(!Den.isZero() && "rational with zero denominator");
+  normalize();
+}
+
+void Rational::normalize() {
+  if (Den.isNeg()) {
+    Num = -Num;
+    Den = -Den;
+  }
+  if (Num.isZero()) {
+    Den = BigInt(1);
+    return;
+  }
+  BigInt G = BigInt::gcd(Num, Den);
+  if (!G.isOne()) {
+    Num = Num / G;
+    Den = Den / G;
+  }
+}
+
+int Rational::compare(const Rational &RHS) const {
+  // num1/den1 <=> num2/den2  iff  num1*den2 <=> num2*den1 (dens positive).
+  return (Num * RHS.Den).compare(RHS.Num * Den);
+}
+
+Rational Rational::operator-() const {
+  Rational R = *this;
+  R.Num = -R.Num;
+  return R;
+}
+
+Rational Rational::operator+(const Rational &RHS) const {
+  return Rational(Num * RHS.Den + RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator-(const Rational &RHS) const {
+  return Rational(Num * RHS.Den - RHS.Num * Den, Den * RHS.Den);
+}
+
+Rational Rational::operator*(const Rational &RHS) const {
+  return Rational(Num * RHS.Num, Den * RHS.Den);
+}
+
+Rational Rational::operator/(const Rational &RHS) const {
+  assert(!RHS.isZero() && "rational division by zero");
+  return Rational(Num * RHS.Den, Den * RHS.Num);
+}
+
+Rational Rational::inverse() const {
+  assert(!isZero() && "inverse of zero");
+  return Rational(Den, Num);
+}
+
+Rational Rational::fromString(const std::string &S) {
+  size_t Slash = S.find('/');
+  if (Slash != std::string::npos)
+    return Rational(BigInt::fromString(S.substr(0, Slash)),
+                    BigInt::fromString(S.substr(Slash + 1)));
+  size_t Dot = S.find('.');
+  if (Dot == std::string::npos)
+    return Rational(BigInt::fromString(S));
+  std::string Digits = S.substr(0, Dot) + S.substr(Dot + 1);
+  BigInt Den(1);
+  BigInt Ten(10);
+  for (size_t I = Dot + 1; I < S.size(); ++I)
+    Den *= Ten;
+  return Rational(BigInt::fromString(Digits), Den);
+}
+
+std::string Rational::toString() const {
+  if (isInt())
+    return Num.toString();
+  return Num.toString() + "/" + Den.toString();
+}
+
+size_t Rational::hash() const {
+  return Num.hash() * 31 + Den.hash();
+}
+
+std::string DeltaRational::toString() const {
+  if (Delta.isZero())
+    return Real.toString();
+  return Real.toString() + " + " + Delta.toString() + "*eps";
+}

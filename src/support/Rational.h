@@ -1,0 +1,128 @@
+//===- support/Rational.h - Exact rational arithmetic -----------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rationals over BigInt, plus the delta-rationals (a + b*eps) used by
+/// the general simplex to represent strict bounds (Dutertre & de Moura 2006).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SUPPORT_RATIONAL_H
+#define MUCYC_SUPPORT_RATIONAL_H
+
+#include "support/BigInt.h"
+
+namespace mucyc {
+
+/// Exact rational number, always normalized: gcd(num, den) = 1, den > 0,
+/// and zero is 0/1. Equality is structural.
+class Rational {
+public:
+  Rational() : Den(1) {}
+  Rational(int64_t V) : Num(V), Den(1) {}
+  Rational(BigInt N) : Num(std::move(N)), Den(1) {}
+  Rational(BigInt N, BigInt D);
+  Rational(int64_t N, int64_t D) : Rational(BigInt(N), BigInt(D)) {}
+
+  /// Parses "-12", "3/4", or decimal "2.5". Asserts on malformed input.
+  static Rational fromString(const std::string &S);
+
+  const BigInt &num() const { return Num; }
+  const BigInt &den() const { return Den; }
+
+  bool isZero() const { return Num.isZero(); }
+  bool isInt() const { return Den.isOne(); }
+  int sgn() const { return Num.sgn(); }
+
+  int compare(const Rational &RHS) const;
+  bool operator==(const Rational &RHS) const {
+    return Num == RHS.Num && Den == RHS.Den;
+  }
+  bool operator!=(const Rational &RHS) const { return !(*this == RHS); }
+  bool operator<(const Rational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const Rational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const Rational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const Rational &RHS) const { return compare(RHS) >= 0; }
+
+  Rational operator-() const;
+  Rational operator+(const Rational &RHS) const;
+  Rational operator-(const Rational &RHS) const;
+  Rational operator*(const Rational &RHS) const;
+  /// \p RHS must be nonzero.
+  Rational operator/(const Rational &RHS) const;
+
+  Rational &operator+=(const Rational &RHS) { return *this = *this + RHS; }
+  Rational &operator-=(const Rational &RHS) { return *this = *this - RHS; }
+  Rational &operator*=(const Rational &RHS) { return *this = *this * RHS; }
+  Rational &operator/=(const Rational &RHS) { return *this = *this / RHS; }
+
+  /// Multiplicative inverse; *this must be nonzero.
+  Rational inverse() const;
+
+  BigInt floor() const { return Num.floorDiv(Den); }
+  BigInt ceil() const { return -((-Num).floorDiv(Den)); }
+
+  std::string toString() const;
+  size_t hash() const;
+
+private:
+  void normalize();
+
+  BigInt Num;
+  BigInt Den; ///< Always positive.
+};
+
+/// Value of the form R + K*eps for an infinitesimal eps > 0. The general
+/// simplex uses these so strict bounds become non-strict bounds on delta
+/// values; a concrete eps is chosen only when extracting a model.
+class DeltaRational {
+public:
+  DeltaRational() = default;
+  DeltaRational(Rational R) : Real(std::move(R)) {}
+  DeltaRational(Rational R, Rational D)
+      : Real(std::move(R)), Delta(std::move(D)) {}
+
+  const Rational &real() const { return Real; }
+  const Rational &delta() const { return Delta; }
+
+  int compare(const DeltaRational &RHS) const {
+    int C = Real.compare(RHS.Real);
+    return C != 0 ? C : Delta.compare(RHS.Delta);
+  }
+  bool operator==(const DeltaRational &RHS) const {
+    return Real == RHS.Real && Delta == RHS.Delta;
+  }
+  bool operator!=(const DeltaRational &RHS) const { return !(*this == RHS); }
+  bool operator<(const DeltaRational &RHS) const { return compare(RHS) < 0; }
+  bool operator<=(const DeltaRational &RHS) const { return compare(RHS) <= 0; }
+  bool operator>(const DeltaRational &RHS) const { return compare(RHS) > 0; }
+  bool operator>=(const DeltaRational &RHS) const { return compare(RHS) >= 0; }
+
+  DeltaRational operator+(const DeltaRational &RHS) const {
+    return DeltaRational(Real + RHS.Real, Delta + RHS.Delta);
+  }
+  DeltaRational operator-(const DeltaRational &RHS) const {
+    return DeltaRational(Real - RHS.Real, Delta - RHS.Delta);
+  }
+  DeltaRational operator*(const Rational &C) const {
+    return DeltaRational(Real * C, Delta * C);
+  }
+
+  /// Concretizes with the given epsilon value.
+  Rational materialize(const Rational &Eps) const {
+    return Real + Delta * Eps;
+  }
+
+  std::string toString() const;
+
+private:
+  Rational Real;
+  Rational Delta;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SUPPORT_RATIONAL_H

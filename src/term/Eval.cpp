@@ -1,0 +1,77 @@
+//===- term/Eval.cpp - Ground evaluation of terms -------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Eval.h"
+
+using namespace mucyc;
+
+std::string Value::toString() const {
+  if (S == Sort::Bool)
+    return B ? "true" : "false";
+  return R.toString();
+}
+
+Value mucyc::evalTerm(const TermContext &Ctx, TermRef T, const Assignment &A) {
+  const TermNode &N = Ctx.node(T);
+  switch (N.K) {
+  case Kind::True:
+    return Value::boolean(true);
+  case Kind::False:
+    return Value::boolean(false);
+  case Kind::Const:
+    return Value::number(N.Val, N.S);
+  case Kind::Var: {
+    auto It = A.find(N.Var);
+    assert(It != A.end() && "unassigned variable during evaluation");
+    assert(It->second.S == N.S && "sort mismatch in assignment");
+    return It->second;
+  }
+  case Kind::Not:
+    return Value::boolean(!evalTerm(Ctx, N.Kids[0], A).B);
+  case Kind::And: {
+    for (TermRef Kid : N.Kids)
+      if (!evalTerm(Ctx, Kid, A).B)
+        return Value::boolean(false);
+    return Value::boolean(true);
+  }
+  case Kind::Or: {
+    for (TermRef Kid : N.Kids)
+      if (evalTerm(Ctx, Kid, A).B)
+        return Value::boolean(true);
+    return Value::boolean(false);
+  }
+  case Kind::Add: {
+    Rational Sum;
+    for (TermRef Kid : N.Kids)
+      Sum += evalTerm(Ctx, Kid, A).R;
+    return Value::number(Sum, N.S);
+  }
+  case Kind::Mul:
+    return Value::number(N.Val * evalTerm(Ctx, N.Kids[0], A).R, N.S);
+  case Kind::Le:
+    return Value::boolean(evalTerm(Ctx, N.Kids[0], A).R <=
+                          evalTerm(Ctx, N.Kids[1], A).R);
+  case Kind::Lt:
+    return Value::boolean(evalTerm(Ctx, N.Kids[0], A).R <
+                          evalTerm(Ctx, N.Kids[1], A).R);
+  case Kind::EqA:
+    return Value::boolean(evalTerm(Ctx, N.Kids[0], A).R ==
+                          evalTerm(Ctx, N.Kids[1], A).R);
+  case Kind::Divides: {
+    Rational V = evalTerm(Ctx, N.Kids[0], A).R;
+    assert(V.isInt() && N.Val.isInt());
+    return Value::boolean(V.num().euclidMod(N.Val.num()).isZero());
+  }
+  }
+  assert(false && "unknown kind");
+  return Value::boolean(false);
+}
+
+bool mucyc::evalBool(const TermContext &Ctx, TermRef T, const Assignment &A) {
+  Value V = evalTerm(Ctx, T, A);
+  assert(V.S == Sort::Bool);
+  return V.B;
+}

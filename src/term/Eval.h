@@ -1,0 +1,65 @@
+//===- term/Eval.h - Ground evaluation of terms -----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation of terms under a variable assignment. This is the semantic
+/// backbone for model checking in tests, for MBP (whose contract is stated
+/// relative to a model), and for counterexample replay.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TERM_EVAL_H
+#define MUCYC_TERM_EVAL_H
+
+#include "term/Term.h"
+
+#include <unordered_map>
+
+namespace mucyc {
+
+/// A ground value: a Boolean or a rational (Int values are integral
+/// rationals).
+struct Value {
+  Sort S = Sort::Bool;
+  bool B = false;
+  Rational R;
+
+  static Value boolean(bool V) {
+    Value X;
+    X.S = Sort::Bool;
+    X.B = V;
+    return X;
+  }
+  static Value number(Rational V, Sort S) {
+    assert(S != Sort::Bool);
+    Value X;
+    X.S = S;
+    X.R = std::move(V);
+    return X;
+  }
+
+  bool operator==(const Value &RHS) const {
+    if (S != RHS.S)
+      return false;
+    return S == Sort::Bool ? B == RHS.B : R == RHS.R;
+  }
+
+  std::string toString() const;
+};
+
+/// Variable assignment used for evaluation.
+using Assignment = std::unordered_map<VarId, Value>;
+
+/// Evaluates \p T under \p A. Every free variable of T must be assigned;
+/// asserts otherwise.
+Value evalTerm(const TermContext &Ctx, TermRef T, const Assignment &A);
+
+/// Convenience: evaluates a Boolean term.
+bool evalBool(const TermContext &Ctx, TermRef T, const Assignment &A);
+
+} // namespace mucyc
+
+#endif // MUCYC_TERM_EVAL_H

@@ -1,0 +1,102 @@
+//===- term/Print.cpp - SMT-LIB-style term rendering ----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <sstream>
+
+using namespace mucyc;
+
+namespace {
+
+void printRational(std::ostream &OS, const Rational &V, Sort S) {
+  if (S == Sort::Int) {
+    if (V.num().isNeg())
+      OS << "(- " << (-V.num()).toString() << ")";
+    else
+      OS << V.num().toString();
+    return;
+  }
+  if (V.isInt()) {
+    if (V.num().isNeg())
+      OS << "(- " << (-V.num()).toString() << ".0)";
+    else
+      OS << V.num().toString() << ".0";
+    return;
+  }
+  bool Neg = V.sgn() < 0;
+  if (Neg)
+    OS << "(- ";
+  OS << "(/ " << V.num().abs().toString() << ".0 " << V.den().toString()
+     << ".0)";
+  if (Neg)
+    OS << ")";
+}
+
+void printTerm(const TermContext &Ctx, TermRef T, std::ostream &OS) {
+  const TermNode &N = Ctx.node(T);
+  switch (N.K) {
+  case Kind::True:
+    OS << "true";
+    return;
+  case Kind::False:
+    OS << "false";
+    return;
+  case Kind::Var:
+    OS << Ctx.varInfo(N.Var).Name;
+    return;
+  case Kind::Const:
+    printRational(OS, N.Val, N.S);
+    return;
+  case Kind::Not:
+    OS << "(not ";
+    printTerm(Ctx, N.Kids[0], OS);
+    OS << ")";
+    return;
+  case Kind::And:
+  case Kind::Or:
+  case Kind::Add: {
+    OS << "(" << (N.K == Kind::And ? "and" : N.K == Kind::Or ? "or" : "+");
+    for (TermRef Kid : N.Kids) {
+      OS << " ";
+      printTerm(Ctx, Kid, OS);
+    }
+    OS << ")";
+    return;
+  }
+  case Kind::Mul:
+    OS << "(* ";
+    printRational(OS, N.Val, N.S);
+    OS << " ";
+    printTerm(Ctx, N.Kids[0], OS);
+    OS << ")";
+    return;
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::EqA: {
+    OS << "(" << (N.K == Kind::Le ? "<=" : N.K == Kind::Lt ? "<" : "=") << " ";
+    printTerm(Ctx, N.Kids[0], OS);
+    OS << " ";
+    printTerm(Ctx, N.Kids[1], OS);
+    OS << ")";
+    return;
+  }
+  case Kind::Divides:
+    OS << "((_ divisible " << N.Val.num().toString() << ") ";
+    printTerm(Ctx, N.Kids[0], OS);
+    OS << ")";
+    return;
+  }
+  assert(false && "unknown kind");
+}
+
+} // namespace
+
+std::string TermContext::toString(TermRef T) const {
+  std::ostringstream OS;
+  printTerm(*this, T, OS);
+  return OS.str();
+}

@@ -1,0 +1,20 @@
+//===- term/Sort.cpp ------------------------------------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+const char *mucyc::sortName(Sort S) {
+  switch (S) {
+  case Sort::Bool:
+    return "Bool";
+  case Sort::Int:
+    return "Int";
+  case Sort::Real:
+    return "Real";
+  }
+  assert(false && "unknown sort");
+  return "?";
+}

@@ -1,0 +1,158 @@
+//===- term/TermOps.cpp - Traversals, substitution, simplification --------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace mucyc;
+
+bool TermContext::isAtom(TermRef T) const {
+  const TermNode &N = node(T);
+  switch (N.K) {
+  case Kind::True:
+  case Kind::False:
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::EqA:
+  case Kind::Divides:
+    return true;
+  case Kind::Var:
+    return N.S == Sort::Bool;
+  default:
+    return false;
+  }
+}
+
+bool TermContext::isLiteral(TermRef T) const {
+  const TermNode &N = node(T);
+  if (N.K == Kind::Not)
+    return isAtom(N.Kids[0]);
+  return isAtom(T);
+}
+
+std::vector<VarId> TermContext::freeVars(TermRef T) {
+  std::unordered_set<uint32_t> Seen;
+  std::unordered_set<VarId> Out;
+  std::vector<TermRef> Work{T};
+  while (!Work.empty()) {
+    TermRef Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur.Idx).second)
+      continue;
+    const TermNode &N = node(Cur);
+    if (N.K == Kind::Var)
+      Out.insert(N.Var);
+    for (TermRef Kid : N.Kids)
+      Work.push_back(Kid);
+  }
+  std::vector<VarId> R(Out.begin(), Out.end());
+  std::sort(R.begin(), R.end());
+  return R;
+}
+
+std::vector<TermRef> TermContext::collectAtoms(TermRef T) {
+  std::unordered_set<uint32_t> Seen;
+  std::vector<TermRef> Out;
+  std::vector<TermRef> Work{T};
+  while (!Work.empty()) {
+    TermRef Cur = Work.back();
+    Work.pop_back();
+    if (!Seen.insert(Cur.Idx).second)
+      continue;
+    const TermNode &N = node(Cur);
+    if (N.K == Kind::True || N.K == Kind::False)
+      continue;
+    if (isAtom(Cur)) {
+      Out.push_back(Cur);
+      continue;
+    }
+    for (TermRef Kid : N.Kids)
+      Work.push_back(Kid);
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
+}
+
+namespace {
+/// Shared recursive rebuild used by substitute and simplify. Rebuilding
+/// through the public builders re-canonicalizes everything.
+TermRef rebuild(TermContext &Ctx, TermRef T,
+                const std::unordered_map<VarId, TermRef> *Map,
+                std::unordered_map<uint32_t, TermRef> &Memo) {
+  auto It = Memo.find(T.Idx);
+  if (It != Memo.end())
+    return It->second;
+  const TermNode &N = Ctx.node(T);
+  TermRef R;
+  switch (N.K) {
+  case Kind::True:
+  case Kind::False:
+  case Kind::Const:
+    R = T;
+    break;
+  case Kind::Var: {
+    if (Map) {
+      auto MIt = Map->find(N.Var);
+      if (MIt != Map->end()) {
+        R = MIt->second;
+        break;
+      }
+    }
+    R = T;
+    break;
+  }
+  case Kind::Not:
+    R = Ctx.mkNot(rebuild(Ctx, N.Kids[0], Map, Memo));
+    break;
+  case Kind::And:
+  case Kind::Or:
+  case Kind::Add: {
+    std::vector<TermRef> Kids;
+    Kids.reserve(N.Kids.size());
+    for (TermRef Kid : N.Kids)
+      Kids.push_back(rebuild(Ctx, Kid, Map, Memo));
+    R = N.K == Kind::And  ? Ctx.mkAnd(std::move(Kids))
+        : N.K == Kind::Or ? Ctx.mkOr(std::move(Kids))
+                          : Ctx.mkAdd(std::move(Kids));
+    break;
+  }
+  case Kind::Mul:
+    R = Ctx.mkMul(N.Val, rebuild(Ctx, N.Kids[0], Map, Memo));
+    break;
+  case Kind::Le:
+    R = Ctx.mkLe(rebuild(Ctx, N.Kids[0], Map, Memo),
+                 rebuild(Ctx, N.Kids[1], Map, Memo));
+    break;
+  case Kind::Lt:
+    R = Ctx.mkLt(rebuild(Ctx, N.Kids[0], Map, Memo),
+                 rebuild(Ctx, N.Kids[1], Map, Memo));
+    break;
+  case Kind::EqA:
+    R = Ctx.mkEq(rebuild(Ctx, N.Kids[0], Map, Memo),
+                 rebuild(Ctx, N.Kids[1], Map, Memo));
+    break;
+  case Kind::Divides:
+    assert(N.Val.isInt());
+    R = Ctx.mkDivides(N.Val.num(), rebuild(Ctx, N.Kids[0], Map, Memo));
+    break;
+  }
+  Memo.emplace(T.Idx, R);
+  return R;
+}
+} // namespace
+
+TermRef TermContext::substitute(TermRef T,
+                                const std::unordered_map<VarId, TermRef> &Map) {
+  std::unordered_map<uint32_t, TermRef> Memo;
+  return rebuild(*this, T, &Map, Memo);
+}
+
+TermRef TermContext::simplify(TermRef T) {
+  std::unordered_map<uint32_t, TermRef> Memo;
+  return rebuild(*this, T, nullptr, Memo);
+}

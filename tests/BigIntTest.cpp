@@ -1,0 +1,131 @@
+//===- tests/BigIntTest.cpp - Arbitrary-precision integer tests -----------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/BigInt.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mucyc;
+
+TEST(BigIntTest, ConstructionAndToString) {
+  EXPECT_EQ(BigInt(0).toString(), "0");
+  EXPECT_EQ(BigInt(42).toString(), "42");
+  EXPECT_EQ(BigInt(-7).toString(), "-7");
+  EXPECT_EQ(BigInt(INT64_MAX).toString(), "9223372036854775807");
+  EXPECT_EQ(BigInt(INT64_MIN).toString(), "-9223372036854775808");
+}
+
+TEST(BigIntTest, FromString) {
+  EXPECT_EQ(BigInt::fromString("0"), BigInt(0));
+  EXPECT_EQ(BigInt::fromString("-123"), BigInt(-123));
+  BigInt Big = BigInt::fromString("123456789012345678901234567890");
+  EXPECT_EQ(Big.toString(), "123456789012345678901234567890");
+  EXPECT_EQ((Big - Big).toString(), "0");
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(2), BigInt(10));
+  EXPECT_EQ(BigInt(0), -BigInt(0));
+  EXPECT_TRUE(BigInt(7) >= BigInt(7));
+}
+
+TEST(BigIntTest, Arithmetic) {
+  EXPECT_EQ(BigInt(3) + BigInt(4), BigInt(7));
+  EXPECT_EQ(BigInt(3) - BigInt(4), BigInt(-1));
+  EXPECT_EQ(BigInt(-3) * BigInt(4), BigInt(-12));
+  EXPECT_EQ(BigInt(-3) * BigInt(-4), BigInt(12));
+  // Large multiplication round trip.
+  BigInt A = BigInt::fromString("99999999999999999999");
+  EXPECT_EQ((A * A).toString(), "9999999999999999999800000000000000000001");
+}
+
+TEST(BigIntTest, DivModTruncated) {
+  // C semantics: quotient toward zero, remainder follows dividend.
+  EXPECT_EQ(BigInt(7) / BigInt(2), BigInt(3));
+  EXPECT_EQ(BigInt(7) % BigInt(2), BigInt(1));
+  EXPECT_EQ(BigInt(-7) / BigInt(2), BigInt(-3));
+  EXPECT_EQ(BigInt(-7) % BigInt(2), BigInt(-1));
+  EXPECT_EQ(BigInt(7) / BigInt(-2), BigInt(-3));
+  EXPECT_EQ(BigInt(7) % BigInt(-2), BigInt(1));
+}
+
+TEST(BigIntTest, FloorDivAndEuclidMod) {
+  EXPECT_EQ(BigInt(7).floorDiv(BigInt(2)), BigInt(3));
+  EXPECT_EQ(BigInt(-7).floorDiv(BigInt(2)), BigInt(-4));
+  EXPECT_EQ(BigInt(-7).euclidMod(BigInt(2)), BigInt(1));
+  EXPECT_EQ(BigInt(-8).euclidMod(BigInt(2)), BigInt(0));
+  EXPECT_EQ(BigInt(-7).euclidMod(BigInt(-2)), BigInt(1));
+}
+
+TEST(BigIntTest, GcdLcm) {
+  EXPECT_EQ(BigInt::gcd(BigInt(12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(-12), BigInt(18)), BigInt(6));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(0)), BigInt(0));
+  EXPECT_EQ(BigInt::lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_EQ(BigInt::lcm(BigInt(0), BigInt(6)), BigInt(0));
+}
+
+TEST(BigIntTest, ToInt64Bounds) {
+  int64_t V = 0;
+  EXPECT_TRUE(BigInt(INT64_MAX).toInt64(V));
+  EXPECT_EQ(V, INT64_MAX);
+  EXPECT_TRUE(BigInt(INT64_MIN).toInt64(V));
+  EXPECT_EQ(V, INT64_MIN);
+  BigInt Over = BigInt(INT64_MAX) + BigInt(1);
+  EXPECT_FALSE(Over.toInt64(V));
+  BigInt Under = BigInt(INT64_MIN) - BigInt(1);
+  EXPECT_FALSE(Under.toInt64(V));
+}
+
+/// Property sweep: all ring operations agree with 64-bit arithmetic on
+/// values small enough not to overflow.
+class BigIntPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BigIntPropertyTest, AgreesWithInt64) {
+  std::mt19937 Rng(GetParam());
+  std::uniform_int_distribution<int64_t> Dist(-1000000, 1000000);
+  for (int I = 0; I < 500; ++I) {
+    int64_t A = Dist(Rng), B = Dist(Rng);
+    EXPECT_EQ(BigInt(A) + BigInt(B), BigInt(A + B));
+    EXPECT_EQ(BigInt(A) - BigInt(B), BigInt(A - B));
+    EXPECT_EQ(BigInt(A) * BigInt(B), BigInt(A * B));
+    EXPECT_EQ(BigInt(A).compare(BigInt(B)), A < B ? -1 : A > B ? 1 : 0);
+    if (B != 0) {
+      EXPECT_EQ(BigInt(A) / BigInt(B), BigInt(A / B));
+      EXPECT_EQ(BigInt(A) % BigInt(B), BigInt(A % B));
+      // divMod identity.
+      BigInt Q, R;
+      BigInt::divMod(BigInt(A), BigInt(B), Q, R);
+      EXPECT_EQ(Q * BigInt(B) + R, BigInt(A));
+      // Euclidean remainder in range.
+      BigInt E = BigInt(A).euclidMod(BigInt(B));
+      EXPECT_FALSE(E.isNeg());
+      EXPECT_LT(E, BigInt(B).abs());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BigIntTest, StringRoundTripLarge) {
+  std::mt19937 Rng(99);
+  for (int I = 0; I < 50; ++I) {
+    std::string S;
+    if (Rng() % 2)
+      S += "-";
+    S += static_cast<char>('1' + Rng() % 9);
+    int Len = 1 + Rng() % 60;
+    for (int J = 0; J < Len; ++J)
+      S += static_cast<char>('0' + Rng() % 10);
+    EXPECT_EQ(BigInt::fromString(S).toString(), S);
+  }
+}

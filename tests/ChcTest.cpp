@@ -1,0 +1,148 @@
+//===- tests/ChcTest.cpp - CHC representation tests -----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Chc.h"
+
+#include "smt/SmtSolver.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+/// The running linear system: iota = (0 <= z <= 1), z' = z + 1 while z < 3,
+/// assertion z <= 3.
+struct ChcFixture : ::testing::Test {
+  TermContext C;
+  ChcSystem Sys{C};
+  PredId P = Sys.addPred("P", {Sort::Int});
+  TermRef X = C.mkVar("x", Sort::Int);
+  TermRef Y = C.mkVar("y", Sort::Int);
+
+  void SetUp() override {
+    // 0 <= x <= 1 => P(x).
+    Clause Fact;
+    Fact.Constraint = C.mkAnd(C.mkGe(X, C.mkIntConst(0)),
+                              C.mkLe(X, C.mkIntConst(1)));
+    Fact.Head = PredApp{P, {X}};
+    Sys.addClause(Fact);
+    // P(x) /\ x < 3 /\ y = x + 1 => P(y).
+    Clause Step;
+    Step.Body.push_back(PredApp{P, {X}});
+    Step.Constraint = C.mkAnd(C.mkLt(X, C.mkIntConst(3)),
+                              C.mkEq(Y, C.mkAdd(X, C.mkIntConst(1))));
+    Step.Head = PredApp{P, {Y}};
+    Sys.addClause(Step);
+    // P(x) /\ x > 3 => false.
+    Clause Query;
+    Query.Body.push_back(PredApp{P, {X}});
+    Query.Constraint = C.mkGt(X, C.mkIntConst(3));
+    Sys.addClause(Query);
+  }
+
+  ChcSolution solutionWith(TermRef Body) {
+    PredDef Def;
+    Def.Params = {C.node(X).Var};
+    Def.Body = Body;
+    ChcSolution Sol;
+    Sol.emplace(P, Def);
+    return Sol;
+  }
+};
+} // namespace
+
+TEST_F(ChcFixture, StructureQueries) {
+  EXPECT_EQ(Sys.numPreds(), 1u);
+  EXPECT_EQ(Sys.clauses().size(), 3u);
+  EXPECT_TRUE(Sys.clauses()[0].isFact());
+  EXPECT_FALSE(Sys.clauses()[1].isQuery());
+  EXPECT_TRUE(Sys.clauses()[2].isQuery());
+  EXPECT_TRUE(Sys.isLinear());
+  EXPECT_EQ(*Sys.findPred("P"), P);
+  EXPECT_FALSE(Sys.findPred("Q").has_value());
+}
+
+TEST_F(ChcFixture, DependencyGraph) {
+  auto G = Sys.dependencyGraph();
+  ASSERT_EQ(G.size(), 1u);
+  ASSERT_EQ(G[P].size(), 1u);
+  EXPECT_EQ(G[P][0], P); // Self loop from the step clause.
+}
+
+TEST_F(ChcFixture, CheckSolutionAcceptsInvariant) {
+  // 0 <= x <= 3 is an inductive solution.
+  TermRef Inv = C.mkAnd(C.mkGe(X, C.mkIntConst(0)),
+                        C.mkLe(X, C.mkIntConst(3)));
+  EXPECT_TRUE(Sys.checkSolution(solutionWith(Inv)));
+}
+
+TEST_F(ChcFixture, CheckSolutionRejectsNonInductive) {
+  // x <= 1 is not closed under the step clause.
+  EXPECT_FALSE(Sys.checkSolution(solutionWith(C.mkLe(X, C.mkIntConst(1)))));
+  // True violates the query clause.
+  EXPECT_FALSE(Sys.checkSolution(solutionWith(C.mkTrue())));
+}
+
+TEST_F(ChcFixture, ApplyDefSubstitutes) {
+  PredDef Def;
+  Def.Params = {C.node(X).Var};
+  Def.Body = C.mkLe(X, C.mkIntConst(5));
+  PredApp App{P, {C.mkAdd(Y, C.mkIntConst(2))}};
+  TermRef R = applyDef(C, Def, App);
+  EXPECT_EQ(R, C.mkLe(Y, C.mkIntConst(3)));
+}
+
+TEST_F(ChcFixture, ClauseFormulaValidity) {
+  ChcSolution Sol = solutionWith(
+      C.mkAnd(C.mkGe(X, C.mkIntConst(0)), C.mkLe(X, C.mkIntConst(3))));
+  for (const Clause &Cl : Sys.clauses()) {
+    TermRef F = Sys.clauseFormula(Cl, Sol);
+    EXPECT_FALSE(SmtSolver::quickCheck(C, {C.mkNot(F)}).has_value());
+  }
+}
+
+TEST_F(ChcFixture, ToStringMentionsEverything) {
+  std::string S = Sys.toString();
+  EXPECT_NE(S.find("P("), std::string::npos);
+  EXPECT_NE(S.find("=> false"), std::string::npos);
+}
+
+TEST(ChcTest, NonLinearDetection) {
+  TermContext C;
+  ChcSystem Sys(C);
+  PredId P = Sys.addPred("P", {Sort::Int});
+  TermRef X = C.mkVar("nx", Sort::Int), Y = C.mkVar("ny", Sort::Int),
+          Z = C.mkVar("nz", Sort::Int);
+  Clause Join;
+  Join.Body = {PredApp{P, {X}}, PredApp{P, {Y}}};
+  Join.Constraint = C.mkEq(Z, C.mkAdd(X, Y));
+  Join.Head = PredApp{P, {Z}};
+  Sys.addClause(Join);
+  EXPECT_FALSE(Sys.isLinear());
+}
+
+TEST(ChcTest, ZeroArityPredicates) {
+  TermContext C;
+  ChcSystem Sys(C);
+  PredId P = Sys.addPred("Flag", {});
+  Clause Fact;
+  Fact.Constraint = C.mkTrue();
+  Fact.Head = PredApp{P, {}};
+  Sys.addClause(Fact);
+  Clause Query;
+  Query.Body = {PredApp{P, {}}};
+  Query.Constraint = C.mkTrue();
+  Sys.addClause(Query);
+  // Flag is forced true, query forces false: no solution.
+  PredDef Def;
+  Def.Body = C.mkTrue();
+  ChcSolution Sol;
+  Sol.emplace(P, Def);
+  EXPECT_FALSE(Sys.checkSolution(Sol));
+  Def.Body = C.mkFalse();
+  Sol[P] = Def;
+  EXPECT_FALSE(Sys.checkSolution(Sol)); // Fact clause now fails.
+}

@@ -1,0 +1,90 @@
+//===- tests/EngineTest.cpp - EngineContext plumbing tests ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+#include "solver/Engine.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+struct EngineFixture : ::testing::Test {
+  TermContext C;
+  NormalizedChc N{paperExample5(C)};
+  SolverOptions Opts;
+};
+} // namespace
+
+TEST_F(EngineFixture, TupleRenamings) {
+  EngineContext E(C, N, Opts);
+  TermRef Z = C.varTerm(N.Z[0]);
+  TermRef X = C.varTerm(N.X[0]);
+  TermRef Y = C.varTerm(N.Y[0]);
+  TermRef F = C.mkLe(Z, C.mkIntConst(7));
+  EXPECT_EQ(E.zToX(F), C.mkLe(X, C.mkIntConst(7)));
+  EXPECT_EQ(E.zToY(F), C.mkLe(Y, C.mkIntConst(7)));
+  // Round trips.
+  EXPECT_EQ(E.xToZ(E.zToX(F)), F);
+  EXPECT_EQ(E.yToZ(E.zToY(F)), F);
+}
+
+TEST_F(EngineFixture, SatCountsChecks) {
+  EngineContext E(C, N, Opts);
+  uint64_t Before = E.Stats.SmtChecks;
+  EXPECT_TRUE(E.sat({N.Init}).has_value());
+  EXPECT_FALSE(E.sat({N.Init, N.Bad}).has_value());
+  EXPECT_EQ(E.Stats.SmtChecks, Before + 2);
+  EXPECT_FALSE(E.Aborted);
+}
+
+TEST_F(EngineFixture, ImpliesIsStrict) {
+  EngineContext E(C, N, Opts);
+  TermRef Z = C.varTerm(N.Z[0]);
+  EXPECT_TRUE(E.implies(N.Init, C.mkGe(Z, C.mkIntConst(0))));
+  EXPECT_FALSE(E.implies(C.mkGe(Z, C.mkIntConst(0)), N.Init));
+}
+
+TEST_F(EngineFixture, StepBudgetAborts) {
+  Opts.MaxRefineSteps = 3;
+  EngineContext E(C, N, Opts);
+  for (int I = 0; I < 10; ++I)
+    (void)E.sat({N.Init});
+  EXPECT_TRUE(E.Aborted);
+  // Aborted sat() is conservative: no model and no unsat conclusion.
+  EXPECT_FALSE(E.sat({N.Init}).has_value());
+  EXPECT_FALSE(E.implies(N.Init, N.Init)); // implies() refuses when aborted.
+}
+
+TEST_F(EngineFixture, DeadlineAborts) {
+  Opts.TimeoutMs = 1; // Expires almost immediately.
+  EngineContext E(C, N, Opts);
+  // Spin until the millisecond passes (bounded by a 2 s safety net).
+  auto Start = std::chrono::steady_clock::now();
+  while (!E.expired() &&
+         std::chrono::steady_clock::now() - Start < std::chrono::seconds(2))
+    (void)E.sat({N.Init});
+  EXPECT_TRUE(E.expired());
+  EXPECT_TRUE(E.Aborted);
+}
+
+TEST_F(EngineFixture, ProjectionCountsCalls) {
+  EngineContext E(C, N, Opts);
+  auto M = E.sat({N.Init});
+  ASSERT_TRUE(M.has_value());
+  uint64_t Before = E.Stats.MbpCalls;
+  TermRef P = E.project({}, N.Init, *M);
+  EXPECT_TRUE(M->holds(C, P));
+  EXPECT_EQ(E.Stats.MbpCalls, Before + 1);
+}
+
+TEST_F(EngineFixture, ConcatPreservesOrder) {
+  std::vector<VarId> A{1, 2}, B{3};
+  std::vector<VarId> R = EngineContext::concat(A, B);
+  ASSERT_EQ(R.size(), 3u);
+  EXPECT_EQ(R[0], 1u);
+  EXPECT_EQ(R[2], 3u);
+}

@@ -1,0 +1,88 @@
+//===- tests/LinearTest.cpp - LinExpr / LinAtom tests ---------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Linear.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+struct LinearFixture : ::testing::Test {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  TermRef Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var, YV = C.node(Y).Var;
+};
+} // namespace
+
+TEST_F(LinearFixture, FromTermCollectsCoefficients) {
+  // 2x + 3y - x + 4 = x + 3y + 4.
+  TermRef T = C.mkAdd({C.mkMul(Rational(2), X), C.mkMul(Rational(3), Y),
+                       C.mkNeg(X), C.mkIntConst(4)});
+  LinExpr E = LinExpr::fromTerm(C, T);
+  EXPECT_EQ(E.coeff(XV), Rational(1));
+  EXPECT_EQ(E.coeff(YV), Rational(3));
+  EXPECT_EQ(E.Const, Rational(4));
+}
+
+TEST_F(LinearFixture, CancellationErasesEntries) {
+  TermRef T = C.mkAdd(C.mkMul(Rational(2), X), C.mkMul(Rational(-2), X));
+  LinExpr E = LinExpr::fromTerm(C, T);
+  EXPECT_TRUE(E.isConstant());
+  EXPECT_EQ(E.Const, Rational(0));
+}
+
+TEST_F(LinearFixture, ToTermRoundTrip) {
+  LinExpr E;
+  E.addVar(XV, Rational(5));
+  E.addVar(YV, Rational(-2));
+  E.Const = Rational(7);
+  TermRef T = E.toTerm(C, Sort::Int);
+  LinExpr Back = LinExpr::fromTerm(C, T);
+  EXPECT_EQ(Back, E);
+}
+
+TEST_F(LinearFixture, IntegerNormalize) {
+  TermRef XR = C.mkVar("xr", Sort::Real);
+  TermRef YR = C.mkVar("yr", Sort::Real);
+  LinExpr E;
+  E.addVar(C.node(XR).Var, Rational(1, 2));
+  E.addVar(C.node(YR).Var, Rational(1, 3));
+  Rational Scale = E.integerNormalize();
+  EXPECT_EQ(Scale, Rational(6));
+  EXPECT_EQ(E.coeff(C.node(XR).Var), Rational(3));
+  EXPECT_EQ(E.coeff(C.node(YR).Var), Rational(2));
+  EXPECT_EQ(E.coeffGcd(), BigInt(1));
+}
+
+TEST_F(LinearFixture, LinAtomRoundTrip) {
+  TermRef Atom = C.mkLe(C.mkAdd(C.mkMul(Rational(3), X), Y), C.mkIntConst(7));
+  LinAtom A = LinAtom::fromAtomTerm(C, Atom);
+  EXPECT_EQ(A.Rel, LinRel::Le);
+  EXPECT_EQ(A.Expr.coeff(XV), Rational(3));
+  EXPECT_EQ(A.Expr.Const, Rational(-7));
+  EXPECT_EQ(A.toTerm(C, Sort::Int), Atom);
+}
+
+TEST_F(LinearFixture, AtomArithSort) {
+  TermRef IntAtom = C.mkLe(X, C.mkIntConst(2));
+  EXPECT_EQ(atomArithSort(C, IntAtom), Sort::Int);
+  TermRef XR = C.mkVar("xr2", Sort::Real);
+  TermRef RealAtom = C.mkLt(XR, C.mkRealConst(Rational(1)));
+  EXPECT_EQ(atomArithSort(C, RealAtom), Sort::Real);
+}
+
+TEST_F(LinearFixture, ScaledAndAdd) {
+  LinExpr E;
+  E.addVar(XV, Rational(2));
+  E.Const = Rational(1);
+  LinExpr D = E.scaled(Rational(-3));
+  EXPECT_EQ(D.coeff(XV), Rational(-6));
+  EXPECT_EQ(D.Const, Rational(-3));
+  D.add(E, Rational(3));
+  EXPECT_TRUE(D.isConstant());
+}

@@ -1,0 +1,267 @@
+//===- tests/MbpTest.cpp - Model-based projection tests -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract tests for Definition 1: given phi and M |= phi, the projection
+/// psi must satisfy M |= psi, psi => exists x. phi, and (for the proper
+/// strategy on a fixed phi) only finitely many outputs. The entailment
+/// direction is checked by sampling models of psi and completing them to
+/// witnesses with the SMT solver.
+///
+//===----------------------------------------------------------------------===//
+
+#include "mbp/Mbp.h"
+
+#include "mbp/Qe.h"
+#include "smt/SmtSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <set>
+
+using namespace mucyc;
+
+namespace {
+
+/// Checks psi => exists Elim. Phi by sampling models of psi (up to Samples)
+/// and asking the solver to complete each to a model of Phi with the kept
+/// variables pinned.
+void expectUnderapprox(TermContext &C, TermRef Psi, TermRef Phi,
+                       const std::vector<VarId> &Elim, int Samples = 6) {
+  SmtSolver Enum(C);
+  Enum.assertFormula(Psi);
+  for (int I = 0; I < Samples; ++I) {
+    if (Enum.check() != SmtStatus::Sat)
+      return;
+    const Model &M = Enum.model();
+    // Pin the kept variables to the sampled values and ask for a witness.
+    std::vector<TermRef> Conj{Phi};
+    std::vector<TermRef> BlockParts;
+    for (VarId V : C.freeVars(Psi)) {
+      Value Val = M.value(C, V);
+      TermRef Eq =
+          Val.S == Sort::Bool
+              ? (Val.B ? C.varTerm(V) : C.mkNot(C.varTerm(V)))
+              : C.mkEq(C.varTerm(V), C.mkConst(Val.R, Val.S));
+      Conj.push_back(Eq);
+      BlockParts.push_back(C.mkNot(Eq));
+    }
+    EXPECT_TRUE(SmtSolver::quickCheck(C, Conj).has_value())
+        << "psi point has no phi-witness: " << M.toString(C);
+    if (BlockParts.empty())
+      return;
+    Enum.assertFormula(C.mkOr(BlockParts));
+  }
+}
+
+} // namespace
+
+TEST(MbpTest, PaperExample2Shape) {
+  // Real-sorted variant of Example 2's flavor: phi = (x >= b) /\ (x <= b+4).
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Real), B = C.mkVar("b", Sort::Real);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkAnd(C.mkGe(X, B),
+                        C.mkLe(X, C.mkAdd(B, C.mkRealConst(Rational(4)))));
+  Model M;
+  M.set(XV, Value::number(Rational(1), Sort::Real));
+  M.set(C.node(B).Var, Value::number(Rational(0), Sort::Real));
+  TermRef Psi = mbp(C, MbpStrategy::LazyProject, {XV}, Phi, M);
+  // exists x. phi is just true; so must be the projection.
+  EXPECT_EQ(Psi, C.mkTrue());
+}
+
+TEST(MbpTest, IntProjectionWithDivisibility) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkAnd({C.mkGe(X, Y), C.mkLe(X, C.mkAdd(Y, C.mkIntConst(4))),
+                         C.mkDivides(BigInt(2), X)});
+  Model M;
+  M.set(XV, Value::number(Rational(2), Sort::Int));
+  M.set(C.node(Y).Var, Value::number(Rational(1), Sort::Int));
+  TermRef Psi = mbp(C, MbpStrategy::LazyProject, {XV}, Phi, M);
+  EXPECT_TRUE(M.holds(C, Psi));
+  expectUnderapprox(C, Psi, Phi, {XV});
+  // The projection must not mention x.
+  for (VarId V : C.freeVars(Psi))
+    EXPECT_NE(V, XV);
+}
+
+TEST(MbpTest, EqualityDefinitionSubstitutes) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  // x = y + 1 /\ x <= 5  projects to y <= 4.
+  TermRef Phi = C.mkAnd(C.mkEq(X, C.mkAdd(Y, C.mkIntConst(1))),
+                        C.mkLe(X, C.mkIntConst(5)));
+  Model M;
+  M.set(XV, Value::number(Rational(3), Sort::Int));
+  M.set(C.node(Y).Var, Value::number(Rational(2), Sort::Int));
+  TermRef Psi = mbp(C, MbpStrategy::LazyProject, {XV}, Phi, M);
+  EXPECT_TRUE(SmtSolver::equivalent(C, Psi, C.mkLe(Y, C.mkIntConst(4))));
+}
+
+TEST(MbpTest, ModelDiagramIsPointwise) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkLe(X, Y);
+  Model M;
+  M.set(XV, Value::number(Rational(0), Sort::Int));
+  M.set(C.node(Y).Var, Value::number(Rational(7), Sort::Int));
+  TermRef Psi = mbp(C, MbpStrategy::ModelDiagram, {XV}, Phi, M);
+  EXPECT_TRUE(
+      SmtSolver::equivalent(C, Psi, C.mkEq(Y, C.mkIntConst(7))));
+}
+
+TEST(MbpTest, ModelDiagramNotImageFinite) {
+  // Remark 17: the diagram MBP has one output per model value — infinitely
+  // many over a fixed phi. We check a few distinct outputs as a witness.
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkLe(X, Y);
+  std::set<TermRef> Outputs;
+  for (int64_t V = 0; V < 5; ++V) {
+    Model M;
+    M.set(XV, Value::number(Rational(0), Sort::Int));
+    M.set(C.node(Y).Var, Value::number(Rational(V), Sort::Int));
+    Outputs.insert(mbp(C, MbpStrategy::ModelDiagram, {XV}, Phi, M));
+  }
+  EXPECT_EQ(Outputs.size(), 5u);
+}
+
+TEST(MbpTest, LazyProjectImageFinite) {
+  // For a fixed phi the proper MBP must produce finitely many results; here
+  // the atom structure admits very few.
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkAnd(C.mkLe(X, Y), C.mkGe(X, C.mkIntConst(0)));
+  std::set<TermRef> Outputs;
+  for (int64_t V = 0; V < 30; ++V) {
+    Model M;
+    M.set(XV, Value::number(Rational(0), Sort::Int));
+    M.set(C.node(Y).Var, Value::number(Rational(V), Sort::Int));
+    ASSERT_TRUE(M.holds(C, Phi));
+    Outputs.insert(mbp(C, MbpStrategy::LazyProject, {XV}, Phi, M));
+  }
+  EXPECT_LE(Outputs.size(), 4u);
+}
+
+TEST(MbpTest, BooleanElimination) {
+  TermContext C;
+  TermRef A = C.mkVar("a", Sort::Bool), B = C.mkVar("b", Sort::Bool);
+  VarId AV = C.node(A).Var;
+  TermRef Phi = C.mkOr(C.mkAnd(A, B), C.mkAnd(C.mkNot(A), C.mkNot(B)));
+  Model M;
+  M.set(AV, Value::boolean(true));
+  M.set(C.node(B).Var, Value::boolean(true));
+  TermRef Psi = mbp(C, MbpStrategy::LazyProject, {AV}, Phi, M);
+  EXPECT_TRUE(M.holds(C, Psi));
+  expectUnderapprox(C, Psi, Phi, {AV});
+}
+
+TEST(MbpTest, RealStrictBounds) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Real), Y = C.mkVar("y", Sort::Real),
+          Z = C.mkVar("z", Sort::Real);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkAnd(C.mkGt(X, Y), C.mkLt(X, Z));
+  Model M;
+  M.set(XV, Value::number(Rational(1), Sort::Real));
+  M.set(C.node(Y).Var, Value::number(Rational(0), Sort::Real));
+  M.set(C.node(Z).Var, Value::number(Rational(2), Sort::Real));
+  TermRef Psi = mbp(C, MbpStrategy::LazyProject, {XV}, Phi, M);
+  EXPECT_TRUE(M.holds(C, Psi));
+  EXPECT_TRUE(SmtSolver::equivalent(C, Psi, C.mkLt(Y, Z)));
+}
+
+TEST(MbpTest, FullQePicksSatisfiedDisjunct) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  VarId XV = C.node(X).Var;
+  TermRef Phi = C.mkAnd({C.mkGe(X, Y), C.mkLe(X, C.mkAdd(Y, C.mkIntConst(1))),
+                         C.mkDivides(BigInt(2), X)});
+  Model M;
+  M.set(XV, Value::number(Rational(4), Sort::Int));
+  M.set(C.node(Y).Var, Value::number(Rational(3), Sort::Int));
+  TermRef Psi = mbp(C, MbpStrategy::FullQe, {XV}, Phi, M);
+  EXPECT_TRUE(M.holds(C, Psi));
+  expectUnderapprox(C, Psi, Phi, {XV});
+}
+
+//===----------------------------------------------------------------------===
+// Randomized contract sweep
+//===----------------------------------------------------------------------===
+
+class MbpPropertyTest
+    : public ::testing::TestWithParam<std::pair<unsigned, Sort>> {};
+
+TEST_P(MbpPropertyTest, SatisfiesDefinitionOne) {
+  auto [Seed, S] = GetParam();
+  std::mt19937 Rng(Seed);
+  TermContext C;
+  for (int Round = 0; Round < 35; ++Round) {
+    std::vector<TermRef> Vars;
+    for (int I = 0; I < 3; ++I)
+      Vars.push_back(C.mkFreshVar("m", S));
+    auto Cst = [&](int64_t V) {
+      return S == Sort::Int ? C.mkIntConst(V) : C.mkRealConst(Rational(V));
+    };
+    auto RndLin = [&]() {
+      std::vector<TermRef> Parts;
+      for (TermRef V : Vars)
+        if (Rng() % 2)
+          Parts.push_back(
+              C.mkMul(Rational(static_cast<int64_t>(Rng() % 5) - 2), V));
+      Parts.push_back(Cst(static_cast<int64_t>(Rng() % 9) - 4));
+      return C.mkAdd(Parts);
+    };
+    std::vector<TermRef> Lits;
+    int N = 2 + Rng() % 4;
+    for (int I = 0; I < N; ++I) {
+      switch (Rng() % (S == Sort::Int ? 4 : 3)) {
+      case 0:
+        Lits.push_back(C.mkLe(RndLin(), RndLin()));
+        break;
+      case 1:
+        Lits.push_back(C.mkLt(RndLin(), RndLin()));
+        break;
+      case 2:
+        Lits.push_back(C.mkEq(RndLin(), RndLin()));
+        break;
+      default:
+        Lits.push_back(C.mkDivides(BigInt(2 + Rng() % 3), RndLin()));
+        break;
+      }
+      if (Rng() % 4 == 0)
+        Lits.back() = C.mkNot(Lits.back());
+    }
+    TermRef Phi = C.mkAnd(Lits);
+    auto MOpt = SmtSolver::quickCheck(C, {Phi});
+    if (!MOpt)
+      continue;
+    std::vector<VarId> Elim{C.node(Vars[0]).Var};
+    if (Rng() % 2)
+      Elim.push_back(C.node(Vars[1]).Var);
+    TermRef Psi = mbp(C, MbpStrategy::LazyProject, Elim, Phi, *MOpt);
+    EXPECT_TRUE(MOpt->holds(C, Psi)) << C.toString(Phi);
+    for (VarId V : C.freeVars(Psi))
+      EXPECT_TRUE(std::find(Elim.begin(), Elim.end(), V) == Elim.end());
+    expectUnderapprox(C, Psi, Phi, Elim, 4);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MbpPropertyTest,
+    ::testing::Values(std::make_pair(31u, Sort::Int),
+                      std::make_pair(32u, Sort::Int),
+                      std::make_pair(33u, Sort::Real),
+                      std::make_pair(34u, Sort::Real)));

@@ -1,0 +1,82 @@
+//===- tests/OptionsTest.cpp - Configuration naming tests -----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Options.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+TEST(OptionsTest, PaperNames) {
+  SolverOptions O;
+  O.Engine = EngineKind::Ret;
+  O.Accumulate = true;
+  O.Cex = CexMethod::Mbp;
+  O.MbpMode = 1;
+  EXPECT_EQ(O.name(), "Ret(T,MBP(1))");
+  O.Accumulate = false;
+  O.MbpMode = 0;
+  EXPECT_EQ(O.name(), "Ret(F,MBP(0))");
+  O.Cex = CexMethod::Model;
+  EXPECT_EQ(O.name(), "Ret(F,Model)");
+  O.Engine = EngineKind::Yld;
+  O.QueryWeaken = true;
+  O.Cex = CexMethod::Mbp;
+  O.MbpMode = 2;
+  EXPECT_EQ(O.name(), "Yld(T,MBP(2))");
+  O.OptInduction = true;
+  EXPECT_EQ(O.name(), "Ind(Yld(T,MBP(2)))");
+  O.OptCexShare = true;
+  O.OptMonotone = true;
+  EXPECT_EQ(O.name(), "Ind(Cex(Mon(Yld(T,MBP(2)))))");
+}
+
+TEST(OptionsTest, ParseRoundTrip) {
+  const char *Names[] = {
+      "Ret(F,Model)",  "Ret(T,Model)",  "Ret(F,MBP(0))", "Ret(T,MBP(0))",
+      "Ret(F,MBP(1))", "Ret(T,MBP(1))", "Ret(F,MBP(2))", "Ret(T,MBP(2))",
+      "Yld(F,Model)",  "Yld(T,Model)",  "Yld(F,MBP(0))", "Yld(T,MBP(0))",
+      "Yld(F,MBP(1))", "Yld(T,MBP(1))", "Yld(F,MBP(2))", "Yld(T,MBP(2))",
+      "Ind(Ret(F,MBP(0)))", "Cex(Ret(F,MBP(0)))", "Que(Ret(F,MBP(0)))",
+      "Mon(Ret(F,MBP(0)))", "Ind(Yld(T,MBP(1)))", "Cex(Yld(T,MBP(1)))",
+      "Que(Yld(T,MBP(1)))", "Mon(Yld(T,MBP(1)))", "Ret(F,QE)",
+      "Solve",         "Naive",         "NaiveMbp"};
+  for (const char *N : Names) {
+    auto O = SolverOptions::parse(N);
+    ASSERT_TRUE(O.has_value()) << N;
+    EXPECT_EQ(O->name(), N);
+  }
+}
+
+TEST(OptionsTest, ParseSpacerTs) {
+  auto O = SolverOptions::parse("SpacerTS(fig1)");
+  ASSERT_TRUE(O.has_value());
+  EXPECT_EQ(O->Engine, EngineKind::SpacerTs);
+  EXPECT_FALSE(O->SpacerFig15);
+  auto O2 = SolverOptions::parse("SpacerTS(fig15)");
+  ASSERT_TRUE(O2.has_value());
+  EXPECT_TRUE(O2->SpacerFig15);
+  auto O3 = SolverOptions::parse("SpacerTS(fig1,Ulev)");
+  ASSERT_TRUE(O3.has_value());
+  EXPECT_TRUE(O3->SpacerULevels);
+}
+
+TEST(OptionsTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(SolverOptions::parse("Frobnicate").has_value());
+  EXPECT_FALSE(SolverOptions::parse("Ret(X,MBP(1))").has_value());
+  EXPECT_FALSE(SolverOptions::parse("Ret(T,MBP(7))").has_value());
+  EXPECT_FALSE(SolverOptions::parse("Ret(T,").has_value());
+}
+
+TEST(OptionsTest, MbpStrategyMapping) {
+  SolverOptions O;
+  O.Cex = CexMethod::Mbp;
+  EXPECT_EQ(O.mbpStrategy(), MbpStrategy::LazyProject);
+  O.Cex = CexMethod::Model;
+  EXPECT_EQ(O.mbpStrategy(), MbpStrategy::ModelDiagram);
+  O.Cex = CexMethod::Qe;
+  EXPECT_EQ(O.mbpStrategy(), MbpStrategy::FullQe);
+}

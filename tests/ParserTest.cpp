@@ -1,0 +1,156 @@
+//===- tests/ParserTest.cpp - SMT-LIB2 HORN parser tests ------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+const char *CounterHorn = R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (and (<= 0 x) (<= x 1)) (P x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (P x) (< x 3) (= y (+ x 1))) (P y))))
+(assert (forall ((x Int)) (=> (and (P x) (> x 3)) false)))
+(check-sat)
+)";
+}
+
+TEST(ParserTest, ParsesCounterSystem) {
+  TermContext C;
+  ParseResult R = parseChc(C, CounterHorn);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ChcSystem &Sys = *R.System;
+  EXPECT_EQ(Sys.numPreds(), 1u);
+  ASSERT_EQ(Sys.clauses().size(), 3u);
+  EXPECT_TRUE(Sys.clauses()[0].isFact());
+  EXPECT_EQ(Sys.clauses()[1].Body.size(), 1u);
+  EXPECT_TRUE(Sys.clauses()[2].isQuery());
+}
+
+TEST(ParserTest, NonlinearBodies) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((z Int)) (=> (= z 1) (P z))))
+(assert (forall ((x Int) (y Int) (z Int))
+  (=> (and (P x) (P y) (= z (+ x y))) (P z))))
+(assert (forall ((z Int)) (=> (and (P z) (< z 0)) false)))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.System->isLinear());
+  EXPECT_EQ(R.System->clauses()[1].Body.size(), 2u);
+}
+
+TEST(ParserTest, LetBindings) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int))
+  (=> (let ((t (+ x 1))) (and (<= t 5) (>= t 0))) (P x))))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  // Constraint is (x + 1 <= 5) /\ (x + 1 >= 0) == x <= 4 /\ x >= -1.
+  const Clause &Cl = R.System->clauses()[0];
+  TermContext &Ctx = R.System->ctx();
+  std::string S = Ctx.toString(Cl.Constraint);
+  EXPECT_NE(S.find("4"), std::string::npos);
+}
+
+TEST(ParserTest, FactsAndGroundClauses) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun Flag () Bool)
+(assert Flag)
+(assert (=> Flag false))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_EQ(R.System->clauses().size(), 2u);
+  EXPECT_TRUE(R.System->clauses()[0].isFact());
+  EXPECT_TRUE(R.System->clauses()[1].isQuery());
+}
+
+TEST(ParserTest, NotSugarForQueries) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (> x 0) (P x))))
+(assert (forall ((x Int)) (not (and (P x) (> x 10)))))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.System->clauses()[1].isQuery());
+}
+
+TEST(ParserTest, RealsAndDecimals) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Real) Bool)
+(assert (forall ((x Real)) (=> (and (<= 0.5 x) (< x 2.5)) (P x))))
+(assert (forall ((x Real)) (=> (and (P x) (> x 100.0)) false)))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.System->pred(0).ArgSorts[0], Sort::Real);
+}
+
+TEST(ParserTest, Comments) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"(; a comment
+(set-logic HORN) ; trailing comment
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> true (P x))))
+)");
+  EXPECT_TRUE(R.Ok) << R.Error;
+}
+
+TEST(ParserTest, Errors) {
+  TermContext C;
+  EXPECT_FALSE(parseChc(C, "(assert").Ok);
+  EXPECT_FALSE(parseChc(C, "(declare-fun P (Int) Int)").Ok);
+  EXPECT_FALSE(parseChc(C, "(frobnicate)").Ok);
+  EXPECT_FALSE(parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (unknownop x) (P x))))
+)")
+                   .Ok);
+  // Arity mismatch.
+  EXPECT_FALSE(parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int Int) Bool)
+(assert (forall ((x Int)) (=> true (P x))))
+)")
+                   .Ok);
+  // Non-linear multiplication.
+  EXPECT_FALSE(parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int) (y Int)) (=> (= (* x y) 4) (P x))))
+)")
+                   .Ok);
+}
+
+TEST(ParserTest, PrintParseRoundTrip) {
+  TermContext C;
+  ParseResult R1 = parseChc(C, CounterHorn);
+  ASSERT_TRUE(R1.Ok);
+  std::string Printed = printSmtLib(*R1.System);
+  TermContext C2;
+  ParseResult R2 = parseChc(C2, Printed);
+  ASSERT_TRUE(R2.Ok) << R2.Error << "\n" << Printed;
+  EXPECT_EQ(R2.System->numPreds(), R1.System->numPreds());
+  EXPECT_EQ(R2.System->clauses().size(), R1.System->clauses().size());
+}
+
+TEST(ParserTest, ChainedImplication) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (> x 0) (P x))))
+(assert (forall ((x Int)) (=> (P x) (=> (> x 5) false))))
+)");
+  // The nested => in head position is not a predicate or false, so this is
+  // rejected (strict HORN shape).
+  EXPECT_FALSE(R.Ok);
+}

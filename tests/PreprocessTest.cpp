@@ -1,0 +1,152 @@
+//===- tests/PreprocessTest.cpp - CHC preprocessing tests -----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Preprocess.h"
+
+#include "chc/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace mucyc;
+
+TEST(PreprocessTest, UnfoldsIntermediatePredicate) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(declare-fun Mid (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int)) (=> (and (Inv x) (= y (+ x 1))) (Mid y))))
+(assert (forall ((y Int)) (=> (Mid y) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (< x 0)) false)))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  PreprocessStats Stats;
+  ChcSystem Out = preprocess(*R.System, &Stats);
+  EXPECT_GE(Stats.PredsEliminated, 1u);
+  // One of the two predicates has been resolved away entirely (which one is
+  // a heuristic choice); only one live predicate remains.
+  std::set<PredId> Live;
+  for (const Clause &Cl : Out.clauses()) {
+    for (const PredApp &B : Cl.Body)
+      Live.insert(B.Pred);
+    if (Cl.Head)
+      Live.insert(Cl.Head->Pred);
+  }
+  EXPECT_EQ(Live.size(), 1u);
+}
+
+TEST(PreprocessTest, KeepsRecursivePredicates) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (P x))))
+(assert (forall ((x Int) (y Int)) (=> (and (P x) (= y (+ x 1))) (P y))))
+)");
+  ASSERT_TRUE(R.Ok);
+  ChcSystem Out = preprocess(*R.System);
+  EXPECT_EQ(Out.clauses().size(), 2u);
+}
+
+TEST(PreprocessTest, FiltersDeadArguments) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int Int) Bool)
+(assert (forall ((x Int) (d Int)) (=> (= x 0) (P x d))))
+(assert (forall ((x Int) (y Int) (d Int) (e Int))
+  (=> (and (P x d) (= y (+ x 1))) (P y e))))
+(assert (forall ((x Int) (d Int)) (=> (and (P x d) (< x 0)) false)))
+)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  size_t Filtered = 0;
+  ChcSystem Out = filterArguments(*R.System, &Filtered);
+  EXPECT_EQ(Filtered, 1u); // The d slot carries no information.
+  EXPECT_EQ(Out.pred(0).ArgSorts.size(), 1u);
+}
+
+TEST(PreprocessTest, KeepsLinkedArguments) {
+  // The second argument links body and head; it must NOT be erased.
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun P (Int Int) Bool)
+(assert (forall ((x Int) (d Int)) (=> (= x 0) (P x d))))
+(assert (forall ((x Int) (y Int) (d Int))
+  (=> (and (P x d) (= y (+ x 1))) (P y d))))
+(assert (forall ((x Int) (d Int)) (=> (and (P x d) (< d 0)) false)))
+)");
+  ASSERT_TRUE(R.Ok);
+  size_t Filtered = 0;
+  ChcSystem Out = filterArguments(*R.System, &Filtered);
+  EXPECT_EQ(Filtered, 0u);
+  EXPECT_EQ(Out.pred(0).ArgSorts.size(), 2u);
+}
+
+TEST(PreprocessTest, UnfoldPreservesSolutions) {
+  // After unfolding Mid away, the known invariant still checks.
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(declare-fun Mid (Int) Bool)
+(assert (forall ((x Int)) (=> (and (<= 0 x) (<= x 1)) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (< x 3) (= y (+ x 1))) (Mid y))))
+(assert (forall ((y Int)) (=> (Mid y) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 10)) false)))
+)");
+  ASSERT_TRUE(R.Ok);
+  ChcSystem Out = preprocess(*R.System);
+  auto InvId = Out.findPred("Inv");
+  if (!InvId) {
+    // Name may carry an unfold suffix; find any surviving predicate.
+    for (PredId P = 0; P < Out.numPreds(); ++P)
+      if (Out.pred(P).Name.rfind("Inv", 0) == 0)
+        InvId = P;
+  }
+  ASSERT_TRUE(InvId.has_value());
+  TermRef V = C.mkFreshVar("v", Sort::Int);
+  PredDef Def;
+  Def.Params = {C.node(V).Var};
+  Def.Body = C.mkAnd(C.mkGe(V, C.mkIntConst(0)), C.mkLe(V, C.mkIntConst(4)));
+  ChcSolution Sol;
+  // Every surviving predicate gets the same interpretation modulo arity.
+  for (PredId P = 0; P < Out.numPreds(); ++P) {
+    bool Used = false;
+    for (const Clause &Cl : Out.clauses()) {
+      for (const PredApp &B : Cl.Body)
+        Used |= B.Pred == P;
+      Used |= Cl.Head && Cl.Head->Pred == P;
+    }
+    if (Used)
+      Sol.emplace(P, Def);
+  }
+  EXPECT_TRUE(Out.checkSolution(Sol));
+}
+
+TEST(PreprocessTest, UnfoldMultipleDefinitions) {
+  TermContext C;
+  ParseResult R = parseChc(C, R"((set-logic HORN)
+(declare-fun A (Int) Bool)
+(declare-fun B (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 1) (B x))))
+(assert (forall ((x Int)) (=> (= x 2) (B x))))
+(assert (forall ((x Int)) (=> (B x) (A x))))
+(assert (forall ((x Int)) (=> (and (A x) (> x 5)) false)))
+)");
+  ASSERT_TRUE(R.Ok);
+  ChcSystem Out(C);
+  auto BId = R.System->findPred("B");
+  ASSERT_TRUE(BId.has_value());
+  for (PredId P = 0; P < R.System->numPreds(); ++P)
+    Out.addPred(R.System->pred(P).Name + "!t", R.System->pred(P).ArgSorts);
+  ASSERT_TRUE(unfoldPredicate(*R.System, *BId, Out));
+  // Two facts for A now; the B clauses are gone.
+  size_t AFacts = 0;
+  for (const Clause &Cl : Out.clauses())
+    if (Cl.Head && Cl.Body.empty())
+      ++AFacts;
+  EXPECT_EQ(AFacts, 2u);
+}

@@ -1,0 +1,107 @@
+//===- tests/RationalTest.cpp - Rational and delta-rational tests ---------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mucyc;
+
+TEST(RationalTest, Normalization) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(1, -2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(0, 7).den(), BigInt(1));
+  EXPECT_TRUE(Rational(6, 3).isInt());
+}
+
+TEST(RationalTest, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 3) / Rational(4, 3), Rational(1, 2));
+  EXPECT_EQ(Rational(3, 7).inverse(), Rational(7, 3));
+}
+
+TEST(RationalTest, Ordering) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-5), Rational(0));
+  EXPECT_EQ(Rational(1, 2).compare(Rational(2, 4)), 0);
+}
+
+TEST(RationalTest, FloorCeil) {
+  EXPECT_EQ(Rational(7, 2).floor(), BigInt(3));
+  EXPECT_EQ(Rational(7, 2).ceil(), BigInt(4));
+  EXPECT_EQ(Rational(-7, 2).floor(), BigInt(-4));
+  EXPECT_EQ(Rational(-7, 2).ceil(), BigInt(-3));
+  EXPECT_EQ(Rational(6).floor(), BigInt(6));
+  EXPECT_EQ(Rational(6).ceil(), BigInt(6));
+}
+
+TEST(RationalTest, FromString) {
+  EXPECT_EQ(Rational::fromString("-12"), Rational(-12));
+  EXPECT_EQ(Rational::fromString("3/4"), Rational(3, 4));
+  EXPECT_EQ(Rational::fromString("2.5"), Rational(5, 2));
+  EXPECT_EQ(Rational::fromString("-0.25"), Rational(-1, 4));
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(3, 4).toString(), "3/4");
+  EXPECT_EQ(Rational(-3, 4).toString(), "-3/4");
+  EXPECT_EQ(Rational(8, 4).toString(), "2");
+}
+
+TEST(DeltaRationalTest, Ordering) {
+  DeltaRational A(Rational(1));                    // 1
+  DeltaRational B(Rational(1), Rational(1));       // 1 + eps
+  DeltaRational C(Rational(1), Rational(-1));      // 1 - eps
+  DeltaRational D(Rational(2), Rational(-100));    // 2 - 100 eps
+  EXPECT_LT(C, A);
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, D); // Real part dominates.
+}
+
+TEST(DeltaRationalTest, ArithmeticAndMaterialize) {
+  DeltaRational A(Rational(3), Rational(2));
+  DeltaRational B(Rational(1), Rational(-1));
+  DeltaRational S = A + B;
+  EXPECT_EQ(S.real(), Rational(4));
+  EXPECT_EQ(S.delta(), Rational(1));
+  EXPECT_EQ((A - B).delta(), Rational(3));
+  EXPECT_EQ((A * Rational(2)).real(), Rational(6));
+  EXPECT_EQ(A.materialize(Rational(1, 4)), Rational(7, 2));
+}
+
+/// Field axioms on random values against double-checked identities.
+class RationalPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(RationalPropertyTest, FieldIdentities) {
+  std::mt19937 Rng(GetParam());
+  auto Rnd = [&]() {
+    int64_t N = static_cast<int64_t>(Rng() % 2001) - 1000;
+    int64_t D = 1 + Rng() % 50;
+    return Rational(N, D);
+  };
+  for (int I = 0; I < 300; ++I) {
+    Rational A = Rnd(), B = Rnd(), C = Rnd();
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A - A, Rational(0));
+    if (!A.isZero())
+      EXPECT_EQ(A * A.inverse(), Rational(1));
+    // floor(a) <= a < floor(a) + 1.
+    EXPECT_LE(Rational(A.floor()), A);
+    EXPECT_LT(A, Rational(A.floor() + BigInt(1)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
+                         ::testing::Values(11u, 12u, 13u));

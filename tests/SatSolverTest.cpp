@@ -1,0 +1,227 @@
+//===- tests/SatSolverTest.cpp - CDCL SAT solver tests --------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SatSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+using namespace mucyc;
+
+namespace {
+SatLit mkLit(uint32_t V, bool Neg = false) { return SatLit(V, Neg); }
+} // namespace
+
+TEST(SatSolverTest, TrivialSat) {
+  SatSolver S;
+  uint32_t A = S.newVar();
+  S.addClause({mkLit(A)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+}
+
+TEST(SatSolverTest, TrivialUnsat) {
+  SatSolver S;
+  uint32_t A = S.newVar();
+  S.addClause({mkLit(A)});
+  EXPECT_FALSE(S.addClause({mkLit(A, true)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, UnitPropagationChain) {
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({mkLit(A)});
+  S.addClause({mkLit(A, true), mkLit(B)});
+  S.addClause({mkLit(B, true), mkLit(C)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(SatSolverTest, RequiresSearch) {
+  // (a | b) & (!a | b) & (a | !b) forces a & b.
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  S.addClause({mkLit(A, true), mkLit(B)});
+  S.addClause({mkLit(A), mkLit(B, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(SatSolverTest, PigeonholeUnsat) {
+  // 3 pigeons in 2 holes: classic small UNSAT requiring conflicts.
+  SatSolver S;
+  uint32_t P[3][2];
+  for (auto &Row : P)
+    for (uint32_t &V : Row)
+      V = S.newVar();
+  for (auto &Row : P)
+    S.addClause({mkLit(Row[0]), mkLit(Row[1])});
+  for (int H = 0; H < 2; ++H)
+    for (int I = 0; I < 3; ++I)
+      for (int J = I + 1; J < 3; ++J)
+        S.addClause({mkLit(P[I][H], true), mkLit(P[J][H], true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, AssumptionsAndCore) {
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause({mkLit(A, true), mkLit(B, true)}); // not (a & b).
+  // Sat under one of them.
+  EXPECT_EQ(S.solve({mkLit(A)}), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  // Unsat under both; C is irrelevant and must stay out of the core.
+  EXPECT_EQ(S.solve({mkLit(A), mkLit(B), mkLit(C)}),
+            SatSolver::Result::Unsat);
+  const auto &Core = S.conflictCore();
+  EXPECT_GE(Core.size(), 1u);
+  EXPECT_LE(Core.size(), 2u);
+  for (SatLit L : Core)
+    EXPECT_NE(L.var(), C);
+  // The solver remains usable afterwards.
+  EXPECT_EQ(S.solve({mkLit(B)}), SatSolver::Result::Sat);
+}
+
+TEST(SatSolverTest, AssumptionConflictsWithUnit) {
+  SatSolver S;
+  uint32_t A = S.newVar();
+  S.addClause({mkLit(A)});
+  EXPECT_EQ(S.solve({mkLit(A, true)}), SatSolver::Result::Unsat);
+  ASSERT_EQ(S.conflictCore().size(), 1u);
+  EXPECT_EQ(S.conflictCore()[0], mkLit(A, true));
+}
+
+TEST(SatSolverTest, IncrementalAddBetweenSolves) {
+  SatSolver S;
+  uint32_t A = S.newVar(), B = S.newVar();
+  S.addClause({mkLit(A), mkLit(B)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  S.addClause({mkLit(A, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  S.addClause({mkLit(B, true)});
+  EXPECT_EQ(S.solve(), SatSolver::Result::Unsat);
+}
+
+TEST(SatSolverTest, TautologyAndDuplicates) {
+  SatSolver S;
+  uint32_t A = S.newVar();
+  EXPECT_TRUE(S.addClause({mkLit(A), mkLit(A, true)})); // Tautology: no-op.
+  EXPECT_TRUE(S.addClause({mkLit(A), mkLit(A), mkLit(A)}));
+  EXPECT_EQ(S.solve(), SatSolver::Result::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+}
+
+namespace {
+bool bruteForce(int NumVars, const std::vector<std::vector<SatLit>> &Cls) {
+  for (uint32_t M = 0; M < (1u << NumVars); ++M) {
+    bool Ok = true;
+    for (const auto &C : Cls) {
+      bool COk = false;
+      for (SatLit L : C)
+        if (((M >> L.var()) & 1) != L.negated()) {
+          COk = true;
+          break;
+        }
+      if (!COk) {
+        Ok = false;
+        break;
+      }
+    }
+    if (Ok)
+      return true;
+  }
+  return false;
+}
+} // namespace
+
+/// Randomized incremental solving cross-checked against brute force,
+/// including model validation and learned-state reuse across rounds.
+class SatSolverPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatSolverPropertyTest, IncrementalAgreesWithBruteForce) {
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round < 250; ++Round) {
+    int NumVars = 4 + Rng() % 9;
+    SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    std::vector<std::vector<SatLit>> Added;
+    bool Dead = false;
+    int Phases = 2 + Rng() % 4;
+    for (int P = 0; P < Phases && !Dead; ++P) {
+      int NumCls = 1 + Rng() % 10;
+      for (int CI = 0; CI < NumCls; ++CI) {
+        int Len = 1 + Rng() % 4;
+        std::vector<SatLit> Cl;
+        for (int I = 0; I < Len; ++I)
+          Cl.push_back(mkLit(Rng() % NumVars, Rng() % 2));
+        Added.push_back(Cl);
+        S.addClause(Cl);
+      }
+      bool Inc = S.solve() == SatSolver::Result::Sat;
+      ASSERT_EQ(Inc, bruteForce(NumVars, Added));
+      if (Inc) {
+        for (const auto &C : Added) {
+          bool Ok = false;
+          for (SatLit L : C)
+            if (S.modelValue(L.var()) != L.negated())
+              Ok = true;
+          ASSERT_TRUE(Ok) << "model violates a clause";
+        }
+      } else {
+        Dead = true;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatSolverPropertyTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+/// Assumption cores on random instances: the core must itself be an
+/// unsatisfiable assumption set.
+class SatCorePropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SatCorePropertyTest, CoresAreUnsatisfiable) {
+  std::mt19937 Rng(GetParam());
+  for (int Round = 0; Round < 150; ++Round) {
+    int NumVars = 5 + Rng() % 6;
+    SatSolver S;
+    for (int I = 0; I < NumVars; ++I)
+      S.newVar();
+    int NumCls = 3 + Rng() % 15;
+    for (int CI = 0; CI < NumCls; ++CI) {
+      int Len = 2 + Rng() % 3;
+      std::vector<SatLit> Cl;
+      for (int I = 0; I < Len; ++I)
+        Cl.push_back(mkLit(Rng() % NumVars, Rng() % 2));
+      S.addClause(Cl);
+    }
+    std::vector<SatLit> Assumps;
+    for (int I = 0; I < NumVars; ++I)
+      if (Rng() % 2)
+        Assumps.push_back(mkLit(I, Rng() % 2));
+    if (S.solve(Assumps) == SatSolver::Result::Sat)
+      continue;
+    // The reported core must reproduce the conflict.
+    std::vector<SatLit> Core = S.conflictCore();
+    for (SatLit L : Core)
+      EXPECT_TRUE(std::find(Assumps.begin(), Assumps.end(), L) !=
+                  Assumps.end())
+          << "core literal is not an assumption";
+    EXPECT_EQ(S.solve(Core), SatSolver::Result::Unsat);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SatCorePropertyTest,
+                         ::testing::Values(7u, 8u));

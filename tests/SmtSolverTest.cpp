@@ -1,0 +1,225 @@
+//===- tests/SmtSolverTest.cpp - DPLL(T) solver tests ---------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/SmtSolver.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+
+using namespace mucyc;
+
+namespace {
+struct SmtFixture : ::testing::Test {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  TermRef Y = C.mkVar("y", Sort::Int);
+  TermRef XR = C.mkVar("xr", Sort::Real);
+  TermRef A = C.mkVar("a", Sort::Bool);
+  TermRef B = C.mkVar("b", Sort::Bool);
+};
+} // namespace
+
+TEST_F(SmtFixture, LinearIntUnsat) {
+  // x + y <= 5, x >= 3, y >= 3.
+  auto M = SmtSolver::quickCheck(
+      C, {C.mkLe(C.mkAdd(X, Y), C.mkIntConst(5)),
+          C.mkGe(X, C.mkIntConst(3)), C.mkGe(Y, C.mkIntConst(3))});
+  EXPECT_FALSE(M.has_value());
+}
+
+TEST_F(SmtFixture, LinearIntSatWithModel) {
+  auto M = SmtSolver::quickCheck(
+      C, {C.mkLe(C.mkAdd(X, Y), C.mkIntConst(5)),
+          C.mkGe(X, C.mkIntConst(3))});
+  ASSERT_TRUE(M.has_value());
+  EXPECT_TRUE(M->holds(C, C.mkLe(C.mkAdd(X, Y), C.mkIntConst(5))));
+  EXPECT_TRUE(M->holds(C, C.mkGe(X, C.mkIntConst(3))));
+}
+
+TEST_F(SmtFixture, IntegralityBranching) {
+  // 2x = y and y = 5: no integer solution.
+  auto M = SmtSolver::quickCheck(
+      C, {C.mkEq(C.mkMul(Rational(2), X), Y), C.mkEq(Y, C.mkIntConst(5))});
+  EXPECT_FALSE(M.has_value());
+}
+
+TEST_F(SmtFixture, ParityViaEqualities) {
+  // y even and y odd via two quotient encodings: unsat even though the
+  // rational relaxation is unbounded (the equality-elimination pipeline
+  // must catch it structurally).
+  TermRef Q1 = C.mkVar("q1", Sort::Int), Q2 = C.mkVar("q2", Sort::Int);
+  auto M = SmtSolver::quickCheck(
+      C, {C.mkEq(Y, C.mkMul(Rational(2), Q1)),
+          C.mkEq(Y, C.mkAdd(C.mkMul(Rational(2), Q2), C.mkIntConst(1)))});
+  EXPECT_FALSE(M.has_value());
+}
+
+TEST_F(SmtFixture, StrictRealBounds) {
+  auto M = SmtSolver::quickCheck(C, {C.mkGt(XR, C.mkRealConst(Rational(1))),
+                                     C.mkLt(XR, C.mkRealConst(Rational(2)))});
+  ASSERT_TRUE(M.has_value());
+  Rational V = M->value(C, C.node(XR).Var).R;
+  EXPECT_GT(V, Rational(1));
+  EXPECT_LT(V, Rational(2));
+  // x > 1 and x < 1 is unsat.
+  EXPECT_FALSE(SmtSolver::quickCheck(
+                   C, {C.mkGt(XR, C.mkRealConst(Rational(1))),
+                       C.mkLt(XR, C.mkRealConst(Rational(1)))})
+                   .has_value());
+}
+
+TEST_F(SmtFixture, Divisibility) {
+  TermRef Dv = C.mkDivides(BigInt(3), X);
+  EXPECT_FALSE(
+      SmtSolver::quickCheck(C, {Dv, C.mkEq(X, C.mkIntConst(7))}).has_value());
+  auto M = SmtSolver::quickCheck(C, {Dv, C.mkEq(X, C.mkIntConst(9))});
+  EXPECT_TRUE(M.has_value());
+  // Negated divisibility.
+  auto M2 = SmtSolver::quickCheck(
+      C, {C.mkNot(Dv), C.mkGe(X, C.mkIntConst(3)), C.mkLe(X, C.mkIntConst(3))});
+  EXPECT_FALSE(M2.has_value());
+}
+
+TEST_F(SmtFixture, DisequalitySplits) {
+  auto M = SmtSolver::quickCheck(
+      C, {C.mkNot(C.mkEq(X, C.mkIntConst(0))), C.mkLe(X, C.mkIntConst(0)),
+          C.mkGe(X, C.mkIntConst(0))});
+  EXPECT_FALSE(M.has_value());
+  auto M2 = SmtSolver::quickCheck(C, {C.mkNot(C.mkEq(X, Y)),
+                                      C.mkLe(C.mkSub(X, Y), C.mkIntConst(0)),
+                                      C.mkGe(C.mkSub(X, Y), C.mkIntConst(-1))});
+  ASSERT_TRUE(M2.has_value());
+  EXPECT_TRUE(M2->holds(C, C.mkNot(C.mkEq(X, Y))));
+}
+
+TEST_F(SmtFixture, BooleanStructure) {
+  EXPECT_FALSE(SmtSolver::quickCheck(
+                   C, {C.mkOr(A, B), C.mkNot(A), C.mkNot(B)})
+                   .has_value());
+  auto M = SmtSolver::quickCheck(C, {C.mkIff(A, B), C.mkNot(A)});
+  ASSERT_TRUE(M.has_value());
+  EXPECT_FALSE(M->value(C, C.node(B).Var).B);
+}
+
+TEST_F(SmtFixture, MixedBoolArith) {
+  // (a -> x >= 5) & (!a -> x <= -5) & x == 0: unsat.
+  TermRef F = C.mkAnd({C.mkImplies(A, C.mkGe(X, C.mkIntConst(5))),
+                       C.mkImplies(C.mkNot(A), C.mkLe(X, C.mkIntConst(-5))),
+                       C.mkEq(X, C.mkIntConst(0))});
+  EXPECT_FALSE(SmtSolver::quickCheck(C, {F}).has_value());
+}
+
+TEST_F(SmtFixture, AssumptionCores) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkLe(C.mkAdd(X, Y), C.mkIntConst(5)));
+  TermRef A1 = C.mkGe(X, C.mkIntConst(3));
+  TermRef A2 = C.mkGe(Y, C.mkIntConst(3));
+  TermRef A3 = C.mkLe(X, C.mkIntConst(100)); // Irrelevant.
+  EXPECT_EQ(S.check({A1, A2, A3}), SmtStatus::Unsat);
+  const auto &Core = S.unsatCore();
+  EXPECT_GE(Core.size(), 1u);
+  for (TermRef T : Core)
+    EXPECT_NE(T, A3);
+  // Re-checking with a satisfiable subset works on the same instance.
+  EXPECT_EQ(S.check({A1}), SmtStatus::Sat);
+}
+
+TEST_F(SmtFixture, IncrementalAssertions) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkGe(X, C.mkIntConst(0)));
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  S.assertFormula(C.mkLe(X, C.mkIntConst(3)));
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  S.assertFormula(C.mkNot(C.mkAnd(C.mkGe(X, C.mkIntConst(0)),
+                                  C.mkLe(X, C.mkIntConst(3)))));
+  EXPECT_EQ(S.check(), SmtStatus::Unsat);
+}
+
+TEST_F(SmtFixture, ImpliesAndEquivalentHelpers) {
+  TermRef F = C.mkAnd(C.mkGe(X, C.mkIntConst(1)), C.mkLe(X, C.mkIntConst(3)));
+  TermRef G = C.mkGe(X, C.mkIntConst(0));
+  EXPECT_TRUE(SmtSolver::implies(C, F, G));
+  EXPECT_FALSE(SmtSolver::implies(C, G, F));
+  EXPECT_TRUE(SmtSolver::equivalent(
+      C, C.mkLt(X, C.mkIntConst(3)), C.mkLe(X, C.mkIntConst(2))));
+}
+
+//===----------------------------------------------------------------------===
+// Property test: random formulas vs. brute-force grid evaluation
+//===----------------------------------------------------------------------===
+
+class SmtPropertyTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SmtPropertyTest, AgreesWithGridSearch) {
+  std::mt19937 Rng(GetParam());
+  TermContext C;
+  for (int Round = 0; Round < 80; ++Round) {
+    int NumVars = 2;
+    std::vector<TermRef> Vars;
+    for (int I = 0; I < NumVars; ++I)
+      Vars.push_back(C.mkFreshVar("p", Sort::Int));
+    auto RndLin = [&]() {
+      std::vector<TermRef> Parts;
+      for (TermRef V : Vars)
+        if (Rng() % 2)
+          Parts.push_back(
+              C.mkMul(Rational(static_cast<int64_t>(Rng() % 7) - 3), V));
+      Parts.push_back(C.mkIntConst(static_cast<int64_t>(Rng() % 11) - 5));
+      return C.mkAdd(Parts);
+    };
+    auto RndAtom = [&]() -> TermRef {
+      switch (Rng() % 4) {
+      case 0:
+        return C.mkLe(RndLin(), RndLin());
+      case 1:
+        return C.mkLt(RndLin(), RndLin());
+      case 2:
+        return C.mkEq(RndLin(), RndLin());
+      default:
+        return C.mkDivides(BigInt(2 + Rng() % 3), RndLin());
+      }
+    };
+    std::function<TermRef(int)> RndF = [&](int Depth) -> TermRef {
+      if (Depth == 0 || Rng() % 3 == 0) {
+        TermRef At = RndAtom();
+        return Rng() % 3 == 0 ? C.mkNot(At) : At;
+      }
+      switch (Rng() % 3) {
+      case 0:
+        return C.mkAnd(RndF(Depth - 1), RndF(Depth - 1));
+      case 1:
+        return C.mkOr(RndF(Depth - 1), RndF(Depth - 1));
+      default:
+        return C.mkNot(RndF(Depth - 1));
+      }
+    };
+    TermRef F = RndF(3);
+
+    SmtSolver S(C);
+    S.assertFormula(F);
+    SmtStatus St = S.check();
+    ASSERT_NE(St, SmtStatus::Unknown);
+
+    bool BruteSat = false;
+    Assignment A;
+    for (int V0 = -7; V0 <= 7 && !BruteSat; ++V0)
+      for (int V1 = -7; V1 <= 7 && !BruteSat; ++V1) {
+        A[C.node(Vars[0]).Var] = Value::number(Rational(V0), Sort::Int);
+        A[C.node(Vars[1]).Var] = Value::number(Rational(V1), Sort::Int);
+        if (evalBool(C, F, A))
+          BruteSat = true;
+      }
+    if (St == SmtStatus::Unsat)
+      EXPECT_FALSE(BruteSat) << C.toString(F);
+    else
+      EXPECT_TRUE(S.model().holds(C, F)) << C.toString(F);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmtPropertyTest,
+                         ::testing::Values(21u, 22u, 23u, 24u));

@@ -1,0 +1,200 @@
+//===- tests/SolverTest.cpp - End-to-end engine tests ---------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-product of refinement engines and the fast benchmark instances:
+/// every configuration must return the correct status (verified against the
+/// clauses / bounded reachability), within a timeout, or Unknown — never a
+/// wrong answer.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+#include "solver/Refiner.h"
+#include "solver/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+struct EngineCase {
+  const char *Config;
+  uint64_t TimeoutMs;
+};
+} // namespace
+
+class EngineMatrixTest
+    : public ::testing::TestWithParam<std::tuple<EngineCase, int>> {};
+
+TEST_P(EngineMatrixTest, SolvesOrTimesOutHonestly) {
+  auto [Case, Index] = GetParam();
+  std::vector<BenchInstance> Suite = buildSmallSuite();
+  ASSERT_LT(static_cast<size_t>(Index), Suite.size());
+  const BenchInstance &B = Suite[Index];
+
+  TermContext C;
+  NormalizedChc N = B.Build(C);
+  auto Opts = SolverOptions::parse(Case.Config);
+  ASSERT_TRUE(Opts.has_value());
+  Opts->TimeoutMs = Case.TimeoutMs;
+  Opts->VerifyResult = true;
+  ChcSolver S(C, N, *Opts);
+  SolverResult R = S.solve();
+  if (R.Status != ChcStatus::Unknown)
+    EXPECT_EQ(R.Status, B.Expected) << B.Name << " with " << Case.Config;
+  // Independently re-verify the artifacts.
+  if (R.Status == ChcStatus::Sat)
+    EXPECT_TRUE(verifyInvariant(C, N, R.Invariant));
+  if (R.Status == ChcStatus::Unsat)
+    EXPECT_TRUE(verifyCexPiece(C, N, R.CexPiece, R.Depth + 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(EngineCase{"Ret(T,MBP(1))", 12000},
+                          EngineCase{"Ret(F,MBP(0))", 12000},
+                          EngineCase{"Ret(T,MBP(2))", 12000},
+                          EngineCase{"Yld(T,MBP(1))", 12000},
+                          EngineCase{"Yld(F,MBP(0))", 12000},
+                          EngineCase{"Ret(F,Model)", 8000},
+                          EngineCase{"Ind(Ret(F,MBP(0)))", 12000},
+                          EngineCase{"Cex(Ret(T,MBP(1)))", 12000},
+                          EngineCase{"Mon(Ret(T,MBP(1)))", 12000},
+                          EngineCase{"Que(Ret(T,MBP(1)))", 12000},
+                          EngineCase{"SpacerTS(fig1)", 12000},
+                          EngineCase{"SpacerTS(fig15)", 8000},
+                          EngineCase{"Solve", 8000}),
+        ::testing::Range(0, 12)),
+    [](const ::testing::TestParamInfo<std::tuple<EngineCase, int>> &Info) {
+      std::string Name = std::get<0>(Info.param).Config;
+      for (char &Ch : Name)
+        if (!isalnum(static_cast<unsigned char>(Ch)))
+          Ch = '_';
+      return Name + "_i" + std::to_string(std::get<1>(Info.param));
+    });
+
+/// The QE-based engines are slow; exercise them on the tiniest instances
+/// only, but require definite answers there.
+class SlowEngineTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(SlowEngineTest, CounterSystems) {
+  auto Opts = SolverOptions::parse(GetParam());
+  ASSERT_TRUE(Opts.has_value());
+  Opts->TimeoutMs = 60000;
+  Opts->VerifyResult = true;
+  {
+    TermContext C;
+    std::vector<BenchInstance> Suite = buildSmallSuite();
+    // counter_safe_3 and counter_unsafe_3 are entries 0 and 1.
+    NormalizedChc N = Suite[0].Build(C);
+    SolverResult R = ChcSolver(C, N, *Opts).solve();
+    EXPECT_EQ(R.Status, Suite[0].Expected) << Suite[0].Name;
+  }
+  {
+    TermContext C;
+    std::vector<BenchInstance> Suite = buildSmallSuite();
+    NormalizedChc N = Suite[1].Build(C);
+    SolverResult R = ChcSolver(C, N, *Opts).solve();
+    EXPECT_EQ(R.Status, Suite[1].Expected) << Suite[1].Name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, SlowEngineTest,
+                         ::testing::Values("Naive", "NaiveMbp", "Ret(F,QE)"));
+
+/// The generalized refinement problem (Definition 11): refineFull leaves a
+/// trace whose root entails alpha \/ Gamma, and Gamma covers exactly the
+/// unavoidable states.
+TEST(RefinerTest, GeneralizedRefinementPostconditions) {
+  TermContext C;
+  NormalizedChc N = paperExample4(C); // UNSAT system.
+  SolverOptions Opts = *SolverOptions::parse("Ret(T,MBP(1))");
+  Opts.TimeoutMs = 20000;
+  EngineContext E(C, N, Opts);
+  auto Ref = makeRefiner(E);
+  Trace T(C);
+  for (int I = 0; I < 5; ++I)
+    T.unfold();
+  TermRef Alpha = C.mkNot(N.Bad);
+  TermRef Gamma = Ref->refineFull(T, 0, Alpha);
+  ASSERT_FALSE(E.Aborted);
+  // Root entails alpha \/ Gamma afterwards.
+  EXPECT_TRUE(E.implies(T.formula(0), C.mkOr(Alpha, Gamma)));
+  // Gamma is non-empty (the system is unsafe at this depth) and every gamma
+  // state is genuinely reachable and bad after intersection.
+  EXPECT_NE(C.kind(Gamma), Kind::False);
+  EXPECT_TRUE(verifyCexPiece(C, N, Gamma, 7));
+}
+
+TEST(RefinerTest, RefineSucceedsOnSafeSystem) {
+  TermContext C;
+  NormalizedChc N = paperExample5(C); // SAT system.
+  SolverOptions Opts = *SolverOptions::parse("Yld(T,MBP(1))");
+  Opts.TimeoutMs = 20000;
+  EngineContext E(C, N, Opts);
+  auto Ref = makeRefiner(E);
+  Trace T(C);
+  for (int I = 0; I < 3; ++I)
+    T.unfold();
+  TermRef Alpha = C.mkNot(N.Bad);
+  std::optional<TermRef> Piece = Ref->refine(T, 0, Alpha);
+  ASSERT_FALSE(E.Aborted);
+  EXPECT_FALSE(Piece.has_value());
+  EXPECT_TRUE(E.implies(T.formula(0), Alpha));
+  // Trace invariants: iota flows into every level; steps flow up.
+  for (int L = 0; L <= T.depth(); ++L)
+    EXPECT_TRUE(E.implies(N.Init, T.formula(L)));
+  for (int L = 0; L + 1 <= T.depth(); ++L) {
+    TermRef Step = C.mkAnd({E.zToX(T.formula(L + 1)),
+                            E.zToY(T.formula(L + 1)), N.Trans});
+    EXPECT_TRUE(E.implies(Step, T.formula(L)));
+  }
+}
+
+TEST(SolverTest, McCarthy91IsSat) {
+  TermContext C;
+  NormalizedChc N = mcCarthy91(C);
+  SolverOptions Opts = *SolverOptions::parse("Ret(T,MBP(1))");
+  Opts.TimeoutMs = 30000;
+  Opts.VerifyResult = true;
+  SolverResult R = ChcSolver(C, N, Opts).solve();
+  EXPECT_EQ(R.Status, ChcStatus::Sat);
+}
+
+TEST(SolverTest, InvariantIsActuallyInductive) {
+  TermContext C;
+  NormalizedChc N = paperExample10(C, 5);
+  SolverOptions Opts = *SolverOptions::parse("Ret(T,MBP(1))");
+  Opts.TimeoutMs = 20000;
+  SolverResult R = ChcSolver(C, N, Opts).solve();
+  ASSERT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_TRUE(verifyInvariant(C, N, R.Invariant));
+}
+
+TEST(SolverTest, StatsArePopulated) {
+  TermContext C;
+  NormalizedChc N = paperExample5(C);
+  SolverOptions Opts = *SolverOptions::parse("Ret(T,MBP(1))");
+  Opts.TimeoutMs = 20000;
+  SolverResult R = ChcSolver(C, N, Opts).solve();
+  EXPECT_GT(R.Stats.SmtChecks, 0u);
+  EXPECT_GT(R.Stats.Unfolds, 0u);
+  EXPECT_GT(R.Stats.ItpCalls, 0u);
+  EXPECT_GT(R.Seconds, 0.0);
+}
+
+TEST(SolverTest, MaxDepthGivesUnknown) {
+  TermContext C;
+  // counter_unsafe needs depth ~4; cap below that.
+  std::vector<BenchInstance> Suite = buildSmallSuite();
+  NormalizedChc N = Suite[1].Build(C);
+  SolverOptions Opts = *SolverOptions::parse("Ret(T,MBP(1))");
+  Opts.MaxDepth = 2;
+  SolverResult R = ChcSolver(C, N, Opts).solve();
+  EXPECT_EQ(R.Status, ChcStatus::Unknown);
+}

@@ -1,0 +1,167 @@
+//===- tests/TermTest.cpp - Term representation and canonicalization ------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Eval.h"
+#include "term/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+struct TermFixture : ::testing::Test {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  TermRef Y = C.mkVar("y", Sort::Int);
+  TermRef A = C.mkVar("a", Sort::Bool);
+  TermRef B = C.mkVar("b", Sort::Bool);
+};
+} // namespace
+
+TEST_F(TermFixture, HashConsing) {
+  EXPECT_EQ(C.mkAdd(X, Y), C.mkAdd(X, Y));
+  EXPECT_EQ(C.mkLe(X, Y), C.mkLe(X, Y));
+  EXPECT_EQ(C.mkVar("x", Sort::Int), X);
+  // Commutted spellings of the same atom coincide after canonicalization.
+  TermRef L1 = C.mkLe(C.mkSub(X, Y), C.mkIntConst(0));
+  TermRef L2 = C.mkLe(X, Y);
+  EXPECT_EQ(L1, L2);
+}
+
+TEST_F(TermFixture, BooleanFolding) {
+  EXPECT_EQ(C.mkNot(C.mkTrue()), C.mkFalse());
+  EXPECT_EQ(C.mkNot(C.mkNot(A)), A);
+  EXPECT_EQ(C.mkAnd(A, C.mkTrue()), A);
+  EXPECT_EQ(C.mkAnd(A, C.mkFalse()), C.mkFalse());
+  EXPECT_EQ(C.mkOr(A, C.mkTrue()), C.mkTrue());
+  EXPECT_EQ(C.mkAnd(A, C.mkNot(A)), C.mkFalse());
+  EXPECT_EQ(C.mkOr(A, C.mkNot(A)), C.mkTrue());
+  // Flattening and dedup.
+  TermRef F = C.mkAnd(C.mkAnd(A, B), C.mkAnd(B, A));
+  EXPECT_EQ(F, C.mkAnd(A, B));
+}
+
+TEST_F(TermFixture, NegationOfComparisonsIsPositive) {
+  // not (x <= y) canonicalizes to a positive atom.
+  TermRef NotLe = C.mkNot(C.mkLe(X, Y));
+  EXPECT_NE(C.kind(NotLe), Kind::Not);
+  // Over Int, strict atoms are tightened away entirely.
+  TermRef Lt = C.mkLt(X, C.mkIntConst(5));
+  EXPECT_EQ(C.kind(Lt), Kind::Le); // x <= 4.
+}
+
+TEST_F(TermFixture, IntTightening) {
+  // 2x <= 5 tightens to x <= 2.
+  TermRef T = C.mkLe(C.mkMul(Rational(2), X), C.mkIntConst(5));
+  TermRef Expect = C.mkLe(X, C.mkIntConst(2));
+  EXPECT_EQ(T, Expect);
+  // 2x < 6 tightens to x <= 2.
+  TermRef T2 = C.mkLt(C.mkMul(Rational(2), X), C.mkIntConst(6));
+  EXPECT_EQ(T2, Expect);
+  // 2x = 5 is unsatisfiable over Int.
+  EXPECT_EQ(C.mkEq(C.mkMul(Rational(2), X), C.mkIntConst(5)), C.mkFalse());
+  // 2x = 4 reduces to x = 2.
+  EXPECT_EQ(C.mkEq(C.mkMul(Rational(2), X), C.mkIntConst(4)),
+            C.mkEq(X, C.mkIntConst(2)));
+}
+
+TEST_F(TermFixture, GroundComparisonFolding) {
+  EXPECT_EQ(C.mkLe(C.mkIntConst(3), C.mkIntConst(5)), C.mkTrue());
+  EXPECT_EQ(C.mkLt(C.mkIntConst(5), C.mkIntConst(5)), C.mkFalse());
+  EXPECT_EQ(C.mkEq(C.mkIntConst(5), C.mkIntConst(5)), C.mkTrue());
+  EXPECT_EQ(C.mkEq(C.mkAdd(X, C.mkNeg(X)), C.mkIntConst(0)), C.mkTrue());
+}
+
+TEST_F(TermFixture, DividesCanonicalization) {
+  // Modulus 1 is trivially true.
+  EXPECT_EQ(C.mkDivides(BigInt(1), X), C.mkTrue());
+  // Ground divisibility folds.
+  EXPECT_EQ(C.mkDivides(BigInt(3), C.mkIntConst(9)), C.mkTrue());
+  EXPECT_EQ(C.mkDivides(BigInt(3), C.mkIntConst(8)), C.mkFalse());
+  // Coefficients reduce modulo the divisor: (2 | 3x) == (2 | x).
+  EXPECT_EQ(C.mkDivides(BigInt(2), C.mkMul(Rational(3), X)),
+            C.mkDivides(BigInt(2), X));
+  // Common factors cancel: (4 | 2x) == (2 | x).
+  EXPECT_EQ(C.mkDivides(BigInt(4), C.mkMul(Rational(2), X)),
+            C.mkDivides(BigInt(2), X));
+}
+
+TEST_F(TermFixture, ImpliesIffIteDesugar) {
+  TermRef Imp = C.mkImplies(A, B);
+  EXPECT_EQ(Imp, C.mkOr(C.mkNot(A), B));
+  TermRef Iff = C.mkIff(A, A);
+  EXPECT_EQ(Iff, C.mkTrue());
+  TermRef Ite = C.mkIte(A, B, C.mkNot(B));
+  Assignment M;
+  M[C.node(A).Var] = Value::boolean(true);
+  M[C.node(B).Var] = Value::boolean(false);
+  EXPECT_FALSE(evalBool(C, Ite, M));
+}
+
+TEST_F(TermFixture, FreeVarsAndAtoms) {
+  TermRef F = C.mkAnd({C.mkLe(X, Y), A, C.mkNot(B)});
+  std::vector<VarId> Vars = C.freeVars(F);
+  EXPECT_EQ(Vars.size(), 4u);
+  std::vector<TermRef> Atoms = C.collectAtoms(F);
+  EXPECT_EQ(Atoms.size(), 3u);
+  for (TermRef At : Atoms)
+    EXPECT_TRUE(C.isAtom(At));
+}
+
+TEST_F(TermFixture, Substitution) {
+  TermRef F = C.mkLe(C.mkAdd(X, Y), C.mkIntConst(5));
+  std::unordered_map<VarId, TermRef> Map{
+      {C.node(X).Var, C.mkIntConst(2)}};
+  TermRef G = C.substitute(F, Map);
+  EXPECT_EQ(G, C.mkLe(Y, C.mkIntConst(3)));
+  // Substituting both variables folds to a constant truth value.
+  Map[C.node(Y).Var] = C.mkIntConst(10);
+  EXPECT_EQ(C.substitute(F, Map), C.mkFalse());
+}
+
+TEST_F(TermFixture, EvalMatchesSemantics) {
+  TermRef F =
+      C.mkOr(C.mkAnd(C.mkLe(X, C.mkIntConst(3)), A),
+             C.mkEq(Y, C.mkIntConst(7)));
+  Assignment M;
+  M[C.node(X).Var] = Value::number(Rational(4), Sort::Int);
+  M[C.node(Y).Var] = Value::number(Rational(7), Sort::Int);
+  M[C.node(A).Var] = Value::boolean(false);
+  M[C.node(B).Var] = Value::boolean(false);
+  EXPECT_TRUE(evalBool(C, F, M));
+  M[C.node(Y).Var] = Value::number(Rational(6), Sort::Int);
+  EXPECT_FALSE(evalBool(C, F, M));
+}
+
+TEST_F(TermFixture, FreshVarsAreUnique) {
+  TermRef V1 = C.mkFreshVar("tmp", Sort::Int);
+  TermRef V2 = C.mkFreshVar("tmp", Sort::Int);
+  EXPECT_NE(V1, V2);
+  EXPECT_NE(C.varInfo(C.node(V1).Var).Name, C.varInfo(C.node(V2).Var).Name);
+}
+
+TEST_F(TermFixture, PrintSmtLib) {
+  EXPECT_EQ(C.toString(C.mkTrue()), "true");
+  EXPECT_EQ(C.toString(C.mkIntConst(-3)), "(- 3)");
+  TermRef F = C.mkLe(X, C.mkIntConst(2));
+  EXPECT_EQ(C.toString(F), "(<= x 2)");
+  TermRef D = C.mkDivides(BigInt(2), X);
+  EXPECT_EQ(C.toString(D), "((_ divisible 2) x)");
+}
+
+TEST_F(TermFixture, RealAtomsKeepStrictness) {
+  TermRef XR = C.mkVar("xr", Sort::Real);
+  TermRef Lt = C.mkLt(XR, C.mkRealConst(Rational(1)));
+  EXPECT_EQ(C.kind(Lt), Kind::Lt);
+  TermRef NotLt = C.mkNot(Lt);
+  EXPECT_EQ(C.kind(NotLt), Kind::Le); // xr >= 1 as -xr <= -1.
+}
+
+TEST_F(TermFixture, SimplifyIsIdempotent) {
+  TermRef F = C.mkAnd({C.mkOr(A, B), C.mkLe(C.mkMul(Rational(2), X),
+                                            C.mkIntConst(7))});
+  EXPECT_EQ(C.simplify(F), F); // Builders already canonicalize.
+}

@@ -1,0 +1,87 @@
+//===- tests/TraceTest.cpp - Trace data structure tests -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Trace.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+TEST(TraceTest, EmptyTraceHasNegativeDepth) {
+  TermContext C;
+  Trace T(C);
+  EXPECT_EQ(T.depth(), -1);
+}
+
+TEST(TraceTest, UnfoldPushesTrueRoot) {
+  TermContext C;
+  Trace T(C);
+  T.unfold();
+  EXPECT_EQ(T.depth(), 0);
+  EXPECT_EQ(T.formula(0), C.mkTrue());
+  T.unfold();
+  EXPECT_EQ(T.depth(), 1);
+  EXPECT_EQ(T.formula(0), C.mkTrue());
+}
+
+TEST(TraceTest, UnfoldShiftsLevels) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  Trace T(C);
+  T.unfold();
+  TermRef L = C.mkGe(X, C.mkIntConst(0));
+  T.strengthen(0, L);
+  EXPECT_EQ(T.formula(0), L);
+  T.unfold();
+  // The old root is now level 1; the new root is true.
+  EXPECT_EQ(T.formula(0), C.mkTrue());
+  EXPECT_EQ(T.formula(1), L);
+}
+
+TEST(TraceTest, StrengthenDeduplicates) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  Trace T(C);
+  T.unfold();
+  TermRef L = C.mkGe(X, C.mkIntConst(0));
+  T.strengthen(0, L);
+  T.strengthen(0, L);
+  EXPECT_EQ(T.lemmas(0).size(), 1u);
+  // Conjunctions are split into individual lemmas.
+  TermRef M = C.mkAnd(L, C.mkLe(X, C.mkIntConst(9)));
+  T.strengthen(0, M);
+  EXPECT_EQ(T.lemmas(0).size(), 2u);
+}
+
+TEST(TraceTest, MonotoneStrengthenReachesDeeperLevels) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  Trace T(C);
+  T.unfold();
+  T.unfold();
+  T.unfold(); // Levels 0, 1, 2.
+  TermRef L = C.mkGe(X, C.mkIntConst(1));
+  T.strengthen(1, L, /*Monotone=*/true);
+  EXPECT_EQ(T.formula(0), C.mkTrue());
+  EXPECT_EQ(T.formula(1), L);
+  EXPECT_EQ(T.formula(2), L);
+}
+
+TEST(TraceTest, ReplaceCell) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  Trace T(C);
+  T.unfold();
+  T.strengthen(0, C.mkGe(X, C.mkIntConst(0)));
+  TermRef New = C.mkAnd(C.mkGe(X, C.mkIntConst(2)),
+                        C.mkLe(X, C.mkIntConst(5)));
+  T.replaceCell(0, New);
+  EXPECT_EQ(T.lemmas(0).size(), 2u);
+  EXPECT_EQ(T.formula(0), New);
+  // Replacing with true empties the cell.
+  T.replaceCell(0, C.mkTrue());
+  EXPECT_EQ(T.formula(0), C.mkTrue());
+}

@@ -1,0 +1,109 @@
+//===- tests/YieldTest.cpp - Algorithm 6 coroutine semantics --------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Behavior specific to the coroutine procedure (Algorithm 6 / Theorem 18):
+/// pieces arrive one at a time with the assertion weakened between resumes,
+/// the suspended continuation is preserved across yields (unlike Ret, which
+/// discards it), and completion refines the trace in place.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+#include "solver/Refiner.h"
+#include "solver/Verify.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+struct YieldFixture : ::testing::Test {
+  TermContext C;
+  NormalizedChc N{paperExample4(C)}; // UNSAT at depth >= 4.
+  SolverOptions Opts = *SolverOptions::parse("Yld(T,MBP(1))");
+
+  std::unique_ptr<EngineContext> E;
+  std::unique_ptr<Refiner> Ref;
+
+  void SetUp() override {
+    Opts.TimeoutMs = 30000;
+    E = std::make_unique<EngineContext>(C, N, Opts);
+    Ref = makeRefiner(*E);
+  }
+};
+} // namespace
+
+TEST_F(YieldFixture, PiecesAccumulateToFullCounterexample) {
+  Trace T(C);
+  for (int I = 0; I < 5; ++I)
+    T.unfold();
+  TermRef Alpha = C.mkNot(N.Bad);
+  // refineFull resumes ONE coroutine across pieces (Theorem 18 wrapper).
+  TermRef Gamma = Ref->refineFull(T, 0, Alpha);
+  ASSERT_FALSE(E->Aborted);
+  EXPECT_NE(C.kind(Gamma), Kind::False);
+  // Post-state: the trace root entails alpha \/ Gamma.
+  EXPECT_TRUE(E->implies(T.formula(0), C.mkOr(Alpha, Gamma)));
+  // Gamma intersected with bad is reachable.
+  EXPECT_TRUE(verifyCexPiece(C, N, Gamma, 7));
+}
+
+TEST_F(YieldFixture, SinglePieceIsWeakCounterexample) {
+  Trace T(C);
+  for (int I = 0; I < 5; ++I)
+    T.unfold();
+  TermRef Alpha = C.mkNot(N.Bad);
+  std::optional<TermRef> Piece = Ref->refine(T, 0, Alpha);
+  ASSERT_TRUE(Piece.has_value());
+  // Weak sense (Definition 11): the piece meets the bad region.
+  EXPECT_TRUE(SmtSolver::quickCheck(C, {*Piece, N.Bad}).has_value());
+}
+
+TEST_F(YieldFixture, CompletionRefinesInPlace) {
+  TermContext C2;
+  NormalizedChc N2 = paperExample5(C2); // SAT system.
+  SolverOptions O = *SolverOptions::parse("Yld(T,MBP(1))");
+  O.TimeoutMs = 30000;
+  EngineContext E2(C2, N2, O);
+  auto R2 = makeRefiner(E2);
+  Trace T(C2);
+  for (int I = 0; I < 3; ++I)
+    T.unfold();
+  TermRef Alpha = C2.mkNot(N2.Bad);
+  // No pieces: StopIteration straight away; the trace is refined.
+  EXPECT_FALSE(R2->refine(T, 0, Alpha).has_value());
+  EXPECT_FALSE(E2.Aborted);
+  EXPECT_TRUE(E2.implies(T.formula(0), Alpha));
+}
+
+TEST_F(YieldFixture, QueryWeakeningConfigsAgreeOnStatus) {
+  // Yld(T, _) and Yld(F, _) must agree on statuses (only performance
+  // differs) for a system both can decide.
+  for (const char *Cfg : {"Yld(T,MBP(1))", "Yld(F,MBP(1))"}) {
+    TermContext CL;
+    NormalizedChc NL = paperExample4(CL);
+    auto O = SolverOptions::parse(Cfg);
+    O->TimeoutMs = 30000;
+    SolverResult R = ChcSolver(CL, NL, *O).solve();
+    EXPECT_EQ(R.Status, ChcStatus::Unsat) << Cfg;
+  }
+}
+
+TEST_F(YieldFixture, YieldMatchesRetOnSmallSuite) {
+  for (const BenchInstance &B : buildSmallSuite()) {
+    TermContext CL;
+    NormalizedChc NL = B.Build(CL);
+    auto ORet = SolverOptions::parse("Ret(T,MBP(1))");
+    auto OYld = SolverOptions::parse("Yld(T,MBP(1))");
+    ORet->TimeoutMs = OYld->TimeoutMs = 15000;
+    SolverResult RRet = ChcSolver(CL, NL, *ORet).solve();
+    SolverResult RYld = ChcSolver(CL, NL, *OYld).solve();
+    if (RRet.Status != ChcStatus::Unknown &&
+        RYld.Status != ChcStatus::Unknown)
+      EXPECT_EQ(RRet.Status, RYld.Status) << B.Name;
+  }
+}
