@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/divergence.dir/divergence.cpp.o"
+  "CMakeFiles/divergence.dir/divergence.cpp.o.d"
+  "divergence"
+  "divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_cactus.dir/fig2_cactus.cpp.o"
+  "CMakeFiles/fig2_cactus.dir/fig2_cactus.cpp.o.d"
+  "fig2_cactus"
+  "fig2_cactus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_cactus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

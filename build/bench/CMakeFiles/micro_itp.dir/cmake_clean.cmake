@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_itp.dir/micro_itp.cpp.o"
+  "CMakeFiles/micro_itp.dir/micro_itp.cpp.o.d"
+  "micro_itp"
+  "micro_itp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_itp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mbp.dir/micro_mbp.cpp.o"
+  "CMakeFiles/micro_mbp.dir/micro_mbp.cpp.o.d"
+  "micro_mbp"
+  "micro_mbp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mbp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_tricks.dir/rc_tricks.cpp.o"
+  "CMakeFiles/rc_tricks.dir/rc_tricks.cpp.o.d"
+  "rc_tricks"
+  "rc_tricks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_tricks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

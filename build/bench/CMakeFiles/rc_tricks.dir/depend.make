@@ -1,0 +1,2 @@
+# Empty dependencies file for rc_tricks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scatter.dir/scatter.cpp.o"
+  "CMakeFiles/scatter.dir/scatter.cpp.o.d"
+  "scatter"
+  "scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

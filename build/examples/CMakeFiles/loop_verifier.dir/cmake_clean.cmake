@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loop_verifier.dir/loop_verifier.cpp.o"
+  "CMakeFiles/loop_verifier.dir/loop_verifier.cpp.o.d"
+  "loop_verifier"
+  "loop_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loop_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mucyc_tool.dir/mucyc_tool.cpp.o"
+  "CMakeFiles/mucyc_tool.dir/mucyc_tool.cpp.o.d"
+  "mucyc"
+  "mucyc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mucyc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_functions.dir/recursive_functions.cpp.o"
+  "CMakeFiles/recursive_functions.dir/recursive_functions.cpp.o.d"
+  "recursive_functions"
+  "recursive_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

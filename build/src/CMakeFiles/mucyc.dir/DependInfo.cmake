@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_suite/Suite.cpp" "src/CMakeFiles/mucyc.dir/bench_suite/Suite.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/bench_suite/Suite.cpp.o.d"
+  "/root/repo/src/chc/Chc.cpp" "src/CMakeFiles/mucyc.dir/chc/Chc.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/chc/Chc.cpp.o.d"
+  "/root/repo/src/chc/Export.cpp" "src/CMakeFiles/mucyc.dir/chc/Export.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/chc/Export.cpp.o.d"
+  "/root/repo/src/chc/Normalize.cpp" "src/CMakeFiles/mucyc.dir/chc/Normalize.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/chc/Normalize.cpp.o.d"
+  "/root/repo/src/chc/Parser.cpp" "src/CMakeFiles/mucyc.dir/chc/Parser.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/chc/Parser.cpp.o.d"
+  "/root/repo/src/chc/Preprocess.cpp" "src/CMakeFiles/mucyc.dir/chc/Preprocess.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/chc/Preprocess.cpp.o.d"
+  "/root/repo/src/itp/Interpolate.cpp" "src/CMakeFiles/mucyc.dir/itp/Interpolate.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/itp/Interpolate.cpp.o.d"
+  "/root/repo/src/mbp/Cube.cpp" "src/CMakeFiles/mucyc.dir/mbp/Cube.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/mbp/Cube.cpp.o.d"
+  "/root/repo/src/mbp/Mbp.cpp" "src/CMakeFiles/mucyc.dir/mbp/Mbp.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/mbp/Mbp.cpp.o.d"
+  "/root/repo/src/mbp/MbpLia.cpp" "src/CMakeFiles/mucyc.dir/mbp/MbpLia.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/mbp/MbpLia.cpp.o.d"
+  "/root/repo/src/mbp/MbpLra.cpp" "src/CMakeFiles/mucyc.dir/mbp/MbpLra.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/mbp/MbpLra.cpp.o.d"
+  "/root/repo/src/mbp/Qe.cpp" "src/CMakeFiles/mucyc.dir/mbp/Qe.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/mbp/Qe.cpp.o.d"
+  "/root/repo/src/smt/Cnf.cpp" "src/CMakeFiles/mucyc.dir/smt/Cnf.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/Cnf.cpp.o.d"
+  "/root/repo/src/smt/Model.cpp" "src/CMakeFiles/mucyc.dir/smt/Model.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/Model.cpp.o.d"
+  "/root/repo/src/smt/SatSolver.cpp" "src/CMakeFiles/mucyc.dir/smt/SatSolver.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/SatSolver.cpp.o.d"
+  "/root/repo/src/smt/Simplex.cpp" "src/CMakeFiles/mucyc.dir/smt/Simplex.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/Simplex.cpp.o.d"
+  "/root/repo/src/smt/SmtSolver.cpp" "src/CMakeFiles/mucyc.dir/smt/SmtSolver.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/SmtSolver.cpp.o.d"
+  "/root/repo/src/smt/TheoryLia.cpp" "src/CMakeFiles/mucyc.dir/smt/TheoryLia.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/smt/TheoryLia.cpp.o.d"
+  "/root/repo/src/solver/ChcSolve.cpp" "src/CMakeFiles/mucyc.dir/solver/ChcSolve.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/ChcSolve.cpp.o.d"
+  "/root/repo/src/solver/IndSpacer.cpp" "src/CMakeFiles/mucyc.dir/solver/IndSpacer.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/IndSpacer.cpp.o.d"
+  "/root/repo/src/solver/Options.cpp" "src/CMakeFiles/mucyc.dir/solver/Options.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/Options.cpp.o.d"
+  "/root/repo/src/solver/RefineNaive.cpp" "src/CMakeFiles/mucyc.dir/solver/RefineNaive.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/RefineNaive.cpp.o.d"
+  "/root/repo/src/solver/RefineNaiveMbp.cpp" "src/CMakeFiles/mucyc.dir/solver/RefineNaiveMbp.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/RefineNaiveMbp.cpp.o.d"
+  "/root/repo/src/solver/SolveBaseline.cpp" "src/CMakeFiles/mucyc.dir/solver/SolveBaseline.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/SolveBaseline.cpp.o.d"
+  "/root/repo/src/solver/SpacerTs.cpp" "src/CMakeFiles/mucyc.dir/solver/SpacerTs.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/SpacerTs.cpp.o.d"
+  "/root/repo/src/solver/Trace.cpp" "src/CMakeFiles/mucyc.dir/solver/Trace.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/Trace.cpp.o.d"
+  "/root/repo/src/solver/Verify.cpp" "src/CMakeFiles/mucyc.dir/solver/Verify.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/Verify.cpp.o.d"
+  "/root/repo/src/solver/YieldSpacer.cpp" "src/CMakeFiles/mucyc.dir/solver/YieldSpacer.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/solver/YieldSpacer.cpp.o.d"
+  "/root/repo/src/support/BigInt.cpp" "src/CMakeFiles/mucyc.dir/support/BigInt.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/support/BigInt.cpp.o.d"
+  "/root/repo/src/support/Rational.cpp" "src/CMakeFiles/mucyc.dir/support/Rational.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/support/Rational.cpp.o.d"
+  "/root/repo/src/term/Eval.cpp" "src/CMakeFiles/mucyc.dir/term/Eval.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/Eval.cpp.o.d"
+  "/root/repo/src/term/Linear.cpp" "src/CMakeFiles/mucyc.dir/term/Linear.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/Linear.cpp.o.d"
+  "/root/repo/src/term/Print.cpp" "src/CMakeFiles/mucyc.dir/term/Print.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/Print.cpp.o.d"
+  "/root/repo/src/term/Sort.cpp" "src/CMakeFiles/mucyc.dir/term/Sort.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/Sort.cpp.o.d"
+  "/root/repo/src/term/Term.cpp" "src/CMakeFiles/mucyc.dir/term/Term.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/Term.cpp.o.d"
+  "/root/repo/src/term/TermContext.cpp" "src/CMakeFiles/mucyc.dir/term/TermContext.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/TermContext.cpp.o.d"
+  "/root/repo/src/term/TermOps.cpp" "src/CMakeFiles/mucyc.dir/term/TermOps.cpp.o" "gcc" "src/CMakeFiles/mucyc.dir/term/TermOps.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/BigIntTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/BigIntTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/BigIntTest.cpp.o.d"
+  "/root/repo/tests/ChcTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/ChcTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/ChcTest.cpp.o.d"
+  "/root/repo/tests/CompletenessTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/CompletenessTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/CompletenessTest.cpp.o.d"
+  "/root/repo/tests/EngineTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/EngineTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/EngineTest.cpp.o.d"
+  "/root/repo/tests/ExportTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/ExportTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/ExportTest.cpp.o.d"
+  "/root/repo/tests/ItpTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/ItpTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/ItpTest.cpp.o.d"
+  "/root/repo/tests/LinearTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/LinearTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/LinearTest.cpp.o.d"
+  "/root/repo/tests/MbpTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/MbpTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/MbpTest.cpp.o.d"
+  "/root/repo/tests/NormalizeTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/NormalizeTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/NormalizeTest.cpp.o.d"
+  "/root/repo/tests/OptionsTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/OptionsTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/OptionsTest.cpp.o.d"
+  "/root/repo/tests/ParserTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/ParserTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/ParserTest.cpp.o.d"
+  "/root/repo/tests/PreprocessTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/PreprocessTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/PreprocessTest.cpp.o.d"
+  "/root/repo/tests/QeTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/QeTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/QeTest.cpp.o.d"
+  "/root/repo/tests/RationalTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/RationalTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/RationalTest.cpp.o.d"
+  "/root/repo/tests/SatSolverTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SatSolverTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SatSolverTest.cpp.o.d"
+  "/root/repo/tests/SimplexTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SimplexTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SimplexTest.cpp.o.d"
+  "/root/repo/tests/SmtSolverTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SmtSolverTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SmtSolverTest.cpp.o.d"
+  "/root/repo/tests/SolverTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SolverTest.cpp.o.d"
+  "/root/repo/tests/SpacerTsTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SpacerTsTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SpacerTsTest.cpp.o.d"
+  "/root/repo/tests/SuiteTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/SuiteTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/SuiteTest.cpp.o.d"
+  "/root/repo/tests/TermTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/TermTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/TermTest.cpp.o.d"
+  "/root/repo/tests/TraceTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/TraceTest.cpp.o.d"
+  "/root/repo/tests/VerifyTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/VerifyTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/VerifyTest.cpp.o.d"
+  "/root/repo/tests/YieldTest.cpp" "tests/CMakeFiles/mucyc_tests.dir/YieldTest.cpp.o" "gcc" "tests/CMakeFiles/mucyc_tests.dir/YieldTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mucyc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
