@@ -16,6 +16,7 @@
 #define MUCYC_BENCH_BENCHCOMMON_H
 
 #include "bench_suite/Suite.h"
+#include "runtime/Scheduler.h"
 #include "solver/ChcSolve.h"
 
 #include <cstdio>
@@ -62,6 +63,11 @@ struct CommonArgs {
   uint64_t TimeoutMs = 1000;
   std::string CsvPath;
   bool WithQe = false;
+  /// Worker threads for the solve-job scheduler (0 = one per hardware
+  /// thread). Parallelism changes wall clock only: jobs are isolated and
+  /// results are collected in submission order, so statuses and row order
+  /// are identical for any job count.
+  unsigned Jobs = 1;
 
   static CommonArgs parse(int Argc, char **Argv) {
     CommonArgs A;
@@ -70,12 +76,48 @@ struct CommonArgs {
         A.TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
       else if (!std::strcmp(Argv[I], "--csv") && I + 1 < Argc)
         A.CsvPath = Argv[++I];
+      else if (!std::strcmp(Argv[I], "--jobs") && I + 1 < Argc)
+        A.Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
       else if (!std::strcmp(Argv[I], "--with-qe"))
         A.WithQe = true;
     }
     return A;
   }
 };
+
+/// Runs every (config x instance) pair through the scheduler and returns
+/// rows in config-major submission order — the same sequence the
+/// sequential loops produced. Per-instance budget is charged from each
+/// job's start, so the CSV reports per-instance CPU-style time while the
+/// sweep's wall clock divides by the worker count.
+inline std::vector<RunRow>
+runSuiteBatch(const std::vector<BenchInstance> &Suite,
+              const std::vector<std::string> &Configs, uint64_t TimeoutMs,
+              unsigned Jobs) {
+  std::vector<SolveJob> Batch;
+  std::vector<RunRow> Rows;
+  for (const std::string &Cfg : Configs) {
+    auto Opts = SolverOptions::parse(Cfg);
+    if (!Opts) {
+      std::fprintf(stderr, "bad config: %s\n", Cfg.c_str());
+      std::abort();
+    }
+    for (const BenchInstance &B : Suite) {
+      Batch.push_back(SolveJob{B.Build, *Opts, TimeoutMs});
+      Rows.push_back(RunRow{B.Name, B.Family, Cfg, B.Expected,
+                            ChcStatus::Unknown, 0, 0, 0});
+    }
+  }
+  Scheduler S(Jobs);
+  std::vector<SolveJobOutcome> Out = S.run(Batch);
+  for (size_t I = 0; I < Out.size(); ++I) {
+    Rows[I].Got = Out[I].Status;
+    Rows[I].Seconds = Out[I].Seconds;
+    Rows[I].Depth = Out[I].Depth;
+    Rows[I].SmtChecks = Out[I].Stats.SmtChecks;
+  }
+  return Rows;
+}
 
 inline void writeCsv(const std::string &Path,
                      const std::vector<RunRow> &Rows) {

@@ -6,19 +6,26 @@
 //
 // The `mucyc` command-line solver: reads an SMT-LIB2 HORN problem, runs a
 // configuration (paper names, default Ret(T,MBP(1))), and prints sat/unsat
-// plus the witness.
+// plus the witness. With --portfolio, races a comma-separated list of
+// configurations on the runtime's thread pool: the first definitive answer
+// wins and cooperatively cancels the rest.
 //
 //   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
 //         [--print-solution] [--verify] [--stats]
+//         [--portfolio "CFG1,CFG2,..."] [--jobs N]
 //
 //===----------------------------------------------------------------------===//
 
 #include "chc/Parser.h"
+#include "chc/Preprocess.h"
+#include "runtime/Portfolio.h"
 #include "solver/ChcSolve.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 
 using namespace mucyc;
@@ -29,10 +36,14 @@ static void usage() {
       "usage: mucyc <file.smt2> [--config NAME] [--timeout-ms N]\n"
       "             [--no-preprocess] [--print-solution] [--verify] "
       "[--stats]\n"
+      "             [--portfolio \"CFG1,CFG2,...\"] [--jobs N]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
-      "         b in {T,F}, cex in {Model, QE, MBP(0|1|2)}\n");
+      "         b in {T,F}, cex in {Model, QE, MBP(0|1|2)}\n"
+      "--portfolio races the listed configs (first sat/unsat answer wins\n"
+      "and cancels the rest); --jobs bounds its concurrency (default:\n"
+      "one thread per member)\n");
 }
 
 int main(int Argc, char **Argv) {
@@ -42,6 +53,8 @@ int main(int Argc, char **Argv) {
   }
   std::string Path;
   std::string Config = "Ret(T,MBP(1))";
+  std::string Portfolio;
+  unsigned Jobs = 0;
   uint64_t TimeoutMs = 600000;
   bool Preprocess = true, PrintSolution = false, Verify = false,
        Stats = false;
@@ -49,6 +62,10 @@ int main(int Argc, char **Argv) {
     std::string A = Argv[I];
     if (A == "--config" && I + 1 < Argc)
       Config = Argv[++I];
+    else if (A == "--portfolio" && I + 1 < Argc)
+      Portfolio = Argv[++I];
+    else if (A == "--jobs" && I + 1 < Argc)
+      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (A == "--timeout-ms" && I + 1 < Argc)
       TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
     else if (A == "--no-preprocess")
@@ -89,6 +106,86 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  auto PrintDefs = [](const TermContext &C, const ChcSystem &Sys,
+                      const ChcSolution &Sol) {
+    for (const auto &[Pred, Def] : Sol) {
+      std::printf("(define-fun %s (", Sys.pred(Pred).Name.c_str());
+      for (size_t I = 0; I < Def.Params.size(); ++I)
+        std::printf("%s(%s %s)", I ? " " : "",
+                    C.varInfo(Def.Params[I]).Name.c_str(),
+                    sortName(C.varInfo(Def.Params[I]).S));
+      std::printf(") Bool %s)\n", C.toString(Def.Body).c_str());
+    }
+  };
+  auto PrintStats = [](const char *Tag, int Depth, double Seconds,
+                       const SolveStats &S) {
+    std::fprintf(stderr,
+                 ";%s depth=%d time=%.3fs smt=%llu mbp=%llu itp=%llu "
+                 "refines=%llu\n",
+                 Tag, Depth, Seconds,
+                 static_cast<unsigned long long>(S.SmtChecks),
+                 static_cast<unsigned long long>(S.MbpCalls),
+                 static_cast<unsigned long long>(S.ItpCalls),
+                 static_cast<unsigned long long>(S.RefineCalls));
+  };
+
+  if (!Portfolio.empty()) {
+    auto Configs = parseConfigList(Portfolio);
+    if (!Configs) {
+      std::fprintf(stderr, "error: bad portfolio list '%s'\n",
+                   Portfolio.c_str());
+      usage();
+      return 2;
+    }
+    for (SolverOptions &O : *Configs)
+      O.VerifyResult = Verify;
+
+    // Hash consing is not thread-safe, so every member re-runs the whole
+    // frontend pipeline (parse, preprocess, normalize) in its own context;
+    // the winner's pipeline is kept for solution lifting.
+    struct Pipeline {
+      ChcSystem Orig;
+      ChcSystem Work;
+      NormalizeResult NR;
+    };
+    std::mutex PipesMu;
+    std::map<const TermContext *, std::shared_ptr<Pipeline>> Pipes;
+    const std::string Source = Buf.str();
+    auto Build = [&](TermContext &C) -> NormalizedChc {
+      ParseResult MPR = parseChc(C, Source); // Validated by the parse above.
+      ChcSystem Orig = std::move(*MPR.System);
+      ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
+      NormalizeResult NR = normalize(Work);
+      auto P = std::make_shared<Pipeline>(
+          Pipeline{std::move(Orig), std::move(Work), std::move(NR)});
+      NormalizedChc Sys = P->NR.Sys;
+      std::lock_guard<std::mutex> Lock(PipesMu);
+      Pipes.emplace(&C, std::move(P));
+      return Sys;
+    };
+
+    PortfolioResult PR2 = racePortfolio(Build, *Configs, Jobs, TimeoutMs);
+    std::printf("%s\n", chcStatusName(PR2.Winner.Status));
+    if (PrintSolution && PR2.Winner.Status == ChcStatus::Sat) {
+      const auto &P = Pipes.at(PR2.WinnerCtx.get());
+      ChcSolution Sol = P->NR.liftSolution(P->Work, PR2.Winner.Invariant);
+      PrintDefs(*PR2.WinnerCtx, P->Orig, Sol);
+    }
+    if (Stats) {
+      std::fprintf(stderr, "; portfolio winner=%s wall=%.3fs\n",
+                   PR2.WinnerIndex >= 0 ? PR2.WinnerConfig.c_str() : "none",
+                   PR2.Seconds);
+      for (const PortfolioMemberReport &M : PR2.Members)
+        std::fprintf(stderr, ";   %-24s %-8s%s%s %8.3fs smt=%llu\n",
+                     M.Config.c_str(), chcStatusName(M.Status),
+                     M.Winner ? " [winner]" : "",
+                     M.Cancelled ? " [cancelled]" : "", M.Seconds,
+                     static_cast<unsigned long long>(M.Stats.SmtChecks));
+      PrintStats(" merged", PR2.Winner.Depth, PR2.Seconds, PR2.MergedStats);
+    }
+    return PR2.Winner.Status == ChcStatus::Unknown ? 1 : 0;
+  }
+
   auto Opts = SolverOptions::parse(Config);
   if (!Opts) {
     std::fprintf(stderr, "error: unknown configuration '%s'\n",
@@ -103,25 +200,9 @@ int main(int Argc, char **Argv) {
   SolverResult R = solveChcSystem(*PR.System, *Opts, Preprocess,
                                   PrintSolution ? &Sol : nullptr);
   std::printf("%s\n", chcStatusName(R.Status));
-  if (PrintSolution && R.Status == ChcStatus::Sat) {
-    for (const auto &[Pred, Def] : Sol) {
-      std::printf("(define-fun %s (",
-                  PR.System->pred(Pred).Name.c_str());
-      for (size_t I = 0; I < Def.Params.size(); ++I)
-        std::printf("%s(%s %s)", I ? " " : "",
-                    Ctx.varInfo(Def.Params[I]).Name.c_str(),
-                    sortName(Ctx.varInfo(Def.Params[I]).S));
-      std::printf(") Bool %s)\n", Ctx.toString(Def.Body).c_str());
-    }
-  }
+  if (PrintSolution && R.Status == ChcStatus::Sat)
+    PrintDefs(Ctx, *PR.System, Sol);
   if (Stats)
-    std::fprintf(stderr,
-                 "; depth=%d time=%.3fs smt=%llu mbp=%llu itp=%llu "
-                 "refines=%llu\n",
-                 R.Depth, R.Seconds,
-                 static_cast<unsigned long long>(R.Stats.SmtChecks),
-                 static_cast<unsigned long long>(R.Stats.MbpCalls),
-                 static_cast<unsigned long long>(R.Stats.ItpCalls),
-                 static_cast<unsigned long long>(R.Stats.RefineCalls));
+    PrintStats("", R.Depth, R.Seconds, R.Stats);
   return R.Status == ChcStatus::Unknown ? 1 : 0;
 }

@@ -1,13 +1,30 @@
 #!/usr/bin/env bash
 # Regenerates every table/figure of the paper reproduction in one sweep.
-# Usage: scripts/run_experiments.sh [build-dir] [timeout-ms]
+# Usage: scripts/run_experiments.sh [build-dir] [timeout-ms] [jobs]
+#
+#   jobs   worker threads for the table1/fig2 sweeps (default: all cores).
+#          Parallelism only compresses wall clock: results are collected in
+#          submission order, so outputs are identical to --jobs 1.
+#
+# With --tsan as the first argument, instead configures and builds a
+# ThreadSanitizer tree (build-tsan/) and runs the unit tests under it —
+# the data-race gate for the parallel runtime.
 set -u
+
+if [ "${1:-}" = "--tsan" ]; then
+  cmake -B build-tsan -S . -DMUCYC_SANITIZE=thread
+  cmake --build build-tsan -j "$(nproc)"
+  (cd build-tsan && ctest --output-on-failure -j "$(nproc)")
+  exit $?
+fi
+
 BUILD=${1:-build}
 TMO=${2:-1000}
+JOBS=${3:-$(nproc)}
 OUT=experiments_out
 mkdir -p "$OUT"
-"$BUILD"/bench/table1      --timeout-ms "$TMO" --csv "$OUT/table1.csv"   | tee "$OUT/table1.txt"
-"$BUILD"/bench/fig2_cactus --timeout-ms "$TMO" --csv "$OUT/fig2.csv"     | tee "$OUT/fig2.txt"
+"$BUILD"/bench/table1      --timeout-ms "$TMO" --jobs "$JOBS" --csv "$OUT/table1.csv" | tee "$OUT/table1.txt"
+"$BUILD"/bench/fig2_cactus --timeout-ms "$TMO" --jobs "$JOBS" --csv "$OUT/fig2.csv"   | tee "$OUT/fig2.txt"
 "$BUILD"/bench/scatter     --timeout-ms "$TMO" --csv "$OUT/scatter.csv"  | tee "$OUT/scatter.txt"
 "$BUILD"/bench/divergence                                                | tee "$OUT/divergence.txt"
 "$BUILD"/bench/rc_tricks   --timeout-ms "$TMO"                           | tee "$OUT/rc_tricks.txt"

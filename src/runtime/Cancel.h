@@ -1,0 +1,90 @@
+//===- runtime/Cancel.h - Cooperative cancellation tokens -------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hierarchical cooperative cancellation. A CancelToken owns one
+/// std::atomic<bool>; cancelling a token also cancels every live descendant,
+/// so a portfolio driver can hold one parent token per race and hand each
+/// member its own child. Cancellation is *requested* here and *observed* in
+/// the compute layers: the hot loops (SmtSolver's lemma loop, the CDCL
+/// propagation loop, simplex pivoting, branch & bound) poll a raw
+/// `const std::atomic<bool> *` — a single relaxed load per round — and wind
+/// down with an Unknown/Aborted result. The raw-flag interface is what keeps
+/// this header a dependency-free leaf: lower layers (smt, solver) never see
+/// the token type, only std::atomic, so the strict library layering
+/// (support -> term -> smt -> ... -> solver -> runtime) is preserved even
+/// though requests originate above them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_CANCEL_H
+#define MUCYC_RUNTIME_CANCEL_H
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace mucyc {
+
+/// One node in a cancellation tree. Create roots with CancelToken::create()
+/// and children with child(); both return shared_ptrs because observers
+/// (worker threads) and requesters (the driver) share ownership.
+class CancelToken {
+public:
+  static std::shared_ptr<CancelToken> create() {
+    return std::shared_ptr<CancelToken>(new CancelToken());
+  }
+
+  /// Creates a child cancelled whenever this token is (requests propagate
+  /// down, never up: cancelling a child leaves its parent running). A child
+  /// created after the parent was cancelled is born cancelled.
+  std::shared_ptr<CancelToken> child() {
+    auto C = create();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Children.push_back(C);
+    }
+    // Re-check after registration: a concurrent request() either saw the
+    // new child in the list or runs before this load; both paths cancel it.
+    if (cancelled())
+      C->request();
+    return C;
+  }
+
+  /// Requests cancellation of this token and all descendants. Idempotent
+  /// and safe to call from any thread.
+  void request() {
+    Flag.store(true, std::memory_order_relaxed);
+    std::vector<std::shared_ptr<CancelToken>> Snapshot;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      for (const std::weak_ptr<CancelToken> &W : Children)
+        if (auto C = W.lock())
+          Snapshot.push_back(std::move(C));
+      Children.clear(); // Cancelled once is cancelled forever; drop them.
+    }
+    for (const auto &C : Snapshot)
+      C->request();
+  }
+
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+  /// The raw flag polled by the compute layers (EngineContext, SmtSolver,
+  /// SatSolver, Simplex, ArithChecker). Valid as long as the token lives.
+  const std::atomic<bool> *flag() const { return &Flag; }
+
+private:
+  CancelToken() = default;
+
+  std::atomic<bool> Flag{false};
+  std::mutex Mu;
+  std::vector<std::weak_ptr<CancelToken>> Children;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_CANCEL_H

@@ -1,0 +1,144 @@
+//===- runtime/Portfolio.cpp - Racing configuration portfolio -------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Portfolio.h"
+
+#include "runtime/ThreadPool.h"
+
+#include <chrono>
+#include <mutex>
+
+using namespace mucyc;
+
+std::vector<std::string> mucyc::splitConfigList(const std::string &List) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  int Depth = 0;
+  for (char C : List) {
+    if (C == '(')
+      ++Depth;
+    else if (C == ')')
+      --Depth;
+    if (C == ',' && Depth == 0) {
+      if (!Cur.empty())
+        Out.push_back(Cur);
+      Cur.clear();
+      continue;
+    }
+    if (C == ' ' && Cur.empty())
+      continue; // Allow "a, b" spelling.
+    Cur.push_back(C);
+  }
+  if (!Cur.empty())
+    Out.push_back(Cur);
+  return Out;
+}
+
+std::optional<std::vector<SolverOptions>>
+mucyc::parseConfigList(const std::string &List) {
+  std::vector<SolverOptions> Out;
+  for (const std::string &Name : splitConfigList(List)) {
+    auto O = SolverOptions::parse(Name);
+    if (!O)
+      return std::nullopt;
+    Out.push_back(*O);
+  }
+  if (Out.empty())
+    return std::nullopt;
+  return Out;
+}
+
+PortfolioResult
+mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
+                     const std::vector<SolverOptions> &Configs, unsigned Jobs,
+                     uint64_t TimeoutMs,
+                     const std::shared_ptr<CancelToken> &Cancel) {
+  auto Start = std::chrono::steady_clock::now();
+  const size_t K = Configs.size();
+
+  PortfolioResult R;
+  R.Members.resize(K);
+
+  std::shared_ptr<CancelToken> RaceTok =
+      Cancel ? Cancel->child() : CancelToken::create();
+  // One token per member so the winner can stop exactly the losers.
+  std::vector<std::shared_ptr<CancelToken>> MemberToks;
+  MemberToks.reserve(K);
+  for (size_t I = 0; I < K; ++I)
+    MemberToks.push_back(RaceTok->child());
+
+  // Winner commit point. The first member to produce a definitive answer
+  // takes the race; everyone else is cancelled and reports Cancelled when
+  // it lost its own answer to the abort.
+  std::mutex Mu;
+  struct MemberState {
+    std::shared_ptr<TermContext> Ctx;
+    SolverResult Res;
+    /// Token state observed when the member's solve returned — a later
+    /// post-join check would blame cancellation for self-inflicted
+    /// timeouts.
+    bool SawCancel = false;
+  };
+  std::vector<MemberState> States(K);
+
+  {
+    // Default to one thread per member, even above the core count: a race
+    // needs every member actually running or a diverging early member
+    // starves the one that would answer; the losers' oversubscription cost
+    // is bounded by the winner's runtime plus one cancellation round.
+    unsigned Workers = Jobs ? Jobs : static_cast<unsigned>(K);
+    if (Workers > K)
+      Workers = static_cast<unsigned>(K);
+    ThreadPool Pool(Workers);
+    for (size_t I = 0; I < K; ++I) {
+      Pool.post([&, I] {
+        MemberState &St = States[I];
+        St.Ctx = std::make_shared<TermContext>();
+        NormalizedChc N = Build(*St.Ctx);
+        SolverOptions Opts = Configs[I];
+        Opts.TimeoutMs = TimeoutMs;
+        Opts.CancelFlag = MemberToks[I]->flag();
+        ChcSolver S(*St.Ctx, N, Opts);
+        St.Res = S.solve();
+        St.SawCancel = MemberToks[I]->cancelled();
+        if (St.Res.Status == ChcStatus::Unknown)
+          return;
+        std::lock_guard<std::mutex> Lock(Mu);
+        if (R.WinnerIndex >= 0)
+          return; // Somebody else already committed.
+        R.WinnerIndex = static_cast<int>(I);
+        for (size_t J = 0; J < K; ++J)
+          if (J != I)
+            MemberToks[J]->request();
+      });
+    }
+  } // Joins the pool: every member has finished or wound down.
+
+  for (size_t I = 0; I < K; ++I) {
+    PortfolioMemberReport &M = R.Members[I];
+    M.Config = Configs[I].name();
+    M.Status = States[I].Res.Status;
+    M.Winner = static_cast<int>(I) == R.WinnerIndex;
+    M.Cancelled = M.Status == ChcStatus::Unknown && States[I].SawCancel;
+    M.Seconds = States[I].Res.Seconds;
+    M.Depth = States[I].Res.Depth;
+    M.Stats = States[I].Res.Stats;
+    R.MergedStats.SmtChecks += M.Stats.SmtChecks;
+    R.MergedStats.MbpCalls += M.Stats.MbpCalls;
+    R.MergedStats.ItpCalls += M.Stats.ItpCalls;
+    R.MergedStats.RefineCalls += M.Stats.RefineCalls;
+    R.MergedStats.Unfolds += M.Stats.Unfolds;
+  }
+  if (R.WinnerIndex >= 0) {
+    R.Winner = States[R.WinnerIndex].Res;
+    R.WinnerConfig = R.Members[R.WinnerIndex].Config;
+    R.WinnerCtx = States[R.WinnerIndex].Ctx;
+  }
+  R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            Start)
+                  .count();
+  return R;
+}

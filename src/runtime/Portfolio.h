@@ -1,0 +1,82 @@
+//===- runtime/Portfolio.h - Racing configuration portfolio -----*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Portfolio driver: race K solver configurations on one system and return
+/// the first definitive Sat/Unsat answer, cooperatively cancelling the
+/// losers the moment a winner commits (they stop within one SMT
+/// propagation / simplex pivot round, not at their next coarse deadline
+/// check). This is how production CHC/IC3 stacks turn a configuration zoo
+/// into one robust solver: complementary engines cover each other's
+/// divergences, and the cost of the losers is bounded by the winner's
+/// runtime. Every member solves in a private TermContext (hash consing is
+/// not thread-safe), built by the caller-supplied builder; the winning
+/// member's context is kept alive in the result so its invariant /
+/// counterexample terms stay valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_PORTFOLIO_H
+#define MUCYC_RUNTIME_PORTFOLIO_H
+
+#include "runtime/Cancel.h"
+#include "solver/ChcSolve.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mucyc {
+
+/// Per-member report of one race.
+struct PortfolioMemberReport {
+  std::string Config;          ///< Paper-style name.
+  ChcStatus Status = ChcStatus::Unknown;
+  bool Winner = false;
+  bool Cancelled = false;      ///< Stopped because another member won.
+  double Seconds = 0;
+  int Depth = 0;
+  SolveStats Stats;
+};
+
+struct PortfolioResult {
+  /// The winning answer (Status == Unknown when no member concluded).
+  /// Invariant/CexPiece live in *WinnerCtx.
+  SolverResult Winner;
+  std::string WinnerConfig;
+  int WinnerIndex = -1; ///< Index into the configs vector, -1 if none.
+  std::shared_ptr<TermContext> WinnerCtx;
+  std::vector<PortfolioMemberReport> Members; ///< One per config, in order.
+  SolveStats MergedStats; ///< Work done by ALL members (winners + losers).
+  double Seconds = 0;     ///< Wall clock for the whole race.
+};
+
+/// Races \p Configs over the system produced by \p Build (called once per
+/// member on its own context). \p Jobs bounds concurrency (0 = one thread
+/// per member, oversubscribing cores if needed — a race only works when
+/// every member runs); \p TimeoutMs is the per-member deadline (0 = none).
+/// Each member's
+/// VerifyResult is honored, so a race of verifying configs only commits to
+/// checked answers. \p Cancel aborts the whole race from outside.
+PortfolioResult
+racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
+              const std::vector<SolverOptions> &Configs, unsigned Jobs,
+              uint64_t TimeoutMs,
+              const std::shared_ptr<CancelToken> &Cancel = nullptr);
+
+/// Splits a comma-separated configuration list, respecting parentheses:
+/// "Ret(T,MBP(1)),SpacerTS" -> {"Ret(T,MBP(1))", "SpacerTS"}.
+std::vector<std::string> splitConfigList(const std::string &List);
+
+/// Parses a comma-separated list of paper-style configuration names;
+/// nullopt if any element is malformed.
+std::optional<std::vector<SolverOptions>>
+parseConfigList(const std::string &List);
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_PORTFOLIO_H

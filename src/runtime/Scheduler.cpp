@@ -1,0 +1,62 @@
+//===- runtime/Scheduler.cpp - Batch solve-job scheduler ------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Scheduler.h"
+
+#include "runtime/ThreadPool.h"
+
+using namespace mucyc;
+
+unsigned Scheduler::workers() const {
+  // Cap at the hardware: batch jobs are independent and CPU-bound, so
+  // oversubscribing cores cannot add throughput — it only time-shares
+  // workers and makes per-job wall-clock deadlines bite earlier than they
+  // would sequentially, which is exactly the nondeterminism `--jobs` must
+  // not introduce. (The portfolio deliberately does NOT cap: racing
+  // members must run concurrently even on one core.)
+  unsigned HW = ThreadPool::hardwareThreads();
+  if (!NumWorkers || NumWorkers > HW)
+    return HW;
+  return NumWorkers;
+}
+
+std::vector<SolveJobOutcome>
+Scheduler::run(const std::vector<SolveJob> &Batch,
+               const std::shared_ptr<CancelToken> &Cancel) const {
+  std::vector<SolveJobOutcome> Out(Batch.size());
+  if (Batch.empty())
+    return Out;
+
+  // One child token for the whole batch: an external request() stops every
+  // member without cancelling unrelated users of the parent. The token is
+  // kept alive by this frame across pool teardown.
+  std::shared_ptr<CancelToken> BatchTok =
+      Cancel ? Cancel->child() : CancelToken::create();
+
+  {
+    ThreadPool Pool(workers());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      const SolveJob &J = Batch[I];
+      SolveJobOutcome *Slot = &Out[I];
+      Pool.post([&J, Slot, &BatchTok] {
+        TermContext Ctx;
+        NormalizedChc N = J.Build(Ctx);
+        SolverOptions Opts = J.Opts;
+        Opts.TimeoutMs = J.DeadlineMs;
+        Opts.CancelFlag = BatchTok->flag();
+        ChcSolver S(Ctx, N, Opts);
+        SolverResult R = S.solve();
+        Slot->Status = R.Status;
+        Slot->Depth = R.Depth;
+        Slot->Stats = R.Stats;
+        Slot->Seconds = R.Seconds;
+      });
+    }
+    // ~ThreadPool drains the queue and joins, so every slot is written
+    // before we return.
+  }
+  return Out;
+}

@@ -1,0 +1,69 @@
+//===- runtime/ThreadPool.cpp - Fixed-size worker pool --------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadPool.h"
+
+using namespace mucyc;
+
+unsigned ThreadPool::hardwareThreads() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}
+
+ThreadPool::ThreadPool(unsigned Threads) {
+  if (Threads == 0)
+    Threads = hardwareThreads();
+  Workers.reserve(Threads);
+  for (unsigned I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::post(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Job));
+  }
+  WorkCv.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  IdleCv.wait(Lock, [this] { return Queue.empty() && Running == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      WorkCv.wait(Lock, [this] { return Stop || !Queue.empty(); });
+      // Drain the queue even when stopping: the destructor promises that
+      // every posted job runs.
+      if (Queue.empty())
+        return;
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+      ++Running;
+    }
+    Job();
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      --Running;
+      if (Queue.empty() && Running == 0)
+        IdleCv.notify_all();
+    }
+  }
+}

@@ -1,0 +1,66 @@
+//===- runtime/ThreadPool.h - Fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A plain fixed-size thread pool: one locked FIFO queue, no work stealing.
+/// Solve jobs are coarse (milliseconds to seconds), so a single
+/// mutex+condvar queue is nowhere near contention; the value of the pool is
+/// lock discipline (all shared state behind one mutex) and deterministic
+/// dispatch order (jobs start in submission order regardless of the worker
+/// count). Result ordering is the caller's job — see Scheduler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_THREADPOOL_H
+#define MUCYC_RUNTIME_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mucyc {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers; 0 means one per hardware thread.
+  explicit ThreadPool(unsigned Threads);
+
+  /// Finishes every queued job, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues a job. Jobs must not throw and must not touch the pool
+  /// (posting from within a job is allowed; waiting on the pool is not).
+  void post(std::function<void()> Job);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void drain();
+
+  unsigned size() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  static unsigned hardwareThreads();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex Mu;
+  std::condition_variable WorkCv;  ///< Signals workers: job ready / stop.
+  std::condition_variable IdleCv;  ///< Signals drain(): everything done.
+  unsigned Running = 0;            ///< Jobs currently executing.
+  bool Stop = false;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_THREADPOOL_H

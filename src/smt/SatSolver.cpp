@@ -7,6 +7,7 @@
 #include "smt/SatSolver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,8 +21,10 @@ FILE *satLog() {
   return F;
 }
 int nextSatId() {
-  static int N = 0;
-  return N++;
+  // Atomic: solver instances are created concurrently by the runtime's
+  // worker threads.
+  static std::atomic<int> N{0};
+  return N.fetch_add(1, std::memory_order_relaxed);
 }
 } // namespace
 
@@ -418,6 +421,12 @@ SatSolver::Result SatSolver::solveImpl(const std::vector<SatLit> &Assumptions) {
   std::vector<SatLit> Learned;
 
   while (true) {
+    // Cancellation point: once per propagation round, so a cancelled solve
+    // stops after the current unit-propagation fixpoint at the latest.
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed)) {
+      backtrack(0);
+      return Result::Interrupted;
+    }
     ClauseIdx Confl = propagate();
     if (Confl != NoReason) {
       ++Conflicts;

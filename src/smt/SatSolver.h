@@ -15,6 +15,7 @@
 #ifndef MUCYC_SMT_SATSOLVER_H
 #define MUCYC_SMT_SATSOLVER_H
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -50,7 +51,13 @@ enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
 /// clauses and activities persist.
 class SatSolver {
 public:
-  enum class Result { Sat, Unsat };
+  /// Interrupted is only produced when a cancel flag is installed and
+  /// becomes set mid-solve; the solver state stays valid (backtracked to
+  /// the root) but neither a model nor a core is available.
+  enum class Result { Sat, Unsat, Interrupted };
+
+  /// Cooperative cancellation: polled once per propagation round.
+  void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
 
   /// Creates a new variable and returns its index.
   uint32_t newVar();
@@ -174,6 +181,7 @@ private:
 
   bool Unsat = false;
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
+  const std::atomic<bool> *CancelFlag = nullptr;
 
 public:
   /// Debugging: instance tag used by the MUCYC_SAT_LOG record/replay.

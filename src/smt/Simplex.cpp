@@ -146,6 +146,12 @@ void Simplex::explainRowConflict(const Row &R, bool NeedIncrease,
 
 bool Simplex::check() {
   while (true) {
+    // Cancellation point: once per pivot round.
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed)) {
+      Interrupted = true;
+      Explanation.clear();
+      return false;
+    }
     // Bland's rule: pick the lowest-index out-of-bounds basic variable.
     VarIdx B = UINT32_MAX;
     bool NeedIncrease = false;

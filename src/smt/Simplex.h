@@ -17,6 +17,7 @@
 
 #include "support/Rational.h"
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -40,8 +41,16 @@ public:
   bool assertBound(VarIdx V, bool IsLower, const DeltaRational &B, int Reason);
 
   /// Restores feasibility; returns false if the constraints are infeasible,
-  /// in which case explanation() holds the conflicting reasons.
+  /// in which case explanation() holds the conflicting reasons. Also
+  /// returns false when a cancel flag fired mid-check; callers that
+  /// installed one must test interrupted() before trusting an infeasible
+  /// verdict (the explanation is empty then).
   bool check();
+
+  /// Cooperative cancellation: polled once per pivot round. Copies of the
+  /// tableau (branch & bound forks) inherit the flag.
+  void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
+  bool interrupted() const { return Interrupted; }
 
   const std::vector<int> &explanation() const { return Explanation; }
 
@@ -76,6 +85,8 @@ private:
   std::vector<VarState> Vars;
   std::vector<Row> Rows;
   std::vector<int> Explanation;
+  const std::atomic<bool> *CancelFlag = nullptr;
+  bool Interrupted = false;
 };
 
 } // namespace mucyc

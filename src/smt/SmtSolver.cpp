@@ -65,6 +65,12 @@ void SmtSolver::assertFormula(TermRef F) {
     TriviallyUnsat = true;
 }
 
+void SmtSolver::setCancelFlag(const std::atomic<bool> *Flag) {
+  CancelFlag = Flag;
+  Sat.setCancelFlag(Flag);
+  Checker.setCancelFlag(Flag);
+}
+
 SmtStatus SmtSolver::check(const std::vector<TermRef> &Assumptions) {
   Core.clear();
   if (TriviallyUnsat)
@@ -87,7 +93,12 @@ SmtStatus SmtSolver::check(const std::vector<TermRef> &Assumptions) {
   }
 
   for (uint64_t Iter = 0; Iter < LemmaBudget; ++Iter) {
-    if (Sat.solve(AsmLits) == SatSolver::Result::Unsat) {
+    if (CancelFlag && CancelFlag->load(std::memory_order_relaxed))
+      return SmtStatus::Unknown;
+    SatSolver::Result SatRes = Sat.solve(AsmLits);
+    if (SatRes == SatSolver::Result::Interrupted)
+      return SmtStatus::Unknown;
+    if (SatRes == SatSolver::Result::Unsat) {
       for (SatLit L : Sat.conflictCore())
         for (const auto &[AL, AT] : AsmMap)
           if (AL == L && std::find(Core.begin(), Core.end(), AT) == Core.end())

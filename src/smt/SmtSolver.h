@@ -21,6 +21,7 @@
 #include "smt/SatSolver.h"
 #include "smt/TheoryLia.h"
 
+#include <atomic>
 #include <optional>
 
 namespace mucyc {
@@ -57,6 +58,12 @@ public:
   /// blocking clauses) before returning Unknown.
   void setLemmaBudget(uint64_t B) { LemmaBudget = B; }
 
+  /// Cooperative cancellation: when \p Flag is non-null, the DPLL(T) lemma
+  /// loop, the CDCL core, and the simplex/branch-and-bound theory layer all
+  /// poll it and return Unknown once it is set. The pointee must outlive
+  /// every subsequent check().
+  void setCancelFlag(const std::atomic<bool> *Flag);
+
   //===--------------------------------------------------------------------===
   // One-shot conveniences
   //===--------------------------------------------------------------------===
@@ -84,6 +91,7 @@ private:
   Model LastModel;
   std::vector<TermRef> Core;
   uint64_t LemmaBudget = 2000000;
+  const std::atomic<bool> *CancelFlag = nullptr;
   std::unordered_map<uint32_t, TermRef> DividesRewrite; // Atom -> (r = 0).
   bool TriviallyUnsat = false;
 };

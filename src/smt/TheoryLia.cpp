@@ -82,6 +82,11 @@ struct IntSolver {
   std::vector<int> ConflictReasons;
   uint64_t BnbBudget;
   uint64_t OmegaBudget = 4000;
+  const std::atomic<bool> *CancelFlag = nullptr;
+
+  bool cancelled() const {
+    return CancelFlag && CancelFlag->load(std::memory_order_relaxed);
+  }
 
   uint32_t freshLocal() { return NumLocals++; }
 
@@ -327,16 +332,19 @@ struct IntSolver {
     std::vector<std::pair<uint32_t, Simplex::VarIdx>> IntLocals(
         SpxOf.begin(), SpxOf.end());
 
+    Base.setCancelFlag(CancelFlag); // Forks inherit the flag by copy.
     uint64_t Nodes = 0;
     std::vector<int> Core;
     std::vector<Simplex> Work;
     Work.push_back(std::move(Base));
     while (!Work.empty()) {
-      if (++Nodes > BnbBudget)
+      if (++Nodes > BnbBudget || cancelled())
         return IntStatus::Unknown;
       Simplex Spx = std::move(Work.back());
       Work.pop_back();
       if (!Spx.check()) {
+        if (Spx.interrupted())
+          return IntStatus::Unknown;
         for (int T : Spx.explanation())
           if (T >= 0)
             mergeReasons(Core, ReasonSets[T]);
@@ -398,7 +406,7 @@ struct IntSolver {
 
   IntStatus omegaImpl(std::vector<Constraint> Cons,
                       std::map<uint32_t, Rational> &Values) {
-    if (OmegaBudget == 0)
+    if (OmegaBudget == 0 || cancelled())
       return IntStatus::Unknown;
     --OmegaBudget;
     if (!eqElim(Cons))
@@ -671,6 +679,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
   Assignment Assign;
   if (!RealCons.empty()) {
     Simplex Spx;
+    Spx.setCancelFlag(CancelFlag);
     std::map<uint32_t, Simplex::VarIdx> SpxOf;
     std::vector<std::vector<int>> ReasonSets;
     auto SpxVar = [&](uint32_t L) {
@@ -723,8 +732,13 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
       if (!Ok)
         return Fail(Spx.explanation());
     }
-    if (!Spx.check())
+    if (!Spx.check()) {
+      if (Spx.interrupted()) {
+        Out.St = Status::Unknown;
+        return Out;
+      }
       return Fail(Spx.explanation());
+    }
     Rational Eps = Spx.suitableEpsilon();
     for (const auto &[L, V] : SpxOf)
       Assign.emplace(Locals[L].Term,
@@ -740,6 +754,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
     IntSolver IS;
     IS.NumLocals = static_cast<uint32_t>(Locals.size());
     IS.BnbBudget = NodeBudget;
+    IS.CancelFlag = CancelFlag;
     if (!IS.eqElim(IntCons))
       return LiteralCore(IS.ConflictReasons);
 

@@ -26,6 +26,7 @@
 #include "smt/Model.h"
 #include "term/Linear.h"
 
+#include <atomic>
 #include <vector>
 
 namespace mucyc {
@@ -60,10 +61,16 @@ public:
   /// Branch & bound node budget per check (Unknown when exceeded).
   void setNodeBudget(uint64_t B) { NodeBudget = B; }
 
+  /// Cooperative cancellation: polled in the simplex pivot loop, per
+  /// branch-and-bound node, and per Omega-test recursion; a fired flag
+  /// yields Unknown.
+  void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
+
 private:
   TermContext &Ctx;
   Assignment ArithAssign;
   uint64_t NodeBudget = 20000;
+  const std::atomic<bool> *CancelFlag = nullptr;
 };
 
 } // namespace mucyc

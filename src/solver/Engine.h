@@ -56,7 +56,10 @@ public:
   bool expired() {
     if (Aborted)
       return true;
-    if (Opts.MaxRefineSteps && Stats.SmtChecks > Opts.MaxRefineSteps)
+    if (Opts.CancelFlag &&
+        Opts.CancelFlag->load(std::memory_order_relaxed))
+      Aborted = true;
+    else if (Opts.MaxRefineSteps && Stats.RefineCalls > Opts.MaxRefineSteps)
       Aborted = true;
     else if (HasDeadline && std::chrono::steady_clock::now() > Deadline)
       Aborted = true;
@@ -70,6 +73,7 @@ public:
       return std::nullopt;
     ++Stats.SmtChecks;
     SmtSolver S(F);
+    S.setCancelFlag(Opts.CancelFlag);
     for (TermRef T : Conj)
       S.assertFormula(T);
     switch (S.check()) {

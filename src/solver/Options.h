@@ -19,6 +19,7 @@
 #include "itp/Interpolate.h"
 #include "mbp/Mbp.h"
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -75,6 +76,12 @@ struct SolverOptions {
   uint64_t TimeoutMs = 0;
   int MaxDepth = 0;
   uint64_t MaxRefineSteps = 0;
+
+  /// Cooperative cancellation (see runtime/Cancel.h): when non-null, the
+  /// engine loops and the SMT/simplex substrates poll this flag and wind
+  /// down with Unknown once it is set. The pointee must outlive the run;
+  /// never serialized by name()/parse().
+  const std::atomic<bool> *CancelFlag = nullptr;
 
   /// Verify SAT answers against the clauses and UNSAT answers by bounded
   /// reachability before returning.

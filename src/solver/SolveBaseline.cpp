@@ -27,6 +27,9 @@ SolverResult mucyc::runSolveBaseline(TermContext &F, const NormalizedChc &N,
   TermRef Alpha = F.mkNot(N.Bad);
 
   for (int K = 1; !E.expired(); ++K) {
+    // One unroll-and-check round per depth counts as a refinement step so
+    // MaxRefineSteps bounds this engine too.
+    ++E.Stats.RefineCalls;
     R.Depth = K;
     // Bounded check on the exact sets (the recursion-free expansion).
     TermRef Top = Exact.back();

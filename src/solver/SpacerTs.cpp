@@ -147,6 +147,9 @@ SolverResult SpacerTsEngine::run() {
     }
 
     while (!Stack.empty() && !E.expired()) {
+      // Each handled query is one refinement round for budget purposes
+      // (MaxRefineSteps), mirroring the per-refine counting of Algs. 3-6.
+      ++E.Stats.RefineCalls;
       Query Q = Stack.back();
       TermRef PsiZ = Q.Psi;
       int Lvl = Q.Level;

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 using namespace mucyc;
 
 namespace {
@@ -48,15 +50,37 @@ TEST_F(EngineFixture, ImpliesIsStrict) {
   EXPECT_FALSE(E.implies(C.mkGe(Z, C.mkIntConst(0)), N.Init));
 }
 
-TEST_F(EngineFixture, StepBudgetAborts) {
+TEST_F(EngineFixture, StepBudgetMetersRefinementsNotSmtChecks) {
+  // Regression test: MaxRefineSteps used to be compared against
+  // Stats.SmtChecks, so a refinement bound of 3 aborted after three SMT
+  // queries even though zero refinement steps had happened. The budget
+  // meters Stats.RefineCalls.
   Opts.MaxRefineSteps = 3;
   EngineContext E(C, N, Opts);
   for (int I = 0; I < 10; ++I)
-    (void)E.sat({N.Init});
+    EXPECT_TRUE(E.sat({N.Init}).has_value()) << "check " << I;
+  EXPECT_GT(E.Stats.SmtChecks, Opts.MaxRefineSteps);
+  EXPECT_FALSE(E.Aborted); // SMT checks alone never trip the budget.
+
+  // Exceeding the refinement budget does.
+  E.Stats.RefineCalls = 4;
+  EXPECT_TRUE(E.expired());
   EXPECT_TRUE(E.Aborted);
   // Aborted sat() is conservative: no model and no unsat conclusion.
   EXPECT_FALSE(E.sat({N.Init}).has_value());
   EXPECT_FALSE(E.implies(N.Init, N.Init)); // implies() refuses when aborted.
+}
+
+TEST_F(EngineFixture, CancelFlagAborts) {
+  std::atomic<bool> Flag{false};
+  Opts.CancelFlag = &Flag;
+  EngineContext E(C, N, Opts);
+  EXPECT_FALSE(E.expired());
+  EXPECT_TRUE(E.sat({N.Init}).has_value());
+  Flag.store(true);
+  EXPECT_TRUE(E.expired());
+  EXPECT_TRUE(E.Aborted);
+  EXPECT_FALSE(E.sat({N.Init}).has_value());
 }
 
 TEST_F(EngineFixture, DeadlineAborts) {
