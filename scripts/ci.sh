@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Continuous-integration gate: tier-1 build + tests, then the randomized
+# differential-testing smoke. Usage:
+#
+#   scripts/ci.sh [build-dir]          # default gate (build + ctest + fuzz)
+#   scripts/ci.sh --asan [build-dir]   # same gate under AddressSanitizer
+#
+# The fuzz leg runs mucyc-fuzz twice with the same fixed seed and requires
+# the reports to be byte-identical — the determinism contract every
+# checked-in repro depends on — and, of course, zero oracle violations.
+# Seed and instance count are fixed so CI failures replay locally with
+# exactly one command (printed on failure).
+set -eu
+
+ASAN=0
+if [ "${1:-}" = "--asan" ]; then
+  ASAN=1
+  shift
+fi
+BUILD=${1:-build}
+if [ "$ASAN" = 1 ]; then
+  BUILD=${1:-build-asan}
+fi
+
+FUZZ_SEED=20240801
+FUZZ_N=500
+
+echo "== configure ($BUILD) =="
+if [ "$ASAN" = 1 ]; then
+  cmake -B "$BUILD" -S . -DMUCYC_SANITIZE=address
+else
+  cmake -B "$BUILD" -S .
+fi
+
+echo "== build =="
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo "== tier-1 tests =="
+(cd "$BUILD" && ctest --output-on-failure -j "$(nproc)")
+
+echo "== fuzz smoke: $FUZZ_N instances, seed $FUZZ_SEED =="
+OUT=$(mktemp -d)
+trap 'rm -rf "$OUT"' EXIT
+run_fuzz() {
+  "$BUILD"/examples/mucyc-fuzz --seed "$FUZZ_SEED" --n "$FUZZ_N" \
+    --repro-dir "$1"
+}
+if ! run_fuzz "$OUT/repros" >"$OUT/a.txt"; then
+  cat "$OUT/a.txt"
+  echo "FAIL: oracle violations; shrunk repros in $OUT/repros/" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --seed $FUZZ_SEED --n $FUZZ_N" >&2
+  trap - EXIT # Keep the repros for the developer.
+  exit 1
+fi
+
+echo "== fuzz determinism: second run must be byte-identical =="
+run_fuzz "$OUT/repros2" >"$OUT/b.txt"
+if ! cmp -s "$OUT/a.txt" "$OUT/b.txt"; then
+  diff -u "$OUT/a.txt" "$OUT/b.txt" | head -40 >&2
+  echo "FAIL: fuzz report is not deterministic" >&2
+  exit 1
+fi
+tail -2 "$OUT/a.txt"
+
+echo "CI gate passed."

@@ -91,16 +91,23 @@ TermRef ChcSystem::clauseFormula(const Clause &C,
   return Ctx->mkImplies(Lhs, Rhs);
 }
 
-bool ChcSystem::checkSolution(const ChcSolution &Sol) const {
-  for (const Clause &C : Clauses) {
-    TermRef F = clauseFormula(C, Sol);
-    if (SmtSolver::quickCheck(*Ctx, {Ctx->mkNot(F)}).has_value())
+bool ChcSystem::checkSolution(const ChcSolution &Sol,
+                              std::string *WhyNot) const {
+  for (size_t I = 0; I < Clauses.size(); ++I) {
+    TermRef F = clauseFormula(Clauses[I], Sol);
+    if (auto M = SmtSolver::quickCheck(*Ctx, {Ctx->mkNot(F)})) {
+      if (WhyNot)
+        *WhyNot = "solution falsifies clause #" + std::to_string(I) +
+                  " [" + clauseToString(I) + "] at " + M->toString(*Ctx);
       return false;
+    }
   }
   return true;
 }
 
-std::string ChcSystem::toString() const {
+std::string ChcSystem::clauseToString(size_t Idx) const {
+  assert(Idx < Clauses.size() && "clause index out of range");
+  const Clause &C = Clauses[Idx];
   std::ostringstream OS;
   auto PrintApp = [&](const PredApp &App) {
     OS << Preds[App.Pred].Name << "(";
@@ -111,25 +118,29 @@ std::string ChcSystem::toString() const {
     }
     OS << ")";
   };
-  for (const Clause &C : Clauses) {
-    bool First = true;
-    for (const PredApp &B : C.Body) {
-      if (!First)
-        OS << " /\\ ";
-      First = false;
-      PrintApp(B);
-    }
-    if (Ctx->kind(C.Constraint) != Kind::True || C.Body.empty()) {
-      if (!First)
-        OS << " /\\ ";
-      OS << Ctx->toString(C.Constraint);
-    }
-    OS << " => ";
-    if (C.Head)
-      PrintApp(*C.Head);
-    else
-      OS << "false";
-    OS << "\n";
+  bool First = true;
+  for (const PredApp &B : C.Body) {
+    if (!First)
+      OS << " /\\ ";
+    First = false;
+    PrintApp(B);
   }
+  if (Ctx->kind(C.Constraint) != Kind::True || C.Body.empty()) {
+    if (!First)
+      OS << " /\\ ";
+    OS << Ctx->toString(C.Constraint);
+  }
+  OS << " => ";
+  if (C.Head)
+    PrintApp(*C.Head);
+  else
+    OS << "false";
+  return OS.str();
+}
+
+std::string ChcSystem::toString() const {
+  std::ostringstream OS;
+  for (size_t I = 0; I < Clauses.size(); ++I)
+    OS << clauseToString(I) << "\n";
   return OS.str();
 }

@@ -88,8 +88,15 @@ public:
   /// under \p Sol, returning the implication whose validity must hold.
   TermRef clauseFormula(const Clause &C, const ChcSolution &Sol) const;
 
-  /// Checks that \p Sol makes every clause valid (SMT-backed).
-  bool checkSolution(const ChcSolution &Sol) const;
+  /// Checks that \p Sol makes every clause valid (SMT-backed). On failure,
+  /// \p WhyNot (when non-null) receives a diagnostic naming the offending
+  /// clause by index and text, with the falsifying assignment.
+  bool checkSolution(const ChcSolution &Sol,
+                     std::string *WhyNot = nullptr) const;
+
+  /// Renders clause \p Idx in the body => head notation used by
+  /// diagnostics.
+  std::string clauseToString(size_t Idx) const;
 
   std::string toString() const;
 

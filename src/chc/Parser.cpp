@@ -71,20 +71,34 @@ private:
   size_t Pos = 0;
 };
 
+/// Nesting cap for s-expressions (and therefore for every recursive walk
+/// over them): recursion depth is attacker-controlled input, and without a
+/// cap a few kilobytes of '(' overflow the stack instead of producing a
+/// diagnostic.
+constexpr unsigned MaxSexpDepth = 1000;
+
 bool readSexp(Lexer &Lex, const std::string &First, Sexp &Out,
-              std::string &Err) {
+              std::string &Err, unsigned Depth = 0) {
   if (First.empty()) {
     Err = "unexpected end of input";
     return false;
   }
   if (First == "(") {
+    if (Depth >= MaxSexpDepth) {
+      Err = "expression nesting exceeds " + std::to_string(MaxSexpDepth);
+      return false;
+    }
     Out.IsAtom = false;
     while (true) {
       std::string Tok = Lex.next();
       if (Tok == ")")
         return true;
+      if (Tok.empty()) {
+        Err = "unexpected end of input inside '('";
+        return false;
+      }
       Sexp Kid;
-      if (!readSexp(Lex, Tok, Kid, Err))
+      if (!readSexp(Lex, Tok, Kid, Err, Depth + 1))
         return false;
       Out.Kids.push_back(std::move(Kid));
     }
@@ -178,6 +192,12 @@ public:
     }
     const Sexp &Head = S.Kids[0];
     if (!Head.IsAtom) {
+      // Indexed identifier: ((_ divisible d) t), the printed form of a
+      // divisibility atom.
+      if (Head.Kids.size() == 3 && Head.Kids[0].IsAtom &&
+          Head.Kids[0].Atom == "_" && Head.Kids[1].IsAtom &&
+          Head.Kids[1].Atom == "divisible" && Head.Kids[2].IsAtom)
+        return parseDivisible(S, Head.Kids[2].Atom, E);
       PS.fail("non-symbol in operator position");
       return std::nullopt;
     }
@@ -214,6 +234,9 @@ public:
 
   std::optional<TermRef> apply(const std::string &Op,
                                std::vector<TermRef> Args) {
+    // Sort discipline is checked HERE, before any builder runs: the term
+    // builders enforce their preconditions with asserts, and a parser must
+    // turn ill-sorted input into a diagnostic, never an abort.
     auto Arity = [&](size_t N) {
       if (Args.size() == N)
         return true;
@@ -221,51 +244,100 @@ public:
               " arguments");
       return false;
     };
+    auto AllBool = [&] {
+      for (TermRef A : Args)
+        if (Ctx.sort(A) != Sort::Bool) {
+          PS.fail("operator '" + Op + "' expects Bool arguments");
+          return false;
+        }
+      return true;
+    };
+    auto SameNumeric = [&] {
+      for (TermRef A : Args)
+        if (Ctx.sort(A) == Sort::Bool) {
+          PS.fail("operator '" + Op + "' expects numeric arguments");
+          return false;
+        }
+      for (size_t I = 1; I < Args.size(); ++I)
+        if (Ctx.sort(Args[I]) != Ctx.sort(Args[0])) {
+          PS.fail("mixed Int/Real operands to '" + Op + "'");
+          return false;
+        }
+      return true;
+    };
     if (Op == "and")
-      return Ctx.mkAnd(std::move(Args));
+      return AllBool() ? std::optional(Args.empty() ? Ctx.mkTrue()
+                                                    : Ctx.mkAnd(std::move(
+                                                          Args)))
+                       : std::nullopt;
     if (Op == "or")
-      return Ctx.mkOr(std::move(Args));
+      return AllBool() ? std::optional(Args.empty() ? Ctx.mkFalse()
+                                                    : Ctx.mkOr(std::move(
+                                                          Args)))
+                       : std::nullopt;
     if (Op == "not")
-      return Arity(1) ? std::optional(Ctx.mkNot(Args[0])) : std::nullopt;
+      return Arity(1) && AllBool() ? std::optional(Ctx.mkNot(Args[0]))
+                                   : std::nullopt;
     if (Op == "=>") {
-      if (Args.size() < 2)
-        return Arity(2) ? std::optional(TermRef()) : std::nullopt;
+      if (Args.size() < 2) {
+        Arity(2);
+        return std::nullopt;
+      }
+      if (!AllBool())
+        return std::nullopt;
       TermRef R = Args.back();
       for (size_t I = Args.size() - 1; I-- > 0;)
         R = Ctx.mkImplies(Args[I], R);
       return R;
     }
-    if (Op == "ite")
-      return Arity(3) ? std::optional(Ctx.mkIte(Args[0], Args[1], Args[2]))
-                      : std::nullopt;
+    if (Op == "ite") {
+      if (!Arity(3))
+        return std::nullopt;
+      if (Ctx.sort(Args[0]) != Sort::Bool || Ctx.sort(Args[1]) != Sort::Bool ||
+          Ctx.sort(Args[2]) != Sort::Bool) {
+        PS.fail("only Bool-sorted ite is supported");
+        return std::nullopt;
+      }
+      return Ctx.mkIte(Args[0], Args[1], Args[2]);
+    }
     if (Op == "=") {
       if (!Arity(2))
         return std::nullopt;
+      if (Ctx.sort(Args[0]) != Ctx.sort(Args[1])) {
+        PS.fail("'=' operands have different sorts");
+        return std::nullopt;
+      }
       return Ctx.mkEq(Args[0], Args[1]);
     }
-    if (Op == "<=")
-      return Arity(2) ? std::optional(Ctx.mkLe(Args[0], Args[1]))
-                      : std::nullopt;
-    if (Op == "<")
-      return Arity(2) ? std::optional(Ctx.mkLt(Args[0], Args[1]))
-                      : std::nullopt;
-    if (Op == ">=")
-      return Arity(2) ? std::optional(Ctx.mkGe(Args[0], Args[1]))
-                      : std::nullopt;
-    if (Op == ">")
-      return Arity(2) ? std::optional(Ctx.mkGt(Args[0], Args[1]))
-                      : std::nullopt;
-    if (Op == "+")
-      return Ctx.mkAdd(std::move(Args));
+    if (Op == "<=" || Op == "<" || Op == ">=" || Op == ">") {
+      if (!Arity(2) || !SameNumeric())
+        return std::nullopt;
+      if (Op == "<=")
+        return Ctx.mkLe(Args[0], Args[1]);
+      if (Op == "<")
+        return Ctx.mkLt(Args[0], Args[1]);
+      if (Op == ">=")
+        return Ctx.mkGe(Args[0], Args[1]);
+      return Ctx.mkGt(Args[0], Args[1]);
+    }
+    if (Op == "+") {
+      if (Args.empty()) {
+        PS.fail("operator '+' expects arguments");
+        return std::nullopt;
+      }
+      return SameNumeric() ? std::optional(Ctx.mkAdd(std::move(Args)))
+                           : std::nullopt;
+    }
     if (Op == "-") {
       if (Args.size() == 1)
-        return Ctx.mkNeg(Args[0]);
-      if (!Arity(2))
+        return SameNumeric() ? std::optional(Ctx.mkNeg(Args[0]))
+                             : std::nullopt;
+      if (!Arity(2) || !SameNumeric())
         return std::nullopt;
       return Ctx.mkSub(Args[0], Args[1]);
     }
     if (Op == "*") {
-      if (!Arity(2))
+      if (!Arity(2) || !SameNumeric())
         return std::nullopt;
       // One side must be a constant (linear arithmetic).
       if (Ctx.kind(Args[0]) == Kind::Const)
@@ -275,6 +347,26 @@ public:
       PS.fail("non-linear multiplication");
       return std::nullopt;
     }
+    if (Op == "/") {
+      // Real division by a nonzero constant; Print.cpp emits non-integral
+      // Real constants as (/ num den), so this form must round-trip.
+      if (!Arity(2) || !SameNumeric())
+        return std::nullopt;
+      if (Ctx.sort(Args[0]) != Sort::Real) {
+        PS.fail("'/' is Real division (use div for Int)");
+        return std::nullopt;
+      }
+      if (Ctx.kind(Args[1]) != Kind::Const) {
+        PS.fail("non-linear division");
+        return std::nullopt;
+      }
+      const Rational &D = Ctx.node(Args[1]).Val;
+      if (D.isZero()) {
+        PS.fail("division by zero");
+        return std::nullopt;
+      }
+      return Ctx.mkMul(D.inverse(), Args[0]);
+    }
     // Predicate application in constraint position?
     if (PS.Sys.findPred(Op)) {
       PS.fail("predicate '" + Op + "' used outside Horn body/head position");
@@ -282,6 +374,32 @@ public:
     }
     PS.fail("unknown operator '" + Op + "'");
     return std::nullopt;
+  }
+
+  /// ((_ divisible d) t): divisibility atom over Int.
+  std::optional<TermRef> parseDivisible(const Sexp &S, const std::string &Mod,
+                                        Env &E) {
+    if (S.Kids.size() != 2) {
+      PS.fail("(_ divisible d) expects one argument");
+      return std::nullopt;
+    }
+    if (!isNumeral(Mod) || Mod.find('.') != std::string::npos) {
+      PS.fail("divisible modulus must be an integer numeral");
+      return std::nullopt;
+    }
+    Rational M = Rational::fromString(Mod);
+    if (M.sgn() <= 0) {
+      PS.fail("divisible modulus must be positive");
+      return std::nullopt;
+    }
+    auto A = parseTerm(S.Kids[1], E);
+    if (!A)
+      return std::nullopt;
+    if (Ctx.sort(*A) != Sort::Int) {
+      PS.fail("divisible applies to Int terms");
+      return std::nullopt;
+    }
+    return Ctx.mkDivides(M.num(), *A);
   }
 
   std::optional<TermRef> parseAtomToken(const std::string &Tok, Env &E) {
@@ -388,6 +506,8 @@ private:
     auto T = TP.parseTerm(S, E);
     if (!T)
       return false;
+    if (PS.Ctx.sort(*T) != Sort::Bool)
+      return PS.fail("clause body conjunct is not Bool-sorted");
     C.Constraint = PS.Ctx.mkAnd(C.Constraint, *T);
     return true;
   }
@@ -436,10 +556,17 @@ private:
         App.Args.push_back(*T);
       }
     }
-    if (App.Args.size() != PS.Sys.pred(*P).ArgSorts.size()) {
+    const std::vector<Sort> &ArgSorts = PS.Sys.pred(*P).ArgSorts;
+    if (App.Args.size() != ArgSorts.size()) {
       PS.fail("arity mismatch for predicate '" + Name + "'");
       return std::nullopt;
     }
+    for (size_t I = 0; I < App.Args.size(); ++I)
+      if (PS.Ctx.sort(App.Args[I]) != ArgSorts[I]) {
+        PS.fail("argument " + std::to_string(I) + " of predicate '" + Name +
+                "' has the wrong sort");
+        return std::nullopt;
+      }
     return App;
   }
 };
@@ -486,6 +613,10 @@ ParseResult mucyc::parseChc(TermContext &Ctx, const std::string &Text) {
           return R;
         }
         ArgSorts.push_back(*S);
+      }
+      if (PS.Sys.findPred(Cmd.Kids[1].Atom)) {
+        R.Error = "duplicate declaration of '" + Cmd.Kids[1].Atom + "'";
+        return R;
       }
       PS.Sys.addPred(Cmd.Kids[1].Atom, std::move(ArgSorts));
       continue;

@@ -53,6 +53,8 @@ Scheduler::run(const std::vector<SolveJob> &Batch,
         Slot->Depth = R.Depth;
         Slot->Stats = R.Stats;
         Slot->Seconds = R.Seconds;
+        Slot->VerifyFailed = R.VerifyFailed;
+        Slot->VerifyNote = R.VerifyNote;
       });
     }
     // ~ThreadPool drains the queue and joins, so every slot is written

@@ -47,6 +47,12 @@ struct SolveJobOutcome {
   int Depth = 0;
   SolveStats Stats;
   double Seconds = 0;
+  /// Mirror of SolverResult::VerifyFailed/VerifyNote: set when the job ran
+  /// with VerifyResult and its answer was refuted by the independent
+  /// check. Differential harnesses treat this as an engine bug, so it must
+  /// survive the job-private context.
+  bool VerifyFailed = false;
+  std::string VerifyNote;
 };
 
 class Scheduler {

@@ -6,6 +6,7 @@
 
 #include "smt/Model.h"
 
+#include <algorithm>
 #include <sstream>
 
 using namespace mucyc;
@@ -36,14 +37,22 @@ bool Model::holds(const TermContext &Ctx, TermRef T) const {
 }
 
 std::string Model::toString(const TermContext &Ctx) const {
+  // Render in ascending VarId order: hash-map iteration order is not a
+  // stable function of the assignment, and this string ends up in
+  // diagnostics that must be byte-identical across runs (the fuzzer's
+  // determinism contract).
+  std::vector<VarId> Vars;
+  Vars.reserve(Assign.size());
+  for (const auto &[V, Val] : Assign)
+    Vars.push_back(V);
+  std::sort(Vars.begin(), Vars.end());
   std::ostringstream OS;
   OS << "{";
-  bool First = true;
-  for (const auto &[V, Val] : Assign) {
-    if (!First)
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (I)
       OS << ", ";
-    First = false;
-    OS << Ctx.varInfo(V).Name << " = " << Val.toString();
+    OS << Ctx.varInfo(Vars[I]).Name << " = "
+       << Assign.at(Vars[I]).toString();
   }
   OS << "}";
   return OS.str();

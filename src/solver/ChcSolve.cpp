@@ -116,12 +116,21 @@ SolverResult ChcSolver::solve() {
                                             Start)
                   .count();
   if (Opts.VerifyResult) {
+    VerifyDiag Diag;
     if (R.Status == ChcStatus::Sat &&
-        !verifyInvariant(F, N, R.Invariant))
+        !verifyInvariant(F, N, R.Invariant, &Diag)) {
       R.Status = ChcStatus::Unknown;
+      R.VerifyFailed = true;
+      R.VerifyNote = std::string(verifyRuleName(Diag.Failed)) + ": " +
+                     Diag.Message;
+    }
     if (R.Status == ChcStatus::Unsat &&
-        !verifyCexPiece(F, N, R.CexPiece, R.Depth + 2))
+        !verifyCexPiece(F, N, R.CexPiece, R.Depth + 2, &Diag)) {
       R.Status = ChcStatus::Unknown;
+      R.VerifyFailed = true;
+      R.VerifyNote = std::string(verifyRuleName(Diag.Failed)) + ": " +
+                     Diag.Message;
+    }
   }
   return R;
 }

@@ -38,6 +38,12 @@ struct SolverResult {
   int Depth = 0;
   SolveStats Stats;
   double Seconds = 0;
+  /// Set when SolverOptions::VerifyResult demoted a definitive answer to
+  /// Unknown because the independent check refuted it. This is always a
+  /// bug in the engine (or the substrate it ran on); VerifyNote names the
+  /// violated clause.
+  bool VerifyFailed = false;
+  std::string VerifyNote;
 };
 
 /// Solver for systems in the paper's normalized form.
@@ -74,13 +80,36 @@ TermRef boundedReach(TermContext &F, const NormalizedChc &N, int K);
 /// MaxK, Sat if the exact reach set converges safely first, else Unknown.
 ChcStatus bmcStatus(TermContext &F, const NormalizedChc &N, int MaxK);
 
-/// Checks that \p Inv is an inductive safe invariant for \p N.
-bool verifyInvariant(TermContext &F, const NormalizedChc &N, TermRef Inv);
+/// Diagnostic for a failed verification: names which of the normalized
+/// system's clauses the candidate answer violates, with a witness model.
+/// Fuzz failure reports and --verify error output both need the clause,
+/// not just a boolean.
+struct VerifyDiag {
+  enum class Rule {
+    None,         ///< Verification passed (or no answer to check).
+    InitClause,   ///< Sat: iota(z) => phi(z) fails.
+    StepClause,   ///< Sat: phi(x) /\ phi(y) /\ tau => phi(z) fails.
+    QueryClause,  ///< Sat: phi(z) /\ beta(z) satisfiable.
+    NotBad,       ///< Unsat: no state of gamma satisfies beta.
+    NotReachable, ///< Unsat: gamma /\ beta unreachable within the bound.
+  };
+  Rule Failed = Rule::None;
+  /// Human-readable: clause name plus the witness assignment.
+  std::string Message;
+};
+
+/// Name of the violated rule, e.g. "step-clause".
+const char *verifyRuleName(VerifyDiag::Rule R);
+
+/// Checks that \p Inv is an inductive safe invariant for \p N. On failure
+/// fills \p Diag (when non-null) with the violated clause and a witness.
+bool verifyInvariant(TermContext &F, const NormalizedChc &N, TermRef Inv,
+                     VerifyDiag *Diag = nullptr);
 
 /// Checks that some state of \p Gamma is reachable (within \p MaxK) and
-/// bad.
+/// bad. On failure fills \p Diag (when non-null).
 bool verifyCexPiece(TermContext &F, const NormalizedChc &N, TermRef Gamma,
-                    int MaxK);
+                    int MaxK, VerifyDiag *Diag = nullptr);
 
 } // namespace mucyc
 

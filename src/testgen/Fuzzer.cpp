@@ -1,0 +1,261 @@
+//===- testgen/Fuzzer.cpp - Differential fuzzing driver -------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Fuzzer.h"
+
+#include "chc/Parser.h"
+#include "testgen/Shrink.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace mucyc;
+
+namespace {
+
+bool startsWith(const std::string &S, const char *P) {
+  return S.rfind(P, 0) == 0;
+}
+
+/// Encodes formulas as a CHC system of query clauses (constraint => false),
+/// one per formula — the shrinker and the repro files speak SMT-LIB2 CHC,
+/// so formula-level failures are wrapped this way.
+std::string queryRepro(TermContext &Ctx, std::vector<TermRef> Constraints) {
+  ChcSystem S(Ctx);
+  for (TermRef F : Constraints) {
+    Clause C;
+    C.Constraint = F;
+    S.addClause(std::move(C));
+  }
+  return printSmtLib(S);
+}
+
+/// The query-clause constraints of a parsed repro, in clause order.
+std::vector<TermRef> queryConstraints(const ChcSystem &S) {
+  std::vector<TermRef> Out;
+  for (const Clause &C : S.clauses())
+    if (C.isQuery())
+      Out.push_back(C.Constraint);
+  return Out;
+}
+
+/// Free variables of \p F marked as MBP-eliminated by the "pe" name prefix
+/// (prefixes survive the parser's freshening, which only appends "!n").
+std::vector<VarId> mbpElimVars(TermContext &C, TermRef F) {
+  std::vector<VarId> E;
+  for (VarId V : C.freeVars(F))
+    if (startsWith(C.varInfo(V).Name, "pe"))
+      E.push_back(V);
+  return E;
+}
+
+VarPool mergePools(const VarPool &A, const VarPool &B) {
+  VarPool P = A;
+  P.Ints.insert(P.Ints.end(), B.Ints.begin(), B.Ints.end());
+  P.Reals.insert(P.Reals.end(), B.Reals.begin(), B.Reals.end());
+  P.Bools.insert(P.Bools.end(), B.Bools.begin(), B.Bools.end());
+  return P;
+}
+
+/// One generated-and-checked instance. Repro/Refail are set only on Fail;
+/// Refail accepts a candidate iff the SAME contract clause still trips, so
+/// the shrinker cannot wander onto an unrelated bug.
+struct InstanceResult {
+  OracleOutcome Out;
+  std::string Repro;
+  SystemFailPred Refail;
+};
+
+InstanceResult runSmtInstance(Rng &R, const FuzzConfig &Cfg) {
+  TermContext Ctx;
+  VarPool Pool = genVarPool(Ctx, Cfg.Knobs, "f");
+  TermRef F = genFormula(Ctx, R, Cfg.Knobs, Pool);
+  InstanceResult IR{checkSmtFormula(Ctx, F), "", nullptr};
+  if (IR.Out.failed()) {
+    IR.Repro = queryRepro(Ctx, {F});
+    IR.Refail = [Check = IR.Out.Check](ChcSystem &S) {
+      std::vector<TermRef> Qs = queryConstraints(S);
+      if (Qs.size() != 1)
+        return false;
+      OracleOutcome O = checkSmtFormula(S.ctx(), Qs[0]);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
+InstanceResult runMbpInstance(Rng &R, const FuzzConfig &Cfg,
+                              const OracleHooks *Hooks) {
+  TermContext Ctx;
+  // The oracle cross-checks against full QE, whose output (and the implies
+  // queries over it) grows steeply with formula size — LIA elimination of a
+  // divides-laden depth-3 formula can take seconds. Cap the MBP domain at
+  // sizes where the reference stays fast.
+  GenKnobs MK = Cfg.Knobs;
+  MK.Depth = std::min(MK.Depth, 2u);
+  MK.AtomVars = std::min(MK.AtomVars, 2u);
+  MK.CoeffMag = std::min<int64_t>(MK.CoeffMag, 4);
+  MK.IntVars = std::min(MK.IntVars, 2u);
+  MK.RealVars = std::min(MK.RealVars, 1u);
+  GenKnobs EK = MK;
+  EK.BoolVars = 0; // MBP eliminates arithmetic variables.
+  VarPool Pool =
+      mergePools(genVarPool(Ctx, EK, "pe"), genVarPool(Ctx, MK, "pk"));
+  TermRef Phi = genFormula(Ctx, R, MK, Pool);
+  std::vector<VarId> Elim = mbpElimVars(Ctx, Phi);
+  InstanceResult IR{checkMbpContract(Ctx, Phi, Elim, Hooks), "", nullptr};
+  if (IR.Out.failed()) {
+    IR.Repro = queryRepro(Ctx, {Phi});
+    IR.Refail = [Check = IR.Out.Check, Hooks](ChcSystem &S) {
+      std::vector<TermRef> Qs = queryConstraints(S);
+      if (Qs.size() != 1)
+        return false;
+      std::vector<VarId> E = mbpElimVars(S.ctx(), Qs[0]);
+      OracleOutcome O = checkMbpContract(S.ctx(), Qs[0], E, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
+InstanceResult runItpInstance(Rng &R, const FuzzConfig &Cfg,
+                              const OracleHooks *Hooks) {
+  TermContext Ctx;
+  GenKnobs SK = Cfg.Knobs;
+  SK.BoolVars = 0; // The cube (and thus B) is over numeric shared vars.
+  VarPool Shared = genVarPool(Ctx, SK, "s");
+  VarPool Pool = mergePools(Shared, genVarPool(Ctx, Cfg.Knobs, "a"));
+  if (Shared.Ints.empty() && Shared.Reals.empty())
+    return {OracleOutcome::skip("no shared numeric variables configured"),
+            "", nullptr};
+  TermRef A = genFormula(Ctx, R, Cfg.Knobs, Pool);
+  std::vector<TermRef> Cube;
+  unsigned NL = 1 + static_cast<unsigned>(R.below(3));
+  for (unsigned I = 0; I < NL; ++I) {
+    bool UseReal =
+        Shared.Ints.empty() || (!Shared.Reals.empty() && R.chance(1, 3));
+    TermRef L = genLinAtom(Ctx, R, Cfg.Knobs,
+                           UseReal ? Shared.Reals : Shared.Ints,
+                           UseReal ? Sort::Real : Sort::Int);
+    if (R.oneIn(3))
+      L = Ctx.mkNot(L);
+    Cube.push_back(L);
+  }
+  InstanceResult IR{checkItpContract(Ctx, A, Cube, Hooks), "", nullptr};
+  if (IR.Out.failed()) {
+    // Two query clauses: #0 carries A, #1 carries the cube conjunction.
+    IR.Repro = queryRepro(Ctx, {A, Ctx.mkAnd(Cube)});
+    IR.Refail = [Check = IR.Out.Check, Hooks](ChcSystem &S) {
+      std::vector<TermRef> Qs = queryConstraints(S);
+      if (Qs.size() != 2)
+        return false;
+      TermContext &C = S.ctx();
+      std::vector<TermRef> Lits = C.kind(Qs[1]) == Kind::And
+                                      ? C.node(Qs[1]).Kids
+                                      : std::vector<TermRef>{Qs[1]};
+      OracleOutcome O = checkItpContract(C, Qs[0], Lits, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
+InstanceResult runChcInstance(Rng &R, const FuzzConfig &Cfg,
+                              const OracleHooks *Hooks) {
+  TermContext Ctx;
+  GenKnobs K = Cfg.Knobs;
+  K.RealChc = R.oneIn(4);
+  ChcSystem Sys = genLinearChc(Ctx, R, K);
+  InstanceResult IR{checkEngineAgreement(Sys, Cfg.Race, Hooks), "", nullptr};
+  if (IR.Out.failed()) {
+    IR.Repro = printSmtLib(Sys);
+    IR.Refail = [Check = IR.Out.Check, Hooks, Race = Cfg.Race](ChcSystem &S) {
+      OracleOutcome O = checkEngineAgreement(S, Race, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
+std::vector<const char *> enabledDomains(const FuzzDomains &D) {
+  std::vector<const char *> Out;
+  if (D.Smt)
+    Out.push_back("smt");
+  if (D.Mbp)
+    Out.push_back("mbp");
+  if (D.Itp)
+    Out.push_back("itp");
+  if (D.Chc)
+    Out.push_back("chc");
+  return Out;
+}
+
+} // namespace
+
+FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
+  FuzzReport Rep;
+  std::vector<const char *> Domains = enabledDomains(Cfg.Domains);
+  if (Domains.empty())
+    return Rep;
+  for (unsigned I = 0; I < Cfg.N; ++I) {
+    std::string Dom = Domains[I % Domains.size()];
+    Rng R(Rng::deriveSeed(Cfg.Seed, I));
+    InstanceResult IR = Dom == "smt"   ? runSmtInstance(R, Cfg)
+                        : Dom == "mbp" ? runMbpInstance(R, Cfg, Hooks)
+                        : Dom == "itp" ? runItpInstance(R, Cfg, Hooks)
+                                       : runChcInstance(R, Cfg, Hooks);
+    ++Rep.Ran;
+    if (IR.Out.Status == OracleStatus::Pass) {
+      ++Rep.Passed;
+      continue;
+    }
+    if (IR.Out.Status == OracleStatus::Skip) {
+      ++Rep.Skipped;
+      continue;
+    }
+    FuzzViolation V;
+    V.Instance = I;
+    V.Domain = Dom;
+    V.Check = IR.Out.Check;
+    V.Detail = IR.Out.Detail;
+    V.Repro = IR.Repro;
+    if (Cfg.Shrink && IR.Refail)
+      V.Repro = shrinkChc(V.Repro, IR.Refail, Cfg.ShrinkAttempts);
+    if (!Cfg.ReproDir.empty()) {
+      std::error_code EC;
+      std::filesystem::create_directories(Cfg.ReproDir, EC);
+      V.ReproPath = Cfg.ReproDir + "/repro-" + Dom + "-" +
+                    std::to_string(I) + ".smt2";
+      std::ofstream OS(V.ReproPath);
+      OS << V.Repro;
+    }
+    Rep.Violations.push_back(std::move(V));
+  }
+  return Rep;
+}
+
+std::string FuzzReport::summary(const FuzzConfig &Cfg) const {
+  std::ostringstream OS;
+  OS << "mucyc-fuzz seed=" << Cfg.Seed << " n=" << Cfg.N << " domains=";
+  std::vector<const char *> Domains = enabledDomains(Cfg.Domains);
+  for (size_t I = 0; I < Domains.size(); ++I)
+    OS << (I ? "," : "") << Domains[I];
+  OS << "\nran=" << Ran << " passed=" << Passed << " skipped=" << Skipped
+     << " violations=" << Violations.size() << "\n";
+  for (const FuzzViolation &V : Violations) {
+    OS << "--- violation instance=" << V.Instance << " domain=" << V.Domain
+       << " check=" << V.Check << "\n"
+       << V.Detail << "\nrepro";
+    if (!V.ReproPath.empty())
+      OS << " (" << V.ReproPath << ")";
+    OS << ":\n" << V.Repro;
+    if (V.Repro.empty() || V.Repro.back() != '\n')
+      OS << "\n";
+  }
+  OS << "verdict: " << (ok() ? "OK" : "VIOLATIONS") << "\n";
+  return OS.str();
+}

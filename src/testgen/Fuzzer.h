@@ -1,0 +1,73 @@
+//===- testgen/Fuzzer.h - Differential fuzzing driver -----------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level fuzzing loop: generate an instance, run the matching
+/// oracle, and on failure shrink the instance to a minimal SMT-LIB2 repro.
+/// Instance domains (SMT / MBP / Itp / engine race) are assigned round-robin
+/// and each instance draws from its own Rng stream derived from (Seed, i),
+/// so the whole report — including every diagnostic string — is a pure
+/// function of the configuration. Two runs with the same flags produce
+/// byte-identical summaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_FUZZER_H
+#define MUCYC_TESTGEN_FUZZER_H
+
+#include "testgen/Gen.h"
+#include "testgen/Oracles.h"
+
+#include <string>
+#include <vector>
+
+namespace mucyc {
+
+/// Which instance domains the round-robin draws from.
+struct FuzzDomains {
+  bool Smt = true; ///< Formula verdict/model/negation/simplify checks.
+  bool Mbp = true; ///< Definition 1 projection contract.
+  bool Itp = true; ///< Interpolant contract.
+  bool Chc = true; ///< Four-engine race + Verify certification.
+};
+
+struct FuzzConfig {
+  uint64_t Seed = 0;
+  unsigned N = 100; ///< Instance count.
+  FuzzDomains Domains;
+  GenKnobs Knobs;
+  EngineRaceKnobs Race;
+  bool Shrink = true;           ///< Minimize failing instances.
+  unsigned ShrinkAttempts = 600; ///< Candidate budget per shrink.
+  std::string ReproDir; ///< When nonempty, failing repros are written here.
+};
+
+struct FuzzViolation {
+  unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
+  std::string Domain;     ///< "smt", "mbp", "itp" or "chc".
+  std::string Check;      ///< Stable tag of the violated contract clause.
+  std::string Detail;     ///< Human diagnostic from the oracle.
+  std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);
+                          ///< guaranteed to re-parse and re-fail.
+  std::string ReproPath;  ///< File the repro was written to ("" if none).
+};
+
+struct FuzzReport {
+  unsigned Ran = 0, Passed = 0, Skipped = 0;
+  std::vector<FuzzViolation> Violations;
+
+  bool ok() const { return Violations.empty(); }
+  /// Deterministic multi-line report (no timing, no absolute pointers).
+  std::string summary(const FuzzConfig &Cfg) const;
+};
+
+/// Runs the loop. \p Hooks inject faults for oracle self-tests; production
+/// passes nullptr.
+FuzzReport runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks = nullptr);
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_FUZZER_H

@@ -1,0 +1,236 @@
+//===- testgen/Gen.cpp - Random formula and CHC generators ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Gen.h"
+
+using namespace mucyc;
+
+VarPool mucyc::genVarPool(TermContext &Ctx, const GenKnobs &Knobs,
+                          const std::string &Prefix) {
+  VarPool P;
+  for (unsigned I = 0; I < Knobs.IntVars; ++I)
+    P.Ints.push_back(Ctx.mkFreshVar(Prefix + "i" + std::to_string(I),
+                                    Sort::Int));
+  for (unsigned I = 0; I < Knobs.RealVars; ++I)
+    P.Reals.push_back(Ctx.mkFreshVar(Prefix + "r" + std::to_string(I),
+                                     Sort::Real));
+  for (unsigned I = 0; I < Knobs.BoolVars; ++I)
+    P.Bools.push_back(Ctx.mkFreshVar(Prefix + "b" + std::to_string(I),
+                                     Sort::Bool));
+  return P;
+}
+
+namespace {
+
+/// Nonzero coefficient in [-Mag, Mag]; occasionally rational for Real.
+Rational genCoeff(Rng &R, const GenKnobs &Knobs, Sort S) {
+  int64_t Mag = Knobs.CoeffMag > 0 ? Knobs.CoeffMag : 1;
+  Rational C(R.intIn(1, Mag));
+  if (S == Sort::Real && Knobs.RationalCoeffs && R.oneIn(4))
+    C = C / Rational(R.intIn(2, 4));
+  return R.oneIn(2) ? -C : C;
+}
+
+/// Linear sum of 1..AtomVars draws from \p Vars (repeats merge in mkAdd).
+TermRef genLinSum(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                  const std::vector<TermRef> &Vars, Sort S) {
+  unsigned N = 1 + static_cast<unsigned>(
+                       R.below(std::max<unsigned>(1, Knobs.AtomVars)));
+  std::vector<TermRef> Terms;
+  for (unsigned I = 0; I < N; ++I)
+    Terms.push_back(Ctx.mkMul(genCoeff(R, Knobs, S), R.pick(Vars)));
+  return Ctx.mkAdd(std::move(Terms));
+}
+
+} // namespace
+
+TermRef mucyc::genLinAtom(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                          const std::vector<TermRef> &Vars, Sort S) {
+  TermRef Sum = genLinSum(Ctx, R, Knobs, Vars, S);
+  if (S == Sort::Int && Knobs.Divides && R.oneIn(6))
+    return Ctx.mkDivides(BigInt(R.intIn(2, 5)), Sum);
+  Rational K(R.intIn(-Knobs.CoeffMag, Knobs.CoeffMag));
+  if (S == Sort::Real && Knobs.RationalCoeffs && R.oneIn(4))
+    K = K / Rational(R.intIn(2, 4));
+  TermRef Konst = Ctx.mkConst(K, S);
+  switch (R.below(5)) {
+  case 0:
+    return Ctx.mkLe(Sum, Konst);
+  case 1:
+    return Ctx.mkLt(Sum, Konst);
+  case 2:
+    return Ctx.mkEq(Sum, Konst);
+  case 3:
+    return Ctx.mkGe(Sum, Konst);
+  default:
+    return Ctx.mkGt(Sum, Konst);
+  }
+}
+
+namespace {
+
+TermRef genAtom(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                const VarPool &Pool) {
+  // Bool variables are rare relative to arithmetic atoms.
+  if (!Pool.Bools.empty() && (Pool.hasArith() ? R.oneIn(5) : true))
+    return R.pick(Pool.Bools);
+  if (!Pool.hasArith())
+    return R.oneIn(2) ? Ctx.mkTrue() : Ctx.mkFalse();
+  bool UseInt = !Pool.Ints.empty() &&
+                (Pool.Reals.empty() || R.oneIn(2));
+  return UseInt ? genLinAtom(Ctx, R, Knobs, Pool.Ints, Sort::Int)
+                : genLinAtom(Ctx, R, Knobs, Pool.Reals, Sort::Real);
+}
+
+TermRef genFormulaDepth(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                        const VarPool &Pool, unsigned Depth) {
+  if (Depth == 0 || R.oneIn(3)) {
+    TermRef A = genAtom(Ctx, R, Knobs, Pool);
+    return R.oneIn(3) ? Ctx.mkNot(A) : A;
+  }
+  unsigned N = 2 + static_cast<unsigned>(
+                       R.below(std::max<unsigned>(1, Knobs.BoolArity - 1)));
+  std::vector<TermRef> Kids;
+  for (unsigned I = 0; I < N; ++I)
+    Kids.push_back(genFormulaDepth(Ctx, R, Knobs, Pool, Depth - 1));
+  TermRef F = R.oneIn(2) ? Ctx.mkAnd(std::move(Kids))
+                         : Ctx.mkOr(std::move(Kids));
+  return R.oneIn(5) ? Ctx.mkNot(F) : F;
+}
+
+} // namespace
+
+TermRef mucyc::genFormula(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                          const VarPool &Pool) {
+  return genFormulaDepth(Ctx, R, Knobs, Pool, Knobs.Depth);
+}
+
+//===----------------------------------------------------------------------===
+// Linear CHC systems
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// One guard/update atom over a single variable: v {<=,>=,=} c.
+TermRef genBoundAtom(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                     TermRef V, Sort S) {
+  TermRef K = Ctx.mkConst(Rational(R.intIn(-Knobs.CoeffMag, Knobs.CoeffMag)),
+                          S);
+  switch (R.below(3)) {
+  case 0:
+    return Ctx.mkLe(V, K);
+  case 1:
+    return Ctx.mkGe(V, K);
+  default:
+    return Ctx.mkEq(V, K);
+  }
+}
+
+} // namespace
+
+ChcSystem mucyc::genLinearChc(TermContext &Ctx, Rng &R,
+                              const GenKnobs &Knobs) {
+  ChcSystem Sys(Ctx);
+  Sort S = Knobs.RealChc ? Sort::Real : Sort::Int;
+
+  unsigned NP = 1 + static_cast<unsigned>(
+                        R.below(std::max<unsigned>(1, Knobs.Preds)));
+  unsigned Arity = 1 + static_cast<unsigned>(
+                           R.below(std::max<unsigned>(1, Knobs.PredArity)));
+  std::vector<PredId> Preds;
+  for (unsigned P = 0; P < NP; ++P)
+    Preds.push_back(Sys.addPred("P" + std::to_string(P),
+                                std::vector<Sort>(Arity, S)));
+
+  auto FreshTuple = [&](const char *Base) {
+    std::vector<TermRef> Vs;
+    for (unsigned I = 0; I < Arity; ++I)
+      Vs.push_back(Ctx.mkFreshVar(std::string(Base) + std::to_string(I), S));
+    return Vs;
+  };
+  auto AsApp = [&](PredId P, const std::vector<TermRef> &Vs) {
+    return PredApp{P, Vs};
+  };
+
+  // Fact: constrain each head variable to a constant or a bound so the
+  // initial region is small and BMC converges fast.
+  auto AddFact = [&] {
+    std::vector<TermRef> H = FreshTuple("h");
+    std::vector<TermRef> Cs;
+    for (TermRef V : H)
+      if (!R.oneIn(4))
+        Cs.push_back(R.oneIn(3) ? genBoundAtom(Ctx, R, Knobs, V, S)
+                                : Ctx.mkEq(V, Ctx.mkConst(Rational(R.intIn(
+                                                  -3, 3)),
+                                                          S)));
+    Clause C;
+    C.Constraint = Ctx.mkAnd(std::move(Cs));
+    C.Head = AsApp(R.pick(Preds), H);
+    Sys.addClause(std::move(C));
+  };
+
+  // Rule: src(b) /\ guard(b) /\ update(b, h) => dst(h). Updates are small
+  // linear steps h_j = +-b_k + c, occasionally a reset to a constant.
+  auto AddRule = [&] {
+    std::vector<TermRef> B = FreshTuple("b"), H = FreshTuple("h");
+    std::vector<TermRef> Cs;
+    for (TermRef V : H) {
+      if (R.oneIn(6))
+        continue; // Leave unconstrained (rare: blows up reach sets).
+      if (R.oneIn(4)) {
+        Cs.push_back(Ctx.mkEq(
+            V, Ctx.mkConst(Rational(R.intIn(-3, 3)), S)));
+        continue;
+      }
+      TermRef Src = R.pick(B);
+      if (R.oneIn(3))
+        Src = Ctx.mkNeg(Src);
+      TermRef Step = Ctx.mkAdd(
+          Src, Ctx.mkConst(Rational(R.intIn(-2, 2)), S));
+      Cs.push_back(Ctx.mkEq(V, Step));
+    }
+    if (R.oneIn(2))
+      Cs.push_back(genBoundAtom(Ctx, R, Knobs, R.pick(B), S));
+    Clause C;
+    C.Constraint = Ctx.mkAnd(std::move(Cs));
+    C.Body.push_back(AsApp(R.pick(Preds), B));
+    C.Head = AsApp(R.pick(Preds), H);
+    Sys.addClause(std::move(C));
+  };
+
+  // Query: src(b) /\ guards(b) => false.
+  auto AddQuery = [&] {
+    std::vector<TermRef> B = FreshTuple("q");
+    std::vector<TermRef> Cs;
+    unsigned NG = 1 + static_cast<unsigned>(R.below(2));
+    for (unsigned I = 0; I < NG; ++I)
+      Cs.push_back(genBoundAtom(Ctx, R, Knobs, R.pick(B), S));
+    Clause C;
+    C.Constraint = Ctx.mkAnd(std::move(Cs));
+    C.Body.push_back(AsApp(R.pick(Preds), B));
+    Sys.addClause(std::move(C));
+  };
+
+  AddFact();
+  AddQuery();
+  unsigned Extra =
+      Knobs.Clauses > 2 ? static_cast<unsigned>(R.below(Knobs.Clauses - 1))
+                        : 0;
+  for (unsigned I = 0; I < Extra; ++I) {
+    switch (R.below(4)) {
+    case 0:
+      AddFact();
+      break;
+    case 1:
+      AddQuery();
+      break;
+    default:
+      AddRule();
+      break;
+    }
+  }
+  return Sys;
+}

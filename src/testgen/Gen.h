@@ -1,0 +1,82 @@
+//===- testgen/Gen.h - Random formula and CHC generators --------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-deterministic generators for the fuzzing subsystem: random QF
+/// Bool+LIA+LRA formulas and random linear CHC systems, sized by the
+/// GenKnobs struct. The grammar mirrors what the term builders canonicalize
+/// (And/Or/Not over linear atoms and divisibility constraints), so every
+/// generated object prints through printSmtLib / toString and re-parses.
+///
+/// Determinism contract: a generator's output is a pure function of the Rng
+/// state and the knobs. Generators draw from the Rng in a fixed order and
+/// never consult wall clock, pointer values, or container iteration order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_GEN_H
+#define MUCYC_TESTGEN_GEN_H
+
+#include "chc/Chc.h"
+#include "testgen/Rng.h"
+
+namespace mucyc {
+
+/// Size/shape knobs for both generators. Defaults are small on purpose:
+/// differential oracles re-solve every instance several times, and small
+/// instances shrink better.
+struct GenKnobs {
+  // Formula shape.
+  unsigned IntVars = 3;  ///< Int variable pool size.
+  unsigned RealVars = 2; ///< Real variable pool size.
+  unsigned BoolVars = 1; ///< Bool variable pool size.
+  unsigned Depth = 3;    ///< Max nesting of and/or/not.
+  unsigned BoolArity = 3; ///< Max children per and/or node.
+  unsigned AtomVars = 3; ///< Max distinct variables per linear atom.
+  int64_t CoeffMag = 8;  ///< Max |coefficient| and |constant|.
+  bool RationalCoeffs = true; ///< Allow non-integral Real coefficients.
+  bool Divides = true;   ///< Allow (_ divisible d) atoms over Int.
+
+  // CHC shape.
+  unsigned Preds = 2;     ///< Max predicate count.
+  unsigned PredArity = 2; ///< Max predicate arity.
+  unsigned Clauses = 6;   ///< Max clause count.
+  bool RealChc = false;   ///< Predicate argument sort Real instead of Int.
+};
+
+/// A pool of declared variables to draw atoms from, split by sort.
+struct VarPool {
+  std::vector<TermRef> Ints, Reals, Bools;
+
+  bool hasArith() const { return !Ints.empty() || !Reals.empty(); }
+};
+
+/// Declares Knobs.{Int,Real,Bool}Vars fresh variables named
+/// <prefix>i0..., <prefix>r0..., <prefix>b0.... Prefixes let oracle replay
+/// code re-identify variable roles after a print/parse round trip (parsing
+/// freshens names by appending "!n", so startsWith(prefix) survives).
+VarPool genVarPool(TermContext &Ctx, const GenKnobs &Knobs,
+                   const std::string &Prefix);
+
+/// Random linear atom over variables of one numeric sort:
+/// sum of coefficient*var {<=,<,=,>=,>} constant, or (d | sum) for Int.
+TermRef genLinAtom(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                   const std::vector<TermRef> &Vars, Sort S);
+
+/// Random quantifier-free formula over the pool, depth-bounded by the
+/// knobs. Builders canonicalize on the fly, so the result may be smaller
+/// than the drawn shape (including literal true/false).
+TermRef genFormula(TermContext &Ctx, Rng &R, const GenKnobs &Knobs,
+                   const VarPool &Pool);
+
+/// Random linear CHC system: at least one fact and one query, plus
+/// transition rules whose constraints relate head to body arguments by
+/// small linear updates. Every clause has at most one body atom.
+ChcSystem genLinearChc(TermContext &Ctx, Rng &R, const GenKnobs &Knobs);
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_GEN_H

@@ -1,0 +1,300 @@
+//===- testgen/Oracles.cpp - Differential and metamorphic oracles ---------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Oracles.h"
+
+#include "chc/Parser.h"
+#include "chc/Preprocess.h"
+#include "itp/Interpolate.h"
+#include "mbp/Qe.h"
+#include "runtime/Scheduler.h"
+#include "smt/SmtSolver.h"
+
+#include <algorithm>
+
+using namespace mucyc;
+
+namespace {
+
+/// Lemma budget for oracle-side SMT queries. Generated instances are tiny;
+/// a formula that exhausts this is pathological and the instance is
+/// skipped rather than risking the quickCheck/implies Unknown assertion.
+constexpr uint64_t OracleLemmaBudget = 200000;
+
+/// Budgeted one-shot check that reports Unknown instead of asserting.
+SmtStatus budgetedCheck(TermContext &Ctx, const std::vector<TermRef> &Conj,
+                        Model *ModelOut = nullptr) {
+  SmtSolver S(Ctx);
+  S.setLemmaBudget(OracleLemmaBudget);
+  for (TermRef T : Conj)
+    S.assertFormula(T);
+  SmtStatus St = S.check();
+  if (St == SmtStatus::Sat && ModelOut)
+    *ModelOut = S.model();
+  return St;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===
+// SMT oracle
+//===----------------------------------------------------------------------===
+
+OracleOutcome mucyc::checkSmtFormula(TermContext &Ctx, TermRef F) {
+  Model M;
+  SmtStatus SF = budgetedCheck(Ctx, {F}, &M);
+  if (SF == SmtStatus::Unknown)
+    return OracleOutcome::skip("solver exhausted its budget on F");
+  if (SF == SmtStatus::Sat && !M.holds(Ctx, F))
+    return OracleOutcome::fail(
+        "smt-model", "sat verdict but the model " + M.toString(Ctx) +
+                         " evaluates F to false; F = " + Ctx.toString(F));
+
+  TermRef NotF = Ctx.mkNot(F);
+  Model MN;
+  SmtStatus SN = budgetedCheck(Ctx, {NotF}, &MN);
+  if (SN == SmtStatus::Unknown)
+    return OracleOutcome::skip("solver exhausted its budget on not F");
+  if (SN == SmtStatus::Sat && !MN.holds(Ctx, NotF))
+    return OracleOutcome::fail(
+        "smt-model", "sat verdict but the model " + MN.toString(Ctx) +
+                         " evaluates not(F) to false; F = " +
+                         Ctx.toString(F));
+  if (SF == SmtStatus::Unsat && SN == SmtStatus::Unsat)
+    return OracleOutcome::fail(
+        "smt-excluded-middle",
+        "both F and not(F) reported unsat; F = " + Ctx.toString(F));
+
+  // Metamorphic: simplification must preserve the verdict.
+  TermRef FS = Ctx.simplify(F);
+  if (FS != F) {
+    SmtStatus SS = budgetedCheck(Ctx, {FS});
+    if (SS != SmtStatus::Unknown && SS != SF)
+      return OracleOutcome::fail(
+          "smt-simplify",
+          "simplify changed the verdict from " +
+              std::string(SF == SmtStatus::Sat ? "sat" : "unsat") + " to " +
+              std::string(SS == SmtStatus::Sat ? "sat" : "unsat") +
+              "; F = " + Ctx.toString(F));
+  }
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// MBP oracle (Definition 1)
+//===----------------------------------------------------------------------===
+
+OracleOutcome mucyc::checkMbpContract(TermContext &Ctx, TermRef Phi,
+                                      const std::vector<VarId> &Elim,
+                                      const OracleHooks *Hooks) {
+  Model M;
+  SmtStatus St = budgetedCheck(Ctx, {Phi}, &M);
+  if (St != SmtStatus::Sat)
+    return OracleOutcome::skip("phi is unsat or over budget: no model to "
+                               "project");
+  if (!M.holds(Ctx, Phi))
+    return OracleOutcome::fail(
+        "smt-model", "model " + M.toString(Ctx) +
+                         " does not satisfy phi = " + Ctx.toString(Phi));
+
+  // Reference: full quantifier elimination, cross-checked independently —
+  // phi must imply its own projection (exists-introduction), and the model
+  // must stay inside it.
+  TermRef Exists = qeExists(Ctx, Elim, Phi);
+  if (!SmtSolver::implies(Ctx, Phi, Exists))
+    return OracleOutcome::fail(
+        "qe-under", "QE(exists x. phi) misses phi itself: phi = " +
+                        Ctx.toString(Phi) + ", QE = " +
+                        Ctx.toString(Exists));
+  if (!M.holds(Ctx, Exists))
+    return OracleOutcome::fail(
+        "qe-model", "model " + M.toString(Ctx) +
+                        " falls outside QE(exists x. phi) = " +
+                        Ctx.toString(Exists));
+
+  for (MbpStrategy Strat : {MbpStrategy::LazyProject,
+                            MbpStrategy::ModelDiagram, MbpStrategy::FullQe}) {
+    TermRef Psi = mbp(Ctx, Strat, Elim, Phi, M);
+    if (Hooks && Hooks->MangleMbp)
+      Psi = Hooks->MangleMbp(Ctx, Psi);
+    std::string Tag = mbpStrategyName(Strat);
+    // M |= psi.
+    if (!M.holds(Ctx, Psi))
+      return OracleOutcome::fail(
+          "mbp-model", Tag + ": model " + M.toString(Ctx) +
+                           " does not satisfy the projection " +
+                           Ctx.toString(Psi));
+    // vars(psi) disjoint from the eliminated tuple.
+    for (VarId V : Ctx.freeVars(Psi))
+      if (std::find(Elim.begin(), Elim.end(), V) != Elim.end())
+        return OracleOutcome::fail(
+            "mbp-vars", Tag + ": projection mentions eliminated variable " +
+                            Ctx.varInfo(V).Name + ": " + Ctx.toString(Psi));
+    // psi => exists x. phi.
+    if (!SmtSolver::implies(Ctx, Psi, Exists))
+      return OracleOutcome::fail(
+          "mbp-implies-exists",
+          Tag + ": projection is not an under-approximation: psi = " +
+              Ctx.toString(Psi) + " does not imply QE = " +
+              Ctx.toString(Exists));
+  }
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// Interpolation oracle
+//===----------------------------------------------------------------------===
+
+OracleOutcome mucyc::checkItpContract(TermContext &Ctx, TermRef A,
+                                      const std::vector<TermRef> &CubeLits,
+                                      const OracleHooks *Hooks) {
+  TermRef Cube = Ctx.mkAnd(CubeLits);
+  TermRef B = Ctx.mkNot(Cube);
+  // Precondition |= A => B, i.e. A /\ cube unsat. Callers generate cube
+  // candidates; reject the ones that do not block.
+  SmtStatus Pre = budgetedCheck(Ctx, {A, Cube});
+  if (Pre != SmtStatus::Unsat)
+    return OracleOutcome::skip("A /\\ cube is satisfiable (or over "
+                               "budget): Itp precondition fails");
+
+  for (ItpMode Mode :
+       {ItpMode::CubeGeneralize, ItpMode::QeStrongest, ItpMode::WeakestB}) {
+    TermRef I = interpolate(Ctx, A, B, Mode);
+    if (Hooks && Hooks->MangleItp)
+      I = Hooks->MangleItp(Ctx, I);
+    std::string Tag = Mode == ItpMode::CubeGeneralize ? "CubeGeneralize"
+                      : Mode == ItpMode::QeStrongest  ? "QeStrongest"
+                                                      : "WeakestB";
+    if (!SmtSolver::implies(Ctx, A, I))
+      return OracleOutcome::fail(
+          "itp-a-implies-i", Tag + ": A does not imply the interpolant; "
+                                   "A = " + Ctx.toString(A) + ", I = " +
+                                   Ctx.toString(I));
+    if (!SmtSolver::implies(Ctx, I, B))
+      return OracleOutcome::fail(
+          "itp-i-implies-b", Tag + ": interpolant does not imply B; I = " +
+                                 Ctx.toString(I) + ", B = " +
+                                 Ctx.toString(B));
+    std::vector<VarId> BVars = Ctx.freeVars(B);
+    for (VarId V : Ctx.freeVars(I))
+      if (std::find(BVars.begin(), BVars.end(), V) == BVars.end())
+        return OracleOutcome::fail(
+            "itp-vocab", Tag + ": interpolant mentions " +
+                             Ctx.varInfo(V).Name +
+                             ", which is not a variable of B; I = " +
+                             Ctx.toString(I));
+  }
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// Engine-agreement oracle
+//===----------------------------------------------------------------------===
+
+namespace {
+
+const char *EngineConfigs[] = {"Ret(T,MBP(1))", "Yld(T,MBP(1))",
+                               "SpacerTS(fig1)", "Solve"};
+
+/// The frontend pipeline every racer runs in its private context. Falls
+/// back to the unpreprocessed system when resolution eliminates every
+/// predicate (normalize requires at least one).
+NormalizedChc buildPipeline(ChcSystem &Orig) {
+  ChcSystem Work = preprocess(Orig);
+  if (Work.numPreds() == 0)
+    return normalize(Orig).Sys;
+  return normalize(Work).Sys;
+}
+
+} // namespace
+
+OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
+                                          const EngineRaceKnobs &Knobs,
+                                          const OracleHooks *Hooks) {
+  // The racers rebuild the system from printed SMT-LIB2 in their private
+  // contexts (hash consing is not thread-safe), which doubles as a
+  // print/parse round-trip check on every generated system.
+  std::string Text = printSmtLib(Sys);
+  {
+    TermContext Probe;
+    ParseResult PR = parseChc(Probe, Text);
+    if (!PR.Ok)
+      return OracleOutcome::fail(
+          "print-parse", "printSmtLib output does not re-parse: " +
+                             PR.Error + "\n" + Text);
+  }
+
+  // Ground truth on the local copy, through the same preprocess pipeline.
+  ChcSystem Local = Sys;
+  TermContext &Ctx = Local.ctx();
+  NormalizedChc N = buildPipeline(Local);
+  ChcStatus Truth = bmcStatus(Ctx, N, Knobs.BmcDepth);
+
+  std::vector<SolveJob> Batch;
+  for (const char *Name : EngineConfigs) {
+    auto Opts = SolverOptions::parse(Name);
+    assert(Opts && "bad engine config name");
+    Opts->MaxRefineSteps = Knobs.RefineBudget;
+    Opts->MaxDepth = Knobs.MaxDepth;
+    Opts->VerifyResult = true;
+    SolveJob J;
+    J.Opts = *Opts;
+    // No wall-clock deadline: the refine-step budget is the cutoff, so a
+    // job's status is a deterministic function of the instance.
+    J.DeadlineMs = 0;
+    J.Build = [Text](TermContext &C) {
+      ParseResult PR = parseChc(C, Text);
+      assert(PR.Ok && "probe-validated text failed to parse");
+      return buildPipeline(*PR.System);
+    };
+    Batch.push_back(std::move(J));
+  }
+  Scheduler Sched(Knobs.Jobs);
+  std::vector<SolveJobOutcome> Out = Sched.run(Batch);
+
+  std::vector<ChcStatus> Statuses;
+  for (size_t I = 0; I < Out.size(); ++I) {
+    ChcStatus S = Out[I].Status;
+    if (Hooks && Hooks->MangleEngine)
+      S = Hooks->MangleEngine(I, S);
+    else if (Out[I].VerifyFailed)
+      // With the hook active the mangled status no longer corresponds to
+      // the in-job verification, so this check only runs unhooked.
+      return OracleOutcome::fail(
+          "verify-cert", std::string(EngineConfigs[I]) +
+                             " produced an answer refuted by independent "
+                             "verification — " + Out[I].VerifyNote);
+    Statuses.push_back(S);
+  }
+
+  auto Describe = [&] {
+    std::string D;
+    for (size_t I = 0; I < Statuses.size(); ++I)
+      D += std::string(I ? ", " : "") + EngineConfigs[I] + "=" +
+           chcStatusName(Statuses[I]);
+    D += std::string(", bmc=") + chcStatusName(Truth);
+    return D;
+  };
+
+  bool AnySat = false, AnyUnsat = false;
+  for (ChcStatus S : Statuses) {
+    AnySat |= S == ChcStatus::Sat;
+    AnyUnsat |= S == ChcStatus::Unsat;
+  }
+  if (AnySat && AnyUnsat)
+    return OracleOutcome::fail("engine-disagree",
+                               "engines split sat/unsat: " + Describe());
+  if (Truth != ChcStatus::Unknown)
+    for (ChcStatus S : Statuses)
+      if (S != ChcStatus::Unknown && S != Truth)
+        return OracleOutcome::fail(
+            "ground-truth",
+            "engine verdict contradicts BMC ground truth: " + Describe());
+  if (!AnySat && !AnyUnsat && Truth == ChcStatus::Unknown)
+    return OracleOutcome::skip("no engine and no BMC verdict within "
+                               "budget");
+  return OracleOutcome::pass();
+}

@@ -1,0 +1,111 @@
+//===- testgen/Oracles.h - Differential and metamorphic oracles -*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The correctness oracles of the fuzzing subsystem. Each oracle takes a
+/// generated object and checks a contract the paper states explicitly:
+///
+///  * SMT: a Sat verdict must come with a model that evaluates the formula
+///    to true (ground evaluation is an independent implementation of the
+///    semantics); F and not(F) cannot both be Unsat; simplify() preserves
+///    the verdict.
+///  * MBP (Definition 1): psi = Mbp(phi, M) must satisfy M |= psi,
+///    vars(psi) disjoint from the eliminated tuple, and psi => exists x.phi
+///    (checked against full QE, which is itself cross-checked with
+///    phi => QE(phi)).
+///  * Itp (Section 2.1): |= A => I, |= I => B, vars(I) contained in
+///    vars(B) — for every interpolation mode.
+///  * Engines: all four solver back-ends (Ret, Yld, SpacerTS, Solve) are
+///    raced through the runtime Scheduler on the same system and must
+///    agree with each other, with BMC ground truth, and every Sat/Unsat
+///    answer must survive the independent Verify certification.
+///
+/// Oracles report Pass / Fail / Skip; Skip means the instance could not
+/// exercise the contract (e.g. the formula was unsatisfiable so there is
+/// no model to project). Fault-injection hooks let tests confirm that each
+/// oracle actually fires; production runs pass no hooks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_ORACLES_H
+#define MUCYC_TESTGEN_ORACLES_H
+
+#include "chc/Chc.h"
+#include "solver/ChcSolve.h"
+
+#include <functional>
+#include <string>
+
+namespace mucyc {
+
+/// Test-only fault injection. Each hook post-processes one procedure's
+/// output before the oracle inspects it, simulating a bug in that
+/// procedure; all hooks are null in production fuzzing.
+struct OracleHooks {
+  /// Mangles an MBP result, e.g. flips one literal.
+  std::function<TermRef(TermContext &, TermRef)> MangleMbp;
+  /// Mangles an interpolant, e.g. truncates it to one literal.
+  std::function<TermRef(TermContext &, TermRef)> MangleItp;
+  /// Mangles one engine's verdict, e.g. flips Sat to Unsat.
+  std::function<ChcStatus(size_t MemberIdx, ChcStatus)> MangleEngine;
+};
+
+enum class OracleStatus { Pass, Fail, Skip };
+
+/// Outcome of one oracle run. On Fail, Check is a stable machine-readable
+/// tag for the violated contract clause and Detail a human diagnostic;
+/// both are deterministic functions of the instance.
+struct OracleOutcome {
+  OracleStatus Status = OracleStatus::Pass;
+  std::string Check;
+  std::string Detail;
+
+  bool failed() const { return Status == OracleStatus::Fail; }
+
+  static OracleOutcome pass() { return {}; }
+  static OracleOutcome skip(std::string Why) {
+    return {OracleStatus::Skip, "", std::move(Why)};
+  }
+  static OracleOutcome fail(std::string Check, std::string Detail) {
+    return {OracleStatus::Fail, std::move(Check), std::move(Detail)};
+  }
+};
+
+/// Knobs for the engine-agreement oracle.
+struct EngineRaceKnobs {
+  uint64_t RefineBudget = 300; ///< MaxRefineSteps per engine (deterministic
+                               ///< cutoff — never a wall-clock deadline).
+  int MaxDepth = 12;           ///< Unfolding cap per engine.
+  int BmcDepth = 5;            ///< Ground-truth bounded-reach horizon.
+  unsigned Jobs = 0;           ///< Scheduler workers (0 = hardware).
+};
+
+/// SMT verdict/model/negation/simplify cross-checks on one formula.
+OracleOutcome checkSmtFormula(TermContext &Ctx, TermRef F);
+
+/// Definition 1 contract for every MBP strategy on (Phi, Elim); finds the
+/// model itself (Skip when Phi is unsat).
+OracleOutcome checkMbpContract(TermContext &Ctx, TermRef Phi,
+                               const std::vector<VarId> &Elim,
+                               const OracleHooks *Hooks = nullptr);
+
+/// Interpolation contract for every ItpMode on A and B = not(/\ CubeLits).
+/// Skips unless |= A => B actually holds (callers generate candidates).
+OracleOutcome checkItpContract(TermContext &Ctx, TermRef A,
+                               const std::vector<TermRef> &CubeLits,
+                               const OracleHooks *Hooks = nullptr);
+
+/// Races all four engines on \p Sys via the runtime Scheduler (each in a
+/// private TermContext rebuilt from printed SMT-LIB2), requires pairwise
+/// agreement, agreement with BMC ground truth, and Verify certification of
+/// every definitive answer.
+OracleOutcome checkEngineAgreement(const ChcSystem &Sys,
+                                   const EngineRaceKnobs &Knobs,
+                                   const OracleHooks *Hooks = nullptr);
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_ORACLES_H

@@ -1,0 +1,83 @@
+//===- testgen/Rng.h - Deterministic split-mix PRNG -------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The random source for all generated test inputs. Every draw is a pure
+/// function of the 64-bit seed, using only fixed-width integer arithmetic,
+/// so a (seed, instance-index) pair reproduces the same formula on any
+/// platform and any standard library — the property the fuzzer's
+/// "two runs are byte-identical" contract and every checked-in regression
+/// corpus entry depend on. std::mt19937 would pin the engine but not the
+/// distributions, which the standard leaves implementation-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_RNG_H
+#define MUCYC_TESTGEN_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mucyc {
+
+/// SplitMix64 (Steele, Lea & Flood 2014): tiny state, full 64-bit output,
+/// passes BigCrush; more than enough for input generation.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit draw.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform draw in [0, N). N must be positive. Multiply-shift reduction
+  /// (Lemire); the slight non-uniformity for huge N is irrelevant here.
+  uint64_t below(uint64_t N) {
+    assert(N > 0 && "empty range");
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * N) >> 64);
+  }
+
+  /// Uniform draw in [Lo, Hi] inclusive.
+  int64_t intIn(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty interval");
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+  /// True with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+  /// True with probability 1/N.
+  bool oneIn(uint64_t N) { return below(N) == 0; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T> const T &pick(const std::vector<T> &Xs) {
+    assert(!Xs.empty() && "pick from empty vector");
+    return Xs[below(Xs.size())];
+  }
+
+  /// Derives an independent stream for instance \p Index: feeding the
+  /// mixed value as a fresh seed decorrelates the per-instance streams so
+  /// inserting an instance never perturbs the ones after it.
+  static uint64_t deriveSeed(uint64_t Seed, uint64_t Index) {
+    Rng R(Seed ^ (0x6a09e667f3bcc909ull + Index * 0x9e3779b97f4a7c15ull));
+    return R.next();
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_RNG_H

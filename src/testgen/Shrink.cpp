@@ -1,0 +1,373 @@
+//===- testgen/Shrink.cpp - Delta-debugging minimizer ---------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/Shrink.h"
+
+#include "chc/Parser.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace mucyc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// System surgery helpers (all build a sibling system in the same context)
+//===----------------------------------------------------------------------===
+
+ChcSystem emptyLike(const ChcSystem &S) {
+  ChcSystem Out(S.ctx());
+  for (PredId P = 0; P < S.numPreds(); ++P)
+    Out.addPred(S.pred(P).Name, S.pred(P).ArgSorts);
+  return Out;
+}
+
+ChcSystem subsetSystem(const ChcSystem &S, const std::vector<size_t> &Keep) {
+  ChcSystem Out = emptyLike(S);
+  for (size_t I : Keep)
+    Out.addClause(S.clauses()[I]);
+  return Out;
+}
+
+ChcSystem replaceClause(const ChcSystem &S, size_t Idx, Clause C) {
+  ChcSystem Out = emptyLike(S);
+  for (size_t I = 0; I < S.clauses().size(); ++I)
+    Out.addClause(I == Idx ? C : S.clauses()[I]);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// Numeric-constant sites
+//===----------------------------------------------------------------------===
+
+/// One occurrence of a numeric value in the system, in deterministic
+/// pre-order traversal position. IsDivides marks a divisibility modulus
+/// (which must stay a positive integer).
+struct ValSite {
+  Rational Val;
+  bool IsDivides = false;
+};
+
+Rational rabs(const Rational &V) { return V.sgn() < 0 ? -V : V; }
+
+void collectSitesTerm(const TermContext &C, TermRef T,
+                      std::vector<ValSite> &Sites) {
+  const TermNode &N = C.node(T);
+  switch (N.K) {
+  case Kind::Const:
+    Sites.push_back({N.Val, false});
+    return;
+  case Kind::Mul:
+  case Kind::Divides:
+    Sites.push_back({N.Val, N.K == Kind::Divides});
+    break;
+  default:
+    break;
+  }
+  for (TermRef Kid : N.Kids)
+    collectSitesTerm(C, Kid, Sites);
+}
+
+/// Rebuilds \p T with value-site \p Target (in the running \p Counter
+/// numbering) replaced by \p NewVal. Goes through the builders, so the
+/// result is canonical.
+TermRef rebuildTerm(TermContext &C, TermRef T, unsigned &Counter,
+                    unsigned Target, const Rational &NewVal) {
+  const TermNode &N = C.node(T);
+  switch (N.K) {
+  case Kind::True:
+  case Kind::False:
+  case Kind::Var:
+    return T;
+  case Kind::Const:
+    return Counter++ == Target ? C.mkConst(NewVal, N.S) : T;
+  case Kind::Mul: {
+    bool IsTarget = Counter++ == Target;
+    TermRef Kid = rebuildTerm(C, N.Kids[0], Counter, Target, NewVal);
+    return C.mkMul(IsTarget ? NewVal : N.Val, Kid);
+  }
+  case Kind::Divides: {
+    bool IsTarget = Counter++ == Target;
+    TermRef Kid = rebuildTerm(C, N.Kids[0], Counter, Target, NewVal);
+    return C.mkDivides(IsTarget ? NewVal.num() : N.Val.num(), Kid);
+  }
+  case Kind::Not:
+    return C.mkNot(rebuildTerm(C, N.Kids[0], Counter, Target, NewVal));
+  case Kind::And:
+  case Kind::Or:
+  case Kind::Add: {
+    std::vector<TermRef> Kids;
+    for (TermRef Kid : N.Kids)
+      Kids.push_back(rebuildTerm(C, Kid, Counter, Target, NewVal));
+    return N.K == Kind::And   ? C.mkAnd(std::move(Kids))
+           : N.K == Kind::Or  ? C.mkOr(std::move(Kids))
+                              : C.mkAdd(std::move(Kids));
+  }
+  case Kind::Le:
+  case Kind::Lt:
+  case Kind::EqA: {
+    TermRef A = rebuildTerm(C, N.Kids[0], Counter, Target, NewVal);
+    TermRef B = rebuildTerm(C, N.Kids[1], Counter, Target, NewVal);
+    return N.K == Kind::Le   ? C.mkLe(A, B)
+           : N.K == Kind::Lt ? C.mkLt(A, B)
+                             : C.mkEq(A, B);
+  }
+  }
+  return T;
+}
+
+void collectSitesClause(const TermContext &C, const Clause &Cl,
+                        std::vector<ValSite> &Sites) {
+  for (const PredApp &B : Cl.Body)
+    for (TermRef A : B.Args)
+      collectSitesTerm(C, A, Sites);
+  collectSitesTerm(C, Cl.Constraint, Sites);
+  if (Cl.Head)
+    for (TermRef A : Cl.Head->Args)
+      collectSitesTerm(C, A, Sites);
+}
+
+ChcSystem rebuildSystem(const ChcSystem &S, unsigned Target,
+                        const Rational &NewVal) {
+  TermContext &C = S.ctx();
+  ChcSystem Out = emptyLike(S);
+  unsigned Counter = 0;
+  for (const Clause &Cl : S.clauses()) {
+    Clause NC;
+    for (const PredApp &B : Cl.Body) {
+      PredApp App{B.Pred, {}};
+      for (TermRef A : B.Args)
+        App.Args.push_back(rebuildTerm(C, A, Counter, Target, NewVal));
+      NC.Body.push_back(std::move(App));
+    }
+    NC.Constraint = rebuildTerm(C, Cl.Constraint, Counter, Target, NewVal);
+    if (Cl.Head) {
+      PredApp App{Cl.Head->Pred, {}};
+      for (TermRef A : Cl.Head->Args)
+        App.Args.push_back(rebuildTerm(C, A, Counter, Target, NewVal));
+      NC.Head = std::move(App);
+    }
+    Out.addClause(std::move(NC));
+  }
+  return Out;
+}
+
+/// Strictly smaller replacement candidates for one site, in preference
+/// order. The strict magnitude decrease makes the coefficient pass a
+/// well-founded descent.
+std::vector<Rational> shrinkCandidates(const ValSite &Site) {
+  const Rational &V = Site.Val;
+  std::vector<Rational> Out;
+  auto Push = [&](Rational C) {
+    if (rabs(C) >= rabs(V))
+      return;
+    if (std::find(Out.begin(), Out.end(), C) != Out.end())
+      return;
+    Out.push_back(std::move(C));
+  };
+  if (Site.IsDivides) {
+    // Modulus: positive integers only; 1 makes the atom trivially true.
+    Push(Rational(1));
+    Push(Rational(2));
+    Push(Rational(V.num().floorDiv(BigInt(2))));
+    Out.erase(std::remove_if(Out.begin(), Out.end(),
+                             [](const Rational &C) { return C.sgn() <= 0; }),
+              Out.end());
+    return Out;
+  }
+  Push(Rational(0));
+  Push(Rational(1));
+  Push(Rational(-1));
+  // Integer half, rounded toward zero — strictly smaller for |V| > 1.
+  Rational Half = V / Rational(2);
+  Push(Rational(V.sgn() >= 0 ? Half.floor() : Half.ceil()));
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// The shrinking loop
+//===----------------------------------------------------------------------===
+
+struct Shrinker {
+  const SystemFailPred &Fails;
+  unsigned MaxAttempts;
+  ShrinkStats Stats;
+  std::string Best;
+
+  bool budget() const { return Stats.Attempts < MaxAttempts; }
+
+  /// Prints the candidate, re-parses it into a fresh context (guaranteeing
+  /// the repro round-trips), and keeps it iff the failure persists.
+  bool accept(const ChcSystem &Cand) {
+    if (!budget())
+      return false;
+    std::string Text = printSmtLib(Cand);
+    if (Text == Best)
+      return false;
+    ++Stats.Attempts;
+    TermContext Ctx;
+    ParseResult PR = parseChc(Ctx, Text);
+    if (!PR.Ok || !Fails(*PR.System))
+      return false;
+    Best = std::move(Text);
+    ++Stats.Accepted;
+    return true;
+  }
+
+  /// Parses the current best; always succeeds because Best is either the
+  /// validated input or a printed system that already re-parsed once.
+  ParseResult parseBest(TermContext &Ctx) const {
+    ParseResult PR = parseChc(Ctx, Best);
+    assert(PR.Ok && "current best repro stopped parsing");
+    return PR;
+  }
+
+  /// Zeller-Hildebrandt ddmin over the clause index set.
+  bool ddminClauses() {
+    TermContext Ctx;
+    ParseResult PR = parseBest(Ctx);
+    const ChcSystem &S = *PR.System;
+    std::vector<size_t> Idx(S.clauses().size());
+    std::iota(Idx.begin(), Idx.end(), 0);
+    bool Any = false;
+    size_t Gran = 2;
+    while (Idx.size() >= 2 && budget()) {
+      size_t Chunk = (Idx.size() + Gran - 1) / Gran;
+      bool Reduced = false;
+      for (size_t Start = 0; Start < Idx.size() && !Reduced;
+           Start += Chunk) {
+        std::vector<size_t> Complement;
+        for (size_t I = 0; I < Idx.size(); ++I)
+          if (I < Start || I >= Start + Chunk)
+            Complement.push_back(Idx[I]);
+        if (Complement.empty())
+          continue;
+        if (accept(subsetSystem(S, Complement))) {
+          Idx = std::move(Complement);
+          Gran = std::max<size_t>(Gran - 1, 2);
+          Reduced = Any = true;
+        }
+      }
+      if (!Reduced) {
+        if (Gran >= Idx.size())
+          break;
+        Gran = std::min(Idx.size(), Gran * 2);
+      }
+    }
+    return Any;
+  }
+
+  /// Drops one body atom at a time, to a fixpoint.
+  bool dropBodyAtoms() {
+    bool Any = false, Changed = true;
+    while (Changed && budget()) {
+      Changed = false;
+      TermContext Ctx;
+      ParseResult PR = parseBest(Ctx);
+      const ChcSystem &S = *PR.System;
+      for (size_t CI = 0; CI < S.clauses().size() && !Changed; ++CI) {
+        const Clause &Cl = S.clauses()[CI];
+        for (size_t BI = 0; BI < Cl.Body.size() && !Changed; ++BI) {
+          Clause NC = Cl;
+          NC.Body.erase(NC.Body.begin() + BI);
+          if (accept(replaceClause(S, CI, std::move(NC))))
+            Changed = Any = true;
+        }
+      }
+    }
+    return Any;
+  }
+
+  /// Drops one constraint conjunct at a time (or the whole constraint), to
+  /// a fixpoint.
+  bool dropConjuncts() {
+    bool Any = false, Changed = true;
+    while (Changed && budget()) {
+      Changed = false;
+      TermContext Ctx;
+      ParseResult PR = parseBest(Ctx);
+      const ChcSystem &S = *PR.System;
+      for (size_t CI = 0; CI < S.clauses().size() && !Changed; ++CI) {
+        const Clause &Cl = S.clauses()[CI];
+        if (Ctx.kind(Cl.Constraint) == Kind::True)
+          continue;
+        std::vector<std::vector<TermRef>> Candidates;
+        if (Ctx.kind(Cl.Constraint) == Kind::And) {
+          const std::vector<TermRef> &Kids = Ctx.node(Cl.Constraint).Kids;
+          for (size_t J = 0; J < Kids.size(); ++J) {
+            std::vector<TermRef> Keep;
+            for (size_t I = 0; I < Kids.size(); ++I)
+              if (I != J)
+                Keep.push_back(Kids[I]);
+            Candidates.push_back(std::move(Keep));
+          }
+        }
+        Candidates.push_back({}); // Drop the constraint entirely.
+        for (auto &Keep : Candidates) {
+          Clause NC = Cl;
+          NC.Constraint =
+              Keep.empty() ? Ctx.mkTrue() : Ctx.mkAnd(std::move(Keep));
+          if (accept(replaceClause(S, CI, std::move(NC)))) {
+            Changed = Any = true;
+            break;
+          }
+        }
+      }
+    }
+    return Any;
+  }
+
+  /// Shrinks numeric constants toward 0/±1, to a fixpoint (terminates: the
+  /// total coefficient magnitude strictly decreases on every acceptance).
+  bool shrinkCoeffs() {
+    bool Any = false, Changed = true;
+    while (Changed && budget()) {
+      Changed = false;
+      TermContext Ctx;
+      ParseResult PR = parseBest(Ctx);
+      const ChcSystem &S = *PR.System;
+      std::vector<ValSite> Sites;
+      for (const Clause &Cl : S.clauses())
+        collectSitesClause(Ctx, Cl, Sites);
+      for (unsigned K = 0; K < Sites.size() && !Changed; ++K)
+        for (const Rational &NewVal : shrinkCandidates(Sites[K])) {
+          if (accept(rebuildSystem(S, K, NewVal))) {
+            Changed = Any = true;
+            break;
+          }
+          if (!budget())
+            break;
+        }
+    }
+    return Any;
+  }
+};
+
+} // namespace
+
+std::string mucyc::shrinkChc(const std::string &SmtLib,
+                             const SystemFailPred &Fails,
+                             unsigned MaxAttempts, ShrinkStats *Stats) {
+  {
+    TermContext Ctx;
+    ParseResult PR = parseChc(Ctx, SmtLib);
+    if (!PR.Ok || !Fails(*PR.System))
+      return SmtLib; // Nothing to shrink: input does not (re)fail.
+  }
+  Shrinker Sh{Fails, MaxAttempts, {}, SmtLib};
+  bool Progress = true;
+  while (Progress && Sh.budget()) {
+    Progress = false;
+    Progress |= Sh.ddminClauses();
+    Progress |= Sh.dropBodyAtoms();
+    Progress |= Sh.dropConjuncts();
+    Progress |= Sh.shrinkCoeffs();
+  }
+  if (Stats)
+    *Stats = Sh.Stats;
+  return Sh.Best;
+}

@@ -1,0 +1,55 @@
+//===- testgen/Shrink.h - Delta-debugging minimizer -------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A ddmin-style shrinker for failing CHC instances. Given the SMT-LIB2
+/// text of a system and a deterministic failure predicate (re-running the
+/// oracle that flagged it), the shrinker greedily minimizes while the
+/// failure persists, interleaving four passes to a fixpoint:
+///
+///   1. clause-set ddmin (Zeller & Hildebrandt's algorithm over indices),
+///   2. dropping individual body atoms,
+///   3. dropping individual constraint conjuncts,
+///   4. shrinking numeric constants toward 0/1 (a strictly decreasing
+///      magnitude measure, so the pass terminates).
+///
+/// Every accepted candidate is the result of printing a mutated system and
+/// re-parsing it into a fresh TermContext, so the final repro is guaranteed
+/// to round-trip through chc/Parser and the failure predicate only ever
+/// sees systems a user could load from disk.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_SHRINK_H
+#define MUCYC_TESTGEN_SHRINK_H
+
+#include "chc/Chc.h"
+
+#include <functional>
+#include <string>
+
+namespace mucyc {
+
+/// Deterministic predicate: does this (freshly parsed) system still exhibit
+/// the failure? The system is mutable because oracles need non-const access
+/// to its context.
+using SystemFailPred = std::function<bool(ChcSystem &)>;
+
+struct ShrinkStats {
+  unsigned Attempts = 0; ///< Candidate evaluations (FailPred calls).
+  unsigned Accepted = 0; ///< Candidates that kept the failure.
+};
+
+/// Minimizes \p SmtLib under \p Fails. \p SmtLib must parse and the parsed
+/// system must satisfy Fails (otherwise the input is returned unchanged).
+/// \p MaxAttempts bounds the total number of candidate evaluations.
+std::string shrinkChc(const std::string &SmtLib, const SystemFailPred &Fails,
+                      unsigned MaxAttempts = 2000,
+                      ShrinkStats *Stats = nullptr);
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_SHRINK_H

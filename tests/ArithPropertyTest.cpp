@@ -1,0 +1,202 @@
+//===- tests/ArithPropertyTest.cpp - Randomized algebraic identities ------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property-based tests for the exact-arithmetic layer, driven by the
+// testgen Rng so every run replays the identical value stream. BigInt and
+// Rational underlie every model, every simplex pivot and every coefficient
+// normalization; an algebraic identity failing here invalidates the whole
+// solver stack, so these check the ring/field laws directly on values big
+// enough to cross the multi-limb paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rational.h"
+#include "testgen/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+
+/// Random BigInt with up to \p Limbs32 32-bit limbs (sign included), built
+/// from the string path so multi-limb carries are exercised independently
+/// of the arithmetic being tested.
+BigInt genBig(Rng &R, unsigned Limbs32 = 3) {
+  BigInt V(static_cast<int64_t>(R.next() >> 16));
+  for (unsigned I = 1, N = 1 + static_cast<unsigned>(R.below(Limbs32)); I < N;
+       ++I)
+    V = V * BigInt(static_cast<int64_t>(1) << 32) +
+        BigInt(static_cast<int64_t>(R.next() & 0xffffffffull));
+  return R.oneIn(2) ? -V : V;
+}
+
+BigInt genNonZeroBig(Rng &R, unsigned Limbs32 = 3) {
+  for (;;) {
+    BigInt V = genBig(R, Limbs32);
+    if (!V.isZero())
+      return V;
+  }
+}
+
+Rational genRat(Rng &R) {
+  return Rational(genBig(R), genNonZeroBig(R, 2));
+}
+
+Rational genNonZeroRat(Rng &R) {
+  for (;;) {
+    Rational V = genRat(R);
+    if (!V.isZero())
+      return V;
+  }
+}
+
+constexpr unsigned Trials = 500;
+
+TEST(ArithProperty, BigIntRingLaws) {
+  Rng R(Rng::deriveSeed(0xA1, 0));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt A = genBig(R), B = genBig(R), C = genBig(R);
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * B, B * A);
+    EXPECT_EQ((A * B) * C, A * (B * C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A + (-A), BigInt(0));
+    EXPECT_EQ(A - B, A + (-B));
+    EXPECT_EQ(A * BigInt(1), A);
+    EXPECT_EQ(A * BigInt(0), BigInt(0));
+  }
+}
+
+TEST(ArithProperty, BigIntDivModIdentities) {
+  Rng R(Rng::deriveSeed(0xA1, 1));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt A = genBig(R), D = genNonZeroBig(R, 2);
+    BigInt Q, Rem;
+    BigInt::divMod(A, D, Q, Rem);
+    EXPECT_EQ(Q * D + Rem, A);            // Division identity.
+    EXPECT_LT(Rem.abs(), D.abs());        // Remainder bound.
+    EXPECT_EQ(A / D, Q);
+    EXPECT_EQ(A % D, Rem);
+    // Truncating remainder takes the dividend's sign (or is zero).
+    if (!Rem.isZero())
+      EXPECT_EQ(Rem.sgn(), A.sgn());
+    // Floor division identity with the Euclidean remainder.
+    BigInt FQ = A.floorDiv(D);
+    BigInt FR = A - FQ * D;
+    EXPECT_LT(FR.abs(), D.abs());
+    if (!FR.isZero())
+      EXPECT_EQ(FR.sgn(), D.sgn()); // Floor remainder follows the divisor.
+    BigInt EM = A.euclidMod(D);
+    EXPECT_GE(EM, BigInt(0));
+    EXPECT_LT(EM, D.abs());
+    EXPECT_EQ((A - EM) % D, BigInt(0));
+  }
+}
+
+TEST(ArithProperty, BigIntGcdLcm) {
+  Rng R(Rng::deriveSeed(0xA1, 2));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt A = genNonZeroBig(R, 2), B = genNonZeroBig(R, 2);
+    BigInt G = BigInt::gcd(A, B);
+    EXPECT_GT(G, BigInt(0));
+    EXPECT_EQ(A % G, BigInt(0));
+    EXPECT_EQ(B % G, BigInt(0));
+    BigInt L = BigInt::lcm(A, B);
+    EXPECT_EQ(L % A, BigInt(0));
+    EXPECT_EQ(L % B, BigInt(0));
+    EXPECT_EQ(G * L, (A * B).abs()); // gcd * lcm = |a*b|.
+    EXPECT_EQ(BigInt::gcd(A / G, B / G), BigInt(1)); // Coprime quotients.
+  }
+}
+
+TEST(ArithProperty, BigIntToStringRoundTrip) {
+  Rng R(Rng::deriveSeed(0xA1, 3));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt A = genBig(R, 4);
+    EXPECT_EQ(BigInt::fromString(A.toString()), A);
+  }
+}
+
+TEST(ArithProperty, RationalFieldLaws) {
+  Rng R(Rng::deriveSeed(0xA1, 4));
+  for (unsigned I = 0; I < Trials; ++I) {
+    Rational A = genRat(R), B = genRat(R), C = genRat(R);
+    EXPECT_EQ(A + B, B + A);
+    EXPECT_EQ((A + B) + C, A + (B + C));
+    EXPECT_EQ(A * (B + C), A * B + A * C);
+    EXPECT_EQ(A + (-A), Rational(0));
+    EXPECT_EQ(A - B, A + (-B));
+    Rational NZ = genNonZeroRat(R);
+    EXPECT_EQ(NZ * NZ.inverse(), Rational(1));
+    EXPECT_EQ(A / NZ, A * NZ.inverse());
+  }
+}
+
+// Construction always normalizes: coprime, positive denominator, 0 = 0/1.
+// Every structural-equality use (hash consing, model comparison) rests on
+// this invariant.
+TEST(ArithProperty, RationalNormalization) {
+  Rng R(Rng::deriveSeed(0xA1, 5));
+  for (unsigned I = 0; I < Trials; ++I) {
+    Rational A = genRat(R);
+    EXPECT_GT(A.den(), BigInt(0));
+    EXPECT_EQ(BigInt::gcd(A.num(), A.den()), BigInt(1));
+    if (A.isZero())
+      EXPECT_TRUE(A.den().isOne());
+    // Scaling numerator and denominator never changes the value.
+    BigInt K = genNonZeroBig(R, 1);
+    EXPECT_EQ(Rational(A.num() * K, A.den() * K), A);
+  }
+}
+
+TEST(ArithProperty, RationalOrderingConsistency) {
+  Rng R(Rng::deriveSeed(0xA1, 6));
+  for (unsigned I = 0; I < Trials; ++I) {
+    Rational A = genRat(R), B = genRat(R), C = genRat(R);
+    EXPECT_EQ(A.compare(B), -B.compare(A));
+    if (A < B && B < C)
+      EXPECT_LT(A, C);
+    if (A < B) { // Order is translation- and positive-scaling-invariant.
+      EXPECT_LT(A + C, B + C);
+      Rational P = genNonZeroRat(R);
+      if (P.sgn() < 0)
+        P = -P;
+      EXPECT_LT(A * P, B * P);
+    }
+    // floor/ceil bracket the value.
+    EXPECT_LE(Rational(A.floor()), A);
+    EXPECT_LT(A, Rational(A.floor() + BigInt(1)));
+    EXPECT_GE(Rational(A.ceil()), A);
+  }
+}
+
+TEST(ArithProperty, RationalToStringRoundTrip) {
+  Rng R(Rng::deriveSeed(0xA1, 7));
+  for (unsigned I = 0; I < Trials; ++I) {
+    Rational A = genRat(R);
+    EXPECT_EQ(Rational::fromString(A.toString()), A);
+  }
+}
+
+// Delta-rationals order lexicographically: the infinitesimal only breaks
+// ties of the real part (the simplex's strict-bound encoding relies on
+// exactly this).
+TEST(ArithProperty, DeltaRationalOrdering) {
+  Rng R(Rng::deriveSeed(0xA1, 8));
+  for (unsigned I = 0; I < Trials; ++I) {
+    Rational A = genRat(R), B = genRat(R), DA = genRat(R), DB = genRat(R);
+    DeltaRational X(A, DA), Y(B, DB);
+    if (A != B)
+      EXPECT_EQ(X < Y, A < B);
+    else
+      EXPECT_EQ(X < Y, DA < DB);
+    EXPECT_EQ((X + Y) - Y, X);
+  }
+}
+
+} // namespace

@@ -1,0 +1,197 @@
+//===- tests/ParserFuzzTest.cpp - Parser robustness -----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The parser is the one component that consumes attacker-controlled bytes,
+// so its contract is strict: for ANY input, parseChc returns — Ok with a
+// system, or a diagnostic — and never trips an internal assert or
+// overflows the stack. These tests replay the checked-in crash corpus
+// (tests/corpus/, every file a past abort or a round-trip form) and then
+// hammer the parser with seed-deterministic mutations of valid systems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Parser.h"
+#include "testgen/Gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace mucyc;
+
+namespace {
+
+std::string readFile(const std::filesystem::path &P) {
+  std::ifstream In(P);
+  EXPECT_TRUE(In.good()) << "cannot open " << P;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+std::vector<std::filesystem::path> corpusFiles() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(MUCYC_TEST_CORPUS_DIR))
+    if (Entry.path().extension() == ".smt2")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+//===----------------------------------------------------------------------===
+// Corpus replay
+//===----------------------------------------------------------------------===
+
+// File name convention: ok-*.smt2 must parse, bad-*.smt2 must produce a
+// diagnostic. Either way the process must survive — every bad-* file is a
+// past crash (builder assert or unbounded recursion).
+TEST(ParserFuzz, CorpusReplays) {
+  std::vector<std::filesystem::path> Files = corpusFiles();
+  ASSERT_FALSE(Files.empty()) << "corpus dir missing: " MUCYC_TEST_CORPUS_DIR;
+  for (const auto &P : Files) {
+    SCOPED_TRACE(P.filename().string());
+    TermContext Ctx;
+    ParseResult R = parseChc(Ctx, readFile(P));
+    if (P.filename().string().rfind("ok-", 0) == 0) {
+      EXPECT_TRUE(R.Ok) << R.Error;
+    } else {
+      EXPECT_FALSE(R.Ok);
+      EXPECT_FALSE(R.Error.empty()) << "rejection must carry a diagnostic";
+    }
+  }
+}
+
+// Every successfully parsed corpus entry must survive a full print/parse
+// round trip (the shrinker leans on this).
+TEST(ParserFuzz, CorpusRoundTrips) {
+  for (const auto &P : corpusFiles()) {
+    SCOPED_TRACE(P.filename().string());
+    TermContext Ctx;
+    ParseResult R = parseChc(Ctx, readFile(P));
+    if (!R.Ok)
+      continue;
+    std::string Printed = printSmtLib(*R.System);
+    TermContext Ctx2;
+    ParseResult R2 = parseChc(Ctx2, Printed);
+    ASSERT_TRUE(R2.Ok) << "printed form failed to re-parse: " << R2.Error
+                       << "\n"
+                       << Printed;
+    EXPECT_EQ(R.System->numPreds(), R2.System->numPreds());
+    EXPECT_EQ(R.System->clauses().size(), R2.System->clauses().size());
+  }
+}
+
+//===----------------------------------------------------------------------===
+// Deterministic random mutation
+//===----------------------------------------------------------------------===
+
+std::string mutate(Rng &R, const std::string &Text) {
+  std::string Out = Text;
+  switch (R.below(5)) {
+  case 0: // Truncate.
+    Out.resize(R.below(Out.size() + 1));
+    break;
+  case 1: { // Flip one byte to a random printable character.
+    if (Out.empty())
+      break;
+    Out[R.below(Out.size())] = static_cast<char>(' ' + R.below(95));
+    break;
+  }
+  case 2: { // Delete a chunk.
+    if (Out.empty())
+      break;
+    size_t Start = R.below(Out.size());
+    size_t Len = 1 + R.below(16);
+    Out.erase(Start, Len);
+    break;
+  }
+  case 3: { // Duplicate a chunk (unbalances parentheses nicely).
+    if (Out.empty())
+      break;
+    size_t Start = R.below(Out.size());
+    size_t Len = std::min<size_t>(1 + R.below(16), Out.size() - Start);
+    Out.insert(Start, Out.substr(Start, Len));
+    break;
+  }
+  case 4: { // Splice in a token that stresses the operator table.
+    static const char *Tokens[] = {"true",  "1.5", "(",  ")",   "x",
+                                   "(not",  "|",   "_",  "and", "divisible",
+                                   "(/ 1.0", "0"};
+    size_t Start = R.below(Out.size() + 1);
+    Out.insert(Start, Tokens[R.below(std::size(Tokens))]);
+    break;
+  }
+  }
+  return Out;
+}
+
+// 300 mutants of generated systems: the parser must return on all of them,
+// and anything it accepts must survive printing and re-parsing.
+TEST(ParserFuzz, MutatedInputsNeverCrash) {
+  for (uint64_t I = 0; I < 60; ++I) {
+    Rng R(Rng::deriveSeed(0xF00D, I));
+    TermContext GenCtx;
+    GenKnobs Knobs;
+    ChcSystem Sys = genLinearChc(GenCtx, R, Knobs);
+    std::string Text = printSmtLib(Sys);
+    for (unsigned M = 0; M < 5; ++M) {
+      std::string Mutant = mutate(R, Text);
+      SCOPED_TRACE("seed=" + std::to_string(I) + " mutant=" +
+                   std::to_string(M));
+      TermContext Ctx;
+      ParseResult PR = parseChc(Ctx, Mutant);
+      if (!PR.Ok) {
+        EXPECT_FALSE(PR.Error.empty());
+        continue;
+      }
+      std::string Printed = printSmtLib(*PR.System);
+      TermContext Ctx2;
+      ParseResult PR2 = parseChc(Ctx2, Printed);
+      EXPECT_TRUE(PR2.Ok) << "accepted mutant failed to round-trip: "
+                          << PR2.Error;
+    }
+  }
+}
+
+// Pathological nesting must yield a diagnostic, not a stack overflow.
+TEST(ParserFuzz, DeepNestingIsRejected) {
+  std::string Text = "(set-logic HORN)\n(assert ";
+  for (int I = 0; I < 100000; ++I)
+    Text += "(and ";
+  Text += "true";
+  for (int I = 0; I < 100000; ++I)
+    Text += ")";
+  Text += ")\n";
+  TermContext Ctx;
+  ParseResult R = parseChc(Ctx, Text);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("nesting"), std::string::npos) << R.Error;
+}
+
+// The generators' whole output space must round-trip: rational Real
+// coefficients print as (/ a b) and divides atoms as ((_ divisible d) t),
+// both of which the parser must accept back.
+TEST(ParserFuzz, GeneratedSystemsRoundTrip) {
+  for (uint64_t I = 0; I < 40; ++I) {
+    Rng R(Rng::deriveSeed(0xBEEF, I));
+    TermContext Ctx;
+    GenKnobs Knobs;
+    Knobs.RealChc = I % 2 == 1;
+    ChcSystem Sys = genLinearChc(Ctx, R, Knobs);
+    std::string Text = printSmtLib(Sys);
+    TermContext Ctx2;
+    ParseResult PR = parseChc(Ctx2, Text);
+    ASSERT_TRUE(PR.Ok) << "seed " << I << ": " << PR.Error << "\n" << Text;
+    EXPECT_EQ(Sys.numPreds(), PR.System->numPreds());
+    EXPECT_EQ(Sys.clauses().size(), PR.System->clauses().size());
+  }
+}
+
+} // namespace

@@ -1,0 +1,275 @@
+//===- tests/TestgenTest.cpp - Oracle and shrinker self-tests -------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The differential oracles are only trustworthy if they FIRE when a
+// procedure is wrong, so these tests inject known bugs behind the
+// OracleHooks fault hooks — a flipped MBP result, a truncated interpolant,
+// a flipped engine verdict — and assert each oracle catches its bug, that
+// the shrinker reduces the failing instance to a tiny SMT-LIB2 repro, and
+// that the repro re-parses and re-fails. Plus determinism contracts: the
+// same (seed, config) must reproduce byte-identical reports.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Parser.h"
+#include "testgen/Fuzzer.h"
+#include "testgen/Shrink.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+
+//===----------------------------------------------------------------------===
+// Determinism
+//===----------------------------------------------------------------------===
+
+TEST(Testgen, RngIsDeterministicAndStreamsDecorrelate) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  // SplitMix64 reference vector (seed 1234567, first output) from the
+  // Steele/Lea/Flood reference implementation — pins the cross-platform
+  // contract, not just self-consistency.
+  Rng C(1234567);
+  EXPECT_EQ(C.next(), 6457827717110365317ull);
+  EXPECT_NE(Rng::deriveSeed(1, 0), Rng::deriveSeed(1, 1));
+  EXPECT_NE(Rng::deriveSeed(1, 0), Rng::deriveSeed(2, 0));
+}
+
+TEST(Testgen, GeneratorsAreSeedDeterministic) {
+  GenKnobs Knobs;
+  for (uint64_t Seed : {0ull, 9ull, 12345ull}) {
+    TermContext C1, C2;
+    Rng R1(Seed), R2(Seed);
+    std::string T1 = printSmtLib(genLinearChc(C1, R1, Knobs));
+    std::string T2 = printSmtLib(genLinearChc(C2, R2, Knobs));
+    EXPECT_EQ(T1, T2);
+  }
+  TermContext C1, C2;
+  Rng R1(7), R2(8);
+  EXPECT_NE(printSmtLib(genLinearChc(C1, R1, Knobs)),
+            printSmtLib(genLinearChc(C2, R2, Knobs)));
+}
+
+TEST(Testgen, FuzzRunIsCleanAndByteIdentical) {
+  FuzzConfig Cfg;
+  Cfg.Seed = 5;
+  Cfg.N = 24;
+  FuzzReport A = runFuzz(Cfg);
+  FuzzReport B = runFuzz(Cfg);
+  EXPECT_TRUE(A.ok()) << A.summary(Cfg);
+  EXPECT_EQ(A.summary(Cfg), B.summary(Cfg));
+  EXPECT_EQ(A.Ran, Cfg.N);
+}
+
+//===----------------------------------------------------------------------===
+// Injected bugs: direct oracle-level checks
+//===----------------------------------------------------------------------===
+
+TEST(Testgen, MbpOracleCatchesNegatedResult) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  TermRef Phi = C.mkAnd(C.mkEq(X, C.mkIntConst(3)), C.mkLe(Y, X));
+  OracleHooks H;
+  H.MangleMbp = [](TermContext &Ctx, TermRef Psi) { return Ctx.mkNot(Psi); };
+  OracleOutcome O = checkMbpContract(C, Phi, {C.node(X).Var}, &H);
+  ASSERT_TRUE(O.failed());
+  EXPECT_EQ(O.Check, "mbp-model") << O.Detail;
+}
+
+TEST(Testgen, MbpOracleCatchesEliminatedVarLeak) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  TermRef Phi = C.mkAnd(C.mkEq(X, C.mkIntConst(3)), C.mkLe(Y, X));
+  OracleHooks H;
+  // x = 3 in every model of phi, so conjoining x >= 0 keeps the model and
+  // the implication valid — only the vocabulary contract is violated.
+  H.MangleMbp = [X](TermContext &Ctx, TermRef Psi) {
+    return Ctx.mkAnd(Psi, Ctx.mkGe(X, Ctx.mkIntConst(0)));
+  };
+  OracleOutcome O = checkMbpContract(C, Phi, {C.node(X).Var}, &H);
+  ASSERT_TRUE(O.failed());
+  EXPECT_EQ(O.Check, "mbp-vars") << O.Detail;
+}
+
+TEST(Testgen, ItpOracleCatchesTruncatedInterpolant) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int);
+  TermRef A = C.mkLe(X, C.mkIntConst(0));
+  std::vector<TermRef> Cube{C.mkGe(X, C.mkIntConst(5))};
+  OracleHooks H;
+  // "Truncated to nothing": the trivially-true interpolant satisfies
+  // A => I but not I => B.
+  H.MangleItp = [](TermContext &Ctx, TermRef) { return Ctx.mkTrue(); };
+  OracleOutcome O = checkItpContract(C, A, Cube, &H);
+  ASSERT_TRUE(O.failed());
+  EXPECT_EQ(O.Check, "itp-i-implies-b") << O.Detail;
+}
+
+TEST(Testgen, ItpOracleCatchesVocabularyLeak) {
+  TermContext C;
+  TermRef X = C.mkVar("x", Sort::Int), Y = C.mkVar("y", Sort::Int);
+  TermRef A = C.mkAnd(C.mkLe(X, C.mkIntConst(0)), C.mkEq(Y, C.mkIntConst(0)));
+  std::vector<TermRef> Cube{C.mkGe(X, C.mkIntConst(5))};
+  OracleHooks H;
+  // Both implications hold but the interpolant mentions y, which is not a
+  // variable of B = not(x >= 5).
+  H.MangleItp = [X, Y](TermContext &Ctx, TermRef) {
+    return Ctx.mkAnd(Ctx.mkLt(X, Ctx.mkIntConst(5)),
+                     Ctx.mkEq(Y, Ctx.mkIntConst(0)));
+  };
+  OracleOutcome O = checkItpContract(C, A, Cube, &H);
+  ASSERT_TRUE(O.failed());
+  EXPECT_EQ(O.Check, "itp-vocab") << O.Detail;
+}
+
+TEST(Testgen, EngineOracleCatchesFlippedVerdict) {
+  TermContext C;
+  ChcSystem Sys(C);
+  PredId P = Sys.addPred("P", {Sort::Int});
+  TermRef X = C.mkVar("x", Sort::Int);
+  // P(0); P(x) /\ x >= 1 => false — safe, so every engine answers Sat.
+  Clause Fact;
+  Fact.Constraint = C.mkEq(X, C.mkIntConst(0));
+  Fact.Head = PredApp{P, {X}};
+  Sys.addClause(std::move(Fact));
+  Clause Query;
+  Query.Constraint = C.mkGe(X, C.mkIntConst(1));
+  Query.Body = {PredApp{P, {X}}};
+  Sys.addClause(std::move(Query));
+
+  EngineRaceKnobs Knobs;
+  Knobs.RefineBudget = 100;
+  EXPECT_FALSE(checkEngineAgreement(Sys, Knobs).failed());
+
+  OracleHooks H;
+  H.MangleEngine = [](size_t Member, ChcStatus S) {
+    if (Member != 0)
+      return S;
+    return S == ChcStatus::Sat ? ChcStatus::Unsat : S;
+  };
+  OracleOutcome O = checkEngineAgreement(Sys, Knobs, &H);
+  ASSERT_TRUE(O.failed());
+  EXPECT_EQ(O.Check, "engine-disagree") << O.Detail;
+}
+
+//===----------------------------------------------------------------------===
+// Shrinker
+//===----------------------------------------------------------------------===
+
+TEST(Testgen, ShrinkerDdminReducesClauseCount) {
+  TermContext C;
+  Rng R(Rng::deriveSeed(3, 0));
+  GenKnobs Knobs;
+  Knobs.Clauses = 10;
+  std::string Text = printSmtLib(genLinearChc(C, R, Knobs));
+  // Pseudo-oracle: "fails" while at least 3 clauses remain. ddmin must
+  // bottom out at exactly 3.
+  ShrinkStats Stats;
+  std::string Small = shrinkChc(
+      Text, [](ChcSystem &S) { return S.clauses().size() >= 3; }, 2000,
+      &Stats);
+  TermContext C2;
+  ParseResult PR = parseChc(C2, Small);
+  ASSERT_TRUE(PR.Ok) << PR.Error;
+  EXPECT_EQ(PR.System->clauses().size(), 3u);
+  EXPECT_GT(Stats.Accepted, 0u);
+}
+
+/// Shared tail for the end-to-end injected-bug tests: every violation's
+/// shrunk repro must re-parse, be small, and re-fail the same check.
+void expectMinimalRefailingRepros(const FuzzReport &Rep,
+                                  const FuzzConfig &Cfg,
+                                  const OracleHooks &H,
+                                  const std::string &Domain) {
+  ASSERT_FALSE(Rep.ok()) << "injected bug was not caught";
+  for (const FuzzViolation &V : Rep.Violations) {
+    SCOPED_TRACE("instance " + std::to_string(V.Instance));
+    EXPECT_EQ(V.Domain, Domain);
+    TermContext Ctx;
+    ParseResult PR = parseChc(Ctx, V.Repro);
+    ASSERT_TRUE(PR.Ok) << "repro does not re-parse: " << PR.Error;
+    EXPECT_LE(PR.System->clauses().size(), 8u);
+    // Re-run the domain's oracle on the parsed repro: it must re-fail with
+    // the same check tag.
+    OracleOutcome O;
+    if (Domain == "mbp") {
+      std::vector<TermRef> Qs;
+      for (const Clause &Cl : PR.System->clauses())
+        if (Cl.isQuery())
+          Qs.push_back(Cl.Constraint);
+      ASSERT_EQ(Qs.size(), 1u);
+      std::vector<VarId> Elim;
+      for (VarId Var : Ctx.freeVars(Qs[0]))
+        if (Ctx.varInfo(Var).Name.rfind("pe", 0) == 0)
+          Elim.push_back(Var);
+      O = checkMbpContract(Ctx, Qs[0], Elim, &H);
+    } else if (Domain == "itp") {
+      std::vector<TermRef> Qs;
+      for (const Clause &Cl : PR.System->clauses())
+        if (Cl.isQuery())
+          Qs.push_back(Cl.Constraint);
+      ASSERT_EQ(Qs.size(), 2u);
+      std::vector<TermRef> Lits = Ctx.kind(Qs[1]) == Kind::And
+                                      ? Ctx.node(Qs[1]).Kids
+                                      : std::vector<TermRef>{Qs[1]};
+      O = checkItpContract(Ctx, Qs[0], Lits, &H);
+    } else {
+      O = checkEngineAgreement(*PR.System, Cfg.Race, &H);
+    }
+    EXPECT_TRUE(O.failed()) << "shrunk repro no longer fails";
+    EXPECT_EQ(O.Check, V.Check);
+  }
+}
+
+TEST(Testgen, InjectedMbpBugYieldsMinimalRepro) {
+  OracleHooks H;
+  H.MangleMbp = [](TermContext &Ctx, TermRef Psi) { return Ctx.mkNot(Psi); };
+  FuzzConfig Cfg;
+  Cfg.Seed = 11;
+  Cfg.N = 6;
+  Cfg.Domains = {false, true, false, false};
+  Cfg.ShrinkAttempts = 200;
+  FuzzReport Rep = runFuzz(Cfg, &H);
+  expectMinimalRefailingRepros(Rep, Cfg, H, "mbp");
+}
+
+TEST(Testgen, InjectedItpBugYieldsMinimalRepro) {
+  OracleHooks H;
+  H.MangleItp = [](TermContext &Ctx, TermRef) { return Ctx.mkTrue(); };
+  FuzzConfig Cfg;
+  Cfg.Seed = 13;
+  Cfg.N = 10;
+  Cfg.Domains = {false, false, true, false};
+  Cfg.ShrinkAttempts = 200;
+  FuzzReport Rep = runFuzz(Cfg, &H);
+  expectMinimalRefailingRepros(Rep, Cfg, H, "itp");
+}
+
+TEST(Testgen, InjectedEngineBugYieldsMinimalRepro) {
+  OracleHooks H;
+  H.MangleEngine = [](size_t Member, ChcStatus S) {
+    if (Member != 0)
+      return S;
+    if (S == ChcStatus::Sat)
+      return ChcStatus::Unsat;
+    if (S == ChcStatus::Unsat)
+      return ChcStatus::Sat;
+    return S;
+  };
+  FuzzConfig Cfg;
+  Cfg.Seed = 17;
+  Cfg.N = 2;
+  Cfg.Domains = {false, false, false, true};
+  Cfg.Race.RefineBudget = 150;
+  Cfg.ShrinkAttempts = 120;
+  FuzzReport Rep = runFuzz(Cfg, &H);
+  expectMinimalRefailingRepros(Rep, Cfg, H, "chc");
+}
+
+} // namespace

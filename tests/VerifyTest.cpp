@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bench_suite/Suite.h"
+#include "chc/Chc.h"
 #include "solver/Verify.h"
 
 #include <gtest/gtest.h>
@@ -77,6 +78,86 @@ TEST(VerifyTest, CexPieceCheckerDeep) {
   NormalizedChc N = paperExample4(C);
   TermRef Z = C.varTerm(N.Z[0]);
   EXPECT_TRUE(verifyCexPiece(C, N, C.mkEq(Z, C.mkIntConst(-13)), 6));
+}
+
+// A failed verification must name the violated proof rule — the fuzzer's
+// failure reports and --verify output are only actionable with the clause.
+TEST(VerifyTest, InvariantDiagNamesViolatedClause) {
+  TermContext C;
+  NormalizedChc N = paperExample5(C); // z' = 2z from [2,8], bad z < -5.
+  TermRef Z = C.varTerm(N.Z[0]);
+  VerifyDiag D;
+
+  // z >= 5 misses the initial state z = 2.
+  EXPECT_FALSE(verifyInvariant(C, N, C.mkGe(Z, C.mkIntConst(5)), &D));
+  EXPECT_EQ(D.Failed, VerifyDiag::Rule::InitClause);
+  EXPECT_FALSE(D.Message.empty());
+
+  // z <= 100 holds initially but 64 -> 128 escapes: step clause.
+  EXPECT_FALSE(verifyInvariant(C, N, C.mkLe(Z, C.mkIntConst(100)), &D));
+  EXPECT_EQ(D.Failed, VerifyDiag::Rule::StepClause);
+
+  // true is inductive but includes bad states: query clause.
+  EXPECT_FALSE(verifyInvariant(C, N, C.mkTrue(), &D));
+  EXPECT_EQ(D.Failed, VerifyDiag::Rule::QueryClause);
+
+  // A passing check leaves the rule at None.
+  VerifyDiag Ok;
+  EXPECT_TRUE(verifyInvariant(C, N, C.mkGe(Z, C.mkIntConst(0)), &Ok));
+  EXPECT_EQ(Ok.Failed, VerifyDiag::Rule::None);
+
+  EXPECT_STREQ(verifyRuleName(VerifyDiag::Rule::StepClause), "step-clause");
+}
+
+TEST(VerifyTest, CexPieceDiagNamesViolatedRule) {
+  TermContext C;
+  std::vector<BenchInstance> Suite = buildSmallSuite();
+  VerifyDiag D;
+  {
+    // counter_unsafe_3: z = 2 is reachable but not bad.
+    NormalizedChc N = Suite[1].Build(C);
+    TermRef Z = C.varTerm(N.Z[0]);
+    EXPECT_FALSE(verifyCexPiece(C, N, C.mkEq(Z, C.mkIntConst(2)), 6, &D));
+    EXPECT_EQ(D.Failed, VerifyDiag::Rule::NotBad);
+    EXPECT_FALSE(D.Message.empty());
+  }
+  {
+    // counter_safe_3: the bad region itself is never reachable, so the
+    // piece intersects bad but misses every reach frame.
+    NormalizedChc N = Suite[0].Build(C);
+    EXPECT_FALSE(verifyCexPiece(C, N, C.mkTrue(), 6, &D));
+    EXPECT_EQ(D.Failed, VerifyDiag::Rule::NotReachable);
+  }
+}
+
+TEST(VerifyTest, CheckSolutionNamesOffendingClause) {
+  TermContext C;
+  ChcSystem Sys(C);
+  PredId P = Sys.addPred("P", {Sort::Int});
+  TermRef X = C.mkVar("x", Sort::Int);
+  VarId XV = C.node(X).Var;
+  // Clause #0: x = 0 => P(x).  Clause #1: P(x) => P(x + 1).
+  Clause Fact;
+  Fact.Constraint = C.mkEq(X, C.mkIntConst(0));
+  Fact.Head = PredApp{P, {X}};
+  Sys.addClause(std::move(Fact));
+  Clause Step;
+  Step.Constraint = C.mkTrue();
+  Step.Body = {PredApp{P, {X}}};
+  Step.Head = PredApp{P, {C.mkAdd(X, C.mkIntConst(1))}};
+  Sys.addClause(std::move(Step));
+
+  // P(x) := x <= 5 satisfies the fact but breaks the step at x = 5.
+  ChcSolution Sol;
+  Sol[P] = PredDef{{XV}, C.mkLe(X, C.mkIntConst(5))};
+  std::string Why;
+  EXPECT_FALSE(Sys.checkSolution(Sol, &Why));
+  EXPECT_NE(Why.find("clause #1"), std::string::npos) << Why;
+  EXPECT_NE(Why.find("P("), std::string::npos) << Why; // Clause text shown.
+
+  // The genuine solution passes and leaves no diagnostic behind.
+  Sol[P] = PredDef{{XV}, C.mkGe(X, C.mkIntConst(0))};
+  EXPECT_TRUE(Sys.checkSolution(Sol, &Why));
 }
 
 TEST(VerifyTest, GroundTruthMatchesSuiteLabels) {

@@ -1,0 +1,2 @@
+(set-logic HORN)
+(assert (forall ((r Real)) (=> (and (= r (/ r 0.0))) false)))

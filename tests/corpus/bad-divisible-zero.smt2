@@ -1,0 +1,3 @@
+; regression: zero modulus used to trip mkDivides' positivity assert
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (and ((_ divisible 0) x)) false)))

@@ -1,0 +1,5 @@
+; regression: redeclaring a predicate used to trip an assert in addPred
+(set-logic HORN)
+(declare-fun P (Int) Bool)
+(declare-fun P (Int Int) Bool)
+(assert (forall ((x Int)) (=> (P x) false)))

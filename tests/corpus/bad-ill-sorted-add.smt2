@@ -1,0 +1,3 @@
+; regression: (+ x true) used to trip the same-sort assert in mkAdd
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (and (= x (+ x true))) false)))

@@ -1,0 +1,3 @@
+; regression: (< b b) over Bool operands used to trip a builder assert
+(set-logic HORN)
+(assert (forall ((b Bool)) (=> (and (< b b)) false)))

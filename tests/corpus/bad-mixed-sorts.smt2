@@ -1,0 +1,3 @@
+; regression: Int/Real comparison used to trip the arithSort assert
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (and (< x 2.5)) false)))

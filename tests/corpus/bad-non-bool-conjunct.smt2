@@ -1,0 +1,3 @@
+; regression: an Int-sorted body conjunct used to trip mkAnd's Bool assert
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (and x) false)))

@@ -1,0 +1,3 @@
+; regression: numeric ite branches used to trip the Bool assert in mkIte
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (and (= x (ite (> x 0) 1 2))) false)))

@@ -1,0 +1,4 @@
+; regression: ill-sorted predicate argument used to trip addClause asserts
+(set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((r Real)) (=> (and (P r) (> r 0.0)) false)))

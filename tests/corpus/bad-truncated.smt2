@@ -1,0 +1,3 @@
+(set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (and (P x

@@ -1,0 +1,8 @@
+; ((_ divisible d) t) is what Print.cpp emits for divisibility atoms; the
+; parser must round-trip it
+(set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (and (= x 0)) (P x))))
+(assert (forall ((x Int)) (=> (and (P x) ((_ divisible 4) x)) (P (+ x 4)))))
+(assert (forall ((x Int)) (=> (and (P x) (not ((_ divisible 2) x))) false)))
+(check-sat)

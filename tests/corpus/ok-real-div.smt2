@@ -1,0 +1,7 @@
+; (/ num den) is what Print.cpp emits for non-integral Real constants; the
+; parser must round-trip it
+(set-logic HORN)
+(declare-fun P (Real) Bool)
+(assert (forall ((r Real)) (=> (and (= r (/ 5.0 2.0))) (P r))))
+(assert (forall ((r Real)) (=> (and (P r) (< r (/ 1.0 2.0))) false)))
+(check-sat)
