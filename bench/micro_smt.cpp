@@ -9,11 +9,23 @@
 // elimination with divisibility, and whole SMT checks of the shape the
 // refinement procedures issue (phi_L /\ phi_R /\ tau /\ not alpha).
 //
+// Besides the google-benchmark suite, `--incremental-json [PATH]` runs the
+// incremental-vs-one-shot comparison that backs the solver-pool design: a
+// fixed search-heavy base queried under many cubes, once with a persistent
+// push/assert/check/pop solver and once rebuilding a fresh solver per
+// query. Emits checks/sec for both modes, the speedup, and the
+// learned-clause reuse rate as JSON.
+//
 //===----------------------------------------------------------------------===//
 
 #include "smt/SmtSolver.h"
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <vector>
 
 using namespace mucyc;
 
@@ -103,6 +115,133 @@ void BM_SmtDivisibilityStack(benchmark::State &State) {
 }
 BENCHMARK(BM_SmtDivisibilityStack)->Arg(2)->Arg(4)->Arg(6);
 
+//===----------------------------------------------------------------------===
+// Incremental-vs-one-shot comparison (--incremental-json)
+//===----------------------------------------------------------------------===
+
+/// The shared assertion base: a diamond equality chain d0 = 0,
+/// d_i = d_{i-1} +- 1. Deciding whether d_N can hit a given value makes
+/// the lazy DPLL(T) loop enumerate sign paths, refuting each with one
+/// theory lemma. Those blocking lemmas are permanent (theory-valid, never
+/// scope-guarded), so a persistent solver pays for the enumeration once
+/// per queried constant while a fresh solver repeats it on every query —
+/// exactly the workload the solver pool exists for.
+std::vector<TermRef> incBase(TermContext &C, const std::vector<TermRef> &D) {
+  std::vector<TermRef> Base{C.mkEq(D[0], C.mkIntConst(0))};
+  for (size_t I = 1; I < D.size(); ++I)
+    Base.push_back(
+        C.mkOr(C.mkEq(D[I], C.mkAdd(D[I - 1], C.mkIntConst(1))),
+               C.mkEq(D[I], C.mkSub(D[I - 1], C.mkIntConst(1)))));
+  return Base;
+}
+
+/// Query i pins the chain end to a constant from a small cycling pool.
+/// Odd constants are parity-unreachable (Unsat, full path enumeration);
+/// even ones are reachable (Sat). Constants repeat across the run, so the
+/// persistent solver's accumulated lemmas transfer to later queries.
+std::vector<TermRef> incCube(TermContext &C, TermRef End, int I) {
+  static const int Pool[6] = {1, 0, 3, 2, 5, 4};
+  return {C.mkEq(End, C.mkIntConst(Pool[I % 6]))};
+}
+
+int runIncrementalComparison(const char *Path) {
+  constexpr int ChainLen = 8, NQueries = 120;
+  TermContext C;
+  std::vector<TermRef> D;
+  for (int I = 0; I <= ChainLen; ++I)
+    D.push_back(C.mkVar("bd" + std::to_string(I), Sort::Int));
+  std::vector<TermRef> Base = incBase(C, D);
+  TermRef End = D[ChainLen];
+
+  using Clock = std::chrono::steady_clock;
+  std::vector<SmtStatus> IncVerdicts, OneShotVerdicts;
+  IncVerdicts.reserve(NQueries);
+  OneShotVerdicts.reserve(NQueries);
+
+  // Incremental: one persistent solver, base asserted once; each query is
+  // push / assert cube / check / pop.
+  auto IncStart = Clock::now();
+  SmtSolver Inc(C);
+  for (TermRef F : Base)
+    Inc.assertFormula(F);
+  for (int I = 0; I < NQueries; ++I) {
+    Inc.push();
+    for (TermRef F : incCube(C, End, I))
+      Inc.assertFormula(F);
+    IncVerdicts.push_back(Inc.check());
+    Inc.pop();
+  }
+  double IncSec = std::chrono::duration<double>(Clock::now() - IncStart).count();
+  uint64_t IncLearned = Inc.satCore().numLearned();
+
+  // One-shot: a fresh solver per query re-asserts the whole base.
+  uint64_t OneShotLearned = 0;
+  auto OneStart = Clock::now();
+  for (int I = 0; I < NQueries; ++I) {
+    SmtSolver S(C);
+    for (TermRef F : Base)
+      S.assertFormula(F);
+    for (TermRef F : incCube(C, End, I))
+      S.assertFormula(F);
+    OneShotVerdicts.push_back(S.check());
+    OneShotLearned += S.satCore().numLearned();
+  }
+  double OneSec = std::chrono::duration<double>(Clock::now() - OneStart).count();
+
+  if (IncVerdicts != OneShotVerdicts) {
+    std::fprintf(stderr,
+                 "FATAL: incremental and one-shot verdicts disagree\n");
+    return 1;
+  }
+
+  double IncRate = NQueries / IncSec, OneRate = NQueries / OneSec;
+  double Speedup = IncRate / OneRate;
+  // Reuse rate: fraction of the one-shot learning work the persistent
+  // solver did NOT have to repeat (1 - learned_inc / learned_oneshot).
+  double Reuse =
+      OneShotLearned
+          ? 1.0 - static_cast<double>(IncLearned) / OneShotLearned
+          : 0.0;
+
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path);
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n"
+               "  \"bench\": \"smt_incremental\",\n"
+               "  \"queries\": %d,\n"
+               "  \"chain_len\": %d,\n"
+               "  \"incremental_checks_per_sec\": %.1f,\n"
+               "  \"oneshot_checks_per_sec\": %.1f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"learned_clauses_incremental\": %llu,\n"
+               "  \"learned_clauses_oneshot_total\": %llu,\n"
+               "  \"learned_clause_reuse_rate\": %.3f\n"
+               "}\n",
+               NQueries, ChainLen, IncRate, OneRate, Speedup,
+               static_cast<unsigned long long>(IncLearned),
+               static_cast<unsigned long long>(OneShotLearned), Reuse);
+  std::fclose(F);
+  std::printf("smt_incremental: %.1f checks/s incremental, %.1f one-shot "
+              "(%.2fx), reuse %.3f -> %s\n",
+              IncRate, OneRate, Speedup, Reuse, Path);
+  return Speedup >= 2.0 ? 0 : 3;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--incremental-json"))
+      return runIncrementalComparison(I + 1 < argc
+                                          ? argv[I + 1]
+                                          : "BENCH_smt_incremental.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

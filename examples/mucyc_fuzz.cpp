@@ -11,9 +11,14 @@
 // byte-identical stdout, so a (seed, n) pair in a bug report reproduces the
 // exact failing instance anywhere.
 //
-//   mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc]
+//   mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc]
 //              [--repro-dir DIR] [--no-shrink] [--refine-budget N]
 //              [--clauses N] [--coeff-mag N] [--jobs N]
+//              [--no-incremental] [--verdicts FILE]
+//
+// --no-incremental forces every raced engine onto the fresh-solver path;
+// --verdicts writes the per-chc-instance consensus verdict lines to FILE,
+// so a default run and a --no-incremental run can be byte-compared.
 //
 // Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors.
 //
@@ -24,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 using namespace mucyc;
@@ -31,17 +37,17 @@ using namespace mucyc;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc]\n"
+      "usage: mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc]\n"
       "                  [--repro-dir DIR] [--no-shrink]\n"
       "                  [--refine-budget N] [--clauses N] [--coeff-mag N]\n"
-      "                  [--jobs N]\n"
+      "                  [--jobs N] [--no-incremental] [--verdicts FILE]\n"
       "Generates N random instances (round-robin over the enabled\n"
       "domains), checks each against its oracle, and shrinks failures to\n"
       "minimal SMT-LIB2 repros. Output is a pure function of the flags.\n");
 }
 
 static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
-  D = FuzzDomains{false, false, false, false};
+  D = FuzzDomains{false, false, false, false, false};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -55,17 +61,20 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
       D.Itp = true;
     else if (Name == "chc")
       D.Chc = true;
+    else if (Name == "inc")
+      D.Inc = true;
     else
       return false;
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
   }
-  return D.Smt || D.Mbp || D.Itp || D.Chc;
+  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc;
 }
 
 int main(int Argc, char **Argv) {
   FuzzConfig Cfg;
+  std::string VerdictsPath;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--seed" && I + 1 < Argc)
@@ -91,6 +100,10 @@ int main(int Argc, char **Argv) {
     else if (A == "--jobs" && I + 1 < Argc)
       Cfg.Race.Jobs =
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (A == "--no-incremental")
+      Cfg.Race.NoIncremental = true;
+    else if (A == "--verdicts" && I + 1 < Argc)
+      VerdictsPath = Argv[++I];
     else if (A == "--help") {
       usage();
       return 0;
@@ -103,5 +116,15 @@ int main(int Argc, char **Argv) {
 
   FuzzReport Rep = runFuzz(Cfg);
   std::fputs(Rep.summary(Cfg).c_str(), stdout);
+  if (!VerdictsPath.empty()) {
+    std::ofstream OS(VerdictsPath);
+    if (!OS) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   VerdictsPath.c_str());
+      return 2;
+    }
+    for (const std::string &L : Rep.ChcVerdicts)
+      OS << L << "\n";
+  }
   return Rep.ok() ? 0 : 1;
 }

@@ -12,7 +12,12 @@
 //
 //   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
 //         [--print-solution] [--verify] [--stats]
-//         [--portfolio "CFG1,CFG2,..."] [--jobs N]
+//         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
+//
+// --no-incremental disables the incremental SMT backend (solver pool +
+// query cache); every engine query then builds a fresh solver, which is
+// the reference semantics the incremental path is differential-tested
+// against.
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,6 +42,7 @@ static void usage() {
       "             [--no-preprocess] [--print-solution] [--verify] "
       "[--stats]\n"
       "             [--portfolio \"CFG1,CFG2,...\"] [--jobs N]\n"
+      "             [--no-incremental]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
@@ -57,7 +63,7 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 0;
   uint64_t TimeoutMs = 600000;
   bool Preprocess = true, PrintSolution = false, Verify = false,
-       Stats = false;
+       Stats = false, NoIncremental = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--config" && I + 1 < Argc)
@@ -70,6 +76,8 @@ int main(int Argc, char **Argv) {
       TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
     else if (A == "--no-preprocess")
       Preprocess = false;
+    else if (A == "--no-incremental")
+      NoIncremental = true;
     else if (A == "--print-solution")
       PrintSolution = true;
     else if (A == "--verify")
@@ -120,10 +128,14 @@ int main(int Argc, char **Argv) {
   auto PrintStats = [](const char *Tag, int Depth, double Seconds,
                        const SolveStats &S) {
     std::fprintf(stderr,
-                 ";%s depth=%d time=%.3fs smt=%llu mbp=%llu itp=%llu "
+                 ";%s depth=%d time=%.3fs smt=%llu cache-hits=%llu "
+                 "cache-evicts=%llu pool-retires=%llu mbp=%llu itp=%llu "
                  "refines=%llu\n",
                  Tag, Depth, Seconds,
                  static_cast<unsigned long long>(S.SmtChecks),
+                 static_cast<unsigned long long>(S.SmtCacheHits),
+                 static_cast<unsigned long long>(S.SmtCacheEvicts),
+                 static_cast<unsigned long long>(S.PoolRetires),
                  static_cast<unsigned long long>(S.MbpCalls),
                  static_cast<unsigned long long>(S.ItpCalls),
                  static_cast<unsigned long long>(S.RefineCalls));
@@ -137,8 +149,10 @@ int main(int Argc, char **Argv) {
       usage();
       return 2;
     }
-    for (SolverOptions &O : *Configs)
+    for (SolverOptions &O : *Configs) {
       O.VerifyResult = Verify;
+      O.NoIncremental = NoIncremental;
+    }
 
     // Hash consing is not thread-safe, so every member re-runs the whole
     // frontend pipeline (parse, preprocess, normalize) in its own context;
@@ -195,6 +209,7 @@ int main(int Argc, char **Argv) {
   }
   Opts->TimeoutMs = TimeoutMs;
   Opts->VerifyResult = Verify;
+  Opts->NoIncremental = NoIncremental;
 
   ChcSolution Sol;
   SolverResult R = solveChcSystem(*PR.System, *Opts, Preprocess,

@@ -8,6 +8,12 @@
 # The fuzz leg runs mucyc-fuzz twice with the same fixed seed and requires
 # the reports to be byte-identical — the determinism contract every
 # checked-in repro depends on — and, of course, zero oracle violations.
+# The instance mix includes the "inc" domain, so every run is also an
+# IncrementalEquivalence smoke (random push/assert/check/pop scripts vs.
+# a one-shot reference solver). A third run with --no-incremental then
+# byte-compares the per-instance chc consensus verdicts against the
+# default run: the incremental backend (solver pool + query cache) must
+# be verdict-equivalent to fresh solvers on the whole suite.
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
@@ -43,9 +49,9 @@ OUT=$(mktemp -d)
 trap 'rm -rf "$OUT"' EXIT
 run_fuzz() {
   "$BUILD"/examples/mucyc-fuzz --seed "$FUZZ_SEED" --n "$FUZZ_N" \
-    --repro-dir "$1"
+    --repro-dir "$1" --verdicts "$2"
 }
-if ! run_fuzz "$OUT/repros" >"$OUT/a.txt"; then
+if ! run_fuzz "$OUT/repros" "$OUT/verdicts_a.txt" >"$OUT/a.txt"; then
   cat "$OUT/a.txt"
   echo "FAIL: oracle violations; shrunk repros in $OUT/repros/" >&2
   echo "replay: $BUILD/examples/mucyc-fuzz --seed $FUZZ_SEED --n $FUZZ_N" >&2
@@ -54,12 +60,32 @@ if ! run_fuzz "$OUT/repros" >"$OUT/a.txt"; then
 fi
 
 echo "== fuzz determinism: second run must be byte-identical =="
-run_fuzz "$OUT/repros2" >"$OUT/b.txt"
+run_fuzz "$OUT/repros2" "$OUT/verdicts_b.txt" >"$OUT/b.txt"
 if ! cmp -s "$OUT/a.txt" "$OUT/b.txt"; then
   diff -u "$OUT/a.txt" "$OUT/b.txt" | head -40 >&2
   echo "FAIL: fuzz report is not deterministic" >&2
   exit 1
 fi
+if ! cmp -s "$OUT/verdicts_a.txt" "$OUT/verdicts_b.txt"; then
+  echo "FAIL: chc verdict lines are not deterministic" >&2
+  exit 1
+fi
 tail -2 "$OUT/a.txt"
+
+echo "== incremental differential: --no-incremental must match verdicts =="
+if ! "$BUILD"/examples/mucyc-fuzz --seed "$FUZZ_SEED" --n "$FUZZ_N" \
+    --no-incremental --repro-dir "$OUT/repros3" \
+    --verdicts "$OUT/verdicts_fresh.txt" >"$OUT/c.txt"; then
+  cat "$OUT/c.txt"
+  echo "FAIL: oracle violations under --no-incremental" >&2
+  exit 1
+fi
+if ! cmp -s "$OUT/verdicts_a.txt" "$OUT/verdicts_fresh.txt"; then
+  diff -u "$OUT/verdicts_a.txt" "$OUT/verdicts_fresh.txt" | head -40 >&2
+  echo "FAIL: incremental and fresh-solver chc verdicts differ" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --seed $FUZZ_SEED" \
+       "--n $FUZZ_N [--no-incremental] --verdicts FILE" >&2
+  exit 1
+fi
 
 echo "CI gate passed."

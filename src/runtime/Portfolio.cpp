@@ -127,6 +127,9 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
     M.Depth = States[I].Res.Depth;
     M.Stats = States[I].Res.Stats;
     R.MergedStats.SmtChecks += M.Stats.SmtChecks;
+    R.MergedStats.SmtCacheHits += M.Stats.SmtCacheHits;
+    R.MergedStats.SmtCacheEvicts += M.Stats.SmtCacheEvicts;
+    R.MergedStats.PoolRetires += M.Stats.PoolRetires;
     R.MergedStats.MbpCalls += M.Stats.MbpCalls;
     R.MergedStats.ItpCalls += M.Stats.ItpCalls;
     R.MergedStats.RefineCalls += M.Stats.RefineCalls;

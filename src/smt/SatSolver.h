@@ -93,6 +93,16 @@ public:
   uint64_t numDecisions() const { return Decisions; }
   uint64_t numPropagations() const { return Propagations; }
 
+  /// Learned clauses currently in the database (the retention the SMT
+  /// scope layer advertises: lemmas survive pop() unless the reduction
+  /// policy drops them).
+  uint64_t numLearned() const {
+    uint64_t N = 0;
+    for (const Clause &C : Clauses)
+      N += C.Learned ? 1 : 0;
+    return N;
+  }
+
   /// Debugging: replays every original (non-learned) clause plus root-level
   /// units into \p Other. Used by self-check harnesses to compare an
   /// incremental solver against a fresh one.

@@ -32,7 +32,7 @@ TermRef SmtSolver::eliminateDivides(TermRef F) {
         Ctx.mkEq(T, Ctx.mkAdd(Ctx.mkMul(N.Val, Q), R));
     TermRef Range = Ctx.mkAnd(Ctx.mkGe(R, Ctx.mkIntConst(0)),
                               Ctx.mkLt(R, D));
-    assertFormula(Ctx.mkAnd(Def, Range));
+    assertPermanent(Ctx.mkAnd(Def, Range));
     TermRef Repl = Ctx.mkEq(R, Ctx.mkIntConst(0));
     DividesRewrite.emplace(F.Idx, Repl);
     return Repl;
@@ -53,8 +53,7 @@ TermRef SmtSolver::eliminateDivides(TermRef F) {
   }
 }
 
-void SmtSolver::assertFormula(TermRef F) {
-  F = eliminateDivides(F);
+void SmtSolver::assertPermanent(TermRef F) {
   if (Ctx.kind(F) == Kind::True)
     return;
   if (Ctx.kind(F) == Kind::False) {
@@ -63,6 +62,36 @@ void SmtSolver::assertFormula(TermRef F) {
   }
   if (!Sat.addClause({Enc.encode(F)}))
     TriviallyUnsat = true;
+}
+
+void SmtSolver::assertFormula(TermRef F) {
+  F = eliminateDivides(F);
+  if (Scopes.empty())
+    return assertPermanent(F);
+  if (Ctx.kind(F) == Kind::True)
+    return;
+  // Guarded assertion: (F \/ not a_k). Asserting False inside a scope
+  // degenerates to the unit (not a_k), which conflicts with the scope's
+  // assumption while it is open and becomes the pop() retraction unit
+  // afterwards — the scope is unsat now and harmless once popped.
+  SatLit Guard(Scopes.back().ActVar, /*Negated=*/true);
+  if (Ctx.kind(F) == Kind::False) {
+    Sat.addClause({Guard});
+    return;
+  }
+  Sat.addClause({Enc.encode(F), Guard});
+}
+
+void SmtSolver::push() { Scopes.push_back(Scope{Sat.newVar()}); }
+
+void SmtSolver::pop() {
+  assert(!Scopes.empty() && "pop without matching push");
+  // Fix the activation variable false at the root: every clause guarded by
+  // this scope — original or learned — is satisfied through the guard
+  // literal from now on, so the clause database stays sound verbatim.
+  // Activation variables are never reused.
+  Sat.addClause({SatLit(Scopes.back().ActVar, /*Negated=*/true)});
+  Scopes.pop_back();
 }
 
 void SmtSolver::setCancelFlag(const std::atomic<bool> *Flag) {
@@ -76,9 +105,13 @@ SmtStatus SmtSolver::check(const std::vector<TermRef> &Assumptions) {
   if (TriviallyUnsat)
     return SmtStatus::Unsat;
 
-  // Encode assumptions to literals; remember the mapping for the core.
+  // Assume the activation literal of every open scope, then the user
+  // assumptions. Core extraction below filters through AsmMap, so
+  // activation literals never leak into unsatCore().
   std::vector<SatLit> AsmLits;
   std::vector<std::pair<SatLit, TermRef>> AsmMap;
+  for (const Scope &Sc : Scopes)
+    AsmLits.push_back(SatLit(Sc.ActVar, /*Negated=*/false));
   for (TermRef A : Assumptions) {
     TermRef E = eliminateDivides(A);
     if (Ctx.kind(E) == Kind::True)

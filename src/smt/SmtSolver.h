@@ -31,13 +31,37 @@ enum class SmtStatus { Sat, Unsat, Unknown };
 /// Incremental SMT solver. Assert formulas, then check (optionally under
 /// assumptions); repeat. Divisibility atoms are eliminated on assertion by
 /// introducing quotient/remainder witnesses.
+///
+/// Scopes: push() opens a retractable assertion scope, pop() discards the
+/// innermost one. Scopes are implemented with activation literals over the
+/// assumption mechanism: a formula asserted inside scope k becomes the
+/// clause (F \/ not a_k) and every check() assumes the activation literals
+/// of all open scopes, so CDCL lemmas derived from scoped clauses carry
+/// (not a_k) and stay sound forever. pop() fixes a_k to false at the root,
+/// which deactivates the scope's clauses and vacuously satisfies every
+/// learned clause that mentions the popped literal; lemmas that never
+/// mention it are retained verbatim. Theory state needs no retraction: the
+/// arithmetic checker rebuilds its simplex tableau from the propositional
+/// model on every check, so popped rows simply never reappear. A check()
+/// interrupted by the cancel flag (or budget) returns Unknown with the CDCL
+/// core backtracked to the root and no scope bookkeeping touched, so the
+/// scope stack stays usable afterwards.
 class SmtSolver {
 public:
   explicit SmtSolver(TermContext &Ctx)
       : Ctx(Ctx), Enc(Ctx, Sat), Checker(Ctx) {}
 
-  /// Conjoins \p F to the assertion set.
+  /// Conjoins \p F to the assertion set (of the innermost open scope).
   void assertFormula(TermRef F);
+
+  /// Opens a new assertion scope.
+  void push();
+
+  /// Discards the innermost scope and every formula asserted within it.
+  void pop();
+
+  /// Number of open scopes.
+  size_t numScopes() const { return Scopes.size(); }
 
   /// Checks satisfiability of the assertions plus \p Assumptions (each a
   /// Boolean term).
@@ -53,6 +77,12 @@ public:
   /// Debugging access to the propositional core (used by self-check
   /// harnesses and tests).
   SatSolver &satCore() { return Sat; }
+
+  /// Number of theory atoms registered with the Tseitin encoder. Scoped
+  /// assertions keep their atoms after pop() (only their clauses are
+  /// deactivated), so this grows monotonically — the solver pool uses it
+  /// to retire solvers whose encoding has accreted too much dead weight.
+  size_t numAtoms() const { return Enc.atoms().size(); }
 
   /// Caps the number of theory-lemma iterations (branch-and-bound splits and
   /// blocking clauses) before returning Unknown.
@@ -84,12 +114,26 @@ private:
   /// the defining side constraints.
   TermRef eliminateDivides(TermRef F);
 
+  /// Asserts \p F unguarded, surviving every pop(). The divides
+  /// side-constraints go through here: their rewrite cache outlives scopes,
+  /// and since the quotient/remainder definitions are a conservative
+  /// extension (witnesses exist for every t), keeping them asserted
+  /// permanently never changes satisfiability.
+  void assertPermanent(TermRef F);
+
+  /// One open scope: the activation variable assumed true while the scope
+  /// is alive and fixed false at the root once it is popped.
+  struct Scope {
+    uint32_t ActVar;
+  };
+
   TermContext &Ctx;
   SatSolver Sat;
   Tseitin Enc;
   ArithChecker Checker;
   Model LastModel;
   std::vector<TermRef> Core;
+  std::vector<Scope> Scopes;
   uint64_t LemmaBudget = 2000000;
   const std::atomic<bool> *CancelFlag = nullptr;
   std::unordered_map<uint32_t, TermRef> DividesRewrite; // Atom -> (r = 0).

@@ -19,6 +19,7 @@
 #include "mbp/Mbp.h"
 #include "smt/SmtSolver.h"
 #include "solver/Options.h"
+#include "solver/SolverPool.h"
 
 #include <chrono>
 
@@ -26,7 +27,10 @@ namespace mucyc {
 
 /// Counters reported with every solver result.
 struct SolveStats {
-  uint64_t SmtChecks = 0;
+  uint64_t SmtChecks = 0;      ///< SMT checks actually issued to a solver.
+  uint64_t SmtCacheHits = 0;   ///< sat() answers replayed from the cache.
+  uint64_t SmtCacheEvicts = 0; ///< FIFO evictions from the query cache.
+  uint64_t PoolRetires = 0;    ///< Pooled solvers retired (atom limit).
   uint64_t MbpCalls = 0;
   uint64_t ItpCalls = 0;
   uint64_t RefineCalls = 0;
@@ -38,7 +42,7 @@ class EngineContext {
 public:
   EngineContext(TermContext &F, const NormalizedChc &N,
                 const SolverOptions &Opts)
-      : F(F), N(N), Opts(Opts) {
+      : F(F), N(N), Opts(Opts), Pool(F), Cache(Opts.QueryCacheCap) {
     if (Opts.TimeoutMs > 0) {
       HasDeadline = true;
       Deadline = std::chrono::steady_clock::now() +
@@ -68,24 +72,58 @@ public:
 
   /// Satisfiability of a conjunction; nullopt means unsat OR aborted
   /// (distinguish via Aborted).
+  ///
+  /// Default path: the query cache keyed by the hash-consed conjunction is
+  /// consulted first (queries are closed, so hits need no validity check),
+  /// then the solver pool issues the check against the persistent solver
+  /// for the query's base — the transition relation when it appears among
+  /// the conjuncts — with all other conjuncts as assumptions. Under
+  /// --no-incremental every check builds a fresh throwaway solver.
   std::optional<Model> sat(const std::vector<TermRef> &Conj) {
     if (expired())
       return std::nullopt;
-    ++Stats.SmtChecks;
-    SmtSolver S(F);
-    S.setCancelFlag(Opts.CancelFlag);
-    for (TermRef T : Conj)
-      S.assertFormula(T);
-    switch (S.check()) {
-    case SmtStatus::Sat:
-      return S.model();
-    case SmtStatus::Unsat:
+    if (Opts.NoIncremental) {
+      ++Stats.SmtChecks;
+      SmtSolver S(F);
+      S.setCancelFlag(Opts.CancelFlag);
+      for (TermRef T : Conj)
+        S.assertFormula(T);
+      switch (S.check()) {
+      case SmtStatus::Sat:
+        return S.model();
+      case SmtStatus::Unsat:
+        return std::nullopt;
+      case SmtStatus::Unknown:
+        Aborted = true;
+        return std::nullopt;
+      }
       return std::nullopt;
-    case SmtStatus::Unknown:
+    }
+    TermRef Key = F.mkAnd(Conj);
+    if (const QueryCache::Entry *E = Cache.lookup(Key)) {
+      ++Stats.SmtCacheHits;
+      return E->IsSat ? std::optional<Model>(E->M) : std::nullopt;
+    }
+    ++Stats.SmtChecks;
+    TermRef Base;
+    std::vector<TermRef> Rest;
+    Rest.reserve(Conj.size());
+    for (TermRef T : Conj) {
+      if (!Base.isValid() && N.Trans.isValid() && T == N.Trans)
+        Base = T;
+      else
+        Rest.push_back(T);
+    }
+    SolverPool::Result R = Pool.check(Base, Rest, Opts.CancelFlag);
+    Stats.PoolRetires = Pool.retires();
+    if (R.St == SmtStatus::Unknown) {
       Aborted = true;
       return std::nullopt;
     }
-    return std::nullopt;
+    Cache.insert(Key, QueryCache::Entry{R.St == SmtStatus::Sat, R.M});
+    Stats.SmtCacheEvicts = Cache.evictions();
+    return R.St == SmtStatus::Sat ? std::optional<Model>(std::move(R.M))
+                                  : std::nullopt;
   }
 
   bool implies(TermRef A, TermRef B) {
@@ -145,6 +183,8 @@ public:
 private:
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline;
+  SolverPool Pool;   ///< Persistent per-base solvers (lifetime: one run).
+  QueryCache Cache;  ///< Memoized verdicts/models per conjunction term.
 };
 
 } // namespace mucyc

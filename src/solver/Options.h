@@ -87,6 +87,17 @@ struct SolverOptions {
   /// reachability before returning.
   bool VerifyResult = false;
 
+  /// Disable the incremental backend (solver pool + query cache) in
+  /// EngineContext::sat(): every check builds a fresh throwaway solver.
+  /// Exists for differential runs against the incremental path; never
+  /// serialized by name()/parse().
+  bool NoIncremental = false;
+
+  /// Capacity of the per-run query cache (one verdict/model entry per
+  /// distinct conjunction; FIFO eviction; 0 disables caching). Never
+  /// serialized by name()/parse().
+  unsigned QueryCacheCap = 4096;
+
   /// Paper-style configuration name, e.g. "Ind(Ret(F,MBP(0)))".
   std::string name() const;
 

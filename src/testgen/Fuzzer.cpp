@@ -68,6 +68,7 @@ struct InstanceResult {
   OracleOutcome Out;
   std::string Repro;
   SystemFailPred Refail;
+  std::string Verdict; ///< Chc domain only: the engines' consensus.
 };
 
 InstanceResult runSmtInstance(Rng &R, const FuzzConfig &Cfg) {
@@ -164,13 +165,64 @@ InstanceResult runItpInstance(Rng &R, const FuzzConfig &Cfg,
   return IR;
 }
 
+/// Incremental-equivalence domain: a random push/assert/check/pop script in
+/// the marker encoding checkIncrementalScript decodes (each op is one query
+/// clause, so the repro is an ordinary CHC file and the ddmin shrinker
+/// applies unchanged).
+InstanceResult runIncInstance(Rng &R, const FuzzConfig &Cfg,
+                              const OracleHooks *Hooks) {
+  TermContext Ctx;
+  const GenKnobs &K = Cfg.Knobs;
+  VarPool Pool = genVarPool(Ctx, K, "iv");
+  auto Marker = [&Ctx](const char *Name) {
+    return Ctx.mkEq(Ctx.mkFreshVar(Name, Sort::Int), Ctx.mkIntConst(0));
+  };
+  std::vector<TermRef> Script;
+  unsigned Depth = 0;
+  unsigned NOps = 4 + static_cast<unsigned>(R.below(9));
+  for (unsigned I = 0; I < NOps; ++I) {
+    uint64_t W = R.below(10);
+    if (W < 4) {
+      Script.push_back(genFormula(Ctx, R, K, Pool));
+    } else if (W < 6) {
+      Script.push_back(Marker("inc!push"));
+      ++Depth;
+    } else if (W < 7 && Depth > 0) {
+      Script.push_back(Marker("inc!pop"));
+      --Depth;
+    } else {
+      std::vector<TermRef> Parts{Marker("inc!check")};
+      for (uint64_t A = R.below(3); A > 0 && !Pool.Ints.empty(); --A) {
+        TermRef L = genLinAtom(Ctx, R, K, Pool.Ints, Sort::Int);
+        Parts.push_back(R.oneIn(3) ? Ctx.mkNot(L) : L);
+      }
+      Script.push_back(Ctx.mkAnd(std::move(Parts)));
+    }
+  }
+  Script.push_back(Marker("inc!check")); // Always compare at least once.
+  InstanceResult IR{checkIncrementalScript(Ctx, Script, Hooks), "", nullptr,
+                    ""};
+  if (IR.Out.failed()) {
+    IR.Repro = queryRepro(Ctx, Script);
+    IR.Refail = [Check = IR.Out.Check, Hooks](ChcSystem &S) {
+      std::vector<TermRef> Qs = queryConstraints(S);
+      if (Qs.empty())
+        return false;
+      OracleOutcome O = checkIncrementalScript(S.ctx(), Qs, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
 InstanceResult runChcInstance(Rng &R, const FuzzConfig &Cfg,
                               const OracleHooks *Hooks) {
   TermContext Ctx;
   GenKnobs K = Cfg.Knobs;
   K.RealChc = R.oneIn(4);
   ChcSystem Sys = genLinearChc(Ctx, R, K);
-  InstanceResult IR{checkEngineAgreement(Sys, Cfg.Race, Hooks), "", nullptr};
+  InstanceResult IR;
+  IR.Out = checkEngineAgreement(Sys, Cfg.Race, Hooks, &IR.Verdict);
   if (IR.Out.failed()) {
     IR.Repro = printSmtLib(Sys);
     IR.Refail = [Check = IR.Out.Check, Hooks, Race = Cfg.Race](ChcSystem &S) {
@@ -191,6 +243,8 @@ std::vector<const char *> enabledDomains(const FuzzDomains &D) {
     Out.push_back("itp");
   if (D.Chc)
     Out.push_back("chc");
+  if (D.Inc)
+    Out.push_back("inc");
   return Out;
 }
 
@@ -207,8 +261,12 @@ FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
     InstanceResult IR = Dom == "smt"   ? runSmtInstance(R, Cfg)
                         : Dom == "mbp" ? runMbpInstance(R, Cfg, Hooks)
                         : Dom == "itp" ? runItpInstance(R, Cfg, Hooks)
+                        : Dom == "inc" ? runIncInstance(R, Cfg, Hooks)
                                        : runChcInstance(R, Cfg, Hooks);
     ++Rep.Ran;
+    if (!IR.Verdict.empty())
+      Rep.ChcVerdicts.push_back("instance=" + std::to_string(I) +
+                                " verdict=" + IR.Verdict);
     if (IR.Out.Status == OracleStatus::Pass) {
       ++Rep.Passed;
       continue;

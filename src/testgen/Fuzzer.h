@@ -32,6 +32,7 @@ struct FuzzDomains {
   bool Mbp = true; ///< Definition 1 projection contract.
   bool Itp = true; ///< Interpolant contract.
   bool Chc = true; ///< Four-engine race + Verify certification.
+  bool Inc = true; ///< Incremental push/assert/check/pop vs. one-shot.
 };
 
 struct FuzzConfig {
@@ -47,7 +48,7 @@ struct FuzzConfig {
 
 struct FuzzViolation {
   unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
-  std::string Domain;     ///< "smt", "mbp", "itp" or "chc".
+  std::string Domain;     ///< "smt", "mbp", "itp", "chc" or "inc".
   std::string Check;      ///< Stable tag of the violated contract clause.
   std::string Detail;     ///< Human diagnostic from the oracle.
   std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);
@@ -58,6 +59,11 @@ struct FuzzViolation {
 struct FuzzReport {
   unsigned Ran = 0, Passed = 0, Skipped = 0;
   std::vector<FuzzViolation> Violations;
+  /// One line per chc instance, "instance=<i> verdict=<sat|unsat|unknown>":
+  /// the engines' consensus verdict, deterministic per (Seed, i, knobs).
+  /// The cross-mode differential (default vs. --no-incremental) requires
+  /// these to be byte-identical; mucyc-fuzz --verdicts writes them out.
+  std::vector<std::string> ChcVerdicts;
 
   bool ok() const { return Violations.empty(); }
   /// Deterministic multi-line report (no timing, no absolute pointers).

@@ -191,6 +191,149 @@ OracleOutcome mucyc::checkItpContract(TermContext &Ctx, TermRef A,
 }
 
 //===----------------------------------------------------------------------===
+// IncrementalEquivalence oracle
+//===----------------------------------------------------------------------===
+
+namespace {
+
+bool nameStartsWith(const std::string &S, const char *P) {
+  return S.rfind(P, 0) == 0;
+}
+
+/// One decoded script op.
+struct IncOp {
+  enum Kind { Push, Pop, Assert, Check } K = Assert;
+  TermRef F;                      ///< Assert payload.
+  std::vector<TermRef> Assumps;   ///< Check assumptions.
+};
+
+/// True iff some free variable of \p F carries the marker \p Prefix.
+bool hasMarkerVar(TermContext &Ctx, TermRef F, const char *Prefix) {
+  for (VarId V : Ctx.freeVars(F))
+    if (nameStartsWith(Ctx.varInfo(V).Name, Prefix))
+      return true;
+  return false;
+}
+
+/// Decodes one constraint into a script op; see the header comment on
+/// checkIncrementalScript for the encoding. Total by design: the shrinker
+/// hands this arbitrary subsets of conjuncts.
+IncOp decodeIncOp(TermContext &Ctx, TermRef F) {
+  IncOp Op;
+  if (hasMarkerVar(Ctx, F, "inc!push")) {
+    Op.K = IncOp::Push;
+    return Op;
+  }
+  if (hasMarkerVar(Ctx, F, "inc!pop")) {
+    Op.K = IncOp::Pop;
+    return Op;
+  }
+  if (hasMarkerVar(Ctx, F, "inc!check")) {
+    Op.K = IncOp::Check;
+    // Assumptions: the conjuncts free of marker variables.
+    std::vector<TermRef> Conjs = Ctx.kind(F) == Kind::And
+                                     ? Ctx.node(F).Kids
+                                     : std::vector<TermRef>{F};
+    for (TermRef T : Conjs)
+      if (!hasMarkerVar(Ctx, T, "inc!"))
+        Op.Assumps.push_back(T);
+    return Op;
+  }
+  Op.K = IncOp::Assert;
+  Op.F = F;
+  return Op;
+}
+
+} // namespace
+
+OracleOutcome
+mucyc::checkIncrementalScript(TermContext &Ctx,
+                              const std::vector<TermRef> &Constraints,
+                              const OracleHooks *Hooks) {
+  const bool Mangled = Hooks && Hooks->MangleIncVerdict;
+  SmtSolver Inc(Ctx);
+  Inc.setLemmaBudget(OracleLemmaBudget);
+  // Assertions active per open scope; concatenated they are exactly what a
+  // fresh one-shot solver must see at each check.
+  std::vector<std::vector<TermRef>> Frames(1);
+  unsigned CheckIdx = 0, Compared = 0;
+  for (TermRef C : Constraints) {
+    IncOp Op = decodeIncOp(Ctx, C);
+    switch (Op.K) {
+    case IncOp::Push:
+      Inc.push();
+      Frames.emplace_back();
+      break;
+    case IncOp::Pop:
+      if (Frames.size() > 1) { // Unbalanced pop (shrunk script): ignore.
+        Inc.pop();
+        Frames.pop_back();
+      }
+      break;
+    case IncOp::Assert:
+      Inc.assertFormula(Op.F);
+      Frames.back().push_back(Op.F);
+      break;
+    case IncOp::Check: {
+      unsigned Idx = CheckIdx++;
+      std::vector<TermRef> Active;
+      for (const std::vector<TermRef> &Fr : Frames)
+        Active.insert(Active.end(), Fr.begin(), Fr.end());
+      std::vector<TermRef> All = Active;
+      All.insert(All.end(), Op.Assumps.begin(), Op.Assumps.end());
+
+      SmtStatus IncSt = Inc.check(Op.Assumps);
+      SmtStatus Reported =
+          Mangled ? Hooks->MangleIncVerdict(Idx, IncSt) : IncSt;
+      SmtStatus Ref = budgetedCheck(Ctx, All);
+      if (Reported == SmtStatus::Unknown || Ref == SmtStatus::Unknown)
+        break; // Either side over budget: this check is not comparable.
+      ++Compared;
+      auto Name = [](SmtStatus S) {
+        return S == SmtStatus::Sat ? "sat" : "unsat";
+      };
+      if (Reported != Ref)
+        return OracleOutcome::fail(
+            "inc-verdict",
+            "check #" + std::to_string(Idx) + ": incremental says " +
+                Name(Reported) + ", one-shot rebuild says " + Name(Ref));
+      if (Mangled)
+        break; // Model/core no longer correspond to the mangled verdict.
+      if (IncSt == SmtStatus::Sat) {
+        const Model &M = Inc.model();
+        for (TermRef T : All)
+          if (!M.holds(Ctx, T))
+            return OracleOutcome::fail(
+                "inc-model", "check #" + std::to_string(Idx) +
+                                 ": incremental model " + M.toString(Ctx) +
+                                 " does not satisfy " + Ctx.toString(T));
+      } else {
+        const std::vector<TermRef> &Core = Inc.unsatCore();
+        for (TermRef T : Core)
+          if (std::find(Op.Assumps.begin(), Op.Assumps.end(), T) ==
+              Op.Assumps.end())
+            return OracleOutcome::fail(
+                "inc-core-subset",
+                "check #" + std::to_string(Idx) +
+                    ": core mentions a non-assumption: " + Ctx.toString(T));
+        std::vector<TermRef> CoreQ = Active;
+        CoreQ.insert(CoreQ.end(), Core.begin(), Core.end());
+        if (budgetedCheck(Ctx, CoreQ) == SmtStatus::Sat)
+          return OracleOutcome::fail(
+              "inc-core-unsound",
+              "check #" + std::to_string(Idx) +
+                  ": assertions plus the reported core are satisfiable");
+      }
+      break;
+    }
+    }
+  }
+  if (Compared == 0)
+    return OracleOutcome::skip("no check was comparable within budget");
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
 // Engine-agreement oracle
 //===----------------------------------------------------------------------===
 
@@ -213,7 +356,10 @@ NormalizedChc buildPipeline(ChcSystem &Orig) {
 
 OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
                                           const EngineRaceKnobs &Knobs,
-                                          const OracleHooks *Hooks) {
+                                          const OracleHooks *Hooks,
+                                          std::string *ConsensusOut) {
+  if (ConsensusOut)
+    *ConsensusOut = "n/a";
   // The racers rebuild the system from printed SMT-LIB2 in their private
   // contexts (hash consing is not thread-safe), which doubles as a
   // print/parse round-trip check on every generated system.
@@ -240,6 +386,7 @@ OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
     Opts->MaxRefineSteps = Knobs.RefineBudget;
     Opts->MaxDepth = Knobs.MaxDepth;
     Opts->VerifyResult = true;
+    Opts->NoIncremental = Knobs.NoIncremental;
     SolveJob J;
     J.Opts = *Opts;
     // No wall-clock deadline: the refine-step budget is the cutoff, so a
@@ -284,6 +431,8 @@ OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
     AnySat |= S == ChcStatus::Sat;
     AnyUnsat |= S == ChcStatus::Unsat;
   }
+  if (ConsensusOut && !(AnySat && AnyUnsat))
+    *ConsensusOut = AnySat ? "sat" : AnyUnsat ? "unsat" : "unknown";
   if (AnySat && AnyUnsat)
     return OracleOutcome::fail("engine-disagree",
                                "engines split sat/unsat: " + Describe());

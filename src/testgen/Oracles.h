@@ -34,6 +34,7 @@
 #define MUCYC_TESTGEN_ORACLES_H
 
 #include "chc/Chc.h"
+#include "smt/SmtSolver.h"
 #include "solver/ChcSolve.h"
 
 #include <functional>
@@ -51,6 +52,9 @@ struct OracleHooks {
   std::function<TermRef(TermContext &, TermRef)> MangleItp;
   /// Mangles one engine's verdict, e.g. flips Sat to Unsat.
   std::function<ChcStatus(size_t MemberIdx, ChcStatus)> MangleEngine;
+  /// Mangles the incremental solver's verdict at one check of an
+  /// IncrementalEquivalence script, e.g. flips Sat to Unsat.
+  std::function<SmtStatus(unsigned CheckIdx, SmtStatus)> MangleIncVerdict;
 };
 
 enum class OracleStatus { Pass, Fail, Skip };
@@ -81,6 +85,8 @@ struct EngineRaceKnobs {
   int MaxDepth = 12;           ///< Unfolding cap per engine.
   int BmcDepth = 5;            ///< Ground-truth bounded-reach horizon.
   unsigned Jobs = 0;           ///< Scheduler workers (0 = hardware).
+  bool NoIncremental = false;  ///< Force the fresh-solver path in every
+                               ///< engine (differential vs. the pool).
 };
 
 /// SMT verdict/model/negation/simplify cross-checks on one formula.
@@ -98,13 +104,37 @@ OracleOutcome checkItpContract(TermContext &Ctx, TermRef A,
                                const std::vector<TermRef> &CubeLits,
                                const OracleHooks *Hooks = nullptr);
 
+/// IncrementalEquivalence: replays a push/assert/check/pop script on one
+/// incremental solver and cross-checks every check() against a fresh
+/// one-shot solver rebuilt over the currently active assertions — the
+/// verdicts must agree, a Sat model must satisfy every active assertion
+/// and assumption, and an unsat core must be a subset of the assumptions
+/// that is itself jointly unsat with the active assertions.
+///
+/// \p Constraints is the marker encoding of the script, one term per op
+/// (see the inc domain in Fuzzer.cpp): a term whose free variables include
+/// one named with prefix "inc!push" / "inc!pop" / "inc!check" is that
+/// scope op (for checks, the marker-free conjuncts are the assumptions);
+/// any other term is an assertion. The decoding is total — an unbalanced
+/// pop is ignored and a mangled check degrades to an assert — so the ddmin
+/// shrinker may drop any clause of a repro.
+OracleOutcome
+checkIncrementalScript(TermContext &Ctx,
+                       const std::vector<TermRef> &Constraints,
+                       const OracleHooks *Hooks = nullptr);
+
 /// Races all four engines on \p Sys via the runtime Scheduler (each in a
 /// private TermContext rebuilt from printed SMT-LIB2), requires pairwise
 /// agreement, agreement with BMC ground truth, and Verify certification of
-/// every definitive answer.
+/// every definitive answer. When \p ConsensusOut is non-null it receives
+/// the agreed verdict ("sat" / "unsat" / "unknown"; "n/a" when the oracle
+/// failed before a consensus existed) — the cross-mode differential runs
+/// byte-compare these lines between the incremental and --no-incremental
+/// backends.
 OracleOutcome checkEngineAgreement(const ChcSystem &Sys,
                                    const EngineRaceKnobs &Knobs,
-                                   const OracleHooks *Hooks = nullptr);
+                                   const OracleHooks *Hooks = nullptr,
+                                   std::string *ConsensusOut = nullptr);
 
 } // namespace mucyc
 

@@ -57,8 +57,12 @@ TEST_F(EngineFixture, StepBudgetMetersRefinementsNotSmtChecks) {
   // meters Stats.RefineCalls.
   Opts.MaxRefineSteps = 3;
   EngineContext E(C, N, Opts);
+  // Ten distinct queries so every one is a real check rather than a query
+  // cache hit (only full checks are at issue here).
+  TermRef Z = C.varTerm(N.Z[0]);
   for (int I = 0; I < 10; ++I)
-    EXPECT_TRUE(E.sat({N.Init}).has_value()) << "check " << I;
+    EXPECT_TRUE(E.sat({N.Init, C.mkLe(Z, C.mkIntConst(100 + I))}).has_value())
+        << "check " << I;
   EXPECT_GT(E.Stats.SmtChecks, Opts.MaxRefineSteps);
   EXPECT_FALSE(E.Aborted); // SMT checks alone never trip the budget.
 
@@ -69,6 +73,40 @@ TEST_F(EngineFixture, StepBudgetMetersRefinementsNotSmtChecks) {
   // Aborted sat() is conservative: no model and no unsat conclusion.
   EXPECT_FALSE(E.sat({N.Init}).has_value());
   EXPECT_FALSE(E.implies(N.Init, N.Init)); // implies() refuses when aborted.
+}
+
+TEST_F(EngineFixture, QueryCacheSplitsHitsFromChecks) {
+  // Regression test for the SmtChecks/SmtCacheHits split: repeated
+  // identical queries are served from the cache and counted as hits, not
+  // as full checks.
+  EngineContext E(C, N, Opts);
+  for (int I = 0; I < 10; ++I)
+    ASSERT_TRUE(E.sat({N.Init}).has_value()) << "check " << I;
+  EXPECT_EQ(E.Stats.SmtChecks, 1u);
+  EXPECT_EQ(E.Stats.SmtCacheHits, 9u);
+
+  // Unsat verdicts are cached too.
+  EXPECT_FALSE(E.sat({N.Init, N.Bad}).has_value());
+  EXPECT_FALSE(E.sat({N.Init, N.Bad}).has_value());
+  EXPECT_FALSE(E.Aborted);
+  EXPECT_EQ(E.Stats.SmtChecks, 2u);
+  EXPECT_EQ(E.Stats.SmtCacheHits, 10u);
+
+  // A cache hit replays the original model verbatim.
+  auto M1 = E.sat({N.Init});
+  auto M2 = E.sat({N.Init});
+  ASSERT_TRUE(M1.has_value() && M2.has_value());
+  EXPECT_EQ(M1->toString(C), M2->toString(C));
+
+  // --no-incremental restores the fresh-solver path: no hits, one check
+  // per call.
+  SolverOptions Fresh;
+  Fresh.NoIncremental = true;
+  EngineContext E2(C, N, Fresh);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(E2.sat({N.Init}).has_value());
+  EXPECT_EQ(E2.Stats.SmtChecks, 3u);
+  EXPECT_EQ(E2.Stats.SmtCacheHits, 0u);
 }
 
 TEST_F(EngineFixture, CancelFlagAborts) {

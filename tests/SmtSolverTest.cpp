@@ -140,6 +140,128 @@ TEST_F(SmtFixture, IncrementalAssertions) {
   EXPECT_EQ(S.check(), SmtStatus::Unsat);
 }
 
+//===----------------------------------------------------------------------===
+// Scopes (push/pop via activation literals)
+//===----------------------------------------------------------------------===
+
+TEST_F(SmtFixture, PopRestoresSatAfterContradiction) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkGe(X, C.mkIntConst(0)));
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  S.push();
+  S.assertFormula(C.mkLe(X, C.mkIntConst(-1))); // Contradicts the base.
+  EXPECT_EQ(S.check(), SmtStatus::Unsat);
+  EXPECT_EQ(S.numScopes(), 1u);
+  S.pop();
+  EXPECT_EQ(S.numScopes(), 0u);
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  EXPECT_TRUE(S.model().holds(C, C.mkGe(X, C.mkIntConst(0))));
+}
+
+TEST_F(SmtFixture, NestedScopesPopInOrder) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkGe(X, C.mkIntConst(0)));
+  S.push();
+  S.assertFormula(C.mkLe(X, C.mkIntConst(10)));
+  S.push();
+  S.assertFormula(C.mkGe(X, C.mkIntConst(11))); // Clashes with scope 1.
+  EXPECT_EQ(S.check(), SmtStatus::Unsat);
+  S.pop(); // Drop x >= 11.
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  EXPECT_TRUE(S.model().holds(C, C.mkLe(X, C.mkIntConst(10))));
+  S.pop(); // Drop x <= 10.
+  S.assertFormula(C.mkGe(X, C.mkIntConst(11))); // Permanent now: fine.
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+}
+
+TEST_F(SmtFixture, ScopedFalseIsRecoverable) {
+  SmtSolver S(C);
+  S.push();
+  S.assertFormula(C.mkFalse());
+  EXPECT_EQ(S.check(), SmtStatus::Unsat);
+  // Even under assumptions the core never blames them for the scoped False.
+  EXPECT_EQ(S.check({C.mkGe(X, C.mkIntConst(0))}), SmtStatus::Unsat);
+  EXPECT_TRUE(S.unsatCore().empty());
+  S.pop();
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+}
+
+TEST_F(SmtFixture, CoresNeverMentionPoppedAssertions) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkGe(C.mkAdd(X, Y), C.mkIntConst(10)));
+  S.push();
+  S.assertFormula(C.mkLe(X, C.mkIntConst(0))); // Popped below.
+  S.pop();
+  TermRef A1 = C.mkLe(X, C.mkIntConst(4));
+  TermRef A2 = C.mkLe(Y, C.mkIntConst(4));
+  TermRef A3 = C.mkGe(Y, C.mkIntConst(0)); // Irrelevant.
+  EXPECT_EQ(S.check({A1, A2, A3}), SmtStatus::Unsat);
+  const std::vector<TermRef> &Core = S.unsatCore();
+  EXPECT_GE(Core.size(), 1u);
+  for (TermRef T : Core) {
+    EXPECT_TRUE(T == A1 || T == A2 || T == A3)
+        << "core leaked a non-assumption: " << C.toString(T);
+    EXPECT_NE(T, A3);
+  }
+}
+
+TEST_F(SmtFixture, ModelValidAfterPop) {
+  SmtSolver S(C);
+  S.assertFormula(C.mkGe(X, C.mkIntConst(0)));
+  S.push();
+  S.assertFormula(C.mkGe(X, C.mkIntConst(50)));
+  ASSERT_EQ(S.check(), SmtStatus::Sat);
+  EXPECT_TRUE(S.model().holds(C, C.mkGe(X, C.mkIntConst(50))));
+  S.pop();
+  S.assertFormula(C.mkLe(X, C.mkIntConst(5))); // Only sat once 50 is gone.
+  ASSERT_EQ(S.check(), SmtStatus::Sat);
+  EXPECT_TRUE(S.model().holds(C, C.mkAnd(C.mkGe(X, C.mkIntConst(0)),
+                                         C.mkLe(X, C.mkIntConst(5)))));
+}
+
+TEST_F(SmtFixture, CancelledCheckLeavesScopesUsable) {
+  SmtSolver S(C);
+  std::atomic<bool> Flag{true}; // Cancelled from the start.
+  S.assertFormula(C.mkGe(X, C.mkIntConst(0)));
+  S.push();
+  S.assertFormula(C.mkLe(X, C.mkIntConst(-1)));
+  S.setCancelFlag(&Flag);
+  EXPECT_EQ(S.check(), SmtStatus::Unknown); // Interrupted, state intact.
+  Flag.store(false);
+  EXPECT_EQ(S.check(), SmtStatus::Unsat); // Same scope, real verdict now.
+  S.pop();
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+  EXPECT_EQ(S.numScopes(), 0u);
+}
+
+TEST_F(SmtFixture, LearnedClausesSurvivePop) {
+  // A small pigeonhole (4 pigeons, 3 holes) over Boolean structure forces
+  // genuine CDCL learning; assert it inside a scope, pop, and the learned
+  // clauses must still be in the database (each carries the popped
+  // activation literal, so they are vacuously satisfied — retention is the
+  // observable).
+  SmtSolver S(C);
+  std::vector<std::vector<TermRef>> P(4);
+  for (int I = 0; I < 4; ++I)
+    for (int H = 0; H < 3; ++H)
+      P[I].push_back(
+          C.mkVar("p" + std::to_string(I) + "_" + std::to_string(H),
+                  Sort::Bool));
+  S.push();
+  for (int I = 0; I < 4; ++I)
+    S.assertFormula(C.mkOr(P[I]));
+  for (int H = 0; H < 3; ++H)
+    for (int I = 0; I < 4; ++I)
+      for (int J = I + 1; J < 4; ++J)
+        S.assertFormula(C.mkOr(C.mkNot(P[I][H]), C.mkNot(P[J][H])));
+  EXPECT_EQ(S.check(), SmtStatus::Unsat);
+  uint64_t LearnedAtUnsat = S.satCore().numLearned();
+  EXPECT_GT(LearnedAtUnsat, 0u);
+  S.pop();
+  EXPECT_GE(S.satCore().numLearned(), LearnedAtUnsat);
+  EXPECT_EQ(S.check(), SmtStatus::Sat);
+}
+
 TEST_F(SmtFixture, ImpliesAndEquivalentHelpers) {
   TermRef F = C.mkAnd(C.mkGe(X, C.mkIntConst(1)), C.mkLe(X, C.mkIntConst(3)));
   TermRef G = C.mkGe(X, C.mkIntConst(0));

@@ -219,6 +219,12 @@ void expectMinimalRefailingRepros(const FuzzReport &Rep,
                                       ? Ctx.node(Qs[1]).Kids
                                       : std::vector<TermRef>{Qs[1]};
       O = checkItpContract(Ctx, Qs[0], Lits, &H);
+    } else if (Domain == "inc") {
+      std::vector<TermRef> Qs;
+      for (const Clause &Cl : PR.System->clauses())
+        if (Cl.isQuery())
+          Qs.push_back(Cl.Constraint);
+      O = checkIncrementalScript(Ctx, Qs, &H);
     } else {
       O = checkEngineAgreement(*PR.System, Cfg.Race, &H);
     }
@@ -233,7 +239,7 @@ TEST(Testgen, InjectedMbpBugYieldsMinimalRepro) {
   FuzzConfig Cfg;
   Cfg.Seed = 11;
   Cfg.N = 6;
-  Cfg.Domains = {false, true, false, false};
+  Cfg.Domains = {false, true, false, false, false};
   Cfg.ShrinkAttempts = 200;
   FuzzReport Rep = runFuzz(Cfg, &H);
   expectMinimalRefailingRepros(Rep, Cfg, H, "mbp");
@@ -245,7 +251,7 @@ TEST(Testgen, InjectedItpBugYieldsMinimalRepro) {
   FuzzConfig Cfg;
   Cfg.Seed = 13;
   Cfg.N = 10;
-  Cfg.Domains = {false, false, true, false};
+  Cfg.Domains = {false, false, true, false, false};
   Cfg.ShrinkAttempts = 200;
   FuzzReport Rep = runFuzz(Cfg, &H);
   expectMinimalRefailingRepros(Rep, Cfg, H, "itp");
@@ -265,11 +271,52 @@ TEST(Testgen, InjectedEngineBugYieldsMinimalRepro) {
   FuzzConfig Cfg;
   Cfg.Seed = 17;
   Cfg.N = 2;
-  Cfg.Domains = {false, false, false, true};
+  Cfg.Domains = {false, false, false, true, false};
   Cfg.Race.RefineBudget = 150;
   Cfg.ShrinkAttempts = 120;
   FuzzReport Rep = runFuzz(Cfg, &H);
   expectMinimalRefailingRepros(Rep, Cfg, H, "chc");
+}
+
+TEST(Testgen, InjectedIncBugYieldsMinimalRepro) {
+  OracleHooks H;
+  H.MangleIncVerdict = [](unsigned, SmtStatus S) {
+    if (S == SmtStatus::Sat)
+      return SmtStatus::Unsat;
+    if (S == SmtStatus::Unsat)
+      return SmtStatus::Sat;
+    return S;
+  };
+  FuzzConfig Cfg;
+  Cfg.Seed = 19;
+  Cfg.N = 4;
+  Cfg.Domains = {false, false, false, false, true};
+  Cfg.ShrinkAttempts = 200;
+  FuzzReport Rep = runFuzz(Cfg, &H);
+  expectMinimalRefailingRepros(Rep, Cfg, H, "inc");
+}
+
+//===----------------------------------------------------------------------===
+// Cross-mode differential: incremental backend vs. fresh solvers
+//===----------------------------------------------------------------------===
+
+// The incremental backend (solver pool + query cache) must be verdict-
+// equivalent to the fresh-solver path: a fixed-seed chc suite run in both
+// modes has to produce byte-identical per-instance consensus verdicts with
+// zero oracle violations. scripts/ci.sh runs the full 500-instance version
+// of this via mucyc-fuzz --verdicts; this keeps a fast copy in ctest.
+TEST(Testgen, IncrementalAndFreshEnginesAgreeOnFixedSuite) {
+  FuzzConfig Cfg;
+  Cfg.Seed = 20240801;
+  Cfg.N = 40;
+  Cfg.Domains = {false, false, false, true, false};
+  FuzzReport Inc = runFuzz(Cfg);
+  Cfg.Race.NoIncremental = true;
+  FuzzReport Fresh = runFuzz(Cfg);
+  EXPECT_TRUE(Inc.ok()) << Inc.summary(Cfg);
+  EXPECT_TRUE(Fresh.ok()) << Fresh.summary(Cfg);
+  ASSERT_EQ(Inc.ChcVerdicts.size(), Cfg.N);
+  EXPECT_EQ(Inc.ChcVerdicts, Fresh.ChcVerdicts);
 }
 
 } // namespace
