@@ -11,16 +11,22 @@
 // byte-identical stdout, so a (seed, n) pair in a bug report reproduces the
 // exact failing instance anywhere.
 //
-//   mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc]
+//   mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc,chaos]
 //              [--repro-dir DIR] [--no-shrink] [--refine-budget N]
 //              [--clauses N] [--coeff-mag N] [--jobs N]
-//              [--no-incremental] [--verdicts FILE]
+//              [--no-incremental] [--verdicts FILE] [--chaos-seed S]
 //
 // --no-incremental forces every raced engine onto the fresh-solver path;
 // --verdicts writes the per-chc-instance consensus verdict lines to FILE,
 // so a default run and a --no-incremental run can be byte-compared.
 //
-// Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors.
+// The chaos domain (off by default) solves each generated system clean and
+// under deterministic fault injection and requires that faults only ever
+// degrade verdicts, never flip them; --chaos-seed fixes the root of the
+// fault-schedule streams (default: derived from --seed).
+//
+// Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors
+// (internal errors surface as "uncaught-*" violations, not aborts).
 //
 //===----------------------------------------------------------------------===//
 
@@ -37,17 +43,19 @@ using namespace mucyc;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc]\n"
+      "usage: mucyc-fuzz [--seed S] [--n N]\n"
+      "                  [--domains smt,mbp,itp,chc,inc,chaos]\n"
       "                  [--repro-dir DIR] [--no-shrink]\n"
       "                  [--refine-budget N] [--clauses N] [--coeff-mag N]\n"
       "                  [--jobs N] [--no-incremental] [--verdicts FILE]\n"
+      "                  [--chaos-seed S]\n"
       "Generates N random instances (round-robin over the enabled\n"
       "domains), checks each against its oracle, and shrinks failures to\n"
       "minimal SMT-LIB2 repros. Output is a pure function of the flags.\n");
 }
 
 static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
-  D = FuzzDomains{false, false, false, false, false};
+  D = FuzzDomains{false, false, false, false, false, false};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -63,13 +71,15 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
       D.Chc = true;
     else if (Name == "inc")
       D.Inc = true;
+    else if (Name == "chaos")
+      D.Chaos = true;
     else
       return false;
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
   }
-  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc;
+  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos;
 }
 
 int main(int Argc, char **Argv) {
@@ -102,6 +112,8 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (A == "--no-incremental")
       Cfg.Race.NoIncremental = true;
+    else if (A == "--chaos-seed" && I + 1 < Argc)
+      Cfg.ChaosSeed = std::strtoull(Argv[++I], nullptr, 10);
     else if (A == "--verdicts" && I + 1 < Argc)
       VerdictsPath = Argv[++I];
     else if (A == "--help") {
@@ -114,17 +126,25 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  FuzzReport Rep = runFuzz(Cfg);
-  std::fputs(Rep.summary(Cfg).c_str(), stdout);
-  if (!VerdictsPath.empty()) {
-    std::ofstream OS(VerdictsPath);
-    if (!OS) {
-      std::fprintf(stderr, "error: cannot write '%s'\n",
-                   VerdictsPath.c_str());
-      return 2;
+  // runFuzz absorbs per-instance escapes as "uncaught-*" violations; this
+  // boundary covers everything else (report formatting, I/O) so a campaign
+  // always ends with a diagnostic line, never std::terminate.
+  try {
+    FuzzReport Rep = runFuzz(Cfg);
+    std::fputs(Rep.summary(Cfg).c_str(), stdout);
+    if (!VerdictsPath.empty()) {
+      std::ofstream OS(VerdictsPath);
+      if (!OS) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     VerdictsPath.c_str());
+        return 2;
+      }
+      for (const std::string &L : Rep.ChcVerdicts)
+        OS << L << "\n";
     }
-    for (const std::string &L : Rep.ChcVerdicts)
-      OS << L << "\n";
+    return Rep.ok() ? 0 : 1;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: uncaught exception: %s\n", E.what());
+    return 2;
   }
-  return Rep.ok() ? 0 : 1;
 }

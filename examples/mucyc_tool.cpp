@@ -13,18 +13,31 @@
 //   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
 //         [--print-solution] [--verify] [--stats]
 //         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
+//         [--mem-limit-mb N] [--max-retries N] [--chaos-seed S]
 //
 // --no-incremental disables the incremental SMT backend (solver pool +
 // query cache); every engine query then builds a fresh solver, which is
 // the reference semantics the incremental path is differential-tested
 // against.
 //
+// --mem-limit-mb meters term/clause/tableau allocations per solve attempt
+// and trips a recoverable resource-exhausted error at the limit;
+// --max-retries re-runs recoverable failures with degraded configurations
+// (see runtime/Recover.h); --chaos-seed arms the deterministic fault
+// injector (testing aid: same seed => same fault schedule).
+//
+// Exit status: 0 solved (sat/unsat), 1 unknown, 2 usage/input error,
+// 3 internal error (a diagnostic line is printed; never an uncaught
+// std::terminate).
+//
 //===----------------------------------------------------------------------===//
 
 #include "chc/Parser.h"
 #include "chc/Preprocess.h"
 #include "runtime/Portfolio.h"
+#include "runtime/Recover.h"
 #include "solver/ChcSolve.h"
+#include "support/Error.h"
 
 #include <cstdio>
 #include <cstring>
@@ -42,7 +55,8 @@ static void usage() {
       "             [--no-preprocess] [--print-solution] [--verify] "
       "[--stats]\n"
       "             [--portfolio \"CFG1,CFG2,...\"] [--jobs N]\n"
-      "             [--no-incremental]\n"
+      "             [--no-incremental] [--mem-limit-mb N]\n"
+      "             [--max-retries N] [--chaos-seed S]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
@@ -52,7 +66,7 @@ static void usage() {
       "one thread per member)\n");
 }
 
-int main(int Argc, char **Argv) {
+static int runMain(int Argc, char **Argv) {
   if (Argc < 2) {
     usage();
     return 2;
@@ -62,6 +76,8 @@ int main(int Argc, char **Argv) {
   std::string Portfolio;
   unsigned Jobs = 0;
   uint64_t TimeoutMs = 600000;
+  uint64_t MemLimitMb = 0, ChaosSeed = 0;
+  unsigned MaxRetries = 0;
   bool Preprocess = true, PrintSolution = false, Verify = false,
        Stats = false, NoIncremental = false;
   for (int I = 1; I < Argc; ++I) {
@@ -74,6 +90,13 @@ int main(int Argc, char **Argv) {
       Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (A == "--timeout-ms" && I + 1 < Argc)
       TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--mem-limit-mb" && I + 1 < Argc)
+      MemLimitMb = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--max-retries" && I + 1 < Argc)
+      MaxRetries =
+          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
+    else if (A == "--chaos-seed" && I + 1 < Argc)
+      ChaosSeed = std::strtoull(Argv[++I], nullptr, 10);
     else if (A == "--no-preprocess")
       Preprocess = false;
     else if (A == "--no-incremental")
@@ -130,7 +153,7 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  ";%s depth=%d time=%.3fs smt=%llu cache-hits=%llu "
                  "cache-evicts=%llu pool-retires=%llu mbp=%llu itp=%llu "
-                 "refines=%llu\n",
+                 "refines=%llu retries=%llu\n",
                  Tag, Depth, Seconds,
                  static_cast<unsigned long long>(S.SmtChecks),
                  static_cast<unsigned long long>(S.SmtCacheHits),
@@ -138,7 +161,37 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(S.PoolRetires),
                  static_cast<unsigned long long>(S.MbpCalls),
                  static_cast<unsigned long long>(S.ItpCalls),
-                 static_cast<unsigned long long>(S.RefineCalls));
+                 static_cast<unsigned long long>(S.RefineCalls),
+                 static_cast<unsigned long long>(S.Retries));
+  };
+  auto PrintError = [](const ErrorInfo &E) {
+    if (E.isError())
+      std::fprintf(stderr, "; unknown: %s\n", E.describe().c_str());
+  };
+
+  // Hash consing is not thread-safe and the retry ladder rebuilds per
+  // attempt, so portfolio members and recovery attempts each re-run the
+  // whole frontend pipeline (parse, preprocess, normalize) in their own
+  // context; the winning context's pipeline is kept for solution lifting.
+  struct Pipeline {
+    ChcSystem Orig;
+    ChcSystem Work;
+    NormalizeResult NR;
+  };
+  std::mutex PipesMu;
+  std::map<const TermContext *, std::shared_ptr<Pipeline>> Pipes;
+  const std::string Source = Buf.str();
+  auto Build = [&](TermContext &C) -> NormalizedChc {
+    ParseResult MPR = parseChc(C, Source); // Validated by the parse above.
+    ChcSystem Orig = std::move(*MPR.System);
+    ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
+    NormalizeResult NR = normalize(Work);
+    auto P = std::make_shared<Pipeline>(
+        Pipeline{std::move(Orig), std::move(Work), std::move(NR)});
+    NormalizedChc Sys = P->NR.Sys;
+    std::lock_guard<std::mutex> Lock(PipesMu);
+    Pipes[&C] = std::move(P); // Retry attempts may reuse an address.
+    return Sys;
   };
 
   if (!Portfolio.empty()) {
@@ -152,31 +205,10 @@ int main(int Argc, char **Argv) {
     for (SolverOptions &O : *Configs) {
       O.VerifyResult = Verify;
       O.NoIncremental = NoIncremental;
+      O.MemLimitMb = MemLimitMb;
+      O.MaxRetries = MaxRetries;
+      O.ChaosSeed = ChaosSeed;
     }
-
-    // Hash consing is not thread-safe, so every member re-runs the whole
-    // frontend pipeline (parse, preprocess, normalize) in its own context;
-    // the winner's pipeline is kept for solution lifting.
-    struct Pipeline {
-      ChcSystem Orig;
-      ChcSystem Work;
-      NormalizeResult NR;
-    };
-    std::mutex PipesMu;
-    std::map<const TermContext *, std::shared_ptr<Pipeline>> Pipes;
-    const std::string Source = Buf.str();
-    auto Build = [&](TermContext &C) -> NormalizedChc {
-      ParseResult MPR = parseChc(C, Source); // Validated by the parse above.
-      ChcSystem Orig = std::move(*MPR.System);
-      ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
-      NormalizeResult NR = normalize(Work);
-      auto P = std::make_shared<Pipeline>(
-          Pipeline{std::move(Orig), std::move(Work), std::move(NR)});
-      NormalizedChc Sys = P->NR.Sys;
-      std::lock_guard<std::mutex> Lock(PipesMu);
-      Pipes.emplace(&C, std::move(P));
-      return Sys;
-    };
 
     PortfolioResult PR2 = racePortfolio(Build, *Configs, Jobs, TimeoutMs);
     std::printf("%s\n", chcStatusName(PR2.Winner.Status));
@@ -189,14 +221,23 @@ int main(int Argc, char **Argv) {
       std::fprintf(stderr, "; portfolio winner=%s wall=%.3fs\n",
                    PR2.WinnerIndex >= 0 ? PR2.WinnerConfig.c_str() : "none",
                    PR2.Seconds);
-      for (const PortfolioMemberReport &M : PR2.Members)
-        std::fprintf(stderr, ";   %-24s %-8s%s%s %8.3fs smt=%llu\n",
+      for (const PortfolioMemberReport &M : PR2.Members) {
+        std::fprintf(stderr,
+                     ";   %-24s %-8s%s%s %8.3fs smt=%llu attempts=%u\n",
                      M.Config.c_str(), chcStatusName(M.Status),
                      M.Winner ? " [winner]" : "",
                      M.Cancelled ? " [cancelled]" : "", M.Seconds,
-                     static_cast<unsigned long long>(M.Stats.SmtChecks));
+                     static_cast<unsigned long long>(M.Stats.SmtChecks),
+                     M.Attempts);
+        if (M.Error.isError())
+          std::fprintf(stderr, ";     error: %s\n",
+                       M.Error.describe().c_str());
+      }
       PrintStats(" merged", PR2.Winner.Depth, PR2.Seconds, PR2.MergedStats);
     }
+    if (PR2.WinnerIndex < 0)
+      for (const PortfolioMemberReport &M : PR2.Members)
+        PrintError(M.Error);
     return PR2.Winner.Status == ChcStatus::Unknown ? 1 : 0;
   }
 
@@ -207,10 +248,30 @@ int main(int Argc, char **Argv) {
     usage();
     return 2;
   }
-  Opts->TimeoutMs = TimeoutMs;
   Opts->VerifyResult = Verify;
   Opts->NoIncremental = NoIncremental;
+  Opts->MemLimitMb = MemLimitMb;
+  Opts->MaxRetries = MaxRetries;
+  Opts->ChaosSeed = ChaosSeed;
 
+  if (MaxRetries > 0) {
+    // Recovery ladder: each attempt rebuilds in a fresh context, so route
+    // through the runtime and lift the solution from the final context.
+    RecoveryOutcome RO =
+        solveWithRecovery(Build, *Opts, TimeoutMs, nullptr);
+    std::printf("%s\n", chcStatusName(RO.Res.Status));
+    if (PrintSolution && RO.Res.Status == ChcStatus::Sat) {
+      const auto &P = Pipes.at(RO.Ctx.get());
+      ChcSolution Sol = P->NR.liftSolution(P->Work, RO.Res.Invariant);
+      PrintDefs(*RO.Ctx, P->Orig, Sol);
+    }
+    if (Stats)
+      PrintStats("", RO.Res.Depth, RO.Res.Seconds, RO.Res.Stats);
+    PrintError(RO.Res.Error);
+    return RO.Res.Status == ChcStatus::Unknown ? 1 : 0;
+  }
+
+  Opts->TimeoutMs = TimeoutMs;
   ChcSolution Sol;
   SolverResult R = solveChcSystem(*PR.System, *Opts, Preprocess,
                                   PrintSolution ? &Sol : nullptr);
@@ -219,5 +280,24 @@ int main(int Argc, char **Argv) {
     PrintDefs(Ctx, *PR.System, Sol);
   if (Stats)
     PrintStats("", R.Depth, R.Seconds, R.Stats);
+  PrintError(R.Error);
   return R.Status == ChcStatus::Unknown ? 1 : 0;
+}
+
+int main(int Argc, char **Argv) {
+  // Last-resort error boundary: every failure becomes a one-line
+  // diagnostic and a distinct exit status, never an uncaught
+  // std::terminate.
+  try {
+    return runMain(Argc, Argv);
+  } catch (const MucycError &E) {
+    std::fprintf(stderr, "error: %s\n", E.info().describe().c_str());
+    return 3;
+  } catch (const std::exception &E) {
+    std::fprintf(stderr, "error: uncaught exception: %s\n", E.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "error: uncaught non-standard exception\n");
+    return 3;
+  }
 }

@@ -14,6 +14,9 @@
 # byte-compares the per-instance chc consensus verdicts against the
 # default run: the incremental backend (solver pool + query cache) must
 # be verdict-equivalent to fresh solvers on the whole suite.
+# A final chaos leg solves a fixed-seed batch under deterministic fault
+# injection (twice, byte-compared): injected faults may only degrade
+# verdicts, never flip them or crash the runtime.
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
@@ -30,6 +33,8 @@ fi
 
 FUZZ_SEED=20240801
 FUZZ_N=500
+CHAOS_SEED=20240802
+CHAOS_N=300
 
 echo "== configure ($BUILD) =="
 if [ "$ASAN" = 1 ]; then
@@ -87,5 +92,30 @@ if ! cmp -s "$OUT/verdicts_a.txt" "$OUT/verdicts_fresh.txt"; then
        "--n $FUZZ_N [--no-incremental] --verdicts FILE" >&2
   exit 1
 fi
+
+echo "== chaos smoke: $CHAOS_N fault-injected instances, seed $CHAOS_SEED =="
+# Every instance is solved clean and under deterministic fault injection;
+# injected faults may only degrade verdicts to Unknown, never flip them or
+# crash the runtime. Two same-seed runs must be byte-identical — the
+# determinism contract of the fault schedules themselves.
+run_chaos() {
+  "$BUILD"/examples/mucyc-fuzz --domains chaos --seed "$CHAOS_SEED" \
+    --n "$CHAOS_N" --repro-dir "$1"
+}
+if ! run_chaos "$OUT/chaos_repros" >"$OUT/chaos_a.txt"; then
+  cat "$OUT/chaos_a.txt"
+  echo "FAIL: chaos oracle violations; repros in $OUT/chaos_repros/" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --domains chaos" \
+       "--seed $CHAOS_SEED --n $CHAOS_N" >&2
+  trap - EXIT
+  exit 1
+fi
+run_chaos "$OUT/chaos_repros2" >"$OUT/chaos_b.txt"
+if ! cmp -s "$OUT/chaos_a.txt" "$OUT/chaos_b.txt"; then
+  diff -u "$OUT/chaos_a.txt" "$OUT/chaos_b.txt" | head -40 >&2
+  echo "FAIL: chaos report is not deterministic" >&2
+  exit 1
+fi
+tail -2 "$OUT/chaos_a.txt"
 
 echo "CI gate passed."

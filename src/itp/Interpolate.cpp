@@ -8,6 +8,7 @@
 
 #include "mbp/Qe.h"
 #include "smt/SmtSolver.h"
+#include "support/Error.h"
 
 #include <algorithm>
 
@@ -19,9 +20,10 @@ mucyc::generalizeBlockedCube(TermContext &Ctx, TermRef A,
   SmtSolver S(Ctx);
   S.assertFormula(A);
   SmtStatus St = S.check(Lits);
-  assert(St == SmtStatus::Unsat && "cube is not blocked by A");
-  if (St != SmtStatus::Unsat)
-    return Lits;
+  if (St == SmtStatus::Unknown)
+    raiseError(ErrorCode::ResourceExhaustedSteps,
+               "lemma budget exhausted while checking a blocked cube");
+  MUCYC_INVARIANT(St == SmtStatus::Unsat, "cube is not blocked by A");
   // Start from the solver's core, then greedily try to drop literals.
   std::vector<TermRef> Core = S.unsatCore();
   for (size_t I = 0; I < Core.size();) {
@@ -74,7 +76,8 @@ std::optional<std::vector<TermRef>> negatedCube(TermContext &Ctx, TermRef F) {
 
 TermRef mucyc::interpolate(TermContext &Ctx, TermRef A, TermRef B,
                            ItpMode Mode) {
-  assert(SmtSolver::implies(Ctx, A, B) && "Itp precondition A => B violated");
+  MUCYC_INVARIANT(SmtSolver::implies(Ctx, A, B),
+                  "Itp precondition A => B violated");
   switch (Mode) {
   case ItpMode::WeakestB:
     return B;
@@ -106,6 +109,5 @@ TermRef mucyc::interpolate(TermContext &Ctx, TermRef A, TermRef B,
     return Ctx.mkAnd(std::move(Out));
   }
   }
-  assert(false && "unknown interpolation mode");
-  return B;
+  raiseError(ErrorCode::InvariantViolation, "unknown interpolation mode");
 }

@@ -15,13 +15,14 @@
 
 #include "mbp/Mbp.h"
 
+#include "support/Error.h"
 #include "term/Linear.h"
 
 using namespace mucyc;
 
 std::vector<TermRef> mucyc::implicantCube(TermContext &Ctx, TermRef Phi,
                                           const Model &M) {
-  assert(M.holds(Ctx, Phi) && "implicant cube requires M |= Phi");
+  MUCYC_INVARIANT(M.holds(Ctx, Phi), "implicant cube requires M |= Phi");
   std::vector<TermRef> Cube;
   for (TermRef Atom : Ctx.collectAtoms(Phi)) {
     bool Truth = M.holds(Ctx, Atom);
@@ -65,7 +66,8 @@ std::vector<TermRef> mucyc::implicantCube(TermContext &Ctx, TermRef Phi,
       break;
     }
     default:
-      assert(false && "unexpected atom kind");
+      raiseError(ErrorCode::InvariantViolation,
+                 "unexpected atom kind in implicant cube");
     }
   }
   // Drop literals that canonicalized to true; none may be false under M.
@@ -73,8 +75,10 @@ std::vector<TermRef> mucyc::implicantCube(TermContext &Ctx, TermRef Phi,
   for (TermRef L : Cube) {
     if (Ctx.kind(L) == Kind::True)
       continue;
-    assert(Ctx.kind(L) != Kind::False && "false literal in implicant cube");
-    assert(M.holds(Ctx, L) && "cube literal not satisfied by the model");
+    MUCYC_INVARIANT(Ctx.kind(L) != Kind::False,
+                    "false literal in implicant cube");
+    MUCYC_INVARIANT(M.holds(Ctx, L),
+                    "cube literal not satisfied by the model");
     Out.push_back(L);
   }
   return Out;

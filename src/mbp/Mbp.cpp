@@ -7,6 +7,7 @@
 #include "mbp/Mbp.h"
 
 #include "mbp/Qe.h"
+#include "support/Error.h"
 
 #include <algorithm>
 
@@ -58,7 +59,8 @@ TermRef projectCube(TermContext &Ctx, const std::vector<VarId> &Elim,
     for (TermRef L : Cube) {
       if (Ctx.kind(L) == Kind::True)
         continue;
-      assert(Ctx.kind(L) != Kind::False && "projection produced false");
+      MUCYC_INVARIANT(Ctx.kind(L) != Kind::False,
+                      "variable projection produced false");
       Kept.push_back(L);
     }
     Cube = std::move(Kept);
@@ -93,7 +95,8 @@ TermRef fullQePick(TermContext &Ctx, const std::vector<VarId> &Elim,
     for (TermRef D : N.Kids)
       if (M.holds(Ctx, D))
         return D;
-    assert(false && "no disjunct satisfied; QE is incorrect");
+    raiseError(ErrorCode::InvariantViolation,
+               "no QE disjunct satisfied by the model; QE is incorrect");
   }
   return Psi;
 }
@@ -103,7 +106,7 @@ TermRef fullQePick(TermContext &Ctx, const std::vector<VarId> &Elim,
 TermRef mucyc::mbp(TermContext &Ctx, MbpStrategy Strategy,
                    const std::vector<VarId> &Elim, TermRef Phi,
                    const Model &M) {
-  assert(M.holds(Ctx, Phi) && "MBP requires M |= Phi");
+  MUCYC_INVARIANT(M.holds(Ctx, Phi), "MBP requires M |= Phi");
   TermRef R;
   switch (Strategy) {
   case MbpStrategy::LazyProject:
@@ -116,11 +119,9 @@ TermRef mucyc::mbp(TermContext &Ctx, MbpStrategy Strategy,
     R = fullQePick(Ctx, Elim, Phi, M);
     break;
   }
-  assert(M.holds(Ctx, R) && "MBP result not satisfied by the model");
-#ifndef NDEBUG
+  MUCYC_INVARIANT(M.holds(Ctx, R), "MBP result not satisfied by the model");
   for (VarId V : Ctx.freeVars(R))
-    assert(std::find(Elim.begin(), Elim.end(), V) == Elim.end() &&
-           "eliminated variable survives in MBP result");
-#endif
+    MUCYC_INVARIANT(std::find(Elim.begin(), Elim.end(), V) == Elim.end(),
+                    "eliminated variable survives in MBP result");
   return R;
 }

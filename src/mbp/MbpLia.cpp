@@ -26,6 +26,7 @@
 
 #include "mbp/Mbp.h"
 
+#include "support/Error.h"
 #include "term/Linear.h"
 
 using namespace mucyc;
@@ -194,7 +195,8 @@ void mucyc::eliminateIntVar(TermContext &Ctx, VarId V,
   Rational SM = evalLin(Ctx, S, M);
   assert(SM.isInt());
   BigInt RawR = A * MV.num() - SM.num();
-  assert(!RawR.isNeg() && "model below its own greatest lower bound");
+  MUCYC_INVARIANT(!RawR.isNeg(),
+                  "model below its own greatest lower bound");
   BigInt Mod = A * Period;
   BigInt R = RawR.euclidMod(Mod);
   LinExpr SR = S; // S + r.

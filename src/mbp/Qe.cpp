@@ -8,6 +8,7 @@
 
 #include "mbp/Mbp.h"
 #include "smt/SmtSolver.h"
+#include "support/Error.h"
 
 using namespace mucyc;
 
@@ -22,7 +23,9 @@ TermRef mucyc::qeExists(TermContext &Ctx, const std::vector<VarId> &Elim,
   std::vector<TermRef> Disjuncts;
   while (true) {
     SmtStatus St = Solver.check();
-    assert(St != SmtStatus::Unknown && "budget exhausted during QE");
+    if (St == SmtStatus::Unknown)
+      raiseError(ErrorCode::ResourceExhaustedSteps,
+                 "lemma budget exhausted during quantifier elimination");
     if (St == SmtStatus::Unsat)
       break;
     TermRef Theta =

@@ -6,6 +6,7 @@
 
 #include "runtime/Portfolio.h"
 
+#include "runtime/Recover.h"
 #include "runtime/ThreadPool.h"
 
 #include <chrono>
@@ -81,6 +82,7 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
     /// post-join check would blame cancellation for self-inflicted
     /// timeouts.
     bool SawCancel = false;
+    unsigned Attempts = 1;
   };
   std::vector<MemberState> States(K);
 
@@ -96,13 +98,15 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
     for (size_t I = 0; I < K; ++I) {
       Pool.post([&, I] {
         MemberState &St = States[I];
-        St.Ctx = std::make_shared<TermContext>();
-        NormalizedChc N = Build(*St.Ctx);
-        SolverOptions Opts = Configs[I];
-        Opts.TimeoutMs = TimeoutMs;
-        Opts.CancelFlag = MemberToks[I]->flag();
-        ChcSolver S(*St.Ctx, N, Opts);
-        St.Res = S.solve();
+        // solveWithRecovery absorbs crashing members (typed errors and
+        // stray exceptions become ErrorInfo on the result) and runs the
+        // degraded-retry ladder when the config asks for it — a loser can
+        // die or retry without disturbing the race.
+        RecoveryOutcome RO = solveWithRecovery(
+            Build, Configs[I], TimeoutMs, MemberToks[I]->flag());
+        St.Ctx = RO.Ctx;
+        St.Res = RO.Res;
+        St.Attempts = RO.Attempts;
         St.SawCancel = MemberToks[I]->cancelled();
         if (St.Res.Status == ChcStatus::Unknown)
           return;
@@ -126,14 +130,9 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
     M.Seconds = States[I].Res.Seconds;
     M.Depth = States[I].Res.Depth;
     M.Stats = States[I].Res.Stats;
-    R.MergedStats.SmtChecks += M.Stats.SmtChecks;
-    R.MergedStats.SmtCacheHits += M.Stats.SmtCacheHits;
-    R.MergedStats.SmtCacheEvicts += M.Stats.SmtCacheEvicts;
-    R.MergedStats.PoolRetires += M.Stats.PoolRetires;
-    R.MergedStats.MbpCalls += M.Stats.MbpCalls;
-    R.MergedStats.ItpCalls += M.Stats.ItpCalls;
-    R.MergedStats.RefineCalls += M.Stats.RefineCalls;
-    R.MergedStats.Unfolds += M.Stats.Unfolds;
+    M.Error = States[I].Res.Error;
+    M.Attempts = States[I].Attempts;
+    R.MergedStats.merge(M.Stats);
   }
   if (R.WinnerIndex >= 0) {
     R.Winner = States[R.WinnerIndex].Res;

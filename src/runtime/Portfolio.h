@@ -41,6 +41,12 @@ struct PortfolioMemberReport {
   double Seconds = 0;
   int Depth = 0;
   SolveStats Stats;
+  /// Breadcrumb when the member ended without an answer: budget trip,
+  /// crash converted to InvariantViolation, injected fault, timeout. A
+  /// member that dies this way loses the race but never takes it down.
+  ErrorInfo Error;
+  /// Attempts the member's recovery ladder executed (1 = no retry).
+  unsigned Attempts = 1;
 };
 
 struct PortfolioResult {

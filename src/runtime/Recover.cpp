@@ -1,0 +1,131 @@
+//===- runtime/Recover.cpp - Degraded-retry solving -----------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Recover.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace mucyc;
+
+SolverOptions mucyc::degradeOptions(const SolverOptions &Base,
+                                    unsigned Attempt) {
+  SolverOptions O = Base;
+  if (Attempt == 0)
+    return O;
+  // Every degraded attempt: drop the incremental backend (persistent
+  // solvers and the query cache are exactly the state a transient fault or
+  // a blown budget may have poisoned) and halve the internal search
+  // budgets so the retry fits in the remaining envelope.
+  O.NoIncremental = true;
+  O.QueryCacheCap = 0;
+  if (O.MaxRefineSteps)
+    O.MaxRefineSteps = std::max<uint64_t>(1, O.MaxRefineSteps / 2);
+  if (O.MaxDepth)
+    O.MaxDepth = std::max(1, O.MaxDepth / 2);
+  // From the second retry on, switch to an alternate engine: complementary
+  // strategies recover from divergence (and from engine-specific invariant
+  // bugs) that no amount of re-running the same search would.
+  if (Attempt >= 2) {
+    if (Base.Engine == EngineKind::Ret) {
+      O.Engine = EngineKind::SpacerTs;
+      O.SpacerFig15 = false;
+      O.SpacerULevels = false;
+    } else {
+      O.Engine = EngineKind::Ret;
+      O.Cex = CexMethod::Mbp;
+      O.MbpMode = 1;
+      O.Accumulate = true;
+    }
+  }
+  return O;
+}
+
+uint64_t mucyc::retryBackoffMs(uint64_t Seed, unsigned Attempt) {
+  // Exponential base (5, 10, 20, ... ms) plus seed-derived jitter of the
+  // same magnitude, capped at 100 ms: enough to let a transient load spike
+  // pass, never enough to matter against a deadline.
+  uint64_t Base = 5ull << std::min(Attempt - 1, 4u);
+  return std::min<uint64_t>(100, Base + mixSeed(Seed, Attempt) % (Base + 1));
+}
+
+RecoveryOutcome mucyc::solveWithRecovery(
+    const std::function<NormalizedChc(TermContext &)> &Build,
+    const SolverOptions &Opts, uint64_t DeadlineMs,
+    const std::atomic<bool> *Cancel) {
+  auto Start = std::chrono::steady_clock::now();
+  auto ElapsedMs = [&] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  };
+
+  RecoveryOutcome Out;
+  SolveStats Accum;
+  for (unsigned Attempt = 0;; ++Attempt) {
+    SolverOptions O = degradeOptions(Opts, Attempt);
+    O.CancelFlag = Cancel;
+    // Retries consume the remainder of the same deadline.
+    if (DeadlineMs) {
+      uint64_t Spent = ElapsedMs();
+      if (Spent >= DeadlineMs) {
+        Out.Res = SolverResult();
+        Out.Res.Status = ChcStatus::Unknown;
+        Out.Res.Error =
+            ErrorInfo{ErrorCode::Timeout, "job deadline expired before "
+                                          "attempt " +
+                                              std::to_string(Attempt + 1)};
+        break;
+      }
+      O.TimeoutMs = DeadlineMs - Spent;
+    }
+    // Per-attempt fault stream: with a shared injector (Opts.Faults) the
+    // counters are monotone across attempts, so a tripped fault is
+    // transient; with only a chaos seed, salt it per attempt so the
+    // degraded run is not replaying the exact same trip points.
+    if (!O.Faults && O.ChaosSeed)
+      O.ChaosSeed = mixSeed(O.ChaosSeed, Attempt);
+
+    Out.Ctx = std::make_shared<TermContext>();
+    Out.Attempts = Attempt + 1;
+    Out.Degraded = Attempt > 0;
+    try {
+      NormalizedChc N = Build(*Out.Ctx);
+      ChcSolver S(*Out.Ctx, N, O);
+      Out.Res = S.solve();
+    } catch (const MucycError &E) {
+      // Build-phase trips (the solve boundary catches its own): surface as
+      // an errored Unknown so the ladder can decide on a retry.
+      Out.Res = SolverResult();
+      Out.Res.Status = ChcStatus::Unknown;
+      Out.Res.Error = E.info();
+    } catch (const std::exception &E) {
+      // A non-taxonomy escape is an internal bug, but one job must never
+      // take down a batch: record it as an invariant violation.
+      Out.Res = SolverResult();
+      Out.Res.Status = ChcStatus::Unknown;
+      Out.Res.Error = ErrorInfo{ErrorCode::InvariantViolation,
+                                std::string("uncaught exception: ") +
+                                    E.what()};
+    }
+    Accum.merge(Out.Res.Stats);
+
+    if (!errorRecoverable(Out.Res.Error.Code))
+      break;
+    if (Attempt >= Opts.MaxRetries)
+      break;
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        retryBackoffMs(Opts.ChaosSeed ? Opts.ChaosSeed : 0x6d75637963ull,
+                       Attempt + 1)));
+  }
+  Accum.Retries = Out.Attempts - 1;
+  Accum.Degradations = Out.Attempts - 1;
+  Out.Res.Stats = Accum;
+  return Out;
+}

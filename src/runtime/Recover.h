@@ -1,0 +1,76 @@
+//===- runtime/Recover.h - Degraded-retry solving ---------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduler-level recovery ladder: when a solve attempt fails with a
+/// *recoverable* error (memory/step/depth budget trip or an invariant
+/// violation — see errorRecoverable()), the job is re-run in a fresh
+/// TermContext under a degraded configuration, up to
+/// SolverOptions::MaxRetries extra attempts:
+///
+///   attempt 1   the configured options, verbatim;
+///   attempt 2   same engine, incremental backend off (fresh solvers, no
+///               query cache) and halved search budgets — the cheapest
+///               plausible fix for state-dependent failures;
+///   attempt 3+  alternate engine (non-Ret configs fall back to the
+///               paper's robust default Ret(T,MBP(1)); Ret falls back to
+///               SpacerTS), still with halved budgets.
+///
+/// The external resource envelope — deadline and MemLimitMb — is *not*
+/// degraded: retries spend the remainder of the same job deadline, like a
+/// CHC-COMP per-instance cap. Between attempts the worker sleeps a small
+/// deterministic-jittered backoff (seed-derived, wall-clock only — output
+/// bytes never depend on it). Timeouts and external cancellation are final.
+/// Used by the Scheduler, the portfolio driver, and `mucyc` itself.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_RECOVER_H
+#define MUCYC_RUNTIME_RECOVER_H
+
+#include "solver/ChcSolve.h"
+
+#include <functional>
+#include <memory>
+
+namespace mucyc {
+
+/// The configuration the retry ladder runs at attempt \p Attempt (0-based;
+/// attempt 0 returns \p Base unchanged). Pure function: tests and docs rely
+/// on the ladder being predictable.
+SolverOptions degradeOptions(const SolverOptions &Base, unsigned Attempt);
+
+/// Deterministic jittered backoff before retry attempt \p Attempt (1-based),
+/// in milliseconds. Seed-derived so two chaos runs sleep identically;
+/// bounded well under a second so retries cannot dominate a deadline.
+uint64_t retryBackoffMs(uint64_t Seed, unsigned Attempt);
+
+/// What solveWithRecovery ran and concluded.
+struct RecoveryOutcome {
+  /// Final attempt's result; Stats are accumulated over ALL attempts and
+  /// carry Retries/Degradations. Error is the final attempt's breadcrumb
+  /// (None on success).
+  SolverResult Res;
+  unsigned Attempts = 1;   ///< Total attempts executed (1 = no retry).
+  bool Degraded = false;   ///< The final attempt ran a degraded config.
+  /// Context of the final attempt; Res.Invariant/CexPiece live here. Keep
+  /// it alive as long as those terms are used.
+  std::shared_ptr<TermContext> Ctx;
+};
+
+/// Runs \p Build + solve under \p Opts with the recovery ladder above.
+/// \p DeadlineMs (0 = none) caps the whole ladder — all attempts plus
+/// backoffs — measured from entry; an expired deadline reports Timeout
+/// without starting another attempt. \p Cancel (optional) is polled
+/// between attempts and plumbed into each attempt as the cancel flag.
+RecoveryOutcome
+solveWithRecovery(const std::function<NormalizedChc(TermContext &)> &Build,
+                  const SolverOptions &Opts, uint64_t DeadlineMs,
+                  const std::atomic<bool> *Cancel);
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_RECOVER_H

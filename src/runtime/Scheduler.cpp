@@ -6,7 +6,10 @@
 
 #include "runtime/Scheduler.h"
 
+#include "runtime/Recover.h"
 #include "runtime/ThreadPool.h"
+
+#include <chrono>
 
 using namespace mucyc;
 
@@ -30,6 +33,14 @@ Scheduler::run(const std::vector<SolveJob> &Batch,
   if (Batch.empty())
     return Out;
 
+  auto BatchStart = std::chrono::steady_clock::now();
+  auto ElapsedMs = [BatchStart] {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - BatchStart)
+            .count());
+  };
+
   // One child token for the whole batch: an external request() stops every
   // member without cancelling unrelated users of the parent. The token is
   // kept alive by this frame across pool teardown.
@@ -41,20 +52,39 @@ Scheduler::run(const std::vector<SolveJob> &Batch,
     for (size_t I = 0; I < Batch.size(); ++I) {
       const SolveJob &J = Batch[I];
       SolveJobOutcome *Slot = &Out[I];
-      Pool.post([&J, Slot, &BatchTok] {
-        TermContext Ctx;
-        NormalizedChc N = J.Build(Ctx);
-        SolverOptions Opts = J.Opts;
-        Opts.TimeoutMs = J.DeadlineMs;
-        Opts.CancelFlag = BatchTok->flag();
-        ChcSolver S(Ctx, N, Opts);
-        SolverResult R = S.solve();
-        Slot->Status = R.Status;
-        Slot->Depth = R.Depth;
-        Slot->Stats = R.Stats;
-        Slot->Seconds = R.Seconds;
-        Slot->VerifyFailed = R.VerifyFailed;
-        Slot->VerifyNote = R.VerifyNote;
+      Pool.post([&J, Slot, &BatchTok, &ElapsedMs] {
+        // Deterministic short-circuits BEFORE any work: a cancelled batch
+        // or a batch-relative deadline that already passed must not depend
+        // on how fast this worker got here.
+        if (BatchTok->cancelled()) {
+          Slot->Error = ErrorInfo{ErrorCode::Cancelled,
+                                  "batch cancelled before the job started"};
+          return;
+        }
+        uint64_t Deadline = J.DeadlineMs;
+        if (J.AbsDeadlineMs) {
+          uint64_t Spent = ElapsedMs();
+          if (Spent >= J.AbsDeadlineMs) {
+            Slot->Error =
+                ErrorInfo{ErrorCode::Timeout,
+                          "batch-relative deadline expired before the job "
+                          "started"};
+            return;
+          }
+          uint64_t Remaining = J.AbsDeadlineMs - Spent;
+          Deadline = Deadline ? std::min(Deadline, Remaining) : Remaining;
+        }
+        RecoveryOutcome RO =
+            solveWithRecovery(J.Build, J.Opts, Deadline, BatchTok->flag());
+        Slot->Status = RO.Res.Status;
+        Slot->Depth = RO.Res.Depth;
+        Slot->Stats = RO.Res.Stats;
+        Slot->Seconds = RO.Res.Seconds;
+        Slot->VerifyFailed = RO.Res.VerifyFailed;
+        Slot->VerifyNote = RO.Res.VerifyNote;
+        Slot->Error = RO.Res.Error;
+        Slot->Attempts = RO.Attempts;
+        // RO.Ctx (and the terms in RO.Res) die here with the job.
       });
     }
     // ~ThreadPool drains the queue and joins, so every slot is written

@@ -35,8 +35,15 @@ struct SolveJob {
   SolverOptions Opts;
   /// Per-job deadline in milliseconds (0 = none), measured from the moment
   /// the job starts executing, not from submission — matching what a
-  /// sequential sweep charges each instance.
+  /// sequential sweep charges each instance. With Opts.MaxRetries > 0 the
+  /// deadline covers the whole retry ladder, not each attempt.
   uint64_t DeadlineMs = 0;
+  /// Batch-relative deadline in milliseconds (0 = none), measured from
+  /// Scheduler::run() entry. A job whose AbsDeadlineMs has already passed
+  /// when a worker picks it up reports Timeout deterministically — its
+  /// Build is never invoked — instead of racing the pickup. A job that
+  /// starts in time gets min(DeadlineMs, remaining) as its budget.
+  uint64_t AbsDeadlineMs = 0;
 };
 
 /// Outcome of one job. Term references inside (invariant / cex piece) are
@@ -53,6 +60,14 @@ struct SolveJobOutcome {
   /// survive the job-private context.
   bool VerifyFailed = false;
   std::string VerifyNote;
+  /// Breadcrumb for Unknown outcomes: the final attempt's typed error
+  /// (timeout, budget trip, cancellation, invariant violation, injected
+  /// fault). None for definitive answers.
+  ErrorInfo Error;
+  /// Attempts the recovery ladder executed (1 = no retry; capped at
+  /// Opts.MaxRetries + 1). Stats.Retries/Degradations count the same
+  /// thing mergeable-y.
+  unsigned Attempts = 1;
 };
 
 class Scheduler {
@@ -65,8 +80,11 @@ public:
 
   /// Runs the whole batch and returns outcomes in submission order.
   /// \p Cancel (optional) aborts the remaining work when requested: running
-  /// jobs stop cooperatively, queued jobs still execute but expire
-  /// immediately, and every outcome slot is filled.
+  /// jobs stop cooperatively, queued jobs report Cancelled without
+  /// executing (their Build is never invoked), and every outcome slot is
+  /// filled. Jobs whose Opts.MaxRetries > 0 are retried with degraded
+  /// configurations on recoverable errors (see runtime/Recover.h); a
+  /// worker-thread escape from one job never takes down the batch.
   std::vector<SolveJobOutcome>
   run(const std::vector<SolveJob> &Batch,
       const std::shared_ptr<CancelToken> &Cancel = nullptr) const;

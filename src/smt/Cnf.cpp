@@ -6,6 +6,8 @@
 
 #include "smt/Cnf.h"
 
+#include "support/Error.h"
+
 using namespace mucyc;
 
 SatLit Tseitin::trueLit() {
@@ -33,10 +35,15 @@ SatLit Tseitin::encodeAtom(TermRef A) {
   return L;
 }
 
-SatLit Tseitin::encode(TermRef F) {
+SatLit Tseitin::encode(TermRef F, unsigned Depth) {
   auto It = Cache.find(F.Idx);
   if (It != Cache.end())
     return It->second;
+  // The cache bounds re-entry per node, but a right-leaning Not/And chain
+  // still recurses once per level; guard the stack before it gives out.
+  if (Depth > 8192)
+    raiseError(ErrorCode::ResourceExhaustedDepth,
+               "formula nesting exceeds Tseitin encoding depth guard");
   const TermNode &N = Ctx.node(F);
   SatLit L;
   switch (N.K) {
@@ -47,10 +54,10 @@ SatLit Tseitin::encode(TermRef F) {
     L = ~trueLit();
     break;
   case Kind::Not:
-    L = ~encode(N.Kids[0]);
+    L = ~encode(N.Kids[0], Depth + 1);
     break;
   case Kind::Var:
-    assert(N.S == Sort::Bool && "non-boolean in formula position");
+    MUCYC_INVARIANT(N.S == Sort::Bool, "non-boolean in formula position");
     L = encodeAtom(F);
     break;
   case Kind::Le:
@@ -59,14 +66,15 @@ SatLit Tseitin::encode(TermRef F) {
     L = encodeAtom(F);
     break;
   case Kind::Divides:
-    assert(false && "divisibility atoms must be eliminated before encoding");
-    L = trueLit();
+    raiseError(ErrorCode::InvariantViolation,
+               "divisibility atom reached the encoder (eliminateDivides "
+               "must run first)");
     break;
   case Kind::And: {
     std::vector<SatLit> KidLits;
     KidLits.reserve(N.Kids.size());
     for (TermRef Kid : N.Kids)
-      KidLits.push_back(encode(Kid));
+      KidLits.push_back(encode(Kid, Depth + 1));
     L = SatLit(Sat.newVar(), false);
     std::vector<SatLit> Long{L};
     for (SatLit K : KidLits) {
@@ -80,7 +88,7 @@ SatLit Tseitin::encode(TermRef F) {
     std::vector<SatLit> KidLits;
     KidLits.reserve(N.Kids.size());
     for (TermRef Kid : N.Kids)
-      KidLits.push_back(encode(Kid));
+      KidLits.push_back(encode(Kid, Depth + 1));
     L = SatLit(Sat.newVar(), false);
     std::vector<SatLit> Long{~L};
     for (SatLit K : KidLits) {
@@ -91,8 +99,8 @@ SatLit Tseitin::encode(TermRef F) {
     break;
   }
   default:
-    assert(false && "arithmetic term in formula position");
-    L = trueLit();
+    raiseError(ErrorCode::InvariantViolation,
+               "arithmetic term in formula position");
     break;
   }
   Cache.emplace(F.Idx, L);

@@ -32,7 +32,10 @@ public:
 
   /// Encodes a Boolean formula and returns its defining literal. Gate
   /// clauses are added to the solver as a side effect; results are cached.
-  SatLit encode(TermRef F);
+  /// Recursive over the (cached) formula DAG; \p Depth trips a
+  /// ResourceExhaustedDepth guard before the stack can overflow on
+  /// degenerate nesting.
+  SatLit encode(TermRef F, unsigned Depth = 0);
 
   /// Atom term associated with a SAT variable (invalid TermRef for gate and
   /// constant variables).

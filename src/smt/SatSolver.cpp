@@ -183,6 +183,8 @@ bool SatSolver::addClause(std::vector<SatLit> Lits) {
     }
     return true;
   }
+  if (Gauge)
+    Gauge->charge(sizeof(Clause) + Out.size() * sizeof(SatLit));
   ClauseIdx Idx = static_cast<ClauseIdx>(Clauses.size());
   Clauses.push_back(Clause{std::move(Out), false, 0});
   attachClause(Idx);
@@ -478,6 +480,8 @@ SatSolver::Result SatSolver::solveImpl(const std::vector<SatLit> &Assumptions) {
         backtrack(0);
         enqueue(Learned[0], NoReason);
       } else {
+        if (Gauge)
+          Gauge->charge(sizeof(Clause) + Learned.size() * sizeof(SatLit));
         ClauseIdx Idx = static_cast<ClauseIdx>(Clauses.size());
         Clauses.push_back(Clause{Learned, true, 0});
         attachClause(Idx);

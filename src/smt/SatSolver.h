@@ -15,6 +15,8 @@
 #ifndef MUCYC_SMT_SATSOLVER_H
 #define MUCYC_SMT_SATSOLVER_H
 
+#include "support/Fault.h"
+
 #include <atomic>
 #include <cassert>
 #include <cstddef>
@@ -58,6 +60,12 @@ public:
 
   /// Cooperative cancellation: polled once per propagation round.
   void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
+
+  /// Charges clause growth (original and learned) to the run's memory
+  /// gauge; a budget trip raises ResourceExhaustedMemory from the charge
+  /// point, before the clause is stored. Installed by SmtSolver from its
+  /// TermContext; the pointee must outlive the solver.
+  void setResourceGauge(ResourceGauge *G) { Gauge = G; }
 
   /// Creates a new variable and returns its index.
   uint32_t newVar();
@@ -192,6 +200,7 @@ private:
   bool Unsat = false;
   uint64_t Conflicts = 0, Decisions = 0, Propagations = 0;
   const std::atomic<bool> *CancelFlag = nullptr;
+  ResourceGauge *Gauge = nullptr;
 
 public:
   /// Debugging: instance tag used by the MUCYC_SAT_LOG record/replay.

@@ -11,6 +11,8 @@
 using namespace mucyc;
 
 Simplex::VarIdx Simplex::addVar() {
+  if (Gauge)
+    Gauge->charge(sizeof(VarState));
   Vars.push_back(VarState{});
   return static_cast<VarIdx>(Vars.size() - 1);
 }
@@ -40,6 +42,10 @@ Simplex::VarIdx Simplex::addRowVar(const std::map<VarIdx, Rational> &Row) {
   }
   for (const auto &[V, C] : NewRow.Coeffs)
     Val = Val + Vars[V].Val * C;
+  if (Gauge)
+    Gauge->charge(sizeof(struct Row) +
+                  NewRow.Coeffs.size() *
+                      (sizeof(VarIdx) + sizeof(Rational) + 32));
   Vars[S].Val = Val;
   Vars[S].Basic = true;
   Vars[S].RowIdx = static_cast<uint32_t>(Rows.size());

@@ -15,6 +15,7 @@
 #ifndef MUCYC_SMT_SIMPLEX_H
 #define MUCYC_SMT_SIMPLEX_H
 
+#include "support/Fault.h"
 #include "support/Rational.h"
 
 #include <atomic>
@@ -52,6 +53,13 @@ public:
   void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
   bool interrupted() const { return Interrupted; }
 
+  /// Charges tableau growth (vars, rows) to the run's cumulative memory
+  /// gauge; a budget trip raises ResourceExhaustedMemory. Copies (branch &
+  /// bound forks) inherit the pointer; their cloned rows are not
+  /// re-charged, which under-approximates in the safe-for-progress
+  /// direction.
+  void setResourceGauge(ResourceGauge *G) { Gauge = G; }
+
   const std::vector<int> &explanation() const { return Explanation; }
 
   /// Current value of a variable (valid after a successful check()).
@@ -87,6 +95,7 @@ private:
   std::vector<int> Explanation;
   const std::atomic<bool> *CancelFlag = nullptr;
   bool Interrupted = false;
+  ResourceGauge *Gauge = nullptr;
 };
 
 } // namespace mucyc

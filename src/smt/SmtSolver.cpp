@@ -12,7 +12,12 @@
 
 using namespace mucyc;
 
-TermRef SmtSolver::eliminateDivides(TermRef F) {
+TermRef SmtSolver::eliminateDivides(TermRef F, unsigned Depth) {
+  // Builders keep formulas flat (and/or splice their kids), so legitimate
+  // nesting is shallow; anything this deep would overflow the stack first.
+  if (Depth > 8192)
+    raiseError(ErrorCode::ResourceExhaustedDepth,
+               "formula nesting exceeds divide-elimination depth guard");
   const TermNode &N = Ctx.node(F);
   switch (N.K) {
   case Kind::Divides: {
@@ -38,13 +43,13 @@ TermRef SmtSolver::eliminateDivides(TermRef F) {
     return Repl;
   }
   case Kind::Not:
-    return Ctx.mkNot(eliminateDivides(N.Kids[0]));
+    return Ctx.mkNot(eliminateDivides(N.Kids[0], Depth + 1));
   case Kind::And:
   case Kind::Or: {
     std::vector<TermRef> Kids;
     Kids.reserve(N.Kids.size());
     for (TermRef Kid : N.Kids)
-      Kids.push_back(eliminateDivides(Kid));
+      Kids.push_back(eliminateDivides(Kid, Depth + 1));
     return N.K == Kind::And ? Ctx.mkAnd(std::move(Kids))
                             : Ctx.mkOr(std::move(Kids));
   }
@@ -206,7 +211,11 @@ std::optional<Model> SmtSolver::quickCheck(TermContext &Ctx,
   for (TermRef F : Conj)
     S.assertFormula(F);
   SmtStatus St = S.check();
-  assert(St != SmtStatus::Unknown && "lemma budget exhausted in quickCheck");
+  // quickCheck has no in-band Unknown: a blown lemma budget here is a
+  // recoverable resource trip, not a programmer error.
+  if (St == SmtStatus::Unknown)
+    raiseError(ErrorCode::ResourceExhaustedSteps,
+               "lemma budget exhausted in quickCheck");
   if (St == SmtStatus::Sat)
     return S.model();
   return std::nullopt;

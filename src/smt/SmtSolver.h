@@ -49,7 +49,15 @@ enum class SmtStatus { Sat, Unsat, Unknown };
 class SmtSolver {
 public:
   explicit SmtSolver(TermContext &Ctx)
-      : Ctx(Ctx), Enc(Ctx, Sat), Checker(Ctx) {}
+      : Ctx(Ctx), Enc(Ctx, Sat), Checker(Ctx) {
+    // One gauge per solving attempt: whatever is installed on the term
+    // context also meters this solver's CDCL clause database and simplex
+    // tableaus. Pool-created and throwaway solvers alike pick it up here.
+    if (ResourceGauge *G = Ctx.resourceGauge()) {
+      Sat.setResourceGauge(G);
+      Checker.setResourceGauge(G);
+    }
+  }
 
   /// Conjoins \p F to the assertion set (of the innermost open scope).
   void assertFormula(TermRef F);
@@ -111,8 +119,10 @@ public:
 
 private:
   /// Replaces divisibility atoms by remainder-variable equalities, asserting
-  /// the defining side constraints.
-  TermRef eliminateDivides(TermRef F);
+  /// the defining side constraints. Recursive over the formula tree;
+  /// \p Depth guards against stack exhaustion on degenerate inputs
+  /// (ResourceExhaustedDepth past the cap).
+  TermRef eliminateDivides(TermRef F, unsigned Depth = 0);
 
   /// Asserts \p F unguarded, surviving every pop(). The divides
   /// side-constraints go through here: their rewrite cache outlives scopes,

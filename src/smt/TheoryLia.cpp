@@ -83,6 +83,7 @@ struct IntSolver {
   uint64_t BnbBudget;
   uint64_t OmegaBudget = 4000;
   const std::atomic<bool> *CancelFlag = nullptr;
+  ResourceGauge *Gauge = nullptr;
 
   bool cancelled() const {
     return CancelFlag && CancelFlag->load(std::memory_order_relaxed);
@@ -294,6 +295,7 @@ struct IntSolver {
   IntStatus bnb(const std::vector<Constraint> &Cons,
                 std::map<uint32_t, Rational> &Values) {
     Simplex Base;
+    Base.setResourceGauge(Gauge);
     std::map<uint32_t, Simplex::VarIdx> SpxOf;
     std::vector<std::vector<int>> ReasonSets;
     auto SpxVar = [&](uint32_t L) {
@@ -680,6 +682,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
   if (!RealCons.empty()) {
     Simplex Spx;
     Spx.setCancelFlag(CancelFlag);
+    Spx.setResourceGauge(Gauge);
     std::map<uint32_t, Simplex::VarIdx> SpxOf;
     std::vector<std::vector<int>> ReasonSets;
     auto SpxVar = [&](uint32_t L) {
@@ -755,6 +758,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
     IS.NumLocals = static_cast<uint32_t>(Locals.size());
     IS.BnbBudget = NodeBudget;
     IS.CancelFlag = CancelFlag;
+    IS.Gauge = Gauge;
     if (!IS.eqElim(IntCons))
       return LiteralCore(IS.ConflictReasons);
 
@@ -795,7 +799,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
         std::fprintf(stderr, "[arith] witness violates constraint (rel=%d, "
                              "residual=%s)\n",
                      static_cast<int>(C.R), S.toString().c_str());
-      assert(Holds && "integer witness violates an input constraint");
+      MUCYC_INVARIANT(Holds, "integer witness violates an input constraint");
     }
 #endif
   }
@@ -805,7 +809,7 @@ ArithChecker::Outcome ArithChecker::check(const std::vector<TheoryLit> &Lits) {
       continue;
     auto It = IntValues.find(L);
     Rational V = It == IntValues.end() ? Rational(0) : It->second;
-    assert(V.isInt() && "non-integral Int model value");
+    MUCYC_INVARIANT(V.isInt(), "non-integral Int model value");
     Assign.emplace(Locals[L].Term, Value::number(V, Sort::Int));
   }
 

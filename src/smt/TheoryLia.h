@@ -66,11 +66,16 @@ public:
   /// yields Unknown.
   void setCancelFlag(const std::atomic<bool> *Flag) { CancelFlag = Flag; }
 
+  /// Charges simplex tableau growth (every check() rebuild and every
+  /// branch-and-bound fork) to the run's memory gauge.
+  void setResourceGauge(ResourceGauge *G) { Gauge = G; }
+
 private:
   TermContext &Ctx;
   Assignment ArithAssign;
   uint64_t NodeBudget = 20000;
   const std::atomic<bool> *CancelFlag = nullptr;
+  ResourceGauge *Gauge = nullptr;
 };
 
 } // namespace mucyc

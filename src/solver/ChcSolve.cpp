@@ -40,8 +40,8 @@ std::unique_ptr<Refiner> mucyc::makeRefiner(EngineContext &E) {
   case EngineKind::Yld:
     return std::make_unique<YieldRefiner>(E);
   default:
-    assert(false && "engine without a refiner");
-    return nullptr;
+    raiseError(ErrorCode::InvariantViolation,
+               "engine without a refiner dispatched to solveInductive");
   }
 }
 
@@ -95,27 +95,77 @@ SolverResult ChcSolver::solveInductive() {
   }
   R.Depth = T.depth();
   R.Stats = E.Stats;
+  if (R.Status == ChcStatus::Unknown)
+    R.Error = E.AbortInfo;
   return R;
 }
+
+namespace {
+/// Installs the run's resource gauge and fault injector on the term context
+/// for the duration of one solving attempt, uninstalling on every exit path
+/// (the gauge lives on the solve() stack frame; the context outlives it).
+struct GovernanceScope {
+  GovernanceScope(TermContext &F, ResourceGauge *G, FaultInjector *FI)
+      : F(F) {
+    if (G)
+      F.setResourceGauge(G);
+    if (FI)
+      F.setFaultInjector(FI);
+  }
+  ~GovernanceScope() {
+    F.setResourceGauge(nullptr);
+    F.setFaultInjector(nullptr);
+  }
+  TermContext &F;
+};
+} // namespace
 
 SolverResult ChcSolver::solve() {
   auto Start = std::chrono::steady_clock::now();
   SolverResult R;
-  switch (Opts.Engine) {
-  case EngineKind::SpacerTs:
-    R = runSpacerTs(F, N, Opts);
-    break;
-  case EngineKind::Solve:
-    R = runSolveBaseline(F, N, Opts);
-    break;
-  default:
-    R = solveInductive();
-    break;
+
+  // Resource governance for this attempt. The gauge meters cumulative
+  // allocation (term nodes, CDCL clauses, simplex rows) against MemLimitMb;
+  // the injector fires seed-derived deterministic faults. Both are
+  // installed on the context so every solver the attempt creates inherits
+  // them, and uninstalled before verification/lifting below.
+  ResourceGauge Gauge(Opts.MemLimitMb << 20);
+  FaultInjector SeededFaults;
+  if (!Opts.Faults && Opts.ChaosSeed) {
+    SeededFaults = FaultInjector::fromSeed(Opts.ChaosSeed);
+    Opts.Faults = &SeededFaults;
   }
+  {
+    GovernanceScope Scope(F, Opts.MemLimitMb ? &Gauge : nullptr, Opts.Faults);
+    try {
+      switch (Opts.Engine) {
+      case EngineKind::SpacerTs:
+        R = runSpacerTs(F, N, Opts);
+        break;
+      case EngineKind::Solve:
+        R = runSolveBaseline(F, N, Opts);
+        break;
+      default:
+        R = solveInductive();
+        break;
+      }
+    } catch (const MucycError &E) {
+      // The error boundary: a typed throw anywhere below (budget trip,
+      // injected fault, invariant violation) lands here. The attempt's
+      // engines and solvers are torn down by the unwind; the term context
+      // only ever grew, so it stays consistent for a caller that retries
+      // in a fresh context or reads the partial stats.
+      R = SolverResult();
+      R.Status = ChcStatus::Unknown;
+      R.Error = E.info();
+    }
+  }
+  if (Opts.Faults == &SeededFaults)
+    Opts.Faults = nullptr;
   R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             Start)
                   .count();
-  if (Opts.VerifyResult) {
+  if (Opts.VerifyResult && !R.Error.isError()) {
     VerifyDiag Diag;
     if (R.Status == ChcStatus::Sat &&
         !verifyInvariant(F, N, R.Invariant, &Diag)) {

@@ -44,6 +44,10 @@ struct SolverResult {
   /// violated clause.
   bool VerifyFailed = false;
   std::string VerifyNote;
+  /// Why an Unknown result is Unknown: budget trip, cancellation, timeout,
+  /// invariant violation, or an injected fault. None for definitive
+  /// answers. The runtime retry ladder keys off errorRecoverable(Code).
+  ErrorInfo Error;
 };
 
 /// Solver for systems in the paper's normalized form.

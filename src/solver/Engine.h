@@ -35,6 +35,26 @@ struct SolveStats {
   uint64_t ItpCalls = 0;
   uint64_t RefineCalls = 0;
   uint64_t Unfolds = 0;
+  /// Recovery bookkeeping (filled by the runtime layer, not the engines):
+  /// attempts beyond the first, and attempts run under a degraded
+  /// configuration.
+  uint64_t Retries = 0;
+  uint64_t Degradations = 0;
+
+  /// Accumulates \p O counter-wise. The single merge point for portfolio
+  /// members and retry attempts — new counters only need a line here.
+  void merge(const SolveStats &O) {
+    SmtChecks += O.SmtChecks;
+    SmtCacheHits += O.SmtCacheHits;
+    SmtCacheEvicts += O.SmtCacheEvicts;
+    PoolRetires += O.PoolRetires;
+    MbpCalls += O.MbpCalls;
+    ItpCalls += O.ItpCalls;
+    RefineCalls += O.RefineCalls;
+    Unfolds += O.Unfolds;
+    Retries += O.Retries;
+    Degradations += O.Degradations;
+  }
 };
 
 /// Shared state for one solving run.
@@ -55,6 +75,10 @@ public:
   SolverOptions Opts;
   SolveStats Stats;
   bool Aborted = false;
+  /// Why Aborted was set — the breadcrumb ChcSolver::solve surfaces on an
+  /// Unknown result so the runtime can tell a final Timeout from a
+  /// retryable budget trip.
+  ErrorInfo AbortInfo;
 
   /// Checks resource limits; sets and returns Aborted when exhausted.
   bool expired() {
@@ -62,12 +86,24 @@ public:
       return true;
     if (Opts.CancelFlag &&
         Opts.CancelFlag->load(std::memory_order_relaxed))
-      Aborted = true;
+      abort(ErrorCode::Cancelled, "cancel requested");
+    else if (Opts.Faults && Opts.Faults->spuriousCancel())
+      abort(ErrorCode::Cancelled, "injected spurious cancel");
     else if (Opts.MaxRefineSteps && Stats.RefineCalls > Opts.MaxRefineSteps)
-      Aborted = true;
+      abort(ErrorCode::ResourceExhaustedSteps,
+            "refine-step budget exhausted (" +
+                std::to_string(Opts.MaxRefineSteps) + " steps)");
     else if (HasDeadline && std::chrono::steady_clock::now() > Deadline)
-      Aborted = true;
+      abort(ErrorCode::Timeout,
+            "deadline of " + std::to_string(Opts.TimeoutMs) + " ms expired");
     return Aborted;
+  }
+
+  /// Marks the run aborted with a typed reason (first reason wins).
+  void abort(ErrorCode C, std::string Detail) {
+    Aborted = true;
+    if (!AbortInfo.isError())
+      AbortInfo = ErrorInfo{C, std::move(Detail)};
   }
 
   /// Satisfiability of a conjunction; nullopt means unsat OR aborted
@@ -83,7 +119,7 @@ public:
     if (expired())
       return std::nullopt;
     if (Opts.NoIncremental) {
-      ++Stats.SmtChecks;
+      countSmtCheck();
       SmtSolver S(F);
       S.setCancelFlag(Opts.CancelFlag);
       for (TermRef T : Conj)
@@ -94,7 +130,7 @@ public:
       case SmtStatus::Unsat:
         return std::nullopt;
       case SmtStatus::Unknown:
-        Aborted = true;
+        abortFromSubstrate();
         return std::nullopt;
       }
       return std::nullopt;
@@ -104,7 +140,7 @@ public:
       ++Stats.SmtCacheHits;
       return E->IsSat ? std::optional<Model>(E->M) : std::nullopt;
     }
-    ++Stats.SmtChecks;
+    countSmtCheck();
     TermRef Base;
     std::vector<TermRef> Rest;
     Rest.reserve(Conj.size());
@@ -117,7 +153,7 @@ public:
     SolverPool::Result R = Pool.check(Base, Rest, Opts.CancelFlag);
     Stats.PoolRetires = Pool.retires();
     if (R.St == SmtStatus::Unknown) {
-      Aborted = true;
+      abortFromSubstrate();
       return std::nullopt;
     }
     Cache.insert(Key, QueryCache::Entry{R.St == SmtStatus::Sat, R.M});
@@ -181,6 +217,25 @@ public:
   }
 
 private:
+  /// Counts an SMT check actually issued; the fault-injection point for
+  /// "throw at the Nth check" (cache hits deliberately do not count — the
+  /// ordinal matches the work a fresh run would do).
+  void countSmtCheck() {
+    ++Stats.SmtChecks;
+    if (Opts.Faults)
+      Opts.Faults->onSmtCheck();
+  }
+
+  /// Classifies a substrate Unknown: a set cancel flag means Cancelled
+  /// (final); otherwise the lemma/node budget ran dry (retryable).
+  void abortFromSubstrate() {
+    if (Opts.CancelFlag && Opts.CancelFlag->load(std::memory_order_relaxed))
+      abort(ErrorCode::Cancelled, "cancelled during SMT check");
+    else
+      abort(ErrorCode::ResourceExhaustedSteps,
+            "SMT substrate exhausted its lemma budget");
+  }
+
   bool HasDeadline = false;
   std::chrono::steady_clock::time_point Deadline;
   SolverPool Pool;   ///< Persistent per-base solvers (lifetime: one run).

@@ -18,6 +18,7 @@
 
 #include "itp/Interpolate.h"
 #include "mbp/Mbp.h"
+#include "support/Fault.h"
 
 #include <atomic>
 #include <cstdint>
@@ -76,6 +77,31 @@ struct SolverOptions {
   uint64_t TimeoutMs = 0;
   int MaxDepth = 0;
   uint64_t MaxRefineSteps = 0;
+
+  /// Cooperative memory budget in MiB (0 = unlimited), metered as
+  /// cumulative allocation by a per-attempt ResourceGauge over term
+  /// interning, CDCL clause growth, and simplex tableau rows. A trip
+  /// surfaces as a ResourceExhaustedMemory ErrorInfo on the result — the
+  /// recoverable shape the runtime retry ladder degrades on. Never
+  /// serialized by name()/parse().
+  uint64_t MemLimitMb = 0;
+
+  /// Scheduler-level recovery: a job whose result carries a recoverable
+  /// error (errorRecoverable()) is re-run up to this many times with
+  /// degraded configurations (see runtime/Recover.h). 0 = fail fast. Never
+  /// serialized by name()/parse().
+  unsigned MaxRetries = 0;
+
+  /// Deterministic chaos seed: when nonzero (and Faults is null),
+  /// ChcSolver::solve derives a FaultInjector from it for the attempt.
+  /// Never serialized by name()/parse().
+  uint64_t ChaosSeed = 0;
+
+  /// Explicit fault injector for this run; overrides ChaosSeed. One
+  /// injector per job: counters are monotone across retries, so reusing the
+  /// instance makes injected faults transient. Never serialized by
+  /// name()/parse().
+  FaultInjector *Faults = nullptr;
 
   /// Cooperative cancellation (see runtime/Cancel.h): when non-null, the
   /// engine loops and the SMT/simplex substrates poll this flag and wind

@@ -96,5 +96,7 @@ SolverResult mucyc::runSolveBaseline(TermContext &F, const NormalizedChc &N,
     Exact.push_back(F.mkOr(Exact.back(), Next));
   }
   R.Stats = E.Stats;
+  if (R.Status == ChcStatus::Unknown)
+    R.Error = E.AbortInfo;
   return R;
 }

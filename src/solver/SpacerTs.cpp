@@ -260,6 +260,8 @@ SolverResult SpacerTsEngine::run() {
   }
   R.Depth = static_cast<int>(Frames.size()) - 1;
   R.Stats = E.Stats;
+  if (R.Status == ChcStatus::Unknown)
+    R.Error = E.AbortInfo;
   return R;
 }
 

@@ -38,6 +38,11 @@ public:
   struct promise_type {
     TermRef Yielded;
     TermRef ResumeAlpha;
+    /// A throw inside the coroutine body (budget trip, injected fault,
+    /// invariant violation) is parked here and rethrown from next(), so it
+    /// unwinds through the caller to the solve() error boundary instead of
+    /// terminating the process.
+    std::exception_ptr Escaped;
 
     McrCoro get_return_object() {
       return McrCoro(
@@ -46,7 +51,7 @@ public:
     std::suspend_always initial_suspend() noexcept { return {}; }
     std::suspend_always final_suspend() noexcept { return {}; }
     void return_void() {}
-    void unhandled_exception() { std::terminate(); }
+    void unhandled_exception() { Escaped = std::current_exception(); }
 
     auto yield_value(TermRef Gamma) {
       struct Awaiter {
@@ -82,8 +87,11 @@ public:
     assert(H && !H.done());
     H.promise().ResumeAlpha = Alpha;
     H.resume();
-    if (H.done())
+    if (H.done()) {
+      if (H.promise().Escaped)
+        std::rethrow_exception(H.promise().Escaped);
       return std::nullopt;
+    }
     return H.promise().Yielded;
   }
 

@@ -1,0 +1,62 @@
+//===- support/Error.cpp - Structured solver error taxonomy ---------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Error.h"
+
+using namespace mucyc;
+
+const char *mucyc::errorCodeName(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::None:
+    return "none";
+  case ErrorCode::ResourceExhaustedMemory:
+    return "resource-exhausted-memory";
+  case ErrorCode::ResourceExhaustedSteps:
+    return "resource-exhausted-steps";
+  case ErrorCode::ResourceExhaustedDepth:
+    return "resource-exhausted-depth";
+  case ErrorCode::Cancelled:
+    return "cancelled";
+  case ErrorCode::Timeout:
+    return "timeout";
+  case ErrorCode::InvariantViolation:
+    return "invariant-violation";
+  case ErrorCode::InputError:
+    return "input-error";
+  }
+  return "?";
+}
+
+bool mucyc::errorRecoverable(ErrorCode C) {
+  switch (C) {
+  case ErrorCode::ResourceExhaustedMemory:
+  case ErrorCode::ResourceExhaustedSteps:
+  case ErrorCode::ResourceExhaustedDepth:
+  case ErrorCode::InvariantViolation:
+    return true;
+  case ErrorCode::None:
+  case ErrorCode::Cancelled:
+  case ErrorCode::Timeout:
+  case ErrorCode::InputError:
+    return false;
+  }
+  return false;
+}
+
+std::string ErrorInfo::describe() const {
+  if (Code == ErrorCode::None)
+    return "";
+  std::string S = errorCodeName(Code);
+  if (!Detail.empty()) {
+    S += ": ";
+    S += Detail;
+  }
+  return S;
+}
+
+void mucyc::raiseError(ErrorCode C, std::string Detail) {
+  throw MucycError(C, std::move(Detail));
+}

@@ -1,0 +1,113 @@
+//===- support/Error.h - Structured solver error taxonomy ------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The structured error taxonomy for the solving stack. Deep layers (smt,
+/// mbp, itp, solver) raise MucycError with a typed code instead of calling
+/// abort()/assert() for conditions that a resource governor or a fuzzer can
+/// legitimately trigger; the ChcSolver::solve() boundary catches it, turns
+/// the run into an Unknown result carrying an ErrorInfo breadcrumb, and the
+/// runtime layer decides whether the code is worth a degraded retry
+/// (errorRecoverable()). Detail strings must be deterministic — counts and
+/// names, never pointers or wall-clock — because they flow into fuzz
+/// reports that are byte-compared across runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SUPPORT_ERROR_H
+#define MUCYC_SUPPORT_ERROR_H
+
+#include <cstdint>
+#include <exception>
+#include <string>
+
+namespace mucyc {
+
+/// What went wrong, at the granularity the retry ladder cares about.
+enum class ErrorCode : uint8_t {
+  None = 0,
+  /// Cooperative memory-budget trip (SolverOptions::MemLimitMb) from the
+  /// ResourceGauge metering TermContext / CDCL / simplex growth.
+  ResourceExhaustedMemory,
+  /// A step budget ran dry mid-operation (QE disjunct enumeration, lemma
+  /// budget inside a must-succeed helper) where Unknown cannot be returned
+  /// in-band.
+  ResourceExhaustedSteps,
+  /// A recursion-depth guard tripped (Tseitin encoding, divide
+  /// elimination).
+  ResourceExhaustedDepth,
+  /// Cooperative cancellation surfaced as an exception (includes injected
+  /// spurious cancels).
+  Cancelled,
+  /// The run's wall-clock deadline expired.
+  Timeout,
+  /// An internal invariant did not hold. On a fuzzer-built instance this is
+  /// a bug report, not a crash; on a retry it may vanish (e.g. when the
+  /// trigger was an injected fault).
+  InvariantViolation,
+  /// Malformed user input (bad file, bad flag value, parse error).
+  InputError,
+};
+
+/// Stable lowercase name, e.g. "resource-exhausted-memory".
+const char *errorCodeName(ErrorCode C);
+
+/// True when a scheduler retry with a degraded configuration could plausibly
+/// change the outcome. Cancellation and timeouts are final: the budget that
+/// produced them is already spent. Invariant violations are retried because
+/// the degraded config takes different code paths (and injected faults only
+/// fire once per trip point).
+bool errorRecoverable(ErrorCode C);
+
+/// Breadcrumb attached to solver results and job outcomes: what failed and
+/// a deterministic one-line detail.
+struct ErrorInfo {
+  ErrorCode Code = ErrorCode::None;
+  std::string Detail;
+
+  bool isError() const { return Code != ErrorCode::None; }
+  /// "resource-exhausted-memory: node budget exhausted ..." or "".
+  std::string describe() const;
+};
+
+/// The exception carrying an ErrorCode through the solving stack. Caught at
+/// the ChcSolver::solve() / CLI boundaries; never escapes a runtime job.
+class MucycError : public std::exception {
+public:
+  MucycError(ErrorCode C, std::string Detail)
+      : C(C), Detail(std::move(Detail)),
+        What(std::string(errorCodeName(C)) + ": " + this->Detail) {}
+
+  ErrorCode code() const { return C; }
+  const std::string &detail() const { return Detail; }
+  ErrorInfo info() const { return ErrorInfo{C, Detail}; }
+  const char *what() const noexcept override { return What.c_str(); }
+
+private:
+  ErrorCode C;
+  std::string Detail;
+  std::string What;
+};
+
+/// Raises MucycError. Out-of-line so the throw does not bloat hot-path
+/// callers; annotated noreturn so guards read as assertions.
+[[noreturn]] void raiseError(ErrorCode C, std::string Detail);
+
+/// Invariant guard for solver hot paths: like assert(), but survives NDEBUG
+/// and converts the failure into a recoverable InvariantViolation that
+/// fuzzing surfaces as a report and the runtime survives. Use for
+/// conditions a malformed-but-parseable input or a substrate bug could
+/// trip; keep plain assert() for programmer errors on cold paths.
+#define MUCYC_INVARIANT(Cond, Msg)                                           \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::mucyc::raiseError(::mucyc::ErrorCode::InvariantViolation,            \
+                          std::string(Msg) + " [" #Cond "]");                \
+  } while (false)
+
+} // namespace mucyc
+
+#endif // MUCYC_SUPPORT_ERROR_H

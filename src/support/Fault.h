@@ -1,0 +1,123 @@
+//===- support/Fault.h - Resource gauge & deterministic faults --*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Two cooperating governance devices, both fully deterministic:
+///
+/// ResourceGauge meters cumulative allocation on a solving run —
+/// TermContext node interning, CDCL clause growth, simplex tableau rows —
+/// and trips a ResourceExhaustedMemory once the SolverOptions::MemLimitMb
+/// budget is exceeded. Cumulative (never released) by design: unlike RSS it
+/// is a pure function of the solving trace, so a trip happens at the same
+/// allocation on every run, every machine, every sanitizer — the property
+/// the byte-identical chaos reports rely on. It over-approximates live
+/// memory, which is the safe direction for a governor.
+///
+/// FaultInjector fires seed-derived faults at exact event counts:
+/// fail-at-Nth allocation (as ResourceExhaustedMemory), throw-at-Nth SMT
+/// check (as InvariantViolation), and a spurious cancel at the Nth
+/// cancellation poll. Counters are monotone across retries when the same
+/// injector instance is reused, so a fault that fired in attempt 1 does not
+/// re-fire in attempt 2 — exactly the transient-fault shape the retry
+/// ladder exists for. Instances are not thread-safe: one injector per job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SUPPORT_FAULT_H
+#define MUCYC_SUPPORT_FAULT_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace mucyc {
+
+/// SplitMix64 step: deterministic seed mixing without pulling in the
+/// testgen RNG (support must stay dependency-free).
+inline uint64_t mixSeed(uint64_t Seed, uint64_t Salt) {
+  uint64_t Z = Seed + 0x9e3779b97f4a7c15ull * (Salt + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+/// Cooperative cumulative-allocation meter (see file comment for why it
+/// never releases). Installed per solving attempt; 0 limit = observe only.
+class ResourceGauge {
+public:
+  explicit ResourceGauge(uint64_t LimitBytes = 0) : Limit(LimitBytes) {}
+
+  /// Account \p Bytes of growth; throws ResourceExhaustedMemory past the
+  /// limit. Charged *before* the allocation mutates any structure, so a
+  /// trip leaves the owner consistent.
+  void charge(uint64_t Bytes) {
+    Used += Bytes;
+    if (Limit && Used > Limit)
+      raiseError(ErrorCode::ResourceExhaustedMemory,
+                 "memory budget exhausted (" + std::to_string(Used >> 10) +
+                     " KiB metered, limit " + std::to_string(Limit >> 10) +
+                     " KiB)");
+  }
+
+  uint64_t used() const { return Used; }
+  uint64_t limit() const { return Limit; }
+
+private:
+  uint64_t Used = 0;
+  uint64_t Limit;
+};
+
+/// Deterministic fault injector; see file comment. All trip points are
+/// 1-based event ordinals; 0 disarms that fault.
+class FaultInjector {
+public:
+  uint64_t AllocTrip = 0;  ///< Fail the Nth node allocation.
+  uint64_t CheckTrip = 0;  ///< Throw at the Nth issued SMT check.
+  uint64_t CancelTrip = 0; ///< Report cancelled at the Nth expiry poll.
+
+  /// Derives a fault plan from a chaos seed: which fault classes are armed
+  /// and their trip ordinals are a pure function of \p Seed.
+  static FaultInjector fromSeed(uint64_t Seed) {
+    FaultInjector FI;
+    // Arm one or two of the three classes so most runs see exactly one
+    // fault shape (easier to attribute) but combinations are covered too.
+    uint64_t Pick = mixSeed(Seed, 0) % 6;
+    if (Pick == 0 || Pick == 3 || Pick == 5)
+      FI.AllocTrip = 200 + mixSeed(Seed, 1) % 20000;
+    if (Pick == 1 || Pick == 3 || Pick == 4)
+      FI.CheckTrip = 1 + mixSeed(Seed, 2) % 40;
+    if (Pick == 2 || Pick == 4 || Pick == 5)
+      FI.CancelTrip = 1 + mixSeed(Seed, 3) % 60;
+    return FI;
+  }
+
+  /// Call on every metered allocation (TermContext::intern).
+  void onAlloc() {
+    if (AllocTrip && ++Allocs == AllocTrip)
+      raiseError(ErrorCode::ResourceExhaustedMemory,
+                 "injected allocation failure at node #" +
+                     std::to_string(Allocs));
+  }
+
+  /// Call when an SMT check is actually issued to a solver.
+  void onSmtCheck() {
+    if (CheckTrip && ++Checks == CheckTrip)
+      raiseError(ErrorCode::InvariantViolation,
+                 "injected fault at SMT check #" + std::to_string(Checks));
+  }
+
+  /// Call from the engine's expiry poll; true = behave as if cancelled.
+  bool spuriousCancel() {
+    return CancelTrip && ++CancelPolls == CancelTrip;
+  }
+
+private:
+  uint64_t Allocs = 0, Checks = 0, CancelPolls = 0;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SUPPORT_FAULT_H

@@ -36,6 +36,12 @@ TermRef TermContext::intern(TermNode N) {
   auto It = Interned.find(Key);
   if (It != Interned.end())
     return TermRef(It->second);
+  // Governance hooks fire before any mutation, so a budget trip or injected
+  // allocation failure leaves the context consistent and reusable.
+  if (Faults)
+    Faults->onAlloc();
+  if (Gauge)
+    Gauge->charge(sizeof(TermNode) + N.Kids.size() * sizeof(TermRef) + 64);
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
   Nodes.push_back(std::move(N));
   // The map key must point at the stored node, not the local.

@@ -22,6 +22,7 @@
 #ifndef MUCYC_TERM_TERM_H
 #define MUCYC_TERM_TERM_H
 
+#include "support/Fault.h"
 #include "support/Rational.h"
 
 #include <cstdint>
@@ -190,6 +191,21 @@ public:
   /// SMT-LIB-style rendering (see Print.cpp).
   std::string toString(TermRef T) const;
 
+  //===--------------------------------------------------------------------===
+  // Resource governance (see support/Fault.h)
+  //===--------------------------------------------------------------------===
+
+  /// Installs a cumulative-allocation gauge charged on every interned node.
+  /// The SMT substrates created for this context (CDCL, simplex) pick it up
+  /// too, so one gauge meters the whole solving attempt. The pointee must
+  /// outlive its installation; uninstall (nullptr) before it dies.
+  void setResourceGauge(ResourceGauge *G) { Gauge = G; }
+  ResourceGauge *resourceGauge() const { return Gauge; }
+
+  /// Installs a deterministic fault injector polled on every allocation.
+  void setFaultInjector(FaultInjector *FI) { Faults = FI; }
+  FaultInjector *faultInjector() const { return Faults; }
+
 private:
   friend class TermBuilderAccess;
 
@@ -217,6 +233,8 @@ private:
   std::vector<TermRef> VarTerms;
   uint64_t FreshCounter = 0;
   TermRef TrueRef, FalseRef;
+  ResourceGauge *Gauge = nullptr;
+  FaultInjector *Faults = nullptr;
 };
 
 } // namespace mucyc

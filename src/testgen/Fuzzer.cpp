@@ -7,6 +7,7 @@
 #include "testgen/Fuzzer.h"
 
 #include "chc/Parser.h"
+#include "support/Fault.h"
 #include "testgen/Shrink.h"
 
 #include <filesystem>
@@ -233,6 +234,29 @@ InstanceResult runChcInstance(Rng &R, const FuzzConfig &Cfg,
   return IR;
 }
 
+/// Chaos domain: the clean-vs-fault-injected differential on a generated
+/// CHC system. The per-instance chaos seed is threaded into Refail so the
+/// shrinker replays the exact fault schedule.
+InstanceResult runChaosInstance(Rng &R, const FuzzConfig &Cfg, unsigned I,
+                                const OracleHooks *Hooks) {
+  TermContext Ctx;
+  GenKnobs K = Cfg.Knobs;
+  K.RealChc = R.oneIn(4);
+  ChcSystem Sys = genLinearChc(Ctx, R, K);
+  uint64_t CS = mixSeed(Cfg.ChaosSeed ? Cfg.ChaosSeed : Cfg.Seed, I);
+  InstanceResult IR;
+  IR.Out = checkChaosResilience(Sys, Cfg.Race, CS, Hooks);
+  if (IR.Out.failed()) {
+    IR.Repro = printSmtLib(Sys);
+    IR.Refail = [Check = IR.Out.Check, Hooks, Race = Cfg.Race,
+                 CS](ChcSystem &S) {
+      OracleOutcome O = checkChaosResilience(S, Race, CS, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
 std::vector<const char *> enabledDomains(const FuzzDomains &D) {
   std::vector<const char *> Out;
   if (D.Smt)
@@ -245,6 +269,8 @@ std::vector<const char *> enabledDomains(const FuzzDomains &D) {
     Out.push_back("chc");
   if (D.Inc)
     Out.push_back("inc");
+  if (D.Chaos)
+    Out.push_back("chaos");
   return Out;
 }
 
@@ -258,11 +284,25 @@ FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
   for (unsigned I = 0; I < Cfg.N; ++I) {
     std::string Dom = Domains[I % Domains.size()];
     Rng R(Rng::deriveSeed(Cfg.Seed, I));
-    InstanceResult IR = Dom == "smt"   ? runSmtInstance(R, Cfg)
-                        : Dom == "mbp" ? runMbpInstance(R, Cfg, Hooks)
-                        : Dom == "itp" ? runItpInstance(R, Cfg, Hooks)
-                        : Dom == "inc" ? runIncInstance(R, Cfg, Hooks)
-                                       : runChcInstance(R, Cfg, Hooks);
+    InstanceResult IR;
+    // Every solver entry point owns an error boundary, so a typed error
+    // (or any exception) escaping to this loop is itself a bug: report it
+    // as a violation of the instance instead of aborting the campaign.
+    try {
+      IR = Dom == "smt"     ? runSmtInstance(R, Cfg)
+           : Dom == "mbp"   ? runMbpInstance(R, Cfg, Hooks)
+           : Dom == "itp"   ? runItpInstance(R, Cfg, Hooks)
+           : Dom == "inc"   ? runIncInstance(R, Cfg, Hooks)
+           : Dom == "chaos" ? runChaosInstance(R, Cfg, I, Hooks)
+                            : runChcInstance(R, Cfg, Hooks);
+    } catch (const MucycError &E) {
+      IR = InstanceResult{
+          OracleOutcome::fail("uncaught-typed-error", E.info().describe()),
+          "", nullptr, ""};
+    } catch (const std::exception &E) {
+      IR = InstanceResult{OracleOutcome::fail("uncaught-exception", E.what()),
+                          "", nullptr, ""};
+    }
     ++Rep.Ran;
     if (!IR.Verdict.empty())
       Rep.ChcVerdicts.push_back("instance=" + std::to_string(I) +

@@ -33,6 +33,10 @@ struct FuzzDomains {
   bool Itp = true; ///< Interpolant contract.
   bool Chc = true; ///< Four-engine race + Verify certification.
   bool Inc = true; ///< Incremental push/assert/check/pop vs. one-shot.
+  /// Fault-injected solve vs. clean solve (see checkChaosResilience).
+  /// Default OFF so existing fixed-seed reports stay byte-identical;
+  /// opt in with --domains chaos.
+  bool Chaos = false;
 };
 
 struct FuzzConfig {
@@ -41,6 +45,10 @@ struct FuzzConfig {
   FuzzDomains Domains;
   GenKnobs Knobs;
   EngineRaceKnobs Race;
+  /// Root seed of the chaos domain's fault-injection streams (0 = derive
+  /// from Seed). Each instance arms its injectors from mixSeed(root, i),
+  /// so the whole chaos report is a pure function of the configuration.
+  uint64_t ChaosSeed = 0;
   bool Shrink = true;           ///< Minimize failing instances.
   unsigned ShrinkAttempts = 600; ///< Candidate budget per shrink.
   std::string ReproDir; ///< When nonempty, failing repros are written here.
@@ -48,7 +56,7 @@ struct FuzzConfig {
 
 struct FuzzViolation {
   unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
-  std::string Domain;     ///< "smt", "mbp", "itp", "chc" or "inc".
+  std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc" or "chaos".
   std::string Check;      ///< Stable tag of the violated contract clause.
   std::string Detail;     ///< Human diagnostic from the oracle.
   std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);

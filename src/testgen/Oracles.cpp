@@ -12,8 +12,10 @@
 #include "mbp/Qe.h"
 #include "runtime/Scheduler.h"
 #include "smt/SmtSolver.h"
+#include "support/Fault.h"
 
 #include <algorithm>
+#include <iterator>
 
 using namespace mucyc;
 
@@ -445,5 +447,116 @@ OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
   if (!AnySat && !AnyUnsat && Truth == ChcStatus::Unknown)
     return OracleOutcome::skip("no engine and no BMC verdict within "
                                "budget");
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// Chaos-resilience oracle
+//===----------------------------------------------------------------------===
+
+OracleOutcome mucyc::checkChaosResilience(const ChcSystem &Sys,
+                                          const EngineRaceKnobs &Knobs,
+                                          uint64_t ChaosSeed,
+                                          const OracleHooks *Hooks) {
+  std::string Text = printSmtLib(Sys);
+  {
+    TermContext Probe;
+    ParseResult PR = parseChc(Probe, Text);
+    if (!PR.Ok)
+      return OracleOutcome::fail(
+          "print-parse", "printSmtLib output does not re-parse: " +
+                             PR.Error + "\n" + Text);
+  }
+
+  ChcSystem Local = Sys;
+  TermContext &Ctx = Local.ctx();
+  NormalizedChc N = buildPipeline(Local);
+  ChcStatus Truth = bmcStatus(Ctx, N, Knobs.BmcDepth);
+
+  // Two batches over the same engines: clean, and fault-injected with the
+  // degraded-retry ladder enabled. Refine-step budgets only — the verdicts
+  // are deterministic functions of (Sys, Knobs, ChaosSeed).
+  auto MakeBatch = [&](bool Chaos) {
+    std::vector<SolveJob> Batch;
+    for (size_t E = 0; E < std::size(EngineConfigs); ++E) {
+      auto Opts = SolverOptions::parse(EngineConfigs[E]);
+      assert(Opts && "bad engine config name");
+      Opts->MaxRefineSteps = Knobs.RefineBudget;
+      Opts->MaxDepth = Knobs.MaxDepth;
+      Opts->VerifyResult = true;
+      Opts->NoIncremental = Knobs.NoIncremental;
+      if (Chaos) {
+        uint64_t S = mixSeed(ChaosSeed, E + 1);
+        Opts->ChaosSeed = S ? S : 1;
+        Opts->MaxRetries = 2;
+      }
+      SolveJob J;
+      J.Opts = *Opts;
+      J.DeadlineMs = 0;
+      J.Build = [Text](TermContext &C) {
+        ParseResult PR = parseChc(C, Text);
+        assert(PR.Ok && "probe-validated text failed to parse");
+        return buildPipeline(*PR.System);
+      };
+      Batch.push_back(std::move(J));
+    }
+    return Batch;
+  };
+  Scheduler Sched(Knobs.Jobs);
+  std::vector<SolveJobOutcome> Ref = Sched.run(MakeBatch(false));
+  std::vector<SolveJobOutcome> Cha = Sched.run(MakeBatch(true));
+
+  const bool Mangled = Hooks && Hooks->MangleEngine;
+  std::vector<ChcStatus> ChaosSt;
+  for (size_t I = 0; I < Cha.size(); ++I) {
+    ChcStatus S = Cha[I].Status;
+    if (Mangled)
+      S = Hooks->MangleEngine(I, S);
+    else if (Cha[I].VerifyFailed)
+      // Mangled statuses no longer correspond to in-job verification.
+      return OracleOutcome::fail(
+          "chaos-verify-cert",
+          std::string(EngineConfigs[I]) +
+              " answered under fault injection but the answer was refuted "
+              "by independent verification — " + Cha[I].VerifyNote);
+    ChaosSt.push_back(S);
+  }
+
+  auto Describe = [&](size_t I) {
+    return std::string(EngineConfigs[I]) + ": clean=" +
+           chcStatusName(Ref[I].Status) + ", chaos=" +
+           chcStatusName(ChaosSt[I]) + ", bmc=" + chcStatusName(Truth) +
+           (Cha[I].Error.isError()
+                ? ", chaos error: " + Cha[I].Error.describe()
+                : std::string());
+  };
+
+  bool AnySat = false, AnyUnsat = false, AnyDefinitive = false;
+  for (size_t I = 0; I < ChaosSt.size(); ++I) {
+    ChcStatus CS = ChaosSt[I];
+    AnySat |= CS == ChcStatus::Sat;
+    AnyUnsat |= CS == ChcStatus::Unsat;
+    AnyDefinitive |= Ref[I].Status != ChcStatus::Unknown;
+    if (CS == ChcStatus::Unknown)
+      continue; // Degrading to Unknown under faults is always allowed.
+    AnyDefinitive = true;
+    if (Ref[I].Status != ChcStatus::Unknown && CS != Ref[I].Status)
+      return OracleOutcome::fail(
+          "chaos-wrong-verdict",
+          "fault injection flipped a definitive verdict — " + Describe(I));
+    if (Truth != ChcStatus::Unknown && CS != Truth)
+      return OracleOutcome::fail(
+          "chaos-ground-truth",
+          "verdict under fault injection contradicts BMC ground truth — " +
+              Describe(I));
+  }
+  if (AnySat && AnyUnsat)
+    return OracleOutcome::fail(
+        "chaos-disagree", "fault-injected engines split sat/unsat: " +
+                              Describe(0) + "; " + Describe(1) + "; " +
+                              Describe(2) + "; " + Describe(3));
+  if (!AnyDefinitive && Truth == ChcStatus::Unknown)
+    return OracleOutcome::skip("no definitive verdict with or without "
+                               "fault injection");
   return OracleOutcome::pass();
 }

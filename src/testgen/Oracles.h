@@ -136,6 +136,29 @@ OracleOutcome checkEngineAgreement(const ChcSystem &Sys,
                                    const OracleHooks *Hooks = nullptr,
                                    std::string *ConsensusOut = nullptr);
 
+/// Chaos oracle: solves \p Sys twice through the Scheduler — once clean,
+/// once with the deterministic FaultInjector armed from \p ChaosSeed (a
+/// distinct stream per engine) and the degraded-retry ladder enabled
+/// (MaxRetries = 2) — and checks that injected faults only ever DEGRADE an
+/// answer (definitive -> Unknown), never corrupt one:
+///
+///  * a definitive chaos verdict must match the definitive clean verdict
+///    of the same engine ("chaos-wrong-verdict");
+///  * a definitive chaos verdict must match BMC ground truth
+///    ("chaos-ground-truth") and survive Verify ("chaos-verify-cert");
+///  * chaos members must not split sat/unsat among themselves
+///    ("chaos-disagree").
+///
+/// Both runs use refine-step budgets only (no wall-clock deadline), so the
+/// outcome — including every diagnostic string — is a pure function of
+/// (Sys, Knobs, ChaosSeed) and byte-identical across repeated runs.
+/// \p Hooks->MangleEngine post-processes the chaos verdicts so tests can
+/// confirm the oracle fires.
+OracleOutcome checkChaosResilience(const ChcSystem &Sys,
+                                   const EngineRaceKnobs &Knobs,
+                                   uint64_t ChaosSeed,
+                                   const OracleHooks *Hooks = nullptr);
+
 } // namespace mucyc
 
 #endif // MUCYC_TESTGEN_ORACLES_H
