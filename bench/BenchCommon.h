@@ -94,7 +94,7 @@ inline std::vector<RunRow>
 runSuiteBatch(const std::vector<BenchInstance> &Suite,
               const std::vector<std::string> &Configs, uint64_t TimeoutMs,
               unsigned Jobs) {
-  std::vector<SolveJob> Batch;
+  std::vector<SolveRequest> Batch;
   std::vector<RunRow> Rows;
   for (const std::string &Cfg : Configs) {
     auto Opts = SolverOptions::parse(Cfg);
@@ -103,13 +103,15 @@ runSuiteBatch(const std::vector<BenchInstance> &Suite,
       std::abort();
     }
     for (const BenchInstance &B : Suite) {
-      Batch.push_back(SolveJob{B.Build, *Opts, TimeoutMs});
+      SolveRequest R = SolveRequest::fromBuilder(B.Build, *Opts);
+      R.DeadlineMs = TimeoutMs;
+      Batch.push_back(std::move(R));
       Rows.push_back(RunRow{B.Name, B.Family, Cfg, B.Expected,
                             ChcStatus::Unknown, 0, 0, 0});
     }
   }
   Scheduler S(Jobs);
-  std::vector<SolveJobOutcome> Out = S.run(Batch);
+  std::vector<SolveResponse> Out = S.run(Batch);
   for (size_t I = 0; I < Out.size(); ++I) {
     Rows[I].Got = Out[I].Status;
     Rows[I].Seconds = Out[I].Seconds;

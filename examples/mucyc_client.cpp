@@ -1,0 +1,365 @@
+//===- examples/mucyc_client.cpp - Serve client & load generator ----------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Client for the mucyc-serve daemon: connects to its UNIX socket, replays
+// one or more SMT-LIB2 CHC files as "solve" frames, and prints one line per
+// file — `<name> <status>` on stdout (byte-comparable with offline `mucyc`
+// verdicts), plus cache provenance with --provenance. Doubles as the load
+// generator and the serve bench:
+//
+//   mucyc-client --socket PATH [shared solver flags] [--provenance]
+//                [--want-solution] [--no-store] [--tags STR] FILE...
+//   mucyc-client --socket PATH --bench OUT.json [--warm-dir DIR]
+//                [--min-speedup X] FILE...
+//   mucyc-client --socket PATH --ping | --stats   # liveness / counters
+//
+// Bench mode sends every file twice — a cold pass, then a warm pass using
+// the file of the same basename from --warm-dir when given (e.g. an
+// alpha-renamed copy) or the identical file otherwise — and writes latency
+// percentiles per pass plus the warm-hit speedup to OUT.json. With
+// --min-speedup X the exit status is 1 when mean cold / mean warm-hit
+// latency falls below X.
+//
+// Exit status: 0 ok, 1 bench floor missed or any unknown verdict in bench
+// mode, 2 usage/connect error, 3 protocol error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serve.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace mucyc;
+
+namespace {
+
+struct RunRow {
+  std::string Name;
+  std::string Status;
+  std::string Cache;
+  bool Verified = false;
+  double Seconds = 0; ///< Client-side round-trip latency.
+};
+
+int connectSocket(const std::string &Path) {
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return -1;
+  struct sockaddr_un Addr;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    ::close(Fd);
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Path.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<struct sockaddr *>(&Addr),
+                sizeof(Addr)) < 0) {
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+std::string baseName(const std::string &Path) {
+  size_t Slash = Path.find_last_of('/');
+  return Slash == std::string::npos ? Path : Path.substr(Slash + 1);
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  double Idx = P * (Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Idx);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Idx - Lo;
+  return Sorted[Lo] * (1 - Frac) + Sorted[Hi] * Frac;
+}
+
+void emitPass(std::ostream &Out, const char *Name,
+              const std::vector<RunRow> &Rows) {
+  std::vector<double> Lat;
+  for (const RunRow &R : Rows)
+    Lat.push_back(R.Seconds);
+  std::sort(Lat.begin(), Lat.end());
+  double Sum = 0;
+  for (double L : Lat)
+    Sum += L;
+  Out << "  \"" << Name << "\": {\n"
+      << "    \"instances\": " << Rows.size() << ",\n"
+      << "    \"mean_s\": " << (Lat.empty() ? 0 : Sum / Lat.size()) << ",\n"
+      << "    \"p50_s\": " << percentile(Lat, 0.5) << ",\n"
+      << "    \"p90_s\": " << percentile(Lat, 0.9) << ",\n"
+      << "    \"p99_s\": " << percentile(Lat, 0.99) << ",\n"
+      << "    \"results\": [\n";
+  for (size_t I = 0; I < Rows.size(); ++I)
+    Out << "      {\"name\": \"" << Rows[I].Name << "\", \"status\": \""
+        << Rows[I].Status << "\", \"cache\": \"" << Rows[I].Cache
+        << "\", \"verified\": " << (Rows[I].Verified ? "true" : "false")
+        << ", \"seconds\": " << Rows[I].Seconds << "}"
+        << (I + 1 < Rows.size() ? "," : "") << "\n";
+  Out << "    ]\n  }";
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: mucyc-client --socket PATH [--config NAME] [--timeout-ms N]\n"
+      "                    [--mem-limit-mb N] [--max-retries N]\n"
+      "                    [--max-refine-steps N] [--chaos-seed S]\n"
+      "                    [--no-incremental] [--verify] [--provenance]\n"
+      "                    [--want-solution] [--no-store] [--tags STR]\n"
+      "                    [--bench OUT.json [--warm-dir DIR]\n"
+      "                     [--min-speedup X]] FILE...\n"
+      "       mucyc-client --socket PATH --ping | --stats\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  Cli.TimeoutMs = 0;
+  std::string Err;
+  if (!parseSolverOptions(Argc, Argv, Cli, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    usage();
+    return 2;
+  }
+
+  std::string Socket, BenchOut, WarmDir, Tags;
+  bool Provenance = false, WantSolution = false, NoStore = false;
+  bool DoPing = false, DoStats = false;
+  double MinSpeedup = 0;
+  std::vector<std::string> Files;
+  for (int I = 1; I < Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--socket" && I + 1 < Argc)
+      Socket = Argv[++I];
+    else if (A == "--bench" && I + 1 < Argc)
+      BenchOut = Argv[++I];
+    else if (A == "--warm-dir" && I + 1 < Argc)
+      WarmDir = Argv[++I];
+    else if (A == "--min-speedup" && I + 1 < Argc)
+      MinSpeedup = std::strtod(Argv[++I], nullptr);
+    else if (A == "--tags" && I + 1 < Argc)
+      Tags = Argv[++I];
+    else if (A == "--provenance")
+      Provenance = true;
+    else if (A == "--want-solution")
+      WantSolution = true;
+    else if (A == "--no-store")
+      NoStore = true;
+    else if (A == "--ping")
+      DoPing = true;
+    else if (A == "--stats")
+      DoStats = true;
+    else if (A == "--help") {
+      usage();
+      return 0;
+    } else if (!A.empty() && A[0] == '-') {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", A.c_str());
+      usage();
+      return 2;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (Socket.empty() || (Files.empty() && !DoPing && !DoStats)) {
+    usage();
+    return 2;
+  }
+
+  int Fd = connectSocket(Socket);
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: cannot connect to '%s'\n", Socket.c_str());
+    return 2;
+  }
+
+  // One control round-trip (ping/stats); replies are header-only, so the
+  // sorted-map iteration prints the counters in a stable order.
+  auto Control = [&](const char *Verb) -> bool {
+    WireMessage M;
+    M.Verb = Verb;
+    if (!writeFrame(Fd, formatWireMessage(M))) {
+      std::fprintf(stderr, "error: write to daemon failed\n");
+      return false;
+    }
+    std::string Payload;
+    if (readFrame(Fd, Payload, 1u << 30) != FrameStatus::Ok) {
+      std::fprintf(stderr, "error: daemon closed the connection\n");
+      return false;
+    }
+    WireMessage Reply;
+    std::string PErr;
+    if (!parseWireMessage(Payload, Reply, &PErr)) {
+      std::fprintf(stderr, "error: bad response frame: %s\n", PErr.c_str());
+      return false;
+    }
+    std::printf("%s\n", Reply.Verb.c_str());
+    for (const auto &[K, V] : Reply.Headers)
+      std::printf("%s %s\n", K.c_str(), V.c_str());
+    return true;
+  };
+  if (DoPing && !Control("ping"))
+    return 3;
+  if (DoStats && !Control("stats"))
+    return 3;
+  if (Files.empty())
+    return 0;
+
+  // One solve round-trip; fills R and returns false on a protocol error.
+  auto Solve = [&](const std::string &Path, RunRow &R) -> bool {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return false;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+
+    WireMessage M;
+    M.Verb = "solve";
+    if (Cli.Config != "Ret(T,MBP(1))")
+      M.Headers["config"] = Cli.Config;
+    if (Cli.TimeoutMs)
+      M.Headers["deadline-ms"] = std::to_string(Cli.TimeoutMs);
+    if (Cli.Opts.MemLimitMb)
+      M.Headers["mem-limit-mb"] = std::to_string(Cli.Opts.MemLimitMb);
+    if (Cli.Opts.MaxRetries)
+      M.Headers["max-retries"] = std::to_string(Cli.Opts.MaxRetries);
+    if (Cli.Opts.MaxRefineSteps)
+      M.Headers["max-refine-steps"] =
+          std::to_string(Cli.Opts.MaxRefineSteps);
+    if (Cli.Opts.ChaosSeed)
+      M.Headers["chaos-seed"] = std::to_string(Cli.Opts.ChaosSeed);
+    if (Cli.Opts.NoIncremental)
+      M.Headers["no-incremental"] = "1";
+    if (Cli.Opts.VerifyResult)
+      M.Headers["verify"] = "1";
+    if (WantSolution)
+      M.Headers["want-solution"] = "1";
+    if (NoStore)
+      M.Headers["no-store"] = "1";
+    if (!Tags.empty())
+      M.Headers["tags"] = Tags;
+    M.Body = Buf.str();
+
+    auto Start = std::chrono::steady_clock::now();
+    if (!writeFrame(Fd, formatWireMessage(M))) {
+      std::fprintf(stderr, "error: write to daemon failed\n");
+      return false;
+    }
+    std::string Payload;
+    if (readFrame(Fd, Payload, 1u << 30) != FrameStatus::Ok) {
+      std::fprintf(stderr, "error: daemon closed the connection\n");
+      return false;
+    }
+    R.Seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - Start)
+                    .count();
+
+    WireMessage Reply;
+    std::string PErr;
+    if (!parseWireMessage(Payload, Reply, &PErr)) {
+      std::fprintf(stderr, "error: bad response frame: %s\n", PErr.c_str());
+      return false;
+    }
+    if (Reply.Verb == "error") {
+      std::fprintf(stderr, "error: daemon: %s\n",
+                   Reply.header("detail").c_str());
+      return false;
+    }
+    R.Name = baseName(Path);
+    R.Status = Reply.header("status", "unknown");
+    R.Cache = Reply.header("cache", "cold");
+    R.Verified = Reply.header("verified") == "1";
+    if (WantSolution && !Reply.Body.empty())
+      std::fputs(Reply.Body.c_str(), stdout);
+    return true;
+  };
+
+  int Rc = 0;
+  if (BenchOut.empty()) {
+    // Load-generator mode: replay the files once, in order.
+    for (const std::string &F : Files) {
+      RunRow R;
+      if (!Solve(F, R)) {
+        Rc = 3;
+        break;
+      }
+      if (Provenance)
+        std::printf("%s %s %s%s\n", R.Name.c_str(), R.Status.c_str(),
+                    R.Cache.c_str(), R.Verified ? " verified" : "");
+      else
+        std::printf("%s %s\n", R.Name.c_str(), R.Status.c_str());
+      std::fflush(stdout);
+    }
+  } else {
+    // Bench mode: cold pass, then warm pass (alpha-renamed copies from
+    // --warm-dir when given), then percentiles + warm-hit speedup.
+    std::vector<RunRow> Cold, Warm;
+    for (const std::string &F : Files) {
+      RunRow R;
+      if (!Solve(F, R))
+        return 3;
+      Cold.push_back(R);
+    }
+    for (const std::string &F : Files) {
+      std::string Path =
+          WarmDir.empty() ? F : WarmDir + "/" + baseName(F);
+      RunRow R;
+      if (!Solve(Path, R))
+        return 3;
+      Warm.push_back(R);
+    }
+
+    double ColdSum = 0, WarmHitSum = 0;
+    size_t Hits = 0;
+    for (size_t I = 0; I < Warm.size(); ++I) {
+      if (Warm[I].Cache == "cold")
+        continue;
+      ++Hits;
+      ColdSum += Cold[I].Seconds;
+      WarmHitSum += Warm[I].Seconds;
+    }
+    double Speedup =
+        (Hits && WarmHitSum > 0) ? ColdSum / WarmHitSum : 0;
+
+    std::ofstream Out(BenchOut);
+    Out << "{\n";
+    emitPass(Out, "cold", Cold);
+    Out << ",\n";
+    emitPass(Out, "warm", Warm);
+    Out << ",\n  \"warm_hits\": " << Hits
+        << ",\n  \"warm_hit_speedup\": " << Speedup << "\n}\n";
+    Out.close();
+
+    std::fprintf(stderr,
+                 "; serve bench: %zu instances, %zu warm hits, "
+                 "speedup %.1fx\n",
+                 Cold.size(), Hits, Speedup);
+    for (const RunRow &R : Cold)
+      if (R.Status == "unknown")
+        Rc = 1;
+    if (MinSpeedup > 0 && Speedup < MinSpeedup) {
+      std::fprintf(stderr, "; serve bench: speedup %.1fx below floor %.1fx\n",
+                   Speedup, MinSpeedup);
+      Rc = 1;
+    }
+  }
+  ::close(Fd);
+  return Rc;
+}

@@ -16,6 +16,11 @@
 //              [--clauses N] [--coeff-mag N] [--jobs N]
 //              [--no-incremental] [--verdicts FILE] [--chaos-seed S]
 //
+// The shared solver flags (--jobs, --no-incremental, --chaos-seed) are
+// parsed by solver/Options.h parseSolverOptions() — the same helper every
+// mucyc tool uses — then folded into the fuzz configuration; the remaining
+// flags are fuzz-specific.
+//
 // --no-incremental forces every raced engine onto the fresh-solver path;
 // --verdicts writes the per-chc-instance consensus verdict lines to FILE,
 // so a default run and a --no-incremental run can be byte-compared.
@@ -30,6 +35,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "solver/Options.h"
 #include "testgen/Fuzzer.h"
 
 #include <cstdio>
@@ -85,6 +91,22 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
 int main(int Argc, char **Argv) {
   FuzzConfig Cfg;
   std::string VerdictsPath;
+
+  // Shared flags first: --jobs / --no-incremental / --chaos-seed have the
+  // same spelling and semantics here as in mucyc, mucyc-serve and
+  // mucyc-client. parseSolverOptions compacts them out of argv; the loop
+  // below only sees fuzz-specific flags.
+  CliOptions Cli;
+  std::string CliErr;
+  if (!parseSolverOptions(Argc, Argv, Cli, CliErr)) {
+    std::fprintf(stderr, "error: %s\n", CliErr.c_str());
+    usage();
+    return 2;
+  }
+  Cfg.Race.Jobs = Cli.Jobs;
+  Cfg.Race.NoIncremental = Cli.Opts.NoIncremental;
+  Cfg.ChaosSeed = Cli.Opts.ChaosSeed;
+
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--seed" && I + 1 < Argc)
@@ -107,13 +129,6 @@ int main(int Argc, char **Argv) {
           static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
     else if (A == "--coeff-mag" && I + 1 < Argc)
       Cfg.Knobs.CoeffMag = std::strtoll(Argv[++I], nullptr, 10);
-    else if (A == "--jobs" && I + 1 < Argc)
-      Cfg.Race.Jobs =
-          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
-    else if (A == "--no-incremental")
-      Cfg.Race.NoIncremental = true;
-    else if (A == "--chaos-seed" && I + 1 < Argc)
-      Cfg.ChaosSeed = std::strtoull(Argv[++I], nullptr, 10);
     else if (A == "--verdicts" && I + 1 < Argc)
       VerdictsPath = Argv[++I];
     else if (A == "--help") {

@@ -10,21 +10,23 @@
 // configurations on the runtime's thread pool: the first definitive answer
 // wins and cooperatively cancels the rest.
 //
+// Every path routes through the unified SolveRequest/SolveResponse API
+// (runtime/Request.h): single solves and retry-ladder solves are one code
+// path now, and --store-dir points the same fingerprint-keyed result store
+// the serve daemon uses at a directory, so repeated invocations on
+// identical or alpha-renamed systems answer from a Verify-certified cache.
+//
 //   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
-//         [--print-solution] [--verify] [--stats]
+//         [--print-solution] [--verify] [--stats] [--store-dir DIR]
 //         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
-//         [--mem-limit-mb N] [--max-retries N] [--chaos-seed S]
+//         [--mem-limit-mb N] [--max-retries N] [--max-refine-steps N]
+//         [--chaos-seed S]
 //
-// --no-incremental disables the incremental SMT backend (solver pool +
-// query cache); every engine query then builds a fresh solver, which is
-// the reference semantics the incremental path is differential-tested
-// against.
-//
-// --mem-limit-mb meters term/clause/tableau allocations per solve attempt
-// and trips a recoverable resource-exhausted error at the limit;
-// --max-retries re-runs recoverable failures with degraded configurations
-// (see runtime/Recover.h); --chaos-seed arms the deterministic fault
-// injector (testing aid: same seed => same fault schedule).
+// The shared solver flags (--config, --jobs, --timeout-ms, --mem-limit-mb,
+// --max-retries, --max-refine-steps, --chaos-seed, --no-incremental,
+// --verify) are parsed by solver/Options.h parseSolverOptions(), the same
+// helper mucyc-fuzz, mucyc-serve and mucyc-client use, so flag semantics
+// are identical across the tools.
 //
 // Exit status: 0 solved (sat/unsat), 1 unknown, 2 usage/input error,
 // 3 internal error (a diagnostic line is printed; never an uncaught
@@ -33,17 +35,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "chc/Parser.h"
-#include "chc/Preprocess.h"
 #include "runtime/Portfolio.h"
-#include "runtime/Recover.h"
-#include "solver/ChcSolve.h"
+#include "runtime/Request.h"
 #include "support/Error.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <map>
-#include <mutex>
+#include <memory>
 #include <sstream>
 
 using namespace mucyc;
@@ -54,16 +53,19 @@ static void usage() {
       "usage: mucyc <file.smt2> [--config NAME] [--timeout-ms N]\n"
       "             [--no-preprocess] [--print-solution] [--verify] "
       "[--stats]\n"
+      "             [--store-dir DIR]\n"
       "             [--portfolio \"CFG1,CFG2,...\"] [--jobs N]\n"
       "             [--no-incremental] [--mem-limit-mb N]\n"
-      "             [--max-retries N] [--chaos-seed S]\n"
+      "             [--max-retries N] [--max-refine-steps N] "
+      "[--chaos-seed S]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
       "         b in {T,F}, cex in {Model, QE, MBP(0|1|2)}\n"
       "--portfolio races the listed configs (first sat/unsat answer wins\n"
       "and cancels the rest); --jobs bounds its concurrency (default:\n"
-      "one thread per member)\n");
+      "one thread per member); --store-dir caches certified answers by\n"
+      "the system's canonical fingerprint\n");
 }
 
 static int runMain(int Argc, char **Argv) {
@@ -71,40 +73,26 @@ static int runMain(int Argc, char **Argv) {
     usage();
     return 2;
   }
-  std::string Path;
-  std::string Config = "Ret(T,MBP(1))";
-  std::string Portfolio;
-  unsigned Jobs = 0;
-  uint64_t TimeoutMs = 600000;
-  uint64_t MemLimitMb = 0, ChaosSeed = 0;
-  unsigned MaxRetries = 0;
-  bool Preprocess = true, PrintSolution = false, Verify = false,
-       Stats = false, NoIncremental = false;
+  CliOptions Cli;
+  std::string CliErr;
+  if (!parseSolverOptions(Argc, Argv, Cli, CliErr)) {
+    std::fprintf(stderr, "error: %s\n", CliErr.c_str());
+    usage();
+    return 2;
+  }
+
+  std::string Path, Portfolio, StoreDir;
+  bool Preprocess = true, PrintSolution = false, Stats = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
-    if (A == "--config" && I + 1 < Argc)
-      Config = Argv[++I];
-    else if (A == "--portfolio" && I + 1 < Argc)
+    if (A == "--portfolio" && I + 1 < Argc)
       Portfolio = Argv[++I];
-    else if (A == "--jobs" && I + 1 < Argc)
-      Jobs = static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
-    else if (A == "--timeout-ms" && I + 1 < Argc)
-      TimeoutMs = std::strtoull(Argv[++I], nullptr, 10);
-    else if (A == "--mem-limit-mb" && I + 1 < Argc)
-      MemLimitMb = std::strtoull(Argv[++I], nullptr, 10);
-    else if (A == "--max-retries" && I + 1 < Argc)
-      MaxRetries =
-          static_cast<unsigned>(std::strtoul(Argv[++I], nullptr, 10));
-    else if (A == "--chaos-seed" && I + 1 < Argc)
-      ChaosSeed = std::strtoull(Argv[++I], nullptr, 10);
+    else if (A == "--store-dir" && I + 1 < Argc)
+      StoreDir = Argv[++I];
     else if (A == "--no-preprocess")
       Preprocess = false;
-    else if (A == "--no-incremental")
-      NoIncremental = true;
     else if (A == "--print-solution")
       PrintSolution = true;
-    else if (A == "--verify")
-      Verify = true;
     else if (A == "--stats")
       Stats = true;
     else if (A == "--help") {
@@ -130,24 +118,17 @@ static int runMain(int Argc, char **Argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
-  TermContext Ctx;
-  ParseResult PR = parseChc(Ctx, Buf.str());
-  if (!PR.Ok) {
-    std::fprintf(stderr, "error: parse failed. %s\n", PR.Error.c_str());
-    return 2;
+  {
+    // Validate the input upfront so malformed files exit 2 (input error)
+    // with the parser's diagnostic, not 1 (unknown) out of the solve path.
+    TermContext Ctx;
+    ParseResult PR = parseChc(Ctx, Buf.str());
+    if (!PR.Ok) {
+      std::fprintf(stderr, "error: parse failed. %s\n", PR.Error.c_str());
+      return 2;
+    }
   }
 
-  auto PrintDefs = [](const TermContext &C, const ChcSystem &Sys,
-                      const ChcSolution &Sol) {
-    for (const auto &[Pred, Def] : Sol) {
-      std::printf("(define-fun %s (", Sys.pred(Pred).Name.c_str());
-      for (size_t I = 0; I < Def.Params.size(); ++I)
-        std::printf("%s(%s %s)", I ? " " : "",
-                    C.varInfo(Def.Params[I]).Name.c_str(),
-                    sortName(C.varInfo(Def.Params[I]).S));
-      std::printf(") Bool %s)\n", C.toString(Def.Body).c_str());
-    }
-  };
   auto PrintStats = [](const char *Tag, int Depth, double Seconds,
                        const SolveStats &S) {
     std::fprintf(stderr,
@@ -169,30 +150,13 @@ static int runMain(int Argc, char **Argv) {
       std::fprintf(stderr, "; unknown: %s\n", E.describe().c_str());
   };
 
-  // Hash consing is not thread-safe and the retry ladder rebuilds per
-  // attempt, so portfolio members and recovery attempts each re-run the
-  // whole frontend pipeline (parse, preprocess, normalize) in their own
-  // context; the winning context's pipeline is kept for solution lifting.
-  struct Pipeline {
-    ChcSystem Orig;
-    ChcSystem Work;
-    NormalizeResult NR;
-  };
-  std::mutex PipesMu;
-  std::map<const TermContext *, std::shared_ptr<Pipeline>> Pipes;
-  const std::string Source = Buf.str();
-  auto Build = [&](TermContext &C) -> NormalizedChc {
-    ParseResult MPR = parseChc(C, Source); // Validated by the parse above.
-    ChcSystem Orig = std::move(*MPR.System);
-    ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
-    NormalizeResult NR = normalize(Work);
-    auto P = std::make_shared<Pipeline>(
-        Pipeline{std::move(Orig), std::move(Work), std::move(NR)});
-    NormalizedChc Sys = P->NR.Sys;
-    std::lock_guard<std::mutex> Lock(PipesMu);
-    Pipes[&C] = std::move(P); // Retry attempts may reuse an address.
-    return Sys;
-  };
+  std::unique_ptr<ResultStore> Store;
+  if (!StoreDir.empty())
+    Store = std::make_unique<ResultStore>(StoreDir);
+
+  SolveRequest Base = SolveRequest::fromText(Buf.str(), Cli.Opts, Preprocess);
+  Base.DeadlineMs = Cli.TimeoutMs;
+  Base.WantSolution = PrintSolution;
 
   if (!Portfolio.empty()) {
     auto Configs = parseConfigList(Portfolio);
@@ -203,20 +167,22 @@ static int runMain(int Argc, char **Argv) {
       return 2;
     }
     for (SolverOptions &O : *Configs) {
-      O.VerifyResult = Verify;
-      O.NoIncremental = NoIncremental;
-      O.MemLimitMb = MemLimitMb;
-      O.MaxRetries = MaxRetries;
-      O.ChaosSeed = ChaosSeed;
+      O.VerifyResult = Cli.Opts.VerifyResult;
+      O.NoIncremental = Cli.Opts.NoIncremental;
+      O.MemLimitMb = Cli.Opts.MemLimitMb;
+      O.MaxRetries = Cli.Opts.MaxRetries;
+      O.MaxRefineSteps = Cli.Opts.MaxRefineSteps;
+      O.ChaosSeed = Cli.Opts.ChaosSeed;
     }
 
-    PortfolioResult PR2 = racePortfolio(Build, *Configs, Jobs, TimeoutMs);
+    PortfolioResult PR2 =
+        racePortfolio(Base, *Configs, Cli.Jobs, nullptr, Store.get());
     std::printf("%s\n", chcStatusName(PR2.Winner.Status));
-    if (PrintSolution && PR2.Winner.Status == ChcStatus::Sat) {
-      const auto &P = Pipes.at(PR2.WinnerCtx.get());
-      ChcSolution Sol = P->NR.liftSolution(P->Work, PR2.Winner.Invariant);
-      PrintDefs(*PR2.WinnerCtx, P->Orig, Sol);
-    }
+    if (PrintSolution && PR2.Winner.Status == ChcStatus::Sat && PR2.WinnerCtx)
+      std::fputs(
+          Base.Source->solutionText(*PR2.WinnerCtx, PR2.Winner.Invariant)
+              .c_str(),
+          stdout);
     if (Stats) {
       std::fprintf(stderr, "; portfolio winner=%s wall=%.3fs\n",
                    PR2.WinnerIndex >= 0 ? PR2.WinnerConfig.c_str() : "none",
@@ -241,47 +207,21 @@ static int runMain(int Argc, char **Argv) {
     return PR2.Winner.Status == ChcStatus::Unknown ? 1 : 0;
   }
 
-  auto Opts = SolverOptions::parse(Config);
-  if (!Opts) {
-    std::fprintf(stderr, "error: unknown configuration '%s'\n",
-                 Config.c_str());
-    usage();
-    return 2;
+  // Single configuration: one unified path for plain solves, retry-ladder
+  // solves and store-backed solves.
+  SolveResponse Resp = solveRequest(Base, Store.get(), nullptr);
+  std::printf("%s\n", chcStatusName(Resp.Status));
+  if (PrintSolution && Resp.Status == ChcStatus::Sat)
+    std::fputs(Resp.SolutionText.c_str(), stdout);
+  if (Stats) {
+    if (Resp.Cache != CacheSource::None)
+      std::fprintf(stderr, "; cache=%s fingerprint=%s verified=%d\n",
+                   cacheSourceName(Resp.Cache), Resp.Fingerprint.c_str(),
+                   Resp.CacheVerified ? 1 : 0);
+    PrintStats("", Resp.Depth, Resp.Seconds, Resp.Stats);
   }
-  Opts->VerifyResult = Verify;
-  Opts->NoIncremental = NoIncremental;
-  Opts->MemLimitMb = MemLimitMb;
-  Opts->MaxRetries = MaxRetries;
-  Opts->ChaosSeed = ChaosSeed;
-
-  if (MaxRetries > 0) {
-    // Recovery ladder: each attempt rebuilds in a fresh context, so route
-    // through the runtime and lift the solution from the final context.
-    RecoveryOutcome RO =
-        solveWithRecovery(Build, *Opts, TimeoutMs, nullptr);
-    std::printf("%s\n", chcStatusName(RO.Res.Status));
-    if (PrintSolution && RO.Res.Status == ChcStatus::Sat) {
-      const auto &P = Pipes.at(RO.Ctx.get());
-      ChcSolution Sol = P->NR.liftSolution(P->Work, RO.Res.Invariant);
-      PrintDefs(*RO.Ctx, P->Orig, Sol);
-    }
-    if (Stats)
-      PrintStats("", RO.Res.Depth, RO.Res.Seconds, RO.Res.Stats);
-    PrintError(RO.Res.Error);
-    return RO.Res.Status == ChcStatus::Unknown ? 1 : 0;
-  }
-
-  Opts->TimeoutMs = TimeoutMs;
-  ChcSolution Sol;
-  SolverResult R = solveChcSystem(*PR.System, *Opts, Preprocess,
-                                  PrintSolution ? &Sol : nullptr);
-  std::printf("%s\n", chcStatusName(R.Status));
-  if (PrintSolution && R.Status == ChcStatus::Sat)
-    PrintDefs(Ctx, *PR.System, Sol);
-  if (Stats)
-    PrintStats("", R.Depth, R.Seconds, R.Stats);
-  PrintError(R.Error);
-  return R.Status == ChcStatus::Unknown ? 1 : 0;
+  PrintError(Resp.Error);
+  return Resp.Status == ChcStatus::Unknown ? 1 : 0;
 }
 
 int main(int Argc, char **Argv) {

@@ -118,4 +118,74 @@ if ! cmp -s "$OUT/chaos_a.txt" "$OUT/chaos_b.txt"; then
 fi
 tail -2 "$OUT/chaos_a.txt"
 
+echo "== serve smoke: daemon replay must match offline verdicts =="
+# Start mucyc-serve on a UNIX socket with a fresh store, replay the
+# exported suite through mucyc-client, and require the verdict lines to be
+# byte-identical to offline single-shot mucyc on the same files (both under
+# the same deterministic refine-step budget). A second, alpha-renamed pass
+# against the warm daemon must then be answered entirely from the
+# Verify-certified result store.
+# Bounds every engine run so the leg is fast and its verdicts are a
+# deterministic function of the instance (a few budget-bounded unknowns
+# are expected and also exercise the unknowns-stay-cold path).
+SERVE_BUDGET=300
+"$BUILD"/examples/export_suite "$OUT/suite" >/dev/null
+ls "$OUT/suite"/*.smt2 | head -50 >"$OUT/suite_files.txt"
+
+mkdir -p "$OUT/suite_renamed"
+while read -r F; do
+  # Alpha-rename: every bound variable and the predicate get new names.
+  sed -e 's/bm!/al!/g' -e 's/(declare-fun P /(declare-fun Q /' \
+      -e 's/(P /(Q /g' "$F" >"$OUT/suite_renamed/$(basename "$F")"
+done <"$OUT/suite_files.txt"
+
+"$BUILD"/examples/mucyc-serve --socket "$OUT/serve.sock" \
+  --store-dir "$OUT/serve-store" --max-refine-steps "$SERVE_BUDGET" &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -rf "$OUT"' EXIT
+for _ in $(seq 100); do
+  [ -S "$OUT/serve.sock" ] && break
+  sleep 0.1
+done
+
+xargs "$BUILD"/examples/mucyc-client --socket "$OUT/serve.sock" \
+  <"$OUT/suite_files.txt" >"$OUT/serve_verdicts.txt"
+
+while read -r F; do
+  S=$("$BUILD"/examples/mucyc --max-refine-steps "$SERVE_BUDGET" "$F" \
+      || true)
+  echo "$(basename "$F") $S"
+done <"$OUT/suite_files.txt" >"$OUT/offline_verdicts.txt"
+if ! cmp -s "$OUT/serve_verdicts.txt" "$OUT/offline_verdicts.txt"; then
+  diff -u "$OUT/offline_verdicts.txt" "$OUT/serve_verdicts.txt" | head -40 >&2
+  echo "FAIL: daemon verdicts differ from offline mucyc" >&2
+  exit 1
+fi
+
+echo "== serve warm cache: renamed resubmission must hit the store =="
+sed "s,$OUT/suite/,$OUT/suite_renamed/," "$OUT/suite_files.txt" \
+  >"$OUT/renamed_files.txt"
+xargs "$BUILD"/examples/mucyc-client --socket "$OUT/serve.sock" \
+  --provenance <"$OUT/renamed_files.txt" >"$OUT/warm_provenance.txt"
+# Every instance the daemon answered definitively cold must now be served
+# from the cache, Verify-certified; unknowns stay cold (nothing to cache).
+BAD=$(awk '$2 != "unknown" && ($3 == "cold" || $4 != "verified")' \
+      "$OUT/warm_provenance.txt")
+if [ -n "$BAD" ]; then
+  echo "$BAD" >&2
+  echo "FAIL: renamed resubmissions not served from the verified store" >&2
+  exit 1
+fi
+if ! awk '{print $1, $2}' "$OUT/warm_provenance.txt" \
+    | cmp -s - "$OUT/serve_verdicts.txt"; then
+  echo "FAIL: warm verdicts differ from cold verdicts" >&2
+  exit 1
+fi
+HITS=$(awk '$3 != "cold"' "$OUT/warm_provenance.txt" | wc -l)
+echo "serve smoke: $(wc -l <"$OUT/serve_verdicts.txt") instances," \
+     "$HITS warm hits"
+kill "$SERVE_PID" 2>/dev/null
+wait "$SERVE_PID" 2>/dev/null || true
+trap 'rm -rf "$OUT"' EXIT
+
 echo "CI gate passed."

@@ -1,0 +1,149 @@
+//===- chc/Fingerprint.cpp - Canonical system fingerprints ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Fingerprint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+using namespace mucyc;
+
+namespace {
+
+/// One 64-bit mixing lane (splitmix-style finalizer over an accumulator).
+/// Two lanes with different round constants make up the 128-bit digest.
+struct Lane {
+  uint64_t H;
+  uint64_t C1, C2;
+
+  void mix(uint64_t V) {
+    H += V + C1;
+    H = (H ^ (H >> 30)) * C2;
+    H ^= H >> 27;
+  }
+};
+
+/// Per-call hashing state: canonical variable codes plus a DAG memo per
+/// lane pair (memoized on TermRef, which is stable within one context).
+class Hasher {
+public:
+  Hasher(const TermContext &Ctx, const NormalizedChc &N) : Ctx(Ctx) {
+    auto Code = [&](const std::vector<VarId> &Tuple, uint64_t Role) {
+      for (size_t I = 0; I < Tuple.size(); ++I)
+        VarCode.emplace(Tuple[I], (Role << 32) | static_cast<uint64_t>(I));
+    };
+    Code(N.X, 1);
+    Code(N.Y, 2);
+    Code(N.Z, 3);
+  }
+
+  /// 128-bit hash of one formula, canonical as described in the header.
+  std::pair<uint64_t, uint64_t> formula(TermRef T) {
+    auto It = Memo.find(T.Idx);
+    if (It != Memo.end())
+      return It->second;
+    const TermNode &N = Ctx.node(T);
+    Lane A{0x243f6a8885a308d3ull, 0x9e3779b97f4a7c15ull,
+           0xbf58476d1ce4e5b9ull};
+    Lane B{0x13198a2e03707344ull, 0xc2b2ae3d27d4eb4full,
+           0x94d049bb133111ebull};
+    auto Mix = [&](uint64_t V) {
+      A.mix(V);
+      B.mix(~V * 0x2545f4914f6cdd1dull);
+    };
+    Mix(static_cast<uint64_t>(N.K));
+    Mix(static_cast<uint64_t>(N.S));
+    switch (N.K) {
+    case Kind::Var:
+      Mix(varCode(N.Var));
+      break;
+    case Kind::Const:
+    case Kind::Mul:
+    case Kind::Divides:
+      // Rationals hash via their canonical decimal rendering — BigInt
+      // magnitudes exceed any fixed-width payload.
+      Mix(strHash(N.Val.num().toString()));
+      Mix(strHash(N.Val.den().toString()));
+      break;
+    default:
+      break;
+    }
+    bool Commutative =
+        N.K == Kind::And || N.K == Kind::Or || N.K == Kind::Add;
+    std::vector<std::pair<uint64_t, uint64_t>> Kids;
+    Kids.reserve(N.Kids.size());
+    for (TermRef Kid : N.Kids)
+      Kids.push_back(formula(Kid));
+    if (Commutative)
+      std::sort(Kids.begin(), Kids.end());
+    for (const auto &[KH, KL] : Kids) {
+      Mix(KH);
+      Mix(KL);
+    }
+    Mix(N.Kids.size());
+    auto R = std::make_pair(A.H, B.H);
+    Memo.emplace(T.Idx, R);
+    return R;
+  }
+
+private:
+  uint64_t varCode(VarId V) {
+    auto It = VarCode.find(V);
+    if (It != VarCode.end())
+      return It->second;
+    // Stray free variable: deterministic first-occurrence numbering in
+    // traversal order (the traversal itself is deterministic).
+    uint64_t C = (4ull << 32) | NextStray++;
+    VarCode.emplace(V, C);
+    return C;
+  }
+
+  static uint64_t strHash(const std::string &S) {
+    uint64_t H = 0xcbf29ce484222325ull;
+    for (char C : S) {
+      H ^= static_cast<unsigned char>(C);
+      H *= 0x100000001b3ull;
+    }
+    return H;
+  }
+
+  const TermContext &Ctx;
+  std::unordered_map<VarId, uint64_t> VarCode;
+  std::unordered_map<uint32_t, std::pair<uint64_t, uint64_t>> Memo;
+  uint64_t NextStray = 0;
+};
+
+} // namespace
+
+std::string ChcFingerprint::hex() const {
+  char Buf[33];
+  std::snprintf(Buf, sizeof(Buf), "%016llx%016llx",
+                static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+  return Buf;
+}
+
+ChcFingerprint mucyc::fingerprintNormalized(const TermContext &Ctx,
+                                            const NormalizedChc &N) {
+  Hasher H(Ctx, N);
+  Lane A{0xa4093822299f31d0ull, 0x9e3779b97f4a7c15ull, 0xbf58476d1ce4e5b9ull};
+  Lane B{0x082efa98ec4e6c89ull, 0xc2b2ae3d27d4eb4full, 0x94d049bb133111ebull};
+  auto Mix = [&](uint64_t V) {
+    A.mix(V);
+    B.mix(V * 0xff51afd7ed558ccdull + 1);
+  };
+  // The tuple signature: length and slot sorts (shared by X/Y/Z).
+  Mix(N.Z.size());
+  for (VarId V : N.Z)
+    Mix(static_cast<uint64_t>(Ctx.varInfo(V).S) + 11);
+  for (TermRef F : {N.Init, N.Trans, N.Bad}) {
+    auto [FH, FL] = H.formula(F);
+    Mix(FH);
+    Mix(FL);
+  }
+  return ChcFingerprint{A.H, B.H};
+}

@@ -1,0 +1,57 @@
+//===- chc/Fingerprint.h - Canonical system fingerprints --------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 128-bit structural fingerprint of a NormalizedChc, canonical under
+/// alpha-renaming: two parses of the same system that differ only in
+/// predicate or variable names (and hence in VarIds and interning order)
+/// produce equal fingerprints, while structurally different systems produce
+/// distinct ones with overwhelming probability. This is the key of the
+/// disk-backed result store — under heavy service traffic, identical or
+/// renamed resubmissions are the common case, and the fingerprint is what
+/// lets them short-circuit to a cached, re-verified certificate.
+///
+/// Canonicalization: variables are identified by their position in the
+/// X/Y/Z tuples (role, index) rather than by VarId or name; stray free
+/// variables (none are expected) fall back to deterministic first-occurrence
+/// numbering. Commutative connectives (and/or/+) hash order-insensitively,
+/// so interning-order differences between contexts cannot leak in. A
+/// fingerprint collision can only cause a spurious cache miss or a failed
+/// certificate re-verification — never a wrong answer — because every
+/// served certificate is re-checked against the *actual* submitted system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_CHC_FINGERPRINT_H
+#define MUCYC_CHC_FINGERPRINT_H
+
+#include "chc/Normalize.h"
+
+#include <string>
+
+namespace mucyc {
+
+/// 128-bit fingerprint, two independently mixed 64-bit lanes.
+struct ChcFingerprint {
+  uint64_t Hi = 0, Lo = 0;
+
+  bool operator==(const ChcFingerprint &O) const {
+    return Hi == O.Hi && Lo == O.Lo;
+  }
+  bool operator!=(const ChcFingerprint &O) const { return !(*this == O); }
+
+  /// 32 lowercase hex digits; the result-store file name.
+  std::string hex() const;
+};
+
+/// Fingerprints \p N (which must live in \p Ctx). Pure function of the
+/// system's structure: deterministic across processes and machines.
+ChcFingerprint fingerprintNormalized(const TermContext &Ctx,
+                                     const NormalizedChc &N);
+
+} // namespace mucyc
+
+#endif // MUCYC_CHC_FINGERPRINT_H

@@ -6,7 +6,6 @@
 
 #include "runtime/Portfolio.h"
 
-#include "runtime/Recover.h"
 #include "runtime/ThreadPool.h"
 
 #include <chrono>
@@ -57,6 +56,16 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
                      const std::vector<SolverOptions> &Configs, unsigned Jobs,
                      uint64_t TimeoutMs,
                      const std::shared_ptr<CancelToken> &Cancel) {
+  SolveRequest Base = SolveRequest::fromBuilder(Build, SolverOptions());
+  Base.DeadlineMs = TimeoutMs;
+  return racePortfolio(Base, Configs, Jobs, Cancel, nullptr);
+}
+
+PortfolioResult
+mucyc::racePortfolio(const SolveRequest &Base,
+                     const std::vector<SolverOptions> &Configs, unsigned Jobs,
+                     const std::shared_ptr<CancelToken> &Cancel,
+                     ResultStore *Store) {
   auto Start = std::chrono::steady_clock::now();
   const size_t K = Configs.size();
 
@@ -98,15 +107,26 @@ mucyc::racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
     for (size_t I = 0; I < K; ++I) {
       Pool.post([&, I] {
         MemberState &St = States[I];
-        // solveWithRecovery absorbs crashing members (typed errors and
-        // stray exceptions become ErrorInfo on the result) and runs the
+        // solveRequest absorbs crashing members (typed errors and stray
+        // exceptions become ErrorInfo on the response) and runs the
         // degraded-retry ladder when the config asks for it — a loser can
-        // die or retry without disturbing the race.
-        RecoveryOutcome RO = solveWithRecovery(
-            Build, Configs[I], TimeoutMs, MemberToks[I]->flag());
-        St.Ctx = RO.Ctx;
-        St.Res = RO.Res;
-        St.Attempts = RO.Attempts;
+        // die or retry without disturbing the race. With a store, a
+        // cached certificate answers without running an engine at all.
+        SolveRequest MR = Base;
+        MR.Opts = Configs[I];
+        MR.KeepContext = true;
+        SolveResponse Resp = solveRequest(MR, Store, MemberToks[I]->flag());
+        St.Ctx = Resp.Ctx;
+        St.Res.Status = Resp.Status;
+        St.Res.Invariant = Resp.Invariant;
+        St.Res.CexPiece = Resp.CexPiece;
+        St.Res.Depth = Resp.Depth;
+        St.Res.Stats = Resp.Stats;
+        St.Res.Seconds = Resp.Seconds;
+        St.Res.VerifyFailed = Resp.VerifyFailed;
+        St.Res.VerifyNote = std::move(Resp.VerifyNote);
+        St.Res.Error = std::move(Resp.Error);
+        St.Attempts = Resp.Attempts;
         St.SawCancel = MemberToks[I]->cancelled();
         if (St.Res.Status == ChcStatus::Unknown)
           return;

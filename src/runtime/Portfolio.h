@@ -23,6 +23,7 @@
 #define MUCYC_RUNTIME_PORTFOLIO_H
 
 #include "runtime/Cancel.h"
+#include "runtime/Request.h"
 #include "solver/ChcSolve.h"
 
 #include <functional>
@@ -61,13 +62,24 @@ struct PortfolioResult {
   double Seconds = 0;     ///< Wall clock for the whole race.
 };
 
-/// Races \p Configs over the system produced by \p Build (called once per
-/// member on its own context). \p Jobs bounds concurrency (0 = one thread
-/// per member, oversubscribing cores if needed — a race only works when
-/// every member runs); \p TimeoutMs is the per-member deadline (0 = none).
-/// Each member's
-/// VerifyResult is honored, so a race of verifying configs only commits to
-/// checked answers. \p Cancel aborts the whole race from outside.
+/// Races \p Configs over the system of \p Base (its Source/Build, called
+/// once per member on its own context; Base.Opts is ignored in favor of
+/// each member's config, Base.DeadlineMs is the per-member deadline).
+/// Members run through solveRequest(), so each is behind the recovery
+/// ladder and, when \p Store is supplied, probes the result cache — a
+/// cached certificate wins the race instantly. \p Jobs bounds concurrency
+/// (0 = one thread per member, oversubscribing cores if needed — a race
+/// only works when every member runs). Each member's VerifyResult is
+/// honored, so a race of verifying configs only commits to checked
+/// answers. \p Cancel aborts the whole race from outside.
+PortfolioResult
+racePortfolio(const SolveRequest &Base,
+              const std::vector<SolverOptions> &Configs, unsigned Jobs,
+              const std::shared_ptr<CancelToken> &Cancel = nullptr,
+              ResultStore *Store = nullptr);
+
+/// Deprecated shim over the SolveRequest entry: races over a bare builder
+/// with a per-member \p TimeoutMs deadline.
 PortfolioResult
 racePortfolio(const std::function<NormalizedChc(TermContext &)> &Build,
               const std::vector<SolverOptions> &Configs, unsigned Jobs,

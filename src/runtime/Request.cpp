@@ -1,0 +1,214 @@
+//===- runtime/Request.cpp - Unified solve job API ------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Request.h"
+
+#include "chc/Fingerprint.h"
+#include "chc/Parser.h"
+#include "chc/Preprocess.h"
+#include "runtime/Recover.h"
+
+#include <chrono>
+#include <sstream>
+
+using namespace mucyc;
+
+NormalizedChc TextSource::build(TermContext &Ctx) {
+  ParseResult PR = parseChc(Ctx, Text);
+  if (!PR.Ok)
+    raiseError(ErrorCode::InputError, "parse failed: " + PR.Error);
+  ChcSystem Orig = std::move(*PR.System);
+  ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
+  NormalizeResult NR = normalize(Work);
+  auto P = std::make_shared<Pipeline>(
+      Pipeline{std::move(Orig), std::move(Work), std::move(NR)});
+  NormalizedChc Sys = P->NR.Sys;
+  std::lock_guard<std::mutex> Lock(Mu);
+  Pipes[&Ctx] = std::move(P); // Retry attempts may reuse an address.
+  return Sys;
+}
+
+std::string TextSource::solutionText(TermContext &Ctx, TermRef PhiZ) {
+  std::shared_ptr<Pipeline> P;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Pipes.find(&Ctx);
+    if (It == Pipes.end())
+      return "";
+    P = It->second;
+  }
+  ChcSolution Sol = P->NR.liftSolution(P->Work, PhiZ);
+  std::ostringstream Out;
+  for (const auto &[Pred, Def] : Sol) {
+    Out << "(define-fun " << P->Orig.pred(Pred).Name << " (";
+    for (size_t I = 0; I < Def.Params.size(); ++I)
+      Out << (I ? " " : "") << "(" << Ctx.varInfo(Def.Params[I]).Name << " "
+          << sortName(Ctx.varInfo(Def.Params[I]).S) << ")";
+    Out << ") Bool " << Ctx.toString(Def.Body) << ")\n";
+  }
+  return Out.str();
+}
+
+namespace {
+
+/// Re-runs a cached certificate through the independent checker against the
+/// actual submitted system. Sat certificates are invariants; Unsat ones are
+/// reachable bad regions checked by bounded reachability to the recorded
+/// depth (+2, mirroring what VerifyResult charges a fresh answer).
+bool verifyCachedCert(TermContext &Ctx, const NormalizedChc &N,
+                      const ResultStore::Entry &E, TermRef Cert) {
+  if (E.Status == ChcStatus::Sat)
+    return verifyInvariant(Ctx, N, Cert);
+  return verifyCexPiece(Ctx, N, Cert, E.Depth + 2);
+}
+
+} // namespace
+
+SolveResponse mucyc::solveRequest(const SolveRequest &Req, ResultStore *Store,
+                                  const std::atomic<bool> *Cancel) {
+  auto Start = std::chrono::steady_clock::now();
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         Start)
+        .count();
+  };
+
+  SolveResponse Resp;
+  Resp.Tags = Req.Tags;
+
+  std::function<NormalizedChc(TermContext &)> Build = Req.Build;
+  if (!Build && Req.Source)
+    Build = Req.Source->builder();
+  if (!Build) {
+    Resp.Attempts = 0;
+    Resp.Error =
+        ErrorInfo{ErrorCode::InputError, "solve request has no system source"};
+    return Resp;
+  }
+
+  // --- Warm path: fingerprint the submission and probe the store. A probe
+  // failure of any kind (parse error, sort mismatch, corrupt certificate,
+  // failed re-verification) drops through to the cold path below; a parse
+  // error will then resurface there with its proper diagnostic.
+  if (Store && !Req.NoStore) {
+    auto Probe = std::make_shared<TermContext>();
+    try {
+      NormalizedChc N = Build(*Probe);
+      Resp.Fingerprint = fingerprintNormalized(*Probe, N).hex();
+      CacheSource Src = CacheSource::None;
+      if (auto E = Store->lookup(Resp.Fingerprint, &Src)) {
+        bool SortsOk = E->ZSorts.size() == N.Z.size();
+        for (size_t I = 0; SortsOk && I < N.Z.size(); ++I)
+          SortsOk = E->ZSorts[I] == Probe->varInfo(N.Z[I]).S;
+        TermRef Cert;
+        if (SortsOk)
+          Cert = ResultStore::parseCert(*Probe, N, E->Cert, nullptr);
+        bool Ok = Cert.isValid();
+        if (Ok && !E->Verified) {
+          Ok = verifyCachedCert(*Probe, N, *E, Cert);
+          if (Ok)
+            Store->markVerified(Resp.Fingerprint);
+        }
+        if (Ok) {
+          Resp.Status = E->Status;
+          Resp.Depth = E->Depth;
+          Resp.Attempts = 0; // Served, not solved.
+          Resp.Cache = Src;
+          Resp.CacheVerified = true;
+          if (E->Status == ChcStatus::Sat)
+            Resp.Invariant = Cert;
+          else
+            Resp.CexPiece = Cert;
+          if (Req.WantSolution && E->Status == ChcStatus::Sat && Req.Source)
+            Resp.SolutionText = Req.Source->solutionText(*Probe, Cert);
+          if (Req.KeepContext)
+            Resp.Ctx = std::move(Probe);
+          else {
+            Resp.Invariant = TermRef();
+            Resp.CexPiece = TermRef();
+          }
+          Resp.Seconds = Elapsed();
+          return Resp;
+        }
+        // Poisoned or mismatched entry: drop it so the cold answer below
+        // replaces it, and count the reject.
+        Store->erase(Resp.Fingerprint);
+      }
+    } catch (const std::exception &) {
+      // Fall through to the cold path, which reports the error properly.
+    }
+  }
+
+  // --- Cold path: the recovery ladder. MaxRetries = 0 runs one attempt.
+  // The wrapper snapshots the final attempt's normalized system: admission
+  // needs the exact Z tuple the certificate is over, and re-running the
+  // builder would mint fresh variables (mkFreshVar) even in the same
+  // context. solveWithRecovery runs synchronously, so capturing locals by
+  // reference is safe.
+  TermContext *LastCtx = nullptr;
+  NormalizedChc LastSys;
+  auto WrappedBuild = [&](TermContext &C) {
+    NormalizedChc N = Build(C);
+    LastCtx = &C;
+    LastSys = N;
+    return N;
+  };
+  RecoveryOutcome RO =
+      solveWithRecovery(WrappedBuild, Req.Opts, Req.DeadlineMs, Cancel);
+
+  Resp.Status = RO.Res.Status;
+  Resp.Depth = RO.Res.Depth;
+  Resp.Stats = RO.Res.Stats;
+  Resp.VerifyFailed = RO.Res.VerifyFailed;
+  Resp.VerifyNote = RO.Res.VerifyNote;
+  Resp.Error = RO.Res.Error;
+  Resp.Attempts = RO.Attempts;
+  Resp.Invariant = RO.Res.Invariant;
+  Resp.CexPiece = RO.Res.CexPiece;
+
+  // --- Admission: store definitive, certificate-bearing answers. When the
+  // run already self-verified (VerifyResult, clean), skip the duplicate
+  // check; otherwise verify now — the store must never hold an unchecked
+  // certificate marked Verified.
+  if (Store && !Req.NoStore && !Resp.Fingerprint.empty() &&
+      !Resp.VerifyFailed && RO.Ctx && LastCtx == RO.Ctx.get() &&
+      (Resp.Status == ChcStatus::Sat || Resp.Status == ChcStatus::Unsat)) {
+    TermRef Cert =
+        Resp.Status == ChcStatus::Sat ? RO.Res.Invariant : RO.Res.CexPiece;
+    if (Cert.isValid()) {
+      try {
+        ResultStore::Entry E;
+        E.Status = Resp.Status;
+        E.Depth = Resp.Depth;
+        E.Config = degradeOptions(Req.Opts, RO.Attempts - 1).name();
+        for (VarId V : LastSys.Z)
+          E.ZSorts.push_back(RO.Ctx->varInfo(V).S);
+        E.Cert = ResultStore::serializeCert(*RO.Ctx, LastSys, Cert);
+        bool Checked = Req.Opts.VerifyResult ||
+                       verifyCachedCert(*RO.Ctx, LastSys, E, Cert);
+        if (Checked) {
+          E.Verified = true;
+          Store->insert(Resp.Fingerprint, std::move(E));
+        }
+      } catch (const std::exception &) {
+        // Admission is best-effort; the answer itself still stands.
+      }
+    }
+  }
+
+  if (Req.WantSolution && Resp.Status == ChcStatus::Sat && Req.Source &&
+      RO.Ctx && Resp.Invariant.isValid())
+    Resp.SolutionText = Req.Source->solutionText(*RO.Ctx, Resp.Invariant);
+
+  if (Req.KeepContext)
+    Resp.Ctx = RO.Ctx;
+  else {
+    Resp.Invariant = TermRef();
+    Resp.CexPiece = TermRef();
+  }
+  Resp.Seconds = Elapsed();
+  return Resp;
+}

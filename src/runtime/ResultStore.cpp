@@ -1,0 +1,242 @@
+//===- runtime/ResultStore.cpp - Fingerprint-keyed result cache -----------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ResultStore.h"
+
+#include "chc/Parser.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace mucyc;
+
+const char *mucyc::cacheSourceName(CacheSource S) {
+  switch (S) {
+  case CacheSource::None:
+    return "cold";
+  case CacheSource::Memory:
+    return "mem-hit";
+  case CacheSource::Disk:
+    return "disk-hit";
+  }
+  return "?";
+}
+
+ResultStore::ResultStore(std::string Dir, size_t MemCap)
+    : DirPath(std::move(Dir)), MemCap(MemCap ? MemCap : 1) {}
+
+std::string ResultStore::filePath(const std::string &Fp) const {
+  return DirPath + "/" + Fp + ".mucyc-result";
+}
+
+void ResultStore::memInsert(const std::string &Fp, Entry E) {
+  auto It = Mem.find(Fp);
+  if (It != Mem.end()) {
+    It->second = std::move(E);
+    return;
+  }
+  while (Mem.size() >= MemCap && !Fifo.empty()) {
+    Mem.erase(Fifo.front());
+    Fifo.pop_front();
+  }
+  Fifo.push_back(Fp);
+  Mem.emplace(Fp, std::move(E));
+}
+
+std::optional<ResultStore::Entry>
+ResultStore::lookup(const std::string &Fp, CacheSource *Src) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Mem.find(Fp);
+  if (It != Mem.end()) {
+    ++Cnt.MemHits;
+    if (Src)
+      *Src = CacheSource::Memory;
+    return It->second;
+  }
+  if (!DirPath.empty()) {
+    if (auto E = loadFile(Fp)) {
+      ++Cnt.DiskHits;
+      if (Src)
+        *Src = CacheSource::Disk;
+      memInsert(Fp, *E);
+      return E;
+    }
+  }
+  ++Cnt.Misses;
+  if (Src)
+    *Src = CacheSource::None;
+  return std::nullopt;
+}
+
+void ResultStore::insert(const std::string &Fp, Entry E) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Cnt.Inserts;
+  if (!DirPath.empty())
+    storeFile(Fp, E);
+  memInsert(Fp, std::move(E));
+}
+
+void ResultStore::markVerified(const std::string &Fp) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Mem.find(Fp);
+  if (It != Mem.end())
+    It->second.Verified = true;
+}
+
+void ResultStore::erase(const std::string &Fp) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Cnt.Rejects;
+  Mem.erase(Fp);
+  if (!DirPath.empty()) {
+    std::error_code Ec;
+    std::filesystem::remove(filePath(Fp), Ec);
+  }
+}
+
+ResultStore::Counters ResultStore::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cnt;
+}
+
+//===----------------------------------------------------------------------===
+// Disk format: a small line-oriented text file, one entry per fingerprint.
+//===----------------------------------------------------------------------===
+
+std::optional<ResultStore::Entry>
+ResultStore::loadFile(const std::string &Fp) const {
+  std::ifstream In(filePath(Fp));
+  if (!In)
+    return std::nullopt;
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "mucyc-result-v1")
+    return std::nullopt;
+  Entry E;
+  bool HaveStatus = false;
+  while (std::getline(In, Line)) {
+    size_t Colon = Line.find(": ");
+    if (Colon == std::string::npos)
+      continue;
+    std::string Key = Line.substr(0, Colon);
+    std::string Val = Line.substr(Colon + 2);
+    if (Key == "status") {
+      if (Val == "sat")
+        E.Status = ChcStatus::Sat;
+      else if (Val == "unsat")
+        E.Status = ChcStatus::Unsat;
+      else
+        return std::nullopt; // Only definitive answers are stored.
+      HaveStatus = true;
+    } else if (Key == "depth") {
+      E.Depth = std::atoi(Val.c_str());
+    } else if (Key == "config") {
+      E.Config = Val;
+    } else if (Key == "zsorts") {
+      std::istringstream SS(Val);
+      std::string S;
+      while (SS >> S) {
+        if (S == "Bool")
+          E.ZSorts.push_back(Sort::Bool);
+        else if (S == "Int")
+          E.ZSorts.push_back(Sort::Int);
+        else if (S == "Real")
+          E.ZSorts.push_back(Sort::Real);
+        else
+          return std::nullopt;
+      }
+    } else if (Key == "cert") {
+      E.Cert = Val;
+    }
+    // Unknown keys are ignored: forward compatibility for the format.
+  }
+  if (!HaveStatus || E.Cert.empty() || E.ZSorts.empty())
+    return std::nullopt;
+  return E;
+}
+
+void ResultStore::storeFile(const std::string &Fp, const Entry &E) const {
+  std::error_code Ec;
+  std::filesystem::create_directories(DirPath, Ec);
+  std::string Tmp = filePath(Fp) + ".tmp";
+  {
+    std::ofstream Out(Tmp);
+    if (!Out)
+      return; // Disk tier is best-effort; the memory tier still serves.
+    Out << "mucyc-result-v1\n"
+        << "status: " << chcStatusName(E.Status) << "\n"
+        << "depth: " << E.Depth << "\n"
+        << "config: " << E.Config << "\n"
+        << "zsorts:";
+    Out << " ";
+    for (size_t I = 0; I < E.ZSorts.size(); ++I)
+      Out << (I ? " " : "") << sortName(E.ZSorts[I]);
+    Out << "\n"
+        << "cert: " << E.Cert << "\n";
+  }
+  std::rename(Tmp.c_str(), filePath(Fp).c_str());
+}
+
+//===----------------------------------------------------------------------===
+// Certificate (de)serialization
+//===----------------------------------------------------------------------===
+
+std::string ResultStore::serializeCert(TermContext &Ctx,
+                                       const NormalizedChc &N, TermRef Cert) {
+  // Substitute the Z tuple by canonically named variables so the rendering
+  // is independent of the producing context's naming history.
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < N.Z.size(); ++I) {
+    TermRef V = Ctx.mkVar("mz" + std::to_string(I), Ctx.varInfo(N.Z[I]).S);
+    Map.emplace(N.Z[I], V);
+  }
+  return Ctx.toString(Ctx.substitute(Cert, Map));
+}
+
+TermRef ResultStore::parseCert(TermContext &Ctx, const NormalizedChc &N,
+                               const std::string &Text, std::string *Err) {
+  // Reuse the HORN parser by wrapping the formula as the constraint of a
+  // synthetic clause  (=> <cert> (mucycCert mz0 ... mzN))  — the parsed
+  // clause hands back the canonicalized formula and the binder variables in
+  // tuple order, which we then substitute by the requester's actual Z.
+  std::ostringstream Script;
+  Script << "(set-logic HORN)\n(declare-fun mucycCert (";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << (I ? " " : "") << sortName(Ctx.varInfo(N.Z[I]).S);
+  Script << ") Bool)\n(assert (forall (";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << (I ? " " : "") << "(mz" << I << " "
+           << sortName(Ctx.varInfo(N.Z[I]).S) << ")";
+  Script << ")\n  (=> " << Text << " (mucycCert";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << " mz" << I;
+  Script << "))))\n";
+
+  ParseResult PR = parseChc(Ctx, Script.str());
+  if (!PR.Ok || PR.System->clauses().size() != 1) {
+    if (Err)
+      *Err = "certificate does not parse: " +
+             (PR.Ok ? std::string("unexpected clause shape") : PR.Error);
+    return TermRef();
+  }
+  const Clause &C = PR.System->clauses()[0];
+  if (!C.Head || C.Head->Args.size() != N.Z.size() || !C.Body.empty()) {
+    if (Err)
+      *Err = "certificate clause has the wrong shape";
+    return TermRef();
+  }
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < N.Z.size(); ++I) {
+    const TermNode &Arg = Ctx.node(C.Head->Args[I]);
+    if (Arg.K != Kind::Var) {
+      if (Err)
+        *Err = "certificate head argument is not a variable";
+      return TermRef();
+    }
+    Map.emplace(Arg.Var, Ctx.varTerm(N.Z[I]));
+  }
+  return Ctx.substitute(C.Constraint, Map);
+}

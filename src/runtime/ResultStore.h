@@ -1,0 +1,120 @@
+//===- runtime/ResultStore.h - Fingerprint-keyed result cache ---*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The second cache tier of the solving service: a disk-backed store of
+/// definitive results keyed by the normalized system's canonical fingerprint
+/// (chc/Fingerprint.h), so identical or alpha-renamed resubmissions — the
+/// common case under heavy traffic — skip the engines entirely. Entries
+/// carry the answer's certificate (the invariant for sat, the reachable bad
+/// region for unsat) serialized as an SMT-LIB formula over a canonical
+/// variable tuple, plus enough metadata to rebuild and *re-verify* it in
+/// the requester's context before it is served: the store is an
+/// accelerator, never a trusted oracle. A corrupt or mismatched entry is
+/// dropped and the request falls through to a cold solve.
+///
+/// Layout: one file per fingerprint under the store directory
+/// (`<fp>.mucyc-result`, a small line-oriented text format), written
+/// atomically via rename, fronted by a bounded in-memory map with FIFO
+/// eviction. The Verified bit is process-local: a certificate loaded from
+/// disk is re-run through Verify once per daemon lifetime, then hits serve
+/// from the verified in-memory entry. Thread-safe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_RESULTSTORE_H
+#define MUCYC_RUNTIME_RESULTSTORE_H
+
+#include "solver/ChcSolve.h"
+
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mucyc {
+
+/// Where a response came from; provenance surfaced to clients.
+enum class CacheSource : uint8_t {
+  None,   ///< Cold solve, no cache involved.
+  Memory, ///< In-memory tier hit.
+  Disk,   ///< Loaded from the disk tier (now also in memory).
+};
+
+/// "cold", "mem-hit" or "disk-hit".
+const char *cacheSourceName(CacheSource S);
+
+class ResultStore {
+public:
+  struct Entry {
+    ChcStatus Status = ChcStatus::Unknown;
+    int Depth = 0;
+    std::string Config;        ///< Configuration that produced the answer.
+    std::vector<Sort> ZSorts;  ///< Sanity check against the requester's Z.
+    std::string Cert;          ///< Z-formula over canonical names mz0..mzN.
+    bool Verified = false;     ///< Re-verified in this process.
+  };
+
+  struct Counters {
+    uint64_t MemHits = 0, DiskHits = 0, Misses = 0, Inserts = 0,
+             Rejects = 0; ///< Entries dropped (failed re-verify / corrupt).
+  };
+
+  /// \p Dir empty = memory tier only. The directory is created on first
+  /// insert. \p MemCap bounds the in-memory tier (FIFO eviction; evicted
+  /// entries remain on disk).
+  explicit ResultStore(std::string Dir = "", size_t MemCap = 4096);
+
+  /// Looks up \p Fp: memory first, then disk (a disk hit is promoted into
+  /// memory). \p Src (optional) reports which tier answered.
+  std::optional<Entry> lookup(const std::string &Fp,
+                              CacheSource *Src = nullptr);
+
+  /// Inserts (or overwrites) the entry in both tiers.
+  void insert(const std::string &Fp, Entry E);
+
+  /// Marks the in-memory entry as verified in this process.
+  void markVerified(const std::string &Fp);
+
+  /// Drops a poisoned entry from both tiers and counts a reject.
+  void erase(const std::string &Fp);
+
+  Counters counters() const;
+  const std::string &dir() const { return DirPath; }
+
+  //===--------------------------------------------------------------------===
+  // Certificate (de)serialization — free-standing so tests can target them.
+  //===--------------------------------------------------------------------===
+
+  /// Renders \p Cert (a Z-formula of \p N) over the canonical variable
+  /// names mz0..mzN, independent of the context's own names.
+  static std::string serializeCert(TermContext &Ctx, const NormalizedChc &N,
+                                   TermRef Cert);
+
+  /// Parses a serializeCert() rendering back into a Z-formula of \p N in
+  /// \p Ctx. Returns an invalid TermRef and fills \p Err on malformed text.
+  static TermRef parseCert(TermContext &Ctx, const NormalizedChc &N,
+                           const std::string &Text, std::string *Err);
+
+private:
+  std::string filePath(const std::string &Fp) const;
+  std::optional<Entry> loadFile(const std::string &Fp) const;
+  void storeFile(const std::string &Fp, const Entry &E) const;
+  void memInsert(const std::string &Fp, Entry E); ///< Mu held by caller.
+
+  std::string DirPath;
+  size_t MemCap;
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, Entry> Mem;
+  std::deque<std::string> Fifo;
+  Counters Cnt;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_RESULTSTORE_H

@@ -6,7 +6,6 @@
 
 #include "runtime/Scheduler.h"
 
-#include "runtime/Recover.h"
 #include "runtime/ThreadPool.h"
 
 #include <chrono>
@@ -26,10 +25,11 @@ unsigned Scheduler::workers() const {
   return NumWorkers;
 }
 
-std::vector<SolveJobOutcome>
-Scheduler::run(const std::vector<SolveJob> &Batch,
-               const std::shared_ptr<CancelToken> &Cancel) const {
-  std::vector<SolveJobOutcome> Out(Batch.size());
+std::vector<SolveResponse>
+Scheduler::run(const std::vector<SolveRequest> &Batch,
+               const std::shared_ptr<CancelToken> &Cancel,
+               ResultStore *Store) const {
+  std::vector<SolveResponse> Out(Batch.size());
   if (Batch.empty())
     return Out;
 
@@ -50,9 +50,10 @@ Scheduler::run(const std::vector<SolveJob> &Batch,
   {
     ThreadPool Pool(workers());
     for (size_t I = 0; I < Batch.size(); ++I) {
-      const SolveJob &J = Batch[I];
-      SolveJobOutcome *Slot = &Out[I];
-      Pool.post([&J, Slot, &BatchTok, &ElapsedMs] {
+      const SolveRequest &J = Batch[I];
+      SolveResponse *Slot = &Out[I];
+      Pool.post([&J, Slot, &BatchTok, &ElapsedMs, Store] {
+        Slot->Tags = J.Tags;
         // Deterministic short-circuits BEFORE any work: a cancelled batch
         // or a batch-relative deadline that already passed must not depend
         // on how fast this worker got here.
@@ -61,34 +62,103 @@ Scheduler::run(const std::vector<SolveJob> &Batch,
                                   "batch cancelled before the job started"};
           return;
         }
-        uint64_t Deadline = J.DeadlineMs;
-        if (J.AbsDeadlineMs) {
+        SolveRequest R = J;
+        if (R.AbsDeadlineMs) {
           uint64_t Spent = ElapsedMs();
-          if (Spent >= J.AbsDeadlineMs) {
+          if (Spent >= R.AbsDeadlineMs) {
             Slot->Error =
                 ErrorInfo{ErrorCode::Timeout,
                           "batch-relative deadline expired before the job "
                           "started"};
             return;
           }
-          uint64_t Remaining = J.AbsDeadlineMs - Spent;
-          Deadline = Deadline ? std::min(Deadline, Remaining) : Remaining;
+          uint64_t Remaining = R.AbsDeadlineMs - Spent;
+          R.DeadlineMs =
+              R.DeadlineMs ? std::min(R.DeadlineMs, Remaining) : Remaining;
         }
-        RecoveryOutcome RO =
-            solveWithRecovery(J.Build, J.Opts, Deadline, BatchTok->flag());
-        Slot->Status = RO.Res.Status;
-        Slot->Depth = RO.Res.Depth;
-        Slot->Stats = RO.Res.Stats;
-        Slot->Seconds = RO.Res.Seconds;
-        Slot->VerifyFailed = RO.Res.VerifyFailed;
-        Slot->VerifyNote = RO.Res.VerifyNote;
-        Slot->Error = RO.Res.Error;
-        Slot->Attempts = RO.Attempts;
-        // RO.Ctx (and the terms in RO.Res) die here with the job.
+        // Batch responses never pin a TermContext: the contexts (and the
+        // terms in them) die with the job, as the SolveJob path always did.
+        R.KeepContext = false;
+        *Slot = solveRequest(R, Store, BatchTok->flag());
       });
     }
     // ~ThreadPool drains the queue and joins, so every slot is written
     // before we return.
   }
   return Out;
+}
+
+std::vector<SolveJobOutcome>
+Scheduler::run(const std::vector<SolveJob> &Batch,
+               const std::shared_ptr<CancelToken> &Cancel) const {
+  std::vector<SolveRequest> Reqs;
+  Reqs.reserve(Batch.size());
+  for (const SolveJob &J : Batch) {
+    SolveRequest R = SolveRequest::fromBuilder(J.Build, J.Opts);
+    R.DeadlineMs = J.DeadlineMs;
+    R.AbsDeadlineMs = J.AbsDeadlineMs;
+    R.NoStore = true;
+    Reqs.push_back(std::move(R));
+  }
+  std::vector<SolveResponse> Resps = run(Reqs, Cancel, nullptr);
+  std::vector<SolveJobOutcome> Out(Resps.size());
+  for (size_t I = 0; I < Resps.size(); ++I) {
+    SolveResponse &R = Resps[I];
+    Out[I].Status = R.Status;
+    Out[I].Depth = R.Depth;
+    Out[I].Stats = R.Stats;
+    Out[I].Seconds = R.Seconds;
+    Out[I].VerifyFailed = R.VerifyFailed;
+    Out[I].VerifyNote = std::move(R.VerifyNote);
+    Out[I].Error = std::move(R.Error);
+    Out[I].Attempts = R.Attempts;
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===
+// SchedulerSession
+//===----------------------------------------------------------------------===
+
+SchedulerSession::SchedulerSession(unsigned Jobs, ResultStore *Store)
+    : Root(CancelToken::create()), Store(Store) {
+  unsigned HW = ThreadPool::hardwareThreads();
+  if (!Jobs || Jobs > HW)
+    Jobs = HW;
+  Pool = std::make_unique<ThreadPool>(Jobs);
+}
+
+SchedulerSession::~SchedulerSession() { shutdown(); }
+
+unsigned SchedulerSession::workers() const { return Pool ? Pool->size() : 0; }
+
+void SchedulerSession::submit(SolveRequest Req,
+                              std::shared_ptr<CancelToken> JobTok,
+                              std::function<void(SolveResponse)> Done) {
+  std::shared_ptr<CancelToken> Tok = JobTok ? JobTok : Root->child();
+  ResultStore *S = Store;
+  auto RootTok = Root;
+  Pool->post([Req = std::move(Req), Tok = std::move(Tok),
+              Done = std::move(Done), S, RootTok] {
+    SolveResponse Resp;
+    if (Tok->cancelled() || RootTok->cancelled()) {
+      Resp.Tags = Req.Tags;
+      Resp.Error = ErrorInfo{ErrorCode::Cancelled,
+                             "session cancelled before the job started"};
+    } else {
+      Resp = solveRequest(Req, S, Tok->flag());
+    }
+    if (Done)
+      Done(std::move(Resp));
+  });
+}
+
+void SchedulerSession::drain() {
+  if (Pool)
+    Pool->drain();
+}
+
+void SchedulerSession::shutdown() {
+  Root->request();
+  drain();
 }

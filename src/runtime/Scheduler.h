@@ -20,6 +20,7 @@
 #define MUCYC_RUNTIME_SCHEDULER_H
 
 #include "runtime/Cancel.h"
+#include "runtime/Request.h"
 #include "solver/ChcSolve.h"
 
 #include <functional>
@@ -27,6 +28,8 @@
 #include <vector>
 
 namespace mucyc {
+
+class ThreadPool;
 
 /// One solve job: a system builder plus the configuration to run it under.
 /// The builder runs on the worker thread against a job-private TermContext.
@@ -78,13 +81,25 @@ public:
   /// deadlines relative to a sequential run.
   explicit Scheduler(unsigned Jobs) : NumWorkers(Jobs ? Jobs : 0) {}
 
-  /// Runs the whole batch and returns outcomes in submission order.
-  /// \p Cancel (optional) aborts the remaining work when requested: running
-  /// jobs stop cooperatively, queued jobs report Cancelled without
-  /// executing (their Build is never invoked), and every outcome slot is
-  /// filled. Jobs whose Opts.MaxRetries > 0 are retried with degraded
-  /// configurations on recoverable errors (see runtime/Recover.h); a
-  /// worker-thread escape from one job never takes down the batch.
+  /// Runs the whole batch through solveRequest() and returns responses in
+  /// submission order. \p Cancel (optional) aborts the remaining work when
+  /// requested: running jobs stop cooperatively, queued jobs report
+  /// Cancelled without executing (their source is never built), and every
+  /// response slot is filled. \p Store (optional) is the shared result
+  /// cache requests are probed against / admitted into. Requests whose
+  /// Opts.MaxRetries > 0 are retried with degraded configurations on
+  /// recoverable errors (see runtime/Recover.h); a worker-thread escape
+  /// from one job never takes down the batch. Batch responses never keep
+  /// their TermContext (KeepContext is forced off) so batch memory stays
+  /// bounded.
+  std::vector<SolveResponse>
+  run(const std::vector<SolveRequest> &Batch,
+      const std::shared_ptr<CancelToken> &Cancel = nullptr,
+      ResultStore *Store = nullptr) const;
+
+  /// Deprecated shim over the SolveRequest entry: runs SolveJob batches
+  /// with identical semantics (including the deterministic pre-check
+  /// diagnostics) and narrows the responses back to SolveJobOutcome.
   std::vector<SolveJobOutcome>
   run(const std::vector<SolveJob> &Batch,
       const std::shared_ptr<CancelToken> &Cancel = nullptr) const;
@@ -93,6 +108,47 @@ public:
 
 private:
   unsigned NumWorkers;
+};
+
+/// A persistent scheduler for the serve daemon: one long-lived worker pool
+/// plus a root cancel token and the shared ResultStore, accepting jobs one
+/// at a time with a completion callback instead of as a closed batch.
+/// Thread-safe. Destruction cancels outstanding work and joins.
+class SchedulerSession {
+public:
+  /// \p Jobs as for Scheduler; \p Store (optional, unowned) must outlive
+  /// the session.
+  explicit SchedulerSession(unsigned Jobs, ResultStore *Store = nullptr);
+  ~SchedulerSession();
+
+  SchedulerSession(const SchedulerSession &) = delete;
+  SchedulerSession &operator=(const SchedulerSession &) = delete;
+
+  /// A fresh per-job cancel token: a child of the session root, so both a
+  /// caller's request() (e.g. client disconnect) and shutdown() reach the
+  /// job.
+  std::shared_ptr<CancelToken> newJobToken() { return Root->child(); }
+
+  /// Enqueues \p Req. \p JobTok (optional) cancels just this job; create
+  /// it with newJobToken() so session shutdown reaches it too. \p Done
+  /// runs on the worker thread when the job finishes (also for jobs
+  /// short-circuited by cancellation) and must not block on the session.
+  void submit(SolveRequest Req, std::shared_ptr<CancelToken> JobTok,
+              std::function<void(SolveResponse)> Done);
+
+  /// Blocks until every submitted job has completed.
+  void drain();
+
+  /// Cancels outstanding jobs (they complete with Cancelled) and drains.
+  void shutdown();
+
+  unsigned workers() const;
+  ResultStore *store() const { return Store; }
+
+private:
+  std::unique_ptr<ThreadPool> Pool;
+  std::shared_ptr<CancelToken> Root;
+  ResultStore *Store;
 };
 
 } // namespace mucyc

@@ -6,6 +6,8 @@
 
 #include "solver/Options.h"
 
+#include <cstdlib>
+
 using namespace mucyc;
 
 std::string SolverOptions::name() const {
@@ -122,4 +124,115 @@ std::optional<SolverOptions> SolverOptions::parse(const std::string &Name) {
     return std::nullopt;
   }
   return O;
+}
+
+//===----------------------------------------------------------------------===
+// Shared command-line surface
+//===----------------------------------------------------------------------===
+
+std::vector<std::string> CliOptions::toFlags() const {
+  std::vector<std::string> F;
+  auto Push = [&](const char *Flag, const std::string &Val) {
+    F.push_back(Flag);
+    F.push_back(Val);
+  };
+  if (Config != "Ret(T,MBP(1))")
+    Push("--config", Config);
+  if (Jobs)
+    Push("--jobs", std::to_string(Jobs));
+  if (TimeoutMs != 600000)
+    Push("--timeout-ms", std::to_string(TimeoutMs));
+  if (Opts.MemLimitMb)
+    Push("--mem-limit-mb", std::to_string(Opts.MemLimitMb));
+  if (Opts.MaxRetries)
+    Push("--max-retries", std::to_string(Opts.MaxRetries));
+  if (Opts.MaxRefineSteps)
+    Push("--max-refine-steps", std::to_string(Opts.MaxRefineSteps));
+  if (Opts.ChaosSeed)
+    Push("--chaos-seed", std::to_string(Opts.ChaosSeed));
+  if (Opts.NoIncremental)
+    F.push_back("--no-incremental");
+  if (Opts.VerifyResult)
+    F.push_back("--verify");
+  return F;
+}
+
+bool mucyc::parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
+                               std::string &Err) {
+  // Single pass: consumed entries are compacted out of argv in place, so
+  // the caller's own flag loop runs over what is left.
+  int W = 1;
+  bool Ok = true;
+  auto Value = [&](int &I, const char *Flag, std::string &V) {
+    if (I + 1 >= Argc) {
+      Err = std::string("flag '") + Flag + "' needs a value";
+      Ok = false;
+      return false;
+    }
+    V = Argv[++I];
+    return true;
+  };
+  for (int I = 1; I < Argc && Ok; ++I) {
+    std::string A = Argv[I];
+    std::string V;
+    if (A == "--config") {
+      if (!Value(I, "--config", V))
+        break;
+      Out.Config = V;
+    } else if (A == "--jobs") {
+      if (!Value(I, "--jobs", V))
+        break;
+      Out.Jobs = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+    } else if (A == "--timeout-ms") {
+      if (!Value(I, "--timeout-ms", V))
+        break;
+      Out.TimeoutMs = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (A == "--mem-limit-mb") {
+      if (!Value(I, "--mem-limit-mb", V))
+        break;
+      Out.Opts.MemLimitMb = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (A == "--max-retries") {
+      if (!Value(I, "--max-retries", V))
+        break;
+      Out.Opts.MaxRetries =
+          static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+    } else if (A == "--max-refine-steps") {
+      if (!Value(I, "--max-refine-steps", V))
+        break;
+      Out.Opts.MaxRefineSteps = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (A == "--chaos-seed") {
+      if (!Value(I, "--chaos-seed", V))
+        break;
+      Out.Opts.ChaosSeed = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (A == "--no-incremental") {
+      Out.Opts.NoIncremental = true;
+    } else if (A == "--verify") {
+      Out.Opts.VerifyResult = true;
+    } else {
+      Argv[W++] = Argv[I]; // Not ours: keep for the caller.
+      continue;
+    }
+  }
+  if (!Ok) {
+    Argc = W;
+    return false;
+  }
+  Argc = W;
+
+  // Fold the engine configuration in, preserving the runtime knobs the
+  // flag loop above may already have set on Out.Opts.
+  auto Parsed = SolverOptions::parse(Out.Config);
+  if (!Parsed) {
+    Err = "unknown configuration '" + Out.Config + "'";
+    return false;
+  }
+  SolverOptions Knobs = Out.Opts;
+  Out.Opts = *Parsed;
+  Out.Opts.MemLimitMb = Knobs.MemLimitMb;
+  Out.Opts.MaxRetries = Knobs.MaxRetries;
+  Out.Opts.MaxRefineSteps = Knobs.MaxRefineSteps;
+  Out.Opts.ChaosSeed = Knobs.ChaosSeed;
+  Out.Opts.NoIncremental = Knobs.NoIncremental;
+  Out.Opts.VerifyResult = Knobs.VerifyResult;
+  return true;
 }

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace mucyc {
 
@@ -142,6 +143,43 @@ struct SolverOptions {
     return MbpStrategy::LazyProject;
   }
 };
+
+/// The solver-relevant command-line surface shared by `mucyc`,
+/// `mucyc-fuzz`, `mucyc-serve` and `mucyc-client`: one parser, one set of
+/// flag names, identical semantics everywhere. Tool-specific flags
+/// (positional paths, --portfolio, fuzz knobs) stay with each tool;
+/// parseSolverOptions() consumes only the flags below and compacts argv so
+/// the tool's own loop never sees them.
+struct CliOptions {
+  SolverOptions Opts;              ///< --config + runtime-knob overlays.
+  std::string Config = "Ret(T,MBP(1))"; ///< The raw --config value.
+  unsigned Jobs = 0;               ///< --jobs (0 = hardware).
+  uint64_t TimeoutMs = 600000;     ///< --timeout-ms (per solve/job).
+
+  /// Re-serializes exactly the flags parseSolverOptions() consumes, in a
+  /// fixed order, omitting defaults. parse(toFlags()) round-trips.
+  std::vector<std::string> toFlags() const;
+};
+
+/// Parses the shared flags out of (argc, argv), filling \p Out and
+/// REMOVING the consumed entries from argv (argc is updated), so callers
+/// handle only their own flags afterwards. Recognized:
+///
+///   --config NAME          paper-style configuration (parse() grammar)
+///   --jobs N               worker threads
+///   --timeout-ms N         per-solve deadline
+///   --mem-limit-mb N       cooperative memory budget
+///   --max-retries N        recovery-ladder retries
+///   --max-refine-steps N   refinement-step budget (deterministic CI runs)
+///   --chaos-seed S         deterministic fault injection
+///   --no-incremental       disable the incremental SMT backend
+///   --verify               verify answers before reporting
+///
+/// Returns false (and fills \p Err) on a malformed value — e.g. an unknown
+/// --config name or a flag missing its argument. Unrecognized flags are
+/// left in argv untouched.
+bool parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
+                        std::string &Err);
 
 } // namespace mucyc
 

@@ -381,7 +381,7 @@ OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
   NormalizedChc N = buildPipeline(Local);
   ChcStatus Truth = bmcStatus(Ctx, N, Knobs.BmcDepth);
 
-  std::vector<SolveJob> Batch;
+  std::vector<SolveRequest> Batch;
   for (const char *Name : EngineConfigs) {
     auto Opts = SolverOptions::parse(Name);
     assert(Opts && "bad engine config name");
@@ -389,20 +389,21 @@ OracleOutcome mucyc::checkEngineAgreement(const ChcSystem &Sys,
     Opts->MaxDepth = Knobs.MaxDepth;
     Opts->VerifyResult = true;
     Opts->NoIncremental = Knobs.NoIncremental;
-    SolveJob J;
-    J.Opts = *Opts;
+    SolveRequest R = SolveRequest::fromBuilder(
+        [Text](TermContext &C) {
+          ParseResult PR = parseChc(C, Text);
+          assert(PR.Ok && "probe-validated text failed to parse");
+          return buildPipeline(*PR.System);
+        },
+        *Opts);
     // No wall-clock deadline: the refine-step budget is the cutoff, so a
-    // job's status is a deterministic function of the instance.
-    J.DeadlineMs = 0;
-    J.Build = [Text](TermContext &C) {
-      ParseResult PR = parseChc(C, Text);
-      assert(PR.Ok && "probe-validated text failed to parse");
-      return buildPipeline(*PR.System);
-    };
-    Batch.push_back(std::move(J));
+    // job's status is a deterministic function of the instance. NoStore
+    // keeps oracle verdicts independent of any result cache.
+    R.NoStore = true;
+    Batch.push_back(std::move(R));
   }
   Scheduler Sched(Knobs.Jobs);
-  std::vector<SolveJobOutcome> Out = Sched.run(Batch);
+  std::vector<SolveResponse> Out = Sched.run(Batch);
 
   std::vector<ChcStatus> Statuses;
   for (size_t I = 0; I < Out.size(); ++I) {
@@ -477,7 +478,7 @@ OracleOutcome mucyc::checkChaosResilience(const ChcSystem &Sys,
   // degraded-retry ladder enabled. Refine-step budgets only — the verdicts
   // are deterministic functions of (Sys, Knobs, ChaosSeed).
   auto MakeBatch = [&](bool Chaos) {
-    std::vector<SolveJob> Batch;
+    std::vector<SolveRequest> Batch;
     for (size_t E = 0; E < std::size(EngineConfigs); ++E) {
       auto Opts = SolverOptions::parse(EngineConfigs[E]);
       assert(Opts && "bad engine config name");
@@ -490,21 +491,21 @@ OracleOutcome mucyc::checkChaosResilience(const ChcSystem &Sys,
         Opts->ChaosSeed = S ? S : 1;
         Opts->MaxRetries = 2;
       }
-      SolveJob J;
-      J.Opts = *Opts;
-      J.DeadlineMs = 0;
-      J.Build = [Text](TermContext &C) {
-        ParseResult PR = parseChc(C, Text);
-        assert(PR.Ok && "probe-validated text failed to parse");
-        return buildPipeline(*PR.System);
-      };
-      Batch.push_back(std::move(J));
+      SolveRequest R = SolveRequest::fromBuilder(
+          [Text](TermContext &C) {
+            ParseResult PR = parseChc(C, Text);
+            assert(PR.Ok && "probe-validated text failed to parse");
+            return buildPipeline(*PR.System);
+          },
+          *Opts);
+      R.NoStore = true;
+      Batch.push_back(std::move(R));
     }
     return Batch;
   };
   Scheduler Sched(Knobs.Jobs);
-  std::vector<SolveJobOutcome> Ref = Sched.run(MakeBatch(false));
-  std::vector<SolveJobOutcome> Cha = Sched.run(MakeBatch(true));
+  std::vector<SolveResponse> Ref = Sched.run(MakeBatch(false));
+  std::vector<SolveResponse> Cha = Sched.run(MakeBatch(true));
 
   const bool Mangled = Hooks && Hooks->MangleEngine;
   std::vector<ChcStatus> ChaosSt;

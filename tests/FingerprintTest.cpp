@@ -1,0 +1,131 @@
+//===- tests/FingerprintTest.cpp - Canonical fingerprint tests ------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The result store's cache key: the fingerprint must be invariant under
+// alpha-renaming (predicate and variable names, and hence VarIds and
+// interning order) and under commutative-argument reordering, stable across
+// contexts and processes, and must separate structurally different systems.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Fingerprint.h"
+#include "chc/Parser.h"
+#include "chc/Preprocess.h"
+
+#include <gtest/gtest.h>
+
+using namespace mucyc;
+
+namespace {
+
+/// The frontend pipeline a textual submission goes through before it is
+/// fingerprinted: parse, preprocess, normalize.
+NormalizedChc buildText(TermContext &Ctx, const std::string &Text) {
+  ParseResult PR = parseChc(Ctx, Text);
+  EXPECT_TRUE(PR.Ok) << PR.Error;
+  ChcSystem Work = preprocess(*PR.System);
+  return normalize(Work).Sys;
+}
+
+ChcFingerprint fpOf(const std::string &Text) {
+  TermContext Ctx;
+  NormalizedChc N = buildText(Ctx, Text);
+  return fingerprintNormalized(Ctx, N);
+}
+
+const char *CounterSat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (< x 5) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 100)) false)))
+(check-sat)
+)";
+
+/// CounterSat with the predicate and every bound variable renamed.
+const char *CounterSatRenamed = R"((set-logic HORN)
+(declare-fun Reach (Int) Bool)
+(assert (forall ((a Int)) (=> (= a 0) (Reach a))))
+(assert (forall ((a Int) (b Int))
+  (=> (and (Reach a) (< a 5) (= b (+ a 1))) (Reach b))))
+(assert (forall ((a Int)) (=> (and (Reach a) (> a 100)) false)))
+(check-sat)
+)";
+
+/// CounterSat with commutative arguments permuted: `and` conjuncts and the
+/// `+` addends swapped. Same system modulo commutativity.
+const char *CounterSatShuffled = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (< x 5) (= y (+ 1 x)) (Inv x)) (Inv y))))
+(assert (forall ((x Int)) (=> (and (> x 100) (Inv x)) false)))
+(check-sat)
+)";
+
+/// Structurally different: the guard constant changed.
+const char *CounterSatOtherBound = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (< x 5) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 101)) false)))
+(check-sat)
+)";
+
+/// Structurally different: unsat variant (bad region is reachable).
+const char *CounterUnsat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 2)) false)))
+(check-sat)
+)";
+
+} // namespace
+
+TEST(FingerprintTest, DeterministicAcrossContexts) {
+  // Two independent parses of the same text: different contexts, same
+  // interning history, equal fingerprints — and a nonzero one.
+  ChcFingerprint A = fpOf(CounterSat);
+  ChcFingerprint B = fpOf(CounterSat);
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A.Hi != 0 || A.Lo != 0);
+}
+
+TEST(FingerprintTest, InvariantUnderAlphaRenaming) {
+  // The acceptance scenario of the serve cache: a resubmission with every
+  // predicate and variable renamed must key to the same entry.
+  EXPECT_EQ(fpOf(CounterSat), fpOf(CounterSatRenamed));
+}
+
+TEST(FingerprintTest, InvariantUnderCommutativeReordering) {
+  EXPECT_EQ(fpOf(CounterSat), fpOf(CounterSatShuffled));
+}
+
+TEST(FingerprintTest, SeparatesDistinctSystems) {
+  ChcFingerprint Base = fpOf(CounterSat);
+  EXPECT_NE(Base, fpOf(CounterSatOtherBound));
+  EXPECT_NE(Base, fpOf(CounterUnsat));
+  EXPECT_NE(fpOf(CounterSatOtherBound), fpOf(CounterUnsat));
+}
+
+TEST(FingerprintTest, InterningOrderCannotLeak) {
+  // Parse an unrelated system first so every term of the second parse gets
+  // different TermRef indices; the fingerprint must not notice.
+  TermContext Warm;
+  buildText(Warm, CounterUnsat);
+  NormalizedChc N = buildText(Warm, CounterSat);
+  EXPECT_EQ(fingerprintNormalized(Warm, N), fpOf(CounterSat));
+}
+
+TEST(FingerprintTest, HexIs32LowercaseDigits) {
+  std::string H = fpOf(CounterSat).hex();
+  ASSERT_EQ(H.size(), 32u);
+  for (char C : H)
+    EXPECT_TRUE((C >= '0' && C <= '9') || (C >= 'a' && C <= 'f')) << H;
+}

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 using namespace mucyc;
 
 TEST(OptionsTest, PaperNames) {
@@ -79,4 +82,115 @@ TEST(OptionsTest, MbpStrategyMapping) {
   EXPECT_EQ(O.mbpStrategy(), MbpStrategy::ModelDiagram);
   O.Cex = CexMethod::Qe;
   EXPECT_EQ(O.mbpStrategy(), MbpStrategy::FullQe);
+}
+
+//===----------------------------------------------------------------------===//
+// Shared CLI flag layer (parseSolverOptions / CliOptions::toFlags)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs parseSolverOptions over a mutable argv built from \p Flags
+/// (argv[0] = "tool"). Returns the leftover argv entries after compaction.
+std::vector<std::string> parseFlags(const std::vector<std::string> &Flags,
+                                    CliOptions &Out, std::string &Err,
+                                    bool &Ok) {
+  std::vector<std::string> Storage = Flags;
+  std::vector<char *> Argv;
+  static char Tool[] = "tool";
+  Argv.push_back(Tool);
+  for (std::string &S : Storage)
+    Argv.push_back(S.data());
+  int Argc = static_cast<int>(Argv.size());
+  Ok = parseSolverOptions(Argc, Argv.data(), Out, Err);
+  std::vector<std::string> Left;
+  for (int I = 1; I < Argc; ++I)
+    Left.push_back(Argv[I]);
+  return Left;
+}
+
+} // namespace
+
+TEST(OptionsTest, CliFlagsRoundTrip) {
+  // toFlags() -> parseSolverOptions() must reproduce the CliOptions; this
+  // is what keeps flag semantics identical across mucyc, mucyc-fuzz,
+  // mucyc-serve and mucyc-client.
+  CliOptions A;
+  A.Config = "Ind(Yld(T,MBP(2)))";
+  A.Jobs = 6;
+  A.TimeoutMs = 2500;
+  A.Opts = *SolverOptions::parse(A.Config);
+  A.Opts.MemLimitMb = 512;
+  A.Opts.MaxRetries = 3;
+  A.Opts.MaxRefineSteps = 77;
+  A.Opts.ChaosSeed = 9;
+  A.Opts.NoIncremental = true;
+  A.Opts.VerifyResult = true;
+
+  std::vector<std::string> Flags = A.toFlags();
+  CliOptions B;
+  std::string Err;
+  bool Ok = false;
+  std::vector<std::string> Left = parseFlags(Flags, B, Err, Ok);
+  ASSERT_TRUE(Ok) << Err;
+  EXPECT_TRUE(Left.empty()); // Every flag is a shared flag.
+
+  EXPECT_EQ(B.Config, A.Config);
+  EXPECT_EQ(B.Jobs, A.Jobs);
+  EXPECT_EQ(B.TimeoutMs, A.TimeoutMs);
+  EXPECT_EQ(B.Opts.name(), A.Opts.name());
+  EXPECT_EQ(B.Opts.MemLimitMb, A.Opts.MemLimitMb);
+  EXPECT_EQ(B.Opts.MaxRetries, A.Opts.MaxRetries);
+  EXPECT_EQ(B.Opts.MaxRefineSteps, A.Opts.MaxRefineSteps);
+  EXPECT_EQ(B.Opts.ChaosSeed, A.Opts.ChaosSeed);
+  EXPECT_EQ(B.Opts.NoIncremental, A.Opts.NoIncremental);
+  EXPECT_EQ(B.Opts.VerifyResult, A.Opts.VerifyResult);
+  // And the re-emitted flags are identical — a full fixpoint.
+  EXPECT_EQ(B.toFlags(), Flags);
+}
+
+TEST(OptionsTest, CliDefaultsEmitNoFlags) {
+  CliOptions A;
+  EXPECT_TRUE(A.toFlags().empty());
+  CliOptions B;
+  std::string Err;
+  bool Ok = false;
+  parseFlags({}, B, Err, Ok);
+  ASSERT_TRUE(Ok);
+  EXPECT_EQ(B.Config, "Ret(T,MBP(1))");
+  EXPECT_EQ(B.TimeoutMs, 600000u);
+  EXPECT_EQ(B.Jobs, 0u);
+}
+
+TEST(OptionsTest, CliLeavesUnrecognizedFlagsInPlace) {
+  CliOptions B;
+  std::string Err;
+  bool Ok = false;
+  std::vector<std::string> Left = parseFlags(
+      {"--portfolio", "Solve,Naive", "--jobs", "2", "pos.smt2"}, B, Err, Ok);
+  ASSERT_TRUE(Ok) << Err;
+  EXPECT_EQ(B.Jobs, 2u);
+  ASSERT_EQ(Left.size(), 3u); // Compacted in order, holes closed.
+  EXPECT_EQ(Left[0], "--portfolio");
+  EXPECT_EQ(Left[1], "Solve,Naive");
+  EXPECT_EQ(Left[2], "pos.smt2");
+}
+
+TEST(OptionsTest, CliErrorsAreTyped) {
+  CliOptions B;
+  std::string Err;
+  bool Ok = true;
+  parseFlags({"--config"}, B, Err, Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Err.find("needs a value"), std::string::npos) << Err;
+
+  Err.clear();
+  parseFlags({"--config", "NoSuchEngine"}, B, Err, Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Err.find("unknown configuration"), std::string::npos) << Err;
+
+  Err.clear();
+  parseFlags({"--timeout-ms"}, B, Err, Ok);
+  EXPECT_FALSE(Ok);
+  EXPECT_NE(Err.find("--timeout-ms"), std::string::npos) << Err;
 }

@@ -1,0 +1,289 @@
+//===- tests/RequestTest.cpp - Unified solve job API tests ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers solveRequest(): cold solves through the recovery ladder, the
+// fingerprint-keyed result store in front of it (memory and disk tiers,
+// alpha-renamed hits, verify-before-serve, poisoned-entry recovery), and
+// certificate (de)serialization round trips.
+//
+//===----------------------------------------------------------------------===//
+
+#include "chc/Fingerprint.h"
+#include "chc/Parser.h"
+#include "chc/Preprocess.h"
+#include "runtime/Request.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+using namespace mucyc;
+
+namespace {
+
+const char *CounterSat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (< x 5) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 100)) false)))
+(check-sat)
+)";
+
+const char *CounterSatRenamed = R"((set-logic HORN)
+(declare-fun Reach (Int) Bool)
+(assert (forall ((a Int)) (=> (= a 0) (Reach a))))
+(assert (forall ((a Int) (b Int))
+  (=> (and (Reach a) (< a 5) (= b (+ a 1))) (Reach b))))
+(assert (forall ((a Int)) (=> (and (Reach a) (> a 100)) false)))
+(check-sat)
+)";
+
+const char *CounterUnsat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 2)) false)))
+(check-sat)
+)";
+
+/// A fresh scratch directory under the build tree, removed on destruction.
+struct TempDir {
+  std::string Path;
+  explicit TempDir(const char *Tag) {
+    Path = (std::filesystem::temp_directory_path() /
+            (std::string("mucyc-request-test-") + Tag + "-" +
+             std::to_string(::getpid())))
+               .string();
+    std::filesystem::remove_all(Path);
+  }
+  ~TempDir() { std::filesystem::remove_all(Path); }
+};
+
+SolveRequest textRequest(const char *Text) {
+  return SolveRequest::fromText(Text, SolverOptions());
+}
+
+} // namespace
+
+TEST(RequestTest, ColdSolveSatAndUnsat) {
+  SolveResponse Sat = solveRequest(textRequest(CounterSat));
+  EXPECT_EQ(Sat.Status, ChcStatus::Sat);
+  EXPECT_EQ(Sat.Cache, CacheSource::None);
+  EXPECT_GE(Sat.Attempts, 1u);
+  EXPECT_TRUE(Sat.Invariant.isValid());
+  ASSERT_TRUE(Sat.Ctx != nullptr);
+
+  SolveResponse Unsat = solveRequest(textRequest(CounterUnsat));
+  EXPECT_EQ(Unsat.Status, ChcStatus::Unsat);
+  EXPECT_TRUE(Unsat.CexPiece.isValid());
+}
+
+TEST(RequestTest, ParseFailureIsTypedInputError) {
+  SolveResponse R = solveRequest(textRequest("(assert (not-a-horn"));
+  EXPECT_EQ(R.Status, ChcStatus::Unknown);
+  EXPECT_TRUE(R.Error.isError());
+  EXPECT_EQ(R.Error.Code, ErrorCode::InputError);
+}
+
+TEST(RequestTest, EmptyRequestIsInputError) {
+  SolveRequest Req; // Neither Source nor Build.
+  SolveResponse R = solveRequest(Req);
+  EXPECT_EQ(R.Status, ChcStatus::Unknown);
+  EXPECT_EQ(R.Error.Code, ErrorCode::InputError);
+}
+
+TEST(RequestTest, WantSolutionRendersDefineFun) {
+  SolveRequest Req = textRequest(CounterSat);
+  Req.WantSolution = true;
+  SolveResponse R = solveRequest(Req);
+  ASSERT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_NE(R.SolutionText.find("(define-fun Inv "), std::string::npos)
+      << R.SolutionText;
+}
+
+TEST(RequestTest, KeepContextFalseDropsCertificates) {
+  SolveRequest Req = textRequest(CounterSat);
+  Req.KeepContext = false;
+  SolveResponse R = solveRequest(Req);
+  EXPECT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_TRUE(R.Ctx == nullptr);
+  EXPECT_FALSE(R.Invariant.isValid());
+}
+
+TEST(RequestTest, MemoryTierServesIdenticalAndRenamedResubmissions) {
+  ResultStore Store; // Memory tier only.
+  SolveResponse Cold = solveRequest(textRequest(CounterSat), &Store, nullptr);
+  ASSERT_EQ(Cold.Status, ChcStatus::Sat);
+  EXPECT_EQ(Cold.Cache, CacheSource::None);
+  ASSERT_FALSE(Cold.Fingerprint.empty());
+  EXPECT_EQ(Store.counters().Inserts, 1u);
+
+  SolveResponse Warm = solveRequest(textRequest(CounterSat), &Store, nullptr);
+  EXPECT_EQ(Warm.Status, ChcStatus::Sat);
+  EXPECT_EQ(Warm.Cache, CacheSource::Memory);
+  EXPECT_EQ(Warm.Attempts, 0u); // Served, not solved.
+  EXPECT_TRUE(Warm.CacheVerified);
+  EXPECT_EQ(Warm.Fingerprint, Cold.Fingerprint);
+
+  // The tentpole scenario: alpha-renamed resubmission hits the same entry
+  // and the served certificate still passes Verify against *its* parse.
+  SolveResponse Renamed =
+      solveRequest(textRequest(CounterSatRenamed), &Store, nullptr);
+  EXPECT_EQ(Renamed.Status, ChcStatus::Sat);
+  EXPECT_EQ(Renamed.Cache, CacheSource::Memory);
+  EXPECT_EQ(Renamed.Attempts, 0u);
+  EXPECT_TRUE(Renamed.CacheVerified);
+  EXPECT_EQ(Renamed.Fingerprint, Cold.Fingerprint);
+  EXPECT_TRUE(Renamed.Invariant.isValid());
+}
+
+TEST(RequestTest, UnsatCertificatesAreCachedToo) {
+  ResultStore Store;
+  SolveResponse Cold = solveRequest(textRequest(CounterUnsat), &Store, nullptr);
+  ASSERT_EQ(Cold.Status, ChcStatus::Unsat);
+  SolveResponse Warm = solveRequest(textRequest(CounterUnsat), &Store, nullptr);
+  EXPECT_EQ(Warm.Status, ChcStatus::Unsat);
+  EXPECT_EQ(Warm.Attempts, 0u);
+  EXPECT_TRUE(Warm.CexPiece.isValid());
+}
+
+TEST(RequestTest, DiskTierSurvivesStoreRestart) {
+  TempDir Dir("disk");
+  std::string Fp;
+  {
+    ResultStore Store(Dir.Path);
+    SolveResponse Cold =
+        solveRequest(textRequest(CounterSat), &Store, nullptr);
+    ASSERT_EQ(Cold.Status, ChcStatus::Sat);
+    Fp = Cold.Fingerprint;
+  }
+  // A new store on the same directory models a daemon restart: the entry
+  // comes back from disk, is re-verified once, then serves from memory.
+  ResultStore Store2(Dir.Path);
+  SolveResponse Warm = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(Warm.Status, ChcStatus::Sat);
+  EXPECT_EQ(Warm.Cache, CacheSource::Disk);
+  EXPECT_TRUE(Warm.CacheVerified);
+  EXPECT_EQ(Warm.Fingerprint, Fp);
+
+  SolveResponse Again = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(Again.Cache, CacheSource::Memory);
+}
+
+TEST(RequestTest, CorruptDiskEntryFallsThroughToColdSolve) {
+  TempDir Dir("corrupt");
+  std::string Fp;
+  {
+    ResultStore Store(Dir.Path);
+    Fp = solveRequest(textRequest(CounterSat), &Store, nullptr).Fingerprint;
+    ASSERT_FALSE(Fp.empty());
+  }
+  {
+    // Garble the certificate on disk. The restarted store must reject the
+    // entry (parse or verify failure), erase it, and answer cold.
+    std::ofstream Out(Dir.Path + "/" + Fp + ".mucyc-result");
+    Out << "mucyc-result-v1\nstatus: sat\ndepth: 1\nconfig: X\n"
+        << "zsorts: Int\ncert: (not (a valid term\n";
+  }
+  ResultStore Store2(Dir.Path);
+  SolveResponse R = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_EQ(R.Cache, CacheSource::None);
+  EXPECT_GE(R.Attempts, 1u);
+  // And the cold answer re-admitted a good entry.
+  SolveResponse Warm = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(Warm.Attempts, 0u);
+}
+
+TEST(RequestTest, WrongStatusEntryFailsVerifyAndIsDropped) {
+  TempDir Dir("poison");
+  std::string Fp, GoodCert;
+  {
+    ResultStore Store(Dir.Path);
+    SolveResponse Cold =
+        solveRequest(textRequest(CounterSat), &Store, nullptr);
+    Fp = Cold.Fingerprint;
+    auto E = Store.lookup(Fp);
+    ASSERT_TRUE(E.has_value());
+    GoodCert = E->Cert;
+  }
+  {
+    // A well-formed entry whose certificate does not verify: claim the sat
+    // system is unsat with a trivially-unreachable "bad region". The store
+    // must refuse to serve it (verify-before-serve) and recover cold.
+    std::ofstream Out(Dir.Path + "/" + Fp + ".mucyc-result");
+    Out << "mucyc-result-v1\nstatus: unsat\ndepth: 0\nconfig: X\n"
+        << "zsorts: Int\ncert: (= mz0 (- 7))\n";
+  }
+  ResultStore Store2(Dir.Path);
+  SolveResponse R = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_EQ(R.Cache, CacheSource::None);
+  EXPECT_GE(Store2.counters().Rejects, 1u);
+  (void)GoodCert;
+}
+
+TEST(RequestTest, NoStoreBypassesTheCache) {
+  ResultStore Store;
+  SolveRequest Req = textRequest(CounterSat);
+  Req.NoStore = true;
+  SolveResponse R = solveRequest(Req, &Store, nullptr);
+  EXPECT_EQ(R.Status, ChcStatus::Sat);
+  EXPECT_TRUE(R.Fingerprint.empty());
+  EXPECT_EQ(Store.counters().Inserts, 0u);
+}
+
+TEST(RequestTest, TagsAreEchoed) {
+  SolveRequest Req = textRequest(CounterSat);
+  Req.Tags = "suite=fig2 shard=3";
+  EXPECT_EQ(solveRequest(Req).Tags, "suite=fig2 shard=3");
+}
+
+TEST(RequestTest, CertificateSerializationRoundTrips) {
+  // serializeCert renders over canonical mz0..mzN names; parseCert maps
+  // them back onto the requester's Z tuple. Round-tripping through a
+  // *fresh* context must produce a formula Verify accepts.
+  TermContext Ctx;
+  ParseResult PR = parseChc(Ctx, CounterSat);
+  ASSERT_TRUE(PR.Ok);
+  ChcSystem Work = preprocess(*PR.System);
+  NormalizedChc N = normalize(Work).Sys;
+
+  // A real invariant over this context's Z tuple (the normalized encoding
+  // is tagged, so hand-writing one would bake in encoding details).
+  ChcSolver S(Ctx, N, SolverOptions());
+  SolverResult R = S.solve();
+  ASSERT_EQ(R.Status, ChcStatus::Sat);
+  ASSERT_TRUE(R.Invariant.isValid());
+
+  std::string Text = ResultStore::serializeCert(Ctx, N, R.Invariant);
+  EXPECT_NE(Text.find("mz"), std::string::npos) << Text;
+
+  std::string Err;
+  TermRef Back = ResultStore::parseCert(Ctx, N, Text, &Err);
+  ASSERT_TRUE(Back.isValid()) << Err;
+  EXPECT_TRUE(verifyInvariant(Ctx, N, Back));
+}
+
+TEST(RequestTest, ParseCertRejectsMalformedText) {
+  TermContext Ctx;
+  ParseResult PR = parseChc(Ctx, CounterSat);
+  ASSERT_TRUE(PR.Ok);
+  ChcSystem Work = preprocess(*PR.System);
+  NormalizedChc N = normalize(Work).Sys;
+
+  std::string Err;
+  EXPECT_FALSE(ResultStore::parseCert(Ctx, N, "(((", &Err).isValid());
+  EXPECT_FALSE(Err.empty());
+  // Wrong arity: a formula over a variable the Z tuple does not have.
+  EXPECT_FALSE(
+      ResultStore::parseCert(Ctx, N, "(= mz7 0)", nullptr).isValid());
+}

@@ -1,0 +1,408 @@
+//===- tests/ServeTest.cpp - Solving service protocol tests ---------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the serve layer: the wire codec (message format, length-prefixed
+// framing, malformed / truncated / oversized frames), and a ServeDaemon
+// driven over socketpairs — solve round trips with cache provenance,
+// connections surviving bad frames, concurrent clients, mid-job client
+// disconnect cancelling the job, and the daemon surviving a job that
+// crashes under fault injection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Serve.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace mucyc;
+
+namespace {
+
+const char *CounterSat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (< x 5) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 100)) false)))
+(check-sat)
+)";
+
+const char *CounterSatRenamed = R"((set-logic HORN)
+(declare-fun Reach (Int) Bool)
+(assert (forall ((a Int)) (=> (= a 0) (Reach a))))
+(assert (forall ((a Int) (b Int))
+  (=> (and (Reach a) (< a 5) (= b (+ a 1))) (Reach b))))
+(assert (forall ((a Int)) (=> (and (Reach a) (> a 100)) false)))
+(check-sat)
+)";
+
+const char *CounterUnsat = R"((set-logic HORN)
+(declare-fun Inv (Int) Bool)
+(assert (forall ((x Int)) (=> (= x 0) (Inv x))))
+(assert (forall ((x Int) (y Int))
+  (=> (and (Inv x) (= y (+ x 1))) (Inv y))))
+(assert (forall ((x Int)) (=> (and (Inv x) (> x 2)) false)))
+(check-sat)
+)";
+
+/// Paper Example 5 (x' = 2x): sat, but the Solve baseline diverges on it —
+/// no finite exact reach set — so with no deadline it runs until cancelled.
+const char *DivergesUnderSolve = R"((set-logic HORN)
+(declare-fun P (Int) Bool)
+(assert (forall ((x Int)) (=> (and (>= x 2) (<= x 8)) (P x))))
+(assert (forall ((x Int) (y Int)) (=> (and (P x) (= y (* 2 x))) (P y))))
+(assert (forall ((x Int)) (=> (and (P x) (< x (- 5))) false)))
+(check-sat)
+)";
+
+/// A daemon plus one in-process "connection": the daemon side of a
+/// socketpair is served on a background thread, the test drives the client
+/// side with framed messages.
+struct TestConn {
+  int Client = -1;
+  int Server = -1;
+  std::thread Thread;
+
+  explicit TestConn(ServeDaemon &D) {
+    int Sp[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+    Client = Sp[0];
+    Server = Sp[1];
+    Thread = std::thread([&D, Fd = Server] { D.serveConnection(Fd, Fd); });
+  }
+  ~TestConn() { closeAndJoin(); }
+
+  void closeAndJoin() {
+    if (Client >= 0) {
+      ::close(Client);
+      Client = -1;
+    }
+    if (Thread.joinable())
+      Thread.join();
+    if (Server >= 0) {
+      ::close(Server);
+      Server = -1;
+    }
+  }
+
+  /// One framed round trip; EXPECTs a well-formed reply.
+  WireMessage roundTrip(const WireMessage &M) {
+    EXPECT_TRUE(writeFrame(Client, formatWireMessage(M)));
+    std::string Payload;
+    EXPECT_EQ(readFrame(Client, Payload, 1u << 24), FrameStatus::Ok);
+    WireMessage R;
+    std::string Err;
+    EXPECT_TRUE(parseWireMessage(Payload, R, &Err)) << Err;
+    return R;
+  }
+
+  WireMessage solve(const char *Text,
+                    std::map<std::string, std::string> Headers = {}) {
+    WireMessage M;
+    M.Verb = "solve";
+    M.Headers = std::move(Headers);
+    // Bound every engine run so a test instance can never hang the suite;
+    // the budget is far above what these tiny systems need.
+    M.Headers.emplace("max-refine-steps", "2000");
+    M.Body = Text;
+    return roundTrip(M);
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wire codec
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, FormatParseRoundTrip) {
+  WireMessage M;
+  M.Verb = "solve";
+  M.Headers["config"] = "Yld(T,MBP(2))";
+  M.Headers["deadline-ms"] = "1500";
+  M.Body = "(set-logic HORN)\nbody with\nnewlines\n";
+  WireMessage R;
+  std::string Err;
+  ASSERT_TRUE(parseWireMessage(formatWireMessage(M), R, &Err)) << Err;
+  EXPECT_EQ(R.Verb, M.Verb);
+  EXPECT_EQ(R.Headers, M.Headers);
+  EXPECT_EQ(R.Body, M.Body);
+  EXPECT_EQ(R.header("config"), "Yld(T,MBP(2))");
+  EXPECT_EQ(R.header("absent", "dflt"), "dflt");
+}
+
+TEST(WireCodecTest, ParseRejectsEmptyAndSkipsJunkHeaders) {
+  WireMessage R;
+  std::string Err;
+  EXPECT_FALSE(parseWireMessage("", R, &Err));
+  EXPECT_FALSE(Err.empty());
+  // Junk header lines (no ": ") are skipped, not fatal.
+  ASSERT_TRUE(parseWireMessage("ping\ngarbage-line\na: b\n\nrest", R, &Err));
+  EXPECT_EQ(R.Verb, "ping");
+  EXPECT_EQ(R.header("a"), "b");
+  EXPECT_EQ(R.Body, "rest");
+}
+
+TEST(WireCodecTest, FramesRoundTripOverASocket) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Sent(100000, 'x');
+  Sent[0] = '\0'; // Binary-safe framing.
+  ASSERT_TRUE(writeFrame(Sp[0], Sent));
+  std::string Got;
+  EXPECT_EQ(readFrame(Sp[1], Got, 1u << 20), FrameStatus::Ok);
+  EXPECT_EQ(Got, Sent);
+  ::close(Sp[0]);
+  EXPECT_EQ(readFrame(Sp[1], Got, 1u << 20), FrameStatus::Eof);
+  ::close(Sp[1]);
+}
+
+TEST(WireCodecTest, TruncatedFrameIsDetected) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  // Header promises 100 bytes, the peer dies after 10.
+  unsigned char Hdr[4] = {0, 0, 0, 100};
+  ASSERT_EQ(::write(Sp[0], Hdr, 4), 4);
+  ASSERT_EQ(::write(Sp[0], "0123456789", 10), 10);
+  ::close(Sp[0]);
+  std::string Got;
+  EXPECT_EQ(readFrame(Sp[1], Got, 1u << 20), FrameStatus::Truncated);
+  ::close(Sp[1]);
+}
+
+TEST(WireCodecTest, OversizedFrameIsDrainedAndRejected) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Big(9000, 'y');
+  std::thread Writer([&] {
+    // The 9 KB payload exceeds the reader's socket buffer slack plus the
+    // 1 KB limit; write from a thread so the drain can make progress.
+    writeFrame(Sp[0], Big);
+    writeFrame(Sp[0], "after");
+  });
+  std::string Got;
+  EXPECT_EQ(readFrame(Sp[1], Got, 1024), FrameStatus::Oversized);
+  // The stream is still framed: the next frame reads cleanly.
+  EXPECT_EQ(readFrame(Sp[1], Got, 1024), FrameStatus::Ok);
+  EXPECT_EQ(Got, "after");
+  Writer.join();
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Daemon over socketpairs
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemonTest, PingStatsAndUnknownVerb) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+  EXPECT_EQ(C.roundTrip([] {
+             WireMessage M;
+             M.Verb = "ping";
+             return M;
+           }()).Verb,
+            "pong");
+  WireMessage S = C.roundTrip([] {
+    WireMessage M;
+    M.Verb = "stats";
+    return M;
+  }());
+  EXPECT_EQ(S.Verb, "stats");
+  EXPECT_EQ(S.header("requests"), "0");
+  WireMessage Bad;
+  Bad.Verb = "frobnicate";
+  WireMessage R = C.roundTrip(Bad);
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_NE(R.header("detail").find("unknown verb"), std::string::npos);
+}
+
+TEST(ServeDaemonTest, SolvesAndServesRenamedResubmissionFromCache) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+
+  WireMessage Cold = C.solve(CounterSat);
+  ASSERT_EQ(Cold.Verb, "result");
+  EXPECT_EQ(Cold.header("status"), "sat");
+  EXPECT_EQ(Cold.header("cache"), "cold");
+  ASSERT_EQ(Cold.header("fingerprint").size(), 32u);
+
+  // The acceptance scenario: an alpha-renamed resubmission on a warm daemon
+  // is served from the store, Verify-certified, without running an engine.
+  WireMessage Warm = C.solve(CounterSatRenamed);
+  EXPECT_EQ(Warm.header("status"), "sat");
+  EXPECT_EQ(Warm.header("cache"), "mem-hit");
+  EXPECT_EQ(Warm.header("verified"), "1");
+  EXPECT_EQ(Warm.header("attempts"), "0");
+  EXPECT_EQ(Warm.header("fingerprint"), Cold.header("fingerprint"));
+
+  WireMessage Unsat = C.solve(CounterUnsat);
+  EXPECT_EQ(Unsat.header("status"), "unsat");
+
+  EXPECT_EQ(D.stats().Requests.load(), 3u);
+  EXPECT_EQ(D.stats().CacheHits.load(), 1u);
+  EXPECT_EQ(D.stats().Definitive.load(), 3u);
+}
+
+TEST(ServeDaemonTest, SolveHeadersDriveOptionsAndErrors) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+
+  WireMessage R = C.solve(CounterSat, {{"config", "NoSuchEngine"}});
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_NE(R.header("detail").find("unknown configuration"),
+            std::string::npos);
+
+  R = C.solve(CounterSat, {{"config", "Yld(T,MBP(1))"},
+                           {"want-solution", "1"},
+                           {"tags", "t=1"}});
+  EXPECT_EQ(R.header("status"), "sat");
+  EXPECT_EQ(R.header("tags"), "t=1");
+  EXPECT_NE(R.Body.find("(define-fun Inv "), std::string::npos) << R.Body;
+
+  // A malformed body is a typed input error on the response, not a dead
+  // connection — and the daemon keeps serving afterwards.
+  R = C.solve("(assert (not-a-horn");
+  EXPECT_EQ(R.Verb, "result");
+  EXPECT_EQ(R.header("status"), "unknown");
+  EXPECT_NE(R.header("error").find("input-error"), std::string::npos);
+  EXPECT_EQ(C.solve(CounterSat).header("status"), "sat");
+}
+
+TEST(ServeDaemonTest, ConnectionSurvivesBadAndOversizedFrames) {
+  ServeOptions SO;
+  SO.MaxFrameBytes = 4096;
+  ServeDaemon D(SO);
+  TestConn C(D);
+
+  // Unparseable payload: error frame, connection stays up.
+  ASSERT_TRUE(writeFrame(C.Client, ""));
+  std::string Payload;
+  ASSERT_EQ(readFrame(C.Client, Payload, 1u << 20), FrameStatus::Ok);
+  WireMessage R;
+  ASSERT_TRUE(parseWireMessage(Payload, R, nullptr));
+  EXPECT_EQ(R.Verb, "error");
+
+  // Oversized frame: drained, rejected, connection stays up.
+  std::string Big = "solve\n\n" + std::string(8192, 'z');
+  std::thread Writer([&] { writeFrame(C.Client, Big); });
+  ASSERT_EQ(readFrame(C.Client, Payload, 1u << 20), FrameStatus::Ok);
+  Writer.join();
+  ASSERT_TRUE(parseWireMessage(Payload, R, nullptr));
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_NE(R.header("detail").find("size limit"), std::string::npos);
+  EXPECT_EQ(D.stats().BadFrames.load(), 2u);
+
+  // The framed stream is intact: a real request still solves.
+  EXPECT_EQ(C.solve(CounterSat).header("status"), "sat");
+}
+
+TEST(ServeDaemonTest, TruncatedFrameClosesTheConnection) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+  unsigned char Hdr[4] = {0, 0, 1, 0}; // Promise 256 bytes...
+  ASSERT_EQ(::write(C.Client, Hdr, 4), 4);
+  ASSERT_EQ(::write(C.Client, "short", 5), 5); // ...deliver 5, then die.
+  ::close(C.Client);
+  C.Client = -1;
+  C.closeAndJoin(); // The serve thread must exit on its own.
+  EXPECT_EQ(D.stats().BadFrames.load(), 1u);
+}
+
+TEST(ServeDaemonTest, ConcurrentClientsGetTheirOwnAnswers) {
+  ServeOptions SO;
+  SO.Jobs = 4;
+  ServeDaemon D(SO);
+
+  constexpr int NClients = 4, NRounds = 3;
+  std::vector<std::unique_ptr<TestConn>> Conns;
+  for (int I = 0; I < NClients; ++I)
+    Conns.push_back(std::make_unique<TestConn>(D));
+
+  std::vector<std::thread> Drivers;
+  std::vector<int> Failures(NClients, 0);
+  for (int I = 0; I < NClients; ++I)
+    Drivers.emplace_back([&, I] {
+      for (int Round = 0; Round < NRounds; ++Round) {
+        // Odd clients ask the unsat system, even the sat one; a response
+        // crossing connections would flip a verdict.
+        const char *Text = (I % 2) ? CounterUnsat : CounterSat;
+        const char *Want = (I % 2) ? "unsat" : "sat";
+        WireMessage R = Conns[I]->solve(Text);
+        if (R.header("status") != Want)
+          ++Failures[I];
+      }
+    });
+  for (std::thread &T : Drivers)
+    T.join();
+  for (int I = 0; I < NClients; ++I)
+    EXPECT_EQ(Failures[I], 0) << "client " << I;
+  EXPECT_EQ(D.stats().Requests.load(), unsigned(NClients * NRounds));
+}
+
+TEST(ServeDaemonTest, MidJobDisconnectCancelsTheJob) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+
+  // A job that never finishes on its own: the Solve baseline diverging on
+  // Example 5, no deadline, no refine-step budget. Send it, then vanish.
+  WireMessage M;
+  M.Verb = "solve";
+  M.Headers["config"] = "Solve";
+  M.Body = DivergesUnderSolve;
+  ASSERT_TRUE(writeFrame(C.Client, formatWireMessage(M)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(D.stats().Cancelled.load(), 0u);
+
+  ::close(C.Client);
+  C.Client = -1;
+  // The connection thread polls the socket while the job runs; the hangup
+  // must cancel the job and let the thread exit. joinable join() hangs the
+  // test on failure, so this *is* the assertion.
+  C.closeAndJoin();
+  EXPECT_EQ(D.stats().Cancelled.load(), 1u);
+}
+
+TEST(ServeDaemonTest, DaemonSurvivesCrashingJobs) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+
+  // Fault injection with no retries: injected failures escape the engine
+  // as typed errors. Whatever each seed does — crash to unknown or survive
+  // to a verdict — the daemon must keep answering.
+  for (uint64_t Seed = 1; Seed <= 5; ++Seed) {
+    WireMessage R = C.solve(
+        CounterUnsat, {{"chaos-seed", std::to_string(Seed)},
+                       {"max-retries", "0"},
+                       {"no-store", "1"}});
+    ASSERT_EQ(R.Verb, "result") << "seed " << Seed;
+    std::string St = R.header("status");
+    EXPECT_TRUE(St == "unsat" || St == "unknown") << St;
+    EXPECT_EQ(C.roundTrip([] {
+               WireMessage P;
+               P.Verb = "ping";
+               return P;
+             }()).Verb,
+              "pong")
+        << "daemon died after seed " << Seed;
+  }
+  // With the ladder enabled faults may still exhaust the retry budget, but
+  // they must only ever degrade the verdict to unknown — never flip it.
+  WireMessage R = C.solve(CounterUnsat, {{"chaos-seed", "1"},
+                                         {"max-retries", "3"},
+                                         {"no-store", "1"}});
+  std::string St = R.header("status");
+  EXPECT_TRUE(St == "unsat" || St == "unknown") << St;
+  // And a clean job right after is entirely unaffected.
+  EXPECT_EQ(C.solve(CounterUnsat, {{"no-store", "1"}}).header("status"),
+            "unsat");
+}
