@@ -1,0 +1,219 @@
+//===- bench/portfolio_coop.cpp - Cooperative vs. blind portfolio ---------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The lemma-exchange experiment: run a fixed engine portfolio over paper
+// instances twice — blind (every member solves solo) and cooperative (the
+// same members attached to one LemmaExchange bus, importing each other's
+// core-minimized frame lemmas) — and compare the summed SMT checks to a
+// definitive answer.
+//
+// Members run SEQUENTIALLY in config order in both modes, with refine-step
+// budgets instead of wall-clock deadlines, so both sums are pure functions
+// of the configuration: the ratio printed here is byte-reproducible and CI
+// enforces a no-regression floor on it (--min-ratio, default 1.5). The
+// sequential schedule is also the honest way to count work — a threaded
+// race would conflate the exchange's effect with scheduling noise (see
+// EXPERIMENTS.md).
+//
+//   portfolio_coop [--refine-budget N] [--min-ratio R] [--json FILE]
+//
+// Exit status: 0 when every definitive verdict matches ground truth in
+// both modes AND the cooperative mode meets the floor; 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+#include "runtime/Exchange.h"
+#include "solver/ChcSolve.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace mucyc;
+
+namespace {
+
+// SpacerTS runs first: it converges quickly on the suite below and seeds
+// the bus, so the trace engines behind it import a useful frame library
+// instead of exploring from scratch.
+const char *Configs[] = {"SpacerTS(fig1)", "Ret(T,MBP(1))", "Yld(T,MBP(1))"};
+constexpr size_t K = sizeof(Configs) / sizeof(Configs[0]);
+
+/// The tree-shaped max counter (z' = max(x, y) + 1 from z = 0, bad z == B)
+/// at bounds where the blind portfolio's trace members burn their whole
+/// refine budget on the deep counterexample search — the regime the
+/// exchange exists for. Same shape as the suite's treemax family, at
+/// bounds the suite does not carry.
+NormalizedChc treeMax(TermContext &C, int64_t B) {
+  TermRef X = C.mkFreshVar("tm!x", Sort::Int);
+  TermRef Y = C.mkFreshVar("tm!y", Sort::Int);
+  TermRef Z = C.mkFreshVar("tm!z", Sort::Int);
+  auto I = [&](int64_t V) { return C.mkIntConst(V); };
+  return makeNormalized(
+      C, {C.node(X).Var}, {C.node(Y).Var}, {C.node(Z).Var},
+      C.mkEq(Z, I(0)),
+      C.mkOr(C.mkAnd(C.mkGe(X, Y), C.mkEq(Z, C.mkAdd(X, I(1)))),
+             C.mkAnd(C.mkLt(X, Y), C.mkEq(Z, C.mkAdd(Y, I(1))))),
+      C.mkEq(Z, I(B)));
+}
+
+struct ModeRow {
+  uint64_t SmtChecks = 0;
+  uint64_t Published = 0;
+  uint64_t Imported = 0;
+  uint64_t Rejected = 0;
+  uint64_t CoreShrink = 0;
+  std::string Verdicts; // "unsat/unsat/unknown" in config order.
+  bool Wrong = false;   // Some definitive verdict contradicted ground truth.
+};
+
+/// Solves \p B once per config, sequentially; \p Bus non-null means the
+/// members share lemmas over it (fresh bus per instance).
+ModeRow runMode(const BenchInstance &B, uint64_t RefineBudget,
+                LemmaExchange *Bus) {
+  ModeRow Row;
+  for (size_t I = 0; I < K; ++I) {
+    TermContext C;
+    NormalizedChc N = B.Build(C);
+    SolverOptions Opts = *SolverOptions::parse(Configs[I]);
+    Opts.MaxRefineSteps = RefineBudget;
+    if (Bus) {
+      Opts.ShareLemmas = true;
+      Opts.Share = Bus->port(I);
+    }
+    ChcSolver S(C, N, Opts);
+    SolverResult R = S.solve();
+    Row.SmtChecks += R.Stats.SmtChecks;
+    Row.Published += R.Stats.LemmasPublished;
+    Row.Imported += R.Stats.LemmasImported;
+    Row.Rejected += R.Stats.LemmasRejected;
+    Row.CoreShrink += R.Stats.CoreShrink;
+    if (I)
+      Row.Verdicts += "/";
+    Row.Verdicts += chcStatusName(R.Status);
+    if (R.Status != ChcStatus::Unknown && R.Status != B.Expected)
+      Row.Wrong = true;
+  }
+  return Row;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t RefineBudget = 300;
+  double MinRatio = 1.5;
+  std::string JsonPath = "BENCH_portfolio.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--refine-budget") && I + 1 < Argc)
+      RefineBudget = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--min-ratio") && I + 1 < Argc)
+      MinRatio = std::strtod(Argv[++I], nullptr);
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: portfolio_coop [--refine-budget N] "
+                   "[--min-ratio R] [--json FILE]\n");
+      return 1;
+    }
+  }
+
+  struct Pick {
+    const char *Name;
+    std::function<NormalizedChc(TermContext &)> Build;
+    ChcStatus Expected;
+  };
+  // Two groups. The paper systems are easy for every member: they bound
+  // the exchange's overhead (admission re-checks cost a handful of checks
+  // and buy little). The deep treemax instances are where cooperation
+  // pays: blind, the trace engines diverge into their refine budget; on
+  // the bus, SpacerTS's frame library prunes their search by several
+  // hundred checks each. The floor is on the SUM, so the overhead of the
+  // easy group is paid inside the ratio, not hidden.
+  std::vector<Pick> Picks = {
+      {"paper_ex4", [](TermContext &C) { return paperExample4(C); },
+       ChcStatus::Unsat},
+      {"paper_ex5", [](TermContext &C) { return paperExample5(C); },
+       ChcStatus::Sat},
+      {"appendixC", [](TermContext &C) { return appendixCSystem(C); },
+       ChcStatus::Unsat},
+      {"mccarthy91", [](TermContext &C) { return mcCarthy91(C); },
+       ChcStatus::Sat},
+      {"treemax_10", [](TermContext &C) { return treeMax(C, 10); },
+       ChcStatus::Unsat},
+      {"treemax_12", [](TermContext &C) { return treeMax(C, 12); },
+       ChcStatus::Unsat},
+      {"treemax_14", [](TermContext &C) { return treeMax(C, 14); },
+       ChcStatus::Unsat},
+  };
+
+  uint64_t BlindTotal = 0, CoopTotal = 0;
+  bool Sound = true;
+  std::string Rows;
+  for (const Pick &P : Picks) {
+    BenchInstance B{P.Name, "paper", true, P.Expected, P.Build};
+    ModeRow Blind = runMode(B, RefineBudget, nullptr);
+    LemmaExchange Bus(K);
+    ModeRow Coop = runMode(B, RefineBudget, &Bus);
+    BlindTotal += Blind.SmtChecks;
+    CoopTotal += Coop.SmtChecks;
+    Sound = Sound && !Blind.Wrong && !Coop.Wrong;
+
+    char Buf[512];
+    std::snprintf(
+        Buf, sizeof(Buf),
+        "    {\"name\": \"%s\", \"blind_checks\": %llu, "
+        "\"coop_checks\": %llu, \"blind_verdicts\": \"%s\", "
+        "\"coop_verdicts\": \"%s\", \"published\": %llu, "
+        "\"imported\": %llu, \"rejected\": %llu, \"core_shrink\": %llu}",
+        P.Name, static_cast<unsigned long long>(Blind.SmtChecks),
+        static_cast<unsigned long long>(Coop.SmtChecks),
+        Blind.Verdicts.c_str(), Coop.Verdicts.c_str(),
+        static_cast<unsigned long long>(Coop.Published),
+        static_cast<unsigned long long>(Coop.Imported),
+        static_cast<unsigned long long>(Coop.Rejected),
+        static_cast<unsigned long long>(Coop.CoreShrink));
+    if (!Rows.empty())
+      Rows += ",\n";
+    Rows += Buf;
+    std::printf("%-12s blind=%-8llu coop=%-8llu (%s -> %s)\n", P.Name,
+                static_cast<unsigned long long>(Blind.SmtChecks),
+                static_cast<unsigned long long>(Coop.SmtChecks),
+                Blind.Verdicts.c_str(), Coop.Verdicts.c_str());
+  }
+
+  double Ratio = CoopTotal ? static_cast<double>(BlindTotal) /
+                                 static_cast<double>(CoopTotal)
+                           : 0.0;
+  std::printf("total blind=%llu coop=%llu ratio=%.2fx (floor %.2fx) %s\n",
+              static_cast<unsigned long long>(BlindTotal),
+              static_cast<unsigned long long>(CoopTotal), Ratio, MinRatio,
+              Sound ? "" : "[UNSOUND VERDICT]");
+
+  std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+  if (F) {
+    std::fprintf(F,
+                 "{\n  \"configs\": [\"%s\", \"%s\", \"%s\"],\n"
+                 "  \"refine_budget\": %llu,\n  \"instances\": [\n%s\n  ],\n"
+                 "  \"blind_total_checks\": %llu,\n"
+                 "  \"coop_total_checks\": %llu,\n"
+                 "  \"checks_ratio\": %.4f,\n  \"min_ratio\": %.2f,\n"
+                 "  \"sound\": %s\n}\n",
+                 Configs[0], Configs[1], Configs[2],
+                 static_cast<unsigned long long>(RefineBudget), Rows.c_str(),
+                 static_cast<unsigned long long>(BlindTotal),
+                 static_cast<unsigned long long>(CoopTotal), Ratio, MinRatio,
+                 Sound ? "true" : "false");
+    std::fclose(F);
+  } else {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+
+  return (Sound && Ratio >= MinRatio) ? 0 : 1;
+}

@@ -11,7 +11,8 @@
 // byte-identical stdout, so a (seed, n) pair in a bug report reproduces the
 // exact failing instance anywhere.
 //
-//   mucyc-fuzz [--seed S] [--n N] [--domains smt,mbp,itp,chc,inc,chaos]
+//   mucyc-fuzz [--seed S] [--n N]
+//              [--domains smt,mbp,itp,chc,inc,chaos,share]
 //              [--repro-dir DIR] [--no-shrink] [--refine-budget N]
 //              [--clauses N] [--coeff-mag N] [--jobs N]
 //              [--no-incremental] [--verdicts FILE] [--chaos-seed S]
@@ -28,7 +29,10 @@
 // The chaos domain (off by default) solves each generated system clean and
 // under deterministic fault injection and requires that faults only ever
 // degrade verdicts, never flip them; --chaos-seed fixes the root of the
-// fault-schedule streams (default: derived from --seed).
+// fault-schedule streams (default: derived from --seed). The share domain
+// (also off by default) solves each generated system blind and with all
+// engines cooperating over a lemma-exchange bus and requires that sharing
+// never flips a verdict either.
 //
 // Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors
 // (internal errors surface as "uncaught-*" violations, not aborts).
@@ -50,7 +54,7 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: mucyc-fuzz [--seed S] [--n N]\n"
-      "                  [--domains smt,mbp,itp,chc,inc,chaos]\n"
+      "                  [--domains smt,mbp,itp,chc,inc,chaos,share]\n"
       "                  [--repro-dir DIR] [--no-shrink]\n"
       "                  [--refine-budget N] [--clauses N] [--coeff-mag N]\n"
       "                  [--jobs N] [--no-incremental] [--verdicts FILE]\n"
@@ -61,7 +65,7 @@ static void usage() {
 }
 
 static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
-  D = FuzzDomains{false, false, false, false, false, false};
+  D = FuzzDomains{false, false, false, false, false, false, false};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -79,13 +83,15 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
       D.Inc = true;
     else if (Name == "chaos")
       D.Chaos = true;
+    else if (Name == "share")
+      D.Share = true;
     else
       return false;
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
   }
-  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos;
+  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos || D.Share;
 }
 
 int main(int Argc, char **Argv) {

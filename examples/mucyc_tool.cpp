@@ -20,13 +20,16 @@
 //         [--print-solution] [--verify] [--stats] [--store-dir DIR]
 //         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
 //         [--mem-limit-mb N] [--max-retries N] [--max-refine-steps N]
-//         [--chaos-seed S]
+//         [--chaos-seed S] [--share-lemmas] [--share-import-budget N]
 //
 // The shared solver flags (--config, --jobs, --timeout-ms, --mem-limit-mb,
 // --max-retries, --max-refine-steps, --chaos-seed, --no-incremental,
-// --verify) are parsed by solver/Options.h parseSolverOptions(), the same
-// helper mucyc-fuzz, mucyc-serve and mucyc-client use, so flag semantics
-// are identical across the tools.
+// --verify, --share-lemmas, --share-import-budget) are parsed by
+// solver/Options.h parseSolverOptions(), the same helper mucyc-fuzz,
+// mucyc-serve and mucyc-client use, so flag semantics are identical across
+// the tools. --share-lemmas only does something under --portfolio: the
+// members exchange core-minimized frame lemmas over a shared bus, each
+// re-checking a peer's lemma in its own context before admitting it.
 //
 // Exit status: 0 solved (sat/unsat), 1 unknown, 2 usage/input error,
 // 3 internal error (a diagnostic line is printed; never an uncaught
@@ -58,6 +61,7 @@ static void usage() {
       "             [--no-incremental] [--mem-limit-mb N]\n"
       "             [--max-retries N] [--max-refine-steps N] "
       "[--chaos-seed S]\n"
+      "             [--share-lemmas] [--share-import-budget N]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
@@ -65,7 +69,8 @@ static void usage() {
       "--portfolio races the listed configs (first sat/unsat answer wins\n"
       "and cancels the rest); --jobs bounds its concurrency (default:\n"
       "one thread per member); --store-dir caches certified answers by\n"
-      "the system's canonical fingerprint\n");
+      "the system's canonical fingerprint; --share-lemmas makes the\n"
+      "members cooperate by exchanging re-checked frame lemmas\n");
 }
 
 static int runMain(int Argc, char **Argv) {
@@ -144,6 +149,15 @@ static int runMain(int Argc, char **Argv) {
                  static_cast<unsigned long long>(S.ItpCalls),
                  static_cast<unsigned long long>(S.RefineCalls),
                  static_cast<unsigned long long>(S.Retries));
+    if (S.LemmasPublished || S.LemmasImported || S.LemmasRejected ||
+        S.CoreShrink)
+      std::fprintf(stderr,
+                   ";%s lemmas: published=%llu imported=%llu rejected=%llu "
+                   "core-shrink=%llu\n",
+                   Tag, static_cast<unsigned long long>(S.LemmasPublished),
+                   static_cast<unsigned long long>(S.LemmasImported),
+                   static_cast<unsigned long long>(S.LemmasRejected),
+                   static_cast<unsigned long long>(S.CoreShrink));
   };
   auto PrintError = [](const ErrorInfo &E) {
     if (E.isError())
@@ -173,6 +187,8 @@ static int runMain(int Argc, char **Argv) {
       O.MaxRetries = Cli.Opts.MaxRetries;
       O.MaxRefineSteps = Cli.Opts.MaxRefineSteps;
       O.ChaosSeed = Cli.Opts.ChaosSeed;
+      O.ShareLemmas = Cli.Opts.ShareLemmas;
+      O.ShareImportBudget = Cli.Opts.ShareImportBudget;
     }
 
     PortfolioResult PR2 =
@@ -184,17 +200,22 @@ static int runMain(int Argc, char **Argv) {
               .c_str(),
           stdout);
     if (Stats) {
-      std::fprintf(stderr, "; portfolio winner=%s wall=%.3fs\n",
+      std::fprintf(stderr, "; portfolio winner=%s wall=%.3fs shared=%llu\n",
                    PR2.WinnerIndex >= 0 ? PR2.WinnerConfig.c_str() : "none",
-                   PR2.Seconds);
+                   PR2.Seconds,
+                   static_cast<unsigned long long>(PR2.SharedLemmas));
       for (const PortfolioMemberReport &M : PR2.Members) {
         std::fprintf(stderr,
-                     ";   %-24s %-8s%s%s %8.3fs smt=%llu attempts=%u\n",
+                     ";   %-24s %-8s%s%s %8.3fs smt=%llu attempts=%u"
+                     " pub=%llu imp=%llu rej=%llu\n",
                      M.Config.c_str(), chcStatusName(M.Status),
                      M.Winner ? " [winner]" : "",
                      M.Cancelled ? " [cancelled]" : "", M.Seconds,
                      static_cast<unsigned long long>(M.Stats.SmtChecks),
-                     M.Attempts);
+                     M.Attempts,
+                     static_cast<unsigned long long>(M.Stats.LemmasPublished),
+                     static_cast<unsigned long long>(M.Stats.LemmasImported),
+                     static_cast<unsigned long long>(M.Stats.LemmasRejected));
         if (M.Error.isError())
           std::fprintf(stderr, ";     error: %s\n",
                        M.Error.describe().c_str());

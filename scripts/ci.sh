@@ -4,6 +4,7 @@
 #
 #   scripts/ci.sh [build-dir]          # default gate (build + ctest + fuzz)
 #   scripts/ci.sh --asan [build-dir]   # same gate under AddressSanitizer
+#   scripts/ci.sh --tsan [build-dir]   # same gate under ThreadSanitizer
 #
 # The fuzz leg runs mucyc-fuzz twice with the same fixed seed and requires
 # the reports to be byte-identical — the determinism contract every
@@ -14,31 +15,52 @@
 # byte-compares the per-instance chc consensus verdicts against the
 # default run: the incremental backend (solver pool + query cache) must
 # be verdict-equivalent to fresh solvers on the whole suite.
-# A final chaos leg solves a fixed-seed batch under deterministic fault
+# A chaos leg solves a fixed-seed batch under deterministic fault
 # injection (twice, byte-compared): injected faults may only degrade
 # verdicts, never flip them or crash the runtime.
+# The share legs cover the cooperative portfolio: a fixed-seed blind-vs-
+# cooperative fuzz batch (twice, byte-compared — the share oracle runs its
+# members sequentially, so its report is deterministic), a fixed suite run
+# through the real threaded portfolio with --share-lemmas on and off whose
+# verdict lines must be byte-identical (sharing may rescue members, never
+# flip an answer), the portfolio_coop benchmark enforcing the cooperative
+# no-regression floor on summed SMT checks (BENCH_portfolio.json), and —
+# in the default gate — the lemma-bus stress tests rebuilt and rerun under
+# ThreadSanitizer.
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
 
 ASAN=0
+TSAN=0
 if [ "${1:-}" = "--asan" ]; then
   ASAN=1
+  shift
+elif [ "${1:-}" = "--tsan" ]; then
+  TSAN=1
   shift
 fi
 BUILD=${1:-build}
 if [ "$ASAN" = 1 ]; then
   BUILD=${1:-build-asan}
+elif [ "$TSAN" = 1 ]; then
+  BUILD=${1:-build-tsan}
 fi
 
 FUZZ_SEED=20240801
 FUZZ_N=500
 CHAOS_SEED=20240802
 CHAOS_N=300
+SHARE_SEED=20240803
+SHARE_N=120
+SHARE_BUDGET=300
+SHARE_PORTFOLIO="SpacerTS(fig1),Ret(T,MBP(1)),Yld(T,MBP(1))"
 
 echo "== configure ($BUILD) =="
 if [ "$ASAN" = 1 ]; then
   cmake -B "$BUILD" -S . -DMUCYC_SANITIZE=address
+elif [ "$TSAN" = 1 ]; then
+  cmake -B "$BUILD" -S . -DMUCYC_SANITIZE=thread
 else
   cmake -B "$BUILD" -S .
 fi
@@ -117,6 +139,75 @@ if ! cmp -s "$OUT/chaos_a.txt" "$OUT/chaos_b.txt"; then
   exit 1
 fi
 tail -2 "$OUT/chaos_a.txt"
+
+echo "== share smoke: $SHARE_N blind-vs-cooperative instances, seed $SHARE_SEED =="
+# Every instance is solved blind and cooperatively (all engines on one
+# lemma-exchange bus); sharing may only degrade verdicts to Unknown, never
+# flip them. The oracle runs its members sequentially in config order, so
+# two same-seed runs must be byte-identical.
+run_share() {
+  "$BUILD"/examples/mucyc-fuzz --domains share --seed "$SHARE_SEED" \
+    --n "$SHARE_N" --repro-dir "$1"
+}
+if ! run_share "$OUT/share_repros" >"$OUT/share_a.txt"; then
+  cat "$OUT/share_a.txt"
+  echo "FAIL: share oracle violations; repros in $OUT/share_repros/" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --domains share" \
+       "--seed $SHARE_SEED --n $SHARE_N" >&2
+  trap - EXIT
+  exit 1
+fi
+run_share "$OUT/share_repros2" >"$OUT/share_b.txt"
+if ! cmp -s "$OUT/share_a.txt" "$OUT/share_b.txt"; then
+  diff -u "$OUT/share_a.txt" "$OUT/share_b.txt" | head -40 >&2
+  echo "FAIL: share report is not deterministic" >&2
+  exit 1
+fi
+tail -2 "$OUT/share_a.txt"
+
+echo "== share portfolio: --share-lemmas must not change suite verdicts =="
+# The real threaded portfolio over the exported suite, with and without
+# the exchange, under the same deterministic refine budget. Every member's
+# own outcome is budget-bounded and deterministic, so the printed verdict
+# is too — and sharing is only allowed to change who wins and how much work
+# the race does, never what it answers.
+"$BUILD"/examples/export_suite "$OUT/share_suite" >/dev/null
+ls "$OUT/share_suite"/*.smt2 >"$OUT/share_files.txt"
+run_suite_portfolio() { # $1 = extra flags, $2 = out file
+  while read -r F; do
+    # shellcheck disable=SC2086
+    S=$("$BUILD"/examples/mucyc --portfolio "$SHARE_PORTFOLIO" \
+        --max-refine-steps "$SHARE_BUDGET" $1 "$F" || true)
+    echo "$(basename "$F") $S"
+  done <"$OUT/share_files.txt" >"$2"
+}
+run_suite_portfolio "" "$OUT/blind_verdicts.txt"
+run_suite_portfolio "--share-lemmas" "$OUT/coop_verdicts.txt"
+if ! cmp -s "$OUT/blind_verdicts.txt" "$OUT/coop_verdicts.txt"; then
+  diff -u "$OUT/blind_verdicts.txt" "$OUT/coop_verdicts.txt" | head -40 >&2
+  echo "FAIL: --share-lemmas changed a portfolio verdict" >&2
+  exit 1
+fi
+echo "share portfolio: $(wc -l <"$OUT/blind_verdicts.txt") instances," \
+     "verdicts identical with and without the exchange"
+
+echo "== cooperative benchmark: no-regression floor on summed SMT checks =="
+# Blind vs. cooperative over the fixed instance mix; writes
+# BENCH_portfolio.json at the repo root and fails below the 1.5x floor or
+# on any unsound verdict.
+"$BUILD"/bench/portfolio_coop --json BENCH_portfolio.json
+
+if [ "$ASAN" = 0 ] && [ "$TSAN" = 0 ]; then
+  echo "== tsan: lemma-bus stress under ThreadSanitizer =="
+  # The concurrent half of the exchange (the share oracle and the CI legs
+  # above run members sequentially for determinism) is raced here: rebuild
+  # the test suite with -fsanitize=thread and run the exchange tests,
+  # including the publish/fetch stress and a real threaded cooperative
+  # race.
+  cmake -B build-tsan -S . -DMUCYC_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$(nproc)" --target mucyc_tests
+  (cd build-tsan && ctest -R 'ExchangeTest' --output-on-failure)
+fi
 
 echo "== serve smoke: daemon replay must match offline verdicts =="
 # Start mucyc-serve on a UNIX socket with a fresh store, replay the

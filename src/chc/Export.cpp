@@ -8,6 +8,9 @@
 
 #include "chc/Parser.h"
 
+#include <sstream>
+#include <unordered_map>
+
 using namespace mucyc;
 
 ChcSystem mucyc::chcFromNormalized(TermContext &Ctx, const NormalizedChc &N,
@@ -51,4 +54,65 @@ std::string mucyc::exportSmtLib(TermContext &Ctx, const NormalizedChc &N,
                                 const std::string &PredName) {
   ChcSystem Sys = chcFromNormalized(Ctx, N, PredName);
   return printSmtLib(Sys);
+}
+
+//===----------------------------------------------------------------------===
+// Alpha-canonical Z-formula wire format
+//===----------------------------------------------------------------------===
+
+std::string mucyc::serializeZFormula(TermContext &Ctx, const NormalizedChc &N,
+                                     TermRef Phi) {
+  // Substitute the Z tuple by canonically named variables so the rendering
+  // is independent of the producing context's naming history.
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < N.Z.size(); ++I) {
+    TermRef V = Ctx.mkVar("mz" + std::to_string(I), Ctx.varInfo(N.Z[I]).S);
+    Map.emplace(N.Z[I], V);
+  }
+  return Ctx.toString(Ctx.substitute(Phi, Map));
+}
+
+TermRef mucyc::parseZFormula(TermContext &Ctx, const NormalizedChc &N,
+                             const std::string &Text, std::string *Err) {
+  // Reuse the HORN parser by wrapping the formula as the constraint of a
+  // synthetic clause  (=> <phi> (mucycCert mz0 ... mzN))  — the parsed
+  // clause hands back the canonicalized formula and the binder variables in
+  // tuple order, which we then substitute by the requester's actual Z.
+  std::ostringstream Script;
+  Script << "(set-logic HORN)\n(declare-fun mucycCert (";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << (I ? " " : "") << sortName(Ctx.varInfo(N.Z[I]).S);
+  Script << ") Bool)\n(assert (forall (";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << (I ? " " : "") << "(mz" << I << " "
+           << sortName(Ctx.varInfo(N.Z[I]).S) << ")";
+  Script << ")\n  (=> " << Text << " (mucycCert";
+  for (size_t I = 0; I < N.Z.size(); ++I)
+    Script << " mz" << I;
+  Script << "))))\n";
+
+  ParseResult PR = parseChc(Ctx, Script.str());
+  if (!PR.Ok || PR.System->clauses().size() != 1) {
+    if (Err)
+      *Err = "formula does not parse: " +
+             (PR.Ok ? std::string("unexpected clause shape") : PR.Error);
+    return TermRef();
+  }
+  const Clause &C = PR.System->clauses()[0];
+  if (!C.Head || C.Head->Args.size() != N.Z.size() || !C.Body.empty()) {
+    if (Err)
+      *Err = "formula clause has the wrong shape";
+    return TermRef();
+  }
+  std::unordered_map<VarId, TermRef> Map;
+  for (size_t I = 0; I < N.Z.size(); ++I) {
+    const TermNode &Arg = Ctx.node(C.Head->Args[I]);
+    if (Arg.K != Kind::Var) {
+      if (Err)
+        *Err = "formula head argument is not a variable";
+      return TermRef();
+    }
+    Map.emplace(Arg.Var, Ctx.varTerm(N.Z[I]));
+  }
+  return Ctx.substitute(C.Constraint, Map);
 }

@@ -29,6 +29,27 @@ ChcSystem chcFromNormalized(TermContext &Ctx, const NormalizedChc &N,
 std::string exportSmtLib(TermContext &Ctx, const NormalizedChc &N,
                          const std::string &PredName = "P");
 
+//===----------------------------------------------------------------------===
+// Alpha-canonical Z-formula wire format
+//===----------------------------------------------------------------------===
+//
+// Z-formulas (certificates, frame lemmas) rendered over the canonical
+// variable names mz0..mzN, so two TermContexts that normalized the same
+// system — byte-identical or alpha-renamed, same fingerprint — can exchange
+// formulas as text regardless of their private naming histories. The result
+// store and the portfolio lemma exchange both speak this format.
+
+/// Renders \p Phi (a Z-formula of \p N) over the canonical names mz0..mzN,
+/// independent of the context's own names.
+std::string serializeZFormula(TermContext &Ctx, const NormalizedChc &N,
+                              TermRef Phi);
+
+/// Parses a serializeZFormula() rendering back into a Z-formula of \p N in
+/// \p Ctx. Returns an invalid TermRef and fills \p Err on malformed text —
+/// the exchange and the store must never trust a peer's bytes.
+TermRef parseZFormula(TermContext &Ctx, const NormalizedChc &N,
+                      const std::string &Text, std::string *Err);
+
 } // namespace mucyc
 
 #endif // MUCYC_CHC_EXPORT_H

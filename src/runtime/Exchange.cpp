@@ -1,0 +1,45 @@
+//===- runtime/Exchange.cpp - Portfolio lemma bus -------------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Exchange.h"
+
+using namespace mucyc;
+
+LemmaExchange::LemmaExchange(size_t Members) {
+  Ports.reserve(Members);
+  for (size_t I = 0; I < Members; ++I)
+    Ports.push_back(std::make_unique<Port>(*this, I));
+}
+
+size_t LemmaExchange::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Log.size();
+}
+
+void LemmaExchange::publish(size_t From, int Level, const std::string &Text) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Global dedup: the first publisher wins; a duplicate from another member
+  // would only cost every reader a parse + re-check for a lemma it already
+  // decided on.
+  if (!Dedup.insert(Text).second)
+    return;
+  Log.push_back(Entry{Level, Text, From});
+}
+
+uint64_t LemmaExchange::fetch(size_t Reader, uint64_t Cursor, unsigned Max,
+                              std::vector<SharedLemma> &Out) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t I = Cursor;
+  unsigned Taken = 0;
+  for (; I < Log.size() && Taken < Max; ++I) {
+    const Entry &E = Log[I];
+    if (E.From == Reader)
+      continue; // Own lemmas never round-trip.
+    Out.push_back(SharedLemma{E.Level, E.Text});
+    ++Taken;
+  }
+  return I;
+}

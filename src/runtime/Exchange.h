@@ -1,0 +1,82 @@
+//===- runtime/Exchange.h - Portfolio lemma bus -----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concurrent half of the cooperative portfolio (solver/Share.h): one
+/// LemmaExchange per race, one port per member. The bus is an append-only
+/// log of serialized lemmas with a global dedup set; members read through
+/// monotone cursors they own, so a member rebuilt by the retry ladder
+/// simply re-reads the log from zero in its fresh context. Everything a
+/// member learns from the bus is re-checked on its side before use, so the
+/// bus itself has no soundness obligations beyond not corrupting strings.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_RUNTIME_EXCHANGE_H
+#define MUCYC_RUNTIME_EXCHANGE_H
+
+#include "solver/Share.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+
+namespace mucyc {
+
+/// Shared lemma bus for one portfolio race. Thread-safe: publish and fetch
+/// take the same mutex; entries are immutable once appended.
+class LemmaExchange {
+public:
+  /// A bus with \p Members ports (member indices 0..Members-1).
+  explicit LemmaExchange(size_t Members);
+
+  /// The port member \p I hands to its SolverOptions::Share. Valid for the
+  /// lifetime of the exchange.
+  LemmaChannel *port(size_t I) { return Ports[I].get(); }
+
+  size_t members() const { return Ports.size(); }
+
+  /// Total entries in the log (all members; for reporting and tests).
+  size_t size() const;
+
+private:
+  struct Entry {
+    int Level;
+    std::string Text;
+    size_t From;
+  };
+
+  /// One member's view: tags publishes with the member index and filters
+  /// that index out on fetch, so nobody re-imports their own lemmas.
+  class Port : public LemmaChannel {
+  public:
+    Port(LemmaExchange &X, size_t Member) : X(X), Member(Member) {}
+    void publish(int Level, const std::string &Text) override {
+      X.publish(Member, Level, Text);
+    }
+    uint64_t fetch(uint64_t Cursor, unsigned Max,
+                   std::vector<SharedLemma> &Out) const override {
+      return X.fetch(Member, Cursor, Max, Out);
+    }
+
+  private:
+    LemmaExchange &X;
+    size_t Member;
+  };
+
+  void publish(size_t From, int Level, const std::string &Text);
+  uint64_t fetch(size_t Reader, uint64_t Cursor, unsigned Max,
+                 std::vector<SharedLemma> &Out) const;
+
+  mutable std::mutex Mu;
+  std::vector<Entry> Log;
+  std::unordered_set<std::string> Dedup; ///< Serialized texts already logged.
+  std::vector<std::unique_ptr<Port>> Ports;
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_RUNTIME_EXCHANGE_H

@@ -6,6 +6,7 @@
 
 #include "runtime/Portfolio.h"
 
+#include "runtime/Exchange.h"
 #include "runtime/ThreadPool.h"
 
 #include <chrono>
@@ -95,6 +96,11 @@ mucyc::racePortfolio(const SolveRequest &Base,
   };
   std::vector<MemberState> States(K);
 
+  // Cooperative mode: one lemma bus for the race, one port per member.
+  // The bus outlives the pool block below (members hold raw port pointers
+  // until join), and only members that asked for sharing get a port.
+  LemmaExchange Exchange(K);
+
   {
     // Default to one thread per member, even above the core count: a race
     // needs every member actually running or a diverging early member
@@ -115,6 +121,8 @@ mucyc::racePortfolio(const SolveRequest &Base,
         SolveRequest MR = Base;
         MR.Opts = Configs[I];
         MR.KeepContext = true;
+        if (MR.Opts.ShareLemmas)
+          MR.Opts.Share = Exchange.port(I);
         SolveResponse Resp = solveRequest(MR, Store, MemberToks[I]->flag());
         St.Ctx = Resp.Ctx;
         St.Res.Status = Resp.Status;
@@ -159,6 +167,7 @@ mucyc::racePortfolio(const SolveRequest &Base,
     R.WinnerConfig = R.Members[R.WinnerIndex].Config;
     R.WinnerCtx = States[R.WinnerIndex].Ctx;
   }
+  R.SharedLemmas = Exchange.size();
   R.Seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                             Start)
                   .count();

@@ -60,6 +60,9 @@ struct PortfolioResult {
   std::vector<PortfolioMemberReport> Members; ///< One per config, in order.
   SolveStats MergedStats; ///< Work done by ALL members (winners + losers).
   double Seconds = 0;     ///< Wall clock for the whole race.
+  /// Distinct lemmas that crossed the exchange bus (0 when no member ran
+  /// with ShareLemmas).
+  uint64_t SharedLemmas = 0;
 };
 
 /// Races \p Configs over the system of \p Base (its Source/Build, called

@@ -6,6 +6,7 @@
 
 #include "runtime/ResultStore.h"
 
+#include "chc/Export.h"
 #include "chc/Parser.h"
 
 #include <cstdio>
@@ -184,59 +185,15 @@ void ResultStore::storeFile(const std::string &Fp, const Entry &E) const {
 // Certificate (de)serialization
 //===----------------------------------------------------------------------===
 
+// Both directions are the shared alpha-canonical wire format of
+// chc/Export.h — the same rendering the portfolio lemma exchange speaks.
+
 std::string ResultStore::serializeCert(TermContext &Ctx,
                                        const NormalizedChc &N, TermRef Cert) {
-  // Substitute the Z tuple by canonically named variables so the rendering
-  // is independent of the producing context's naming history.
-  std::unordered_map<VarId, TermRef> Map;
-  for (size_t I = 0; I < N.Z.size(); ++I) {
-    TermRef V = Ctx.mkVar("mz" + std::to_string(I), Ctx.varInfo(N.Z[I]).S);
-    Map.emplace(N.Z[I], V);
-  }
-  return Ctx.toString(Ctx.substitute(Cert, Map));
+  return serializeZFormula(Ctx, N, Cert);
 }
 
 TermRef ResultStore::parseCert(TermContext &Ctx, const NormalizedChc &N,
                                const std::string &Text, std::string *Err) {
-  // Reuse the HORN parser by wrapping the formula as the constraint of a
-  // synthetic clause  (=> <cert> (mucycCert mz0 ... mzN))  — the parsed
-  // clause hands back the canonicalized formula and the binder variables in
-  // tuple order, which we then substitute by the requester's actual Z.
-  std::ostringstream Script;
-  Script << "(set-logic HORN)\n(declare-fun mucycCert (";
-  for (size_t I = 0; I < N.Z.size(); ++I)
-    Script << (I ? " " : "") << sortName(Ctx.varInfo(N.Z[I]).S);
-  Script << ") Bool)\n(assert (forall (";
-  for (size_t I = 0; I < N.Z.size(); ++I)
-    Script << (I ? " " : "") << "(mz" << I << " "
-           << sortName(Ctx.varInfo(N.Z[I]).S) << ")";
-  Script << ")\n  (=> " << Text << " (mucycCert";
-  for (size_t I = 0; I < N.Z.size(); ++I)
-    Script << " mz" << I;
-  Script << "))))\n";
-
-  ParseResult PR = parseChc(Ctx, Script.str());
-  if (!PR.Ok || PR.System->clauses().size() != 1) {
-    if (Err)
-      *Err = "certificate does not parse: " +
-             (PR.Ok ? std::string("unexpected clause shape") : PR.Error);
-    return TermRef();
-  }
-  const Clause &C = PR.System->clauses()[0];
-  if (!C.Head || C.Head->Args.size() != N.Z.size() || !C.Body.empty()) {
-    if (Err)
-      *Err = "certificate clause has the wrong shape";
-    return TermRef();
-  }
-  std::unordered_map<VarId, TermRef> Map;
-  for (size_t I = 0; I < N.Z.size(); ++I) {
-    const TermNode &Arg = Ctx.node(C.Head->Args[I]);
-    if (Arg.K != Kind::Var) {
-      if (Err)
-        *Err = "certificate head argument is not a variable";
-      return TermRef();
-    }
-    Map.emplace(Arg.Var, Ctx.varTerm(N.Z[I]));
-  }
-  return Ctx.substitute(C.Constraint, Map);
+  return parseZFormula(Ctx, N, Text, Err);
 }

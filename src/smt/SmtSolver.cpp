@@ -205,6 +205,48 @@ SmtStatus SmtSolver::check(const std::vector<TermRef> &Assumptions) {
   return SmtStatus::Unknown;
 }
 
+std::vector<TermRef>
+SmtSolver::minimizeCore(const std::vector<TermRef> &Assumptions,
+                        unsigned *Probes) {
+  unsigned Spent = 1;
+  std::vector<TermRef> Cur = Assumptions;
+  if (check(Cur) == SmtStatus::Unsat) {
+    // Seed from the solver's own core — already a (not necessarily
+    // minimal) subset.
+    Cur = unsatCore();
+    // Deletion loop: drop one element; if the rest stays Unsat, the
+    // element is permanently redundant and the probe's core reseeds the
+    // working set. A Sat or Unknown probe puts the element back.
+    for (size_t I = 0; I < Cur.size();) {
+      std::vector<TermRef> Probe;
+      Probe.reserve(Cur.size() - 1);
+      for (size_t J = 0; J < Cur.size(); ++J)
+        if (J != I)
+          Probe.push_back(Cur[J]);
+      ++Spent;
+      if (check(Probe) == SmtStatus::Unsat) {
+        std::vector<TermRef> Sub = unsatCore();
+        // unsatCore() preserves assumption order, so position I still
+        // points at the first not-yet-probed element.
+        Cur = std::move(Sub);
+      } else {
+        ++I;
+      }
+    }
+  }
+  if (Probes)
+    *Probes = Spent;
+  // Restore order as in the original assumption list (cosmetic: callers
+  // rebuild clauses from the subset and want stable renderings).
+  std::vector<TermRef> Out;
+  Out.reserve(Cur.size());
+  for (TermRef A : Assumptions)
+    if (std::find(Cur.begin(), Cur.end(), A) != Cur.end() &&
+        std::find(Out.begin(), Out.end(), A) == Out.end())
+      Out.push_back(A);
+  return Out;
+}
+
 std::optional<Model> SmtSolver::quickCheck(TermContext &Ctx,
                                            const std::vector<TermRef> &Conj) {
   SmtSolver S(Ctx);

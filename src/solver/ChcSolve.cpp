@@ -9,6 +9,7 @@
 #include "chc/Preprocess.h"
 #include "mbp/Qe.h"
 #include "solver/Refiner.h"
+#include "solver/Share.h"
 #include "solver/SolveBaseline.h"
 #include "solver/SpacerTs.h"
 #include "solver/Verify.h"
@@ -58,6 +59,21 @@ SolverResult ChcSolver::solveInductive() {
     ++E.Stats.Unfolds;
     if (Opts.OptInduction && T.depth() >= 1)
       (void)0; // Unfold-time induction runs inside the refiners.
+
+    // Cooperative portfolio: admit peers' lemmas at the unfold boundary.
+    // Mon traces maintain cell[d+1] => cell[d], so they only take lemmas
+    // inductive on their own, conjoined monotonically everywhere; plain
+    // traces admit per level against the live cells.
+    shareImportRound(
+        E,
+        E.Opts.OptMonotone ? ShareImportMode::Inductive
+                           : ShareImportMode::FrameRelative,
+        T.depth(), [&](int I) { return T.formula(I); },
+        [&](int K, TermRef L) {
+          T.strengthen(K, L, /*Monotone=*/E.Opts.OptMonotone);
+        });
+    if (E.Aborted)
+      break;
 
     // Line 5: refine against the assertion. Any counterexample piece
     // witnesses a reachable bad state, so UNSAT follows immediately.

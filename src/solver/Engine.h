@@ -22,6 +22,7 @@
 #include "solver/SolverPool.h"
 
 #include <chrono>
+#include <unordered_set>
 
 namespace mucyc {
 
@@ -40,6 +41,13 @@ struct SolveStats {
   /// configuration.
   uint64_t Retries = 0;
   uint64_t Degradations = 0;
+  /// Cooperative lemma exchange (solver/Share.h; all zero when sharing is
+  /// off): lemmas published to / admitted from / dropped by the bus, and
+  /// disjuncts removed by core-minimized publishing.
+  uint64_t LemmasPublished = 0;
+  uint64_t LemmasImported = 0;
+  uint64_t LemmasRejected = 0;
+  uint64_t CoreShrink = 0;
 
   /// Accumulates \p O counter-wise. The single merge point for portfolio
   /// members and retry attempts — new counters only need a line here.
@@ -54,6 +62,10 @@ struct SolveStats {
     Unfolds += O.Unfolds;
     Retries += O.Retries;
     Degradations += O.Degradations;
+    LemmasPublished += O.LemmasPublished;
+    LemmasImported += O.LemmasImported;
+    LemmasRejected += O.LemmasRejected;
+    CoreShrink += O.CoreShrink;
   }
 };
 
@@ -79,6 +91,14 @@ public:
   /// Unknown result so the runtime can tell a final Timeout from a
   /// retryable budget trip.
   ErrorInfo AbortInfo;
+
+  /// Lemma-exchange bookkeeping operated on by solver/Share.h (inert when
+  /// sharing is off): term indices of lemmas this run already published,
+  /// peer lemmas already parsed and decided, and the bus read cursor. A
+  /// fresh attempt gets a fresh context and so re-reads the log from zero.
+  std::unordered_set<uint32_t> SharePublished;
+  std::unordered_set<uint32_t> ShareSeen;
+  uint64_t ShareCursor = 0;
 
   /// Checks resource limits; sets and returns Aborted when exhausted.
   bool expired() {

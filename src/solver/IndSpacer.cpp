@@ -28,6 +28,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "solver/Refiner.h"
+#include "solver/Share.h"
 
 using namespace mucyc;
 
@@ -62,6 +63,7 @@ std::optional<TermRef> IndSpacerRefiner::refine(Trace &T, int Level,
     if (E.expired())
       return std::nullopt;
     TermRef NewRoot = E.itp(E.N.Init, F.mkAnd(T.formula(Level), Alpha));
+    sharePublishLemma(E, Level, E.N.Init, NewRoot);
     if (E.Opts.OptMonotone)
       T.strengthen(Level, NewRoot, true);
     else
@@ -163,6 +165,7 @@ std::optional<TermRef> IndSpacerRefiner::refine(Trace &T, int Level,
   TermRef A = F.mkOr(E.N.Init, F.mkAnd({PhiL, PhiR, E.N.Trans}));
   TermRef B = F.mkAnd(T.formula(Level), Alpha);
   TermRef NewRoot = E.itp(A, B);
+  sharePublishLemma(E, Level, A, NewRoot);
   if (E.Opts.OptMonotone)
     T.strengthen(Level, NewRoot, true);
   else

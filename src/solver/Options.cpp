@@ -154,6 +154,10 @@ std::vector<std::string> CliOptions::toFlags() const {
     F.push_back("--no-incremental");
   if (Opts.VerifyResult)
     F.push_back("--verify");
+  if (Opts.ShareLemmas)
+    F.push_back("--share-lemmas");
+  if (Opts.ShareImportBudget != 64)
+    Push("--share-import-budget", std::to_string(Opts.ShareImportBudget));
   return F;
 }
 
@@ -208,6 +212,13 @@ bool mucyc::parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
       Out.Opts.NoIncremental = true;
     } else if (A == "--verify") {
       Out.Opts.VerifyResult = true;
+    } else if (A == "--share-lemmas") {
+      Out.Opts.ShareLemmas = true;
+    } else if (A == "--share-import-budget") {
+      if (!Value(I, "--share-import-budget", V))
+        break;
+      Out.Opts.ShareImportBudget =
+          static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
     } else {
       Argv[W++] = Argv[I]; // Not ours: keep for the caller.
       continue;
@@ -234,5 +245,8 @@ bool mucyc::parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
   Out.Opts.ChaosSeed = Knobs.ChaosSeed;
   Out.Opts.NoIncremental = Knobs.NoIncremental;
   Out.Opts.VerifyResult = Knobs.VerifyResult;
+  Out.Opts.ShareLemmas = Knobs.ShareLemmas;
+  Out.Opts.ShareImportBudget = Knobs.ShareImportBudget;
+  Out.Opts.Share = Knobs.Share;
   return true;
 }

@@ -28,6 +28,8 @@
 
 namespace mucyc {
 
+class LemmaChannel;
+
 enum class EngineKind {
   Ret,      ///< Algorithm 5 (IndSpacer, early return).
   Yld,      ///< Algorithm 6 (coroutine with yield).
@@ -114,6 +116,23 @@ struct SolverOptions {
   /// reachability before returning.
   bool VerifyResult = false;
 
+  /// Cooperative lemma exchange between portfolio members (--share-lemmas):
+  /// engines publish core-minimized frame lemmas onto the bus and import
+  /// peers' lemmas at frame boundaries, admitting each only after
+  /// re-checking its justification locally (see solver/Share.h). Inert
+  /// unless Share is also set. Never serialized by name()/parse().
+  bool ShareLemmas = false;
+
+  /// Maximum peer lemmas fetched per import round (--share-import-budget;
+  /// 0 disables importing while still publishing). Never serialized by
+  /// name()/parse().
+  unsigned ShareImportBudget = 64;
+
+  /// This member's port onto the portfolio lemma bus (runtime/Exchange.h);
+  /// null outside a sharing portfolio. The pointee must outlive the run;
+  /// never serialized by name()/parse().
+  LemmaChannel *Share = nullptr;
+
   /// Disable the incremental backend (solver pool + query cache) in
   /// EngineContext::sat(): every check builds a fresh throwaway solver.
   /// Exists for differential runs against the incremental path; never
@@ -174,6 +193,8 @@ struct CliOptions {
 ///   --chaos-seed S         deterministic fault injection
 ///   --no-incremental       disable the incremental SMT backend
 ///   --verify               verify answers before reporting
+///   --share-lemmas         cooperative lemma exchange (portfolio)
+///   --share-import-budget N  max peer lemmas fetched per import round
 ///
 /// Returns false (and fills \p Err) on a malformed value — e.g. an unknown
 /// --config name or a flag missing its argument. Unrecognized flags are

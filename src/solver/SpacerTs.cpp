@@ -32,6 +32,7 @@
 
 #include "mbp/Mbp.h"
 #include "solver/Refiner.h"
+#include "solver/Share.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -96,6 +97,18 @@ SolverResult SpacerTsEngine::run() {
 
   std::vector<Query> Stack;
   while (!E.expired()) {
+    // Cooperative portfolio: admit peers' lemmas at the frame boundary.
+    // Levels line up directly — frame index 0 is the root here too — and
+    // addLemma keeps the monotone chain, which extends the level-K
+    // justification to every deeper frame.
+    shareImportRound(
+        E, ShareImportMode::FrameRelative,
+        static_cast<int>(Frames.size()) - 1,
+        [&](int I) { return frame(I); },
+        [&](int K, TermRef L) { addLemma(K, L); });
+    if (E.expired())
+      break;
+
     // Unsafe?
     if (E.sat({UAll, N.Bad})) {
       R.Status = ChcStatus::Unsat;
@@ -169,6 +182,7 @@ SolverResult SpacerTsEngine::run() {
         if (E.Aborted)
           break;
         TermRef Lemma = E.itp(N.Init, F.mkNot(PsiZ));
+        sharePublishLemma(E, Lvl, N.Init, Lemma);
         addLemma(Lvl, Lemma);
         Stack.pop_back();
         continue;
@@ -246,6 +260,7 @@ SolverResult SpacerTsEngine::run() {
       if (std::getenv("MUCYC_SPACER_TRACE"))
         std::fprintf(stderr, "[spacer] Conflict lvl=%d lemma=%s\n", Lvl,
                      F.toString(Lemma).c_str());
+      sharePublishLemma(E, Lvl, A, Lemma);
       addLemma(Lvl, Lemma);
       Stack.pop_back();
       // (Induction) heuristic: try to push the lemma one frame out.

@@ -22,6 +22,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "solver/Refiner.h"
+#include "solver/Share.h"
 
 #include <coroutine>
 
@@ -147,6 +148,7 @@ McrCoro mcr(EngineContext &E, Trace &T, int Level, TermRef Alpha) {
   // Leaf view: the initial states are the only derivations.
   if (Level + 1 > T.depth()) {
     TermRef NewRoot = E.itp(E.N.Init, F.mkAnd(T.formula(Level), Alpha));
+    sharePublishLemma(E, Level, E.N.Init, NewRoot);
     if (E.Opts.OptMonotone)
       T.strengthen(Level, NewRoot, true);
     else
@@ -272,6 +274,7 @@ McrCoro mcr(EngineContext &E, Trace &T, int Level, TermRef Alpha) {
   TermRef A = F.mkOr(E.N.Init, F.mkAnd({PhiL, PhiR, E.N.Trans}));
   TermRef B = F.mkAnd(T.formula(Level), Alpha);
   TermRef NewRoot = E.itp(A, B);
+  sharePublishLemma(E, Level, A, NewRoot);
   if (E.Opts.OptMonotone)
     T.strengthen(Level, NewRoot, true);
   else

@@ -257,6 +257,28 @@ InstanceResult runChaosInstance(Rng &R, const FuzzConfig &Cfg, unsigned I,
   return IR;
 }
 
+/// Share domain: the blind-vs-cooperative differential on a generated CHC
+/// system — sharing must never flip a verdict, only (at worst) degrade one
+/// to Unknown. Deterministic per (Seed, i, knobs): the oracle runs its
+/// members sequentially on one bus.
+InstanceResult runShareInstance(Rng &R, const FuzzConfig &Cfg,
+                                const OracleHooks *Hooks) {
+  TermContext Ctx;
+  GenKnobs K = Cfg.Knobs;
+  K.RealChc = R.oneIn(4);
+  ChcSystem Sys = genLinearChc(Ctx, R, K);
+  InstanceResult IR;
+  IR.Out = checkShareCooperation(Sys, Cfg.Race, Hooks);
+  if (IR.Out.failed()) {
+    IR.Repro = printSmtLib(Sys);
+    IR.Refail = [Check = IR.Out.Check, Hooks, Race = Cfg.Race](ChcSystem &S) {
+      OracleOutcome O = checkShareCooperation(S, Race, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
 std::vector<const char *> enabledDomains(const FuzzDomains &D) {
   std::vector<const char *> Out;
   if (D.Smt)
@@ -271,6 +293,8 @@ std::vector<const char *> enabledDomains(const FuzzDomains &D) {
     Out.push_back("inc");
   if (D.Chaos)
     Out.push_back("chaos");
+  if (D.Share)
+    Out.push_back("share");
   return Out;
 }
 
@@ -294,6 +318,7 @@ FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
            : Dom == "itp"   ? runItpInstance(R, Cfg, Hooks)
            : Dom == "inc"   ? runIncInstance(R, Cfg, Hooks)
            : Dom == "chaos" ? runChaosInstance(R, Cfg, I, Hooks)
+           : Dom == "share" ? runShareInstance(R, Cfg, Hooks)
                             : runChcInstance(R, Cfg, Hooks);
     } catch (const MucycError &E) {
       IR = InstanceResult{

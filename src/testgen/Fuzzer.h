@@ -37,6 +37,10 @@ struct FuzzDomains {
   /// Default OFF so existing fixed-seed reports stay byte-identical;
   /// opt in with --domains chaos.
   bool Chaos = false;
+  /// Cooperative (lemma-sharing) solve vs. blind solve (see
+  /// checkShareCooperation). Default OFF for the same byte-stability
+  /// reason; opt in with --domains share.
+  bool Share = false;
 };
 
 struct FuzzConfig {
@@ -56,7 +60,8 @@ struct FuzzConfig {
 
 struct FuzzViolation {
   unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
-  std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc" or "chaos".
+  std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc", "chaos"
+                          ///< or "share".
   std::string Check;      ///< Stable tag of the violated contract clause.
   std::string Detail;     ///< Human diagnostic from the oracle.
   std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);

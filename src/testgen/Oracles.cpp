@@ -10,6 +10,7 @@
 #include "chc/Preprocess.h"
 #include "itp/Interpolate.h"
 #include "mbp/Qe.h"
+#include "runtime/Exchange.h"
 #include "runtime/Scheduler.h"
 #include "smt/SmtSolver.h"
 #include "support/Fault.h"
@@ -559,5 +560,117 @@ OracleOutcome mucyc::checkChaosResilience(const ChcSystem &Sys,
   if (!AnyDefinitive && Truth == ChcStatus::Unknown)
     return OracleOutcome::skip("no definitive verdict with or without "
                                "fault injection");
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// Lemma-sharing oracle
+//===----------------------------------------------------------------------===
+
+OracleOutcome mucyc::checkShareCooperation(const ChcSystem &Sys,
+                                           const EngineRaceKnobs &Knobs,
+                                           const OracleHooks *Hooks) {
+  std::string Text = printSmtLib(Sys);
+  {
+    TermContext Probe;
+    ParseResult PR = parseChc(Probe, Text);
+    if (!PR.Ok)
+      return OracleOutcome::fail(
+          "print-parse", "printSmtLib output does not re-parse: " +
+                             PR.Error + "\n" + Text);
+  }
+
+  ChcSystem Local = Sys;
+  TermContext &Ctx = Local.ctx();
+  NormalizedChc N = buildPipeline(Local);
+  ChcStatus Truth = bmcStatus(Ctx, N, Knobs.BmcDepth);
+
+  // Two sequential sweeps over the same engines: blind (each solo), then
+  // cooperative (all on one bus, in config order — earlier members publish
+  // into later members' first import rounds, and every member re-reads the
+  // log at each frame boundary). Sequential execution keeps the outcome a
+  // pure function of (Sys, Knobs); the bus's thread-safety is exercised by
+  // the exchange stress test, not here.
+  auto RunMembers = [&](bool Share) {
+    std::vector<SolveResponse> Out;
+    LemmaExchange Bus(std::size(EngineConfigs));
+    for (size_t E = 0; E < std::size(EngineConfigs); ++E) {
+      auto Opts = SolverOptions::parse(EngineConfigs[E]);
+      assert(Opts && "bad engine config name");
+      Opts->MaxRefineSteps = Knobs.RefineBudget;
+      Opts->MaxDepth = Knobs.MaxDepth;
+      Opts->VerifyResult = true;
+      Opts->NoIncremental = Knobs.NoIncremental;
+      if (Share) {
+        Opts->ShareLemmas = true;
+        Opts->Share = Bus.port(E);
+      }
+      SolveRequest R = SolveRequest::fromBuilder(
+          [Text](TermContext &C) {
+            ParseResult PR = parseChc(C, Text);
+            assert(PR.Ok && "probe-validated text failed to parse");
+            return buildPipeline(*PR.System);
+          },
+          *Opts);
+      R.NoStore = true;
+      Out.push_back(solveRequest(R, nullptr, nullptr));
+    }
+    return Out;
+  };
+  std::vector<SolveResponse> Blind = RunMembers(false);
+  std::vector<SolveResponse> Coop = RunMembers(true);
+
+  const bool Mangled = Hooks && Hooks->MangleEngine;
+  std::vector<ChcStatus> CoopSt;
+  for (size_t I = 0; I < Coop.size(); ++I) {
+    ChcStatus S = Coop[I].Status;
+    if (Mangled)
+      S = Hooks->MangleEngine(I, S);
+    else if (Coop[I].VerifyFailed)
+      // Mangled statuses no longer correspond to in-job verification.
+      return OracleOutcome::fail(
+          "share-verify-cert",
+          std::string(EngineConfigs[I]) +
+              " answered with lemma sharing but the answer was refuted by "
+              "independent verification — " + Coop[I].VerifyNote);
+    CoopSt.push_back(S);
+  }
+
+  auto Describe = [&](size_t I) {
+    return std::string(EngineConfigs[I]) + ": blind=" +
+           chcStatusName(Blind[I].Status) + ", coop=" +
+           chcStatusName(CoopSt[I]) + ", bmc=" + chcStatusName(Truth) +
+           (Coop[I].Error.isError()
+                ? ", coop error: " + Coop[I].Error.describe()
+                : std::string());
+  };
+
+  bool AnySat = false, AnyUnsat = false, AnyDefinitive = false;
+  for (size_t I = 0; I < CoopSt.size(); ++I) {
+    ChcStatus CS = CoopSt[I];
+    AnySat |= CS == ChcStatus::Sat;
+    AnyUnsat |= CS == ChcStatus::Unsat;
+    AnyDefinitive |= Blind[I].Status != ChcStatus::Unknown;
+    if (CS == ChcStatus::Unknown)
+      continue; // Definitive -> Unknown under sharing is a budget story.
+    AnyDefinitive = true;
+    if (Blind[I].Status != ChcStatus::Unknown && CS != Blind[I].Status)
+      return OracleOutcome::fail(
+          "share-flip",
+          "lemma sharing flipped a definitive verdict — " + Describe(I));
+    if (Truth != ChcStatus::Unknown && CS != Truth)
+      return OracleOutcome::fail(
+          "share-ground-truth",
+          "verdict under lemma sharing contradicts BMC ground truth — " +
+              Describe(I));
+  }
+  if (AnySat && AnyUnsat)
+    return OracleOutcome::fail(
+        "share-disagree", "cooperating engines split sat/unsat: " +
+                              Describe(0) + "; " + Describe(1) + "; " +
+                              Describe(2) + "; " + Describe(3));
+  if (!AnyDefinitive && Truth == ChcStatus::Unknown)
+    return OracleOutcome::skip("no definitive verdict with or without "
+                               "lemma sharing");
   return OracleOutcome::pass();
 }

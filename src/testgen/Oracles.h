@@ -159,6 +159,30 @@ OracleOutcome checkChaosResilience(const ChcSystem &Sys,
                                    uint64_t ChaosSeed,
                                    const OracleHooks *Hooks = nullptr);
 
+/// Lemma-sharing oracle: solves \p Sys once blind (each engine solo) and
+/// once cooperatively (all engines attached to one LemmaExchange bus,
+/// importing each other's core-minimized lemmas after re-checking them),
+/// and checks that cooperation never corrupts an answer:
+///
+///  * a definitive cooperative verdict must match the same engine's
+///    definitive blind verdict ("share-flip");
+///  * a definitive cooperative verdict must match BMC ground truth
+///    ("share-ground-truth") and survive Verify ("share-verify-cert");
+///  * cooperative members must not split sat/unsat ("share-disagree").
+///
+/// Members run sequentially in config order (the bus still crosses
+/// TermContext boundaries through the wire format, which is what sharing
+/// soundness rests on), with refine-step budgets only, so the outcome is a
+/// pure function of (Sys, Knobs) and byte-identical across runs — the
+/// concurrent half of the bus is exercised by the TSan exchange stress
+/// test instead. Degrading to Unknown (either direction) is allowed: the
+/// contract is about sat/unsat integrity, not about which member finishes
+/// within budget. \p Hooks->MangleEngine post-processes the cooperative
+/// verdicts so tests can confirm the oracle fires.
+OracleOutcome checkShareCooperation(const ChcSystem &Sys,
+                                    const EngineRaceKnobs &Knobs,
+                                    const OracleHooks *Hooks = nullptr);
+
 } // namespace mucyc
 
 #endif // MUCYC_TESTGEN_ORACLES_H
