@@ -1,0 +1,246 @@
+//===- bench/micro_arith.cpp - Arithmetic kernel microbenchmarks ----------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Throughput of the exact-arithmetic kernel underneath the whole solving
+// stack: BigInt small-value fast paths (inline int64 with overflow-guarded
+// spill to heap limbs), Rational normalization, frontier carry chains, and
+// term interning on the per-context kid arena.
+//
+// Besides the google-benchmark fixture suite, `--json [PATH]` runs the
+// fast-vs-forced-heap differential comparison that gates the fast path: a
+// fixed deterministic mix of small-value BigInt/Rational operations executed
+// once with the fast representation and once under ScopedForceHeap. The two
+// runs must produce identical value digests (hashes are representation
+// independent), and the fast mode must clear a CI-enforced speedup floor —
+// the exit status is 0 only when both hold.
+//
+//===----------------------------------------------------------------------===//
+
+#include "term/Term.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+using namespace mucyc;
+
+namespace {
+
+/// Deterministic operand stream (no global RNG state: every run of every
+/// mode sees the same sequence).
+uint64_t lcg(uint64_t &S) {
+  S = S * 6364136223846793005ull + 1442695040888963407ull;
+  return S;
+}
+
+/// A signed operand with |v| < 2^31, never zero.
+int64_t smallOperand(uint64_t &S) {
+  int64_t V = static_cast<int64_t>(lcg(S) >> 33) - (int64_t(1) << 30);
+  return V == 0 ? 1 : V;
+}
+
+//===----------------------------------------------------------------------===
+// Fixture suite
+//===----------------------------------------------------------------------===
+
+/// Shared deterministic operand pools, regenerated per benchmark so each
+/// google-benchmark repetition sees identical data.
+class ArithFixture : public benchmark::Fixture {
+public:
+  void SetUp(const benchmark::State &) override {
+    if (!A.empty())
+      return;
+    uint64_t S = 0x9e3779b97f4a7c15ull;
+    for (int I = 0; I < 1024; ++I) {
+      A.push_back(BigInt(smallOperand(S)));
+      B.push_back(BigInt(smallOperand(S)));
+    }
+  }
+
+  std::vector<BigInt> A, B;
+};
+
+BENCHMARK_DEFINE_F(ArithFixture, SmallAddSubChain)(benchmark::State &State) {
+  for (auto _ : State) {
+    BigInt Acc(0);
+    for (size_t I = 0; I < A.size(); ++I)
+      Acc = Acc + A[I] - B[I];
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK_REGISTER_F(ArithFixture, SmallAddSubChain);
+
+BENCHMARK_DEFINE_F(ArithFixture, SmallMulDivMod)(benchmark::State &State) {
+  for (auto _ : State) {
+    size_t H = 0;
+    for (size_t I = 0; I < A.size(); ++I) {
+      BigInt P = A[I] * B[I]; // |a|,|b| < 2^31: the product stays inline.
+      BigInt Q, R;
+      BigInt::divMod(P, B[I], Q, R);
+      H ^= Q.hash() + R.hash();
+    }
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK_REGISTER_F(ArithFixture, SmallMulDivMod);
+
+BENCHMARK_DEFINE_F(ArithFixture, SmallGcd)(benchmark::State &State) {
+  for (auto _ : State) {
+    size_t H = 0;
+    for (size_t I = 0; I < A.size(); ++I)
+      H ^= BigInt::gcd(A[I], B[I]).hash();
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK_REGISTER_F(ArithFixture, SmallGcd);
+
+BENCHMARK_DEFINE_F(ArithFixture, RationalNormalize)(benchmark::State &State) {
+  for (auto _ : State) {
+    Rational Acc;
+    for (size_t I = 0; I < A.size(); ++I)
+      Acc += Rational(A[I], B[I]);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK_REGISTER_F(ArithFixture, RationalNormalize);
+
+void BM_FrontierCarryChain(benchmark::State &State) {
+  // Repeated steps across the small/heap boundary near ±2^62..2^63: every
+  // iteration overflows into limbs and collapses back.
+  BigInt Big(int64_t(1) << 62);
+  BigInt Step((int64_t(1) << 62) - 1);
+  for (auto _ : State) {
+    size_t H = 0;
+    for (int I = 0; I < 256; ++I) {
+      BigInt Over = Big + Step;  // Spills to heap.
+      BigInt Back = Over - Big;  // Collapses back to inline.
+      H ^= Over.hash() + Back.hash();
+    }
+    benchmark::DoNotOptimize(H);
+  }
+}
+BENCHMARK(BM_FrontierCarryChain);
+
+void BM_TermInterningArena(benchmark::State &State) {
+  // Builder-canonicalized atom construction: kid arrays land in the
+  // per-context bump arena, coefficients in the small BigInt domain.
+  for (auto _ : State) {
+    TermContext C;
+    TermRef X = C.mkVar("ax", Sort::Int), Y = C.mkVar("ay", Sort::Int);
+    TermRef Acc = C.mkTrue();
+    for (int I = 1; I <= 64; ++I) {
+      TermRef Lhs = C.mkAdd(C.mkMul(Rational(I), X), C.mkMul(Rational(-I), Y));
+      Acc = C.mkAnd(Acc, C.mkLe(Lhs, C.mkIntConst(I * 3)));
+    }
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_TermInterningArena);
+
+//===----------------------------------------------------------------------===
+// Fast-vs-forced-heap differential (--json)
+//===----------------------------------------------------------------------===
+
+/// One pass of the small-value mix: add/sub/mul/divMod/gcd plus Rational
+/// normalize/compare over operands below 2^31, folding every result's
+/// representation-independent hash into a digest. Returns the digest; the
+/// caller times passes and cross-checks digests between modes.
+uint64_t arithMixPass(unsigned Rounds) {
+  uint64_t S = 0x517cc1b727220a95ull;
+  uint64_t Digest = 0;
+  for (unsigned R = 0; R < Rounds; ++R) {
+    int64_t AV = smallOperand(S), BV = smallOperand(S);
+    BigInt A(AV), B(BV);
+    Digest ^= (A + B).hash();
+    Digest = Digest * 31 + (A - B).hash();
+    BigInt P = A * B;
+    Digest ^= P.hash();
+    BigInt Q, Rem;
+    BigInt::divMod(P, B, Q, Rem);
+    Digest = Digest * 31 + Q.hash() + Rem.hash();
+    Digest ^= BigInt::gcd(A, B).hash();
+    Rational X(A, B);
+    Rational Y(BigInt(BV / 2 == 0 ? 1 : BV / 2), BigInt(3));
+    Digest = Digest * 31 + (X + Y).hash() + (X * Y).hash();
+    Digest ^= static_cast<uint64_t>(X.compare(Y) + 1);
+  }
+  return Digest;
+}
+
+int runDifferential(const char *Path) {
+  constexpr unsigned Rounds = 200000;
+  using Clock = std::chrono::steady_clock;
+
+  // Warm both paths once so neither timed pass pays first-touch costs.
+  arithMixPass(1000);
+  {
+    ScopedForceHeap FH(true);
+    arithMixPass(1000);
+  }
+
+  auto FastStart = Clock::now();
+  uint64_t FastDigest = arithMixPass(Rounds);
+  double FastSec =
+      std::chrono::duration<double>(Clock::now() - FastStart).count();
+
+  uint64_t SlowDigest;
+  double SlowSec;
+  {
+    ScopedForceHeap FH(true);
+    auto SlowStart = Clock::now();
+    SlowDigest = arithMixPass(Rounds);
+    SlowSec = std::chrono::duration<double>(Clock::now() - SlowStart).count();
+  }
+
+  if (FastDigest != SlowDigest) {
+    std::fprintf(stderr,
+                 "FATAL: fast and forced-heap digests disagree "
+                 "(%016llx vs %016llx)\n",
+                 static_cast<unsigned long long>(FastDigest),
+                 static_cast<unsigned long long>(SlowDigest));
+    return 1;
+  }
+
+  double FastRate = Rounds / FastSec, SlowRate = Rounds / SlowSec;
+  double Speedup = FastRate / SlowRate;
+
+  std::FILE *F = std::fopen(Path, "w");
+  if (!F) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", Path);
+    return 1;
+  }
+  std::fprintf(F,
+               "{\n"
+               "  \"bench\": \"arith_small_value_mix\",\n"
+               "  \"rounds\": %u,\n"
+               "  \"fast_rounds_per_sec\": %.1f,\n"
+               "  \"forced_heap_rounds_per_sec\": %.1f,\n"
+               "  \"speedup\": %.2f,\n"
+               "  \"digest_match\": true\n"
+               "}\n",
+               Rounds, FastRate, SlowRate, Speedup);
+  std::fclose(F);
+  std::printf("arith_small_value_mix: %.0f rounds/s fast, %.0f forced-heap "
+              "(%.2fx, floor 3.0) -> %s\n",
+              FastRate, SlowRate, Speedup, Path);
+  return Speedup >= 3.0 ? 0 : 3;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (!std::strcmp(argv[I], "--json"))
+      return runDifferential(I + 1 < argc ? argv[I + 1] : "BENCH_arith.json");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

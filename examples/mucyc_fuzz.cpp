@@ -12,7 +12,7 @@
 // exact failing instance anywhere.
 //
 //   mucyc-fuzz [--seed S] [--n N]
-//              [--domains smt,mbp,itp,chc,inc,chaos,share]
+//              [--domains smt,mbp,itp,chc,inc,chaos,share,arith]
 //              [--repro-dir DIR] [--no-shrink] [--refine-budget N]
 //              [--clauses N] [--coeff-mag N] [--jobs N]
 //              [--no-incremental] [--verdicts FILE] [--chaos-seed S]
@@ -32,7 +32,10 @@
 // fault-schedule streams (default: derived from --seed). The share domain
 // (also off by default) solves each generated system blind and with all
 // engines cooperating over a lemma-exchange bus and requires that sharing
-// never flips a verdict either.
+// never flips a verdict either. The arith domain (also off by default)
+// replays a frontier-biased operand trace through every BigInt/Rational
+// operation on the small-value fast path and again under the forced-heap
+// representation, requiring op-for-op identical results.
 //
 // Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors
 // (internal errors surface as "uncaught-*" violations, not aborts).
@@ -54,7 +57,7 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: mucyc-fuzz [--seed S] [--n N]\n"
-      "                  [--domains smt,mbp,itp,chc,inc,chaos,share]\n"
+      "                  [--domains smt,mbp,itp,chc,inc,chaos,share,arith]\n"
       "                  [--repro-dir DIR] [--no-shrink]\n"
       "                  [--refine-budget N] [--clauses N] [--coeff-mag N]\n"
       "                  [--jobs N] [--no-incremental] [--verdicts FILE]\n"
@@ -65,7 +68,7 @@ static void usage() {
 }
 
 static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
-  D = FuzzDomains{false, false, false, false, false, false, false};
+  D = FuzzDomains{false, false, false, false, false, false, false, false};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -85,13 +88,16 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
       D.Chaos = true;
     else if (Name == "share")
       D.Share = true;
+    else if (Name == "arith")
+      D.Arith = true;
     else
       return false;
     if (Comma == std::string::npos)
       break;
     Pos = Comma + 1;
   }
-  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos || D.Share;
+  return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos || D.Share ||
+         D.Arith;
 }
 
 int main(int Argc, char **Argv) {

@@ -27,6 +27,14 @@
 # no-regression floor on summed SMT checks (BENCH_portfolio.json), and —
 # in the default gate — the lemma-bus stress tests rebuilt and rerun under
 # ThreadSanitizer.
+# The arith legs gate the small-value arithmetic fast path: the fixed-seed
+# CHC fuzz suite is replayed under MUCYC_FORCE_HEAP=1 (twice, byte-compared
+# for determinism) and its consensus verdict lines must be byte-identical
+# to the default run's — the heap representation is the reference
+# semantics, so a verdict that moves under the knob is a fast-path bug. A
+# dedicated arith fuzz batch runs the op-level fast-vs-slow differential,
+# and the micro_arith benchmark enforces the small-value speedup floor via
+# its exit status (BENCH_arith.json).
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
@@ -115,6 +123,55 @@ if ! cmp -s "$OUT/verdicts_a.txt" "$OUT/verdicts_fresh.txt"; then
   exit 1
 fi
 
+echo "== forced-heap differential: verdicts must survive MUCYC_FORCE_HEAP =="
+# The same $FUZZ_N-instance suite with every BigInt routed onto heap limbs.
+# Two forced runs must be byte-identical (the knob must not perturb any
+# seed stream), and the consensus verdicts must match the default run's:
+# representation choice is unobservable above the arithmetic layer.
+run_forced() {
+  MUCYC_FORCE_HEAP=1 "$BUILD"/examples/mucyc-fuzz --seed "$FUZZ_SEED" \
+    --n "$FUZZ_N" --repro-dir "$1" --verdicts "$2"
+}
+if ! run_forced "$OUT/repros_fh" "$OUT/verdicts_fh_a.txt" >"$OUT/fh_a.txt"; then
+  cat "$OUT/fh_a.txt"
+  echo "FAIL: oracle violations under MUCYC_FORCE_HEAP=1" >&2
+  echo "replay: MUCYC_FORCE_HEAP=1 $BUILD/examples/mucyc-fuzz" \
+       "--seed $FUZZ_SEED --n $FUZZ_N" >&2
+  trap - EXIT
+  exit 1
+fi
+run_forced "$OUT/repros_fh2" "$OUT/verdicts_fh_b.txt" >"$OUT/fh_b.txt"
+if ! cmp -s "$OUT/fh_a.txt" "$OUT/fh_b.txt"; then
+  diff -u "$OUT/fh_a.txt" "$OUT/fh_b.txt" | head -40 >&2
+  echo "FAIL: forced-heap fuzz report is not deterministic" >&2
+  exit 1
+fi
+if ! cmp -s "$OUT/verdicts_fh_a.txt" "$OUT/verdicts_fh_b.txt"; then
+  echo "FAIL: forced-heap verdict lines are not deterministic" >&2
+  exit 1
+fi
+if ! cmp -s "$OUT/verdicts_a.txt" "$OUT/verdicts_fh_a.txt"; then
+  diff -u "$OUT/verdicts_a.txt" "$OUT/verdicts_fh_a.txt" | head -40 >&2
+  echo "FAIL: MUCYC_FORCE_HEAP changed a chc consensus verdict" >&2
+  echo "replay: MUCYC_FORCE_HEAP=1 $BUILD/examples/mucyc-fuzz" \
+       "--seed $FUZZ_SEED --n $FUZZ_N --verdicts FILE" >&2
+  exit 1
+fi
+echo "forced-heap differential: verdicts identical across representations"
+
+echo "== arith smoke: op-level fast-vs-forced-heap differential =="
+ARITH_SEED=20240804
+ARITH_N=200
+if ! "$BUILD"/examples/mucyc-fuzz --domains arith --seed "$ARITH_SEED" \
+    --n "$ARITH_N" >"$OUT/arith.txt"; then
+  cat "$OUT/arith.txt"
+  echo "FAIL: arith fast/slow oracle violations" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --domains arith" \
+       "--seed $ARITH_SEED --n $ARITH_N" >&2
+  exit 1
+fi
+tail -2 "$OUT/arith.txt"
+
 echo "== chaos smoke: $CHAOS_N fault-injected instances, seed $CHAOS_SEED =="
 # Every instance is solved clean and under deterministic fault injection;
 # injected faults may only degrade verdicts to Unknown, never flip them or
@@ -196,6 +253,13 @@ echo "== cooperative benchmark: no-regression floor on summed SMT checks =="
 # BENCH_portfolio.json at the repo root and fails below the 1.5x floor or
 # on any unsound verdict.
 "$BUILD"/bench/portfolio_coop --json BENCH_portfolio.json
+
+echo "== arith benchmark: small-value fast-path floor =="
+# Replays the frontier-biased operand mix on the fast path and under
+# ScopedForceHeap; the digests must match and the fast path must clear the
+# 3x floor. Writes BENCH_arith.json at the repo root; exit status 3 means
+# the floor was missed.
+"$BUILD"/bench/micro_arith --json BENCH_arith.json
 
 if [ "$ASAN" = 0 ] && [ "$TSAN" = 0 ]; then
   echo "== tsan: lemma-bus stress under ThreadSanitizer =="

@@ -6,6 +6,8 @@
 
 #include "chc/Parser.h"
 
+#include "support/Error.h"
+
 #include <algorithm>
 #include <sstream>
 
@@ -387,7 +389,15 @@ public:
       PS.fail("divisible modulus must be an integer numeral");
       return std::nullopt;
     }
-    Rational M = Rational::fromString(Mod);
+    Rational M;
+    try {
+      M = Rational::fromString(Mod);
+    } catch (const MucycError &Err) {
+      // fromString raises typed InputError on malformed numerals; a parser
+      // must turn that into a diagnostic, never let it escape parseChc.
+      PS.fail(Err.detail());
+      return std::nullopt;
+    }
     if (M.sgn() <= 0) {
       PS.fail("divisible modulus must be positive");
       return std::nullopt;
@@ -411,7 +421,13 @@ public:
     if (Tok == "false")
       return Ctx.mkFalse();
     if (isNumeral(Tok)) {
-      Rational V = Rational::fromString(Tok);
+      Rational V;
+      try {
+        V = Rational::fromString(Tok);
+      } catch (const MucycError &Err) {
+        PS.fail(Err.detail());
+        return std::nullopt;
+      }
       // Sort by syntax: decimals are Real, plain numerals Int.
       bool IsReal = Tok.find('.') != std::string::npos;
       return Ctx.mkConst(V, IsReal ? Sort::Real : Sort::Int);

@@ -27,17 +27,10 @@ Simplex::VarIdx Simplex::addRowVar(const std::map<VarIdx, Rational> &Row) {
     if (Vars[V].Basic) {
       // Inline the defining row of a basic variable.
       const struct Row &Def = Rows[Vars[V].RowIdx];
-      for (const auto &[W, D] : Def.Coeffs) {
-        Rational &Slot = NewRow.Coeffs[W];
-        Slot += C * D;
-        if (Slot.isZero())
-          NewRow.Coeffs.erase(W);
-      }
+      for (const auto &[W, D] : Def.Coeffs)
+        NewRow.add(W, C * D);
     } else {
-      Rational &Slot = NewRow.Coeffs[V];
-      Slot += C;
-      if (Slot.isZero())
-        NewRow.Coeffs.erase(V);
+      NewRow.add(V, C);
     }
   }
   for (const auto &[V, C] : NewRow.Coeffs)
@@ -89,9 +82,8 @@ void Simplex::updateNonBasic(VarIdx V, const DeltaRational &NewVal) {
   DeltaRational Diff = NewVal - Vars[V].Val;
   Vars[V].Val = NewVal;
   for (Row &R : Rows) {
-    auto It = R.Coeffs.find(V);
-    if (It != R.Coeffs.end())
-      Vars[R.Owner].Val = Vars[R.Owner].Val + Diff * It->second;
+    if (const Rational *C = R.find(V))
+      Vars[R.Owner].Val = Vars[R.Owner].Val + Diff * *C;
   }
 }
 
@@ -100,18 +92,22 @@ void Simplex::pivot(VarIdx B, VarIdx N) {
   VarState &XN = Vars[N];
   assert(XB.Basic && !XN.Basic);
   Row &R = Rows[XB.RowIdx];
-  Rational A = R.Coeffs.at(N);
-  assert(!A.isZero());
+  const Rational *AP = R.find(N);
+  assert(AP && !AP->isZero());
+  Rational A = *AP;
 
   // Rewrite R as: N = (1/A)*B - sum_{j != N} (Cj/A)*xj.
-  std::map<VarIdx, Rational> NewCoeffs;
+  std::vector<std::pair<VarIdx, Rational>> NewCoeffs;
+  NewCoeffs.reserve(R.Coeffs.size());
   Rational InvA = A.inverse();
-  NewCoeffs[B] = InvA;
+  NewCoeffs.emplace_back(B, InvA);
   for (const auto &[V, C] : R.Coeffs) {
     if (V == N)
       continue;
-    NewCoeffs[V] = -(C * InvA);
+    NewCoeffs.emplace_back(V, -(C * InvA));
   }
+  std::sort(NewCoeffs.begin(), NewCoeffs.end(),
+            [](const auto &X, const auto &Y) { return X.first < Y.first; });
   R.Owner = N;
   R.Coeffs = std::move(NewCoeffs);
   XN.Basic = true;
@@ -123,17 +119,13 @@ void Simplex::pivot(VarIdx B, VarIdx N) {
     if (RI == XN.RowIdx)
       continue;
     Row &Other = Rows[RI];
-    auto It = Other.Coeffs.find(N);
+    auto It = Other.entry(N);
     if (It == Other.Coeffs.end())
       continue;
-    Rational D = It->second;
+    Rational D = std::move(It->second);
     Other.Coeffs.erase(It);
-    for (const auto &[V, C] : R.Coeffs) {
-      Rational &Slot = Other.Coeffs[V];
-      Slot += D * C;
-      if (Slot.isZero())
-        Other.Coeffs.erase(V);
-    }
+    for (const auto &[V, C] : R.Coeffs)
+      Other.add(V, D * C);
   }
 }
 
@@ -206,16 +198,15 @@ bool Simplex::check() {
     }
 
     // pivotAndUpdate(B, N, Target).
-    Rational A = R.Coeffs.at(N);
+    Rational A = *R.find(N);
     DeltaRational Theta = (Target - XB.Val) * A.inverse();
     Vars[B].Val = Target;
     Vars[N].Val = Vars[N].Val + Theta;
     for (const Row &Other : Rows) {
       if (Other.Owner == B)
         continue;
-      auto It = Other.Coeffs.find(N);
-      if (It != Other.Coeffs.end())
-        Vars[Other.Owner].Val = Vars[Other.Owner].Val + Theta * It->second;
+      if (const Rational *C = Other.find(N))
+        Vars[Other.Owner].Val = Vars[Other.Owner].Val + Theta * *C;
     }
     pivot(B, N);
   }

@@ -18,9 +18,11 @@
 #include "support/Fault.h"
 #include "support/Rational.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
+#include <utility>
 #include <vector>
 
 namespace mucyc {
@@ -81,9 +83,48 @@ private:
     uint32_t RowIdx = 0; ///< Valid when Basic.
   };
 
+  /// Tableau row over non-basic vars only. Coefficients live in a flat
+  /// vector sorted by ascending VarIdx — iteration order matches the old
+  /// std::map layout exactly (Bland's rule and explanation order depend on
+  /// it), while pivoting walks contiguous memory instead of chasing
+  /// red-black tree nodes.
   struct Row {
     VarIdx Owner;
-    std::map<VarIdx, Rational> Coeffs; ///< Over non-basic vars only.
+    std::vector<std::pair<VarIdx, Rational>> Coeffs;
+
+    /// Iterator to the entry for \p V, or Coeffs.end().
+    std::vector<std::pair<VarIdx, Rational>>::iterator entry(VarIdx V) {
+      auto It = std::lower_bound(
+          Coeffs.begin(), Coeffs.end(), V,
+          [](const std::pair<VarIdx, Rational> &E, VarIdx X) {
+            return E.first < X;
+          });
+      return It != Coeffs.end() && It->first == V ? It : Coeffs.end();
+    }
+    /// Coefficient of \p V, or nullptr when absent.
+    const Rational *find(VarIdx V) const {
+      auto It = std::lower_bound(
+          Coeffs.begin(), Coeffs.end(), V,
+          [](const std::pair<VarIdx, Rational> &E, VarIdx X) {
+            return E.first < X;
+          });
+      return It != Coeffs.end() && It->first == V ? &It->second : nullptr;
+    }
+    /// Accumulates C into the slot for \p V, dropping it on exact zero.
+    void add(VarIdx V, const Rational &C) {
+      auto It = std::lower_bound(
+          Coeffs.begin(), Coeffs.end(), V,
+          [](const std::pair<VarIdx, Rational> &E, VarIdx X) {
+            return E.first < X;
+          });
+      if (It != Coeffs.end() && It->first == V) {
+        It->second += C;
+        if (It->second.isZero())
+          Coeffs.erase(It);
+      } else if (!C.isZero()) {
+        Coeffs.insert(It, {V, C});
+      }
+    }
   };
 
   void updateNonBasic(VarIdx V, const DeltaRational &NewVal);

@@ -1,0 +1,83 @@
+//===- support/Arena.h - Chunked bump allocator -----------------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for trivially-destructible pod arrays with a
+/// lifetime tied to their owner (term kid lists in TermContext). Allocation
+/// is a pointer bump; nothing is ever freed individually — the arena releases
+/// all chunks at once on destruction. bytesAllocated() reports the payload
+/// bytes handed out (not chunk slack), so callers metering memory through a
+/// ResourceGauge see a value that is a pure function of the allocation
+/// trace, independent of chunk sizing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_SUPPORT_ARENA_H
+#define MUCYC_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mucyc {
+
+/// Bump allocator over malloc'd chunks. Not thread-safe.
+class BumpArena {
+public:
+  /// Default chunk payload size; allocations larger than this get a
+  /// dedicated chunk.
+  static constexpr size_t ChunkBytes = 64 * 1024;
+
+  BumpArena() = default;
+  BumpArena(const BumpArena &) = delete;
+  BumpArena &operator=(const BumpArena &) = delete;
+  BumpArena(BumpArena &&) = default;
+  BumpArena &operator=(BumpArena &&) = default;
+
+  /// Returns \p Bytes of storage aligned to \p Align (a power of two no
+  /// larger than alignof(std::max_align_t)). Zero-byte requests return a
+  /// non-null, unspecified pointer.
+  void *allocate(size_t Bytes, size_t Align) {
+    size_t Off = (Used + Align - 1) & ~(Align - 1);
+    if (Off + Bytes > Cap) {
+      newChunk(Bytes < ChunkBytes ? ChunkBytes : Bytes);
+      Off = 0; // Fresh chunks are max-aligned.
+    }
+    Used = Off + Bytes;
+    Total += Bytes;
+    return Chunks.back().get() + Off;
+  }
+
+  /// Allocates and copies an array of trivially-copyable T.
+  template <typename T> T *copyArray(const T *Src, size_t N) {
+    T *Dst = static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+    for (size_t I = 0; I < N; ++I)
+      Dst[I] = Src[I];
+    return Dst;
+  }
+
+  /// Payload bytes handed out so far (excludes chunk slack and padding).
+  size_t bytesAllocated() const { return Total; }
+  /// Number of chunks backing the arena.
+  size_t numChunks() const { return Chunks.size(); }
+
+private:
+  void newChunk(size_t Bytes) {
+    Chunks.push_back(std::unique_ptr<char[]>(new char[Bytes]));
+    Cap = Bytes;
+    Used = 0;
+  }
+
+  std::vector<std::unique_ptr<char[]>> Chunks;
+  size_t Used = 0;  ///< Bytes consumed in the current chunk.
+  size_t Cap = 0;   ///< Capacity of the current chunk.
+  size_t Total = 0; ///< Cumulative payload bytes.
+};
+
+} // namespace mucyc
+
+#endif // MUCYC_SUPPORT_ARENA_H

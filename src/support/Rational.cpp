@@ -6,6 +6,8 @@
 
 #include "support/Rational.h"
 
+#include "support/Error.h"
+
 using namespace mucyc;
 
 Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
@@ -14,6 +16,36 @@ Rational::Rational(BigInt N, BigInt D) : Num(std::move(N)), Den(std::move(D)) {
 }
 
 void Rational::normalize() {
+  // Small-gcd fast lane: when both components are inline machine words the
+  // whole normalization runs on int64/uint64 with no BigInt temporaries.
+  // smallValue() is representation-based, so force-heap values skip this
+  // lane and exercise the slow path below.
+  int64_t NS, DS;
+  if (Num.smallValue(NS) && Den.smallValue(DS)) {
+    if (DS < 0) { // Small excludes INT64_MIN: negation cannot overflow.
+      NS = -NS;
+      DS = -DS;
+    }
+    if (NS == 0) {
+      Num = BigInt(0);
+      Den = BigInt(1);
+      return;
+    }
+    uint64_t X = NS < 0 ? static_cast<uint64_t>(-NS) : static_cast<uint64_t>(NS);
+    uint64_t Y = static_cast<uint64_t>(DS);
+    while (Y != 0) {
+      uint64_t T = X % Y;
+      X = Y;
+      Y = T;
+    }
+    if (X > 1) {
+      NS /= static_cast<int64_t>(X);
+      DS /= static_cast<int64_t>(X);
+    }
+    Num = BigInt(NS);
+    Den = BigInt(DS);
+    return;
+  }
   if (Den.isNeg()) {
     Num = -Num;
     Den = -Den;
@@ -31,6 +63,15 @@ void Rational::normalize() {
 
 int Rational::compare(const Rational &RHS) const {
   // num1/den1 <=> num2/den2  iff  num1*den2 <=> num2*den1 (dens positive).
+  // Fast lane: all four components small means both cross products fit
+  // __int128 (|operands| < 2^63, so |product| < 2^126).
+  int64_t N1, D1, N2, D2;
+  if (Num.smallValue(N1) && Den.smallValue(D1) && RHS.Num.smallValue(N2) &&
+      RHS.Den.smallValue(D2)) {
+    __int128 L = static_cast<__int128>(N1) * D2;
+    __int128 R = static_cast<__int128>(N2) * D1;
+    return L == R ? 0 : (L < R ? -1 : 1);
+  }
   return (Num * RHS.Den).compare(RHS.Num * Den);
 }
 
@@ -64,9 +105,14 @@ Rational Rational::inverse() const {
 
 Rational Rational::fromString(const std::string &S) {
   size_t Slash = S.find('/');
-  if (Slash != std::string::npos)
-    return Rational(BigInt::fromString(S.substr(0, Slash)),
-                    BigInt::fromString(S.substr(Slash + 1)));
+  if (Slash != std::string::npos) {
+    BigInt N = BigInt::fromString(S.substr(0, Slash));
+    BigInt D = BigInt::fromString(S.substr(Slash + 1));
+    if (D.isZero())
+      raiseError(ErrorCode::InputError,
+                 "zero denominator in rational '" + S + "'");
+    return Rational(std::move(N), std::move(D));
+  }
   size_t Dot = S.find('.');
   if (Dot == std::string::npos)
     return Rational(BigInt::fromString(S));

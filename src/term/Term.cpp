@@ -27,13 +27,16 @@ bool TermContext::NodeKeyEq::operator()(const NodeKey &A,
 }
 
 TermContext::TermContext() {
-  TrueRef = intern(TermNode{Kind::True, Sort::Bool, 0, Rational(), {}});
-  FalseRef = intern(TermNode{Kind::False, Sort::Bool, 0, Rational(), {}});
+  TrueRef = intern(Kind::True, Sort::Bool, 0, Rational());
+  FalseRef = intern(Kind::False, Sort::Bool, 0, Rational());
 }
 
-TermRef TermContext::intern(TermNode N) {
-  NodeKey Key{&N};
-  auto It = Interned.find(Key);
+TermRef TermContext::intern(Kind K, Sort S, VarId Var, Rational Val,
+                            const TermRef *Kids, size_t NumKids) {
+  // Probe with a stack node borrowing the caller's kid array; nothing is
+  // copied on a hash-cons hit.
+  TermNode N{K, S, Var, std::move(Val), KidList(Kids, NumKids)};
+  auto It = Interned.find(NodeKey{&N});
   if (It != Interned.end())
     return TermRef(It->second);
   // Governance hooks fire before any mutation, so a budget trip or injected
@@ -42,6 +45,10 @@ TermRef TermContext::intern(TermNode N) {
     Faults->onAlloc();
   if (Gauge)
     Gauge->charge(sizeof(TermNode) + N.Kids.size() * sizeof(TermRef) + 64);
+  // Move the kid array into the arena; the stored node must not reference
+  // caller storage.
+  if (NumKids)
+    N.Kids = KidList(KidArena.copyArray(Kids, NumKids), NumKids);
   uint32_t Idx = static_cast<uint32_t>(Nodes.size());
   Nodes.push_back(std::move(N));
   // The map key must point at the stored node, not the local.
@@ -58,7 +65,7 @@ TermRef TermContext::mkVar(const std::string &Name, Sort S) {
   VarId Id = static_cast<VarId>(Vars.size());
   Vars.push_back(VarInfo{Name, S});
   VarByName.emplace(Name, Id);
-  TermRef T = intern(TermNode{Kind::Var, S, Id, Rational(), {}});
+  TermRef T = intern(Kind::Var, S, Id, Rational());
   VarTerms.push_back(T);
   return T;
 }
@@ -79,5 +86,5 @@ TermRef TermContext::varTerm(VarId V) {
 TermRef TermContext::mkConst(const Rational &V, Sort S) {
   assert(S != Sort::Bool && "use mkBool for boolean constants");
   assert((S != Sort::Int || V.isInt()) && "non-integral Int constant");
-  return intern(TermNode{Kind::Const, S, 0, V, {}});
+  return intern(Kind::Const, S, 0, V);
 }

@@ -22,11 +22,13 @@
 #ifndef MUCYC_TERM_TERM_H
 #define MUCYC_TERM_TERM_H
 
+#include "support/Arena.h"
 #include "support/Fault.h"
 #include "support/Rational.h"
 
 #include <cstdint>
 #include <deque>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -78,13 +80,69 @@ struct TermRefHash {
   size_t operator()(TermRef T) const { return T.Idx * 0x9e3779b9u; }
 };
 
+/// Immutable view of a node's children. The referenced array lives in the
+/// owning TermContext's kid arena (or, for probe keys during interning, on
+/// the caller's stack) — a KidList is a 16-byte span, so TermNode copies are
+/// shallow and kid storage is allocated exactly once per interned node.
+class KidList {
+public:
+  using value_type = TermRef;
+  using const_iterator = const TermRef *;
+  using const_reverse_iterator = std::reverse_iterator<const_iterator>;
+
+  KidList() = default;
+  KidList(const TermRef *D, size_t N)
+      : Data(D), N(static_cast<uint32_t>(N)) {}
+
+  const TermRef *data() const { return Data; }
+  size_t size() const { return N; }
+  bool empty() const { return N == 0; }
+
+  const TermRef &operator[](size_t I) const {
+    assert(I < N && "kid index out of range");
+    return Data[I];
+  }
+  const TermRef &front() const { return (*this)[0]; }
+  const TermRef &back() const { return (*this)[N - 1]; }
+
+  const_iterator begin() const { return Data; }
+  const_iterator end() const { return Data + N; }
+  const_reverse_iterator rbegin() const {
+    return const_reverse_iterator(end());
+  }
+  const_reverse_iterator rend() const {
+    return const_reverse_iterator(begin());
+  }
+
+  bool operator==(const KidList &RHS) const {
+    if (N != RHS.N)
+      return false;
+    for (uint32_t I = 0; I < N; ++I)
+      if (Data[I] != RHS.Data[I])
+        return false;
+    return true;
+  }
+  bool operator!=(const KidList &RHS) const { return !(*this == RHS); }
+
+  /// Materializes an owned copy; also reachable implicitly so existing
+  /// `std::vector<TermRef> V = node.Kids` call sites keep compiling.
+  std::vector<TermRef> vec() const {
+    return std::vector<TermRef>(Data, Data + N);
+  }
+  operator std::vector<TermRef>() const { return vec(); }
+
+private:
+  const TermRef *Data = nullptr;
+  uint32_t N = 0;
+};
+
 /// An immutable term node. Access through TermContext::node().
 struct TermNode {
   Kind K;
   Sort S;
-  VarId Var = 0;            ///< For Kind::Var.
-  Rational Val;             ///< Const value, Mul scalar, Divides modulus.
-  std::vector<TermRef> Kids;
+  VarId Var = 0; ///< For Kind::Var.
+  Rational Val;  ///< Const value, Mul scalar, Divides modulus.
+  KidList Kids;  ///< Children; storage owned by the context's kid arena.
 };
 
 /// Variable metadata.
@@ -206,10 +264,17 @@ public:
   void setFaultInjector(FaultInjector *FI) { Faults = FI; }
   FaultInjector *faultInjector() const { return Faults; }
 
+  /// Payload bytes the kid arena has handed out — a pure function of the
+  /// interning trace (used by determinism tests and diagnostics).
+  size_t kidArenaBytes() const { return KidArena.bytesAllocated(); }
+
 private:
   friend class TermBuilderAccess;
 
-  TermRef intern(TermNode N);
+  /// Interns the node (K, S, Var, Val, Kids[0..NumKids)). The kid array is
+  /// only read during lookup; on a miss it is copied into the kid arena.
+  TermRef intern(Kind K, Sort S, VarId Var, Rational Val,
+                 const TermRef *Kids = nullptr, size_t NumKids = 0);
   /// Builds the canonical atom "LinTerm <op> Const" from an integer-
   /// normalized linear expression; \p K is Le, Lt or EqA.
   TermRef mkLinAtom(Kind K, TermRef Lhs, Sort S);
@@ -225,8 +290,11 @@ private:
   };
 
   /// Deque so that node addresses stay stable: the interning map keys point
-  /// into this container.
+  /// into this container. Nodes stay out of the arena because Rational
+  /// members own heap storage; only the trivially-destructible kid arrays
+  /// live in KidArena.
   std::deque<TermNode> Nodes;
+  BumpArena KidArena;
   std::unordered_map<NodeKey, uint32_t, NodeKeyHash, NodeKeyEq> Interned;
   std::vector<VarInfo> Vars;
   std::unordered_map<std::string, VarId> VarByName;

@@ -41,7 +41,7 @@ TermRef TermContext::mkNot(TermRef A) {
     // not (L < K)  ==>  K <= L.
     return mkLe(N.Kids[1], N.Kids[0]);
   default:
-    return intern(TermNode{Kind::Not, Sort::Bool, 0, Rational(), {A}});
+    return intern(Kind::Not, Sort::Bool, 0, Rational(), &A, 1);
   }
 }
 
@@ -76,7 +76,8 @@ TermRef TermContext::mkAnd(std::vector<TermRef> Kids) {
   if (Flat.size() == 1)
     return Flat[0];
   std::sort(Flat.begin(), Flat.end());
-  return intern(TermNode{Kind::And, Sort::Bool, 0, Rational(), std::move(Flat)});
+  return intern(Kind::And, Sort::Bool, 0, Rational(), Flat.data(),
+                Flat.size());
 }
 
 TermRef TermContext::mkOr(std::vector<TermRef> Kids) {
@@ -108,7 +109,7 @@ TermRef TermContext::mkOr(std::vector<TermRef> Kids) {
   if (Flat.size() == 1)
     return Flat[0];
   std::sort(Flat.begin(), Flat.end());
-  return intern(TermNode{Kind::Or, Sort::Bool, 0, Rational(), std::move(Flat)});
+  return intern(Kind::Or, Sort::Bool, 0, Rational(), Flat.data(), Flat.size());
 }
 
 TermRef TermContext::mkIff(TermRef A, TermRef B) {
@@ -149,7 +150,7 @@ TermRef TermContext::mkAdd(std::vector<TermRef> Kids) {
     Flat.push_back(mkConst(ConstSum, S));
   if (Flat.size() == 1)
     return Flat[0];
-  return intern(TermNode{Kind::Add, S, 0, Rational(), std::move(Flat)});
+  return intern(Kind::Add, S, 0, Rational(), Flat.data(), Flat.size());
 }
 
 TermRef TermContext::mkSub(TermRef A, TermRef B) {
@@ -176,7 +177,7 @@ TermRef TermContext::mkMul(const Rational &C, TermRef A) {
       Kids.push_back(mkMul(C, Kid));
     return mkAdd(std::move(Kids));
   }
-  return intern(TermNode{Kind::Mul, S, 0, C, {A}});
+  return intern(Kind::Mul, S, 0, C, &A, 1);
 }
 
 /// Shared normalization for comparisons: builds LinExpr(A - B), determines
@@ -230,7 +231,8 @@ TermRef TermContext::mkLinAtom(Kind K, TermRef Lhs, Sort S) {
   Scaled.Const = Rational(0);
   TermRef SumTerm = Scaled.toTerm(*this, S);
   TermRef KonstTerm = mkConst(Konst, S);
-  return intern(TermNode{K, Sort::Bool, 0, Rational(), {SumTerm, KonstTerm}});
+  TermRef AtomKids[2] = {SumTerm, KonstTerm};
+  return intern(K, Sort::Bool, 0, Rational(), AtomKids, 2);
 }
 
 /// Determines the common arithmetic sort of two operands.
@@ -295,6 +297,5 @@ TermRef TermContext::mkDivides(const BigInt &D, TermRef A) {
       return TrueRef;
   }
   TermRef Body = R.toTerm(*this, Sort::Int);
-  return intern(
-      TermNode{Kind::Divides, Sort::Bool, 0, Rational(Mod), {Body}});
+  return intern(Kind::Divides, Sort::Bool, 0, Rational(Mod), &Body, 1);
 }

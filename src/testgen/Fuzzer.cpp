@@ -279,6 +279,17 @@ InstanceResult runShareInstance(Rng &R, const FuzzConfig &Cfg,
   return IR;
 }
 
+/// Arith domain: the fast-vs-forced-heap representation differential on a
+/// deterministic operand trace. There is no SMT-LIB2 repro to shrink — the
+/// oracle's Detail names the trace seed and first diverging op, which is
+/// the whole reproduction recipe.
+InstanceResult runArithInstance(Rng &R) {
+  uint64_t TraceSeed = R.next();
+  InstanceResult IR;
+  IR.Out = checkArithFastSlow(TraceSeed);
+  return IR;
+}
+
 std::vector<const char *> enabledDomains(const FuzzDomains &D) {
   std::vector<const char *> Out;
   if (D.Smt)
@@ -295,6 +306,8 @@ std::vector<const char *> enabledDomains(const FuzzDomains &D) {
     Out.push_back("chaos");
   if (D.Share)
     Out.push_back("share");
+  if (D.Arith)
+    Out.push_back("arith");
   return Out;
 }
 
@@ -319,6 +332,7 @@ FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
            : Dom == "inc"   ? runIncInstance(R, Cfg, Hooks)
            : Dom == "chaos" ? runChaosInstance(R, Cfg, I, Hooks)
            : Dom == "share" ? runShareInstance(R, Cfg, Hooks)
+           : Dom == "arith" ? runArithInstance(R)
                             : runChcInstance(R, Cfg, Hooks);
     } catch (const MucycError &E) {
       IR = InstanceResult{

@@ -41,6 +41,10 @@ struct FuzzDomains {
   /// checkShareCooperation). Default OFF for the same byte-stability
   /// reason; opt in with --domains share.
   bool Share = false;
+  /// Small-value fast path vs. forced-heap arithmetic differential (see
+  /// checkArithFastSlow). Default OFF for the same byte-stability reason;
+  /// opt in with --domains arith.
+  bool Arith = false;
 };
 
 struct FuzzConfig {
@@ -60,8 +64,8 @@ struct FuzzConfig {
 
 struct FuzzViolation {
   unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
-  std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc", "chaos"
-                          ///< or "share".
+  std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc", "chaos",
+                          ///< "share" or "arith".
   std::string Check;      ///< Stable tag of the violated contract clause.
   std::string Detail;     ///< Human diagnostic from the oracle.
   std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);

@@ -13,6 +13,7 @@
 #include "runtime/Exchange.h"
 #include "runtime/Scheduler.h"
 #include "smt/SmtSolver.h"
+#include "support/BigInt.h"
 #include "support/Fault.h"
 
 #include <algorithm>
@@ -672,5 +673,107 @@ OracleOutcome mucyc::checkShareCooperation(const ChcSystem &Sys,
   if (!AnyDefinitive && Truth == ChcStatus::Unknown)
     return OracleOutcome::skip("no definitive verdict with or without "
                                "lemma sharing");
+  return OracleOutcome::pass();
+}
+
+//===----------------------------------------------------------------------===
+// Arithmetic fast/slow differential
+//===----------------------------------------------------------------------===
+
+namespace {
+
+/// Deterministic xorshift stream for the arith oracle's operand trace (the
+/// testgen Rng is not linked into this TU's dependencies cheaply enough to
+/// matter; any fixed-point-free 64-bit mixer works).
+uint64_t arithNext(uint64_t &S) {
+  S ^= S << 13;
+  S ^= S >> 7;
+  S ^= S << 17;
+  return S;
+}
+
+/// One operand biased to the representation frontier: around ±2^31 (limb
+/// edge), around ±2^62..2^63 (inline edge), multi-limb, or plain small.
+BigInt arithOperand(uint64_t &S) {
+  uint64_t R = arithNext(S);
+  BigInt V;
+  switch (R & 3) {
+  case 0:
+    V = BigInt(int64_t((uint64_t(1) << 31) + (R >> 56) - 3));
+    break;
+  case 1:
+    V = BigInt(int64_t(((uint64_t(1) << 62) + (arithNext(S) >> 3)) &
+                       uint64_t(INT64_MAX)));
+    break;
+  case 2: { // Multi-limb via squaring past 64 bits.
+    BigInt B(int64_t(arithNext(S) >> 16) + 1);
+    V = B * B;
+    break;
+  }
+  default:
+    V = BigInt(int64_t(arithNext(S) >> 33));
+    break;
+  }
+  return (R >> 2) & 1 ? -V : V;
+}
+
+/// Replays the trace of \p Seed, appending "op=value" lines. The trace is
+/// a pure function of the seed, so running it twice under different
+/// representation regimes and comparing lines is a complete differential.
+std::vector<std::string> arithTrace(uint64_t Seed, unsigned Rounds) {
+  std::vector<std::string> Out;
+  uint64_t S = Seed ? Seed : 0x9e3779b97f4a7c15ull;
+  for (unsigned I = 0; I < Rounds; ++I) {
+    BigInt A = arithOperand(S), B = arithOperand(S);
+    auto Push = [&](const char *Op, const BigInt &V) {
+      Out.push_back(std::string(Op) + "=" + V.toString() + "#" +
+                    std::to_string(V.hash()));
+    };
+    Push("add", A + B);
+    Push("sub", A - B);
+    Push("mul", A * B);
+    Push("neg", -A);
+    Push("gcd", BigInt::gcd(A, B));
+    if (!B.isZero()) {
+      BigInt Q, R;
+      BigInt::divMod(A, B, Q, R);
+      Push("quot", Q);
+      Push("rem", R);
+      Push("floorDiv", A.floorDiv(B));
+      Push("euclidMod", A.euclidMod(B));
+      Rational Rat(A, B);
+      Out.push_back("rat=" + Rat.toString() + "#" +
+                    std::to_string(Rat.hash()));
+      Out.push_back("ratcmp=" +
+                    std::to_string(Rat.compare(Rational(B.abs() + BigInt(1),
+                                                        A.abs() + BigInt(1)))));
+    }
+    Out.push_back("cmp=" + std::to_string(A.compare(B)));
+  }
+  return Out;
+}
+
+} // namespace
+
+OracleOutcome mucyc::checkArithFastSlow(uint64_t Seed, unsigned Rounds) {
+  std::vector<std::string> Fast = arithTrace(Seed, Rounds);
+  std::vector<std::string> Slow;
+  {
+    ScopedForceHeap FH(true);
+    Slow = arithTrace(Seed, Rounds);
+  }
+  if (Fast.size() != Slow.size())
+    return OracleOutcome::fail(
+        "arith-fast-slow-mismatch",
+        "trace lengths differ: fast=" + std::to_string(Fast.size()) +
+            " slow=" + std::to_string(Slow.size()) +
+            " seed=" + std::to_string(Seed));
+  for (size_t I = 0; I < Fast.size(); ++I)
+    if (Fast[I] != Slow[I])
+      return OracleOutcome::fail(
+          "arith-fast-slow-mismatch",
+          "op " + std::to_string(I) + " diverges: fast '" + Fast[I] +
+              "' vs forced-heap '" + Slow[I] +
+              "' seed=" + std::to_string(Seed));
   return OracleOutcome::pass();
 }

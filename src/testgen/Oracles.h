@@ -183,6 +183,17 @@ OracleOutcome checkShareCooperation(const ChcSystem &Sys,
                                     const EngineRaceKnobs &Knobs,
                                     const OracleHooks *Hooks = nullptr);
 
+/// Arithmetic fast/slow differential: replays one deterministic operand
+/// trace (derived from \p Seed) through every BigInt/Rational operation
+/// twice — once on the default representation (small values inline) and
+/// once under ScopedForceHeap, which routes everything onto limb vectors —
+/// and requires op-for-op identical results, hashes and printed forms. The
+/// operand stream is biased toward the representation frontier (±2^31,
+/// ±2^62..2^63, multi-limb), where carry/borrow spill bugs live. Fails
+/// with "arith-fast-slow-mismatch" naming the first diverging op. Pure
+/// function of (Seed, Rounds).
+OracleOutcome checkArithFastSlow(uint64_t Seed, unsigned Rounds = 64);
+
 } // namespace mucyc
 
 #endif // MUCYC_TESTGEN_ORACLES_H

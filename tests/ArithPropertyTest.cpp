@@ -183,6 +183,138 @@ TEST(ArithProperty, RationalToStringRoundTrip) {
   }
 }
 
+//===----------------------------------------------------------------------===
+// Small/heap representation frontier
+//===----------------------------------------------------------------------===
+//
+// The fast path keeps values inline in an int64 and spills to heap limbs on
+// overflow, so the dangerous inputs sit at the representation boundary:
+// ±2^31 (limb edge), ±2^62..2^63 (inline edge, carry chains), and mixed
+// small×big operands. Each trial computes once on the fast path and once
+// under ScopedForceHeap, and the results must be equal with equal hashes —
+// the heap path is the reference semantics.
+
+/// Operand biased to the representation frontier.
+BigInt genFrontier(Rng &R) {
+  uint64_t Mag;
+  switch (R.below(4)) {
+  case 0: // Around ±2^31.
+    Mag = (uint64_t(1) << 31) + R.below(7) - 3;
+    break;
+  case 1: // Around ±2^62..2^63: one carry away from spilling.
+    Mag = (uint64_t(1) << 62) + (R.next() >> 3);
+    break;
+  case 2: // Multi-limb: already past the inline domain.
+    return genNonZeroBig(R, 3);
+  default: // Plain small.
+    Mag = R.next() >> 33;
+    break;
+  }
+  BigInt V(static_cast<int64_t>(Mag & INT64_MAX));
+  return R.oneIn(2) ? -V : V;
+}
+
+/// Recomputes \p Op under the force-heap reference and checks agreement.
+template <typename OpT>
+void expectMatchesForcedHeap(const char *What, OpT Op) {
+  BigInt Fast = Op();
+  ScopedForceHeap FH(true);
+  BigInt Ref = Op();
+  EXPECT_EQ(Fast, Ref) << What << ": fast=" << Fast.toString()
+                       << " heap=" << Ref.toString();
+  EXPECT_EQ(Fast.hash(), Ref.hash()) << What;
+  EXPECT_EQ(Fast.toString(), Ref.toString()) << What;
+}
+
+TEST(ArithProperty, FrontierOpsMatchForcedHeapReference) {
+  Rng R(Rng::deriveSeed(0xA1, 9));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt A = genFrontier(R), B = genFrontier(R);
+    expectMatchesForcedHeap("add", [&] { return A + B; });
+    expectMatchesForcedHeap("sub", [&] { return A - B; });
+    expectMatchesForcedHeap("mul", [&] { return A * B; });
+    expectMatchesForcedHeap("neg", [&] { return -A; });
+    expectMatchesForcedHeap("gcd", [&] { return BigInt::gcd(A, B); });
+    if (!B.isZero()) {
+      expectMatchesForcedHeap("quot", [&] { return A / B; });
+      expectMatchesForcedHeap("rem", [&] { return A % B; });
+      expectMatchesForcedHeap("floorDiv", [&] { return A.floorDiv(B); });
+      expectMatchesForcedHeap("euclidMod", [&] { return A.euclidMod(B); });
+    }
+    // Comparison must agree across every representation pairing.
+    int CFast = A.compare(B);
+    {
+      ScopedForceHeap FH(true);
+      BigInt HA = A + BigInt(0), HB = B + BigInt(0); // Heap-rep copies.
+      EXPECT_EQ(HA.compare(HB), CFast);
+      EXPECT_EQ(A.compare(HB), CFast); // Mixed small vs heap.
+      EXPECT_EQ(HA.compare(B), CFast); // Mixed heap vs small.
+    }
+  }
+}
+
+TEST(ArithProperty, CarryChainAcrossInlineEdge) {
+  // ±2^62..2^63 chains: repeatedly push a value across the inline edge and
+  // back; every intermediate must match the forced-heap reference.
+  Rng R(Rng::deriveSeed(0xA1, 10));
+  for (unsigned I = 0; I < Trials / 5; ++I) {
+    int64_t Start = static_cast<int64_t>((uint64_t(1) << 62) + (R.next() >> 3));
+    BigInt Step(static_cast<int64_t>(1 + R.below(1000)));
+    auto Chain = [&] {
+      BigInt V{Start};
+      for (int K = 0; K < 8; ++K)
+        V = V + V;      // Doubling: overflows inline within 2 steps.
+      for (int K = 0; K < 8; ++K) {
+        BigInt Q, Rem;
+        BigInt::divMod(V, BigInt(2), Q, Rem);
+        V = Q - Step;   // Walk back down across the edge.
+      }
+      return V;
+    };
+    expectMatchesForcedHeap("carry-chain", Chain);
+  }
+}
+
+TEST(ArithProperty, MixedSmallBigDivModGcd) {
+  // Mixed small×big operands: one side inline, the other multi-limb.
+  Rng R(Rng::deriveSeed(0xA1, 11));
+  for (unsigned I = 0; I < Trials; ++I) {
+    BigInt Small(static_cast<int64_t>(R.next() >> 32) + 1);
+    BigInt Big = genNonZeroBig(R, 3);
+    expectMatchesForcedHeap("mixed-gcd-sb",
+                            [&] { return BigInt::gcd(Small, Big); });
+    expectMatchesForcedHeap("mixed-gcd-bs",
+                            [&] { return BigInt::gcd(Big, Small); });
+    expectMatchesForcedHeap("mixed-quot", [&] { return Big / Small; });
+    expectMatchesForcedHeap("mixed-rem", [&] { return Big % Small; });
+    BigInt Q, Rem;
+    BigInt::divMod(Big, Small, Q, Rem);
+    EXPECT_EQ(Q * Small + Rem, Big);
+    // Small dividend, big divisor: quotient 0 (or ±1 at the sign edge).
+    expectMatchesForcedHeap("mixed-quot-rev", [&] { return Small / Big; });
+  }
+}
+
+TEST(ArithProperty, FrontierRationalsMatchForcedHeap) {
+  Rng R(Rng::deriveSeed(0xA1, 12));
+  for (unsigned I = 0; I < Trials / 2; ++I) {
+    BigInt NA = genFrontier(R), DA = genFrontier(R);
+    BigInt NB = genFrontier(R), DB = genFrontier(R);
+    if (DA.isZero() || DB.isZero())
+      continue;
+    Rational FastSum = Rational(NA, DA) + Rational(NB, DB);
+    Rational FastProd = Rational(NA, DA) * Rational(NB, DB);
+    int FastCmp = Rational(NA, DA).compare(Rational(NB, DB));
+    ScopedForceHeap FH(true);
+    Rational RefSum = Rational(NA, DA) + Rational(NB, DB);
+    Rational RefProd = Rational(NA, DA) * Rational(NB, DB);
+    EXPECT_EQ(FastSum, RefSum);
+    EXPECT_EQ(FastSum.hash(), RefSum.hash());
+    EXPECT_EQ(FastProd, RefProd);
+    EXPECT_EQ(Rational(NA, DA).compare(Rational(NB, DB)), FastCmp);
+  }
+}
+
 // Delta-rationals order lexicographically: the infinitesimal only breaks
 // ties of the real part (the simplex's strict-bound encoding relies on
 // exactly this).

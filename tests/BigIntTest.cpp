@@ -5,6 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "support/BigInt.h"
+#include "support/Error.h"
 
 #include <gtest/gtest.h>
 
@@ -115,6 +116,60 @@ TEST_P(BigIntPropertyTest, AgreesWithInt64) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(BigIntTest, FromStringRaisesInputError) {
+  // Malformed numerals raise the typed InputError of the PR-4 taxonomy
+  // instead of tripping an assert; parsers convert it into a diagnostic.
+  for (const char *Bad : {"", "-", "12a", "1.5", "--3", "3-", " 42"}) {
+    try {
+      BigInt::fromString(Bad);
+      FAIL() << "fromString accepted '" << Bad << "'";
+    } catch (const MucycError &E) {
+      EXPECT_EQ(E.code(), ErrorCode::InputError) << Bad;
+      EXPECT_FALSE(E.detail().empty());
+    }
+  }
+}
+
+TEST(BigIntTest, SmallHeapFrontier) {
+  // Values straddling the inline-int64 boundary: INT64_MAX is the largest
+  // small value, INT64_MIN lives on the heap but still round-trips.
+  BigInt Max(INT64_MAX), Min(INT64_MIN);
+  EXPECT_EQ((Max + BigInt(1)).toString(), "9223372036854775808");
+  EXPECT_EQ((Max + BigInt(1)) - BigInt(1), Max);
+  EXPECT_EQ(-Min, Max + BigInt(1));
+  EXPECT_EQ(Min.abs(), Max + BigInt(1));
+  EXPECT_EQ(Min + Max, BigInt(-1));
+  // INT64_MIN / -1 overflows machine division; BigInt must not.
+  EXPECT_EQ(Min / BigInt(-1), Max + BigInt(1));
+  EXPECT_EQ(Min % BigInt(-1), BigInt(0));
+}
+
+TEST(BigIntTest, ForceHeapMatchesFastPath) {
+  // The force-heap knob routes everything onto limb vectors; results,
+  // hashes and comparisons must be indistinguishable from the fast path.
+  std::mt19937 Rng(7);
+  std::uniform_int_distribution<int64_t> Dist(-3000000000ll, 3000000000ll);
+  for (int I = 0; I < 200; ++I) {
+    int64_t A = Dist(Rng), B = Dist(Rng);
+    BigInt FastSum = BigInt(A) + BigInt(B);
+    BigInt FastProd = BigInt(A) * BigInt(B);
+    BigInt FastGcd = BigInt::gcd(BigInt(A), BigInt(B));
+    ScopedForceHeap FH(true);
+    BigInt SlowSum = BigInt(A) + BigInt(B);
+    BigInt SlowProd = BigInt(A) * BigInt(B);
+    BigInt SlowGcd = BigInt::gcd(BigInt(A), BigInt(B));
+    // Mixed-representation equality, ordering, hashing and printing.
+    EXPECT_EQ(FastSum, SlowSum);
+    EXPECT_EQ(FastSum.hash(), SlowSum.hash());
+    EXPECT_EQ(FastSum.compare(SlowSum), 0);
+    EXPECT_EQ(FastSum.toString(), SlowSum.toString());
+    EXPECT_EQ(FastProd, SlowProd);
+    EXPECT_EQ(FastProd.hash(), SlowProd.hash());
+    EXPECT_EQ(FastGcd, SlowGcd);
+    EXPECT_EQ(FastGcd.hash(), SlowGcd.hash());
+  }
+}
 
 TEST(BigIntTest, StringRoundTripLarge) {
   std::mt19937 Rng(99);

@@ -484,3 +484,115 @@ TEST(ChaosTest, OracleCatchesFlippedChaosVerdict) {
               O.Check == "chaos-ground-truth")
       << O.Check << " — " << O.Detail;
 }
+
+//===----------------------------------------------------------------------===//
+// Representation invariance of resource governance
+//===----------------------------------------------------------------------===//
+//
+// The small-value arithmetic fast path and the term-kid arena must be
+// invisible to the fault-tolerance layer: gauge charges are computed from
+// logical sizes (node + kid count), never from which BigInt representation
+// a Rational happens to hold, so the ordinal at which a budget trips — and
+// therefore every breadcrumb, retry decision and chaos schedule — is a
+// pure function of the allocation trace.
+
+TEST(FaultTest, ArenaAccountingIsPureFunctionOfTrace) {
+  auto BuildBytes = [] {
+    TermContext C;
+    TermRef X = C.mkVar("x", Sort::Int);
+    TermRef Sum = C.mkIntConst(1);
+    TermRef F = C.mkTrue();
+    for (int64_t I = 0; I < 50; ++I) {
+      Sum = C.mkAdd({X, Sum, C.mkIntConst(I)});
+      F = C.mkAnd({C.mkGe(Sum, C.mkIntConst(I)),
+                   C.mkEq(X, C.mkIntConst(I * 1000000007)), F});
+    }
+    return C.kidArenaBytes();
+  };
+  size_t Fast = BuildBytes();
+  EXPECT_GT(Fast, 0u);
+  size_t Slow;
+  {
+    ScopedForceHeap FH(true);
+    Slow = BuildBytes();
+  }
+  // Identical trace => identical payload bytes, independent of the BigInt
+  // representation held inside the interned Rational values.
+  EXPECT_EQ(Fast, Slow);
+}
+
+TEST(FaultTest, GaugeTripOrdinalInvariantUnderRepresentation) {
+  // Count interning steps until a fixed budget trips, both ways. The
+  // charge formula reads sizes only, so the ordinal must match exactly.
+  auto TripOrdinal = [] {
+    TermContext C;
+    ResourceGauge G(16 * 1024);
+    C.setResourceGauge(&G);
+    TermRef X = C.mkVar("x", Sort::Int);
+    unsigned Ordinal = 0;
+    try {
+      for (unsigned I = 1; I < 10000; ++I) {
+        C.mkGe(C.mkAdd({X, C.mkIntConst(int64_t(I) * 3000000000ll)}),
+               C.mkIntConst(I));
+        ++Ordinal;
+      }
+    } catch (const MucycError &E) {
+      EXPECT_EQ(E.code(), ErrorCode::ResourceExhaustedMemory);
+    }
+    return Ordinal;
+  };
+  unsigned Fast = TripOrdinal();
+  EXPECT_GT(Fast, 0u);
+  EXPECT_LT(Fast, 9999u) << "budget never tripped; test lost its teeth";
+  unsigned Slow;
+  {
+    ScopedForceHeap FH(true);
+    Slow = TripOrdinal();
+  }
+  EXPECT_EQ(Fast, Slow);
+}
+
+TEST(FaultTest, MemLimitBreadcrumbInvariantUnderRepresentation) {
+  // The end-to-end governance path: a metered solve on the diverging
+  // Example 5 must fail with a byte-identical typed error whichever
+  // arithmetic representation is in force.
+  auto Breadcrumb = [] {
+    TermContext Ctx;
+    NormalizedChc N = paperExample5(Ctx);
+    auto Opts = SolverOptions::parse("Solve");
+    EXPECT_TRUE(Opts.has_value());
+    Opts->MemLimitMb = 1;
+    ChcSolver S(Ctx, N, *Opts);
+    SolverResult R = S.solve();
+    EXPECT_EQ(R.Status, ChcStatus::Unknown);
+    EXPECT_EQ(R.Error.Code, ErrorCode::ResourceExhaustedMemory);
+    return R.Error.Detail;
+  };
+  std::string Fast = Breadcrumb();
+  std::string Slow;
+  {
+    ScopedForceHeap FH(true);
+    Slow = Breadcrumb();
+  }
+  EXPECT_EQ(Fast, Slow);
+}
+
+TEST(ChaosTest, FaultScheduleInvariantUnderRepresentation) {
+  // Chaos schedules are armed from seeds and consumed at gauge/injector
+  // sites whose ordinals are representation-independent, so the full
+  // chaos-resilience outcome (including every diagnostic string) must not
+  // change when arithmetic is forced onto the heap.
+  TermContext C;
+  ChcSystem Sys = safeSystem(C);
+  EngineRaceKnobs Knobs;
+  Knobs.RefineBudget = 100;
+  for (uint64_t Seed : {1ull, 2ull, 3ull}) {
+    OracleOutcome Fast = checkChaosResilience(Sys, Knobs, Seed);
+    ScopedForceHeap FH(true);
+    OracleOutcome Slow = checkChaosResilience(Sys, Knobs, Seed);
+    EXPECT_EQ(Fast.Status == OracleStatus::Fail,
+              Slow.Status == OracleStatus::Fail);
+    EXPECT_EQ(Fast.Check, Slow.Check) << "seed " << Seed;
+    EXPECT_EQ(Fast.Detail, Slow.Detail) << "seed " << Seed;
+  }
+}

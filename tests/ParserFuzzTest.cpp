@@ -123,7 +123,7 @@ std::string mutate(Rng &R, const std::string &Text) {
   case 4: { // Splice in a token that stresses the operator table.
     static const char *Tokens[] = {"true",  "1.5", "(",  ")",   "x",
                                    "(not",  "|",   "_",  "and", "divisible",
-                                   "(/ 1.0", "0"};
+                                   "(/ 1.0", "0",  "1.2.3", "-7", "."};
     size_t Start = R.below(Out.size() + 1);
     Out.insert(Start, Tokens[R.below(std::size(Tokens))]);
     break;

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/Error.h"
 #include "support/Rational.h"
 
 #include <gtest/gtest.h>
@@ -105,3 +106,36 @@ TEST_P(RationalPropertyTest, FieldIdentities) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest,
                          ::testing::Values(11u, 12u, 13u));
+
+TEST(RationalTest, FromStringRaisesInputError) {
+  // Malformed rationals raise typed InputError (PR-4 taxonomy), including
+  // the zero-denominator case that previously hit a constructor assert.
+  for (const char *Bad : {"", "3/0", "1/", "/2", "a/b", "1.2.3", "2x"}) {
+    try {
+      Rational::fromString(Bad);
+      FAIL() << "fromString accepted '" << Bad << "'";
+    } catch (const MucycError &E) {
+      EXPECT_EQ(E.code(), ErrorCode::InputError) << Bad;
+      EXPECT_FALSE(E.detail().empty());
+    }
+  }
+}
+
+TEST(RationalTest, SmallGcdLaneMatchesForcedHeap) {
+  // The inline small-gcd normalization lane must agree with the heap
+  // reference normalization on identical inputs.
+  std::mt19937 Rng(21);
+  for (int I = 0; I < 300; ++I) {
+    int64_t N = static_cast<int64_t>(Rng() % 4000001) - 2000000;
+    int64_t D = static_cast<int64_t>(Rng() % 4000000) - 2000000;
+    if (D == 0)
+      D = 7;
+    Rational Fast(N, D);
+    ScopedForceHeap FH(true);
+    Rational Slow(N, D);
+    EXPECT_EQ(Fast, Slow);
+    EXPECT_EQ(Fast.hash(), Slow.hash());
+    EXPECT_EQ(Fast.compare(Slow), 0);
+    EXPECT_EQ(Fast.toString(), Slow.toString());
+  }
+}

@@ -319,4 +319,29 @@ TEST(Testgen, IncrementalAndFreshEnginesAgreeOnFixedSuite) {
   EXPECT_EQ(Inc.ChcVerdicts, Fresh.ChcVerdicts);
 }
 
+// The arith domain's fast-vs-forced-heap differential must pass on the
+// shipped tree for any seed (the frontier-biased trace is a pure function
+// of the seed, so a failure here names a real representation bug), and
+// the whole domain must run clean and deterministically through the fuzz
+// loop. scripts/ci.sh runs the 200-instance version; this keeps a fast
+// copy in ctest.
+TEST(Testgen, ArithFastSlowDifferentialHoldsAcrossSeeds) {
+  for (uint64_t Seed : {0ull, 1ull, 42ull, 0xfeedfaceull}) {
+    OracleOutcome O = checkArithFastSlow(Seed);
+    EXPECT_FALSE(O.failed()) << "seed " << Seed << ": " << O.Detail;
+  }
+  FuzzConfig Cfg;
+  Cfg.Seed = 20240804;
+  Cfg.N = 24;
+  Cfg.Domains = FuzzDomains{};
+  Cfg.Domains.Smt = Cfg.Domains.Mbp = Cfg.Domains.Itp = false;
+  Cfg.Domains.Chc = Cfg.Domains.Inc = false;
+  Cfg.Domains.Arith = true;
+  FuzzReport A = runFuzz(Cfg);
+  FuzzReport B = runFuzz(Cfg);
+  EXPECT_TRUE(A.ok()) << A.summary(Cfg);
+  EXPECT_EQ(A.Ran, Cfg.N);
+  EXPECT_EQ(A.summary(Cfg), B.summary(Cfg));
+}
+
 } // namespace

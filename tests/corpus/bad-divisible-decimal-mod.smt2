@@ -1,0 +1,2 @@
+(set-logic HORN)
+(assert (forall ((x Int)) (=> ((_ divisible 1.5) x) false)))

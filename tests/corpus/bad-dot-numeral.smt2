@@ -1,0 +1,2 @@
+(set-logic HORN)
+(assert (forall ((r Real)) (=> (= r .) false)))

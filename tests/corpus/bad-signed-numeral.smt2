@@ -1,0 +1,2 @@
+(set-logic HORN)
+(assert (forall ((x Int)) (=> (= x -5) false)))
