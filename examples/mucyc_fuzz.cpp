@@ -12,7 +12,7 @@
 // exact failing instance anywhere.
 //
 //   mucyc-fuzz [--seed S] [--n N]
-//              [--domains smt,mbp,itp,chc,inc,chaos,share,arith]
+//              [--domains smt,mbp,itp,chc,inc,chaos,share,arith,ts]
 //              [--repro-dir DIR] [--no-shrink] [--refine-budget N]
 //              [--clauses N] [--coeff-mag N] [--jobs N]
 //              [--no-incremental] [--verdicts FILE] [--chaos-seed S]
@@ -35,7 +35,10 @@
 // never flips a verdict either. The arith domain (also off by default)
 // replays a frontier-biased operand trace through every BigInt/Rational
 // operation on the small-value fast path and again under the forced-heap
-// representation, requiring op-for-op identical results.
+// representation, requiring op-for-op identical results. The ts domain
+// (also off by default) generates BTOR2 transition systems, checks the
+// frontend's print/parse/encode round-trip properties, and races the
+// encoded CHC system through the same engine-agreement oracle as chc.
 //
 // Exit status: 0 when no oracle fired, 1 on violations, 2 on usage errors
 // (internal errors surface as "uncaught-*" violations, not aborts).
@@ -57,7 +60,7 @@ static void usage() {
   std::fprintf(
       stderr,
       "usage: mucyc-fuzz [--seed S] [--n N]\n"
-      "                  [--domains smt,mbp,itp,chc,inc,chaos,share,arith]\n"
+      "                  [--domains smt,mbp,itp,chc,inc,chaos,share,arith,ts]\n"
       "                  [--repro-dir DIR] [--no-shrink]\n"
       "                  [--refine-budget N] [--clauses N] [--coeff-mag N]\n"
       "                  [--jobs N] [--no-incremental] [--verdicts FILE]\n"
@@ -68,7 +71,8 @@ static void usage() {
 }
 
 static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
-  D = FuzzDomains{false, false, false, false, false, false, false, false};
+  D = FuzzDomains{false, false, false, false, false, false, false, false,
+                  false};
   size_t Pos = 0;
   while (Pos < Spec.size()) {
     size_t Comma = Spec.find(',', Pos);
@@ -90,6 +94,8 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
       D.Share = true;
     else if (Name == "arith")
       D.Arith = true;
+    else if (Name == "ts")
+      D.Ts = true;
     else
       return false;
     if (Comma == std::string::npos)
@@ -97,7 +103,7 @@ static bool parseDomains(const std::string &Spec, FuzzDomains &D) {
     Pos = Comma + 1;
   }
   return D.Smt || D.Mbp || D.Itp || D.Chc || D.Inc || D.Chaos || D.Share ||
-         D.Arith;
+         D.Arith || D.Ts;
 }
 
 int main(int Argc, char **Argv) {

@@ -4,11 +4,13 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// The `mucyc` command-line solver: reads an SMT-LIB2 HORN problem, runs a
-// configuration (paper names, default Ret(T,MBP(1))), and prints sat/unsat
-// plus the witness. With --portfolio, races a comma-separated list of
-// configurations on the runtime's thread pool: the first definitive answer
-// wins and cooperatively cancels the rest.
+// The `mucyc` command-line solver: reads an SMT-LIB2 HORN problem or a
+// BTOR2 transition system (--format, or auto-detected from the .btor/.btor2
+// extension and the content), runs a configuration (paper names, default
+// Ret(T,MBP(1))), and prints sat/unsat plus the witness. With --portfolio,
+// races a comma-separated list of configurations on the runtime's thread
+// pool: the first definitive answer wins and cooperatively cancels the
+// rest.
 //
 // Every path routes through the unified SolveRequest/SolveResponse API
 // (runtime/Request.h): single solves and retry-ladder solves are one code
@@ -16,7 +18,8 @@
 // the serve daemon uses at a directory, so repeated invocations on
 // identical or alpha-renamed systems answer from a Verify-certified cache.
 //
-//   mucyc <file.smt2> [--config NAME] [--timeout-ms N] [--no-preprocess]
+//   mucyc <file.smt2|file.btor2> [--format smt2|btor2] [--config NAME]
+//         [--timeout-ms N] [--no-preprocess]
 //         [--print-solution] [--verify] [--stats] [--store-dir DIR]
 //         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
 //         [--mem-limit-mb N] [--max-retries N] [--max-refine-steps N]
@@ -39,6 +42,7 @@
 
 #include "chc/Parser.h"
 #include "runtime/Portfolio.h"
+#include "ts/Btor2.h"
 #include "runtime/Request.h"
 #include "support/Error.h"
 
@@ -53,7 +57,8 @@ using namespace mucyc;
 static void usage() {
   std::fprintf(
       stderr,
-      "usage: mucyc <file.smt2> [--config NAME] [--timeout-ms N]\n"
+      "usage: mucyc <file.smt2|file.btor2> [--format smt2|btor2]\n"
+      "             [--config NAME] [--timeout-ms N]\n"
       "             [--no-preprocess] [--print-solution] [--verify] "
       "[--stats]\n"
       "             [--store-dir DIR]\n"
@@ -86,12 +91,14 @@ static int runMain(int Argc, char **Argv) {
     return 2;
   }
 
-  std::string Path, Portfolio, StoreDir;
+  std::string Path, Portfolio, StoreDir, FormatArg;
   bool Preprocess = true, PrintSolution = false, Stats = false;
   for (int I = 1; I < Argc; ++I) {
     std::string A = Argv[I];
     if (A == "--portfolio" && I + 1 < Argc)
       Portfolio = Argv[++I];
+    else if (A == "--format" && I + 1 < Argc)
+      FormatArg = Argv[++I];
     else if (A == "--store-dir" && I + 1 < Argc)
       StoreDir = Argv[++I];
     else if (A == "--no-preprocess")
@@ -123,14 +130,48 @@ static int runMain(int Argc, char **Argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
+  // Input language: explicit --format wins, then the file extension, then
+  // a content sniff (BTOR2 node lines start with a numeric id).
+  InputFormat Format = InputFormat::Auto;
+  if (FormatArg == "smt2")
+    Format = InputFormat::SmtLib2;
+  else if (FormatArg == "btor2")
+    Format = InputFormat::Btor2;
+  else if (!FormatArg.empty()) {
+    std::fprintf(stderr, "error: bad --format '%s' (smt2|btor2)\n",
+                 FormatArg.c_str());
+    return 2;
+  }
+  if (Format == InputFormat::Auto) {
+    auto EndsWith = [&](const char *Suffix) {
+      size_t N = std::strlen(Suffix);
+      return Path.size() >= N && Path.compare(Path.size() - N, N, Suffix) == 0;
+    };
+    if (EndsWith(".btor2") || EndsWith(".btor"))
+      Format = InputFormat::Btor2;
+    else if (EndsWith(".smt2"))
+      Format = InputFormat::SmtLib2;
+    else
+      Format = looksLikeBtor2(Buf.str()) ? InputFormat::Btor2
+                                         : InputFormat::SmtLib2;
+  }
+
   {
     // Validate the input upfront so malformed files exit 2 (input error)
     // with the parser's diagnostic, not 1 (unknown) out of the solve path.
     TermContext Ctx;
-    ParseResult PR = parseChc(Ctx, Buf.str());
-    if (!PR.Ok) {
-      std::fprintf(stderr, "error: parse failed. %s\n", PR.Error.c_str());
-      return 2;
+    if (Format == InputFormat::Btor2) {
+      Btor2Result BR = parseBtor2(Ctx, Buf.str());
+      if (!BR.Ok) {
+        std::fprintf(stderr, "error: parse failed. %s\n", BR.Error.c_str());
+        return 2;
+      }
+    } else {
+      ParseResult PR = parseChc(Ctx, Buf.str());
+      if (!PR.Ok) {
+        std::fprintf(stderr, "error: parse failed. %s\n", PR.Error.c_str());
+        return 2;
+      }
     }
   }
 
@@ -168,7 +209,8 @@ static int runMain(int Argc, char **Argv) {
   if (!StoreDir.empty())
     Store = std::make_unique<ResultStore>(StoreDir);
 
-  SolveRequest Base = SolveRequest::fromText(Buf.str(), Cli.Opts, Preprocess);
+  SolveRequest Base =
+      SolveRequest::fromText(Buf.str(), Cli.Opts, Preprocess, Format);
   Base.DeadlineMs = Cli.TimeoutMs;
   Base.WantSolution = PrintSolution;
 

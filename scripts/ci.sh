@@ -35,6 +35,15 @@
 # dedicated arith fuzz batch runs the op-level fast-vs-slow differential,
 # and the micro_arith benchmark enforces the small-value speedup floor via
 # its exit status (BENCH_arith.json).
+# The ts legs gate the BTOR2 transition-system frontend: a fixed-seed batch
+# of generated hardware-style state machines is pushed through the
+# parse/print round trip, the alpha-invariant re-encode fingerprint check,
+# and the four-engine race against BMC ground truth (twice, byte-compared;
+# the same leg also runs in the --asan gate), the ts_suite benchmark
+# records the counter+FIFO hardware-workload baseline (BENCH_ts.json), and
+# the serve section replays the golden .btor2 corpus through the daemon
+# cold and alpha-renamed-warm — renamed hardware designs must be answered
+# from the Verify-certified store just like renamed CHC systems.
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
@@ -61,6 +70,8 @@ CHAOS_SEED=20240802
 CHAOS_N=300
 SHARE_SEED=20240803
 SHARE_N=120
+TS_SEED=20260808
+TS_N=200
 SHARE_BUDGET=300
 SHARE_PORTFOLIO="SpacerTS(fig1),Ret(T,MBP(1)),Yld(T,MBP(1))"
 
@@ -172,6 +183,36 @@ if ! "$BUILD"/examples/mucyc-fuzz --domains arith --seed "$ARITH_SEED" \
 fi
 tail -2 "$OUT/arith.txt"
 
+echo "== ts smoke: $TS_N BTOR2 transition systems, seed $TS_SEED =="
+# Generated hardware-style state machines through the whole frontend:
+# parse/print round trip, alpha-invariant re-encode fingerprint, then the
+# four-engine race against k-step BMC ground truth. Two same-seed runs
+# must be byte-identical in both the report and the per-instance verdict
+# lines — checked-in .btor2 repros depend on it.
+run_ts() {
+  "$BUILD"/examples/mucyc-fuzz --domains ts --seed "$TS_SEED" \
+    --n "$TS_N" --repro-dir "$1" --verdicts "$2"
+}
+if ! run_ts "$OUT/ts_repros" "$OUT/ts_verdicts_a.txt" >"$OUT/ts_a.txt"; then
+  cat "$OUT/ts_a.txt"
+  echo "FAIL: ts oracle violations; repros in $OUT/ts_repros/" >&2
+  echo "replay: $BUILD/examples/mucyc-fuzz --domains ts" \
+       "--seed $TS_SEED --n $TS_N" >&2
+  trap - EXIT
+  exit 1
+fi
+run_ts "$OUT/ts_repros2" "$OUT/ts_verdicts_b.txt" >"$OUT/ts_b.txt"
+if ! cmp -s "$OUT/ts_a.txt" "$OUT/ts_b.txt"; then
+  diff -u "$OUT/ts_a.txt" "$OUT/ts_b.txt" | head -40 >&2
+  echo "FAIL: ts report is not deterministic" >&2
+  exit 1
+fi
+if ! cmp -s "$OUT/ts_verdicts_a.txt" "$OUT/ts_verdicts_b.txt"; then
+  echo "FAIL: ts verdict lines are not deterministic" >&2
+  exit 1
+fi
+tail -2 "$OUT/ts_a.txt"
+
 echo "== chaos smoke: $CHAOS_N fault-injected instances, seed $CHAOS_SEED =="
 # Every instance is solved clean and under deterministic fault injection;
 # injected faults may only degrade verdicts to Unknown, never flip them or
@@ -261,6 +302,13 @@ echo "== arith benchmark: small-value fast-path floor =="
 # the floor was missed.
 "$BUILD"/bench/micro_arith --json BENCH_arith.json
 
+echo "== ts benchmark: hardware-workload baseline =="
+# Counter and FIFO families through the BTOR2 frontend under the default
+# engine; writes BENCH_ts.json at the repo root so later perf PRs have a
+# hardware trajectory, and fails on any verdict that contradicts the
+# family's expected answer.
+"$BUILD"/bench/ts_suite --json BENCH_ts.json
+
 if [ "$ASAN" = 0 ] && [ "$TSAN" = 0 ]; then
   echo "== tsan: lemma-bus stress under ThreadSanitizer =="
   # The concurrent half of the exchange (the share oracle and the CI legs
@@ -339,6 +387,38 @@ fi
 HITS=$(awk '$3 != "cold"' "$OUT/warm_provenance.txt" | wc -l)
 echo "serve smoke: $(wc -l <"$OUT/serve_verdicts.txt") instances," \
      "$HITS warm hits"
+
+echo "== serve btor2: golden hardware designs cold + alpha-renamed warm =="
+# The daemon content-sniffs BTOR2 bodies, so hardware designs flow through
+# the same store as CHC systems. Replay the golden corpus cold, then
+# alpha-rename every state/input symbol and resubmit: definitive verdicts
+# must come back from the Verify-certified store with unchanged answers —
+# the canonical fingerprint is alpha-invariant across frontends too.
+ls tests/corpus/ok-*.btor2 >"$OUT/btor2_files.txt"
+mkdir -p "$OUT/btor2_renamed"
+while read -r F; do
+  sed -E 's/(state|input) ([0-9]+) ([A-Za-z_][A-Za-z0-9_]*)$/\1 \2 \3_r/' \
+    "$F" >"$OUT/btor2_renamed/$(basename "$F")"
+done <"$OUT/btor2_files.txt"
+xargs "$BUILD"/examples/mucyc-client --socket "$OUT/serve.sock" \
+  <"$OUT/btor2_files.txt" >"$OUT/btor2_cold.txt"
+ls "$OUT/btor2_renamed"/*.btor2 | xargs "$BUILD"/examples/mucyc-client \
+  --socket "$OUT/serve.sock" --provenance >"$OUT/btor2_warm.txt"
+BAD=$(awk '$2 != "unknown" && ($3 == "cold" || $4 != "verified")' \
+      "$OUT/btor2_warm.txt")
+if [ -n "$BAD" ]; then
+  echo "$BAD" >&2
+  echo "FAIL: renamed .btor2 resubmissions not served from the store" >&2
+  exit 1
+fi
+if ! awk '{print $2}' "$OUT/btor2_warm.txt" \
+    | cmp -s - <(awk '{print $2}' "$OUT/btor2_cold.txt"); then
+  paste "$OUT/btor2_cold.txt" "$OUT/btor2_warm.txt" >&2
+  echo "FAIL: warm btor2 verdicts differ from cold" >&2
+  exit 1
+fi
+echo "serve btor2: $(wc -l <"$OUT/btor2_cold.txt") goldens," \
+     "$(awk '$3 != "cold"' "$OUT/btor2_warm.txt" | wc -l) warm hits"
 kill "$SERVE_PID" 2>/dev/null
 wait "$SERVE_PID" 2>/dev/null || true
 trap 'rm -rf "$OUT"' EXIT

@@ -44,6 +44,19 @@ for F in "$CORPUS"/bad-*.smt2; do
   expect_error "corpus-$(basename "$F")" 2 "$MUCYC" "$F"
 done
 
+# Same contract for the BTOR2 frontend: every malformed transition system
+# is a typed input error with a "line N:" diagnostic, never an assert.
+for F in "$CORPUS"/bad-*.btor2; do
+  expect_error "corpus-$(basename "$F")" 2 "$MUCYC" "$F"
+done
+expect_error bad-format        2 "$MUCYC" --format vhdl \
+  "$CORPUS/ok-ts-counter-safe.btor2"
+# Format forced across frontends: each parser rejects the other's text.
+expect_error btor2-as-smt2     2 "$MUCYC" --format smt2 \
+  "$CORPUS/ok-ts-counter-safe.btor2"
+expect_error smt2-as-btor2     2 "$MUCYC" --format btor2 \
+  "$CORPUS/ok-divisible.smt2"
+
 expect_error fuzz-unknown-flag 2 "$FUZZ" --bogus
 expect_error fuzz-bad-domains  2 "$FUZZ" --domains smt,nope
 
@@ -53,6 +66,12 @@ expect_error fuzz-bad-domains  2 "$FUZZ" --domains smt,nope
 Got=$?
 if [ "$Got" -ne 0 ]; then
   echo "FAIL ok-file: exit $Got, want 0" >&2
+  FAILS=$((FAILS + 1))
+fi
+"$MUCYC" "$CORPUS/ok-ts-counter-safe.btor2" >/dev/null 2>&1
+Got=$?
+if [ "$Got" -ne 0 ]; then
+  echo "FAIL ok-btor2-file: exit $Got, want 0" >&2
   FAILS=$((FAILS + 1))
 fi
 

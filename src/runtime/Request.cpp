@@ -10,6 +10,7 @@
 #include "chc/Parser.h"
 #include "chc/Preprocess.h"
 #include "runtime/Recover.h"
+#include "ts/Btor2.h"
 
 #include <chrono>
 #include <sstream>
@@ -17,10 +18,20 @@
 using namespace mucyc;
 
 NormalizedChc TextSource::build(TermContext &Ctx) {
-  ParseResult PR = parseChc(Ctx, Text);
-  if (!PR.Ok)
-    raiseError(ErrorCode::InputError, "parse failed: " + PR.Error);
-  ChcSystem Orig = std::move(*PR.System);
+  bool IsBtor2 = Format == InputFormat::Btor2 ||
+                 (Format == InputFormat::Auto && looksLikeBtor2(Text));
+  ChcSystem Orig = [&]() -> ChcSystem {
+    if (IsBtor2) {
+      Btor2Result BR = parseBtor2(Ctx, Text);
+      if (!BR.Ok)
+        raiseError(ErrorCode::InputError, "parse failed: " + BR.Error);
+      return BR.Ts->encodeChc();
+    }
+    ParseResult PR = parseChc(Ctx, Text);
+    if (!PR.Ok)
+      raiseError(ErrorCode::InputError, "parse failed: " + PR.Error);
+    return std::move(*PR.System);
+  }();
   ChcSystem Work = Preprocess ? preprocess(Orig) : Orig;
   NormalizeResult NR = normalize(Work);
   auto P = std::make_shared<Pipeline>(

@@ -38,15 +38,21 @@
 
 namespace mucyc {
 
-/// A textual CHC system plus the frontend pipeline (parse, optional
-/// preprocess, normalize) run once per TermContext. Hash consing is not
-/// thread-safe and the retry ladder rebuilds per attempt, so every context
-/// gets its own pipeline; the per-context results are retained for solution
-/// lifting. Thread-safe; shared by portfolio members.
+/// Input language of a textual source. Auto sniffs: BTOR2 node lines start
+/// with a numeric id, SMT-LIB2 with '(' — the two cannot collide.
+enum class InputFormat : uint8_t { Auto, SmtLib2, Btor2 };
+
+/// A textual system — SMT-LIB2 HORN or BTOR2 — plus the frontend pipeline
+/// (parse/encode, optional preprocess, normalize) run once per TermContext.
+/// Hash consing is not thread-safe and the retry ladder rebuilds per
+/// attempt, so every context gets its own pipeline; the per-context results
+/// are retained for solution lifting. Thread-safe; shared by portfolio
+/// members.
 class TextSource {
 public:
-  explicit TextSource(std::string Text, bool Preprocess = true)
-      : Text(std::move(Text)), Preprocess(Preprocess) {}
+  explicit TextSource(std::string Text, bool Preprocess = true,
+                      InputFormat Format = InputFormat::Auto)
+      : Text(std::move(Text)), Preprocess(Preprocess), Format(Format) {}
 
   /// Runs the pipeline in \p Ctx and returns the normalized system.
   /// Throws MucycError(InputError) on a parse failure — the recovery
@@ -73,6 +79,7 @@ private:
 
   std::string Text;
   bool Preprocess;
+  InputFormat Format;
   std::mutex Mu;
   std::map<const TermContext *, std::shared_ptr<Pipeline>> Pipes;
 };
@@ -114,11 +121,14 @@ struct SolveRequest {
   /// response. Batch executors set this false to bound memory.
   bool KeepContext = true;
 
-  /// Convenience: a request over textual SMT-LIB2 source.
+  /// Convenience: a request over textual source (SMT-LIB2 HORN or BTOR2,
+  /// sniffed by default).
   static SolveRequest fromText(std::string Text, SolverOptions Opts,
-                               bool Preprocess = true) {
+                               bool Preprocess = true,
+                               InputFormat Format = InputFormat::Auto) {
     SolveRequest R;
-    R.Source = std::make_shared<TextSource>(std::move(Text), Preprocess);
+    R.Source =
+        std::make_shared<TextSource>(std::move(Text), Preprocess, Format);
     R.Opts = std::move(Opts);
     return R;
   }

@@ -6,9 +6,11 @@
 
 #include "testgen/Fuzzer.h"
 
+#include "chc/Fingerprint.h"
 #include "chc/Parser.h"
 #include "support/Fault.h"
 #include "testgen/Shrink.h"
+#include "testgen/TsGen.h"
 
 #include <filesystem>
 #include <fstream>
@@ -279,6 +281,63 @@ InstanceResult runShareInstance(Rng &R, const FuzzConfig &Cfg,
   return IR;
 }
 
+/// Ts domain: a generated BTOR2 transition system is pushed through the
+/// frontend's own round-trip properties — the program must parse (the
+/// generator promises validity), re-print byte-identically, and encode to
+/// alpha-equivalent CHC systems from independent contexts — before the
+/// encoded system faces the same four-engine race + BMC + Verify oracle as
+/// the chc domain. Frontend-property failures carry the BTOR2 text as the
+/// repro (there is no CHC to shrink); race failures shrink like chc ones.
+InstanceResult runTsInstance(Rng &R, const FuzzConfig &Cfg,
+                             const OracleHooks *Hooks) {
+  Btor2Program Prog = genBtor2(R, TsGenKnobs{});
+  std::string Text = printBtor2(Prog);
+  InstanceResult IR;
+
+  TermContext Ctx;
+  Btor2Result BR = parseBtor2(Ctx, Text);
+  if (!BR.Ok) {
+    IR.Out = OracleOutcome::fail("ts-gen-parse",
+                                 "generated program rejected: " + BR.Error);
+    IR.Repro = Text;
+    return IR;
+  }
+  if (printBtor2(BR.Program) != Text) {
+    IR.Out = OracleOutcome::fail(
+        "ts-print-roundtrip",
+        "print(parse(print(P))) differs from print(P)");
+    IR.Repro = Text;
+    return IR;
+  }
+  ChcSystem Sys = BR.Ts->encodeChc();
+  // Encoding must be alpha-canonical: a fresh context re-parse mints
+  // different VarIds and interning orders, but the normalized fingerprint
+  // may not move.
+  {
+    TermContext Ctx2;
+    Btor2Result BR2 = parseBtor2(Ctx2, Text);
+    ChcSystem Sys2 = BR2.Ts->encodeChc();
+    std::string F1 = fingerprintNormalized(Ctx, normalize(Sys).Sys).hex();
+    std::string F2 = fingerprintNormalized(Ctx2, normalize(Sys2).Sys).hex();
+    if (F1 != F2) {
+      IR.Out = OracleOutcome::fail("ts-roundtrip-fingerprint",
+                                   "re-encode fingerprint mismatch: " + F1 +
+                                       " vs " + F2);
+      IR.Repro = Text;
+      return IR;
+    }
+  }
+  IR.Out = checkEngineAgreement(Sys, Cfg.Race, Hooks, &IR.Verdict);
+  if (IR.Out.failed()) {
+    IR.Repro = printSmtLib(Sys);
+    IR.Refail = [Check = IR.Out.Check, Hooks, Race = Cfg.Race](ChcSystem &S) {
+      OracleOutcome O = checkEngineAgreement(S, Race, Hooks);
+      return O.failed() && O.Check == Check;
+    };
+  }
+  return IR;
+}
+
 /// Arith domain: the fast-vs-forced-heap representation differential on a
 /// deterministic operand trace. There is no SMT-LIB2 repro to shrink — the
 /// oracle's Detail names the trace seed and first diverging op, which is
@@ -308,6 +367,8 @@ std::vector<const char *> enabledDomains(const FuzzDomains &D) {
     Out.push_back("share");
   if (D.Arith)
     Out.push_back("arith");
+  if (D.Ts)
+    Out.push_back("ts");
   return Out;
 }
 
@@ -333,6 +394,7 @@ FuzzReport mucyc::runFuzz(const FuzzConfig &Cfg, const OracleHooks *Hooks) {
            : Dom == "chaos" ? runChaosInstance(R, Cfg, I, Hooks)
            : Dom == "share" ? runShareInstance(R, Cfg, Hooks)
            : Dom == "arith" ? runArithInstance(R)
+           : Dom == "ts"    ? runTsInstance(R, Cfg, Hooks)
                             : runChcInstance(R, Cfg, Hooks);
     } catch (const MucycError &E) {
       IR = InstanceResult{

@@ -45,6 +45,11 @@ struct FuzzDomains {
   /// checkArithFastSlow). Default OFF for the same byte-stability reason;
   /// opt in with --domains arith.
   bool Arith = false;
+  /// BTOR2 transition-system domain: generated hardware-style state
+  /// machines through print -> parse -> encode round-trip checks, then the
+  /// same four-engine race + BMC + Verify oracle as chc. Default OFF for
+  /// the same byte-stability reason; opt in with --domains ts.
+  bool Ts = false;
 };
 
 struct FuzzConfig {
@@ -65,7 +70,7 @@ struct FuzzConfig {
 struct FuzzViolation {
   unsigned Instance = 0;  ///< Instance index (seed stream = (Seed, i)).
   std::string Domain;     ///< "smt", "mbp", "itp", "chc", "inc", "chaos",
-                          ///< "share" or "arith".
+                          ///< "share", "arith" or "ts".
   std::string Check;      ///< Stable tag of the violated contract clause.
   std::string Detail;     ///< Human diagnostic from the oracle.
   std::string Repro;      ///< SMT-LIB2 text (shrunk when Shrink is on);
@@ -76,7 +81,7 @@ struct FuzzViolation {
 struct FuzzReport {
   unsigned Ran = 0, Passed = 0, Skipped = 0;
   std::vector<FuzzViolation> Violations;
-  /// One line per chc instance, "instance=<i> verdict=<sat|unsat|unknown>":
+  /// One line per chc/ts instance, "instance=<i> verdict=<sat|unsat|unknown>":
   /// the engines' consensus verdict, deterministic per (Seed, i, knobs).
   /// The cross-mode differential (default vs. --no-incremental) requires
   /// these to be byte-identical; mucyc-fuzz --verdicts writes them out.

@@ -1,0 +1,294 @@
+//===- testgen/TsGen.cpp - Random BTOR2 transition systems ----------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testgen/TsGen.h"
+
+#include <map>
+
+using namespace mucyc;
+
+namespace {
+
+/// One emitted value node, as the generator sees it. Est is a conservative
+/// upper bound on the guarded-case count the parser's bounded-integer
+/// lowering will produce for this node; the generator refuses combinations
+/// whose estimate exceeds EstCap, so a generated program can never trip the
+/// parser's CaseCap (32) and fail to parse.
+struct GNode {
+  int64_t Id = 0;
+  unsigned Width = 0; ///< 0 = native int.
+  bool IsBool = false; ///< Width-1 bitvec: usable as condition/bad.
+  unsigned Est = 1;
+};
+
+constexpr unsigned EstCap = 24;
+
+} // namespace
+
+Btor2Program mucyc::genBtor2(Rng &R, const TsGenKnobs &K) {
+  Btor2Program P;
+  int64_t NextId = 1;
+  std::map<unsigned, int64_t> SortIds;
+  std::vector<GNode> Vals;
+  std::map<unsigned, std::vector<GNode>> ConstsOf;
+  std::vector<GNode> States;
+
+  auto num = [](int64_t I) { return std::to_string(I); };
+  auto emit = [&](const char *Op, std::vector<std::string> Args) {
+    Btor2Line L;
+    L.Id = NextId++;
+    L.Op = Op;
+    L.Args = std::move(Args);
+    P.push_back(std::move(L));
+    return P.back().Id;
+  };
+  // Sorts are minted on first use; the emit happens while the using line's
+  // argument list is still being built, so the sort line lands first.
+  auto sortOf = [&](unsigned W) {
+    auto It = SortIds.find(W);
+    if (It != SortIds.end())
+      return It->second;
+    int64_t Id = W == 0 ? emit("sort", {"int"})
+                        : emit("sort", {"bitvec", std::to_string(W)});
+    SortIds.emplace(W, Id);
+    return Id;
+  };
+
+  auto mkConst = [&](unsigned W) {
+    int64_t S = sortOf(W);
+    GNode N{0, W, W == 1, 1};
+    if (W != 0 && R.oneIn(4)) {
+      const char *Op = R.oneIn(3) ? "ones" : (R.oneIn(2) ? "zero" : "one");
+      N.Id = emit(Op, {num(S)});
+    } else {
+      // Small values keep reachable sets (and mul's residue bands) small;
+      // int draws stay within the same magnitude for symmetry.
+      int64_t V = W == 0 ? R.intIn(0, 8)
+                         : static_cast<int64_t>(
+                               R.below(W >= 4 ? 16 : (1ull << W)));
+      N.Id = emit("constd", {num(S), num(V)});
+    }
+    Vals.push_back(N);
+    ConstsOf[W].push_back(N);
+    return N;
+  };
+  auto someConst = [&](unsigned W) {
+    auto &Cs = ConstsOf[W];
+    if (!Cs.empty() && !R.oneIn(3))
+      return Cs[R.below(Cs.size())];
+    return mkConst(W);
+  };
+
+  auto pickOfWidth = [&](unsigned W, unsigned MaxEst) -> const GNode * {
+    std::vector<size_t> Is;
+    for (size_t I = 0; I < Vals.size(); ++I)
+      if (Vals[I].Width == W && Vals[I].Est <= MaxEst)
+        Is.push_back(I);
+    return Is.empty() ? nullptr : &Vals[Is[R.below(Is.size())]];
+  };
+  auto pickAny = [&](unsigned MaxEst) -> const GNode * {
+    std::vector<size_t> Is;
+    for (size_t I = 0; I < Vals.size(); ++I)
+      if (Vals[I].Est <= MaxEst)
+        Is.push_back(I);
+    return Is.empty() ? nullptr : &Vals[Is[R.below(Is.size())]];
+  };
+  auto pickBool = [&]() -> const GNode * {
+    std::vector<size_t> Is;
+    for (size_t I = 0; I < Vals.size(); ++I)
+      if (Vals[I].IsBool)
+        Is.push_back(I);
+    return Is.empty() ? nullptr : &Vals[Is[R.below(Is.size())]];
+  };
+
+  // --- States and inputs anchor everything else.
+  unsigned NStates = 1 + static_cast<unsigned>(R.below(std::max(1u, K.MaxStates)));
+  for (unsigned I = 0; I < NStates; ++I) {
+    unsigned W =
+        K.AllowInt && R.oneIn(6)
+            ? 0
+            : 1 + static_cast<unsigned>(R.below(std::max(1u, K.MaxWidth)));
+    GNode N{0, W, W == 1, 1};
+    N.Id = emit("state", {num(sortOf(W)), "x" + num(I)});
+    Vals.push_back(N);
+    States.push_back(N);
+  }
+  unsigned NInputs = static_cast<unsigned>(R.below(K.MaxInputs + 1));
+  for (unsigned I = 0; I < NInputs; ++I) {
+    // Inputs are either control bits or shaped like some state so they can
+    // meet it in an expression.
+    unsigned W = R.oneIn(2) ? 1 : States[R.below(States.size())].Width;
+    GNode N{0, W, W == 1, 1};
+    N.Id = emit("input", {num(sortOf(W)), "y" + num(I)});
+    Vals.push_back(N);
+  }
+
+  // --- Derived expression nodes, case-estimate guarded.
+  unsigned NOps = static_cast<unsigned>(R.below(K.MaxOps + 1));
+  for (unsigned I = 0; I < NOps; ++I) {
+    switch (R.below(7)) {
+    case 0: { // add / sub
+      const GNode *P0 = pickAny(EstCap / 2);
+      if (!P0)
+        break;
+      GNode A = *P0; // Copy: someConst below may grow (reallocate) Vals.
+      unsigned W = A.Width;
+      GNode B = someConst(W);
+      if (!R.oneIn(3))
+        if (const GNode *N = pickOfWidth(W, EstCap / (2 * A.Est)))
+          B = *N;
+      unsigned Est = (W == 0 ? 1 : 2) * A.Est * B.Est;
+      const char *Op = R.oneIn(2) ? "add" : "sub";
+      GNode N{0, W, W == 1, Est};
+      N.Id = emit(Op, {num(sortOf(W)), num(A.Id), num(B.Id)});
+      Vals.push_back(N);
+      break;
+    }
+    case 1: { // inc / dec / neg
+      const GNode *A = pickAny(EstCap / 2);
+      if (!A)
+        break;
+      unsigned W = A->Width;
+      const char *Op =
+          R.oneIn(3) ? "neg" : (R.oneIn(2) ? "inc" : "dec");
+      GNode N{0, W, W == 1, (W == 0 ? 1 : 2) * A->Est};
+      N.Id = emit(Op, {num(sortOf(W)), num(A->Id)});
+      Vals.push_back(N);
+      break;
+    }
+    case 2: { // mul by a small constant (the linear subset's only mul)
+      const GNode *P2 = pickAny(4);
+      if (!P2)
+        break;
+      GNode A = *P2; // Copy: the const push below reallocates Vals.
+      unsigned W = A.Width;
+      int64_t C = R.intIn(0, 4);
+      int64_t CId = emit("constd", {num(sortOf(W)), num(C)});
+      Vals.push_back(GNode{CId, W, W == 1, 1});
+      ConstsOf[W].push_back(Vals.back());
+      unsigned Est = W == 0 ? A.Est
+                            : std::max<unsigned>(
+                                  1, A.Est * static_cast<unsigned>(C));
+      GNode N{0, W, W == 1, Est};
+      N.Id = emit("mul", {num(sortOf(W)), num(A.Id), num(CId)});
+      Vals.push_back(N);
+      break;
+    }
+    case 3: { // comparison (bool result; signed variants split cases
+              // inside the formula, not in the node's case list)
+      const GNode *A = pickAny(8);
+      if (!A)
+        break;
+      const GNode *B = pickOfWidth(A->Width, 8);
+      if (!B)
+        break;
+      static const char *const Ops[] = {"eq",  "neq",  "ult", "ulte",
+                                        "ugt", "ugte", "slt", "slte",
+                                        "sgt", "sgte"};
+      const char *Op = Ops[R.below(10)];
+      GNode N{0, 1, true, 2};
+      N.Id = emit(Op, {num(sortOf(1)), num(A->Id), num(B->Id)});
+      Vals.push_back(N);
+      break;
+    }
+    case 4: { // width-1 boolean connective, or not
+      const GNode *A = pickBool();
+      if (!A)
+        break;
+      GNode N{0, 1, true, 2};
+      if (R.oneIn(4)) {
+        N.Id = emit("not", {num(sortOf(1)), num(A->Id)});
+      } else {
+        const GNode *B = pickBool();
+        static const char *const Ops[] = {"and", "or",      "nand",
+                                          "nor", "xor",     "xnor",
+                                          "iff", "implies"};
+        const char *Op = Ops[R.below(8)];
+        N.Id = emit(Op, {num(sortOf(1)), num(A->Id), num(B->Id)});
+      }
+      Vals.push_back(N);
+      break;
+    }
+    case 5: { // ite
+      const GNode *C = pickBool();
+      const GNode *A = pickAny(EstCap / 2);
+      if (!C || !A)
+        break;
+      const GNode *B = pickOfWidth(A->Width, EstCap - A->Est);
+      if (!B)
+        break;
+      unsigned W = A->Width;
+      GNode N{0, W, W == 1, A->Est + B->Est};
+      N.Id =
+          emit("ite", {num(sortOf(W)), num(C->Id), num(A->Id), num(B->Id)});
+      Vals.push_back(N);
+      break;
+    }
+    default: { // uext / sext (bitvec only)
+      const GNode *A = pickAny(EstCap / 2);
+      if (!A || A->Width == 0 || A->Width + 2 > 64)
+        break;
+      unsigned Ext = 1 + static_cast<unsigned>(R.below(2));
+      unsigned W = A->Width + Ext;
+      bool Signed = R.oneIn(2);
+      GNode N{0, W, false, (Signed ? 2 : 1) * A->Est};
+      N.Id = emit(Signed ? "sext" : "uext",
+                  {num(sortOf(W)), num(A->Id), num(Ext)});
+      Vals.push_back(N);
+      break;
+    }
+    }
+  }
+
+  // --- init / next. Values may be arbitrary same-width nodes (relational
+  // inits and self-loops included); a state skipping either is left free in
+  // that position, which the encoder supports.
+  for (const GNode &S : States) {
+    if (R.oneIn(4))
+      continue;
+    GNode V = someConst(S.Width);
+    if (R.oneIn(5))
+      if (const GNode *N = pickOfWidth(S.Width, EstCap))
+        V = *N;
+    emit("init", {num(sortOf(S.Width)), num(S.Id), num(V.Id)});
+  }
+  for (const GNode &S : States) {
+    if (R.oneIn(8))
+      continue;
+    const GNode *V = pickOfWidth(S.Width, EstCap); // S itself qualifies.
+    emit("next", {num(sortOf(S.Width)), num(S.Id), num(V->Id)});
+  }
+
+  // --- Environment assumption, observability, properties.
+  if (R.oneIn(2))
+    if (const GNode *C = pickBool())
+      emit("constraint", {num(C->Id)});
+  if (R.oneIn(4))
+    emit("output", {num(Vals[R.below(Vals.size())].Id)});
+
+  // The first bad is always a fresh state-vs-constant comparison, so every
+  // program asks a question about its reachable states; later ones may
+  // reuse any boolean node.
+  auto stateCompare = [&]() {
+    const GNode &S = States[R.below(States.size())];
+    GNode C = someConst(S.Width);
+    static const char *const Ops[] = {"eq",  "neq", "ult",
+                                      "ugte", "slt", "sgte"};
+    const char *Op = Ops[R.below(6)];
+    GNode N{0, 1, true, 2};
+    N.Id = emit(Op, {num(sortOf(1)), num(S.Id), num(C.Id)});
+    Vals.push_back(N);
+    return N;
+  };
+  unsigned NBads = 1 + static_cast<unsigned>(R.below(std::max(1u, K.MaxBads)));
+  for (unsigned I = 0; I < NBads; ++I) {
+    const GNode *Reuse = I > 0 && !R.oneIn(3) ? pickBool() : nullptr;
+    GNode B = Reuse ? *Reuse : stateCompare();
+    emit("bad", {num(B.Id)});
+  }
+
+  return P;
+}

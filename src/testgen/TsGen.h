@@ -1,0 +1,50 @@
+//===- testgen/TsGen.h - Random BTOR2 transition systems --------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seed-deterministic generator of token-level BTOR2 programs inside the
+/// subset ts/Btor2.h accepts: small bitvec (and occasionally native int)
+/// state machines with inputs, wrap-around arithmetic, comparisons, ites,
+/// constraints and bad properties — valid by construction, so every
+/// generated program must parse, print byte-identically, and encode to a
+/// CHC system all four engines plus BMC can digest within the fuzzing
+/// budgets. Widths and expression fan-in are kept small on purpose: the
+/// engine-race oracle re-solves every instance five times.
+///
+/// Determinism contract: as for testgen/Gen.h — the output is a pure
+/// function of the Rng state and the knobs, drawn in a fixed order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TESTGEN_TSGEN_H
+#define MUCYC_TESTGEN_TSGEN_H
+
+#include "testgen/Rng.h"
+#include "ts/Btor2.h"
+
+namespace mucyc {
+
+/// Shape knobs for the transition-system generator. The defaults bound the
+/// reachable state space (<= 2^(3*4) configurations) so bounded reachability
+/// and the engines converge fast and disagreements shrink well.
+struct TsGenKnobs {
+  unsigned MaxStates = 3; ///< State variables (>= 1 is forced).
+  unsigned MaxInputs = 2; ///< Primary inputs (may be 0).
+  unsigned MaxWidth = 4;  ///< Max bitvec width drawn (>= 1).
+  unsigned MaxOps = 6;    ///< Derived expression nodes.
+  unsigned MaxBads = 2;   ///< Bad properties (>= 1 is forced).
+  bool AllowInt = true;   ///< Mint native `sort int` states occasionally.
+};
+
+/// Generates a random BTOR2 program. Guaranteed to be inside the supported
+/// subset (parseBtor2 must succeed) with at least one state and one bad
+/// property; guarded-case growth is tracked so the lowering never trips the
+/// parser's case cap.
+Btor2Program genBtor2(Rng &R, const TsGenKnobs &Knobs);
+
+} // namespace mucyc
+
+#endif // MUCYC_TESTGEN_TSGEN_H

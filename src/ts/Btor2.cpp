@@ -1,0 +1,842 @@
+//===- ts/Btor2.cpp - BTOR2 parser and bounded-integer lowering -----------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lowering scheme. Every BTOR2 node becomes a NodeVal: either a Bool
+// formula (width-1 nodes used as conditions) or a guarded-case list
+// [(g1, v1), ..., (gk, vk)] whose guards partition true and whose values
+// are linear Int terms — the node equals vi wherever gi holds. Operations
+// that can leave [0, 2^w) split cases with explicit wrap-around instead of
+// using modular arithmetic the constraint language does not have; the
+// builders' constant folding collapses guards like "5 <= 255" on the spot,
+// so constant subtrees never multiply cases. A hard cap on the case count
+// turns genuinely exponential inputs into a typed InputError rather than a
+// blowup.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ts/Btor2.h"
+
+#include "support/Error.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mucyc {
+
+namespace {
+
+/// Largest guarded-case list any node may carry. Generous for the hardware
+/// idioms this frontend targets (a handful of wrap splits); exceeded only
+/// by adversarial nesting, which should fail fast and typed.
+constexpr size_t CaseCap = 32;
+
+/// One guarded value: the node equals Val wherever Guard holds.
+struct CaseVal {
+  TermRef Guard;
+  TermRef Val;
+};
+
+/// Semantic value of a BTOR2 node. Width 0 = native Int sort; otherwise a
+/// bitvector of that width lowered to [0, 2^w). Width-1 nodes produced by
+/// comparisons/boolean ops live as a Bool formula (IsBool) until an
+/// arithmetic context forces the {0,1} case view.
+struct NodeVal {
+  unsigned Width = 0;
+  bool IsBool = false;
+  TermRef Bool;
+  std::vector<CaseVal> Cases;
+};
+
+[[noreturn]] void err(unsigned LineNo, const std::string &Msg) {
+  raiseError(ErrorCode::InputError,
+             "line " + std::to_string(LineNo) + ": " + Msg);
+}
+
+int64_t parseI64(unsigned LineNo, const std::string &Tok,
+                 const char *What) {
+  size_t I = Tok[0] == '-' ? 1 : 0;
+  if (I >= Tok.size())
+    err(LineNo, std::string("malformed ") + What + " '" + Tok + "'");
+  for (size_t J = I; J < Tok.size(); ++J)
+    if (!std::isdigit(static_cast<unsigned char>(Tok[J])))
+      err(LineNo, std::string("malformed ") + What + " '" + Tok + "'");
+  errno = 0;
+  int64_t V = std::strtoll(Tok.c_str(), nullptr, 10);
+  if (errno == ERANGE)
+    err(LineNo, std::string(What) + " '" + Tok + "' out of range");
+  return V;
+}
+
+/// 2^W as a BigInt.
+BigInt pow2Big(unsigned W) { return tsPow2(W).num(); }
+
+/// Canonical bitvector residue: V mod 2^W, in [0, 2^W).
+BigInt mod2w(const BigInt &V, unsigned W) {
+  BigInt P = pow2Big(W);
+  return V - V.floorDiv(P) * P;
+}
+
+class Builder {
+public:
+  Builder(TermContext &Ctx, const Btor2Program &Prog)
+      : Ctx(Ctx), Ts(Ctx), Prog(Prog) {}
+
+  TransitionSystem build() {
+    for (const Btor2Line &L : Prog)
+      dispatch(L);
+    if (Ts.bads().empty())
+      raiseError(ErrorCode::InputError,
+                 "no bad property declared (nothing to check)");
+    return std::move(Ts);
+  }
+
+private:
+  TermContext &Ctx;
+  TransitionSystem Ts;
+  const Btor2Program &Prog;
+
+  std::unordered_map<int64_t, unsigned> Sorts; ///< sort id -> width, 0=Int.
+  std::unordered_map<int64_t, NodeVal> Nodes;
+  std::unordered_map<int64_t, size_t> StateOf; ///< node id -> state index.
+  std::unordered_set<int64_t> Ids;
+  std::unordered_set<size_t> HasInit, HasNext;
+
+  //===------------------------------------------------------------------===
+  // Lookups and conversions
+  //===------------------------------------------------------------------===
+
+  unsigned sortWidth(unsigned LineNo, const std::string &Tok) {
+    int64_t Id = parseI64(LineNo, Tok, "sort id");
+    auto It = Sorts.find(Id);
+    if (It == Sorts.end())
+      err(LineNo, "undefined sort " + Tok);
+    return It->second;
+  }
+
+  /// Resolves a node operand; a negated id "-n" is bitwise not of node n.
+  NodeVal refNode(unsigned LineNo, const std::string &Tok) {
+    int64_t Id = parseI64(LineNo, Tok, "node id");
+    bool Negated = Id < 0;
+    auto It = Nodes.find(Negated ? -Id : Id);
+    if (It == Nodes.end())
+      err(LineNo, "undefined node " + std::to_string(Negated ? -Id : Id));
+    return Negated ? notVal(LineNo, It->second) : It->second;
+  }
+
+  /// The Bool view of a width-1 node.
+  TermRef asBool(unsigned LineNo, const NodeVal &V) {
+    if (V.IsBool)
+      return V.Bool;
+    if (V.Width != 1)
+      err(LineNo, V.Width == 0
+                      ? "expected a width-1 operand, got sort int"
+                      : "expected a width-1 operand, got width " +
+                            std::to_string(V.Width));
+    std::vector<TermRef> Ds;
+    for (const CaseVal &C : V.Cases)
+      Ds.push_back(Ctx.mkAnd(C.Guard, Ctx.mkEq(C.Val, Ctx.mkIntConst(1))));
+    return Ctx.mkOr(std::move(Ds));
+  }
+
+  /// The guarded-case view of any node.
+  std::vector<CaseVal> asCases(const NodeVal &V) {
+    if (!V.IsBool)
+      return V.Cases;
+    return {{V.Bool, Ctx.mkIntConst(1)},
+            {Ctx.mkNot(V.Bool), Ctx.mkIntConst(0)}};
+  }
+
+  NodeVal boolVal(TermRef B) {
+    NodeVal V;
+    V.Width = 1;
+    V.IsBool = true;
+    V.Bool = B;
+    return V;
+  }
+
+  /// Normalizes a case list: drops unreachable cases, merges cases that
+  /// agree on the value, enforces the blowup cap.
+  NodeVal makeCases(unsigned LineNo, unsigned Width,
+                    std::vector<CaseVal> Cs) {
+    std::vector<CaseVal> Out;
+    std::unordered_map<uint32_t, size_t> ByVal;
+    for (CaseVal &C : Cs) {
+      if (C.Guard == Ctx.mkFalse())
+        continue;
+      auto It = ByVal.find(C.Val.Idx);
+      if (It != ByVal.end()) {
+        Out[It->second].Guard = Ctx.mkOr(Out[It->second].Guard, C.Guard);
+        continue;
+      }
+      ByVal.emplace(C.Val.Idx, Out.size());
+      Out.push_back(C);
+    }
+    MUCYC_INVARIANT(!Out.empty(), "btor2: empty case partition");
+    if (Out.size() > CaseCap)
+      err(LineNo, "guarded-case blowup (more than " +
+                      std::to_string(CaseCap) +
+                      " cases); simplify the expression");
+    NodeVal V;
+    V.Width = Width;
+    V.Cases = std::move(Out);
+    return V;
+  }
+
+  NodeVal constVal(unsigned Width, const Rational &C) {
+    NodeVal V;
+    V.Width = Width;
+    V.Cases = {{Ctx.mkTrue(), Ctx.mkConst(C, Sort::Int)}};
+    return V;
+  }
+
+  /// The constant value of a node, when it folded to one.
+  std::optional<Rational> constOf(const NodeVal &V) {
+    if (V.IsBool) {
+      if (V.Bool == Ctx.mkTrue())
+        return Rational(1);
+      if (V.Bool == Ctx.mkFalse())
+        return Rational(0);
+      return std::nullopt;
+    }
+    if (V.Cases.size() != 1 || V.Cases[0].Guard != Ctx.mkTrue())
+      return std::nullopt;
+    const TermNode &N = Ctx.node(V.Cases[0].Val);
+    if (N.K != Kind::Const)
+      return std::nullopt;
+    return N.Val;
+  }
+
+  void checkSameSort(unsigned LineNo, const NodeVal &A, const NodeVal &B) {
+    if (A.Width != B.Width)
+      err(LineNo, "operand sort mismatch (width " + std::to_string(A.Width) +
+                      " vs " + std::to_string(B.Width) + "; 0 means int)");
+  }
+
+  //===------------------------------------------------------------------===
+  // Per-operation lowering
+  //===------------------------------------------------------------------===
+
+  /// Bitwise not: boolean negation at width 1, 2^w-1-a for wider vectors.
+  NodeVal notVal(unsigned LineNo, const NodeVal &A) {
+    if (A.Width == 0)
+      err(LineNo, "'not' is not defined on sort int");
+    if (A.Width == 1)
+      return boolVal(Ctx.mkNot(asBool(LineNo, A)));
+    TermRef Ones = Ctx.mkConst(tsPow2(A.Width) - Rational(1), Sort::Int);
+    std::vector<CaseVal> Cs;
+    for (const CaseVal &C : A.Cases)
+      Cs.push_back({C.Guard, Ctx.mkSub(Ones, C.Val)});
+    return makeCases(LineNo, A.Width, std::move(Cs));
+  }
+
+  /// Wrapped sum/difference: splits each case at the range boundary.
+  NodeVal addVal(unsigned LineNo, unsigned Width, const NodeVal &A,
+                 const NodeVal &B, bool Subtract) {
+    std::vector<CaseVal> Cs;
+    TermRef Lo = Ctx.mkIntConst(0);
+    for (const CaseVal &CA : asCases(A))
+      for (const CaseVal &CB : asCases(B)) {
+        TermRef G = Ctx.mkAnd(CA.Guard, CB.Guard);
+        if (G == Ctx.mkFalse())
+          continue;
+        TermRef S = Subtract ? Ctx.mkSub(CA.Val, CB.Val)
+                             : Ctx.mkAdd(CA.Val, CB.Val);
+        if (Width == 0) {
+          Cs.push_back({G, S});
+          continue;
+        }
+        TermRef P = Ctx.mkConst(tsPow2(Width), Sort::Int);
+        if (Subtract) {
+          Cs.push_back({Ctx.mkAnd(G, Ctx.mkGe(S, Lo)), S});
+          Cs.push_back(
+              {Ctx.mkAnd(G, Ctx.mkLt(S, Lo)), Ctx.mkAdd(S, P)});
+        } else {
+          Cs.push_back({Ctx.mkAnd(G, Ctx.mkLt(S, P)), S});
+          Cs.push_back({Ctx.mkAnd(G, Ctx.mkGe(S, P)), Ctx.mkSub(S, P)});
+        }
+      }
+    return makeCases(LineNo, Width, std::move(Cs));
+  }
+
+  /// Linear multiplication: exactly one operand must have folded to a
+  /// constant. Wrapping subtracts k*2^w for the unique feasible k per
+  /// residue band.
+  NodeVal mulVal(unsigned LineNo, unsigned Width, const NodeVal &A,
+                 const NodeVal &B) {
+    std::optional<Rational> CA = constOf(A), CB = constOf(B);
+    if (!CA && !CB)
+      err(LineNo, "nonlinear 'mul': neither operand is constant");
+    const Rational &K = CA ? *CA : *CB;
+    const NodeVal &V = CA ? B : A;
+    if (K.isZero())
+      return constVal(Width, Rational(0));
+    std::vector<CaseVal> Cs;
+    if (Width == 0) {
+      for (const CaseVal &C : asCases(V))
+        Cs.push_back({C.Guard, Ctx.mkMul(K, C.Val)});
+      return makeCases(LineNo, Width, std::move(Cs));
+    }
+    // Bitvector: operand in [0, 2^w), so k*v in [0, k*2^w) and the wrap
+    // count is one of k residue bands. Large constants would need that
+    // many cases; refuse past the cap rather than explode.
+    int64_t KI = 0;
+    if (!K.num().toInt64(KI) || KI < 0 ||
+        static_cast<size_t>(KI) > CaseCap)
+      err(LineNo, "'mul' constant " + K.toString() +
+                      " too large for wrap-around lowering");
+    Rational P = tsPow2(Width);
+    for (const CaseVal &C : asCases(V)) {
+      TermRef Prod = Ctx.mkMul(K, C.Val);
+      for (int64_t Band = 0; Band < KI; ++Band) {
+        TermRef Lo = Ctx.mkConst(P * Rational(Band), Sort::Int);
+        TermRef Hi = Ctx.mkConst(P * Rational(Band + 1), Sort::Int);
+        TermRef G = Ctx.mkAnd(
+            {C.Guard, Ctx.mkGe(Prod, Lo), Ctx.mkLt(Prod, Hi)});
+        if (G == Ctx.mkFalse())
+          continue;
+        Cs.push_back({G, Ctx.mkSub(Prod, Lo)});
+      }
+    }
+    return makeCases(LineNo, Width, std::move(Cs));
+  }
+
+  /// Two's-complement reading of an unsigned case list: splits each case
+  /// on the sign bit, mapping the upper half to v - 2^w.
+  std::vector<CaseVal> signedCases(const NodeVal &V) {
+    if (V.Width == 0)
+      return V.Cases; // Native int is already signed.
+    TermRef Half =
+        Ctx.mkConst(tsPow2(V.Width) / Rational(2), Sort::Int);
+    TermRef P = Ctx.mkConst(tsPow2(V.Width), Sort::Int);
+    std::vector<CaseVal> Out;
+    for (const CaseVal &C : asCases(V)) {
+      TermRef GPos = Ctx.mkAnd(C.Guard, Ctx.mkLt(C.Val, Half));
+      TermRef GNeg = Ctx.mkAnd(C.Guard, Ctx.mkGe(C.Val, Half));
+      if (GPos != Ctx.mkFalse())
+        Out.push_back({GPos, C.Val});
+      if (GNeg != Ctx.mkFalse())
+        Out.push_back({GNeg, Ctx.mkSub(C.Val, P)});
+    }
+    return Out;
+  }
+
+  /// Comparison over two case lists: OR of per-case-pair atoms.
+  TermRef compareCases(const std::vector<CaseVal> &A,
+                       const std::vector<CaseVal> &B,
+                       TermRef (TermContext::*Cmp)(TermRef, TermRef)) {
+    std::vector<TermRef> Ds;
+    for (const CaseVal &CA : A)
+      for (const CaseVal &CB : B) {
+        TermRef G = Ctx.mkAnd(CA.Guard, CB.Guard);
+        if (G == Ctx.mkFalse())
+          continue;
+        Ds.push_back(Ctx.mkAnd(G, (Ctx.*Cmp)(CA.Val, CB.Val)));
+      }
+    return Ctx.mkOr(std::move(Ds));
+  }
+
+  /// "state equals value" as a formula, for init/next relations. \p Var is
+  /// the state's Cur (init) or Next (next) variable.
+  TermRef bindEq(TermRef Var, const NodeVal &Value) {
+    std::vector<TermRef> Ds;
+    for (const CaseVal &C : asCases(Value))
+      Ds.push_back(Ctx.mkAnd(C.Guard, Ctx.mkEq(Var, C.Val)));
+    return Ctx.mkOr(std::move(Ds));
+  }
+
+  //===------------------------------------------------------------------===
+  // Line dispatch
+  //===------------------------------------------------------------------===
+
+  void needArgs(const Btor2Line &L, size_t N, bool Exact = true) {
+    if (L.Args.size() < N || (Exact && L.Args.size() != N))
+      err(L.LineNo, "'" + L.Op + "' expects " + std::to_string(N) +
+                        " argument(s), got " +
+                        std::to_string(L.Args.size()));
+  }
+
+  void claimId(const Btor2Line &L) {
+    if (!Ids.insert(L.Id).second)
+      err(L.LineNo, "duplicate node id " + std::to_string(L.Id));
+  }
+
+  void define(const Btor2Line &L, NodeVal V) {
+    claimId(L);
+    Nodes.emplace(L.Id, std::move(V));
+  }
+
+  /// Parses and validates a BTOR2 constant literal in the given base.
+  BigInt parseConst(const Btor2Line &L, unsigned Width, unsigned Base) {
+    const std::string &Tok = L.Args[1];
+    if (Base == 10) {
+      size_t I = Tok[0] == '-' ? 1 : 0;
+      if (I >= Tok.size())
+        err(L.LineNo, "malformed decimal constant '" + Tok + "'");
+      for (size_t J = I; J < Tok.size(); ++J)
+        if (!std::isdigit(static_cast<unsigned char>(Tok[J])))
+          err(L.LineNo, "malformed decimal constant '" + Tok + "'");
+      BigInt V = BigInt::fromString(Tok);
+      // Two's-complement reading: negatives (and overflowing positives)
+      // wrap to their canonical residue. Meaningless on sort int, where
+      // the literal is taken as written.
+      return Width == 0 ? V : mod2w(V, Width);
+    }
+    if (Width == 0)
+      err(L.LineNo, "'" + L.Op + "' requires a bitvec sort");
+    BigInt V(0);
+    if (Base == 2) {
+      if (Tok.size() != Width)
+        err(L.LineNo, "binary constant '" + Tok + "' must have exactly " +
+                          std::to_string(Width) + " digits");
+      for (char C : Tok) {
+        if (C != '0' && C != '1')
+          err(L.LineNo, "malformed binary constant '" + Tok + "'");
+        V = V + V + BigInt(C - '0');
+      }
+      return V;
+    }
+    for (char C : Tok) {
+      int D;
+      if (C >= '0' && C <= '9')
+        D = C - '0';
+      else if (C >= 'a' && C <= 'f')
+        D = C - 'a' + 10;
+      else if (C >= 'A' && C <= 'F')
+        D = C - 'A' + 10;
+      else
+        err(L.LineNo, "malformed hex constant '" + Tok + "'");
+      V = V * BigInt(16) + BigInt(D);
+    }
+    if (V >= pow2Big(Width))
+      err(L.LineNo, "hex constant '" + Tok + "' does not fit width " +
+                        std::to_string(Width));
+    return V;
+  }
+
+  void dispatch(const Btor2Line &L) {
+    const std::string &Op = L.Op;
+
+    if (Op == "sort") {
+      needArgs(L, 1, /*Exact=*/false);
+      claimId(L);
+      if (L.Args[0] == "int") {
+        Sorts.emplace(L.Id, 0u);
+        return;
+      }
+      if (L.Args[0] != "bitvec")
+        err(L.LineNo, "unsupported sort '" + L.Args[0] +
+                          "' (expected 'bitvec <w>' or 'int')");
+      if (L.Args.size() != 2)
+        err(L.LineNo, "'sort bitvec' expects a width");
+      int64_t W = parseI64(L.LineNo, L.Args[1], "bitvec width");
+      if (W < 1 || W > 64)
+        err(L.LineNo, "bitvec width " + L.Args[1] +
+                          " out of the supported range [1, 64]");
+      Sorts.emplace(L.Id, static_cast<unsigned>(W));
+      return;
+    }
+
+    if (Op == "state" || Op == "input") {
+      if (L.Args.empty() || L.Args.size() > 2)
+        err(L.LineNo, "'" + Op + "' expects a sort and optional symbol");
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      std::string Name = L.Args.size() == 2
+                             ? L.Args[1]
+                             : (Op == "state" ? "s" : "in") +
+                                   std::to_string(L.Id);
+      NodeVal V;
+      V.Width = W;
+      if (Op == "state") {
+        size_t Idx = Ts.addState(Name, W);
+        StateOf.emplace(L.Id, Idx);
+        V.Cases = {{Ctx.mkTrue(), Ts.states()[Idx].Cur}};
+      } else {
+        size_t Idx = Ts.addInput(Name, W);
+        V.Cases = {{Ctx.mkTrue(), Ts.inputs()[Idx].Cur}};
+      }
+      define(L, std::move(V));
+      return;
+    }
+
+    if (Op == "zero" || Op == "one" || Op == "ones") {
+      needArgs(L, 1);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      Rational V(Op == "zero" ? 0 : 1);
+      if (Op == "ones") {
+        if (W == 0)
+          err(L.LineNo, "'ones' is not defined on sort int");
+        V = tsPow2(W) - Rational(1);
+      }
+      define(L, constVal(W, V));
+      return;
+    }
+
+    if (Op == "constd" || Op == "const" || Op == "consth") {
+      needArgs(L, 2);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      unsigned Base = Op == "constd" ? 10 : (Op == "const" ? 2 : 16);
+      define(L, constVal(W, Rational(parseConst(L, W, Base))));
+      return;
+    }
+
+    if (Op == "not" || Op == "inc" || Op == "dec" || Op == "neg" ||
+        Op == "redor" || Op == "redand") {
+      needArgs(L, 2);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      NodeVal A = refNode(L.LineNo, L.Args[1]);
+      if (Op == "redor" || Op == "redand") {
+        if (W != 1)
+          err(L.LineNo, "'" + Op + "' must have a width-1 result sort");
+        if (A.Width == 0)
+          err(L.LineNo, "'" + Op + "' is not defined on sort int");
+        TermRef Ones =
+            Ctx.mkConst(tsPow2(A.Width) - Rational(1), Sort::Int);
+        std::vector<TermRef> Ds;
+        for (const CaseVal &C : asCases(A))
+          Ds.push_back(Ctx.mkAnd(
+              C.Guard, Op == "redor"
+                           ? Ctx.mkGe(C.Val, Ctx.mkIntConst(1))
+                           : Ctx.mkEq(C.Val, Ones)));
+        define(L, boolVal(Ctx.mkOr(std::move(Ds))));
+        return;
+      }
+      if (A.Width != W)
+        err(L.LineNo, "'" + Op + "' result sort differs from operand");
+      if (Op == "not") {
+        define(L, notVal(L.LineNo, A));
+        return;
+      }
+      if (Op == "inc" || Op == "dec") {
+        define(L, addVal(L.LineNo, W, A, constVal(W, Rational(1)),
+                         /*Subtract=*/Op == "dec"));
+        return;
+      }
+      // neg: two's-complement negation, 0 -> 0 and a -> 2^w - a.
+      std::vector<CaseVal> Cs;
+      for (const CaseVal &C : asCases(A)) {
+        TermRef N = Ctx.mkNeg(C.Val);
+        if (W == 0) {
+          Cs.push_back({C.Guard, N});
+          continue;
+        }
+        TermRef P = Ctx.mkConst(tsPow2(W), Sort::Int);
+        TermRef Zero = Ctx.mkIntConst(0);
+        Cs.push_back({Ctx.mkAnd(C.Guard, Ctx.mkEq(C.Val, Zero)), Zero});
+        Cs.push_back({Ctx.mkAnd(C.Guard, Ctx.mkGe(C.Val, Ctx.mkIntConst(1))),
+                      Ctx.mkAdd(P, N)});
+      }
+      define(L, makeCases(L.LineNo, W, std::move(Cs)));
+      return;
+    }
+
+    if (Op == "uext" || Op == "sext") {
+      needArgs(L, 3);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      NodeVal A = refNode(L.LineNo, L.Args[1]);
+      int64_t Ext = parseI64(L.LineNo, L.Args[2], "extension amount");
+      if (A.Width == 0 || W == 0)
+        err(L.LineNo, "'" + Op + "' is not defined on sort int");
+      if (Ext < 0 || A.Width + Ext != W)
+        err(L.LineNo, "'" + Op + "' widths do not add up (" +
+                          std::to_string(A.Width) + " + " + L.Args[2] +
+                          " != " + std::to_string(W) + ")");
+      if (Op == "uext" || W == A.Width) {
+        // Value is unchanged; only the width grows.
+        NodeVal V = makeCases(L.LineNo, W, asCases(A));
+        define(L, std::move(V));
+        return;
+      }
+      // sext: upper half of the source range gains 2^W - 2^w.
+      TermRef Half =
+          Ctx.mkConst(tsPow2(A.Width) / Rational(2), Sort::Int);
+      TermRef Offset = Ctx.mkConst(tsPow2(W) - tsPow2(A.Width), Sort::Int);
+      std::vector<CaseVal> Cs;
+      for (const CaseVal &C : asCases(A)) {
+        Cs.push_back({Ctx.mkAnd(C.Guard, Ctx.mkLt(C.Val, Half)), C.Val});
+        Cs.push_back({Ctx.mkAnd(C.Guard, Ctx.mkGe(C.Val, Half)),
+                      Ctx.mkAdd(C.Val, Offset)});
+      }
+      define(L, makeCases(L.LineNo, W, std::move(Cs)));
+      return;
+    }
+
+    if (Op == "add" || Op == "sub" || Op == "mul") {
+      needArgs(L, 3);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      NodeVal A = refNode(L.LineNo, L.Args[1]);
+      NodeVal B = refNode(L.LineNo, L.Args[2]);
+      checkSameSort(L.LineNo, A, B);
+      if (A.Width != W)
+        err(L.LineNo, "'" + Op + "' result sort differs from operands");
+      define(L, Op == "mul"
+                    ? mulVal(L.LineNo, W, A, B)
+                    : addVal(L.LineNo, W, A, B, /*Subtract=*/Op == "sub"));
+      return;
+    }
+
+    if (Op == "and" || Op == "or" || Op == "nand" || Op == "nor" ||
+        Op == "xor" || Op == "xnor" || Op == "implies" || Op == "iff") {
+      needArgs(L, 3);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      NodeVal A = refNode(L.LineNo, L.Args[1]);
+      NodeVal B = refNode(L.LineNo, L.Args[2]);
+      if (W != 1 || A.Width != 1 || B.Width != 1)
+        err(L.LineNo, "bitwise '" + Op +
+                          "' is only supported at width 1 "
+                          "(wider vectors are outside the linear subset)");
+      TermRef BA = asBool(L.LineNo, A), BB = asBool(L.LineNo, B);
+      TermRef R;
+      if (Op == "and")
+        R = Ctx.mkAnd(BA, BB);
+      else if (Op == "or")
+        R = Ctx.mkOr(BA, BB);
+      else if (Op == "nand")
+        R = Ctx.mkNot(Ctx.mkAnd(BA, BB));
+      else if (Op == "nor")
+        R = Ctx.mkNot(Ctx.mkOr(BA, BB));
+      else if (Op == "xor")
+        R = Ctx.mkNot(Ctx.mkIff(BA, BB));
+      else if (Op == "xnor" || Op == "iff")
+        R = Ctx.mkIff(BA, BB);
+      else
+        R = Ctx.mkImplies(BA, BB);
+      define(L, boolVal(R));
+      return;
+    }
+
+    if (Op == "eq" || Op == "neq" || Op == "ult" || Op == "ulte" ||
+        Op == "ugt" || Op == "ugte" || Op == "slt" || Op == "slte" ||
+        Op == "sgt" || Op == "sgte") {
+      needArgs(L, 3);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      if (W != 1)
+        err(L.LineNo, "'" + Op + "' must have a width-1 result sort");
+      NodeVal A = refNode(L.LineNo, L.Args[1]);
+      NodeVal B = refNode(L.LineNo, L.Args[2]);
+      checkSameSort(L.LineNo, A, B);
+      TermRef R;
+      if ((Op == "eq" || Op == "neq") && A.IsBool && B.IsBool) {
+        R = Ctx.mkIff(A.Bool, B.Bool);
+        if (Op == "neq")
+          R = Ctx.mkNot(R);
+      } else {
+        bool Signed = Op[0] == 's';
+        std::vector<CaseVal> CA =
+            Signed ? signedCases(A) : asCases(A);
+        std::vector<CaseVal> CB =
+            Signed ? signedCases(B) : asCases(B);
+        TermRef (TermContext::*Cmp)(TermRef, TermRef);
+        if (Op == "eq" || Op == "neq")
+          Cmp = &TermContext::mkEq;
+        else if (Op == "ult" || Op == "slt")
+          Cmp = &TermContext::mkLt;
+        else if (Op == "ulte" || Op == "slte")
+          Cmp = &TermContext::mkLe;
+        else if (Op == "ugt" || Op == "sgt")
+          Cmp = &TermContext::mkGt;
+        else
+          Cmp = &TermContext::mkGe;
+        R = compareCases(CA, CB, Cmp);
+        if (Op == "neq")
+          R = Ctx.mkNot(R);
+      }
+      define(L, boolVal(R));
+      return;
+    }
+
+    if (Op == "ite") {
+      needArgs(L, 4);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      NodeVal C = refNode(L.LineNo, L.Args[1]);
+      NodeVal A = refNode(L.LineNo, L.Args[2]);
+      NodeVal B = refNode(L.LineNo, L.Args[3]);
+      checkSameSort(L.LineNo, A, B);
+      if (A.Width != W)
+        err(L.LineNo, "'ite' result sort differs from branches");
+      TermRef Cond = asBool(L.LineNo, C);
+      if (A.IsBool && B.IsBool) {
+        define(L, boolVal(Ctx.mkIte(Cond, A.Bool, B.Bool)));
+        return;
+      }
+      std::vector<CaseVal> Cs;
+      for (const CaseVal &CT : asCases(A))
+        Cs.push_back({Ctx.mkAnd(Cond, CT.Guard), CT.Val});
+      TermRef NotCond = Ctx.mkNot(Cond);
+      for (const CaseVal &CE : asCases(B))
+        Cs.push_back({Ctx.mkAnd(NotCond, CE.Guard), CE.Val});
+      define(L, makeCases(L.LineNo, W, std::move(Cs)));
+      return;
+    }
+
+    if (Op == "init" || Op == "next") {
+      needArgs(L, 3);
+      unsigned W = sortWidth(L.LineNo, L.Args[0]);
+      int64_t SId = parseI64(L.LineNo, L.Args[1], "state id");
+      auto It = StateOf.find(SId);
+      if (It == StateOf.end())
+        err(L.LineNo, "'" + Op + "' target node " + L.Args[1] +
+                          " is not a state");
+      size_t Idx = It->second;
+      const TsVar &S = Ts.states()[Idx];
+      NodeVal Value = refNode(L.LineNo, L.Args[2]);
+      if (W != S.Width || Value.Width != S.Width)
+        err(L.LineNo, "'" + Op + "' sort differs from state '" + S.Name +
+                          "'");
+      auto &Seen = Op == "init" ? HasInit : HasNext;
+      if (!Seen.insert(Idx).second)
+        err(L.LineNo, "duplicate '" + Op + "' for state '" + S.Name + "'");
+      if (Op == "init")
+        Ts.setInit(Idx, bindEq(S.Cur, Value));
+      else
+        Ts.setNext(Idx, bindEq(S.Next, Value));
+      claimId(L);
+      return;
+    }
+
+    if (Op == "constraint" || Op == "bad") {
+      needArgs(L, 1);
+      TermRef B = asBool(L.LineNo, refNode(L.LineNo, L.Args[0]));
+      if (Op == "constraint")
+        Ts.addConstraint(B);
+      else
+        Ts.addBad(B);
+      claimId(L);
+      return;
+    }
+
+    if (Op == "output") {
+      // Observability directive; no safety meaning. Validate the reference
+      // and move on.
+      needArgs(L, 1, /*Exact=*/false);
+      refNode(L.LineNo, L.Args[0]);
+      claimId(L);
+      return;
+    }
+
+    if (Op == "fair" || Op == "justice")
+      err(L.LineNo, "liveness directive '" + Op +
+                        "' is not supported (safety subset only)");
+    if (Op == "concat" || Op == "slice")
+      err(L.LineNo, "'" + Op +
+                        "' is outside the bounded-integer lowering subset");
+    err(L.LineNo, "unknown operator '" + Op + "'");
+  }
+};
+
+} // namespace
+
+bool looksLikeBtor2(const std::string &Text) {
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    std::string Line = Text.substr(
+        Pos, Eol == std::string::npos ? std::string::npos : Eol - Pos);
+    size_t Semi = Line.find(';');
+    if (Semi != std::string::npos)
+      Line.resize(Semi);
+    size_t I = 0;
+    while (I < Line.size() &&
+           std::isspace(static_cast<unsigned char>(Line[I])))
+      ++I;
+    if (I < Line.size()) {
+      size_t J = I;
+      while (J < Line.size() &&
+             std::isdigit(static_cast<unsigned char>(Line[J])))
+        ++J;
+      // "<digits><space>" and then something: a node line.
+      return J > I && J < Line.size() &&
+             std::isspace(static_cast<unsigned char>(Line[J]));
+    }
+    if (Eol == std::string::npos)
+      break;
+    Pos = Eol + 1;
+  }
+  return false;
+}
+
+std::string printBtor2(const Btor2Program &P) {
+  std::string Out;
+  for (const Btor2Line &L : P) {
+    Out += std::to_string(L.Id);
+    Out += ' ';
+    Out += L.Op;
+    for (const std::string &A : L.Args) {
+      Out += ' ';
+      Out += A;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+/// Stage 1: text to token lines. Comments run from ';' to end of line.
+static Btor2Program tokenize(const std::string &Text) {
+  Btor2Program Prog;
+  unsigned LineNo = 0;
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Eol = Text.find('\n', Pos);
+    size_t End = Eol == std::string::npos ? Text.size() : Eol;
+    std::string Line = Text.substr(Pos, End - Pos);
+    Pos = End + 1;
+    ++LineNo;
+    size_t Semi = Line.find(';');
+    if (Semi != std::string::npos)
+      Line.resize(Semi);
+    std::vector<std::string> Toks;
+    size_t I = 0;
+    while (I < Line.size()) {
+      while (I < Line.size() &&
+             std::isspace(static_cast<unsigned char>(Line[I])))
+        ++I;
+      size_t J = I;
+      while (J < Line.size() &&
+             !std::isspace(static_cast<unsigned char>(Line[J])))
+        ++J;
+      if (J > I)
+        Toks.push_back(Line.substr(I, J - I));
+      I = J;
+    }
+    if (Toks.empty())
+      continue;
+    if (Toks.size() < 2)
+      err(LineNo, "expected '<id> <op> ...'");
+    int64_t Id = parseI64(LineNo, Toks[0], "node id");
+    if (Id <= 0)
+      err(LineNo, "node id must be positive, got '" + Toks[0] + "'");
+    Btor2Line L;
+    L.LineNo = LineNo;
+    L.Id = Id;
+    L.Op = Toks[1];
+    L.Args.assign(Toks.begin() + 2, Toks.end());
+    Prog.push_back(std::move(L));
+  }
+  return Prog;
+}
+
+Btor2Result parseBtor2(TermContext &Ctx, const std::string &Text) {
+  Btor2Result R;
+  try {
+    R.Program = tokenize(Text);
+    if (R.Program.empty())
+      raiseError(ErrorCode::InputError, "empty btor2 input");
+    Builder B(Ctx, R.Program);
+    R.Ts = B.build();
+    R.Ok = true;
+  } catch (const MucycError &E) {
+    if (E.code() != ErrorCode::InputError)
+      throw;
+    R.Ok = false;
+    R.Error = E.detail();
+    R.Ts.reset();
+  }
+  return R;
+}
+
+} // namespace mucyc

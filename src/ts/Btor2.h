@@ -1,0 +1,81 @@
+//===- ts/Btor2.h - BTOR2 word-level model-checking frontend ----*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the BTOR2 subset this repo's linear constraint language can
+/// express, plus an `int` sort extension:
+///
+///   sorts       sort bitvec <w> (1 <= w <= 64) | sort int
+///   variables   state, input (optional symbol)
+///   constants   zero, one, ones, constd (decimal, two's-complement for
+///               negatives), const (binary), consth (hex)
+///   unary       not, inc, dec, neg, redor, redand, uext, sext
+///   arithmetic  add, sub, mul (one operand constant — linear arithmetic)
+///   boolean     and, or, nand, nor, xor, xnor, implies, iff (width 1 only)
+///   compares    eq, neq, ult, ulte, ugt, ugte, slt, slte, sgt, sgte
+///   other       ite, init, next, constraint, bad, output (ignored)
+///
+/// Bitvectors are lowered to integers in [0, 2^w): every operation that can
+/// leave the range splits into guarded cases with explicit wrap-around
+/// (add: s vs s - 2^w; sext: sign-dependent offset; ...), so modular
+/// semantics survive the move to unbounded arithmetic. The native `int`
+/// sort skips the bounds and the wrapping. Arrays, slices, concat, bitwise
+/// ops on width > 1, and non-constant multiplication are outside the
+/// subset and are rejected with a diagnostic.
+///
+/// Parsing is two-stage: a token-level Btor2Program (which printBtor2
+/// round-trips byte-for-byte modulo comments/blank lines — the tsgen
+/// print->parse property tests lean on this) and a semantic pass building
+/// the ts/TransitionSystem IR. All malformed input surfaces as
+/// ErrorCode::InputError with "line N:" diagnostics — never an assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TS_BTOR2_H
+#define MUCYC_TS_BTOR2_H
+
+#include "ts/TransitionSystem.h"
+
+namespace mucyc {
+
+/// One node line "<id> <op> <args...>", token-level.
+struct Btor2Line {
+  unsigned LineNo = 0; ///< 1-based line in the source text (diagnostics).
+  int64_t Id = 0;
+  std::string Op;
+  std::vector<std::string> Args;
+};
+
+/// A token-level BTOR2 program; printBtor2 renders it back to text.
+using Btor2Program = std::vector<Btor2Line>;
+
+/// Result of parsing; Error (prefixed "line N:" where a line is at fault)
+/// is empty on success. Program holds the token-level lines read before
+/// the failure point, for splice-mutation testing.
+struct Btor2Result {
+  bool Ok = false;
+  std::string Error;
+  /// Valid when Ok.
+  std::optional<TransitionSystem> Ts;
+  Btor2Program Program;
+};
+
+/// Parses BTOR2 text into a transition system over \p Ctx. Semantic errors
+/// are reported in-band (Ok = false); only non-input failures (resource
+/// trips, invariant violations) propagate as exceptions.
+Btor2Result parseBtor2(TermContext &Ctx, const std::string &Text);
+
+/// Renders a token-level program back to BTOR2 text.
+std::string printBtor2(const Btor2Program &P);
+
+/// Cheap format sniff: true when the first non-blank, non-comment line is
+/// "<digits> <word> ...". SMT-LIB2 starts with '(' so the two frontends
+/// never collide.
+bool looksLikeBtor2(const std::string &Text);
+
+} // namespace mucyc
+
+#endif // MUCYC_TS_BTOR2_H

@@ -1,0 +1,135 @@
+//===- ts/TransitionSystem.cpp - Transition-system IR and CHC encoder -----===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ts/TransitionSystem.h"
+
+#include "support/Error.h"
+
+namespace mucyc {
+
+Rational tsPow2(unsigned W) {
+  BigInt P(1);
+  for (unsigned I = 0; I < W; ++I)
+    P = P + P;
+  return Rational(std::move(P));
+}
+
+size_t TransitionSystem::addState(const std::string &Name, unsigned Width) {
+  TsVar V;
+  V.Name = Name;
+  V.Width = Width;
+  V.Cur = Ctx->mkFreshVar(Name, Sort::Int);
+  V.Next = Ctx->mkFreshVar(Name + ".next", Sort::Int);
+  StateVars.push_back(V);
+  InitRels.emplace_back();
+  NextRels.emplace_back();
+  return StateVars.size() - 1;
+}
+
+size_t TransitionSystem::addInput(const std::string &Name, unsigned Width) {
+  TsVar V;
+  V.Name = Name;
+  V.Width = Width;
+  V.Cur = Ctx->mkFreshVar(Name, Sort::Int);
+  InputVars.push_back(V);
+  return InputVars.size() - 1;
+}
+
+void TransitionSystem::setInit(size_t S, TermRef Rel) {
+  MUCYC_INVARIANT(S < StateVars.size() && !InitRels[S].isValid(),
+                  "ts: setInit on missing state or duplicate init");
+  InitRels[S] = Rel;
+}
+
+void TransitionSystem::setNext(size_t S, TermRef Rel) {
+  MUCYC_INVARIANT(S < StateVars.size() && !NextRels[S].isValid(),
+                  "ts: setNext on missing state or duplicate next");
+  NextRels[S] = Rel;
+}
+
+TermRef TransitionSystem::rangeConstraint(TermRef T, unsigned Width) const {
+  if (Width == 0)
+    return Ctx->mkTrue();
+  return Ctx->mkAnd(Ctx->mkGe(T, Ctx->mkIntConst(0)),
+                    Ctx->mkLt(T, Ctx->mkConst(tsPow2(Width), Sort::Int)));
+}
+
+ChcSystem TransitionSystem::encodeChc() const {
+  MUCYC_INVARIANT(!Bads.empty(), "ts: encodeChc on a system with no bad");
+
+  ChcSystem Sys(*Ctx);
+  std::vector<Sort> ArgSorts(StateVars.size() + InputVars.size(), Sort::Int);
+  PredId Inv = Sys.addPred("Inv", ArgSorts);
+
+  // The combined Cur and Next tuples. Inputs re-draw freely each step, so
+  // their next-step slots are fresh variables constrained only by bounds
+  // (and the global constraints, which are re-imposed on the whole next
+  // tuple).
+  std::vector<TermRef> Cur, Next;
+  std::unordered_map<VarId, TermRef> CurToNext;
+  for (const TsVar &V : StateVars) {
+    Cur.push_back(V.Cur);
+    Next.push_back(V.Next);
+    CurToNext[Ctx->node(V.Cur).Var] = V.Next;
+  }
+  for (const TsVar &V : InputVars) {
+    Cur.push_back(V.Cur);
+    TermRef N = Ctx->mkFreshVar(V.Name + ".next", Sort::Int);
+    Next.push_back(N);
+    CurToNext[Ctx->node(V.Cur).Var] = N;
+  }
+
+  auto boundsOver = [&](const std::vector<TermRef> &Tuple) {
+    std::vector<TermRef> Bs;
+    for (size_t I = 0; I < StateVars.size(); ++I)
+      Bs.push_back(rangeConstraint(Tuple[I], StateVars[I].Width));
+    for (size_t I = 0; I < InputVars.size(); ++I)
+      Bs.push_back(rangeConstraint(Tuple[StateVars.size() + I],
+                                   InputVars[I].Width));
+    return Ctx->mkAnd(std::move(Bs));
+  };
+
+  // iota: init relations, bounds and constraints over the step-0 tuple.
+  std::vector<TermRef> InitParts;
+  for (size_t I = 0; I < StateVars.size(); ++I)
+    if (InitRels[I].isValid())
+      InitParts.push_back(InitRels[I]);
+  InitParts.push_back(boundsOver(Cur));
+  for (TermRef C : Constraints)
+    InitParts.push_back(C);
+  Clause Init;
+  Init.Constraint = Ctx->mkAnd(std::move(InitParts));
+  Init.Head = PredApp{Inv, Cur};
+  Sys.addClause(std::move(Init));
+
+  // tau: next relations (states without one stay free), bounds on the next
+  // tuple, and the global constraints re-imposed over it. Constraints over
+  // the current tuple already hold by induction on Inv.
+  std::vector<TermRef> TransParts;
+  for (size_t I = 0; I < StateVars.size(); ++I)
+    if (NextRels[I].isValid())
+      TransParts.push_back(NextRels[I]);
+  TransParts.push_back(boundsOver(Next));
+  for (TermRef C : Constraints)
+    TransParts.push_back(Ctx->substitute(C, CurToNext));
+  Clause Trans;
+  Trans.Body.push_back(PredApp{Inv, Cur});
+  Trans.Constraint = Ctx->mkAnd(std::move(TransParts));
+  Trans.Head = PredApp{Inv, Next};
+  Sys.addClause(std::move(Trans));
+
+  // beta: one query clause per bad property.
+  for (TermRef B : Bads) {
+    Clause Query;
+    Query.Body.push_back(PredApp{Inv, Cur});
+    Query.Constraint = B;
+    Sys.addClause(std::move(Query));
+  }
+
+  return Sys;
+}
+
+} // namespace mucyc

@@ -1,0 +1,113 @@
+//===- ts/TransitionSystem.h - Symbolic transition systems ------*- C++ -*-===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transition-system IR behind the BTOR2 frontend: state and input
+/// variables (bitvectors of width <= 64 lowered to bounded integers, plus
+/// native unbounded Int), per-state init/next relations, global constraints
+/// and bad-state properties — all as formulas in the existing constraint
+/// language over one TermContext. Mirrors pono's FunctionalTransitionSystem
+/// at the granularity this repo needs: encodeChc() lowers the system into
+/// the paper's {iota, tau, beta} shape (a single-predicate linear CHC
+/// system), so hardware safety problems flow unchanged through preprocess,
+/// normalize, the fingerprint/SolveRequest path, every engine, the
+/// portfolio and the serve daemon.
+///
+/// Encoding. The predicate Inv ranges over the concatenation of all state
+/// and input slots (inputs are part of the combined state so that tau stays
+/// a formula over the X/Z tuples — the input used at a step is that step's
+/// input slot, re-drawn unconstrained at every transition):
+///
+///   init(z) /\ bounds(z) /\ C(z)              =>  Inv(z)
+///   Inv(x) /\ next(x, z) /\ bounds(z) /\ C(z) =>  Inv(z)
+///   Inv(z) /\ bad_k(z)                        =>  false      (one per bad)
+///
+/// where bounds(z) pins every width-w slot into [0, 2^w) and C is the
+/// conjunction of the BTOR2 `constraint` nodes (a trace is valid only while
+/// every constraint holds, so constrained-away bad states are unreachable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef MUCYC_TS_TRANSITIONSYSTEM_H
+#define MUCYC_TS_TRANSITIONSYSTEM_H
+
+#include "chc/Chc.h"
+
+namespace mucyc {
+
+/// One state or input variable. Width 0 is the native unbounded Int sort;
+/// width w in [1, 64] a bitvector lowered to an integer in [0, 2^w).
+struct TsVar {
+  std::string Name;
+  unsigned Width = 0;
+  TermRef Cur;  ///< Current-step value (every variable).
+  TermRef Next; ///< Next-step value (states; invalid for inputs).
+};
+
+/// 2^W as an exact Rational (W <= 64 needs BigInt limbs past 62).
+Rational tsPow2(unsigned W);
+
+/// A symbolic transition system over a shared TermContext. States carry
+/// optional init and next relations: a relation is a formula over the
+/// current-step variables (and, for next, the state's own Next variable)
+/// rather than a functional update, so guarded case splits — the shape the
+/// BTOR2 wrap-around lowering produces — need no auxiliary variables.
+class TransitionSystem {
+public:
+  explicit TransitionSystem(TermContext &Ctx) : Ctx(&Ctx) {}
+
+  TermContext &ctx() const { return *Ctx; }
+
+  /// Declares a state (fresh Cur and Next variables) and returns its index.
+  size_t addState(const std::string &Name, unsigned Width);
+  /// Declares an input (fresh Cur variable) and returns its index.
+  size_t addInput(const std::string &Name, unsigned Width);
+
+  const std::vector<TsVar> &states() const { return StateVars; }
+  const std::vector<TsVar> &inputs() const { return InputVars; }
+
+  /// Init relation of state \p S: a formula over Cur variables constraining
+  /// states()[S].Cur at step 0. At most one per state.
+  void setInit(size_t S, TermRef Rel);
+  /// Next relation of state \p S: a formula over Cur variables and
+  /// states()[S].Next. At most one per state; states without one are free.
+  void setNext(size_t S, TermRef Rel);
+  bool hasInit(size_t S) const { return InitRels[S].isValid(); }
+  bool hasNext(size_t S) const { return NextRels[S].isValid(); }
+
+  /// Global constraint over Cur variables; conjoined at every step.
+  void addConstraint(TermRef C) { Constraints.push_back(C); }
+  /// Bad-state property over Cur variables; the system is unsafe iff some
+  /// valid trace reaches a state satisfying any of them.
+  void addBad(TermRef B) { Bads.push_back(B); }
+
+  const std::vector<TermRef> &constraints() const { return Constraints; }
+  const std::vector<TermRef> &bads() const { return Bads; }
+
+  /// 0 <= T < 2^Width for bitvector variables; true for native Int.
+  TermRef rangeConstraint(TermRef T, unsigned Width) const;
+
+  /// Lowers the system into a single-predicate linear CHC system in the
+  /// header's {iota, tau, beta} shape. Requires at least one bad property
+  /// (a system with none is vacuously safe and has no query clause to
+  /// normalize against); callers reject that earlier with a diagnostic.
+  ChcSystem encodeChc() const;
+
+private:
+  TermContext *Ctx;
+  std::vector<TsVar> StateVars, InputVars;
+  std::vector<TermRef> InitRels, NextRels; ///< Invalid = absent.
+  std::vector<TermRef> Constraints, Bads;
+};
+
+/// Convenience free-function spelling of TransitionSystem::encodeChc.
+inline ChcSystem encodeChc(const TransitionSystem &TS) {
+  return TS.encodeChc();
+}
+
+} // namespace mucyc
+
+#endif // MUCYC_TS_TRANSITIONSYSTEM_H

@@ -15,6 +15,8 @@
 
 #include "chc/Parser.h"
 #include "testgen/Gen.h"
+#include "testgen/TsGen.h"
+#include "ts/Btor2.h"
 
 #include <gtest/gtest.h>
 
@@ -156,6 +158,54 @@ TEST(ParserFuzz, MutatedInputsNeverCrash) {
       ParseResult PR2 = parseChc(Ctx2, Printed);
       EXPECT_TRUE(PR2.Ok) << "accepted mutant failed to round-trip: "
                           << PR2.Error;
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===
+// BTOR2 frontend robustness
+//===----------------------------------------------------------------------===
+
+/// BTOR2-flavored splice mutation: the structural cases above plus tokens
+/// that stress the node table (dangling ids, wrong-arity operators, huge
+/// widths, liveness directives, sort keywords mid-line).
+std::string mutateBtor2(Rng &R, const std::string &Text) {
+  if (R.oneIn(2))
+    return mutate(R, Text); // Generic byte-level damage.
+  std::string Out = Text;
+  static const char *Tokens[] = {"999",     " -3 ",   "sort",    "bitvec",
+                                 " 65 ",    "state",  "init",    "mul",
+                                 "fair",    "slice",  "concat",  " int ",
+                                 "constd",  " ; x\n", "\n0 bad 1\n"};
+  size_t Start = R.below(Out.size() + 1);
+  Out.insert(Start, Tokens[R.below(std::size(Tokens))]);
+  return Out;
+}
+
+// Mutants of generated transition systems: parseBtor2 must return on every
+// one of them — Ok or a "line N:" diagnostic, never an assert, never an
+// uncaught exception — and anything it accepts must survive the
+// token-level print/parse round trip.
+TEST(ParserFuzz, MutatedBtor2NeverCrashes) {
+  for (uint64_t I = 0; I < 60; ++I) {
+    Rng R(Rng::deriveSeed(0xB7012, I));
+    Btor2Program Prog = genBtor2(R, TsGenKnobs{});
+    std::string Text = printBtor2(Prog);
+    for (unsigned M = 0; M < 5; ++M) {
+      std::string Mutant = mutateBtor2(R, Text);
+      SCOPED_TRACE("seed=" + std::to_string(I) + " mutant=" +
+                   std::to_string(M));
+      TermContext Ctx;
+      Btor2Result BR = parseBtor2(Ctx, Mutant);
+      if (!BR.Ok) {
+        EXPECT_FALSE(BR.Error.empty());
+        continue;
+      }
+      std::string Printed = printBtor2(BR.Program);
+      TermContext Ctx2;
+      Btor2Result BR2 = parseBtor2(Ctx2, Printed);
+      EXPECT_TRUE(BR2.Ok) << "accepted mutant failed to round-trip: "
+                          << BR2.Error;
     }
   }
 }
