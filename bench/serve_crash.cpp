@@ -1,0 +1,277 @@
+//===- bench/serve_crash.cpp - Crash-isolation & chaos availability -------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The robustness experiment behind BENCH_robustness.json, in two legs:
+//
+//  1. Isolation overhead. Every small-suite instance is solved twice
+//     through solveRequest — inline (--isolate none) and in a forked
+//     crash-isolated worker (--isolate crash), both store-less — and the
+//     summed wall clocks are compared. The fork + child re-parse tax must
+//     stay under a configurable ceiling (--max-overhead, default 2x):
+//     isolation is only deployable as the daemon default if it does not
+//     double the bill.
+//
+//  2. Availability under chaos. An in-process ServeDaemon with a
+//     disk-backed store and --isolate crash semantics is driven through
+//     one connection while the process-global ServiceFaultPlan SIGKILLs
+//     every 3rd spawned worker and tears every 2nd store write at byte
+//     64. Every request must still come back as a well-formed "result"
+//     frame (availability floor: 100%), no definitive verdict may
+//     contradict ground truth, and the chaos must demonstrably fire
+//     (observed worker crashes and, on a restart scan of the same store
+//     directory, quarantined torn entries) — otherwise the 100% claim is
+//     vacuous. short-write chaos stays disarmed here by design: a torn
+//     daemon reply is a *client*-visible fault, which is exactly what the
+//     leg's availability metric must not conflate with daemon health.
+//
+//   serve_crash [--refine-budget N] [--max-overhead R] [--requests N]
+//               [--json FILE]
+//
+// Exit status: 0 when both floors hold and every verdict is sound;
+// 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_suite/Suite.h"
+#include "chc/Export.h"
+#include "runtime/Serve.h"
+#include "runtime/Worker.h"
+#include "support/Fault.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace mucyc;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - T0)
+      .count();
+}
+
+/// Renders a suite instance to SMT-LIB text once; both legs reuse it.
+struct TextInstance {
+  std::string Name;
+  std::string Text;
+  ChcStatus Expected;
+};
+
+std::vector<TextInstance> renderSmallSuite() {
+  std::vector<TextInstance> Out;
+  for (const BenchInstance &B : buildSmallSuite()) {
+    TermContext C;
+    NormalizedChc N = B.Build(C);
+    Out.push_back({B.Name, exportSmtLib(C, N), B.Expected});
+  }
+  return Out;
+}
+
+SolveRequest makeRequest(const TextInstance &T, IsolateMode Mode,
+                         uint64_t RefineBudget) {
+  SolveRequest Req = SolveRequest::fromText(T.Text, SolverOptions());
+  Req.Opts.Isolate = Mode;
+  Req.Opts.MaxRefineSteps = RefineBudget;
+  Req.NoStore = true;
+  return Req;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  uint64_t RefineBudget = 300;
+  double MaxOverhead = 2.0;
+  size_t Requests = 24;
+  std::string JsonPath = "BENCH_robustness.json";
+  for (int I = 1; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--refine-budget") && I + 1 < Argc)
+      RefineBudget = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--max-overhead") && I + 1 < Argc)
+      MaxOverhead = std::strtod(Argv[++I], nullptr);
+    else if (!std::strcmp(Argv[I], "--requests") && I + 1 < Argc)
+      Requests = std::strtoull(Argv[++I], nullptr, 10);
+    else if (!std::strcmp(Argv[I], "--json") && I + 1 < Argc)
+      JsonPath = Argv[++I];
+    else {
+      std::fprintf(stderr,
+                   "usage: serve_crash [--refine-budget N] "
+                   "[--max-overhead R] [--requests N] [--json FILE]\n");
+      return 1;
+    }
+  }
+
+  std::vector<TextInstance> Suite = renderSmallSuite();
+
+  //===--------------------------------------------------------------------===
+  // Leg 1: isolation overhead, inline vs forked worker.
+  //===--------------------------------------------------------------------===
+  double InlineTotal = 0, IsolatedTotal = 0;
+  bool Sound = true;
+  std::string Rows;
+  for (const TextInstance &T : Suite) {
+    auto T0 = std::chrono::steady_clock::now();
+    SolveResponse Inline =
+        solveRequest(makeRequest(T, IsolateMode::None, RefineBudget));
+    double InlineS = secondsSince(T0);
+    T0 = std::chrono::steady_clock::now();
+    SolveResponse Isolated =
+        solveRequest(makeRequest(T, IsolateMode::Crash, RefineBudget));
+    double IsolatedS = secondsSince(T0);
+    InlineTotal += InlineS;
+    IsolatedTotal += IsolatedS;
+    // Both modes must agree with each other and with ground truth.
+    if (Inline.Status != Isolated.Status)
+      Sound = false;
+    for (ChcStatus S : {Inline.Status, Isolated.Status})
+      if (S != ChcStatus::Unknown && S != T.Expected)
+        Sound = false;
+
+    char Buf[256];
+    std::snprintf(Buf, sizeof(Buf),
+                  "      {\"name\": \"%s\", \"status\": \"%s\", "
+                  "\"inline_s\": %.6f, \"isolated_s\": %.6f}",
+                  T.Name.c_str(), chcStatusName(Isolated.Status), InlineS,
+                  IsolatedS);
+    if (!Rows.empty())
+      Rows += ",\n";
+    Rows += Buf;
+    std::printf("%-18s inline=%.4fs isolated=%.4fs (%s)\n", T.Name.c_str(),
+                InlineS, IsolatedS, chcStatusName(Isolated.Status));
+  }
+  double Overhead = InlineTotal > 0 ? IsolatedTotal / InlineTotal : 0.0;
+  std::printf("isolation overhead: %.2fx (ceiling %.2fx)%s\n", Overhead,
+              MaxOverhead, Sound ? "" : " [UNSOUND VERDICT]");
+
+  //===--------------------------------------------------------------------===
+  // Leg 2: daemon availability under an armed service-boundary chaos plan.
+  //===--------------------------------------------------------------------===
+  std::filesystem::path StoreDir =
+      std::filesystem::temp_directory_path() /
+      ("mucyc-bench-crash-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(StoreDir);
+
+  ServiceFaultPlan &Plan = ServiceFaultPlan::global();
+  {
+    std::string Err;
+    if (!Plan.parse("kill-worker=3,tear-store=2@64", Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+  }
+
+  size_t Answered = 0, Flips = 0, ChaosRecoveries = 0;
+  uint64_t WorkerCrashes = 0;
+  {
+    ServeOptions SO;
+    SO.StoreDir = StoreDir.string();
+    SO.Jobs = 2;
+    SO.BaseOpts.Isolate = IsolateMode::Crash;
+    SO.BaseOpts.MaxRetries = 2;
+    SO.BaseOpts.MaxRefineSteps = RefineBudget;
+    ServeDaemon D(SO);
+    int Sp[2];
+    if (::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp) != 0) {
+      std::perror("socketpair");
+      return 1;
+    }
+    std::thread Conn([&D, Fd = Sp[1]] { D.serveConnection(Fd, Fd); });
+    for (size_t I = 0; I < Requests; ++I) {
+      const TextInstance &T = Suite[I % Suite.size()];
+      WireMessage M;
+      M.Verb = "solve";
+      M.Body = T.Text;
+      std::string Payload;
+      WireMessage R;
+      if (writeFrame(Sp[0], formatWireMessage(M)) &&
+          readFrame(Sp[0], Payload, 16u << 20) == FrameStatus::Ok &&
+          parseWireMessage(Payload, R, nullptr) && R.Verb == "result" &&
+          !R.header("status").empty()) {
+        ++Answered;
+        std::string S = R.header("status");
+        if (S != "unknown" && S != chcStatusName(T.Expected))
+          ++Flips;
+        // No FaultInjector is armed in this leg, so a multi-attempt answer
+        // means the crash ladder respawned a chaos-killed worker.
+        if (std::strtoull(R.header("attempts").c_str(), nullptr, 10) > 1)
+          ++ChaosRecoveries;
+      }
+    }
+    ::close(Sp[0]);
+    Conn.join();
+    ::close(Sp[1]);
+    WorkerCrashes = D.stats().WorkerCrashes.load();
+  }
+  // Disarm: this plan is process-global state.
+  Plan.KillWorkerEvery = Plan.TearStoreEvery = Plan.ShortWriteEvery = 0;
+
+  // A restart-time recovery scan over the chaos-era store directory: every
+  // torn write the plan landed under a final name must be caught by the
+  // checksum line and quarantined, never served.
+  uint64_t Quarantined = 0, Intact = 0;
+  {
+    ResultStore Recovered(StoreDir.string());
+    Quarantined = Recovered.recovery().Quarantined;
+    Intact = Recovered.recovery().Intact;
+  }
+  std::filesystem::remove_all(StoreDir);
+
+  double Availability =
+      Requests ? 100.0 * static_cast<double>(Answered) / Requests : 0.0;
+  bool ChaosFired = (WorkerCrashes + ChaosRecoveries) > 0 && Quarantined > 0;
+  std::printf("availability under chaos: %zu/%zu answered (%.1f%%), "
+              "%zu verdict flips, %zu chaos-kill recoveries, %llu worker "
+              "crashes, %llu torn writes quarantined on restart, %llu "
+              "intact\n",
+              Answered, Requests, Availability, Flips, ChaosRecoveries,
+              static_cast<unsigned long long>(WorkerCrashes),
+              static_cast<unsigned long long>(Quarantined),
+              static_cast<unsigned long long>(Intact));
+  if (!ChaosFired)
+    std::printf("warning: chaos plan never fired; availability is vacuous\n");
+
+  bool Pass = Sound && Overhead <= MaxOverhead && Availability >= 100.0 &&
+              Flips == 0 && ChaosFired;
+
+  std::FILE *F = std::fopen(JsonPath.c_str(), "w");
+  if (F) {
+    std::fprintf(
+        F,
+        "{\n  \"overhead\": {\n    \"refine_budget\": %llu,\n"
+        "    \"instances\": [\n%s\n    ],\n"
+        "    \"inline_total_s\": %.6f,\n    \"isolated_total_s\": %.6f,\n"
+        "    \"overhead_ratio\": %.4f,\n    \"max_overhead\": %.2f\n  },\n"
+        "  \"availability\": {\n    \"chaos_plan\": "
+        "\"kill-worker=3,tear-store=2@64\",\n"
+        "    \"requests\": %zu,\n    \"answered\": %zu,\n"
+        "    \"availability_pct\": %.1f,\n    \"verdict_flips\": %zu,\n"
+        "    \"chaos_kill_recoveries\": %zu,\n"
+        "    \"worker_crashes\": %llu,\n"
+        "    \"quarantined_on_restart\": %llu,\n"
+        "    \"intact_on_restart\": %llu\n  },\n"
+        "  \"sound\": %s,\n  \"pass\": %s\n}\n",
+        static_cast<unsigned long long>(RefineBudget), Rows.c_str(),
+        InlineTotal, IsolatedTotal, Overhead, MaxOverhead, Requests, Answered,
+        Availability, Flips, ChaosRecoveries,
+        static_cast<unsigned long long>(WorkerCrashes),
+        static_cast<unsigned long long>(Quarantined),
+        static_cast<unsigned long long>(Intact), Sound ? "true" : "false",
+        Pass ? "true" : "false");
+    std::fclose(F);
+  } else {
+    std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+    return 1;
+  }
+
+  return Pass ? 0 : 1;
+}

@@ -24,10 +24,12 @@
 //         [--portfolio "CFG1,CFG2,..."] [--jobs N] [--no-incremental]
 //         [--mem-limit-mb N] [--max-retries N] [--max-refine-steps N]
 //         [--chaos-seed S] [--share-lemmas] [--share-import-budget N]
+//         [--isolate none|crash|always] [--hard-mem-mb N] [--hard-cpu-sec N]
 //
 // The shared solver flags (--config, --jobs, --timeout-ms, --mem-limit-mb,
 // --max-retries, --max-refine-steps, --chaos-seed, --no-incremental,
-// --verify, --share-lemmas, --share-import-budget) are parsed by
+// --verify, --share-lemmas, --share-import-budget, --isolate,
+// --hard-mem-mb, --hard-cpu-sec) are parsed by
 // solver/Options.h parseSolverOptions(), the same helper mucyc-fuzz,
 // mucyc-serve and mucyc-client use, so flag semantics are identical across
 // the tools. --share-lemmas only does something under --portfolio: the
@@ -67,6 +69,8 @@ static void usage() {
       "             [--max-retries N] [--max-refine-steps N] "
       "[--chaos-seed S]\n"
       "             [--share-lemmas] [--share-import-budget N]\n"
+      "             [--isolate none|crash|always] [--hard-mem-mb N]\n"
+      "             [--hard-cpu-sec N]\n"
       "configs: Ret(b,cex) | Yld(b,cex) | SpacerTS(fig1|fig15[,Ulev]) |\n"
       "         Naive | NaiveMbp | Solve, optionally wrapped in\n"
       "         Ind(...) Cex(...) Que(...) Mon(...);\n"
@@ -75,7 +79,10 @@ static void usage() {
       "and cancels the rest); --jobs bounds its concurrency (default:\n"
       "one thread per member); --store-dir caches certified answers by\n"
       "the system's canonical fingerprint; --share-lemmas makes the\n"
-      "members cooperate by exchanging re-checked frame lemmas\n");
+      "members cooperate by exchanging re-checked frame lemmas;\n"
+      "--isolate crash|always forks each solve into a sandboxed worker\n"
+      "process (--hard-mem-mb / --hard-cpu-sec set its OS rlimits) so a\n"
+      "crashing engine degrades to a typed unknown (default: none)\n");
 }
 
 static int runMain(int Argc, char **Argv) {

@@ -44,6 +44,15 @@
 # the serve section replays the golden .btor2 corpus through the daemon
 # cold and alpha-renamed-warm — renamed hardware designs must be answered
 # from the Verify-certified store just like renamed CHC systems.
+# The robustness legs gate the crash-isolation tier: the isolate-labeled
+# ctest smoke (forked workers dying by signal/rlimit/wedge classify into
+# typed Unknowns), the serve_crash benchmark enforcing the isolation
+# overhead ceiling and the 100% chaos-availability floor
+# (BENCH_robustness.json), and a chaos replay of the exported suite
+# through a --isolate crash daemon with the service-boundary fault plan
+# armed — run twice on fresh stores, byte-compared, and checked against
+# the offline verdicts for flips (degrading to unknown is allowed,
+# flipping a definitive answer is not).
 # Seed and instance count are fixed so CI failures replay locally with
 # exactly one command (printed on failure).
 set -eu
@@ -309,6 +318,14 @@ echo "== ts benchmark: hardware-workload baseline =="
 # family's expected answer.
 "$BUILD"/bench/ts_suite --json BENCH_ts.json
 
+echo "== robustness benchmark: isolation overhead + chaos availability =="
+# Leg 1 compares inline vs crash-isolated solveRequest wall clocks (the
+# fork tax must stay under 2x); leg 2 drives an in-process daemon under an
+# armed chaos plan and requires 100% well-formed replies, zero verdict
+# flips, and a restart scan that quarantines every torn store write.
+# Writes BENCH_robustness.json at the repo root.
+"$BUILD"/bench/serve_crash --json BENCH_robustness.json
+
 if [ "$ASAN" = 0 ] && [ "$TSAN" = 0 ]; then
   echo "== tsan: lemma-bus stress under ThreadSanitizer =="
   # The concurrent half of the exchange (the share oracle and the CI legs
@@ -422,5 +439,54 @@ echo "serve btor2: $(wc -l <"$OUT/btor2_cold.txt") goldens," \
 kill "$SERVE_PID" 2>/dev/null
 wait "$SERVE_PID" 2>/dev/null || true
 trap 'rm -rf "$OUT"' EXIT
+
+echo "== isolate smoke: forked-worker crash classification =="
+(cd "$BUILD" && ctest -L isolate --output-on-failure)
+
+echo "== serve crash leg: chaos replay must be deterministic, no flips =="
+# The exported suite again, through a daemon running every cold solve in a
+# crash-isolated worker while the service-boundary chaos plan SIGKILLs
+# every 7th spawned worker and tears every 5th store write at byte 64.
+# The replay is sequential, the kill decision is taken pre-fork and the
+# tear offset is fixed, so the whole run is a pure function of the flags:
+# two runs on fresh stores must produce byte-identical verdict lines.
+# Against the offline verdicts, chaos may only degrade (definitive ->
+# unknown after the retry budget), never flip a definitive answer.
+CHAOS_PLAN="kill-worker=7,tear-store=5@64"
+run_crash_replay() { # $1 = store dir, $2 = out file
+  "$BUILD"/examples/mucyc-serve --socket "$OUT/crash.sock" \
+    --store-dir "$1" --isolate crash --max-retries 2 \
+    --max-refine-steps "$SERVE_BUDGET" --chaos-plan "$CHAOS_PLAN" &
+  CRASH_PID=$!
+  for _ in $(seq 100); do
+    [ -S "$OUT/crash.sock" ] && break
+    sleep 0.1
+  done
+  xargs "$BUILD"/examples/mucyc-client --socket "$OUT/crash.sock" \
+    <"$OUT/suite_files.txt" >"$2"
+  kill "$CRASH_PID" 2>/dev/null
+  wait "$CRASH_PID" 2>/dev/null || true
+  rm -f "$OUT/crash.sock"
+}
+run_crash_replay "$OUT/crash-store-a" "$OUT/crash_verdicts_a.txt"
+run_crash_replay "$OUT/crash-store-b" "$OUT/crash_verdicts_b.txt"
+if ! cmp -s "$OUT/crash_verdicts_a.txt" "$OUT/crash_verdicts_b.txt"; then
+  diff -u "$OUT/crash_verdicts_a.txt" "$OUT/crash_verdicts_b.txt" \
+    | head -40 >&2
+  echo "FAIL: chaos replay verdicts are not deterministic" >&2
+  exit 1
+fi
+FLIPS=$(paste "$OUT/offline_verdicts.txt" "$OUT/crash_verdicts_a.txt" \
+  | awk '$2 != $4 && $4 != "unknown" && $2 != "unknown"')
+if [ -n "$FLIPS" ]; then
+  echo "$FLIPS" >&2
+  echo "FAIL: chaos flipped a definitive verdict" >&2
+  exit 1
+fi
+DEGRADED=$(paste "$OUT/offline_verdicts.txt" "$OUT/crash_verdicts_a.txt" \
+  | awk '$2 != $4' | wc -l)
+echo "serve crash leg: $(wc -l <"$OUT/crash_verdicts_a.txt") instances" \
+     "replayed twice under '$CHAOS_PLAN', byte-identical, 0 flips," \
+     "$DEGRADED degraded"
 
 echo "CI gate passed."

@@ -37,6 +37,17 @@ expect_error bad-config         2 "$MUCYC" --config "NotAnEngine" \
   "$CORPUS/ok-divisible.smt2"
 expect_error bad-portfolio      2 "$MUCYC" --portfolio "Ret(T,MBP(1)),Nope" \
   "$CORPUS/ok-divisible.smt2"
+expect_error bad-isolate        2 "$MUCYC" --isolate sometimes \
+  "$CORPUS/ok-divisible.smt2"
+expect_error isolate-no-value   2 "$MUCYC" --isolate
+
+# An isolated solve of a good file still exits 0 through the worker tier.
+"$MUCYC" --isolate crash "$CORPUS/ok-divisible.smt2" >/dev/null 2>&1
+Got=$?
+if [ "$Got" -ne 0 ]; then
+  echo "FAIL ok-isolated: exit $Got, want 0" >&2
+  FAILS=$((FAILS + 1))
+fi
 
 # Every parse/sort-check reject in the corpus must come back as a clean
 # input error, whatever garbage is inside.

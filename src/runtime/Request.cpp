@@ -10,9 +10,11 @@
 #include "chc/Parser.h"
 #include "chc/Preprocess.h"
 #include "runtime/Recover.h"
+#include "runtime/Worker.h"
 #include "ts/Btor2.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
 using namespace mucyc;
@@ -76,6 +78,62 @@ bool verifyCachedCert(TermContext &Ctx, const NormalizedChc &N,
   return verifyCexPiece(Ctx, N, Cert, E.Depth + 2);
 }
 
+/// Parent-side crash ladder over forked workers: a worker that dies
+/// abnormally (WorkerCrashed*, all recoverable) is respawned with a
+/// degraded configuration, mirroring the in-process ladder; the child
+/// still runs the in-process ladder for typed errors, so the two compose.
+/// Cancellation and an expired deadline end the ladder, like in-process.
+struct WorkerLadderResult {
+  WorkerOutcome WO;           ///< Final attempt.
+  unsigned TotalAttempts = 0; ///< Engine attempts across all workers.
+  SolveStats Accum;           ///< Merged over all workers.
+};
+
+WorkerLadderResult runWorkerLadder(const SolveRequest &Req,
+                                   const std::string &StoreDir,
+                                   const std::atomic<bool> *Cancel) {
+  WorkerLadderResult L;
+  auto Start = std::chrono::steady_clock::now();
+  auto RemainingMs = [&]() -> uint64_t { // Req.DeadlineMs = 0: no deadline.
+    if (!Req.DeadlineMs)
+      return 0;
+    uint64_t Spent = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+    return Spent >= Req.DeadlineMs ? 1 : Req.DeadlineMs - Spent;
+  };
+  for (unsigned CrashAttempt = 0;; ++CrashAttempt) {
+    SolveRequest Ship = Req;
+    Ship.Opts = degradeOptions(Req.Opts, CrashAttempt);
+    Ship.Opts.Isolate = IsolateMode::None; // Children never re-fork.
+    // Typed-error retries run inside the child with whatever ladder budget
+    // this rung has left.
+    Ship.Opts.MaxRetries = Req.Opts.MaxRetries > CrashAttempt
+                               ? Req.Opts.MaxRetries - CrashAttempt
+                               : 0;
+    Ship.DeadlineMs = RemainingMs();
+    L.WO = runWorkerAttempt(Ship, Ship.DeadlineMs, Cancel, StoreDir,
+                            CrashAttempt == 0 ? Req.TestCrash : "");
+    // A crashed worker counts one engine attempt (its progress is lost);
+    // a live reply reports its own count — 0 for a store-served answer.
+    L.TotalAttempts += L.WO.Crashed ? 1 : L.WO.Resp.Attempts;
+    L.Accum.merge(L.WO.Resp.Stats);
+    if (!L.WO.Crashed)
+      break;
+    if (CrashAttempt >= Req.Opts.MaxRetries)
+      break;
+    if (Cancel && Cancel->load(std::memory_order_relaxed))
+      break;
+    if (Req.DeadlineMs && RemainingMs() <= 1)
+      break;
+    ++L.Accum.Degradations;
+  }
+  if (L.TotalAttempts)
+    L.Accum.Retries = L.TotalAttempts - 1;
+  return L;
+}
+
 } // namespace
 
 SolveResponse mucyc::solveRequest(const SolveRequest &Req, ResultStore *Store,
@@ -100,14 +158,36 @@ SolveResponse mucyc::solveRequest(const SolveRequest &Req, ResultStore *Store,
     return Resp;
   }
 
+  // --- Worker-process isolation, Always mode: the entire request —
+  // store probe included — runs in a forked child behind the parent-side
+  // crash ladder; the child opens a private disk-tier store on our
+  // directory. Only textual sources cross the process boundary.
+  bool Isolated = Req.Opts.Isolate != IsolateMode::None && Req.Source &&
+                  !inWorkerChild();
+  if (Isolated && Req.Opts.Isolate == IsolateMode::Always) {
+    WorkerLadderResult L = runWorkerLadder(
+        Req, Store && !Req.NoStore ? Store->dir() : "", Cancel);
+    Resp = std::move(L.WO.Resp);
+    Resp.Tags = Req.Tags;
+    Resp.Stats = L.Accum;
+    Resp.Attempts = L.TotalAttempts;
+    Resp.Seconds = Elapsed();
+    return Resp; // Terms live and die in the child; Ctx stays null.
+  }
+
   // --- Warm path: fingerprint the submission and probe the store. A probe
   // failure of any kind (parse error, sort mismatch, corrupt certificate,
   // failed re-verification) drops through to the cold path below; a parse
-  // error will then resurface there with its proper diagnostic.
+  // error will then resurface there with its proper diagnostic. The probe
+  // context is kept at function scope: in Crash isolation mode, admission
+  // re-verifies the worker's certificate in it after the cold run.
+  std::shared_ptr<TermContext> Probe;
+  std::optional<NormalizedChc> ProbeSys;
   if (Store && !Req.NoStore) {
-    auto Probe = std::make_shared<TermContext>();
+    Probe = std::make_shared<TermContext>();
     try {
       NormalizedChc N = Build(*Probe);
+      ProbeSys = N;
       Resp.Fingerprint = fingerprintNormalized(*Probe, N).hex();
       CacheSource Src = CacheSource::None;
       if (auto E = Store->lookup(Resp.Fingerprint, &Src)) {
@@ -151,6 +231,51 @@ SolveResponse mucyc::solveRequest(const SolveRequest &Req, ResultStore *Store,
     } catch (const std::exception &) {
       // Fall through to the cold path, which reports the error properly.
     }
+  }
+
+  // --- Crash isolation: the cold run happens in a forked worker behind the
+  // parent-side crash ladder. The parent keeps the store probe above and
+  // the admission here: the worker ships its certificate back as text, and
+  // the parent re-parses and re-verifies it in the probe context before
+  // trusting it — a corrupted or compromised child cannot poison the store.
+  if (Isolated) {
+    WorkerLadderResult L = runWorkerLadder(Req, "", Cancel);
+    std::string Fp = std::move(Resp.Fingerprint);
+    Resp = std::move(L.WO.Resp);
+    Resp.Tags = Req.Tags;
+    Resp.Fingerprint = std::move(Fp);
+    Resp.Stats = L.Accum;
+    Resp.Attempts = L.TotalAttempts;
+    if (Probe && ProbeSys && !L.WO.Cert.empty() && !Resp.VerifyFailed &&
+        (Resp.Status == ChcStatus::Sat || Resp.Status == ChcStatus::Unsat)) {
+      try {
+        ResultStore::Entry E;
+        E.Status = Resp.Status;
+        E.Depth = Resp.Depth;
+        E.Config = L.WO.ConfigName;
+        for (VarId V : ProbeSys->Z)
+          E.ZSorts.push_back(Probe->varInfo(V).S);
+        E.Cert = L.WO.Cert;
+        TermRef Cert =
+            ResultStore::parseCert(*Probe, *ProbeSys, E.Cert, nullptr);
+        if (Cert.isValid() && verifyCachedCert(*Probe, *ProbeSys, E, Cert)) {
+          if (Store && !Req.NoStore && !Resp.Fingerprint.empty()) {
+            E.Verified = true;
+            Store->insert(Resp.Fingerprint, E);
+          }
+          if (Resp.Status == ChcStatus::Sat)
+            Resp.Invariant = Cert;
+          else
+            Resp.CexPiece = Cert;
+          if (Req.KeepContext)
+            Resp.Ctx = Probe;
+        }
+      } catch (const std::exception &) {
+        // Admission is best-effort; the worker's verdict still stands.
+      }
+    }
+    Resp.Seconds = Elapsed();
+    return Resp;
   }
 
   // --- Cold path: the recovery ladder. MaxRetries = 0 runs one attempt.

@@ -70,6 +70,12 @@ public:
   /// build() has run in) as "(define-fun ...)" lines.
   std::string solutionText(TermContext &Ctx, TermRef PhiZ);
 
+  // Raw ingredients, so the worker tier can ship the source across a
+  // process boundary and rebuild an equivalent TextSource in the child.
+  const std::string &text() const { return Text; }
+  bool preprocessing() const { return Preprocess; }
+  InputFormat format() const { return Format; }
+
 private:
   struct Pipeline {
     ChcSystem Orig;
@@ -120,6 +126,12 @@ struct SolveRequest {
   /// Keep the answer's TermContext (and Invariant/CexPiece) alive on the
   /// response. Batch executors set this false to bound memory.
   bool KeepContext = true;
+
+  /// Test-only: make the isolated worker child die this way before solving
+  /// ("segv", "abort", "exit3", "spin", "oom"). Applied to the first worker
+  /// attempt only, so crash-then-recover scenarios are expressible. Empty
+  /// in production; shipped as the `x-crash` wire header.
+  std::string TestCrash;
 
   /// Convenience: a request over textual source (SMT-LIB2 HORN or BTOR2,
   /// sniffed by default).

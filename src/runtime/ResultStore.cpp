@@ -8,11 +8,17 @@
 
 #include "chc/Export.h"
 #include "chc/Parser.h"
+#include "support/Fault.h"
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
 
 using namespace mucyc;
 
@@ -29,7 +35,10 @@ const char *mucyc::cacheSourceName(CacheSource S) {
 }
 
 ResultStore::ResultStore(std::string Dir, size_t MemCap)
-    : DirPath(std::move(Dir)), MemCap(MemCap ? MemCap : 1) {}
+    : DirPath(std::move(Dir)), MemCap(MemCap ? MemCap : 1) {
+  if (!DirPath.empty())
+    recoverScan();
+}
 
 std::string ResultStore::filePath(const std::string &Fp) const {
   return DirPath + "/" + Fp + ".mucyc-result";
@@ -105,19 +114,65 @@ ResultStore::Counters ResultStore::counters() const {
 }
 
 //===----------------------------------------------------------------------===
-// Disk format: a small line-oriented text file, one entry per fingerprint.
+// Disk format: `mucyc-result-v2`, a small line-oriented text file whose
+// last line checksums everything before it, one entry per fingerprint.
 //===----------------------------------------------------------------------===
 
+uint64_t ResultStore::fnv1a64(const std::string &Data) {
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 0x100000001b3ull;
+  }
+  return H;
+}
+
+static std::string hex16(uint64_t V) {
+  static const char *Digits = "0123456789abcdef";
+  std::string S(16, '0');
+  for (int I = 15; I >= 0; --I, V >>= 4)
+    S[I] = Digits[V & 0xf];
+  return S;
+}
+
+std::string ResultStore::formatEntry(const Entry &E) {
+  std::string Body = "mucyc-result-v2\n";
+  Body += "status: " + std::string(chcStatusName(E.Status)) + "\n";
+  Body += "depth: " + std::to_string(E.Depth) + "\n";
+  Body += "config: " + E.Config + "\n";
+  Body += "zsorts: ";
+  for (size_t I = 0; I < E.ZSorts.size(); ++I)
+    Body += std::string(I ? " " : "") + sortName(E.ZSorts[I]);
+  Body += "\n";
+  Body += "cert: " + E.Cert + "\n";
+  return Body + "checksum: fnv1a64 " + hex16(fnv1a64(Body)) + "\n";
+}
+
 std::optional<ResultStore::Entry>
-ResultStore::loadFile(const std::string &Fp) const {
-  std::ifstream In(filePath(Fp));
-  if (!In)
+ResultStore::parseFileText(const std::string &Text) {
+  // The checksum line must be the last line and must cover every byte
+  // before it — a torn write truncates the tail, so either the line is
+  // missing or the digest disagrees.
+  if (Text.rfind("mucyc-result-v2\n", 0) != 0)
     return std::nullopt;
-  std::string Line;
-  if (!std::getline(In, Line) || Line != "mucyc-result-v1")
+  size_t LastNl = Text.find_last_of('\n');
+  if (LastNl == std::string::npos || LastNl + 1 != Text.size())
+    return std::nullopt; // No trailing newline: truncated mid-line.
+  size_t PrevNl = Text.find_last_of('\n', LastNl - 1);
+  if (PrevNl == std::string::npos)
     return std::nullopt;
+  std::string Last = Text.substr(PrevNl + 1, LastNl - PrevNl - 1);
+  if (Last.rfind("checksum: fnv1a64 ", 0) != 0)
+    return std::nullopt;
+  std::string Body = Text.substr(0, PrevNl + 1);
+  if (Last.substr(18) != hex16(fnv1a64(Body)))
+    return std::nullopt;
+
   Entry E;
   bool HaveStatus = false;
+  std::istringstream In(Body);
+  std::string Line;
+  std::getline(In, Line); // Header, already matched.
   while (std::getline(In, Line)) {
     size_t Colon = Line.find(": ");
     if (Colon == std::string::npos)
@@ -159,26 +214,120 @@ ResultStore::loadFile(const std::string &Fp) const {
   return E;
 }
 
-void ResultStore::storeFile(const std::string &Fp, const Entry &E) const {
+static std::optional<std::string> readWholeFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+std::optional<ResultStore::Entry>
+ResultStore::loadFile(const std::string &Fp) const {
+  auto Text = readWholeFile(filePath(Fp));
+  if (!Text)
+    return std::nullopt;
+  return parseFileText(*Text);
+}
+
+/// Durable whole-file write: stage to \p Tmp, fsync, rename over \p Final.
+/// Returns false on any failure, with the staging file cleaned up.
+static bool writeDurable(const std::string &Tmp, const std::string &Final,
+                         const std::string &Content) {
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return false;
+  size_t Off = 0;
+  bool Ok = true;
+  while (Ok && Off < Content.size()) {
+    ssize_t N = ::write(Fd, Content.data() + Off, Content.size() - Off);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      Ok = false;
+    } else {
+      Off += static_cast<size_t>(N);
+    }
+  }
+  // The entry is advertised as durable once renamed into place, so the
+  // data must be on stable storage *before* the rename — otherwise a crash
+  // can leave a fully-named file with torn content, the exact state the
+  // recovery scan exists to catch.
+  Ok = Ok && ::fsync(Fd) == 0;
+  Ok = (::close(Fd) == 0) && Ok;
+  Ok = Ok && std::rename(Tmp.c_str(), Final.c_str()) == 0;
+  if (!Ok)
+    ::unlink(Tmp.c_str()); // Never leak the staging file.
+  return Ok;
+}
+
+void ResultStore::storeFile(const std::string &Fp, const Entry &E) {
   std::error_code Ec;
   std::filesystem::create_directories(DirPath, Ec);
-  std::string Tmp = filePath(Fp) + ".tmp";
-  {
-    std::ofstream Out(Tmp);
-    if (!Out)
-      return; // Disk tier is best-effort; the memory tier still serves.
-    Out << "mucyc-result-v1\n"
-        << "status: " << chcStatusName(E.Status) << "\n"
-        << "depth: " << E.Depth << "\n"
-        << "config: " << E.Config << "\n"
-        << "zsorts:";
-    Out << " ";
-    for (size_t I = 0; I < E.ZSorts.size(); ++I)
-      Out << (I ? " " : "") << sortName(E.ZSorts[I]);
-    Out << "\n"
-        << "cert: " << E.Cert << "\n";
+  if (Ec) {
+    ++Cnt.WriteErrors; // Read-only parent etc.: memory tier still serves.
+    return;
   }
-  std::rename(Tmp.c_str(), filePath(Fp).c_str());
+  std::string Content = formatEntry(E);
+
+  // Chaos: a torn write lands truncated content under the *final* name —
+  // the post-crash disk state rename-based atomicity cannot prevent when
+  // the tear happens below the filesystem. The checksum makes it inert.
+  uint64_t TearAt = 0;
+  if (ServiceFaultPlan::global().tearThisStoreWrite(TearAt)) {
+    std::ofstream Torn(filePath(Fp), std::ios::binary | std::ios::trunc);
+    Torn << Content.substr(0, std::min<size_t>(TearAt, Content.size()));
+    ++Cnt.WriteErrors;
+    return;
+  }
+
+  if (!writeDurable(filePath(Fp) + ".tmp", filePath(Fp), Content))
+    ++Cnt.WriteErrors;
+}
+
+//===----------------------------------------------------------------------===
+// Construction-time recovery scan
+//===----------------------------------------------------------------------===
+
+void ResultStore::recoverScan() {
+  namespace fs = std::filesystem;
+  std::error_code Ec;
+  if (!fs::is_directory(DirPath, Ec))
+    return;
+  const std::string Suffix = ".mucyc-result";
+  const std::string QuarDir = DirPath + "/quarantine";
+  for (auto &Ent : fs::directory_iterator(DirPath, Ec)) {
+    if (Ec)
+      break;
+    if (!Ent.is_regular_file(Ec))
+      continue;
+    std::string Name = Ent.path().filename().string();
+    if (Name.size() > 4 && Name.rfind(".tmp") == Name.size() - 4) {
+      // Orphaned staging file from an interrupted write.
+      fs::remove(Ent.path(), Ec);
+      ++Recovery.TmpSwept;
+      continue;
+    }
+    if (Name.size() <= Suffix.size() ||
+        Name.rfind(Suffix) != Name.size() - Suffix.size())
+      continue;
+    ++Recovery.Scanned;
+    auto Text = readWholeFile(Ent.path().string());
+    if (Text && parseFileText(*Text)) {
+      ++Recovery.Intact;
+      continue;
+    }
+    // Corrupt, torn, or legacy (v1) entry: quarantine, never serve. Kept
+    // rather than deleted so operators can inspect what went wrong.
+    fs::create_directories(QuarDir, Ec);
+    fs::rename(Ent.path(), QuarDir + "/" + Name, Ec);
+    if (Ec) {
+      fs::remove(Ent.path(), Ec); // Cross-device fallback: drop it.
+      Ec.clear();
+    }
+    ++Recovery.Quarantined;
+  }
 }
 
 //===----------------------------------------------------------------------===

@@ -17,9 +17,15 @@
 /// dropped and the request falls through to a cold solve.
 ///
 /// Layout: one file per fingerprint under the store directory
-/// (`<fp>.mucyc-result`, a small line-oriented text format), written
-/// atomically via rename, fronted by a bounded in-memory map with FIFO
-/// eviction. The Verified bit is process-local: a certificate loaded from
+/// (`<fp>.mucyc-result`, the line-oriented `mucyc-result-v2` text format
+/// whose last line is an FNV-1a 64 checksum of everything before it),
+/// written durably — full content staged to a `.tmp` sibling, fsync'd,
+/// then renamed into place — and fronted by a bounded in-memory map with
+/// FIFO eviction. On construction the store scans its directory once:
+/// entries that fail the checksum, fail to parse, or carry a legacy/foreign
+/// header are moved into a `quarantine/` subdirectory (never served, kept
+/// for inspection) and orphaned `.tmp` files from interrupted writes are
+/// swept. The Verified bit is process-local: a certificate loaded from
 /// disk is re-run through Verify once per daemon lifetime, then hits serve
 /// from the verified in-memory entry. Thread-safe.
 ///
@@ -62,12 +68,22 @@ public:
 
   struct Counters {
     uint64_t MemHits = 0, DiskHits = 0, Misses = 0, Inserts = 0,
-             Rejects = 0; ///< Entries dropped (failed re-verify / corrupt).
+             Rejects = 0,     ///< Entries dropped (failed re-verify / corrupt).
+             WriteErrors = 0; ///< Disk writes that failed (full/readonly/torn).
+  };
+
+  /// What the construction-time recovery scan found in the store directory.
+  struct RecoveryReport {
+    uint64_t Scanned = 0;     ///< `.mucyc-result` files examined.
+    uint64_t Intact = 0;      ///< Valid v2 entries left in place.
+    uint64_t Quarantined = 0; ///< Corrupt/legacy/torn moved to quarantine/.
+    uint64_t TmpSwept = 0;    ///< Orphaned `.tmp` staging files removed.
   };
 
   /// \p Dir empty = memory tier only. The directory is created on first
   /// insert. \p MemCap bounds the in-memory tier (FIFO eviction; evicted
-  /// entries remain on disk).
+  /// entries remain on disk). A non-empty existing directory is recovery-
+  /// scanned here (see file comment).
   explicit ResultStore(std::string Dir = "", size_t MemCap = 4096);
 
   /// Looks up \p Fp: memory first, then disk (a disk hit is promoted into
@@ -86,6 +102,22 @@ public:
 
   Counters counters() const;
   const std::string &dir() const { return DirPath; }
+  const RecoveryReport &recovery() const { return Recovery; }
+
+  //===--------------------------------------------------------------------===
+  // Disk format building blocks — public so tests (and the chaos rig) can
+  // craft valid, torn and corrupt entries byte-for-byte.
+  //===--------------------------------------------------------------------===
+
+  /// FNV-1a 64-bit over \p Data.
+  static uint64_t fnv1a64(const std::string &Data);
+
+  /// Renders \p E as the complete v2 file content, checksum line included.
+  static std::string formatEntry(const Entry &E);
+
+  /// Parses complete file content; nullopt on a bad header, a checksum
+  /// mismatch (torn write), or malformed fields.
+  static std::optional<Entry> parseFileText(const std::string &Text);
 
   //===--------------------------------------------------------------------===
   // Certificate (de)serialization — free-standing so tests can target them.
@@ -104,8 +136,9 @@ public:
 private:
   std::string filePath(const std::string &Fp) const;
   std::optional<Entry> loadFile(const std::string &Fp) const;
-  void storeFile(const std::string &Fp, const Entry &E) const;
+  void storeFile(const std::string &Fp, const Entry &E);
   void memInsert(const std::string &Fp, Entry E); ///< Mu held by caller.
+  void recoverScan();
 
   std::string DirPath;
   size_t MemCap;
@@ -113,6 +146,7 @@ private:
   std::unordered_map<std::string, Entry> Mem;
   std::deque<std::string> Fifo;
   Counters Cnt;
+  RecoveryReport Recovery;
 };
 
 } // namespace mucyc

@@ -135,10 +135,24 @@ unsigned SchedulerSession::workers() const { return Pool ? Pool->size() : 0; }
 void SchedulerSession::submit(SolveRequest Req,
                               std::shared_ptr<CancelToken> JobTok,
                               std::function<void(SolveResponse)> Done) {
+  trySubmit(std::move(Req), std::move(JobTok), std::move(Done), 0);
+}
+
+bool SchedulerSession::trySubmit(SolveRequest Req,
+                                 std::shared_ptr<CancelToken> JobTok,
+                                 std::function<void(SolveResponse)> Done,
+                                 unsigned MaxPending) {
+  // Reserve the slot first, undo on refusal: check-then-add would let two
+  // racing connections both slip past a nearly-full bound.
+  unsigned Prior = Pending.fetch_add(1, std::memory_order_relaxed);
+  if (MaxPending && Prior >= MaxPending) {
+    Pending.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  }
   std::shared_ptr<CancelToken> Tok = JobTok ? JobTok : Root->child();
   ResultStore *S = Store;
   auto RootTok = Root;
-  Pool->post([Req = std::move(Req), Tok = std::move(Tok),
+  Pool->post([this, Req = std::move(Req), Tok = std::move(Tok),
               Done = std::move(Done), S, RootTok] {
     SolveResponse Resp;
     if (Tok->cancelled() || RootTok->cancelled()) {
@@ -148,9 +162,11 @@ void SchedulerSession::submit(SolveRequest Req,
     } else {
       Resp = solveRequest(Req, S, Tok->flag());
     }
+    Pending.fetch_sub(1, std::memory_order_relaxed);
     if (Done)
       Done(std::move(Resp));
   });
+  return true;
 }
 
 void SchedulerSession::drain() {

@@ -136,6 +136,18 @@ public:
   void submit(SolveRequest Req, std::shared_ptr<CancelToken> JobTok,
               std::function<void(SolveResponse)> Done);
 
+  /// Bounded admission: like submit(), but refuses (returns false, nothing
+  /// enqueued, Done never called) when \p MaxPending jobs are already
+  /// queued or running. \p MaxPending = 0 never refuses. The daemon maps a
+  /// refusal to a typed "overloaded" wire response instead of letting an
+  /// unbounded queue absorb a traffic spike.
+  bool trySubmit(SolveRequest Req, std::shared_ptr<CancelToken> JobTok,
+                 std::function<void(SolveResponse)> Done,
+                 unsigned MaxPending);
+
+  /// Jobs currently queued or running.
+  unsigned pending() const { return Pending.load(std::memory_order_relaxed); }
+
   /// Blocks until every submitted job has completed.
   void drain();
 
@@ -149,6 +161,7 @@ private:
   std::unique_ptr<ThreadPool> Pool;
   std::shared_ptr<CancelToken> Root;
   ResultStore *Store;
+  std::atomic<unsigned> Pending{0};
 };
 
 } // namespace mucyc

@@ -6,6 +6,8 @@
 
 #include "runtime/Serve.h"
 
+#include "support/Fault.h"
+
 #include <cerrno>
 #include <condition_variable>
 #include <csignal>
@@ -123,6 +125,82 @@ FrameStatus mucyc::readFrame(int Fd, std::string &Payload, size_t MaxBytes) {
   return FrameStatus::Ok;
 }
 
+FrameStatus mucyc::readFrameDeadline(int Fd, std::string &Payload,
+                                     size_t MaxBytes, int StallTimeoutMs,
+                                     int IdleTimeoutMs) {
+  // Identical framing to readFrame, but every read waits behind poll()
+  // with a budget: the idle budget before the frame's first byte, the
+  // stall budget between bytes mid-frame. Progress resets the clock, so a
+  // slow-but-live writer (even 1 byte at a time) is never cut off.
+  bool FirstByte = true;
+  // -2 = I/O error, -3 = timed out, otherwise read() semantics.
+  auto ReadSome = [&](void *Buf, size_t N) -> ssize_t {
+    int Budget = FirstByte && IdleTimeoutMs ? IdleTimeoutMs : StallTimeoutMs;
+    struct pollfd P;
+    P.fd = Fd;
+    P.events = POLLIN;
+    P.revents = 0;
+    for (;;) {
+      int W = ::poll(&P, 1, Budget > 0 ? Budget : -1);
+      if (W < 0) {
+        if (errno == EINTR)
+          continue;
+        return -2;
+      }
+      if (W == 0)
+        return -3;
+      break;
+    }
+    for (;;) {
+      ssize_t R = ::read(Fd, Buf, N);
+      if (R < 0 && errno == EINTR)
+        continue;
+      if (R > 0)
+        FirstByte = false;
+      return R;
+    }
+  };
+  auto Classify = [](ssize_t R, bool MidFrame) -> FrameStatus {
+    if (R == -3)
+      return FrameStatus::TimedOut;
+    if (R < 0)
+      return FrameStatus::IoError;
+    return MidFrame ? FrameStatus::Truncated : FrameStatus::Eof;
+  };
+
+  unsigned char Hdr[4];
+  size_t Got = 0;
+  while (Got < 4) {
+    ssize_t R = ReadSome(Hdr + Got, 4 - Got);
+    if (R <= 0)
+      return Classify(R, Got != 0);
+    Got += static_cast<size_t>(R);
+  }
+  uint64_t Len = (uint64_t(Hdr[0]) << 24) | (uint64_t(Hdr[1]) << 16) |
+                 (uint64_t(Hdr[2]) << 8) | uint64_t(Hdr[3]);
+  if (Len > MaxBytes) {
+    char Scratch[4096];
+    uint64_t Left = Len;
+    while (Left) {
+      ssize_t R = ReadSome(Scratch,
+                           Left < sizeof(Scratch) ? Left : sizeof(Scratch));
+      if (R <= 0)
+        return Classify(R, true);
+      Left -= static_cast<uint64_t>(R);
+    }
+    return FrameStatus::Oversized;
+  }
+  Payload.resize(Len);
+  size_t Off = 0;
+  while (Off < Len) {
+    ssize_t R = ReadSome(Payload.data() + Off, Len - Off);
+    if (R <= 0)
+      return Classify(R, true);
+    Off += static_cast<size_t>(R);
+  }
+  return FrameStatus::Ok;
+}
+
 bool mucyc::writeFrame(int Fd, const std::string &Payload) {
   unsigned char Hdr[4] = {static_cast<unsigned char>(Payload.size() >> 24),
                           static_cast<unsigned char>(Payload.size() >> 16),
@@ -142,6 +220,14 @@ bool mucyc::writeFrame(int Fd, const std::string &Payload) {
     }
     return true;
   };
+  // Chaos: cut the Nth frame short after the header and a partial payload
+  // — the peer observes a half-frame followed by whatever the sender does
+  // about the failure (for the daemon: connection close → Truncated).
+  if (ServiceFaultPlan::global().shortThisWrite()) {
+    WriteAll(Hdr, 4);
+    WriteAll(Payload.data(), Payload.size() / 2);
+    return false;
+  }
   return WriteAll(Hdr, 4) && WriteAll(Payload.data(), Payload.size());
 }
 
@@ -165,6 +251,16 @@ std::string errorFrame(const std::string &Detail) {
   WireMessage M;
   M.Verb = "error";
   M.Headers["detail"] = Detail;
+  return formatWireMessage(M);
+}
+
+/// Typed shed response: the client should back off and retry elsewhere /
+/// later, not treat this as a solver failure.
+std::string overloadedFrame(const std::string &Detail, unsigned Pending) {
+  WireMessage M;
+  M.Verb = "overloaded";
+  M.Headers["detail"] = Detail;
+  M.Headers["pending"] = std::to_string(Pending);
   return formatWireMessage(M);
 }
 
@@ -211,6 +307,14 @@ std::string ServeDaemon::handleSolve(const WireMessage &M, int ConnFd) {
     O.NoIncremental = M.header("no-incremental") == "1";
   if (!M.header("verify").empty())
     O.VerifyResult = M.header("verify") == "1";
+  O.HardMemMb = U64("hard-mem-mb", O.HardMemMb);
+  O.HardCpuSec = U64("hard-cpu-sec", O.HardCpuSec);
+  if (!M.header("isolate").empty()) {
+    auto IM = parseIsolateMode(M.header("isolate"));
+    if (!IM)
+      return errorFrame("bad isolate value '" + M.header("isolate") + "'");
+    O.Isolate = *IM;
+  }
 
   SolveRequest Req = SolveRequest::fromText(M.Body, O);
   Req.DeadlineMs = U64("deadline-ms", Opts.DefaultDeadlineMs);
@@ -218,6 +322,7 @@ std::string ServeDaemon::handleSolve(const WireMessage &M, int ConnFd) {
   Req.WantSolution = M.header("want-solution") == "1";
   Req.NoStore = M.header("no-store") == "1";
   Req.KeepContext = false;
+  Req.TestCrash = M.header("x-crash");
 
   // Run the job on the session pool; this connection thread meanwhile
   // watches the socket so a client that disconnects mid-job cancels it
@@ -227,12 +332,18 @@ std::string ServeDaemon::handleSolve(const WireMessage &M, int ConnFd) {
   bool Done = false;
   SolveResponse Resp;
   auto Tok = Session.newJobToken();
-  Session.submit(std::move(Req), Tok, [&](SolveResponse R) {
-    std::lock_guard<std::mutex> Lock(Mu);
-    Resp = std::move(R);
-    Done = true;
-    Cv.notify_all();
-  });
+  if (!Session.trySubmit(std::move(Req), Tok,
+                         [&](SolveResponse R) {
+                           std::lock_guard<std::mutex> Lock(Mu);
+                           Resp = std::move(R);
+                           Done = true;
+                           Cv.notify_all();
+                         },
+                         Opts.MaxPending)) {
+    Stats.Overloaded.fetch_add(1, std::memory_order_relaxed);
+    return overloadedFrame("pending-job bound reached; retry later",
+                           Session.pending());
+  }
   {
     bool CancelledByPeer = false;
     std::unique_lock<std::mutex> Lock(Mu);
@@ -252,6 +363,10 @@ std::string ServeDaemon::handleSolve(const WireMessage &M, int ConnFd) {
     Stats.Definitive.fetch_add(1, std::memory_order_relaxed);
   if (Resp.Cache != CacheSource::None)
     Stats.CacheHits.fetch_add(1, std::memory_order_relaxed);
+  if (Resp.Error.Code == ErrorCode::WorkerCrashedSignal ||
+      Resp.Error.Code == ErrorCode::WorkerCrashedRlimit ||
+      Resp.Error.Code == ErrorCode::WorkerCrashedWedged)
+    Stats.WorkerCrashes.fetch_add(1, std::memory_order_relaxed);
 
   WireMessage R;
   R.Verb = "result";
@@ -296,13 +411,22 @@ std::string ServeDaemon::handle(const WireMessage &M, int ConnFd) {
     Put("cache-hits", Stats.CacheHits.load());
     Put("cancelled", Stats.Cancelled.load());
     Put("bad-frames", Stats.BadFrames.load());
+    Put("overloaded", Stats.Overloaded.load());
+    Put("timed-out-conns", Stats.TimedOutConns.load());
+    Put("worker-crashes", Stats.WorkerCrashes.load());
     ResultStore::Counters C = Store.counters();
     Put("store-mem-hits", C.MemHits);
     Put("store-disk-hits", C.DiskHits);
     Put("store-misses", C.Misses);
     Put("store-inserts", C.Inserts);
     Put("store-rejects", C.Rejects);
+    Put("store-write-errors", C.WriteErrors);
+    const ResultStore::RecoveryReport &RR = Store.recovery();
+    Put("store-recovered-intact", RR.Intact);
+    Put("store-quarantined", RR.Quarantined);
+    Put("store-tmp-swept", RR.TmpSwept);
     Put("workers", Session.workers());
+    Put("pending", Session.pending());
     return formatWireMessage(R);
   }
   if (M.Verb == "solve")
@@ -313,9 +437,17 @@ std::string ServeDaemon::handle(const WireMessage &M, int ConnFd) {
 void ServeDaemon::serveConnection(int InFd, int OutFd) {
   std::string Payload;
   while (!Stopping.load(std::memory_order_relaxed)) {
-    FrameStatus FS = readFrame(InFd, Payload, Opts.MaxFrameBytes);
+    FrameStatus FS = readFrameDeadline(InFd, Payload, Opts.MaxFrameBytes,
+                                       Opts.ReadStallMs, Opts.IdleTimeoutMs);
     if (FS == FrameStatus::Eof)
       return;
+    if (FS == FrameStatus::TimedOut) {
+      // Slow-loris or vanished client: don't let a half-frame pin this
+      // thread. Best-effort goodbye, then close.
+      Stats.TimedOutConns.fetch_add(1, std::memory_order_relaxed);
+      writeFrame(OutFd, errorFrame("read deadline exceeded"));
+      return;
+    }
     if (FS == FrameStatus::Oversized) {
       Stats.BadFrames.fetch_add(1, std::memory_order_relaxed);
       if (!writeFrame(OutFd, errorFrame("frame exceeds size limit")))
@@ -391,6 +523,15 @@ int ServeDaemon::runSocket() {
       if (Stopping.load(std::memory_order_relaxed)) {
         ::close(Conn);
         break;
+      }
+      if (Opts.MaxConnections && LiveFds.size() >= Opts.MaxConnections) {
+        // Shed at the door: a typed goodbye beats an unexplained hang
+        // when every connection thread is taken.
+        Stats.Overloaded.fetch_add(1, std::memory_order_relaxed);
+        writeFrame(Conn, overloadedFrame("connection limit reached",
+                                         Session.pending()));
+        ::close(Conn);
+        continue;
       }
       LiveFds.insert(Conn);
       ConnThreads.emplace_back([this, Conn, &LiveFds, FdsMu] {

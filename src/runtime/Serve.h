@@ -72,14 +72,25 @@ enum class FrameStatus {
   Truncated, ///< Stream ended mid-frame (protocol violation — close).
   Oversized, ///< Frame exceeded \p MaxBytes; payload drained and dropped.
   IoError,   ///< read() failed.
+  TimedOut,  ///< readFrameDeadline: no progress within the stall budget.
 };
 
 /// Reads one length-prefixed frame from \p Fd. An oversized frame is fully
-/// drained (the stream stays framed) but its payload is discarded.
+/// drained (the stream stays framed) but its payload is discarded. Partial
+/// reads and EINTR are handled; the call blocks until a frame completes or
+/// the stream ends.
 FrameStatus readFrame(int Fd, std::string &Payload, size_t MaxBytes);
 
-/// Writes one frame to \p Fd. Returns false on a write failure (e.g. the
-/// peer is gone).
+/// readFrame with slow-loris protection: \p StallTimeoutMs bounds how long
+/// the stream may sit byte-silent *mid-frame* (and, when \p IdleTimeoutMs
+/// is nonzero, how long it may idle before the first header byte). A
+/// legitimate slow writer that keeps trickling bytes never trips it; a
+/// half-frame left dangling does, as TimedOut.
+FrameStatus readFrameDeadline(int Fd, std::string &Payload, size_t MaxBytes,
+                              int StallTimeoutMs, int IdleTimeoutMs = 0);
+
+/// Writes one frame to \p Fd, riding out EINTR and partial writes. Returns
+/// false on a write failure (e.g. the peer is gone).
 bool writeFrame(int Fd, const std::string &Payload);
 
 //===----------------------------------------------------------------------===
@@ -101,6 +112,22 @@ struct ServeOptions {
   uint64_t DefaultDeadlineMs = 0;
   /// Frame-size cap; larger frames are rejected with an "error" response.
   size_t MaxFrameBytes = 16u << 20;
+
+  // Admission control / overload hardening.
+
+  /// Max jobs queued or running in the scheduler session at once; a solve
+  /// arriving past the bound is answered with an "overloaded" frame instead
+  /// of being enqueued (0 = unbounded, the historical behavior).
+  unsigned MaxPending = 0;
+  /// Max concurrent connections; excess accepts are closed immediately
+  /// after an "overloaded" frame (0 = unbounded).
+  unsigned MaxConnections = 0;
+  /// Mid-frame read-stall budget per connection in ms: a client that sends
+  /// half a frame then goes silent is disconnected instead of pinning its
+  /// thread (0 = wait forever).
+  int ReadStallMs = 10000;
+  /// Total idle budget between requests in ms (0 = no idle limit).
+  int IdleTimeoutMs = 0;
 };
 
 /// Daemon-wide counters, exposed over the "stats" verb.
@@ -111,6 +138,9 @@ struct ServeStats {
   std::atomic<uint64_t> CacheHits{0};  ///< Served from the result store.
   std::atomic<uint64_t> Cancelled{0};  ///< Jobs cancelled (disconnects).
   std::atomic<uint64_t> BadFrames{0};  ///< Malformed/oversized frames.
+  std::atomic<uint64_t> Overloaded{0}; ///< Requests shed by admission control.
+  std::atomic<uint64_t> TimedOutConns{0}; ///< Connections cut for stalling.
+  std::atomic<uint64_t> WorkerCrashes{0}; ///< Isolated workers that died.
 };
 
 class ServeDaemon {

@@ -10,6 +10,28 @@
 
 using namespace mucyc;
 
+const char *mucyc::isolateModeName(IsolateMode M) {
+  switch (M) {
+  case IsolateMode::None:
+    return "none";
+  case IsolateMode::Crash:
+    return "crash";
+  case IsolateMode::Always:
+    return "always";
+  }
+  return "?";
+}
+
+std::optional<IsolateMode> mucyc::parseIsolateMode(const std::string &S) {
+  if (S == "none")
+    return IsolateMode::None;
+  if (S == "crash")
+    return IsolateMode::Crash;
+  if (S == "always")
+    return IsolateMode::Always;
+  return std::nullopt;
+}
+
 std::string SolverOptions::name() const {
   std::string Inner;
   switch (Engine) {
@@ -158,6 +180,12 @@ std::vector<std::string> CliOptions::toFlags() const {
     F.push_back("--share-lemmas");
   if (Opts.ShareImportBudget != 64)
     Push("--share-import-budget", std::to_string(Opts.ShareImportBudget));
+  if (Opts.Isolate != IsolateMode::None)
+    Push("--isolate", isolateModeName(Opts.Isolate));
+  if (Opts.HardMemMb)
+    Push("--hard-mem-mb", std::to_string(Opts.HardMemMb));
+  if (Opts.HardCpuSec)
+    Push("--hard-cpu-sec", std::to_string(Opts.HardCpuSec));
   return F;
 }
 
@@ -219,6 +247,24 @@ bool mucyc::parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
         break;
       Out.Opts.ShareImportBudget =
           static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+    } else if (A == "--isolate") {
+      if (!Value(I, "--isolate", V))
+        break;
+      auto M = parseIsolateMode(V);
+      if (!M) {
+        Err = "bad --isolate value '" + V + "' (want none|crash|always)";
+        Ok = false;
+        break;
+      }
+      Out.Opts.Isolate = *M;
+    } else if (A == "--hard-mem-mb") {
+      if (!Value(I, "--hard-mem-mb", V))
+        break;
+      Out.Opts.HardMemMb = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (A == "--hard-cpu-sec") {
+      if (!Value(I, "--hard-cpu-sec", V))
+        break;
+      Out.Opts.HardCpuSec = std::strtoull(V.c_str(), nullptr, 10);
     } else {
       Argv[W++] = Argv[I]; // Not ours: keep for the caller.
       continue;
@@ -248,5 +294,8 @@ bool mucyc::parseSolverOptions(int &Argc, char **Argv, CliOptions &Out,
   Out.Opts.ShareLemmas = Knobs.ShareLemmas;
   Out.Opts.ShareImportBudget = Knobs.ShareImportBudget;
   Out.Opts.Share = Knobs.Share;
+  Out.Opts.Isolate = Knobs.Isolate;
+  Out.Opts.HardMemMb = Knobs.HardMemMb;
+  Out.Opts.HardCpuSec = Knobs.HardCpuSec;
   return true;
 }

@@ -46,6 +46,25 @@ enum class CexMethod {
   Qe,    ///< Example 3: full QE, pick the satisfied disjunct.
 };
 
+/// Where a solve job executes relative to the calling process.
+enum class IsolateMode : uint8_t {
+  /// In-process (the historical path). Byte-reproducible; a native crash
+  /// takes the process down.
+  None,
+  /// The cold engine run forks into a sandboxed worker child; the warm
+  /// store probe, certificate verification and store admission stay in the
+  /// parent. A worker death degrades to a typed Unknown and feeds the
+  /// retry ladder.
+  Crash,
+  /// The entire request (including a private disk-tier store probe) runs
+  /// in the child; the parent only relays. Maximum blast-radius
+  /// containment, no shared in-memory warm tier.
+  Always,
+};
+
+const char *isolateModeName(IsolateMode M);
+std::optional<IsolateMode> parseIsolateMode(const std::string &S);
+
 struct SolverOptions {
   EngineKind Engine = EngineKind::Ret;
   CexMethod Cex = CexMethod::Mbp;
@@ -144,6 +163,18 @@ struct SolverOptions {
   /// serialized by name()/parse().
   unsigned QueryCacheCap = 4096;
 
+  /// Process-isolation tier for solve jobs (--isolate, runtime/Worker.h).
+  /// Default None so offline runs stay byte-reproducible; mucyc-serve
+  /// defaults to Crash. Never serialized by name()/parse().
+  IsolateMode Isolate = IsolateMode::None;
+
+  /// Hard OS limits applied to isolated worker children via setrlimit
+  /// (0 = inherit). HardMemMb maps to RLIMIT_AS, HardCpuSec to RLIMIT_CPU;
+  /// a trip surfaces as WorkerCrashedRlimit. Distinct from the cooperative
+  /// MemLimitMb gauge. Never serialized by name()/parse().
+  uint64_t HardMemMb = 0;
+  uint64_t HardCpuSec = 0;
+
   /// Paper-style configuration name, e.g. "Ind(Ret(F,MBP(0)))".
   std::string name() const;
 
@@ -195,6 +226,9 @@ struct CliOptions {
 ///   --verify               verify answers before reporting
 ///   --share-lemmas         cooperative lemma exchange (portfolio)
 ///   --share-import-budget N  max peer lemmas fetched per import round
+///   --isolate MODE         none|crash|always worker-process isolation
+///   --hard-mem-mb N        worker RLIMIT_AS cap (isolated runs)
+///   --hard-cpu-sec N       worker RLIMIT_CPU cap (isolated runs)
 ///
 /// Returns false (and fills \p Err) on a malformed value — e.g. an unknown
 /// --config name or a flag missing its argument. Unrecognized flags are

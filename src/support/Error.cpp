@@ -26,6 +26,12 @@ const char *mucyc::errorCodeName(ErrorCode C) {
     return "invariant-violation";
   case ErrorCode::InputError:
     return "input-error";
+  case ErrorCode::WorkerCrashedSignal:
+    return "worker-crashed-signal";
+  case ErrorCode::WorkerCrashedRlimit:
+    return "worker-crashed-rlimit";
+  case ErrorCode::WorkerCrashedWedged:
+    return "worker-crashed-wedged";
   }
   return "?";
 }
@@ -36,6 +42,12 @@ bool mucyc::errorRecoverable(ErrorCode C) {
   case ErrorCode::ResourceExhaustedSteps:
   case ErrorCode::ResourceExhaustedDepth:
   case ErrorCode::InvariantViolation:
+    return true;
+  // A crashed worker took no budget the parent can see; a degraded retry in
+  // a fresh process is exactly the recovery the isolation tier exists for.
+  case ErrorCode::WorkerCrashedSignal:
+  case ErrorCode::WorkerCrashedRlimit:
+  case ErrorCode::WorkerCrashedWedged:
     return true;
   case ErrorCode::None:
   case ErrorCode::Cancelled:

@@ -50,6 +50,19 @@ enum class ErrorCode : uint8_t {
   InvariantViolation,
   /// Malformed user input (bad file, bad flag value, parse error).
   InputError,
+  /// An isolated worker process died by a signal (SIGSEGV, SIGKILL, ...),
+  /// exited with a nonzero status, or closed the reply channel without a
+  /// complete frame. The solving state is gone; the parent-side ladder may
+  /// retry with a degraded configuration.
+  WorkerCrashedSignal,
+  /// An isolated worker tripped an OS resource limit (RLIMIT_CPU's SIGXCPU,
+  /// or the RLIMIT_AS bad_alloc exit). Distinguished from the cooperative
+  /// ResourceExhausted* codes: the kernel, not the gauge, pulled the plug.
+  WorkerCrashedRlimit,
+  /// The parent-side watchdog SIGKILLed a worker that outlived its deadline
+  /// plus grace without replying — the wedged-native-loop case cooperative
+  /// cancellation cannot reach.
+  WorkerCrashedWedged,
 };
 
 /// Stable lowercase name, e.g. "resource-exhausted-memory".

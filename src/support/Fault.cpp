@@ -1,0 +1,66 @@
+//===- support/Fault.cpp - Service-boundary fault plan --------------------===//
+//
+// Part of the mucyc project. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Fault.h"
+
+using namespace mucyc;
+
+ServiceFaultPlan &ServiceFaultPlan::global() {
+  static ServiceFaultPlan Plan;
+  return Plan;
+}
+
+bool ServiceFaultPlan::parse(const std::string &Spec, std::string &Err) {
+  // Grammar: clause ("," clause)*; clause = key "=" N | "tear-store" "=" N
+  // "@" K. Whitespace is not tolerated: the spec rides in CLI flags and
+  // wire headers and must round-trip byte-identically.
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(',', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Clause = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    size_t Eq = Clause.find('=');
+    if (Eq == std::string::npos || Eq == 0 || Eq + 1 == Clause.size()) {
+      Err = "bad chaos-plan clause '" + Clause + "' (want key=N)";
+      return false;
+    }
+    std::string Key = Clause.substr(0, Eq);
+    std::string Val = Clause.substr(Eq + 1);
+    uint64_t At = TearStoreByte;
+    if (Key == "tear-store") {
+      size_t AtPos = Val.find('@');
+      if (AtPos != std::string::npos) {
+        std::string AtStr = Val.substr(AtPos + 1);
+        Val = Val.substr(0, AtPos);
+        if (AtStr.empty() ||
+            AtStr.find_first_not_of("0123456789") != std::string::npos) {
+          Err = "bad tear-store byte offset '" + AtStr + "'";
+          return false;
+        }
+        At = std::stoull(AtStr);
+      }
+    }
+    if (Val.empty() || Val.find_first_not_of("0123456789") != std::string::npos) {
+      Err = "bad chaos-plan period '" + Val + "' in clause '" + Clause + "'";
+      return false;
+    }
+    uint64_t N = std::stoull(Val);
+    if (Key == "kill-worker") {
+      KillWorkerEvery = N;
+    } else if (Key == "tear-store") {
+      TearStoreEvery = N;
+      TearStoreByte = At;
+    } else if (Key == "short-write") {
+      ShortWriteEvery = N;
+    } else {
+      Err = "unknown chaos-plan key '" + Key + "'";
+      return false;
+    }
+  }
+  return true;
+}

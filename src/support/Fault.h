@@ -31,7 +31,9 @@
 
 #include "support/Error.h"
 
+#include <atomic>
 #include <cstdint>
+#include <string>
 
 namespace mucyc {
 
@@ -116,6 +118,66 @@ public:
 
 private:
   uint64_t Allocs = 0, Checks = 0, CancelPolls = 0;
+};
+
+/// Deterministic service-boundary fault plan. Where FaultInjector is
+/// one-shot and per-job (faults *inside* a solving attempt), this plan is
+/// process-global and periodic: "SIGKILL every Nth spawned worker", "tear
+/// every Nth store write at byte K", "short-cut every Nth socket write".
+/// Counters are atomic so concurrent connection threads observe a single
+/// global event order; determinism therefore requires the driver to
+/// serialize requests (the ci.sh crash leg replays sequentially). All
+/// periods are "every Nth event", 1-based; 0 disarms that class.
+class ServiceFaultPlan {
+public:
+  uint64_t KillWorkerEvery = 0; ///< SIGKILL every Nth spawned worker.
+  uint64_t TearStoreEvery = 0;  ///< Tear every Nth disk-store write...
+  uint64_t TearStoreByte = 64;  ///< ...truncated at this byte offset.
+  uint64_t ShortWriteEvery = 0; ///< Abort every Nth socket frame write.
+
+  bool armed() const {
+    return KillWorkerEvery || TearStoreEvery || ShortWriteEvery;
+  }
+
+  /// True when this spawned worker should be SIGKILLed by the chaos plan.
+  bool killThisWorker() {
+    return KillWorkerEvery &&
+           (Workers.fetch_add(1, std::memory_order_relaxed) + 1) %
+                   KillWorkerEvery ==
+               0;
+  }
+
+  /// True when this disk-store write should be torn; \p ByteOut receives the
+  /// truncation offset.
+  bool tearThisStoreWrite(uint64_t &ByteOut) {
+    if (!TearStoreEvery)
+      return false;
+    ByteOut = TearStoreByte;
+    return (StoreWrites.fetch_add(1, std::memory_order_relaxed) + 1) %
+               TearStoreEvery ==
+           0;
+  }
+
+  /// True when this socket frame write should be cut short mid-frame.
+  bool shortThisWrite() {
+    return ShortWriteEvery &&
+           (FrameWrites.fetch_add(1, std::memory_order_relaxed) + 1) %
+                   ShortWriteEvery ==
+               0;
+  }
+
+  /// Parses a chaos-plan spec like "kill-worker=7,tear-store=5@64,
+  /// short-write=9". Returns false (with \p Err set) on a malformed spec.
+  bool parse(const std::string &Spec, std::string &Err);
+
+  /// The process-wide plan consulted by worker spawn, ResultStore::storeFile
+  /// and writeFrame. Defaults to everything-disarmed.
+  static ServiceFaultPlan &global();
+
+private:
+  std::atomic<uint64_t> Workers{0};
+  std::atomic<uint64_t> StoreWrites{0};
+  std::atomic<uint64_t> FrameWrites{0};
 };
 
 } // namespace mucyc

@@ -25,6 +25,7 @@
 #include <atomic>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 using namespace mucyc;
 
@@ -158,6 +159,84 @@ TEST(FaultTest, FromSeedIsDeterministicAndArmed) {
   }
   EXPECT_EQ(mixSeed(3, 5), mixSeed(3, 5));
   EXPECT_NE(mixSeed(3, 5), mixSeed(3, 6));
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceFaultPlan: the process-global service-boundary chaos plan
+//===----------------------------------------------------------------------===//
+
+TEST(FaultTest, ServicePlanParsesFullSpec) {
+  ServiceFaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(P.parse("kill-worker=7,tear-store=5@64,short-write=9", Err))
+      << Err;
+  EXPECT_EQ(P.KillWorkerEvery, 7u);
+  EXPECT_EQ(P.TearStoreEvery, 5u);
+  EXPECT_EQ(P.TearStoreByte, 64u);
+  EXPECT_EQ(P.ShortWriteEvery, 9u);
+  EXPECT_TRUE(P.armed());
+
+  // tear-store without @K keeps the default truncation offset.
+  ServiceFaultPlan Q;
+  ASSERT_TRUE(Q.parse("tear-store=3", Err)) << Err;
+  EXPECT_EQ(Q.TearStoreEvery, 3u);
+  EXPECT_EQ(Q.TearStoreByte, 64u);
+
+  // Period 0 disarms a class; an all-zero plan is unarmed.
+  ServiceFaultPlan Z;
+  ASSERT_TRUE(Z.parse("kill-worker=0", Err)) << Err;
+  EXPECT_FALSE(Z.armed());
+  EXPECT_FALSE(ServiceFaultPlan().armed()) << "default plan must be inert";
+}
+
+TEST(FaultTest, ServicePlanRejectsMalformedSpecs) {
+  auto Rejects = [](const std::string &Spec, const char *Needle) {
+    ServiceFaultPlan P;
+    std::string Err;
+    EXPECT_FALSE(P.parse(Spec, Err)) << Spec;
+    EXPECT_NE(Err.find(Needle), std::string::npos)
+        << Spec << " -> " << Err;
+  };
+  Rejects("kill-worker", "bad chaos-plan clause");
+  Rejects("kill-worker=", "bad chaos-plan clause");
+  Rejects("=7", "bad chaos-plan clause");
+  Rejects("kill-worker=x7", "bad chaos-plan period");
+  Rejects("tear-store=5@", "bad tear-store byte offset");
+  Rejects("tear-store=5@ten", "bad tear-store byte offset");
+  Rejects("sigsegv-everything=2", "unknown chaos-plan key");
+  Rejects("kill-worker=7,,short-write=9", "bad chaos-plan clause");
+}
+
+TEST(FaultTest, ServicePlanFiresPeriodically) {
+  ServiceFaultPlan P;
+  std::string Err;
+  ASSERT_TRUE(P.parse("kill-worker=3,tear-store=2@10,short-write=4", Err));
+  // Every Nth event fires, 1-based: workers 3, 6, 9, ...
+  std::vector<int> Killed;
+  for (int I = 1; I <= 9; ++I)
+    if (P.killThisWorker())
+      Killed.push_back(I);
+  EXPECT_EQ(Killed, (std::vector<int>{3, 6, 9}));
+
+  uint64_t At = 0;
+  EXPECT_FALSE(P.tearThisStoreWrite(At));
+  EXPECT_TRUE(P.tearThisStoreWrite(At));
+  EXPECT_EQ(At, 10u);
+  EXPECT_FALSE(P.tearThisStoreWrite(At));
+  EXPECT_TRUE(P.tearThisStoreWrite(At));
+
+  int Shorted = 0;
+  for (int I = 0; I < 8; ++I)
+    Shorted += P.shortThisWrite() ? 1 : 0;
+  EXPECT_EQ(Shorted, 2); // Writes 4 and 8.
+
+  // A disarmed plan never fires and never burns counters into firing.
+  ServiceFaultPlan Off;
+  for (int I = 0; I < 100; ++I) {
+    EXPECT_FALSE(Off.killThisWorker());
+    EXPECT_FALSE(Off.tearThisStoreWrite(At));
+    EXPECT_FALSE(Off.shortThisWrite());
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <unistd.h>
 
 using namespace mucyc;
@@ -187,13 +188,15 @@ TEST(RequestTest, CorruptDiskEntryFallsThroughToColdSolve) {
     ASSERT_FALSE(Fp.empty());
   }
   {
-    // Garble the certificate on disk. The restarted store must reject the
-    // entry (parse or verify failure), erase it, and answer cold.
+    // Garble the entry on disk: a legacy v1 header with a mangled cert and
+    // no checksum. The restart recovery scan must quarantine it, so the
+    // request misses and answers cold.
     std::ofstream Out(Dir.Path + "/" + Fp + ".mucyc-result");
     Out << "mucyc-result-v1\nstatus: sat\ndepth: 1\nconfig: X\n"
         << "zsorts: Int\ncert: (not (a valid term\n";
   }
   ResultStore Store2(Dir.Path);
+  EXPECT_GE(Store2.recovery().Quarantined, 1u);
   SolveResponse R = solveRequest(textRequest(CounterSat), &Store2, nullptr);
   EXPECT_EQ(R.Status, ChcStatus::Sat);
   EXPECT_EQ(R.Cache, CacheSource::None);
@@ -216,12 +219,18 @@ TEST(RequestTest, WrongStatusEntryFailsVerifyAndIsDropped) {
     GoodCert = E->Cert;
   }
   {
-    // A well-formed entry whose certificate does not verify: claim the sat
-    // system is unsat with a trivially-unreachable "bad region". The store
+    // A checksum-valid v2 entry whose certificate does not verify: claim
+    // the sat system is unsat with a trivially-unreachable "bad region".
+    // It sails through the recovery scan (bytes are intact) but the store
     // must refuse to serve it (verify-before-serve) and recover cold.
+    ResultStore::Entry Poison;
+    Poison.Status = ChcStatus::Unsat;
+    Poison.Depth = 0;
+    Poison.Config = "X";
+    Poison.ZSorts = {Sort::Int};
+    Poison.Cert = "(= mz0 (- 7))";
     std::ofstream Out(Dir.Path + "/" + Fp + ".mucyc-result");
-    Out << "mucyc-result-v1\nstatus: unsat\ndepth: 0\nconfig: X\n"
-        << "zsorts: Int\ncert: (= mz0 (- 7))\n";
+    Out << ResultStore::formatEntry(Poison);
   }
   ResultStore Store2(Dir.Path);
   SolveResponse R = solveRequest(textRequest(CounterSat), &Store2, nullptr);
@@ -229,6 +238,87 @@ TEST(RequestTest, WrongStatusEntryFailsVerifyAndIsDropped) {
   EXPECT_EQ(R.Cache, CacheSource::None);
   EXPECT_GE(Store2.counters().Rejects, 1u);
   (void)GoodCert;
+}
+
+TEST(RequestTest, StoreFormatV2RoundTripsAndChecksumCatchesTampering) {
+  ResultStore::Entry E;
+  E.Status = ChcStatus::Sat;
+  E.Depth = 3;
+  E.Config = "Yld(T,MBP(2))";
+  E.ZSorts = {Sort::Int, Sort::Bool};
+  E.Cert = "(and (>= mz0 0) mz1)";
+  std::string Text = ResultStore::formatEntry(E);
+  EXPECT_EQ(Text.rfind("mucyc-result-v2\n", 0), 0u);
+
+  auto Back = ResultStore::parseFileText(Text);
+  ASSERT_TRUE(Back.has_value());
+  EXPECT_EQ(Back->Status, E.Status);
+  EXPECT_EQ(Back->Depth, E.Depth);
+  EXPECT_EQ(Back->Config, E.Config);
+  EXPECT_EQ(Back->ZSorts, E.ZSorts);
+  EXPECT_EQ(Back->Cert, E.Cert);
+
+  // One flipped byte anywhere in the body fails the checksum line.
+  std::string Tampered = Text;
+  Tampered[Text.find("depth: 3") + 7] = '4';
+  EXPECT_FALSE(ResultStore::parseFileText(Tampered).has_value());
+  // A torn write (any prefix) is detected too.
+  EXPECT_FALSE(
+      ResultStore::parseFileText(Text.substr(0, Text.size() / 2)).has_value());
+  // Legacy v1 entries are rejected wholesale.
+  EXPECT_FALSE(ResultStore::parseFileText("mucyc-result-v1\nstatus: sat\n")
+                   .has_value());
+}
+
+TEST(RequestTest, RecoveryScanQuarantinesDamagedEntriesAndServesIntactOnes) {
+  TempDir Dir("recover");
+  std::string Fp;
+  {
+    ResultStore Store(Dir.Path);
+    Fp = solveRequest(textRequest(CounterSat), &Store, nullptr).Fingerprint;
+    ASSERT_FALSE(Fp.empty());
+  }
+  // Read the one intact entry back and plant a damage corpus next to it:
+  // a torn v2 entry (power loss mid-write under the final name), a
+  // bit-flipped v2 entry, a legacy v1 entry, and an orphaned staging file.
+  std::string Good;
+  {
+    std::ifstream In(Dir.Path + "/" + Fp + ".mucyc-result");
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Good = Buf.str();
+  }
+  ASSERT_FALSE(Good.empty());
+  std::ofstream(Dir.Path + "/1111.mucyc-result")
+      << Good.substr(0, Good.size() / 2);
+  std::string Flipped = Good;
+  Flipped[Good.find("cert: ") + 6] ^= 1;
+  std::ofstream(Dir.Path + "/2222.mucyc-result") << Flipped;
+  std::ofstream(Dir.Path + "/3333.mucyc-result")
+      << "mucyc-result-v1\nstatus: sat\ndepth: 1\nconfig: X\n"
+      << "zsorts: Int\ncert: true\n";
+  std::ofstream(Dir.Path + "/4444.mucyc-result.tmp") << "half a stage";
+
+  ResultStore Store2(Dir.Path);
+  const ResultStore::RecoveryReport &R = Store2.recovery();
+  EXPECT_EQ(R.Scanned, 4u);
+  EXPECT_EQ(R.Intact, 1u);
+  EXPECT_EQ(R.Quarantined, 3u);
+  EXPECT_EQ(R.TmpSwept, 1u);
+  // Quarantined entries are moved aside for post-mortem, not destroyed.
+  size_t InQuarantine = 0;
+  for ([[maybe_unused]] const auto &Ent :
+       std::filesystem::directory_iterator(Dir.Path + "/quarantine"))
+    ++InQuarantine;
+  EXPECT_EQ(InQuarantine, 3u);
+  EXPECT_FALSE(
+      std::filesystem::exists(Dir.Path + "/4444.mucyc-result.tmp"));
+
+  // The intact entry still serves warm, straight from disk.
+  SolveResponse Warm = solveRequest(textRequest(CounterSat), &Store2, nullptr);
+  EXPECT_EQ(Warm.Status, ChcStatus::Sat);
+  EXPECT_EQ(Warm.Attempts, 0u);
+  EXPECT_EQ(Warm.Cache, CacheSource::Disk);
 }
 
 TEST(RequestTest, NoStoreBypassesTheCache) {

@@ -17,10 +17,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 #include <vector>
 
+#include <csignal>
 #include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 using namespace mucyc;
@@ -77,7 +83,12 @@ struct TestConn {
     EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
     Client = Sp[0];
     Server = Sp[1];
-    Thread = std::thread([&D, Fd = Server] { D.serveConnection(Fd, Fd); });
+    Thread = std::thread([&D, Fd = Server] {
+      D.serveConnection(Fd, Fd);
+      // Mirror runSocket: when the daemon is done with a connection the
+      // peer sees EOF (the slow-loris test waits on exactly that).
+      ::shutdown(Fd, SHUT_RDWR);
+    });
   }
   ~TestConn() { closeAndJoin(); }
 
@@ -406,3 +417,341 @@ TEST(ServeDaemonTest, DaemonSurvivesCrashingJobs) {
   EXPECT_EQ(C.solve(CounterUnsat, {{"no-store", "1"}}).header("status"),
             "unsat");
 }
+
+//===----------------------------------------------------------------------===//
+// Overload hardening: deadline reads, admission control
+//===----------------------------------------------------------------------===//
+
+TEST(WireCodecTest, FrameSplitAcrossSingleByteWritesDecodes) {
+  // Regression for the EINTR/partial-read path: a slow but live writer —
+  // one byte at a time, each within the stall budget — must never be cut
+  // off, however long the whole frame takes.
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  std::string Payload = "ping\nslow: writer\n\nbody bytes";
+  std::string Framed;
+  Framed.push_back(0);
+  Framed.push_back(0);
+  Framed.push_back(0);
+  Framed.push_back(static_cast<char>(Payload.size()));
+  Framed += Payload;
+  std::thread Writer([&] {
+    for (char C : Framed) {
+      ASSERT_EQ(::write(Sp[0], &C, 1), 1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  std::string Got;
+  EXPECT_EQ(readFrameDeadline(Sp[1], Got, 1u << 20, /*StallTimeoutMs=*/500),
+            FrameStatus::Ok);
+  EXPECT_EQ(Got, Payload);
+  Writer.join();
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+}
+
+TEST(WireCodecTest, MidFrameSilenceTripsTheStallDeadline) {
+  int Sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
+  unsigned char Hdr[4] = {0, 0, 0, 100}; // Promise 100 bytes...
+  ASSERT_EQ(::write(Sp[0], Hdr, 4), 4);
+  ASSERT_EQ(::write(Sp[0], "stuck", 5), 5); // ...then go silent, fd open.
+  std::string Got;
+  auto T0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(readFrameDeadline(Sp[1], Got, 1u << 20, /*StallTimeoutMs=*/150),
+            FrameStatus::TimedOut);
+  auto Ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - T0)
+                .count();
+  EXPECT_GE(Ms, 100);
+  EXPECT_LT(Ms, 5000);
+  ::close(Sp[0]);
+  ::close(Sp[1]);
+}
+
+TEST(ServeDaemonTest, SlowLorisClientIsDisconnected) {
+  ServeOptions SO;
+  SO.ReadStallMs = 150;
+  ServeDaemon D(SO);
+  TestConn C(D);
+  unsigned char Hdr[4] = {0, 0, 0, 50};
+  ASSERT_EQ(::write(C.Client, Hdr, 4), 4); // Half a frame, then nothing.
+  std::string Payload;
+  ASSERT_EQ(readFrame(C.Client, Payload, 1u << 20), FrameStatus::Ok);
+  WireMessage R;
+  ASSERT_TRUE(parseWireMessage(Payload, R, nullptr));
+  EXPECT_EQ(R.Verb, "error");
+  EXPECT_NE(R.header("detail").find("read deadline"), std::string::npos);
+  // The daemon closed its side; our next read sees EOF.
+  EXPECT_EQ(readFrame(C.Client, Payload, 1u << 20), FrameStatus::Eof);
+  EXPECT_EQ(D.stats().TimedOutConns.load(), 1u);
+}
+
+TEST(ServeDaemonTest, SlowButLiveWriterIsServedNormally) {
+  ServeOptions SO;
+  SO.ReadStallMs = 300;
+  ServeDaemon D(SO);
+  TestConn C(D);
+  // A whole solve frame trickled a few bytes at a time: total time well
+  // past the stall budget, every write well inside it.
+  WireMessage M;
+  M.Verb = "solve";
+  M.Headers["max-refine-steps"] = "2000";
+  M.Body = CounterUnsat;
+  std::string Payload = formatWireMessage(M);
+  std::string Framed;
+  for (int I = 3; I >= 0; --I)
+    Framed.push_back(static_cast<char>((Payload.size() >> (8 * I)) & 0xff));
+  Framed += Payload;
+  for (size_t I = 0; I < Framed.size(); I += 7) {
+    size_t N = std::min<size_t>(7, Framed.size() - I);
+    ASSERT_EQ(::write(C.Client, Framed.data() + I, N),
+              static_cast<ssize_t>(N));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::string Got;
+  ASSERT_EQ(readFrame(C.Client, Got, 1u << 24), FrameStatus::Ok);
+  WireMessage R;
+  ASSERT_TRUE(parseWireMessage(Got, R, nullptr));
+  EXPECT_EQ(R.header("status"), "unsat");
+}
+
+TEST(ServeDaemonTest, PendingBoundShedsWithTypedOverloadedFrame) {
+  ServeOptions SO;
+  SO.Jobs = 1;
+  SO.MaxPending = 1;
+  ServeDaemon D(SO);
+  TestConn Busy(D);
+  TestConn Shed(D);
+
+  // Fill the single slot with a job that runs for a while: the diverging
+  // system bounded by a deadline, so the test always terminates.
+  WireMessage M;
+  M.Verb = "solve";
+  M.Headers["config"] = "Solve";
+  M.Headers["deadline-ms"] = "2000";
+  M.Body = DivergesUnderSolve;
+  ASSERT_TRUE(writeFrame(Busy.Client, formatWireMessage(M)));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The second solve must be refused, not queued behind the bound.
+  WireMessage R = Shed.solve(CounterSat);
+  EXPECT_EQ(R.Verb, "overloaded");
+  EXPECT_NE(R.header("detail").find("pending"), std::string::npos);
+  EXPECT_EQ(D.stats().Overloaded.load(), 1u);
+
+  // The shed connection itself stays usable: ping still answers, and once
+  // the busy job drains, solves are admitted again.
+  WireMessage P;
+  P.Verb = "ping";
+  EXPECT_EQ(Shed.roundTrip(P).Verb, "pong");
+
+  std::string Payload;
+  ASSERT_EQ(readFrame(Busy.Client, Payload, 1u << 24), FrameStatus::Ok);
+  EXPECT_EQ(Shed.solve(CounterSat).header("status"), "sat");
+}
+
+//===----------------------------------------------------------------------===//
+// Worker isolation at the service boundary
+//===----------------------------------------------------------------------===//
+
+TEST(ServeDaemonTest, DaemonSurvivesCrashingIsolatedWorkers) {
+  ServeDaemon D(ServeOptions{});
+  TestConn C(D);
+
+  // Each directive kills the forked worker a different way; every one must
+  // come back as a typed unknown with a worker-crashed breadcrumb while
+  // the daemon keeps answering.
+  for (const char *How : {"segv", "abort", "exit3"}) {
+    WireMessage R = C.solve(CounterSat, {{"isolate", "crash"},
+                                         {"x-crash", How},
+                                         {"max-retries", "0"},
+                                         {"no-store", "1"}});
+    ASSERT_EQ(R.Verb, "result") << How;
+    EXPECT_EQ(R.header("status"), "unknown") << How;
+    EXPECT_NE(R.header("error").find("worker-crashed"), std::string::npos)
+        << How << ": " << R.header("error");
+    WireMessage P;
+    P.Verb = "ping";
+    ASSERT_EQ(C.roundTrip(P).Verb, "pong") << "daemon died after " << How;
+  }
+  EXPECT_EQ(D.stats().WorkerCrashes.load(), 3u);
+
+  // With a retry rung the crash ladder recovers to the real verdict.
+  WireMessage R = C.solve(CounterSat, {{"isolate", "crash"},
+                                       {"x-crash", "segv"},
+                                       {"max-retries", "1"},
+                                       {"no-store", "1"}});
+  EXPECT_EQ(R.header("status"), "sat");
+
+  WireMessage Bad = C.solve(CounterSat, {{"isolate", "sometimes"}});
+  EXPECT_EQ(Bad.Verb, "error");
+}
+
+//===----------------------------------------------------------------------===//
+// Crash-restart durability against the real daemon binary
+//===----------------------------------------------------------------------===//
+
+#ifdef MUCYC_SERVE_BIN
+
+namespace {
+
+/// Connects to a UNIX socket, retrying while the daemon binds.
+int connectRetrying(const std::string &Path, int TriesMs = 5000) {
+  for (int Waited = 0; Waited < TriesMs; Waited += 50) {
+    int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return -1;
+    sockaddr_un Addr{};
+    Addr.sun_family = AF_UNIX;
+    std::snprintf(Addr.sun_path, sizeof(Addr.sun_path), "%s", Path.c_str());
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) == 0)
+      return Fd;
+    ::close(Fd);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return -1;
+}
+
+/// Forks and execs mucyc-serve; returns the child pid.
+pid_t spawnServe(const std::vector<std::string> &Args) {
+  pid_t Pid = ::fork();
+  if (Pid != 0)
+    return Pid;
+  std::vector<char *> Argv;
+  Argv.push_back(const_cast<char *>(MUCYC_SERVE_BIN));
+  for (const std::string &A : Args)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+  ::execv(MUCYC_SERVE_BIN, Argv.data());
+  ::_exit(127);
+}
+
+WireMessage frameRoundTrip(int Fd, const WireMessage &M) {
+  EXPECT_TRUE(writeFrame(Fd, formatWireMessage(M)));
+  std::string Payload;
+  EXPECT_EQ(readFrame(Fd, Payload, 1u << 24), FrameStatus::Ok);
+  WireMessage R;
+  EXPECT_TRUE(parseWireMessage(Payload, R, nullptr));
+  return R;
+}
+
+} // namespace
+
+TEST(ServeCrashRestartTest, StoreSurvivesSigkillAndQuarantinesTornEntry) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("mucyc-serve-crash-" + std::to_string(::getpid())))
+                        .string();
+  std::filesystem::remove_all(Dir);
+  std::string Sock = Dir + ".sock";
+  std::string StoreDir = Dir + "/store";
+  ::unlink(Sock.c_str());
+
+  pid_t Pid = spawnServe({"--socket", Sock, "--store-dir", StoreDir,
+                          "--isolate", "crash", "--max-retries", "1",
+                          "--max-refine-steps", "2000"});
+  ASSERT_GT(Pid, 0);
+  int Fd = connectRetrying(Sock);
+  ASSERT_GE(Fd, 0) << "daemon never bound " << Sock;
+
+  // Two verified entries reach the disk tier...
+  WireMessage M;
+  M.Verb = "solve";
+  M.Body = CounterSat;
+  WireMessage R1 = frameRoundTrip(Fd, M);
+  ASSERT_EQ(R1.header("status"), "sat");
+  M.Body = CounterUnsat;
+  WireMessage R2 = frameRoundTrip(Fd, M);
+  ASSERT_EQ(R2.header("status"), "unsat");
+
+  // ...then the daemon dies hard, mid-"batch": SIGKILL, no atexit, no
+  // flush, plus one torn in-flight entry the kill supposedly interrupted.
+  ::kill(Pid, SIGKILL);
+  int St = 0;
+  ::waitpid(Pid, &St, 0);
+  ASSERT_TRUE(WIFSIGNALED(St));
+  ::close(Fd);
+  std::ofstream(StoreDir + "/deadbeef00000000deadbeef00000000.mucyc-result")
+      << "mucyc-result-v2\nstatus: sat\ndepth: 2\nconf"; // Torn mid-write.
+  std::ofstream(StoreDir + "/inflight.mucyc-result.tmp") << "half";
+
+  // Restart on the same store directory: previously verified entries are
+  // served warm from disk, the torn one is quarantined, never served.
+  pid_t Pid2 = spawnServe({"--socket", Sock, "--store-dir", StoreDir,
+                           "--isolate", "crash", "--max-refine-steps",
+                           "2000"});
+  ASSERT_GT(Pid2, 0);
+  Fd = connectRetrying(Sock);
+  ASSERT_GE(Fd, 0);
+
+  M.Body = CounterSat;
+  WireMessage W1 = frameRoundTrip(Fd, M);
+  EXPECT_EQ(W1.header("status"), "sat");
+  EXPECT_EQ(W1.header("cache"), "disk-hit");
+  EXPECT_EQ(W1.header("attempts"), "0");
+  EXPECT_EQ(W1.header("fingerprint"), R1.header("fingerprint"));
+  M.Body = CounterUnsat;
+  WireMessage W2 = frameRoundTrip(Fd, M);
+  EXPECT_EQ(W2.header("status"), "unsat");
+  EXPECT_EQ(W2.header("cache"), "disk-hit");
+
+  WireMessage S;
+  S.Verb = "stats";
+  WireMessage Stats = frameRoundTrip(Fd, S);
+  EXPECT_EQ(Stats.header("store-recovered-intact"), "2");
+  EXPECT_EQ(Stats.header("store-quarantined"), "1");
+  EXPECT_EQ(Stats.header("store-tmp-swept"), "1");
+
+  ::close(Fd);
+  ::kill(Pid2, SIGTERM);
+  ::waitpid(Pid2, &St, 0);
+  std::filesystem::remove_all(Dir);
+  ::unlink(Sock.c_str());
+}
+
+TEST(ServeCrashRestartTest, ConnectionCapShedsExcessClients) {
+  std::string Dir = (std::filesystem::temp_directory_path() /
+                     ("mucyc-serve-cap-" + std::to_string(::getpid())))
+                        .string();
+  std::string Sock = Dir + ".sock";
+  ::unlink(Sock.c_str());
+
+  pid_t Pid = spawnServe({"--socket", Sock, "--max-connections", "2"});
+  ASSERT_GT(Pid, 0);
+  int A = connectRetrying(Sock);
+  ASSERT_GE(A, 0);
+  int B = connectRetrying(Sock);
+  ASSERT_GE(B, 0);
+  // Give the daemon a beat to register both connection threads.
+  WireMessage P;
+  P.Verb = "ping";
+  EXPECT_EQ(frameRoundTrip(A, P).Verb, "pong");
+  EXPECT_EQ(frameRoundTrip(B, P).Verb, "pong");
+
+  // The third connection is told why and cut, not silently dropped.
+  int C = connectRetrying(Sock, 1000);
+  ASSERT_GE(C, 0);
+  std::string Payload;
+  ASSERT_EQ(readFrame(C, Payload, 1u << 20), FrameStatus::Ok);
+  WireMessage R;
+  ASSERT_TRUE(parseWireMessage(Payload, R, nullptr));
+  EXPECT_EQ(R.Verb, "overloaded");
+  EXPECT_EQ(readFrame(C, Payload, 1u << 20), FrameStatus::Eof);
+  ::close(C);
+
+  // Closing one slot frees admission for a newcomer.
+  ::close(A);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  int D = connectRetrying(Sock, 1000);
+  ASSERT_GE(D, 0);
+  EXPECT_EQ(frameRoundTrip(D, P).Verb, "pong");
+
+  ::close(B);
+  ::close(D);
+  ::kill(Pid, SIGTERM);
+  int St = 0;
+  ::waitpid(Pid, &St, 0);
+  ::unlink(Sock.c_str());
+}
+
+#endif // MUCYC_SERVE_BIN
